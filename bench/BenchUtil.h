@@ -1,0 +1,55 @@
+//===- bench/BenchUtil.h - Shared benchmark scaffolding ---------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the E1–E6 benchmark binaries: a bundled "pipeline
+/// input" (masks, graphs, local effects, IMOD+) built once per workload so
+/// each benchmark times exactly the algorithm under study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_BENCH_BENCHUTIL_H
+#define IPSE_BENCH_BENCHUTIL_H
+
+#include "analysis/IModPlus.h"
+#include "analysis/LocalEffects.h"
+#include "analysis/RMod.h"
+#include "analysis/VarMasks.h"
+#include "graph/BindingGraph.h"
+#include "graph/CallGraph.h"
+#include "ir/Program.h"
+
+#include <memory>
+
+namespace ipse {
+namespace bench {
+
+/// Everything the GMOD solvers consume, precomputed once.
+struct PipelineInput {
+  ir::Program P;
+  std::unique_ptr<analysis::VarMasks> Masks;
+  std::unique_ptr<graph::CallGraph> CG;
+  std::unique_ptr<graph::BindingGraph> BG;
+  std::unique_ptr<analysis::LocalEffects> Local;
+  analysis::RModResult RMod;
+  std::vector<BitVector> IModPlus;
+
+  explicit PipelineInput(ir::Program Prog) : P(std::move(Prog)) {
+    Masks = std::make_unique<analysis::VarMasks>(P);
+    CG = std::make_unique<graph::CallGraph>(P);
+    BG = std::make_unique<graph::BindingGraph>(P);
+    Local = std::make_unique<analysis::LocalEffects>(
+        P, *Masks, analysis::EffectKind::Mod);
+    RMod = analysis::solveRMod(P, *BG, *Local);
+    IModPlus = analysis::computeIModPlus(P, *Local, RMod);
+  }
+};
+
+} // namespace bench
+} // namespace ipse
+
+#endif // IPSE_BENCH_BENCHUTIL_H

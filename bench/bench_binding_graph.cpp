@@ -1,0 +1,102 @@
+//===- bench/bench_binding_graph.cpp - E5: β size and construction -------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E5 (DESIGN.md): §3.1's size argument.  β relates to the call
+// multi-graph C by Nβ ≤ µf N_C and Eβ ≤ µa E_C (µf / µa: average formal /
+// actual counts), nodes exist only when incident to an edge (2 Eβ ≥ Nβ),
+// and construction is linear in the program.  The counters report the
+// measured sizes so the ratios can be read off directly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/BindingGraph.h"
+#include "graph/CallGraph.h"
+#include "synth/ProgramGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipse;
+
+namespace {
+
+ir::Program paramProgram(unsigned N, unsigned MaxFormals, unsigned BiasPct) {
+  synth::ProgramGenConfig Cfg;
+  Cfg.Seed = 11;
+  Cfg.NumProcs = N;
+  Cfg.NumGlobals = 8;
+  Cfg.MaxFormals = MaxFormals;
+  Cfg.MaxCallsPerProc = 4;
+  Cfg.FormalActualBiasPct = BiasPct;
+  return synth::generateProgram(Cfg);
+}
+
+/// Construction time, size sweep: must be linear.
+void BM_BuildBeta_SizeSweep(benchmark::State &State) {
+  ir::Program P = paramProgram(static_cast<unsigned>(State.range(0)), 4, 60);
+  for (auto _ : State) {
+    graph::BindingGraph BG(P);
+    benchmark::DoNotOptimize(BG.numEdges());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_BuildBeta_SizeSweep)
+    ->RangeMultiplier(4)
+    ->Range(64, 65536)
+    ->Complexity();
+
+/// The k sweep of §3.1: larger average parameter lists grow β by the
+/// factor k relative to C.  Counters expose Nβ, Eβ, N_C, E_C.
+void BM_BetaSize_KSweep(benchmark::State &State) {
+  ir::Program P =
+      paramProgram(2048, static_cast<unsigned>(State.range(0)), 70);
+  graph::CallGraph CG(P);
+  std::size_t NBeta = 0, EBeta = 0;
+  for (auto _ : State) {
+    graph::BindingGraph BG(P);
+    NBeta = BG.numNodes();
+    EBeta = BG.numEdges();
+    benchmark::DoNotOptimize(EBeta);
+  }
+  State.counters["Nbeta"] = static_cast<double>(NBeta);
+  State.counters["Ebeta"] = static_cast<double>(EBeta);
+  State.counters["Nc"] = static_cast<double>(CG.graph().numNodes());
+  State.counters["Ec"] = static_cast<double>(CG.graph().numEdges());
+}
+BENCHMARK(BM_BetaSize_KSweep)->DenseRange(1, 17, 2);
+
+/// The bias sweep: fewer formal actuals → sparser β (nodes only when an
+/// edge exists), regardless of how many formals procedures declare.
+void BM_BetaSize_BiasSweep(benchmark::State &State) {
+  ir::Program P =
+      paramProgram(2048, 4, static_cast<unsigned>(State.range(0)));
+  std::size_t NBeta = 0, EBeta = 0;
+  for (auto _ : State) {
+    graph::BindingGraph BG(P);
+    NBeta = BG.numNodes();
+    EBeta = BG.numEdges();
+    benchmark::DoNotOptimize(EBeta);
+  }
+  State.counters["Nbeta"] = static_cast<double>(NBeta);
+  State.counters["Ebeta"] = static_cast<double>(EBeta);
+}
+BENCHMARK(BM_BetaSize_BiasSweep)->DenseRange(0, 100, 20);
+
+/// Call-graph construction for reference (same linear claim).
+void BM_BuildCallGraph(benchmark::State &State) {
+  ir::Program P = paramProgram(static_cast<unsigned>(State.range(0)), 4, 60);
+  for (auto _ : State) {
+    graph::CallGraph CG(P);
+    benchmark::DoNotOptimize(CG.graph().numEdges());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_BuildCallGraph)
+    ->RangeMultiplier(4)
+    ->Range(64, 65536)
+    ->Complexity();
+
+} // namespace

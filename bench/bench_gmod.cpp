@@ -1,0 +1,157 @@
+//===- bench/bench_gmod.cpp - E2: findgmod vs data-flow baselines --------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E2 (DESIGN.md): Theorem 2's claim that findgmod needs
+// O(E + N) bit-vector steps — one equation-(4) application per call-graph
+// edge and one component adjustment per procedure — against the classical
+// solvers of the same system: Kam–Ullman round-robin (O(rounds * E)),
+// worklist, and the swift-style condensation solver.  The "words" counter
+// (64-bit words touched by all bit-vector ops) is the machine-independent
+// work measure; "rounds" shows why round-robin loses on deep graphs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/GMod.h"
+#include "baselines/IterativeSolver.h"
+#include "baselines/SwiftStyleSolver.h"
+#include "baselines/WorklistSolver.h"
+#include "synth/ProgramGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipse;
+using namespace ipse::bench;
+
+namespace {
+
+/// FORTRAN-flavored workload: N procedures, N/4 globals (bit vectors grow
+/// with program size, the paper's assumption), 3 calls each, recursion
+/// allowed.
+PipelineInput fortranInput(unsigned N) {
+  return PipelineInput(
+      synth::makeFortranStyleProgram(N, std::max(4u, N / 4), 3, 7));
+}
+
+/// Deep call chain: the adversarial case for round-robin iteration.
+PipelineInput chainInput(unsigned N) {
+  return PipelineInput(synth::makeChainProgram(N, 2));
+}
+
+void BM_FindGMod(benchmark::State &State) {
+  PipelineInput In = fortranInput(static_cast<unsigned>(State.range(0)));
+  std::uint64_t Words = 0;
+  for (auto _ : State) {
+    BitVector::resetOpCount();
+    analysis::GModResult R =
+        analysis::solveGMod(In.P, *In.CG, *In.Masks, In.IModPlus);
+    benchmark::DoNotOptimize(R);
+    Words = BitVector::opCount();
+  }
+  State.counters["words"] = static_cast<double>(Words);
+  // Bit-vector *steps* (vector-level operations): the unit of Theorem 2.
+  std::size_t WordsPerVec = (In.P.numVars() + 63) / 64;
+  State.counters["bvsteps"] = static_cast<double>(Words / WordsPerVec);
+  State.counters["E"] = static_cast<double>(In.P.numCallSites());
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_FindGMod)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+
+void BM_RoundRobin(benchmark::State &State) {
+  PipelineInput In = fortranInput(static_cast<unsigned>(State.range(0)));
+  std::uint64_t Words = 0, Rounds = 0;
+  for (auto _ : State) {
+    BitVector::resetOpCount();
+    baselines::IterativeResult R =
+        baselines::solveIterative(In.P, *In.CG, *In.Masks, *In.Local);
+    benchmark::DoNotOptimize(R);
+    Words = BitVector::opCount();
+    Rounds = R.Rounds;
+  }
+  State.counters["words"] = static_cast<double>(Words);
+  State.counters["rounds"] = static_cast<double>(Rounds);
+  std::size_t WordsPerVec = (In.P.numVars() + 63) / 64;
+  State.counters["bvsteps"] = static_cast<double>(Words / WordsPerVec);
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_RoundRobin)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+
+void BM_Worklist(benchmark::State &State) {
+  PipelineInput In = fortranInput(static_cast<unsigned>(State.range(0)));
+  std::uint64_t Words = 0;
+  for (auto _ : State) {
+    BitVector::resetOpCount();
+    baselines::IterativeResult R =
+        baselines::solveWorklist(In.P, *In.CG, *In.Masks, *In.Local);
+    benchmark::DoNotOptimize(R);
+    Words = BitVector::opCount();
+  }
+  State.counters["words"] = static_cast<double>(Words);
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Worklist)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+
+void BM_SwiftTwoPhase(benchmark::State &State) {
+  PipelineInput In = fortranInput(static_cast<unsigned>(State.range(0)));
+  std::uint64_t Words = 0;
+  for (auto _ : State) {
+    BitVector::resetOpCount();
+    baselines::SwiftResult R =
+        baselines::solveSwift(In.P, *In.CG, *In.Masks, *In.Local);
+    benchmark::DoNotOptimize(R);
+    Words = BitVector::opCount();
+  }
+  State.counters["words"] = static_cast<double>(Words);
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_SwiftTwoPhase)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+
+// The deep-chain series: round-robin needs O(N) rounds, findgmod one DFS.
+void BM_FindGMod_Chain(benchmark::State &State) {
+  PipelineInput In = chainInput(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    analysis::GModResult R =
+        analysis::solveGMod(In.P, *In.CG, *In.Masks, In.IModPlus);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_FindGMod_Chain)->RangeMultiplier(2)->Range(64, 4096)->Complexity();
+
+void BM_RoundRobin_Chain(benchmark::State &State) {
+  PipelineInput In = chainInput(static_cast<unsigned>(State.range(0)));
+  std::uint64_t Rounds = 0;
+  for (auto _ : State) {
+    baselines::IterativeResult R =
+        baselines::solveIterative(In.P, *In.CG, *In.Masks, *In.Local);
+    benchmark::DoNotOptimize(R);
+    Rounds = R.Rounds;
+  }
+  State.counters["rounds"] = static_cast<double>(Rounds);
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_RoundRobin_Chain)
+    ->RangeMultiplier(2)
+    ->Range(64, 4096)
+    ->Complexity();
+
+/// Edge-count sweep at fixed N: findgmod's work is O(E + N), so doubling
+/// the call sites should roughly double its cost.
+void BM_FindGMod_EdgeSweep(benchmark::State &State) {
+  PipelineInput In{synth::makeFortranStyleProgram(
+      1024, 256, static_cast<unsigned>(State.range(0)), 7)};
+  for (auto _ : State) {
+    analysis::GModResult R =
+        analysis::solveGMod(In.P, *In.CG, *In.Masks, In.IModPlus);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["E"] = static_cast<double>(In.P.numCallSites());
+}
+BENCHMARK(BM_FindGMod_EdgeSweep)->DenseRange(1, 13, 3);
+
+} // namespace

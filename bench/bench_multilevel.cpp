@@ -1,0 +1,132 @@
+//===- bench/bench_multilevel.cpp - E4: §4 nesting-depth scaling ---------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E4 (DESIGN.md): §4's claim that maintaining lowlink *vectors*
+// inside one depth-first search removes dP as a multiplier of E_C —
+// O(E + dP N) bit-vector steps for the combined algorithm versus
+// O(dP (E + N)) for repeating Figure 2 once per nesting level.  The series
+// sweeps dP at (roughly) fixed N and E; the combined curve should stay
+// nearly flat while the repeated one climbs linearly in dP.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/MultiLevelGMod.h"
+#include "synth/ProgramGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipse;
+using namespace ipse::bench;
+
+namespace {
+
+/// Nested workload with dP = Depth; ProcsPerLevel balances total N so the
+/// sweep varies depth, not size: N ≈ Depth * PerLevel.
+PipelineInput nestedInput(unsigned Depth, unsigned TotalProcs) {
+  unsigned PerLevel = std::max(1u, TotalProcs / Depth);
+  return PipelineInput(synth::makeNestedProgram(Depth, PerLevel, 17));
+}
+
+void BM_Repeated_DepthSweep(benchmark::State &State) {
+  PipelineInput In =
+      nestedInput(static_cast<unsigned>(State.range(0)), 256);
+  std::uint64_t Words = 0;
+  for (auto _ : State) {
+    BitVector::resetOpCount();
+    analysis::GModResult R = analysis::solveMultiLevelRepeated(
+        In.P, *In.CG, *In.Masks, In.IModPlus);
+    benchmark::DoNotOptimize(R);
+    Words = BitVector::opCount();
+  }
+  State.counters["dP"] = static_cast<double>(In.P.maxProcLevel());
+  State.counters["N"] = static_cast<double>(In.P.numProcs());
+  State.counters["words"] = static_cast<double>(Words);
+}
+BENCHMARK(BM_Repeated_DepthSweep)->DenseRange(1, 33, 4);
+
+void BM_Combined_DepthSweep(benchmark::State &State) {
+  PipelineInput In =
+      nestedInput(static_cast<unsigned>(State.range(0)), 256);
+  std::uint64_t Words = 0;
+  for (auto _ : State) {
+    BitVector::resetOpCount();
+    analysis::GModResult R = analysis::solveMultiLevelCombined(
+        In.P, *In.CG, *In.Masks, In.IModPlus);
+    benchmark::DoNotOptimize(R);
+    Words = BitVector::opCount();
+  }
+  State.counters["dP"] = static_cast<double>(In.P.maxProcLevel());
+  State.counters["N"] = static_cast<double>(In.P.numProcs());
+  State.counters["words"] = static_cast<double>(Words);
+}
+BENCHMARK(BM_Combined_DepthSweep)->DenseRange(1, 33, 4);
+
+/// Size sweep at fixed depth: both variants should scale linearly in N.
+void BM_Repeated_SizeSweep(benchmark::State &State) {
+  PipelineInput In = nestedInput(6, static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    analysis::GModResult R = analysis::solveMultiLevelRepeated(
+        In.P, *In.CG, *In.Masks, In.IModPlus);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Repeated_SizeSweep)
+    ->RangeMultiplier(2)
+    ->Range(32, 2048)
+    ->Complexity();
+
+void BM_Combined_SizeSweep(benchmark::State &State) {
+  PipelineInput In = nestedInput(6, static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    analysis::GModResult R = analysis::solveMultiLevelCombined(
+        In.P, *In.CG, *In.Masks, In.IModPlus);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Combined_SizeSweep)
+    ->RangeMultiplier(2)
+    ->Range(32, 2048)
+    ->Complexity();
+
+/// dP = 1 sanity point: both must essentially match findgmod's cost.
+void BM_Combined_TwoLevel(benchmark::State &State) {
+  PipelineInput In{
+      synth::makeFortranStyleProgram(static_cast<unsigned>(State.range(0)),
+                                     64, 3, 7)};
+  for (auto _ : State) {
+    analysis::GModResult R = analysis::solveMultiLevelCombined(
+        In.P, *In.CG, *In.Masks, In.IModPlus);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Combined_TwoLevel)
+    ->RangeMultiplier(2)
+    ->Range(64, 2048)
+    ->Complexity();
+
+void BM_FindGMod_TwoLevel(benchmark::State &State) {
+  PipelineInput In{
+      synth::makeFortranStyleProgram(static_cast<unsigned>(State.range(0)),
+                                     64, 3, 7)};
+  for (auto _ : State) {
+    analysis::GModResult R =
+        analysis::solveGMod(In.P, *In.CG, *In.Masks, In.IModPlus);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_FindGMod_TwoLevel)
+    ->RangeMultiplier(2)
+    ->Range(64, 2048)
+    ->Complexity();
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- bench/bench_rmod.cpp - E1: Figure 1 vs bit-vector RMOD ------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E1 (DESIGN.md): the §3.2 claim.  The binding-multi-graph
+// algorithm of Figure 1 solves RMOD in O(Nβ + Eβ) *simple boolean* steps;
+// the prior swift-style approach needs bit-vector operations on vectors of
+// length Nβ over the call graph, and round-robin iteration on β pays the
+// chain-depth multiplier.  Series to compare with the paper: linear time
+// growth for Figure 1; growing per-step cost (word ops) for the bit-vector
+// baseline; superlinear growth for round-robin on deep chains.
+//
+// Counters: steps   = simple boolean steps (Figure 1 / iterative),
+//           bvsteps = bit-vector operations (swift-style),
+//           words   = 64-bit words touched by bit-vector ops (swift-style).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "baselines/RModIterative.h"
+#include "baselines/SwiftStyleSolver.h"
+#include "synth/ProgramGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ipse;
+using namespace ipse::bench;
+
+namespace {
+
+/// Parameter-chain program: main -> p1 -> ... -> pN, k formals passed
+/// straight through; the worst case for round-robin.
+PipelineInput chainInput(unsigned N, unsigned K) {
+  return PipelineInput(synth::makeChainProgram(N, K));
+}
+
+/// One big binding cycle of length N.
+PipelineInput cycleInput(unsigned N, unsigned K) {
+  return PipelineInput(synth::makeCycleProgram(N, K));
+}
+
+void BM_Figure1_Chain(benchmark::State &State) {
+  PipelineInput In = chainInput(static_cast<unsigned>(State.range(0)), 3);
+  std::uint64_t Steps = 0;
+  for (auto _ : State) {
+    analysis::RModResult R = analysis::solveRMod(In.P, *In.BG, *In.Local);
+    benchmark::DoNotOptimize(R);
+    Steps = R.BooleanSteps;
+  }
+  State.counters["steps"] = static_cast<double>(Steps);
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Figure1_Chain)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_IterativeBeta_Chain(benchmark::State &State) {
+  PipelineInput In = chainInput(static_cast<unsigned>(State.range(0)), 3);
+  std::uint64_t Steps = 0;
+  for (auto _ : State) {
+    analysis::RModResult R =
+        baselines::solveRModIterative(In.P, *In.BG, *In.Local);
+    benchmark::DoNotOptimize(R);
+    Steps = R.BooleanSteps;
+  }
+  State.counters["steps"] = static_cast<double>(Steps);
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_IterativeBeta_Chain)
+    ->RangeMultiplier(4)
+    ->Range(64, 16384)
+    ->Complexity();
+
+void BM_SwiftBitVector_Chain(benchmark::State &State) {
+  PipelineInput In = chainInput(static_cast<unsigned>(State.range(0)), 3);
+  std::uint64_t BvSteps = 0, Words = 0;
+  for (auto _ : State) {
+    BitVector::resetOpCount();
+    baselines::SwiftRModResult R =
+        baselines::solveSwiftRMod(In.P, *In.CG, *In.Masks, *In.Local);
+    benchmark::DoNotOptimize(R);
+    BvSteps = R.BitVectorSteps;
+    Words = BitVector::opCount();
+  }
+  State.counters["bvsteps"] = static_cast<double>(BvSteps);
+  State.counters["words"] = static_cast<double>(Words);
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_SwiftBitVector_Chain)
+    ->RangeMultiplier(4)
+    ->Range(64, 16384)
+    ->Complexity();
+
+void BM_Figure1_Cycle(benchmark::State &State) {
+  PipelineInput In = cycleInput(static_cast<unsigned>(State.range(0)), 3);
+  for (auto _ : State) {
+    analysis::RModResult R = analysis::solveRMod(In.P, *In.BG, *In.Local);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Figure1_Cycle)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_SwiftBitVector_Cycle(benchmark::State &State) {
+  PipelineInput In = cycleInput(static_cast<unsigned>(State.range(0)), 3);
+  for (auto _ : State) {
+    baselines::SwiftRModResult R =
+        baselines::solveSwiftRMod(In.P, *In.CG, *In.Masks, *In.Local);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_SwiftBitVector_Cycle)
+    ->RangeMultiplier(4)
+    ->Range(64, 16384)
+    ->Complexity();
+
+/// Average-parameter-count sweep at fixed N: the "k" of §3.1.  Figure 1's
+/// cost grows with k (β grows by the factor k); the bit-vector baseline's
+/// per-step cost grows with total formal count as well.
+void BM_Figure1_ParamCount(benchmark::State &State) {
+  PipelineInput In = chainInput(2048, static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    analysis::RModResult R = analysis::solveRMod(In.P, *In.BG, *In.Local);
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["Ebeta"] = static_cast<double>(In.BG->numEdges());
+}
+BENCHMARK(BM_Figure1_ParamCount)->DenseRange(1, 17, 4);
+
+void BM_SwiftBitVector_ParamCount(benchmark::State &State) {
+  PipelineInput In = chainInput(2048, static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    baselines::SwiftRModResult R =
+        baselines::solveSwiftRMod(In.P, *In.CG, *In.Masks, *In.Local);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_SwiftBitVector_ParamCount)->DenseRange(1, 17, 4);
+
+/// Random parameter-heavy programs (β with many overlapping components).
+void BM_Figure1_Random(benchmark::State &State) {
+  synth::ProgramGenConfig Cfg;
+  Cfg.Seed = 42;
+  Cfg.NumProcs = static_cast<unsigned>(State.range(0));
+  Cfg.NumGlobals = 4;
+  Cfg.MaxFormals = 4;
+  Cfg.FormalActualBiasPct = 80;
+  PipelineInput In{synth::generateProgram(Cfg)};
+  for (auto _ : State) {
+    analysis::RModResult R = analysis::solveRMod(In.P, *In.BG, *In.Local);
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_Figure1_Random)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+} // namespace

@@ -1,0 +1,136 @@
+//===- examples/analyze_source.cpp - MOD/USE report for MiniProc source -------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// A small "compiler driver": parses a MiniProc source file, runs the whole
+// pipeline, and prints the report an optimizer would consume — GMOD/GUSE
+// per procedure and DMOD/DUSE per call site.  With --dot it also emits the
+// call multi-graph and the binding multi-graph in GraphViz syntax.
+//
+//   usage: analyze_source [--dot] [file.mp]
+//
+// Without a file argument it analyzes a built-in sample that exercises
+// nesting, recursion, and reference parameters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SideEffectAnalyzer.h"
+#include "frontend/Frontend.h"
+#include "graph/Dot.h"
+#include "ir/Printer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ipse;
+using namespace ipse::ir;
+
+namespace {
+
+const char *SampleSource = R"(// Built-in sample: nesting + recursion + reference parameters.
+program sample;
+var total, depth;
+
+proc bump(x);
+begin
+  x := x + 1;
+end;
+
+proc walk(n);
+  var local;
+  proc note();
+  begin
+    total := total + n;   // nested proc writes a global and reads a formal
+  end;
+begin
+  if n then
+    call note();
+    call bump(depth);     // global passed by reference
+    call walk(n);         // recursion
+  end;
+  local := n;
+end;
+
+begin
+  call walk(depth);
+  write total;
+end.
+)";
+
+std::string readFileOrSample(const char *Path) {
+  if (!Path)
+    return SampleSource;
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    std::exit(1);
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool EmitDot = false;
+  const char *Path = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--dot")
+      EmitDot = true;
+    else
+      Path = argv[I];
+  }
+
+  std::string Source = readFileOrSample(Path);
+  frontend::CompileResult R = frontend::compileMiniProc(Source);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "%s", R.Diags.renderAll().c_str());
+    return 1;
+  }
+  const Program &P = *R.Program;
+
+  analysis::SideEffectAnalyzer Mod(P);
+  analysis::AnalyzerOptions UseOpts;
+  UseOpts.Kind = analysis::EffectKind::Use;
+  analysis::SideEffectAnalyzer Use(P, UseOpts);
+
+  if (EmitDot) {
+    std::printf("%s\n", graph::callGraphToDot(P, Mod.callGraph()).c_str());
+    std::printf("%s\n",
+                graph::bindingGraphToDot(P, Mod.bindingGraph()).c_str());
+    return 0;
+  }
+
+  std::printf("Per-procedure summaries (dP = %u, %zu procedures, "
+              "%zu call sites, beta: %zu nodes / %zu edges):\n\n",
+              P.maxProcLevel(), P.numProcs(), P.numCallSites(),
+              Mod.bindingGraph().numNodes(), Mod.bindingGraph().numEdges());
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    ProcId Proc(I);
+    std::printf("  %s\n", P.name(Proc).c_str());
+    std::printf("    GMOD = { %s }\n",
+                Mod.setToString(Mod.gmod(Proc)).c_str());
+    std::printf("    GUSE = { %s }\n",
+                Use.setToString(Use.gmod(Proc)).c_str());
+  }
+
+  std::printf("\nPer-call-site summaries:\n\n");
+  for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
+    CallSiteId Site(I);
+    const CallSite &C = P.callSite(Site);
+    std::printf("  call %s from %s\n", P.name(C.Callee).c_str(),
+                P.name(C.Caller).c_str());
+    std::printf("    DMOD = { %s }\n",
+                Mod.setToString(Mod.dmod(Site)).c_str());
+    std::printf("    DUSE = { %s }\n",
+                Use.setToString(Use.dmod(Site)).c_str());
+  }
+  return 0;
+}

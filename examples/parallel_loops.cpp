@@ -1,0 +1,99 @@
+//===- examples/parallel_loops.cpp - §6 sections for parallelization ----------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// The motivating scenario of §6: a loop whose body calls a procedure that
+// updates an array.  Whole-array MOD information ("UPDATE modifies A")
+// forces the loop serial; regular sections ("UPDATE modifies row i of A")
+// prove the iterations independent.  This example runs both analyses on
+//
+//   DO i = 1, n
+//     CALL update(A, i)       ! update(r, i) writes r(i, *) through step()
+//   END DO
+//
+// modeled as: main calls update(A, i); update(r, i) calls step(r-row-i).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegularSectionAnalysis.h"
+#include "analysis/SideEffectAnalyzer.h"
+#include "ir/Printer.h"
+#include "ir/ProgramBuilder.h"
+
+#include <cstdio>
+
+using namespace ipse;
+using namespace ipse::ir;
+using namespace ipse::analysis;
+
+int main() {
+  // ---- The program. --------------------------------------------------------
+  ProgramBuilder B;
+  ProcId Main = B.createMain("main");
+  VarId A = B.addGlobal("A");  // the 2-d array
+  VarId IV = B.addGlobal("i"); // the loop index
+
+  // step(row): writes every element of its 1-d view.
+  ProcId Step = B.createProc("step", Main);
+  VarId Row = B.addFormal(Step, "row");
+  StmtId SS = B.addStmt(Step);
+  B.addMod(SS, Row);
+
+  // update(r, k): passes row k of r to step.
+  ProcId Update = B.createProc("update", Main);
+  VarId Rf = B.addFormal(Update, "r");
+  VarId Kf = B.addFormal(Update, "k");
+  B.addCallStmt(Update, Step, {Rf}); // annotated as a row binding below
+
+  // main: the loop body is `call update(A, i)`.
+  StmtId LoopBody = B.addStmt(Main);
+  B.addUse(LoopBody, IV);
+  B.addCall(LoopBody, Update, std::vector<VarId>{A, IV});
+  Program P = B.finish();
+
+  std::printf("Loop body under analysis:  DO i: call update(A, i)\n\n");
+
+  // ---- Classical whole-array MOD. -------------------------------------------
+  SideEffectAnalyzer Mod(P);
+  std::printf("Whole-array analysis (standard framework):\n");
+  std::printf("  DMOD(loop body) = { %s }\n",
+              Mod.setToString(Mod.dmod(LoopBody)).c_str());
+  std::printf("  -> A is modified as a unit; iterations i and i' conflict;"
+              " the loop is SERIAL.\n\n");
+
+  // ---- Regular sections (§6). ------------------------------------------------
+  graph::BindingGraph &BG =
+      const_cast<graph::BindingGraph &>(Mod.bindingGraph());
+  RsdProblem Problem(P, BG);
+  Problem.setFormalArray(Row, 1);
+  Problem.setFormalArray(Rf, 2);
+  // step writes its whole 1-d view.
+  Problem.setLocalSection(Row, RegularSection::whole(1));
+  // The binding event r -> row is "row k of r".
+  graph::NodeId RNode = BG.nodeOf(Rf);
+  for (const graph::Adjacency &Adj : BG.graph().succs(RNode))
+    Problem.setEdgeBinding(Adj.Edge,
+                           SectionBinding::rowOf(Subscript::symbol(Kf)));
+
+  RsdResult Sections = solveRsd(Problem);
+  std::printf("Regular-section analysis (Figure 3 lattice):\n");
+  std::printf("  rsd(step.row)  = %s\n", Sections.of(Row).toString().c_str());
+  std::printf("  rsd(update.r)  = %s   (k = update's second formal)\n",
+              Sections.of(Rf).toString().c_str());
+
+  // At the call site, k is bound to the loop index i: iteration i touches
+  // A(i, *).  Distinct iterations mean distinct constant rows:
+  RegularSection Iter1 = RegularSection::section2(Subscript::constant(1),
+                                                  Subscript::star());
+  RegularSection Iter2 = RegularSection::section2(Subscript::constant(2),
+                                                  Subscript::star());
+  std::printf("\n  iteration i=1 touches A%s, i=2 touches A%s\n",
+              Iter1.toString().c_str(), Iter2.toString().c_str());
+  std::printf("  sections intersect? %s\n",
+              Iter1.mayIntersect(Iter2) ? "yes" : "no");
+  std::printf("  -> each iteration owns one row; the loop is PARALLEL.\n");
+  return 0;
+}

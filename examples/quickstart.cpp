@@ -1,0 +1,93 @@
+//===- examples/quickstart.cpp - Build a program, ask for its side effects ----===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// The five-minute tour: construct a small program with ProgramBuilder, run
+// SideEffectAnalyzer, and read off RMOD / GMOD / DMOD / MOD.  The program
+// is the paper-style example used throughout the test suite:
+//
+//   program main; var g, h;
+//     proc q(c);        begin c := g; end;
+//     proc p(a, b); var x;
+//       begin x := a + 1; call q(b); h := 2; end;
+//   begin call p(g, h); write g; end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasEstimator.h"
+#include "analysis/SideEffectAnalyzer.h"
+#include "ir/Printer.h"
+#include "ir/ProgramBuilder.h"
+
+#include <cstdio>
+
+using namespace ipse;
+using namespace ipse::ir;
+
+int main() {
+  // ---- Build the program. -------------------------------------------------
+  ProgramBuilder B;
+  ProcId Main = B.createMain("main");
+  VarId G = B.addGlobal("g");
+  VarId H = B.addGlobal("h");
+
+  ProcId Q = B.createProc("q", Main);
+  VarId C = B.addFormal(Q, "c");
+  StmtId QS = B.addStmt(Q); // c := g
+  B.addMod(QS, C);
+  B.addUse(QS, G);
+
+  ProcId P = B.createProc("p", Main);
+  VarId A = B.addFormal(P, "a");
+  VarId Bv = B.addFormal(P, "b");
+  VarId X = B.addLocal(P, "x");
+  StmtId PS = B.addStmt(P); // x := a + 1
+  B.addMod(PS, X);
+  B.addUse(PS, A);
+  B.addCallStmt(P, Q, {Bv}); // call q(b)
+  StmtId PH = B.addStmt(P);  // h := 2
+  B.addMod(PH, H);
+
+  StmtId CallStmt = B.addStmt(Main); // call p(g, h)
+  B.addCall(CallStmt, P, std::vector<VarId>{G, H});
+
+  Program Prog = B.finish();
+  std::printf("The program under analysis:\n%s\n",
+              printProgram(Prog).c_str());
+
+  // ---- Run the Cooper-Kennedy pipeline (MOD). -----------------------------
+  analysis::SideEffectAnalyzer Mod(Prog);
+
+  std::printf("RMOD (formals modified by an invocation of their owner):\n");
+  for (VarId F : {C, A, Bv})
+    std::printf("  %-6s : %s\n", qualifiedName(Prog, F).c_str(),
+                Mod.rmodContains(F) ? "modified" : "not modified");
+
+  std::printf("\nGMOD per procedure:\n");
+  for (std::uint32_t I = 0; I != Prog.numProcs(); ++I)
+    std::printf("  GMOD(%-4s) = { %s }\n", Prog.name(ProcId(I)).c_str(),
+                Mod.setToString(Mod.gmod(ProcId(I))).c_str());
+
+  std::printf("\nDMOD of the call site `call p(g, h)` in main:\n");
+  std::printf("  DMOD = { %s }\n",
+              Mod.setToString(Mod.dmod(CallStmt)).c_str());
+
+  // ---- Factor in aliases (§5). --------------------------------------------
+  AliasInfo Aliases = analysis::estimateAliases(Prog);
+  std::printf("\nMOD of the same call site under estimated aliases:\n");
+  std::printf("  MOD  = { %s }\n",
+              Mod.setToString(Mod.mod(CallStmt, Aliases)).c_str());
+
+  // ---- The USE problem is the same pipeline with the other seed sets. -----
+  analysis::AnalyzerOptions UseOpts;
+  UseOpts.Kind = analysis::EffectKind::Use;
+  analysis::SideEffectAnalyzer Use(Prog, UseOpts);
+  std::printf("\nGUSE per procedure:\n");
+  for (std::uint32_t I = 0; I != Prog.numProcs(); ++I)
+    std::printf("  GUSE(%-4s) = { %s }\n", Prog.name(ProcId(I)).c_str(),
+                Use.setToString(Use.gmod(ProcId(I))).c_str());
+  return 0;
+}

@@ -1,0 +1,102 @@
+//===- analysis/AliasEstimator.cpp - Reference-parameter aliases --------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasEstimator.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+using namespace ipse;
+using namespace ipse::analysis;
+using namespace ipse::ir;
+
+namespace {
+
+/// Normalized (smaller id first) unordered pair.
+using Pair = std::pair<VarId, VarId>;
+
+Pair makePair(VarId X, VarId Y) {
+  if (Y < X)
+    std::swap(X, Y);
+  return {X, Y};
+}
+
+} // namespace
+
+AliasInfo analysis::estimateAliases(const Program &P) {
+  std::vector<std::set<Pair>> Sets(P.numProcs());
+
+  // All the names a variable known in the caller answers to inside the
+  // callee of call site C: every formal it is bound to, plus itself when
+  // it stays visible (with nested scoping a variable can be both passed
+  // *and* still directly visible — both identities alias).
+  auto mapIntoCallee = [&P](const CallSite &C,
+                            VarId V) -> std::vector<VarId> {
+    std::vector<VarId> Images;
+    const Procedure &Callee = P.proc(C.Callee);
+    for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos)
+      if (C.Actuals[Pos].isVariable() && C.Actuals[Pos].Var == V)
+        Images.push_back(Callee.Formals[Pos]);
+    if (P.isVisibleIn(V, C.Callee))
+      Images.push_back(V);
+    return Images;
+  };
+
+  // Introduction pairs, directly from each call site.
+  for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
+    const CallSite &C = P.callSite(CallSiteId(I));
+    const Procedure &Callee = P.proc(C.Callee);
+    for (unsigned A = 0; A != C.Actuals.size(); ++A) {
+      if (!C.Actuals[A].isVariable())
+        continue;
+      VarId Var = C.Actuals[A].Var;
+      // Same variable bound to two formals.
+      for (unsigned B = A + 1; B != C.Actuals.size(); ++B)
+        if (C.Actuals[B].isVariable() && C.Actuals[B].Var == Var)
+          Sets[C.Callee.index()].insert(
+              makePair(Callee.Formals[A], Callee.Formals[B]));
+      // Variable still visible inside the callee bound to a formal.
+      if (P.isVisibleIn(Var, C.Callee))
+        Sets[C.Callee.index()].insert(makePair(Callee.Formals[A], Var));
+    }
+  }
+
+  // Propagate pairs through calls to a fixpoint.
+  std::vector<bool> InWorklist(P.numProcs(), true);
+  std::vector<ProcId> Worklist;
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    Worklist.push_back(ProcId(I));
+
+  while (!Worklist.empty()) {
+    ProcId Caller = Worklist.back();
+    Worklist.pop_back();
+    InWorklist[Caller.index()] = false;
+
+    for (CallSiteId Site : P.proc(Caller).CallSites) {
+      const CallSite &C = P.callSite(Site);
+      bool Changed = false;
+      for (const Pair &Pr : Sets[Caller.index()]) {
+        for (VarId X : mapIntoCallee(C, Pr.first))
+          for (VarId Y : mapIntoCallee(C, Pr.second))
+            if (X != Y)
+              Changed |=
+                  Sets[C.Callee.index()].insert(makePair(X, Y)).second;
+      }
+      if (Changed && !InWorklist[C.Callee.index()]) {
+        InWorklist[C.Callee.index()] = true;
+        Worklist.push_back(C.Callee);
+      }
+    }
+  }
+
+  AliasInfo Result(P);
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    for (const Pair &Pr : Sets[I])
+      Result.addPair(ProcId(I), Pr.first, Pr.second);
+  return Result;
+}

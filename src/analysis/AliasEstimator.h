@@ -1,0 +1,45 @@
+//===- analysis/AliasEstimator.h - Reference-parameter aliases --*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Beyond-paper extension (see DESIGN.md): the paper assumes the ALIAS(p)
+/// pair sets are given ("the method assumes that simple sets of alias
+/// pairs are available for each procedure").  So that §5 is runnable end to
+/// end, this utility computes the reference-parameter-induced pairs in the
+/// style of Banning's companion problem:
+///
+///   * passing the same variable to two formals of q introduces a
+///     formal/formal pair in ALIAS(q);
+///   * passing a variable that remains visible inside q (a global, or a
+///     variable of one of q's lexical ancestors) to a formal introduces a
+///     formal/variable pair in ALIAS(q);
+///   * pairs propagate through calls: each element of a pair holding in
+///     the caller maps to the bound formal (if passed) or to itself (if
+///     still visible in the callee), and the mapped pair holds in the
+///     callee.
+///
+/// Solved by a worklist to a fixpoint; pair universes are finite, so it
+/// terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_ALIASESTIMATOR_H
+#define IPSE_ANALYSIS_ALIASESTIMATOR_H
+
+#include "ir/AliasInfo.h"
+#include "ir/Program.h"
+
+namespace ipse {
+namespace analysis {
+
+/// Computes reference-parameter-induced alias pairs for every procedure.
+ir::AliasInfo estimateAliases(const ir::Program &P);
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_ALIASESTIMATOR_H

@@ -1,0 +1,218 @@
+//===- analysis/BoundedSection.cpp - Range-based regular sections -------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BoundedSection.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace ipse;
+using namespace ipse::analysis;
+
+DimRange DimRange::interval(std::int64_t Lo, std::int64_t Hi) {
+  assert(Lo <= Hi && "empty interval");
+  // Canonical form: a degenerate interval is a constant point, so that
+  // structurally equal denotations compare equal.
+  if (Lo == Hi)
+    return point(Subscript::constant(static_cast<std::int32_t>(Lo)));
+  return DimRange(Lo, Hi);
+}
+
+DimRange DimRange::full() { return DimRange(Kind::Full); }
+
+DimRange DimRange::meet(const DimRange &RHS) const {
+  if (K == Kind::Full || RHS.K == Kind::Full)
+    return full();
+  if (*this == RHS)
+    return *this;
+
+  // Symbolic points mix with nothing unequal: widen the dimension.
+  bool LhsSym =
+      K == Kind::Point && Sub.kind() == Subscript::Kind::Symbol;
+  bool RhsSym =
+      RHS.K == Kind::Point && RHS.Sub.kind() == Subscript::Kind::Symbol;
+  if (LhsSym || RhsSym)
+    return full();
+  // A point * (from a widened Figure-3 element) also fills the dimension.
+  if ((K == Kind::Point && Sub.isStar()) ||
+      (RHS.K == Kind::Point && RHS.Sub.isStar()))
+    return full();
+
+  // All remaining operands are constant points or intervals: hull them.
+  auto bounds = [](const DimRange &R, std::int64_t &Lo, std::int64_t &Hi) {
+    if (R.K == Kind::Point)
+      Lo = Hi = R.Sub.constantValue();
+    else {
+      Lo = R.Lo;
+      Hi = R.Hi;
+    }
+  };
+  std::int64_t ALo, AHi, BLo, BHi;
+  bounds(*this, ALo, AHi);
+  bounds(RHS, BLo, BHi);
+  return interval(std::min(ALo, BLo), std::max(AHi, BHi));
+}
+
+bool DimRange::contains(const DimRange &RHS) const {
+  if (K == Kind::Full)
+    return true;
+  if (RHS.K == Kind::Full)
+    return false;
+  if (K == Kind::Point)
+    return *this == RHS;
+  // Interval container: constant points and sub-intervals only.
+  if (RHS.K == Kind::Point)
+    return RHS.Sub.kind() == Subscript::Kind::Constant &&
+           RHS.Sub.constantValue() >= Lo && RHS.Sub.constantValue() <= Hi;
+  return RHS.Lo >= Lo && RHS.Hi <= Hi;
+}
+
+bool DimRange::mayOverlap(const DimRange &RHS) const {
+  if (K == Kind::Full || RHS.K == Kind::Full)
+    return true;
+  auto isConstPoint = [](const DimRange &R) {
+    return R.K == Kind::Point &&
+           R.Sub.kind() == Subscript::Kind::Constant;
+  };
+  if (K == Kind::Point && RHS.K == Kind::Point)
+    return Sub.mayEqual(RHS.Sub);
+  // Point vs interval.
+  if (K == Kind::Point)
+    return !isConstPoint(*this) || (Sub.constantValue() >= RHS.Lo &&
+                                    Sub.constantValue() <= RHS.Hi);
+  if (RHS.K == Kind::Point)
+    return RHS.mayOverlap(*this);
+  // Interval vs interval: classical overlap test.
+  return Lo <= RHS.Hi && RHS.Lo <= Hi;
+}
+
+bool DimRange::operator==(const DimRange &RHS) const {
+  if (K != RHS.K)
+    return false;
+  switch (K) {
+  case Kind::Point:
+    return Sub == RHS.Sub;
+  case Kind::Interval:
+    return Lo == RHS.Lo && Hi == RHS.Hi;
+  case Kind::Full:
+    return true;
+  }
+  return false;
+}
+
+std::string DimRange::toString() const {
+  switch (K) {
+  case Kind::Point:
+    return Sub.toString();
+  case Kind::Interval:
+    return std::to_string(Lo) + ":" + std::to_string(Hi);
+  case Kind::Full:
+    return "*";
+  }
+  return "?";
+}
+
+BoundedSection BoundedSection::none(unsigned Rank) {
+  BoundedSection S(Rank);
+  S.IsNone = true;
+  return S;
+}
+
+BoundedSection BoundedSection::whole(unsigned Rank) {
+  return BoundedSection(Rank);
+}
+
+BoundedSection BoundedSection::make1(DimRange D0) {
+  BoundedSection S(1);
+  S.Dims[0] = D0;
+  return S;
+}
+
+BoundedSection BoundedSection::make2(DimRange D0, DimRange D1) {
+  BoundedSection S(2);
+  S.Dims[0] = D0;
+  S.Dims[1] = D1;
+  return S;
+}
+
+BoundedSection BoundedSection::fromRegularSection(const RegularSection &S) {
+  if (S.isNone())
+    return none(S.rank());
+  BoundedSection Out(S.rank());
+  for (unsigned D = 0; D != S.rank(); ++D)
+    Out.Dims[D] =
+        S.sub(D).isStar() ? DimRange::full() : DimRange::point(S.sub(D));
+  return Out;
+}
+
+bool BoundedSection::isWhole() const {
+  if (IsNone)
+    return false;
+  for (unsigned D = 0; D != Rank; ++D)
+    if (!Dims[D].isFull())
+      return false;
+  return true;
+}
+
+BoundedSection BoundedSection::meet(const BoundedSection &RHS) const {
+  assert(Rank == RHS.Rank && "meet of sections of different rank");
+  if (IsNone)
+    return RHS;
+  if (RHS.IsNone)
+    return *this;
+  BoundedSection Out(Rank);
+  for (unsigned D = 0; D != Rank; ++D)
+    Out.Dims[D] = Dims[D].meet(RHS.Dims[D]);
+  return Out;
+}
+
+bool BoundedSection::contains(const BoundedSection &RHS) const {
+  assert(Rank == RHS.Rank && "containment of sections of different rank");
+  if (RHS.IsNone)
+    return true;
+  if (IsNone)
+    return false;
+  for (unsigned D = 0; D != Rank; ++D)
+    if (!Dims[D].contains(RHS.Dims[D]))
+      return false;
+  return true;
+}
+
+bool BoundedSection::mayIntersect(const BoundedSection &RHS) const {
+  assert(Rank == RHS.Rank && "intersection of sections of different rank");
+  if (IsNone || RHS.IsNone)
+    return false;
+  for (unsigned D = 0; D != Rank; ++D)
+    if (!Dims[D].mayOverlap(RHS.Dims[D]))
+      return false;
+  return true;
+}
+
+bool BoundedSection::operator==(const BoundedSection &RHS) const {
+  if (Rank != RHS.Rank || IsNone != RHS.IsNone)
+    return false;
+  if (IsNone)
+    return true;
+  for (unsigned D = 0; D != Rank; ++D)
+    if (Dims[D] != RHS.Dims[D])
+      return false;
+  return true;
+}
+
+std::string BoundedSection::toString() const {
+  if (IsNone)
+    return "none";
+  std::ostringstream OS;
+  OS << "(";
+  for (unsigned D = 0; D != Rank; ++D) {
+    if (D != 0)
+      OS << ",";
+    OS << Dims[D].toString();
+  }
+  OS << ")";
+  return OS.str();
+}

@@ -1,0 +1,149 @@
+//===- analysis/BoundedSection.h - Range-based regular sections -*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Beyond-paper extension (DESIGN.md): §6 notes that "a variety of
+/// algorithms can be accommodated in the regular section framework —
+/// these algorithms would differ only in the cost of the representation
+/// of lattice elements, ... the expense of the meet operation and the
+/// depth of the lattice".  This is a second, richer lattice instance in
+/// the style of Callahan & Kennedy's full regular sections: each array
+/// dimension carries a *range* — a single subscript (possibly symbolic)
+/// or a constant interval [lo, hi] (possibly unbounded) — so strided
+/// blocks like A(1:8, j) are representable, not just rows/columns.
+///
+/// Meet is the per-dimension convex hull; the lattice has greater depth
+/// than Figure 3's (an interval can widen many times), which is exactly
+/// the trade-off the paper discusses: the framework still converges
+/// because every dimension's interval can only widen monotonically to the
+/// hull of the constants that appear, and symbolic points jump straight
+/// to the full dimension when mixed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_BOUNDEDSECTION_H
+#define IPSE_ANALYSIS_BOUNDEDSECTION_H
+
+#include "analysis/RegularSection.h"
+
+#include <cstdint>
+#include <string>
+
+namespace ipse {
+namespace analysis {
+
+/// The affected index range of one array dimension.
+class DimRange {
+public:
+  /// A single (possibly symbolic) index.
+  static DimRange point(Subscript S) { return DimRange(S); }
+  /// A constant interval [Lo, Hi]; Lo <= Hi.
+  static DimRange interval(std::int64_t Lo, std::int64_t Hi);
+  /// The whole dimension.
+  static DimRange full();
+
+  bool isPoint() const { return K == Kind::Point; }
+  bool isInterval() const { return K == Kind::Interval; }
+  bool isFull() const { return K == Kind::Full; }
+
+  const Subscript &pointSubscript() const {
+    assert(isPoint() && "not a point range");
+    return Sub;
+  }
+  std::int64_t lo() const {
+    assert(isInterval() && "not an interval");
+    return Lo;
+  }
+  std::int64_t hi() const {
+    assert(isInterval() && "not an interval");
+    return Hi;
+  }
+
+  /// Convex-hull meet.  Two distinct constant points hull to an interval;
+  /// symbolic points hull to Full against anything unequal.
+  DimRange meet(const DimRange &RHS) const;
+
+  /// True if every index RHS may touch is covered by this range.
+  bool contains(const DimRange &RHS) const;
+
+  /// Could the two ranges share an index?  Exact for constants and
+  /// intervals; conservative (true) once a symbol is involved.
+  bool mayOverlap(const DimRange &RHS) const;
+
+  bool operator==(const DimRange &RHS) const;
+  bool operator!=(const DimRange &RHS) const { return !(*this == RHS); }
+
+  std::string toString() const;
+
+private:
+  enum class Kind { Point, Interval, Full };
+
+  explicit DimRange(Subscript S) : K(Kind::Point), Sub(S) {}
+  DimRange(std::int64_t Lo, std::int64_t Hi)
+      : K(Kind::Interval), Sub(Subscript::star()), Lo(Lo), Hi(Hi) {}
+  explicit DimRange(Kind K) : K(K), Sub(Subscript::star()) {}
+
+  Kind K;
+  Subscript Sub;
+  std::int64_t Lo = 0;
+  std::int64_t Hi = 0;
+};
+
+/// A bounded regular section: None, or a DimRange per dimension.
+class BoundedSection {
+public:
+  static constexpr unsigned MaxRank = 2;
+
+  static BoundedSection none(unsigned Rank);
+  static BoundedSection whole(unsigned Rank);
+  static BoundedSection make1(DimRange D0);
+  static BoundedSection make2(DimRange D0, DimRange D1);
+
+  /// Widens a Figure-3 section into this lattice (element -> point,
+  /// */row/column -> full dimension); the embedding is exact.
+  static BoundedSection fromRegularSection(const RegularSection &S);
+
+  unsigned rank() const { return Rank; }
+  bool isNone() const { return IsNone; }
+  bool isWhole() const;
+
+  const DimRange &dim(unsigned D) const {
+    assert(!IsNone && D < Rank && "bad dimension");
+    return Dims[D];
+  }
+
+  /// Lattice meet (per-dimension hull; None is the identity).
+  BoundedSection meet(const BoundedSection &RHS) const;
+
+  /// Effect containment (lattice order).
+  bool contains(const BoundedSection &RHS) const;
+
+  /// Dependence test: could the two sections touch a common element?
+  bool mayIntersect(const BoundedSection &RHS) const;
+
+  bool operator==(const BoundedSection &RHS) const;
+  bool operator!=(const BoundedSection &RHS) const {
+    return !(*this == RHS);
+  }
+
+  std::string toString() const;
+
+private:
+  explicit BoundedSection(unsigned Rank)
+      : Rank(Rank), IsNone(false), Dims{DimRange::full(), DimRange::full()} {
+    assert(Rank <= MaxRank && "rank out of range");
+  }
+
+  unsigned Rank;
+  bool IsNone;
+  DimRange Dims[MaxRank];
+};
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_BOUNDEDSECTION_H

@@ -1,0 +1,59 @@
+//===- analysis/DMod.cpp - DMOD and MOD at call sites -------------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DMod.h"
+
+using namespace ipse;
+using namespace ipse::analysis;
+
+BitVector analysis::projectCallSite(const ir::Program &P, const VarMasks &Masks,
+                                    const GModResult &GMod,
+                                    ir::CallSiteId Site) {
+  const ir::CallSite &C = P.callSite(Site);
+  const ir::Procedure &Callee = P.proc(C.Callee);
+  const BitVector &G = GMod.of(C.Callee);
+
+  // Pass-through of everything that outlives the callee's activation.
+  BitVector Out(P.numVars());
+  Out.orWithAndNot(G, Masks.local(C.Callee));
+
+  // Formal-to-actual projection.
+  for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos) {
+    const ir::Actual &A = C.Actuals[Pos];
+    if (A.isVariable() && G.test(Callee.Formals[Pos].index()))
+      Out.set(A.Var.index());
+  }
+  return Out;
+}
+
+BitVector analysis::dmodOfStmt(const ir::Program &P, const VarMasks &Masks,
+                               const GModResult &GMod, ir::StmtId S) {
+  const ir::Statement &Stmt = P.stmt(S);
+  BitVector Out(P.numVars());
+  for (ir::VarId V : Stmt.LMod)
+    Out.set(V.index());
+  for (ir::CallSiteId C : Stmt.Calls)
+    Out.orWith(projectCallSite(P, Masks, GMod, C));
+  return Out;
+}
+
+BitVector analysis::modOfStmt(const ir::Program &P, const VarMasks &Masks,
+                              const GModResult &GMod,
+                              const ir::AliasInfo &Aliases, ir::StmtId S) {
+  const BitVector DMod = dmodOfStmt(P, Masks, GMod, S);
+  ir::ProcId Proc = P.stmt(S).Parent;
+  // One application of the pairs against DMOD(s): aliases of DMOD members
+  // join MOD, but newly added variables do not trigger further pairs (§5).
+  BitVector Out = DMod;
+  for (const auto &[X, Y] : Aliases.pairs(Proc)) {
+    if (DMod.test(X.index()))
+      Out.set(Y.index());
+    if (DMod.test(Y.index()))
+      Out.set(X.index());
+  }
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- analysis/DMod.h - DMOD and MOD at call sites -------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The final projection steps of the pipeline (§2 equation (2) and §5):
+///
+///   DMOD(s) = LMOD(s) ∪ ∪_{e=(p,q)∈s} be(GMOD(q))
+///
+/// where the full binding function be at a call of q (i) passes through
+/// every member of GMOD(q) that is not local to q (it survives q's return)
+/// and (ii) maps each formal of q in GMOD(q) to the variable actual bound
+/// to it (non-variable actuals bind no storage and are dropped).  MOD(s)
+/// then extends DMOD(s) by one application of the ALIAS(p) pairs:
+///
+///   ∀x ∈ DMOD(s): if <x,y> ∈ ALIAS(p) then y ∈ MOD(s).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_DMOD_H
+#define IPSE_ANALYSIS_DMOD_H
+
+#include "analysis/GMod.h"
+#include "analysis/VarMasks.h"
+#include "ir/AliasInfo.h"
+#include "ir/Program.h"
+#include "support/BitVector.h"
+
+namespace ipse {
+namespace analysis {
+
+/// be(GMOD(q)) for one call site: the call's contribution to the DMOD of
+/// its enclosing statement.  O(|vars| / word + formals of q).
+BitVector projectCallSite(const ir::Program &P, const VarMasks &Masks,
+                          const GModResult &GMod, ir::CallSiteId Site);
+
+/// DMOD(s) by equation (2).
+BitVector dmodOfStmt(const ir::Program &P, const VarMasks &Masks,
+                     const GModResult &GMod, ir::StmtId S);
+
+/// MOD(s): DMOD(s) closed (one application) under ALIAS of the enclosing
+/// procedure (§5 step 2).  Linear in |DMOD(s)| + |ALIAS(p)|.
+BitVector modOfStmt(const ir::Program &P, const VarMasks &Masks,
+                    const GModResult &GMod, const ir::AliasInfo &Aliases,
+                    ir::StmtId S);
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_DMOD_H

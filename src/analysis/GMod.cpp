@@ -1,0 +1,122 @@
+//===- analysis/GMod.cpp - findgmod: GMOD in one DFS pass ---------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Line numbers in comments refer to Figure 2 of the paper.  The recursive
+// procedure `search` is converted to an explicit stack; the work that
+// Figure 2 performs after a recursive call returns (line 14's lowlink merge
+// and line 17's equation-(4) update for the tree edge) happens when the
+// child's frame is popped.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/GMod.h"
+
+#include <algorithm>
+
+using namespace ipse;
+using namespace ipse::analysis;
+using namespace ipse::graph;
+
+GModResult analysis::solveGMod(const ir::Program &P, const CallGraph &CG,
+                               const VarMasks &Masks,
+                               const std::vector<BitVector> &IModPlus) {
+  assert(P.maxProcLevel() <= 1 &&
+         "findgmod handles two-level scoping; use MultiLevelGMod for nested "
+         "programs");
+  const Digraph &G = CG.graph();
+  const std::size_t N = G.numNodes();
+  constexpr std::uint32_t Unvisited = 0;
+
+  GModResult Result;
+  Result.GMod.resize(N);
+
+  std::vector<std::uint32_t> Dfn(N, Unvisited);  // line 27: dfn[*] := 0
+  std::vector<std::uint32_t> LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<NodeId> SccStack; // line 4: Stack
+  std::uint32_t NextDfn = 1;    // line 27
+
+  struct Frame {
+    NodeId Node;
+    std::uint32_t AdjPos;
+  };
+  std::vector<Frame> DfsStack;
+
+  auto enter = [&](NodeId V) {
+    Dfn[V] = LowLink[V] = NextDfn++; // lines 7, 9
+    Result.GMod[V] = IModPlus[V];    // line 8: GMOD[p] := IMOD+[p]
+    SccStack.push_back(V);           // line 10
+    OnStack[V] = true;
+    DfsStack.push_back({V, 0});
+  };
+
+  // Figure 2 starts the search at the main program (line 28); running it
+  // from every remaining unvisited node as well solves unreachable
+  // fragments with the same equations.
+  std::vector<NodeId> Roots;
+  Roots.push_back(P.main().index());
+  for (NodeId V = 0; V != N; ++V)
+    if (V != P.main().index())
+      Roots.push_back(V);
+
+  for (NodeId Root : Roots) {
+    if (Dfn[Root] != Unvisited)
+      continue;
+    enter(Root);
+
+    while (!DfsStack.empty()) {
+      Frame &F = DfsStack.back();
+      NodeId V = F.Node;
+      std::span<const Adjacency> Succs = G.succs(V);
+
+      if (F.AdjPos < Succs.size()) { // line 11: for each q adjacent to p
+        NodeId W = Succs[F.AdjPos++].Dst;
+        if (Dfn[W] == Unvisited) { // line 12: tree edge
+          enter(W);                // line 13: search(q)
+        } else if (Dfn[W] < Dfn[V] && OnStack[W]) {
+          // line 14-15: cross or back edge into the same (still open) scc.
+          LowLink[V] = std::min(LowLink[V], Dfn[W]);
+        } else {
+          // line 17: apply equation (4) across the edge.
+          Result.GMod[V].orWithAndNot(Result.GMod[W],
+                                      Masks.local(ir::ProcId(W)));
+        }
+        continue;
+      }
+
+      // line 19: test for the root of a strong component.
+      if (LowLink[V] == Dfn[V]) {
+        // lines 20-24: adjust GMOD for each member of the scc.  Filtering
+        // by the root's locals equals intersecting with GLOBAL
+        // (equation 8), which is what makes one shared adjustment correct.
+        NodeId U;
+        do {
+          U = SccStack.back();
+          SccStack.pop_back();
+          OnStack[U] = false;
+          if (U != V) // line 22 is a no-op for the root itself
+            Result.GMod[U].orWithAndNot(Result.GMod[V],
+                                        Masks.local(ir::ProcId(V)));
+        } while (U != V);
+      }
+
+      DfsStack.pop_back();
+      if (!DfsStack.empty()) {
+        // Post-processing of the tree edge (parent, V): line 14's lowlink
+        // merge, then line 17's equation-(4) update (the dfn/stack test on
+        // a finished child selects the else branch whenever the child's
+        // component is closed; when it is still open the update is sound
+        // and the scc adjustment completes it, as in the recursive code).
+        NodeId Parent = DfsStack.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+        Result.GMod[Parent].orWithAndNot(Result.GMod[V],
+                                         Masks.local(ir::ProcId(V)));
+      }
+    }
+  }
+  return Result;
+}

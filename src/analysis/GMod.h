@@ -1,0 +1,61 @@
+//===- analysis/GMod.h - findgmod: GMOD in one DFS pass ---------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's second contribution (§4, Figure 2): `findgmod`, an adaptation
+/// of Tarjan's strongly-connected-components algorithm that computes
+///
+///   GMOD(p) = IMOD+(p) ∪ ∪_{e=(p,q)} (GMOD(q) \ LOCAL(q))     (equation 4)
+///
+/// for every procedure in O(N_C + E_C) bit-vector steps (Theorem 2): the
+/// equation-(4) update runs at most once per call-graph edge (line 17) and
+/// the SCC adjustment at most once per procedure (line 22).
+///
+/// As in the paper, this one-pass form is for *two-level* name scoping
+/// (C / FORTRAN): it relies on GMOD[q] \ LOCAL[q] = GMOD[q] ∩ GLOBAL being
+/// the same filter at every member of an SCC.  Programs with nested
+/// procedure declarations are handled by the §4 multi-level extension in
+/// MultiLevelGMod.h, which degenerates to this algorithm when dP = 1.
+///
+/// The implementation is iterative (explicit DFS stack) so deep call chains
+/// cannot overflow the machine stack, and it runs `search` from every
+/// not-yet-visited procedure so unreachable fragments are solved too
+/// (matching the data-flow baselines, whose equations cover every node).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_GMOD_H
+#define IPSE_ANALYSIS_GMOD_H
+
+#include "analysis/VarMasks.h"
+#include "graph/CallGraph.h"
+#include "ir/Program.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ipse {
+namespace analysis {
+
+/// The solution of the global-variable problem.
+struct GModResult {
+  /// GMOD(p) per procedure, over all VarId indices.
+  std::vector<BitVector> GMod;
+
+  const BitVector &of(ir::ProcId P) const { return GMod[P.index()]; }
+};
+
+/// Runs findgmod (Figure 2).  \p IModPlus must come from computeIModPlus.
+/// Requires a two-level program (P.maxProcLevel() <= 1); asserts otherwise.
+GModResult solveGMod(const ir::Program &P, const graph::CallGraph &CG,
+                     const VarMasks &Masks,
+                     const std::vector<BitVector> &IModPlus);
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_GMOD_H

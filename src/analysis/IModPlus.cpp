@@ -1,0 +1,33 @@
+//===- analysis/IModPlus.cpp - IMOD+ via RMOD projection ----------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IModPlus.h"
+
+using namespace ipse;
+using namespace ipse::analysis;
+
+std::vector<BitVector> analysis::computeIModPlus(const ir::Program &P,
+                                                 const LocalEffects &Local,
+                                                 const RModResult &RMod) {
+  std::vector<BitVector> Plus;
+  Plus.reserve(P.numProcs());
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    Plus.push_back(Local.extended(ir::ProcId(I)));
+
+  for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
+    const ir::CallSite &C = P.callSite(ir::CallSiteId(I));
+    const ir::Procedure &Callee = P.proc(C.Callee);
+    for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos) {
+      const ir::Actual &A = C.Actuals[Pos];
+      if (!A.isVariable())
+        continue;
+      if (RMod.contains(Callee.Formals[Pos]))
+        Plus[C.Caller.index()].set(A.Var.index());
+    }
+  }
+  return Plus;
+}

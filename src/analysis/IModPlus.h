@@ -1,0 +1,44 @@
+//===- analysis/IModPlus.h - IMOD+ via RMOD projection ----------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Equation (5) of the paper:
+///
+///   IMOD+(p) = IMOD(p) ∪ ∪_{e=(p,q)} be(RMOD(q))
+///
+/// where be is restricted to actual-to-formal bindings: for every call site
+/// in p's body, every *variable* actual whose corresponding formal is in
+/// RMOD of the callee joins IMOD+(p).  This folds all reference-parameter
+/// side effects into the per-procedure initial sets, which is what lets the
+/// GMOD equation take the trivially-rapid form (4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_IMODPLUS_H
+#define IPSE_ANALYSIS_IMODPLUS_H
+
+#include "analysis/LocalEffects.h"
+#include "analysis/RMod.h"
+#include "ir/Program.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ipse {
+namespace analysis {
+
+/// Computes IMOD+(p) for every procedure.  \p Local supplies the
+/// (nesting-extended) IMOD sets; \p RMod the solved formal-parameter
+/// problem.  O(size of the program).
+std::vector<BitVector> computeIModPlus(const ir::Program &P,
+                                       const LocalEffects &Local,
+                                       const RModResult &RMod);
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_IMODPLUS_H

@@ -1,0 +1,35 @@
+//===- analysis/LocalEffects.cpp - LMOD / IMOD collection ---------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LocalEffects.h"
+
+using namespace ipse;
+using namespace ipse::analysis;
+
+LocalEffects::LocalEffects(const ir::Program &P, const VarMasks &Masks,
+                           EffectKind Kind)
+    : Kind(Kind) {
+  const std::size_t V = P.numVars();
+  Own.assign(P.numProcs(), BitVector(V));
+
+  for (std::uint32_t I = 0; I != P.numStmts(); ++I) {
+    const ir::Statement &S = P.stmt(ir::StmtId(I));
+    for (ir::VarId Var : localList(S, Kind))
+      Own[S.Parent.index()].set(Var.index());
+  }
+
+  // Nesting extension, bottom-up: children have larger ids than their
+  // lexical parents (ProgramBuilder guarantees it), so a reverse id sweep
+  // visits every procedure after all of its nested procedures.
+  Ext = Own;
+  for (std::uint32_t I = P.numProcs(); I-- > 1;) {
+    const ir::Procedure &Pr = P.proc(ir::ProcId(I));
+    if (!Ext[I].any())
+      continue;
+    Ext[Pr.Parent.index()].orWithAndNot(Ext[I], Masks.local(ir::ProcId(I)));
+  }
+}

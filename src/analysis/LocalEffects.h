@@ -1,0 +1,69 @@
+//===- analysis/LocalEffects.h - LMOD / IMOD collection ---------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the paper's IMOD sets (§2):
+///
+///   IMOD(p) = ∪_{s∈p} LMOD(s)
+///
+/// and the §3.3 lexical-nesting extension, which treats the bodies of
+/// procedures nested in p as extensions of p's body:
+///
+///   IMOD(p) = ∪_{s∈p} LMOD(s) ∪ ∪_{q∈Nest(p)} (IMOD(q) \ LOCAL(q))
+///
+/// computed bottom-up over the nesting tree in time linear in the program.
+/// For a two-level program the two coincide.  (The paper writes the filter
+/// as an intersection with LOCAL(q); the lost overbar — see DESIGN.md —
+/// makes it set subtraction.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_LOCALEFFECTS_H
+#define IPSE_ANALYSIS_LOCALEFFECTS_H
+
+#include "analysis/EffectKind.h"
+#include "analysis/VarMasks.h"
+#include "ir/Program.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ipse {
+namespace analysis {
+
+/// Per-procedure initially-modified (or initially-used) sets.
+class LocalEffects {
+public:
+  /// Computes IMOD (own and nesting-extended) for every procedure.
+  LocalEffects(const ir::Program &P, const VarMasks &Masks, EffectKind Kind);
+
+  /// IMOD(p) considering only statements literally in p's body.
+  const BitVector &own(ir::ProcId P) const { return Own[P.index()]; }
+
+  /// The §3.3 nesting-extended IMOD(p).  Equal to own(p) when p nests no
+  /// procedures.
+  const BitVector &extended(ir::ProcId P) const { return Ext[P.index()]; }
+
+  /// True iff formal \p F is directly modified (used) within its owner's
+  /// extended body — the IMOD(fp_i^p) node value of §3.2.
+  bool formalBit(const ir::Program &P, ir::VarId F) const {
+    assert(P.var(F).Kind == ir::VarKind::Formal && "not a formal");
+    return Ext[P.var(F).Owner.index()].test(F.index());
+  }
+
+  EffectKind kind() const { return Kind; }
+
+private:
+  std::vector<BitVector> Own;
+  std::vector<BitVector> Ext;
+  EffectKind Kind;
+};
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_LOCALEFFECTS_H

@@ -1,0 +1,106 @@
+//===- analysis/RegularSection.cpp - Figure 3's RSD lattice -------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegularSection.h"
+
+#include <sstream>
+
+using namespace ipse;
+using namespace ipse::analysis;
+
+std::string Subscript::toString() const {
+  switch (K) {
+  case Kind::Star:
+    return "*";
+  case Kind::Constant:
+    return std::to_string(constantValue());
+  case Kind::Symbol:
+    return "v" + std::to_string(Payload);
+  }
+  return "?";
+}
+
+bool RegularSection::isWhole() const {
+  if (IsNone)
+    return false;
+  for (unsigned I = 0; I != Rank; ++I)
+    if (!Subs[I].isStar())
+      return false;
+  return true;
+}
+
+RegularSection RegularSection::meet(const RegularSection &RHS) const {
+  assert(Rank == RHS.Rank && "meet of sections of different rank");
+  if (IsNone)
+    return RHS;
+  if (RHS.IsNone)
+    return *this;
+  RegularSection Out(Rank);
+  for (unsigned I = 0; I != Rank; ++I)
+    Out.Subs[I] = Subs[I].meet(RHS.Subs[I]);
+  return Out;
+}
+
+bool RegularSection::contains(const RegularSection &RHS) const {
+  assert(Rank == RHS.Rank && "containment of sections of different rank");
+  if (RHS.IsNone)
+    return true;
+  if (IsNone)
+    return false;
+  for (unsigned I = 0; I != Rank; ++I)
+    if (!Subs[I].isStar() && Subs[I] != RHS.Subs[I])
+      return false;
+  return true;
+}
+
+bool RegularSection::mayIntersect(const RegularSection &RHS) const {
+  assert(Rank == RHS.Rank && "intersection of sections of different rank");
+  if (IsNone || RHS.IsNone)
+    return false;
+  for (unsigned I = 0; I != Rank; ++I)
+    if (!Subs[I].mayEqual(RHS.Subs[I]))
+      return false;
+  return true;
+}
+
+unsigned RegularSection::depth() const {
+  if (IsNone)
+    return 0;
+  unsigned Stars = 0;
+  for (unsigned I = 0; I != Rank; ++I)
+    if (Subs[I].isStar())
+      ++Stars;
+  // None < element < (row | column) < whole: 1 + number of widened dims.
+  return 1 + Stars;
+}
+
+bool RegularSection::operator==(const RegularSection &RHS) const {
+  if (Rank != RHS.Rank || IsNone != RHS.IsNone)
+    return false;
+  if (IsNone)
+    return true;
+  for (unsigned I = 0; I != Rank; ++I)
+    if (Subs[I] != RHS.Subs[I])
+      return false;
+  return true;
+}
+
+std::string RegularSection::toString() const {
+  if (IsNone)
+    return "none";
+  if (Rank == 0)
+    return "whole";
+  std::ostringstream OS;
+  OS << "(";
+  for (unsigned I = 0; I != Rank; ++I) {
+    if (I != 0)
+      OS << ",";
+    OS << Subs[I].toString();
+  }
+  OS << ")";
+  return OS.str();
+}

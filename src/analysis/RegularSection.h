@@ -1,0 +1,183 @@
+//===- analysis/RegularSection.h - Figure 3's RSD lattice -------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The regular-section lattice of §6 (Figure 3), for arrays of rank 1 or 2:
+/// a side effect to an array is summarized as None (no effect), a single
+/// element A(i,j), a whole row A(i,*), a whole column A(*,j), or the whole
+/// array A(*,*) — with subscripts that are either integer constants or
+/// symbolic values (variables of the enclosing procedure, e.g. formal
+/// parameters, as in the figure's A(I,J)).
+///
+/// The lattice is ordered by effect containment with None on top and the
+/// whole array at the bottom, matching the figure's drawing; `meet` moves
+/// toward the whole array (combining two effects can only widen the
+/// summarized region) and per dimension keeps equal subscripts and widens
+/// unequal ones to *.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_REGULARSECTION_H
+#define IPSE_ANALYSIS_REGULARSECTION_H
+
+#include "ir/Ids.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace ipse {
+namespace analysis {
+
+/// One subscript position of a regular section descriptor.
+class Subscript {
+public:
+  enum class Kind : std::uint8_t {
+    Star,     ///< The whole dimension.
+    Constant, ///< A known integer value.
+    Symbol    ///< A symbolic value: a variable of the enclosing procedure.
+  };
+
+  /// Builds a * subscript.
+  static Subscript star() { return Subscript(Kind::Star, 0); }
+  /// Builds a constant subscript.
+  static Subscript constant(std::int32_t Value) {
+    return Subscript(Kind::Constant, static_cast<std::uint32_t>(Value));
+  }
+  /// Builds a symbolic subscript naming \p Var.
+  static Subscript symbol(ir::VarId Var) {
+    return Subscript(Kind::Symbol, Var.index());
+  }
+
+  Kind kind() const { return K; }
+  bool isStar() const { return K == Kind::Star; }
+
+  std::int32_t constantValue() const {
+    assert(K == Kind::Constant && "not a constant subscript");
+    return static_cast<std::int32_t>(Payload);
+  }
+  ir::VarId symbolVar() const {
+    assert(K == Kind::Symbol && "not a symbolic subscript");
+    return ir::VarId(Payload);
+  }
+
+  bool operator==(const Subscript &RHS) const {
+    return K == RHS.K && (K == Kind::Star || Payload == RHS.Payload);
+  }
+  bool operator!=(const Subscript &RHS) const { return !(*this == RHS); }
+
+  /// Lattice meet per dimension: equal subscripts stay, unequal widen to *.
+  Subscript meet(const Subscript &RHS) const {
+    return *this == RHS ? *this : star();
+  }
+
+  /// Could the two subscripts denote the same index?  Constants compare
+  /// exactly; a symbol may equal anything except a provably different...
+  /// nothing — symbols are opaque, so only distinct constants are provably
+  /// disjoint.
+  bool mayEqual(const Subscript &RHS) const {
+    if (K == Kind::Constant && RHS.K == Kind::Constant)
+      return Payload == RHS.Payload;
+    return true;
+  }
+
+  std::string toString() const;
+
+private:
+  Subscript(Kind K, std::uint32_t Payload) : K(K), Payload(Payload) {}
+
+  Kind K;
+  std::uint32_t Payload;
+};
+
+/// A regular section descriptor: the (possibly empty) subregion of an array
+/// of rank 0, 1, or 2 affected by a side effect.  Rank 0 models scalars
+/// (the two lattice values None and Whole — exactly the single bit of the
+/// standard framework, as §6's "richer lattice" generalizes it).
+class RegularSection {
+public:
+  static constexpr unsigned MaxRank = 2;
+
+  /// The top element: no effect.
+  static RegularSection none(unsigned Rank) {
+    RegularSection S(Rank);
+    S.IsNone = true;
+    return S;
+  }
+
+  /// The bottom element: the whole array.
+  static RegularSection whole(unsigned Rank) {
+    RegularSection S(Rank);
+    for (unsigned I = 0; I != Rank; ++I)
+      S.Subs[I] = Subscript::star();
+    return S;
+  }
+
+  /// A rank-1 section A(s).
+  static RegularSection section1(Subscript S0) {
+    RegularSection S(1);
+    S.Subs[0] = S0;
+    return S;
+  }
+
+  /// A rank-2 section A(s0, s1).
+  static RegularSection section2(Subscript S0, Subscript S1) {
+    RegularSection S(2);
+    S.Subs[0] = S0;
+    S.Subs[1] = S1;
+    return S;
+  }
+
+  unsigned rank() const { return Rank; }
+  bool isNone() const { return IsNone; }
+  bool isWhole() const;
+
+  const Subscript &sub(unsigned Dim) const {
+    assert(!IsNone && Dim < Rank && "bad dimension");
+    return Subs[Dim];
+  }
+
+  /// Lattice meet: combines two effect summaries on the same array.  None
+  /// is the identity; otherwise per-dimension subscript meet.
+  RegularSection meet(const RegularSection &RHS) const;
+
+  /// True if every effect summarized by \p RHS is also summarized by this
+  /// section (lattice order: this is below or equal to RHS).
+  bool contains(const RegularSection &RHS) const;
+
+  /// Dependence test: could the two sections touch a common element?
+  /// Conservative: symbols are opaque, so only sections separated by
+  /// distinct constants in some dimension are provably disjoint.
+  bool mayIntersect(const RegularSection &RHS) const;
+
+  /// Distance from None in the lattice (0 for None; rank-2 elements are at
+  /// depth 3 via row/column to the whole array).  Used by the E6 benchmark
+  /// to relate convergence to lattice depth.
+  unsigned depth() const;
+
+  bool operator==(const RegularSection &RHS) const;
+  bool operator!=(const RegularSection &RHS) const { return !(*this == RHS); }
+
+  /// "none", "A-shaped" rendering like "(I,*)".
+  std::string toString() const;
+
+private:
+  explicit RegularSection(unsigned Rank)
+      : Rank(Rank), IsNone(false),
+        Subs{Subscript::star(), Subscript::star()} {
+    assert(Rank <= MaxRank && "rank out of range");
+  }
+
+  unsigned Rank;
+  bool IsNone;
+  Subscript Subs[MaxRank];
+};
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_REGULARSECTION_H

@@ -1,0 +1,178 @@
+//===- analysis/RegularSectionAnalysis.h - §6 RSD data flow -----*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §6's regular-section generalization of both subproblems:
+///
+///   * the reference-formal problem becomes a data-flow framework on the
+///     binding multi-graph with the system
+///
+///       rsd(fp1) = lrsd(fp1) ⊓ ⊓_{e=(fp1,fp2)∈Eβ} g_e(rsd(fp2))
+///
+///     where each edge carries a function g_e mapping a regular section of
+///     the callee's formal to one of the caller-side array (formal array
+///     parameters are often bound to *subsections* of actual arrays, so
+///     g_e need not be the identity);
+///
+///   * the global-variable problem becomes the same propagation over the
+///     call multi-graph with "vectors of lattice elements" — a section per
+///     global array instead of a bit per variable.
+///
+/// Both are solved by SCC condensation plus per-component iteration; the
+/// lattice has finite depth (≤ 3 per Figure 3), and under the paper's
+/// cycle restriction g_p(x) ⊓ x = x convergence does not depend on that
+/// depth (measured by the E6 benchmark via the iteration counters).
+///
+/// Because the scalar IR carries no array subscripts, the section problem
+/// is specified as a layer over the IR: clients (the frontend is scalar
+/// only; see examples/parallel_loops.cpp and the generators) declare which
+/// variables are arrays, the local section affected per procedure, and how
+/// each binding edge embeds the callee formal in the caller-side array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_REGULARSECTIONANALYSIS_H
+#define IPSE_ANALYSIS_REGULARSECTIONANALYSIS_H
+
+#include "analysis/RegularSection.h"
+#include "graph/BindingGraph.h"
+#include "graph/CallGraph.h"
+#include "ir/Program.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace ipse {
+namespace analysis {
+
+/// How the array storage of a callee formal embeds in the caller's array at
+/// one binding edge.
+struct SectionBinding {
+  enum class Kind {
+    Identity, ///< Same rank; subscripts pass through (translated).
+    RowOf,    ///< Rank-1 formal bound to row `Fixed` of a rank-2 array.
+    ColOf     ///< Rank-1 formal bound to column `Fixed` of a rank-2 array.
+  };
+  Kind K = Kind::Identity;
+  Subscript Fixed = Subscript::star();
+
+  static SectionBinding identity() { return SectionBinding(); }
+  static SectionBinding rowOf(Subscript S) {
+    return SectionBinding{Kind::RowOf, S};
+  }
+  static SectionBinding colOf(Subscript S) {
+    return SectionBinding{Kind::ColOf, S};
+  }
+};
+
+/// The reference-formal regular-section problem: ranks, local sections, and
+/// per-edge bindings over a BindingGraph.
+class RsdProblem {
+public:
+  RsdProblem(const ir::Program &P, const graph::BindingGraph &BG)
+      : P(P), BG(BG) {}
+
+  /// Declares formal \p F to be an array of rank \p Rank (1 or 2).  Its
+  /// initial local section is none.
+  void setFormalArray(ir::VarId F, unsigned Rank);
+
+  /// Sets lrsd(F): the section of \p F affected by local effects within
+  /// its owner.  \p F must have been declared an array.
+  void setLocalSection(ir::VarId F, RegularSection S);
+
+  /// Describes how binding edge \p E embeds the callee formal's storage in
+  /// the caller-side array.  Defaults to Identity when never called.
+  void setEdgeBinding(graph::EdgeId E, SectionBinding B);
+
+  /// True if \p F was declared an array.
+  bool isArray(ir::VarId F) const { return Ranks.count(F) != 0; }
+  unsigned rankOf(ir::VarId F) const;
+  RegularSection localSection(ir::VarId F) const;
+  SectionBinding edgeBinding(graph::EdgeId E) const;
+
+  const ir::Program &program() const { return P; }
+  const graph::BindingGraph &bindingGraph() const { return BG; }
+
+private:
+  const ir::Program &P;
+  const graph::BindingGraph &BG;
+  std::map<ir::VarId, unsigned> Ranks;
+  std::map<ir::VarId, RegularSection> LocalSections;
+  std::map<graph::EdgeId, SectionBinding> Bindings;
+};
+
+/// Result of the β-based section solve.
+struct RsdResult {
+  /// rsd per declared array formal.
+  std::map<ir::VarId, RegularSection> Sections;
+  /// Meet operations performed and rounds needed in the largest component
+  /// (E6 measurements).
+  std::uint64_t MeetOps = 0;
+  unsigned MaxComponentRounds = 0;
+
+  const RegularSection &of(ir::VarId F) const {
+    auto It = Sections.find(F);
+    assert(It != Sections.end() && "formal was not declared an array");
+    return It->second;
+  }
+};
+
+/// Solves the rsd system on β.
+RsdResult solveRsd(const RsdProblem &Problem);
+
+/// The global-array side of §6: per-procedure sections of global arrays,
+/// propagated over the call multi-graph (the "vector of lattice elements"
+/// generalization of the bit-vector technique).
+class GlobalSectionProblem {
+public:
+  GlobalSectionProblem(const ir::Program &P, const graph::CallGraph &CG)
+      : P(P), CG(CG) {}
+
+  /// Declares global \p G to be an array of rank \p Rank.
+  void setGlobalArray(ir::VarId G, unsigned Rank);
+
+  /// Sets the section of global array \p G affected locally inside \p
+  /// Proc (before considering calls).
+  void setLocalSection(ir::ProcId Proc, ir::VarId G, RegularSection S);
+
+  bool isArray(ir::VarId G) const { return Ranks.count(G) != 0; }
+  unsigned rankOf(ir::VarId G) const;
+  RegularSection localSection(ir::ProcId Proc, ir::VarId G) const;
+
+  const ir::Program &program() const { return P; }
+  const graph::CallGraph &callGraph() const { return CG; }
+
+private:
+  const ir::Program &P;
+  const graph::CallGraph &CG;
+  std::map<ir::VarId, unsigned> Ranks;
+  std::map<std::pair<ir::ProcId, ir::VarId>, RegularSection> LocalSections;
+};
+
+/// Result of the call-graph section solve: a section per (procedure,
+/// global array) pair — the GMOD analog at section granularity.
+struct GlobalSectionResult {
+  std::map<std::pair<ir::ProcId, ir::VarId>, RegularSection> Sections;
+  std::uint64_t MeetOps = 0;
+
+  const RegularSection &of(ir::ProcId Proc, ir::VarId G) const {
+    auto It = Sections.find({Proc, G});
+    assert(It != Sections.end() && "no section recorded");
+    return It->second;
+  }
+};
+
+/// Solves the global-array section system on the call graph.  Symbolic
+/// subscripts naming variables that are not visible in the caller widen to
+/// * as sections propagate up call edges.
+GlobalSectionResult solveGlobalSections(const GlobalSectionProblem &Problem);
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_REGULARSECTIONANALYSIS_H

@@ -1,0 +1,41 @@
+//===- analysis/Report.h - Human-readable analysis reports ------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the results of the side-effect pipeline as a stable text report
+/// — per-procedure GMOD/GUSE and per-call-site DMOD/DUSE — the format an
+/// optimizing compiler's diagnostics would show and the golden corpus
+/// tests pin down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_REPORT_H
+#define IPSE_ANALYSIS_REPORT_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace ipse {
+namespace analysis {
+
+/// What the report should include.
+struct ReportOptions {
+  bool IncludeUse = true;      ///< Also run and print the USE problem.
+  bool IncludeCallSites = true; ///< Per-call-site DMOD/DUSE lines.
+  bool IncludeRMod = false;     ///< Per-formal RMOD/RUSE lines.
+};
+
+/// Runs the pipeline(s) on \p P and renders the report.  Deterministic:
+/// procedures in id order, sets sorted by qualified name.
+std::string makeReport(const ir::Program &P,
+                       ReportOptions Options = ReportOptions());
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_REPORT_H

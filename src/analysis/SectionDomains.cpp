@@ -1,0 +1,96 @@
+//===- analysis/SectionDomains.cpp - Lattice instances for §6 ------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SectionDomains.h"
+
+using namespace ipse;
+using namespace ipse::analysis;
+using namespace ipse::ir;
+
+Subscript analysis::translateSubscript(const Program &P, const CallSite &C,
+                                       Subscript S) {
+  if (S.kind() != Subscript::Kind::Symbol)
+    return S;
+  VarId W = S.symbolVar();
+  const Variable &V = P.var(W);
+  if (V.Kind == VarKind::Formal && V.Owner == C.Callee) {
+    const Actual &A = C.Actuals[V.FormalPos];
+    return A.isVariable() ? Subscript::symbol(A.Var) : Subscript::star();
+  }
+  if (P.isVisibleIn(W, C.Caller))
+    return S;
+  return Subscript::star();
+}
+
+RegularSection RegularSectionDomain::applyEdge(const Program &P,
+                                               const CallSite &C,
+                                               const SectionBinding &B,
+                                               unsigned CallerRank,
+                                               const RegularSection &X) {
+  if (X.isNone())
+    return RegularSection::none(CallerRank);
+  switch (B.K) {
+  case SectionBinding::Kind::Identity: {
+    assert(X.rank() == CallerRank && "identity binding with rank mismatch");
+    if (CallerRank == 1)
+      return RegularSection::section1(translateSubscript(P, C, X.sub(0)));
+    return RegularSection::section2(translateSubscript(P, C, X.sub(0)),
+                                    translateSubscript(P, C, X.sub(1)));
+  }
+  case SectionBinding::Kind::RowOf:
+    assert(X.rank() == 1 && CallerRank == 2 && "row binding with bad ranks");
+    return RegularSection::section2(B.Fixed,
+                                    translateSubscript(P, C, X.sub(0)));
+  case SectionBinding::Kind::ColOf:
+    assert(X.rank() == 1 && CallerRank == 2 && "col binding with bad ranks");
+    return RegularSection::section2(translateSubscript(P, C, X.sub(0)),
+                                    B.Fixed);
+  }
+  return RegularSection::whole(CallerRank);
+}
+
+/// Rewrites one dimension range into caller space: symbolic points
+/// translate like Figure-3 subscripts (widening to the full dimension when
+/// the symbol escapes), constant points and intervals are frame
+/// independent.
+static DimRange translateRange(const Program &P, const CallSite &C,
+                               const DimRange &R) {
+  if (!R.isPoint())
+    return R;
+  Subscript T = translateSubscript(P, C, R.pointSubscript());
+  return T.isStar() ? DimRange::full() : DimRange::point(T);
+}
+
+BoundedSection BoundedSectionDomain::applyEdge(const Program &P,
+                                               const CallSite &C,
+                                               const SectionBinding &B,
+                                               unsigned CallerRank,
+                                               const BoundedSection &X) {
+  if (X.isNone())
+    return BoundedSection::none(CallerRank);
+  switch (B.K) {
+  case SectionBinding::Kind::Identity: {
+    assert(X.rank() == CallerRank && "identity binding with rank mismatch");
+    if (CallerRank == 1)
+      return BoundedSection::make1(translateRange(P, C, X.dim(0)));
+    return BoundedSection::make2(translateRange(P, C, X.dim(0)),
+                                 translateRange(P, C, X.dim(1)));
+  }
+  case SectionBinding::Kind::RowOf:
+    assert(X.rank() == 1 && CallerRank == 2 && "row binding with bad ranks");
+    return BoundedSection::make2(B.Fixed.isStar()
+                                     ? DimRange::full()
+                                     : DimRange::point(B.Fixed),
+                                 translateRange(P, C, X.dim(0)));
+  case SectionBinding::Kind::ColOf:
+    assert(X.rank() == 1 && CallerRank == 2 && "col binding with bad ranks");
+    return BoundedSection::make2(translateRange(P, C, X.dim(0)),
+                                 B.Fixed.isStar() ? DimRange::full()
+                                                  : DimRange::point(B.Fixed));
+  }
+  return BoundedSection::whole(CallerRank);
+}

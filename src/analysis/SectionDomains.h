@@ -1,0 +1,65 @@
+//===- analysis/SectionDomains.h - Lattice instances for §6 -----*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two section domains plugged into the generic §6 framework
+/// (SectionFramework.h): Figure 3's regular sections and the range-based
+/// bounded sections.  Both share the subscript-translation rule at call
+/// boundaries: a symbol naming a callee formal becomes the bound actual
+/// (or widens when the actual is not a variable), symbols still visible
+/// in the caller pass through, everything else widens.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_ANALYSIS_SECTIONDOMAINS_H
+#define IPSE_ANALYSIS_SECTIONDOMAINS_H
+
+#include "analysis/BoundedSection.h"
+#include "analysis/RegularSectionAnalysis.h"
+
+namespace ipse {
+namespace analysis {
+
+/// Rewrites a callee-space subscript into caller space at call site \p C
+/// (the shared core of every domain's g_e).
+Subscript translateSubscript(const ir::Program &P, const ir::CallSite &C,
+                             Subscript S);
+
+/// Figure 3's lattice as a section domain.
+struct RegularSectionDomain {
+  using Section = RegularSection;
+
+  static RegularSection none(unsigned Rank) {
+    return RegularSection::none(Rank);
+  }
+
+  static RegularSection applyEdge(const ir::Program &P,
+                                  const ir::CallSite &C,
+                                  const SectionBinding &B,
+                                  unsigned CallerRank,
+                                  const RegularSection &X);
+};
+
+/// The range-based lattice as a section domain.
+struct BoundedSectionDomain {
+  using Section = BoundedSection;
+
+  static BoundedSection none(unsigned Rank) {
+    return BoundedSection::none(Rank);
+  }
+
+  static BoundedSection applyEdge(const ir::Program &P,
+                                  const ir::CallSite &C,
+                                  const SectionBinding &B,
+                                  unsigned CallerRank,
+                                  const BoundedSection &X);
+};
+
+} // namespace analysis
+} // namespace ipse
+
+#endif // IPSE_ANALYSIS_SECTIONDOMAINS_H

@@ -1,0 +1,61 @@
+//===- analysis/SideEffectAnalyzer.cpp - The §5 pipeline ----------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SideEffectAnalyzer.h"
+
+#include "analysis/MultiLevelGMod.h"
+#include "ir/Printer.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace ipse;
+using namespace ipse::analysis;
+
+SideEffectAnalyzer::SideEffectAnalyzer(const ir::Program &P,
+                                       AnalyzerOptions Options)
+    : P(P), Options(Options), Masks(P), CG(P), BG(P) {
+  Local = std::make_unique<LocalEffects>(P, Masks, Options.Kind);
+  RMod = solveRMod(P, BG, *Local);
+  IModPlus = computeIModPlus(P, *Local, RMod);
+
+  using Algo = AnalyzerOptions::GModAlgorithm;
+  Algo Chosen = Options.Algorithm;
+  if (Chosen == Algo::Auto)
+    Chosen = P.maxProcLevel() <= 1 ? Algo::FindGMod : Algo::MultiLevelCombined;
+
+  switch (Chosen) {
+  case Algo::FindGMod:
+    GMod = solveGMod(P, CG, Masks, IModPlus);
+    break;
+  case Algo::MultiLevelRepeated:
+    GMod = solveMultiLevelRepeated(P, CG, Masks, IModPlus);
+    break;
+  case Algo::MultiLevelCombined:
+    GMod = solveMultiLevelCombined(P, CG, Masks, IModPlus);
+    break;
+  case Algo::Auto:
+    unreachable("Auto was resolved above");
+  }
+}
+
+std::string SideEffectAnalyzer::setToString(const BitVector &Set) const {
+  std::vector<std::string> Names;
+  Set.forEachSetBit([&](std::size_t Idx) {
+    Names.push_back(ir::qualifiedName(P, ir::VarId(
+        static_cast<std::uint32_t>(Idx))));
+  });
+  std::sort(Names.begin(), Names.end());
+  std::ostringstream OS;
+  for (std::size_t I = 0; I != Names.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Names[I];
+  }
+  return OS.str();
+}

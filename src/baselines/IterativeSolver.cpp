@@ -1,0 +1,56 @@
+//===- baselines/IterativeSolver.cpp - Direct equation-(1) fixpoint ----------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/IterativeSolver.h"
+
+using namespace ipse;
+using namespace ipse::baselines;
+
+bool baselines::applyFullBinding(const ir::Program &P,
+                                 const analysis::VarMasks &Masks,
+                                 const std::vector<BitVector> &GMod,
+                                 ir::CallSiteId Site, BitVector &Out) {
+  const ir::CallSite &C = P.callSite(Site);
+  const ir::Procedure &Callee = P.proc(C.Callee);
+  const BitVector &G = GMod[C.Callee.index()];
+
+  bool Changed = Out.orWithAndNot(G, Masks.local(C.Callee));
+  for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos) {
+    const ir::Actual &A = C.Actuals[Pos];
+    if (!A.isVariable() || !G.test(Callee.Formals[Pos].index()))
+      continue;
+    if (!Out.test(A.Var.index())) {
+      Out.set(A.Var.index());
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+IterativeResult baselines::solveIterative(const ir::Program &P,
+                                          const graph::CallGraph &CG,
+                                          const analysis::VarMasks &Masks,
+                                          const analysis::LocalEffects &Local) {
+  (void)CG;
+  IterativeResult Result;
+  Result.GMod.GMod.reserve(P.numProcs());
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    Result.GMod.GMod.push_back(Local.extended(ir::ProcId(I)));
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Result.Rounds;
+    for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
+      const ir::CallSite &C = P.callSite(ir::CallSiteId(I));
+      Changed |= applyFullBinding(P, Masks, Result.GMod.GMod,
+                                  ir::CallSiteId(I),
+                                  Result.GMod.GMod[C.Caller.index()]);
+    }
+  }
+  return Result;
+}

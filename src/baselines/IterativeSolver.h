@@ -1,0 +1,62 @@
+//===- baselines/IterativeSolver.h - Direct equation-(1) fixpoint -*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Banning-style reference solver: round-robin (Kam–Ullman) iteration
+/// of the *undecomposed* system of §2,
+///
+///   GMOD(p) = IMOD(p) ∪ ∪_{e=(p,q)} be(GMOD(q))          (equation 1)
+///
+/// with the full binding function be (pass everything not local to q, map
+/// q's formals in GMOD(q) to the variable actuals bound at e).  IMOD is
+/// the §3.3 nesting-extended set, as everywhere in this library.
+///
+/// This is the problem's *definition*, so it serves as the semantic oracle
+/// every fast algorithm is validated against — including the paper's
+/// decomposition theorem itself (RMOD/IMOD+/findgmod must reach the same
+/// fixpoint).  As §2 notes, this system is too complex for the standard
+/// fast data-flow bounds; the E2/E3 benchmarks measure exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_BASELINES_ITERATIVESOLVER_H
+#define IPSE_BASELINES_ITERATIVESOLVER_H
+
+#include "analysis/GMod.h"
+#include "analysis/LocalEffects.h"
+#include "graph/CallGraph.h"
+#include "ir/Program.h"
+
+namespace ipse {
+namespace baselines {
+
+/// Result of a baseline GMOD solve, with iteration accounting.
+struct IterativeResult {
+  analysis::GModResult GMod;
+  /// Full sweeps over all procedures until stabilization (round-robin) or
+  /// node extractions (worklist).
+  std::uint64_t Rounds = 0;
+};
+
+/// Round-robin iteration of equation (1), sweeping procedures in id order
+/// each round until no set changes.  O(rounds * E) bit-vector steps.
+IterativeResult solveIterative(const ir::Program &P,
+                               const graph::CallGraph &CG,
+                               const analysis::VarMasks &Masks,
+                               const analysis::LocalEffects &Local);
+
+/// One application of the full binding function be across call site
+/// \p Site into \p Out:  Out |= be(GMOD(callee)).  Returns true on change.
+/// Shared by the iterative and worklist baselines.
+bool applyFullBinding(const ir::Program &P, const analysis::VarMasks &Masks,
+                      const std::vector<BitVector> &GMod,
+                      ir::CallSiteId Site, BitVector &Out);
+
+} // namespace baselines
+} // namespace ipse
+
+#endif // IPSE_BASELINES_ITERATIVESOLVER_H

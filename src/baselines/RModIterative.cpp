@@ -1,0 +1,58 @@
+//===- baselines/RModIterative.cpp - Round-robin RMOD on β --------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RModIterative.h"
+
+using namespace ipse;
+using namespace ipse::baselines;
+
+analysis::RModResult
+baselines::solveRModIterative(const ir::Program &P,
+                              const graph::BindingGraph &BG,
+                              const analysis::LocalEffects &Local) {
+  analysis::RModResult Result;
+  Result.ModifiedFormals = BitVector(P.numVars());
+  std::uint64_t Steps = 0;
+
+  // Seed every formal with its IMOD bit (formals without β nodes are
+  // already final).
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    for (ir::VarId F : P.proc(ir::ProcId(I)).Formals) {
+      ++Steps;
+      if (Local.formalBit(P, F))
+        Result.ModifiedFormals.set(F.index());
+    }
+
+  const graph::Digraph &G = BG.graph();
+  std::vector<char> Value(BG.numNodes(), 0);
+  for (graph::NodeId N = 0; N != BG.numNodes(); ++N)
+    Value[N] = Result.ModifiedFormals.test(BG.formal(N).index()) ? 1 : 0;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (graph::NodeId N = 0; N != BG.numNodes(); ++N) {
+      if (Value[N])
+        continue;
+      for (const graph::Adjacency &A : G.succs(N)) {
+        ++Steps;
+        if (Value[A.Dst]) {
+          Value[N] = 1;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (graph::NodeId N = 0; N != BG.numNodes(); ++N)
+    if (Value[N])
+      Result.ModifiedFormals.set(BG.formal(N).index());
+
+  Result.BooleanSteps = Steps;
+  return Result;
+}

@@ -1,0 +1,36 @@
+//===- baselines/RModIterative.h - Round-robin RMOD on β --------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Baseline for Figure 1 (E1): equation (6) solved by round-robin
+/// iteration directly on the binding multi-graph, without the SCC
+/// condensation — O(rounds * Eβ) boolean steps, where rounds can reach the
+/// length of the longest acyclic binding chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_BASELINES_RMODITERATIVE_H
+#define IPSE_BASELINES_RMODITERATIVE_H
+
+#include "analysis/LocalEffects.h"
+#include "analysis/RMod.h"
+#include "graph/BindingGraph.h"
+#include "ir/Program.h"
+
+namespace ipse {
+namespace baselines {
+
+/// Round-robin solve of equation (6) on β.  BooleanSteps counts edge
+/// relaxations across all rounds.
+analysis::RModResult solveRModIterative(const ir::Program &P,
+                                        const graph::BindingGraph &BG,
+                                        const analysis::LocalEffects &Local);
+
+} // namespace baselines
+} // namespace ipse
+
+#endif // IPSE_BASELINES_RMODITERATIVE_H

@@ -1,0 +1,69 @@
+//===- baselines/SwiftStyleSolver.h - CK'84-style bit-vector solve -*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A baseline in the cost model of the prior *swift* algorithm
+/// (Cooper & Kennedy '84), which the paper's §3.2 comparison targets: both
+/// subproblems solved with *bit vectors over the call multi-graph*,
+///
+///   phase 1 — RMOD with vectors of length Nβ (all formals): the
+///   formal-restricted slice of the side-effect system, eliminated by SCC
+///   condensation with per-component iteration;
+///
+///   phase 2 — GMOD (equation 4) with vectors over all variables, same
+///   elimination scheme.
+///
+/// Substitution note (DESIGN.md): the original swift algorithm drives the
+/// propagation with Tarjan's path-expression solver, giving
+/// O(E α(E,N)) bit-vector applications on reducible graphs; condensation +
+/// per-component iteration preserves the property being compared — every
+/// step manipulates an Nβ- (or |vars|-) long bit vector, against the new
+/// algorithm's O(1) boolean steps — and needs no reducibility assumption.
+/// BitVector::opCount() exposes the word-operation totals the E1/E2
+/// benchmarks report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_BASELINES_SWIFTSTYLESOLVER_H
+#define IPSE_BASELINES_SWIFTSTYLESOLVER_H
+
+#include "analysis/GMod.h"
+#include "analysis/LocalEffects.h"
+#include "analysis/RMod.h"
+#include "graph/CallGraph.h"
+#include "ir/Program.h"
+
+namespace ipse {
+namespace baselines {
+
+/// Phase-1 output: the same RMOD bits the Figure 1 algorithm produces,
+/// computed with long bit vectors over the call graph.
+struct SwiftRModResult {
+  analysis::RModResult RMod;
+  std::uint64_t BitVectorSteps = 0; ///< Vector ops (each Nβ bits long).
+};
+
+/// Phase 1 only (the E1 comparison target).
+SwiftRModResult solveSwiftRMod(const ir::Program &P,
+                               const graph::CallGraph &CG,
+                               const analysis::VarMasks &Masks,
+                               const analysis::LocalEffects &Local);
+
+/// Both phases: RMOD, then IMOD+ (equation 5), then bit-vector GMOD.
+struct SwiftResult {
+  analysis::GModResult GMod;
+  std::uint64_t BitVectorSteps = 0;
+};
+
+SwiftResult solveSwift(const ir::Program &P, const graph::CallGraph &CG,
+                       const analysis::VarMasks &Masks,
+                       const analysis::LocalEffects &Local);
+
+} // namespace baselines
+} // namespace ipse
+
+#endif // IPSE_BASELINES_SWIFTSTYLESOLVER_H

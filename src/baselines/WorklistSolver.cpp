@@ -1,0 +1,55 @@
+//===- baselines/WorklistSolver.cpp - Worklist equation-(1) solve -------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/WorklistSolver.h"
+
+#include <vector>
+
+using namespace ipse;
+using namespace ipse::baselines;
+
+IterativeResult baselines::solveWorklist(const ir::Program &P,
+                                         const graph::CallGraph &CG,
+                                         const analysis::VarMasks &Masks,
+                                         const analysis::LocalEffects &Local) {
+  IterativeResult Result;
+  Result.GMod.GMod.reserve(P.numProcs());
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    Result.GMod.GMod.push_back(Local.extended(ir::ProcId(I)));
+
+  // Callers of each procedure, as call-site lists (the reversed call
+  // multi-graph's adjacency).
+  graph::Digraph Rev = CG.graph().reversed();
+
+  // Process every callee before propagating: seed with all procedures.
+  std::vector<bool> InList(P.numProcs(), true);
+  std::vector<ir::ProcId> Worklist;
+  Worklist.reserve(P.numProcs());
+  for (std::uint32_t I = P.numProcs(); I-- > 0;)
+    Worklist.push_back(ir::ProcId(I));
+
+  while (!Worklist.empty()) {
+    ir::ProcId Q = Worklist.back();
+    Worklist.pop_back();
+    InList[Q.index()] = false;
+    ++Result.Rounds;
+
+    // Pull Q's current GMOD into each caller; reschedule callers that
+    // changed.
+    for (const graph::Adjacency &A : Rev.succs(Q.index())) {
+      ir::CallSiteId Site = CG.callSite(A.Edge);
+      ir::ProcId Caller = P.callSite(Site).Caller;
+      if (applyFullBinding(P, Masks, Result.GMod.GMod, Site,
+                           Result.GMod.GMod[Caller.index()]) &&
+          !InList[Caller.index()]) {
+        InList[Caller.index()] = true;
+        Worklist.push_back(Caller);
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,99 @@
+//===- frontend/Ast.h - MiniProc abstract syntax ----------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for MiniProc.  The language is deliberately small — scalar integer
+/// variables, reference parameters, nested procedure declarations,
+/// assignments, calls, structured control flow, read/write — because the
+/// paper's analysis is flow-insensitive: only who declares what, who calls
+/// whom with which actuals, and which variables each statement touches
+/// matter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_FRONTEND_AST_H
+#define IPSE_FRONTEND_AST_H
+
+#include "frontend/Diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipse {
+namespace frontend {
+namespace ast {
+
+/// An expression.
+struct Expr {
+  enum class Kind { Number, VarRef, Binary, Unary };
+
+  Kind K;
+  SourceLoc Loc;
+
+  // Number
+  long Value = 0;
+  // VarRef
+  std::string Name;
+  // Binary / Unary: Op is one of + - * /; Unary uses Lhs only.
+  char Op = 0;
+  std::unique_ptr<Expr> Lhs;
+  std::unique_ptr<Expr> Rhs;
+
+  /// True if this is a bare variable reference (eligible to be passed by
+  /// reference as an actual parameter).
+  bool isVarRef() const { return K == Kind::VarRef; }
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A statement.
+struct Stmt {
+  enum class Kind { Assign, Call, If, While, Read, Write };
+
+  Kind K;
+  SourceLoc Loc;
+
+  // Assign / Read: target name; Assign / Write: Value expression.
+  std::string Target;
+  ExprPtr Value;
+
+  // Call: callee name and actual arguments.
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+
+  // If / While: condition in Value, bodies below.
+  std::vector<StmtPtr> Then;
+  std::vector<StmtPtr> Else; // also the While body
+};
+
+/// A procedure declaration, possibly with nested declarations.
+struct ProcDecl {
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<std::string> Params;
+  std::vector<std::string> Vars;
+  std::vector<std::unique_ptr<ProcDecl>> Procs;
+  std::vector<StmtPtr> Body;
+};
+
+/// A whole parsed program: main's declarations and body.
+struct ProgramAst {
+  std::string Name;
+  std::vector<std::string> Vars;
+  std::vector<std::unique_ptr<ProcDecl>> Procs;
+  std::vector<StmtPtr> Body;
+};
+
+} // namespace ast
+} // namespace frontend
+} // namespace ipse
+
+#endif // IPSE_FRONTEND_AST_H

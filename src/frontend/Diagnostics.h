@@ -1,0 +1,71 @@
+//===- frontend/Diagnostics.h - Source diagnostics --------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostics for the MiniProc frontend.  The library never throws; the
+/// lexer, parser, and sema accumulate diagnostics and the driver inspects
+/// them.  Messages follow the style guide: lowercase start, no trailing
+/// period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_FRONTEND_DIAGNOSTICS_H
+#define IPSE_FRONTEND_DIAGNOSTICS_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ipse {
+namespace frontend {
+
+/// A source position, 1-based.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+/// One error message anchored to a source position.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string render() const {
+    std::ostringstream OS;
+    OS << Loc.Line << ":" << Loc.Col << ": error: " << Message;
+    return OS.str();
+  }
+};
+
+/// Accumulates diagnostics during a frontend run.
+class DiagnosticEngine {
+public:
+  void report(SourceLoc Loc, std::string Message) {
+    Diags.push_back(Diagnostic{Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return !Diags.empty(); }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// All diagnostics, one per line.
+  std::string renderAll() const {
+    std::string Out;
+    for (const Diagnostic &D : Diags) {
+      Out += D.render();
+      Out += '\n';
+    }
+    return Out;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace frontend
+} // namespace ipse
+
+#endif // IPSE_FRONTEND_DIAGNOSTICS_H

@@ -1,0 +1,27 @@
+//===- frontend/Frontend.cpp - One-call MiniProc driver -----------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+using namespace ipse;
+using namespace ipse::frontend;
+
+CompileResult frontend::compileMiniProc(std::string_view Source) {
+  CompileResult Result;
+  std::vector<Token> Tokens = lex(Source, Result.Diags);
+  if (Result.Diags.hasErrors())
+    return Result;
+  std::unique_ptr<ast::ProgramAst> Ast = parse(Tokens, Result.Diags);
+  if (!Ast)
+    return Result;
+  Result.Program = lowerToIr(*Ast, Result.Diags);
+  return Result;
+}

@@ -1,0 +1,41 @@
+//===- frontend/Frontend.h - One-call MiniProc driver -----------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience driver tying the frontend together: source text in,
+/// ir::Program (or diagnostics) out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_FRONTEND_FRONTEND_H
+#define IPSE_FRONTEND_FRONTEND_H
+
+#include "frontend/Diagnostics.h"
+#include "ir/Program.h"
+
+#include <optional>
+#include <string_view>
+
+namespace ipse {
+namespace frontend {
+
+/// Outcome of compiling a MiniProc source: a program on success, and the
+/// diagnostics either way.
+struct CompileResult {
+  std::optional<ir::Program> Program;
+  DiagnosticEngine Diags;
+
+  bool succeeded() const { return Program.has_value(); }
+};
+
+/// Lexes, parses, resolves, and lowers \p Source.
+CompileResult compileMiniProc(std::string_view Source);
+
+} // namespace frontend
+} // namespace ipse
+
+#endif // IPSE_FRONTEND_FRONTEND_H

@@ -1,0 +1,332 @@
+//===- frontend/Interpreter.cpp - Concrete MiniProc execution ------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Interpreter.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+using namespace ipse;
+using namespace ipse::frontend;
+using namespace ipse::frontend::ast;
+
+namespace {
+
+using CellId = std::uint32_t;
+
+/// An activation record: the owning declaration (null for main), the
+/// static link to the lexically enclosing activation, and the name
+/// bindings this frame introduces.
+struct Frame {
+  const ProcDecl *Proc;          // Null for the main program.
+  const Frame *StaticLink;
+  std::map<std::string, CellId> Vars;
+};
+
+/// Per-call effect tracking during the call's dynamic extent.
+struct Record {
+  std::set<CellId> Written;
+  std::set<CellId> Read;
+};
+
+class Machine {
+public:
+  Machine(const ProgramAst &Ast, const InterpreterOptions &Options)
+      : Ast(Ast), Options(Options) {
+    indexCalls(Ast.Body, CallIndex[nullptr]);
+    indexAllProcs(Ast.Procs);
+  }
+
+  ExecutionResult run() {
+    Frame Main;
+    Main.Proc = nullptr;
+    Main.StaticLink = nullptr;
+    for (const std::string &G : Ast.Vars)
+      Main.Vars[G] = newCell();
+
+    execStmts(Ast.Body, Main);
+    Result.Finished = !Aborted;
+    Result.Steps = Steps;
+    for (const auto &[Name, Cell] : Main.Vars)
+      Result.Globals[Name] = Cells[Cell];
+    return std::move(Result);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Static structure: textual call indices per procedure.
+  //===--------------------------------------------------------------------===//
+
+  /// Counts call statements in the same order Sema lowers them, so the
+  /// index matches the caller's CallSites list in the ir::Program.
+  void indexCalls(const std::vector<StmtPtr> &Stmts,
+                  std::unordered_map<const Stmt *, unsigned> &Out) {
+    for (const StmtPtr &S : Stmts) {
+      switch (S->K) {
+      case Stmt::Kind::Call:
+        Out.emplace(S.get(), static_cast<unsigned>(Out.size()));
+        break;
+      case Stmt::Kind::If:
+      case Stmt::Kind::While:
+        indexCalls(S->Then, Out);
+        indexCalls(S->Else, Out);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  void indexAllProcs(const std::vector<std::unique_ptr<ProcDecl>> &Procs) {
+    for (const auto &Decl : Procs) {
+      indexCalls(Decl->Body, CallIndex[Decl.get()]);
+      indexAllProcs(Decl->Procs);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cells and effect tracking.
+  //===--------------------------------------------------------------------===//
+
+  CellId newCell() {
+    Cells.push_back(0);
+    return static_cast<CellId>(Cells.size() - 1);
+  }
+
+  std::int64_t readCell(CellId C) {
+    for (Record *R : ActiveRecords)
+      R->Read.insert(C);
+    return Cells[C];
+  }
+
+  void writeCell(CellId C, std::int64_t V) {
+    for (Record *R : ActiveRecords)
+      R->Written.insert(C);
+    Cells[C] = V;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Name resolution along the static chain.
+  //===--------------------------------------------------------------------===//
+
+  CellId lookupVar(const Frame &F, const std::string &Name) const {
+    for (const Frame *Cur = &F; Cur; Cur = Cur->StaticLink) {
+      auto It = Cur->Vars.find(Name);
+      if (It != Cur->Vars.end())
+        return It->second;
+    }
+    unreachable("interpreter: unresolved variable (run Sema first)");
+  }
+
+  /// Finds the innermost visible procedure declaration named \p Name and
+  /// the frame that will serve as its static link (the activation of the
+  /// scope declaring it).
+  std::pair<const ProcDecl *, const Frame *>
+  lookupProc(const Frame &F, const std::string &Name) const {
+    for (const Frame *Cur = &F; Cur; Cur = Cur->StaticLink) {
+      const std::vector<std::unique_ptr<ProcDecl>> &Decls =
+          Cur->Proc ? Cur->Proc->Procs : Ast.Procs;
+      for (const auto &Decl : Decls)
+        if (Decl->Name == Name)
+          return {Decl.get(), Cur};
+    }
+    unreachable("interpreter: unresolved procedure (run Sema first)");
+  }
+
+  /// The caller-visible variables at \p F: qualified name -> cell, inner
+  /// declarations shadowing outer ones.
+  std::map<std::string, CellId> visibleVars(const Frame &F) const {
+    std::map<std::string, CellId> Out;          // qualified -> cell
+    std::set<std::string> SeenUnqualified;      // shadowing filter
+    for (const Frame *Cur = &F; Cur; Cur = Cur->StaticLink) {
+      for (const auto &[Name, Cell] : Cur->Vars) {
+        if (!SeenUnqualified.insert(Name).second)
+          continue;
+        std::string Qualified =
+            Cur->Proc ? Cur->Proc->Name + "." + Name : Name;
+        Out.emplace(std::move(Qualified), Cell);
+      }
+    }
+    return Out;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Evaluation and execution.
+  //===--------------------------------------------------------------------===//
+
+  bool budget() {
+    if (Steps >= Options.MaxSteps) {
+      Aborted = true;
+      return false;
+    }
+    ++Steps;
+    return true;
+  }
+
+  std::int64_t evalExpr(const Expr &E, const Frame &F) {
+    if (Aborted)
+      return 0;
+    switch (E.K) {
+    case Expr::Kind::Number:
+      return E.Value;
+    case Expr::Kind::VarRef:
+      return readCell(lookupVar(F, E.Name));
+    case Expr::Kind::Unary:
+      return static_cast<std::int64_t>(
+          -static_cast<std::uint64_t>(evalExpr(*E.Lhs, F)));
+    case Expr::Kind::Binary: {
+      std::int64_t L = evalExpr(*E.Lhs, F);
+      std::int64_t R = evalExpr(*E.Rhs, F);
+      switch (E.Op) {
+      case '+':
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(L) +
+                                         static_cast<std::uint64_t>(R));
+      case '-':
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(L) -
+                                         static_cast<std::uint64_t>(R));
+      case '*':
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(L) *
+                                         static_cast<std::uint64_t>(R));
+      case '/':
+        if (R == 0)
+          return 0; // Total semantics: x/0 = 0.
+        if (R == -1) // Avoid INT64_MIN / -1 overflow.
+          return static_cast<std::int64_t>(-static_cast<std::uint64_t>(L));
+        return L / R;
+      }
+      unreachable("interpreter: unknown binary operator");
+    }
+    }
+    unreachable("interpreter: unknown expression kind");
+  }
+
+  void execStmts(const std::vector<StmtPtr> &Stmts, Frame &F) {
+    for (const StmtPtr &S : Stmts) {
+      if (Aborted)
+        return;
+      execStmt(*S, F);
+    }
+  }
+
+  void execStmt(const Stmt &S, Frame &F) {
+    if (!budget())
+      return;
+    switch (S.K) {
+    case Stmt::Kind::Assign: {
+      std::int64_t V = evalExpr(*S.Value, F);
+      writeCell(lookupVar(F, S.Target), V);
+      return;
+    }
+    case Stmt::Kind::Read: {
+      std::int64_t V =
+          NextInput < Options.Input.size() ? Options.Input[NextInput++] : 0;
+      writeCell(lookupVar(F, S.Target), V);
+      return;
+    }
+    case Stmt::Kind::Write:
+      Result.Output.push_back(evalExpr(*S.Value, F));
+      return;
+    case Stmt::Kind::If:
+      if (evalExpr(*S.Value, F) != 0)
+        execStmts(S.Then, F);
+      else
+        execStmts(S.Else, F);
+      return;
+    case Stmt::Kind::While:
+      while (!Aborted && evalExpr(*S.Value, F) != 0) {
+        if (!budget())
+          return;
+        execStmts(S.Else, F);
+      }
+      return;
+    case Stmt::Kind::Call:
+      execCall(S, F);
+      return;
+    }
+  }
+
+  void execCall(const Stmt &S, Frame &F) {
+    if (ActiveRecords.size() >= Options.MaxDepth) {
+      Aborted = true;
+      return;
+    }
+    auto [Decl, DeclFrame] = lookupProc(F, S.Callee);
+    assert(Decl->Params.size() == S.Args.size() &&
+           "interpreter: arity mismatch (run Sema first)");
+
+    // Start the observable event.
+    std::size_t EventIdx = Result.Calls.size();
+    {
+      CallEvent Event;
+      Event.CallerProc = F.Proc ? F.Proc->Name : Ast.Name;
+      Event.CallIndexInCaller =
+          CallIndex.at(F.Proc ? static_cast<const ProcDecl *>(F.Proc)
+                              : nullptr)
+              .at(&S);
+      Event.Callee = S.Callee;
+      Result.Calls.push_back(std::move(Event));
+    }
+    std::map<std::string, CellId> Snapshot = visibleVars(F);
+
+    // Bind actuals: bare variables by reference, expressions by value.
+    Frame Callee;
+    Callee.Proc = Decl;
+    Callee.StaticLink = DeclFrame;
+    for (std::size_t I = 0; I != S.Args.size(); ++I) {
+      CellId Cell;
+      if (S.Args[I]->isVarRef()) {
+        Cell = lookupVar(F, S.Args[I]->Name);
+      } else {
+        Cell = newCell();
+        Cells[Cell] = evalExpr(*S.Args[I], F);
+      }
+      Callee.Vars[Decl->Params[I]] = Cell;
+    }
+    for (const std::string &Local : Decl->Vars)
+      Callee.Vars[Local] = newCell();
+
+    Record R;
+    ActiveRecords.push_back(&R);
+    execStmts(Decl->Body, Callee);
+    ActiveRecords.pop_back();
+
+    // Report the caller-visible effects.
+    CallEvent &Event = Result.Calls[EventIdx];
+    Event.Completed = !Aborted;
+    for (const auto &[Qualified, Cell] : Snapshot) {
+      if (R.Written.count(Cell))
+        Event.WrittenVisible.push_back(Qualified);
+      if (R.Read.count(Cell))
+        Event.ReadVisible.push_back(Qualified);
+    }
+  }
+
+  const ProgramAst &Ast;
+  const InterpreterOptions &Options;
+  ExecutionResult Result;
+
+  std::vector<std::int64_t> Cells;
+  std::vector<Record *> ActiveRecords;
+  std::unordered_map<const ProcDecl *,
+                     std::unordered_map<const Stmt *, unsigned>>
+      CallIndex;
+
+  std::uint64_t Steps = 0;
+  std::size_t NextInput = 0;
+  bool Aborted = false;
+};
+
+} // namespace
+
+ExecutionResult frontend::interpret(const ProgramAst &Ast,
+                                    const InterpreterOptions &Options) {
+  return Machine(Ast, Options).run();
+}

@@ -1,0 +1,219 @@
+//===- frontend/Lexer.cpp - MiniProc lexer -------------------------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace ipse;
+using namespace ipse::frontend;
+
+const char *frontend::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwProc:
+    return "'proc'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwBegin:
+    return "'begin'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwCall:
+    return "'call'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwRead:
+    return "'read'";
+  case TokenKind::KwWrite:
+    return "'write'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Tokens;
+    while (true) {
+      Token T = next();
+      bool IsEof = T.is(TokenKind::Eof);
+      Tokens.push_back(std::move(T));
+      if (IsEof)
+        break;
+    }
+    return Tokens;
+  }
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek() const { return atEnd() ? '\0' : Source[Pos]; }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    while (!atEnd()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/') {
+        while (!atEnd() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '{') {
+        SourceLoc Start{Line, Col};
+        advance();
+        while (!atEnd() && peek() != '}')
+          advance();
+        if (atEnd())
+          Diags.report(Start, "unterminated '{' comment");
+        else
+          advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token make(TokenKind Kind, SourceLoc Loc, std::string Text) {
+    return Token{Kind, std::move(Text), Loc};
+  }
+
+  Token next() {
+    skipTrivia();
+    SourceLoc Loc{Line, Col};
+    if (atEnd())
+      return make(TokenKind::Eof, Loc, "");
+
+    char C = advance();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text(1, C);
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        Text += advance();
+      static const std::unordered_map<std::string, TokenKind> Keywords = {
+          {"program", TokenKind::KwProgram}, {"proc", TokenKind::KwProc},
+          {"var", TokenKind::KwVar},         {"begin", TokenKind::KwBegin},
+          {"end", TokenKind::KwEnd},         {"call", TokenKind::KwCall},
+          {"if", TokenKind::KwIf},           {"then", TokenKind::KwThen},
+          {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+          {"do", TokenKind::KwDo},           {"read", TokenKind::KwRead},
+          {"write", TokenKind::KwWrite},
+      };
+      auto It = Keywords.find(Text);
+      TokenKind Kind = It == Keywords.end() ? TokenKind::Identifier
+                                            : It->second;
+      return make(Kind, Loc, std::move(Text));
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Text(1, C);
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+      return make(TokenKind::Number, Loc, std::move(Text));
+    }
+
+    switch (C) {
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::Assign, Loc, ":=");
+      }
+      Diags.report(Loc, "expected '=' after ':'");
+      return make(TokenKind::Error, Loc, ":");
+    case ';':
+      return make(TokenKind::Semicolon, Loc, ";");
+    case ',':
+      return make(TokenKind::Comma, Loc, ",");
+    case '(':
+      return make(TokenKind::LParen, Loc, "(");
+    case ')':
+      return make(TokenKind::RParen, Loc, ")");
+    case '+':
+      return make(TokenKind::Plus, Loc, "+");
+    case '-':
+      return make(TokenKind::Minus, Loc, "-");
+    case '*':
+      return make(TokenKind::Star, Loc, "*");
+    case '/':
+      return make(TokenKind::Slash, Loc, "/");
+    case '.':
+      return make(TokenKind::Dot, Loc, ".");
+    default:
+      Diags.report(Loc, std::string("unexpected character '") + C + "'");
+      return make(TokenKind::Error, Loc, std::string(1, C));
+    }
+  }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  std::size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> frontend::lex(std::string_view Source,
+                                 DiagnosticEngine &Diags) {
+  return LexerImpl(Source, Diags).run();
+}

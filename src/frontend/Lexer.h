@@ -1,0 +1,33 @@
+//===- frontend/Lexer.h - MiniProc lexer ------------------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniProc.  Comments run from "//" to end of line
+/// or between "{" and "}" (Pascal style).  Unknown characters produce a
+/// diagnostic and an Error token; lexing continues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_FRONTEND_LEXER_H
+#define IPSE_FRONTEND_LEXER_H
+
+#include "frontend/Diagnostics.h"
+#include "frontend/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace ipse {
+namespace frontend {
+
+/// Lexes \p Source completely; the result always ends with an Eof token.
+std::vector<Token> lex(std::string_view Source, DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace ipse
+
+#endif // IPSE_FRONTEND_LEXER_H

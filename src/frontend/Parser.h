@@ -1,0 +1,48 @@
+//===- frontend/Parser.h - MiniProc parser ----------------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniProc:
+///
+///   program  := "program" IDENT ";" block "."
+///   block    := ["var" names ";"] {procdecl} "begin" stmts "end"
+///   procdecl := "proc" IDENT ["(" names? ")"] ";" block ";"
+///   stmts    := {stmt [";"]}
+///   stmt     := IDENT ":=" expr
+///            |  ["call"] IDENT "(" [expr {"," expr}] ")"
+///            |  "if" expr "then" stmts ["else" stmts] "end"
+///            |  "while" expr "do" stmts "end"
+///            |  "read" IDENT | "write" expr
+///   expr     := term {("+"|"-") term};  term := factor {("*"|"/") factor}
+///   factor   := NUMBER | IDENT | "(" expr ")" | "-" factor
+///
+/// Errors are reported to the DiagnosticEngine; the parser recovers by
+/// synchronizing to statement boundaries, so several errors can be
+/// reported in one run.  Returns nullptr when any error occurred.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_FRONTEND_PARSER_H
+#define IPSE_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Token.h"
+
+#include <memory>
+#include <vector>
+
+namespace ipse {
+namespace frontend {
+
+/// Parses a lexed token stream.
+std::unique_ptr<ast::ProgramAst> parse(const std::vector<Token> &Tokens,
+                                       DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace ipse
+
+#endif // IPSE_FRONTEND_PARSER_H

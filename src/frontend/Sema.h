@@ -1,0 +1,48 @@
+//===- frontend/Sema.h - Name resolution and IR lowering --------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves names against MiniProc's lexical scoping rules and lowers the
+/// AST to an ir::Program:
+///
+///   * every identifier binds to the innermost enclosing declaration;
+///     shadowing is allowed, duplicate declarations in one scope are not;
+///   * all procedures of a block are visible throughout that block (sibling
+///     procedures may be mutually recursive without forward declarations);
+///   * an assignment contributes its target to LMOD and its right-hand
+///     side's variables to LUSE; `read` contributes LMOD, `write` LUSE;
+///   * a call passes each bare-variable argument by reference (it becomes
+///     an Actual::variable and a β binding candidate); any other expression
+///     argument is passed by value (Actual::expression) and contributes its
+///     variables to the statement's LUSE;
+///   * `if`/`while` lower flow-insensitively: the condition's variables
+///     form one LUSE statement and the controlled statements lower as if
+///     unconditioned, exactly the paper's "each branch is possible".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_FRONTEND_SEMA_H
+#define IPSE_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "frontend/Diagnostics.h"
+#include "ir/Program.h"
+
+#include <optional>
+
+namespace ipse {
+namespace frontend {
+
+/// Lowers \p Ast to an ir::Program.  Returns nullopt (with diagnostics)
+/// when any semantic error is found.
+std::optional<ir::Program> lowerToIr(const ast::ProgramAst &Ast,
+                                     DiagnosticEngine &Diags);
+
+} // namespace frontend
+} // namespace ipse
+
+#endif // IPSE_FRONTEND_SEMA_H

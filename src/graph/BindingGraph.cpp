@@ -1,0 +1,66 @@
+//===- graph/BindingGraph.cpp - The binding multi-graph β --------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/BindingGraph.h"
+
+using namespace ipse;
+using namespace ipse::graph;
+
+BindingGraph::BindingGraph(const ir::Program &P) {
+  FormalNodes.assign(P.numVars(), NoNode);
+
+  // Pass 1: discover the binding events and materialize exactly the nodes
+  // that are endpoints of at least one edge.  A binding event arises at a
+  // call site when the actual is a formal parameter — of the caller itself
+  // or of any lexical ancestor (§3.3, nested call sites).  Visibility of
+  // the actual is already guaranteed by Program::verify().
+  struct PendingEdge {
+    ir::VarId SrcFormal;
+    ir::VarId DstFormal;
+    EdgeOrigin From;
+  };
+  std::vector<PendingEdge> Pending;
+
+  for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
+    ir::CallSiteId Site(I);
+    const ir::CallSite &C = P.callSite(Site);
+    const ir::Procedure &Callee = P.proc(C.Callee);
+    for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos) {
+      const ir::Actual &A = C.Actuals[Pos];
+      if (!A.isVariable() || P.var(A.Var).Kind != ir::VarKind::Formal)
+        continue;
+      Pending.push_back(
+          {A.Var, Callee.Formals[Pos], EdgeOrigin{Site, Pos}});
+    }
+  }
+
+  for (const PendingEdge &E : Pending) {
+    getOrCreateNode(E.SrcFormal);
+    getOrCreateNode(E.DstFormal);
+  }
+
+  // Pass 2: build the CSR graph.
+  G = Digraph(NodeFormals.size());
+  Origins.reserve(Pending.size());
+  for (const PendingEdge &E : Pending) {
+    EdgeId Id = G.addEdge(FormalNodes[E.SrcFormal.index()],
+                          FormalNodes[E.DstFormal.index()]);
+    (void)Id;
+    assert(Id == Origins.size() && "edge/origin tables out of sync");
+    Origins.push_back(E.From);
+  }
+  G.finalize();
+}
+
+NodeId BindingGraph::getOrCreateNode(ir::VarId Formal) {
+  NodeId &Slot = FormalNodes[Formal.index()];
+  if (Slot == NoNode) {
+    Slot = static_cast<NodeId>(NodeFormals.size());
+    NodeFormals.push_back(Formal);
+  }
+  return Slot;
+}

@@ -1,0 +1,85 @@
+//===- graph/BindingGraph.h - The binding multi-graph β ---------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binding multi-graph β = (Nβ, Eβ) of §3.1: nodes are formal
+/// parameters, and there is an edge (fp_i^p, fp_j^q) for every binding event
+/// in which formal i of p is passed as actual j at a call site invoking q.
+///
+/// Following the paper, a node is materialized only if it is the endpoint
+/// of at least one edge (so 2·Eβ ≥ Nβ always), and — per §3.3 — a binding
+/// event counts when the passed formal belongs to the *lexically visible*
+/// chain: if a call site inside procedure s passes a formal of s or of any
+/// lexical ancestor of s, the edge starts at that formal's node.
+///
+/// Call sites that pass only non-formals (globals, locals, expressions)
+/// contribute no edges.  β therefore typically splits into many small
+/// disjoint components.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_GRAPH_BINDINGGRAPH_H
+#define IPSE_GRAPH_BINDINGGRAPH_H
+
+#include "graph/Digraph.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace ipse {
+namespace graph {
+
+/// Binding multi-graph over an ir::Program.
+class BindingGraph {
+public:
+  /// Where a binding edge came from: argument \p ArgPos of \p Site.
+  struct EdgeOrigin {
+    ir::CallSiteId Site;
+    unsigned ArgPos;
+  };
+
+  /// Builds β from \p P in time linear in the size of the program.
+  explicit BindingGraph(const ir::Program &P);
+
+  const Digraph &graph() const { return G; }
+
+  std::size_t numNodes() const { return NodeFormals.size(); }
+  std::size_t numEdges() const { return G.numEdges(); }
+
+  /// The formal parameter a β node represents.
+  ir::VarId formal(NodeId N) const {
+    assert(N < NodeFormals.size() && "bad binding node");
+    return NodeFormals[N];
+  }
+
+  /// The β node of a formal, or NoNode if the formal participates in no
+  /// binding event.
+  static constexpr NodeId NoNode = ~NodeId(0);
+  NodeId nodeOf(ir::VarId Formal) const {
+    assert(Formal.index() < FormalNodes.size() && "bad var id");
+    return FormalNodes[Formal.index()];
+  }
+
+  /// The binding event an edge represents.
+  EdgeOrigin origin(EdgeId E) const {
+    assert(E < Origins.size() && "bad binding edge");
+    return Origins[E];
+  }
+
+private:
+  NodeId getOrCreateNode(ir::VarId Formal);
+
+  Digraph G;
+  std::vector<ir::VarId> NodeFormals;   ///< node -> formal
+  std::vector<NodeId> FormalNodes;      ///< var index -> node or NoNode
+  std::vector<EdgeOrigin> Origins;      ///< edge -> binding event
+};
+
+} // namespace graph
+} // namespace ipse
+
+#endif // IPSE_GRAPH_BINDINGGRAPH_H

@@ -1,0 +1,22 @@
+//===- graph/CallGraph.cpp - The call multi-graph C --------------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/CallGraph.h"
+
+using namespace ipse;
+using namespace ipse::graph;
+
+CallGraph::CallGraph(const ir::Program &P)
+    : G(P.numProcs()) {
+  for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
+    const ir::CallSite &C = P.callSite(ir::CallSiteId(I));
+    EdgeId E = G.addEdge(C.Caller.index(), C.Callee.index());
+    (void)E;
+    assert(E == I && "edge ids must track call site ids");
+  }
+  G.finalize();
+}

@@ -1,0 +1,46 @@
+//===- graph/CallGraph.h - The call multi-graph C ---------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program's call multi-graph C = (N_C, E_C): one node per procedure,
+/// one edge per call site (§3.1 of the paper).  Edge ids coincide with
+/// CallSiteId indices, so attaching per-call-site data is free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_GRAPH_CALLGRAPH_H
+#define IPSE_GRAPH_CALLGRAPH_H
+
+#include "graph/Digraph.h"
+#include "ir/Program.h"
+
+namespace ipse {
+namespace graph {
+
+/// Call multi-graph over an ir::Program.
+class CallGraph {
+public:
+  /// Builds C from \p P in O(N + E).
+  explicit CallGraph(const ir::Program &P);
+
+  const Digraph &graph() const { return G; }
+
+  /// Node id for a procedure (node ids equal ProcId indices).
+  NodeId node(ir::ProcId P) const { return P.index(); }
+  ir::ProcId proc(NodeId N) const { return ir::ProcId(N); }
+
+  /// The call site an edge represents (edge ids equal CallSiteId indices).
+  ir::CallSiteId callSite(EdgeId E) const { return ir::CallSiteId(E); }
+
+private:
+  Digraph G;
+};
+
+} // namespace graph
+} // namespace ipse
+
+#endif // IPSE_GRAPH_CALLGRAPH_H

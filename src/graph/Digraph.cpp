@@ -1,0 +1,34 @@
+//===- graph/Digraph.cpp - Compact directed multi-graph ---------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Digraph.h"
+
+using namespace ipse;
+using namespace ipse::graph;
+
+void Digraph::finalize() {
+  assert(!Finalized && "finalize() called twice");
+  Offsets.assign(NodeCount + 1, 0);
+  for (const RawEdge &E : Edges)
+    ++Offsets[E.From + 1];
+  for (std::size_t I = 1; I <= NodeCount; ++I)
+    Offsets[I] += Offsets[I - 1];
+  Adj.resize(Edges.size());
+  std::vector<std::uint32_t> Next(Offsets.begin(), Offsets.end() - 1);
+  for (EdgeId E = 0; E != Edges.size(); ++E)
+    Adj[Next[Edges[E].From]++] = Adjacency{Edges[E].To, E};
+  Finalized = true;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph R(NodeCount);
+  R.Edges.reserve(Edges.size());
+  for (const RawEdge &E : Edges)
+    R.Edges.push_back({E.To, E.From});
+  R.finalize();
+  return R;
+}

@@ -1,0 +1,95 @@
+//===- graph/Digraph.h - Compact directed multi-graph -----------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A directed multi-graph in compressed-sparse-row form.  Both the call
+/// multi-graph C and the binding multi-graph β are instances; parallel
+/// edges are kept (the paper's graphs are multi-graphs) and every edge has
+/// a stable id so clients can attach data (call sites, binding functions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_GRAPH_DIGRAPH_H
+#define IPSE_GRAPH_DIGRAPH_H
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ipse {
+namespace graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// One successor entry: the target node and the id of the edge reaching it.
+struct Adjacency {
+  NodeId Dst;
+  EdgeId Edge;
+};
+
+/// CSR multi-digraph.  Add all edges, then call finalize() before querying
+/// adjacency.  Edge ids are assigned in addEdge() order.
+class Digraph {
+public:
+  Digraph() = default;
+  explicit Digraph(std::size_t NumNodes) : NodeCount(NumNodes) {}
+
+  std::size_t numNodes() const { return NodeCount; }
+  std::size_t numEdges() const { return Edges.size(); }
+
+  /// Adds an edge and returns its id.  Self loops and parallel edges are
+  /// allowed.
+  EdgeId addEdge(NodeId From, NodeId To) {
+    assert(From < NodeCount && To < NodeCount && "edge endpoint out of range");
+    assert(!Finalized && "graph already finalized");
+    Edges.push_back({From, To});
+    return static_cast<EdgeId>(Edges.size() - 1);
+  }
+
+  /// Builds the CSR adjacency structure.  Must be called exactly once,
+  /// after the last addEdge().
+  void finalize();
+
+  /// Successors of \p N with edge ids; requires finalize().
+  std::span<const Adjacency> succs(NodeId N) const {
+    assert(Finalized && "finalize() the graph before querying adjacency");
+    assert(N < NodeCount && "node out of range");
+    return std::span<const Adjacency>(Adj.data() + Offsets[N],
+                                      Offsets[N + 1] - Offsets[N]);
+  }
+
+  NodeId edgeSource(EdgeId E) const {
+    assert(E < Edges.size() && "edge out of range");
+    return Edges[E].From;
+  }
+  NodeId edgeTarget(EdgeId E) const {
+    assert(E < Edges.size() && "edge out of range");
+    return Edges[E].To;
+  }
+
+  /// Returns a new graph with every edge reversed (edge ids preserved).
+  Digraph reversed() const;
+
+private:
+  struct RawEdge {
+    NodeId From;
+    NodeId To;
+  };
+
+  std::size_t NodeCount = 0;
+  std::vector<RawEdge> Edges;
+  std::vector<std::uint32_t> Offsets;
+  std::vector<Adjacency> Adj;
+  bool Finalized = false;
+};
+
+} // namespace graph
+} // namespace ipse
+
+#endif // IPSE_GRAPH_DIGRAPH_H

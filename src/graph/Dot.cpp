@@ -1,0 +1,45 @@
+//===- graph/Dot.cpp - GraphViz export ----------------------------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Dot.h"
+
+#include <sstream>
+
+using namespace ipse;
+using namespace ipse::graph;
+
+std::string graph::callGraphToDot(const ir::Program &P, const CallGraph &CG) {
+  std::ostringstream OS;
+  OS << "digraph callgraph {\n";
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    OS << "  n" << I << " [label=\"" << P.name(ir::ProcId(I)) << "\"];\n";
+  const Digraph &G = CG.graph();
+  for (EdgeId E = 0; E != G.numEdges(); ++E)
+    OS << "  n" << G.edgeSource(E) << " -> n" << G.edgeTarget(E)
+       << " [label=\"s" << E << "\"];\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string graph::bindingGraphToDot(const ir::Program &P,
+                                     const BindingGraph &BG) {
+  std::ostringstream OS;
+  OS << "digraph binding {\n";
+  for (NodeId N = 0; N != BG.numNodes(); ++N) {
+    ir::VarId F = BG.formal(N);
+    OS << "  n" << N << " [label=\"" << P.name(P.var(F).Owner) << "."
+       << P.name(F) << "\"];\n";
+  }
+  const Digraph &G = BG.graph();
+  for (EdgeId E = 0; E != G.numEdges(); ++E) {
+    BindingGraph::EdgeOrigin O = BG.origin(E);
+    OS << "  n" << G.edgeSource(E) << " -> n" << G.edgeTarget(E)
+       << " [label=\"s" << O.Site.index() << "#" << O.ArgPos << "\"];\n";
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,37 @@
+//===- graph/Dot.h - GraphViz export ----------------------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the call multi-graph C and the binding multi-graph β in GraphViz
+/// dot syntax for the examples and for debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_GRAPH_DOT_H
+#define IPSE_GRAPH_DOT_H
+
+#include "graph/BindingGraph.h"
+#include "graph/CallGraph.h"
+#include "ir/Program.h"
+
+#include <string>
+
+namespace ipse {
+namespace graph {
+
+/// Returns the call multi-graph as a dot digraph; edges are labeled with
+/// their call-site ids.
+std::string callGraphToDot(const ir::Program &P, const CallGraph &CG);
+
+/// Returns the binding multi-graph as a dot digraph; nodes are labeled
+/// "proc.formal" and edges with the call site producing the binding.
+std::string bindingGraphToDot(const ir::Program &P, const BindingGraph &BG);
+
+} // namespace graph
+} // namespace ipse
+
+#endif // IPSE_GRAPH_DOT_H

@@ -1,0 +1,67 @@
+//===- ir/AliasInfo.h - Per-procedure alias pairs ---------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ALIAS(p): the set of alias pairs <x, y> that may hold on entry to
+/// procedure p.  The paper (like Banning's formulation) assumes these sets
+/// are given; §5 factors them into MOD at the very end.  An estimator that
+/// computes reference-parameter-induced pairs lives in
+/// analysis/AliasEstimator.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_IR_ALIASINFO_H
+#define IPSE_IR_ALIASINFO_H
+
+#include "ir/Ids.h"
+#include "ir/Program.h"
+
+#include <utility>
+#include <vector>
+
+namespace ipse {
+namespace ir {
+
+/// Per-procedure sets of (unordered) alias pairs.
+class AliasInfo {
+public:
+  AliasInfo() = default;
+
+  /// Creates empty alias sets for every procedure of \p P.
+  explicit AliasInfo(const Program &P) : Pairs(P.numProcs()) {}
+
+  /// Records that \p X and \p Y may be aliased on entry to \p P.
+  /// The pair is symmetric; it is stored once.
+  void addPair(ProcId P, VarId X, VarId Y) {
+    assert(P.index() < Pairs.size() && "bad procedure");
+    if (Y < X)
+      std::swap(X, Y);
+    Pairs[P.index()].emplace_back(X, Y);
+  }
+
+  /// All pairs recorded for \p P.
+  const std::vector<std::pair<VarId, VarId>> &pairs(ProcId P) const {
+    assert(P.index() < Pairs.size() && "bad procedure");
+    return Pairs[P.index()];
+  }
+
+  /// Total number of pairs across all procedures.
+  std::size_t totalPairs() const {
+    std::size_t N = 0;
+    for (const auto &V : Pairs)
+      N += V.size();
+    return N;
+  }
+
+private:
+  std::vector<std::vector<std::pair<VarId, VarId>>> Pairs;
+};
+
+} // namespace ir
+} // namespace ipse
+
+#endif // IPSE_IR_ALIASINFO_H

@@ -1,0 +1,61 @@
+//===- ir/Ids.h - Strongly typed dense entity ids --------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer ids for procedures, variables, statements, and call sites.
+/// Each kind is a distinct type so that a VarId cannot be passed where a
+/// ProcId is expected.  Ids index directly into the owning Program's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_IR_IDS_H
+#define IPSE_IR_IDS_H
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ipse {
+namespace ir {
+
+/// A strongly typed wrapper around a dense 32-bit index.
+template <typename Tag> class StrongId {
+public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t Value) : Value(Value) {}
+
+  /// Returns true unless this is the default-constructed invalid id.
+  constexpr bool isValid() const { return Value != Invalid; }
+
+  /// Returns the raw index; only meaningful when isValid().
+  constexpr std::uint32_t index() const { return Value; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+private:
+  static constexpr std::uint32_t Invalid = ~std::uint32_t(0);
+  std::uint32_t Value = Invalid;
+};
+
+using ProcId = StrongId<struct ProcIdTag>;
+using VarId = StrongId<struct VarIdTag>;
+using StmtId = StrongId<struct StmtIdTag>;
+using CallSiteId = StrongId<struct CallSiteIdTag>;
+
+} // namespace ir
+} // namespace ipse
+
+namespace std {
+template <typename Tag> struct hash<ipse::ir::StrongId<Tag>> {
+  size_t operator()(ipse::ir::StrongId<Tag> Id) const {
+    return hash<uint32_t>()(Id.index());
+  }
+};
+} // namespace std
+
+#endif // IPSE_IR_IDS_H

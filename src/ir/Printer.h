@@ -1,0 +1,35 @@
+//===- ir/Printer.h - Human-readable program dumps --------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an ir::Program as indented text for debugging and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_IR_PRINTER_H
+#define IPSE_IR_PRINTER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace ipse {
+namespace ir {
+
+/// Returns a multi-line rendering of the whole program: the nesting tree,
+/// each procedure's formals/locals, and each statement's LMOD/LUSE and
+/// calls.
+std::string printProgram(const Program &P);
+
+/// Returns "name" for a variable, qualified as "proc.name" when the
+/// variable is not global.
+std::string qualifiedName(const Program &P, VarId V);
+
+} // namespace ir
+} // namespace ipse
+
+#endif // IPSE_IR_PRINTER_H

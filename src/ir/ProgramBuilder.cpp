@@ -1,0 +1,144 @@
+//===- ir/ProgramBuilder.cpp - Incremental program construction ------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramBuilder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+using namespace ipse;
+using namespace ipse::ir;
+
+ProcId ProgramBuilder::createMain(std::string_view Name) {
+  assert(!MainCreated && "main already created");
+  MainCreated = true;
+  Procedure Main;
+  Main.Name = P.Names.intern(Name);
+  Main.Level = 0;
+  P.Procs.push_back(std::move(Main));
+  return ProcId(0);
+}
+
+ProcId ProgramBuilder::createProc(std::string_view Name, ProcId Parent) {
+  assert(MainCreated && "create main first");
+  assert(Parent.index() < P.Procs.size() && "bad parent");
+  ProcId Id(static_cast<std::uint32_t>(P.Procs.size()));
+  Procedure Pr;
+  Pr.Name = P.Names.intern(Name);
+  Pr.Parent = Parent;
+  Pr.Level = P.Procs[Parent.index()].Level + 1;
+  P.Procs.push_back(std::move(Pr));
+  P.Procs[Parent.index()].Nested.push_back(Id);
+  P.MaxLevel = std::max(P.MaxLevel, P.Procs[Id.index()].Level);
+  return Id;
+}
+
+VarId ProgramBuilder::addGlobal(std::string_view Name) {
+  assert(MainCreated && "create main first");
+  VarId Id(static_cast<std::uint32_t>(P.Vars.size()));
+  Variable V;
+  V.Name = P.Names.intern(Name);
+  V.Kind = VarKind::Global;
+  V.Owner = ProcId(0);
+  P.Vars.push_back(V);
+  P.Procs[0].Locals.push_back(Id);
+  return Id;
+}
+
+VarId ProgramBuilder::addLocal(ProcId Owner, std::string_view Name) {
+  assert(Owner.index() < P.Procs.size() && "bad owner");
+  if (Owner == ProcId(0))
+    return addGlobal(Name);
+  VarId Id(static_cast<std::uint32_t>(P.Vars.size()));
+  Variable V;
+  V.Name = P.Names.intern(Name);
+  V.Kind = VarKind::Local;
+  V.Owner = Owner;
+  P.Vars.push_back(V);
+  P.Procs[Owner.index()].Locals.push_back(Id);
+  return Id;
+}
+
+VarId ProgramBuilder::addFormal(ProcId Owner, std::string_view Name) {
+  assert(Owner.index() < P.Procs.size() && "bad owner");
+  assert(Owner != ProcId(0) && "main has no formals");
+  VarId Id(static_cast<std::uint32_t>(P.Vars.size()));
+  Variable V;
+  V.Name = P.Names.intern(Name);
+  V.Kind = VarKind::Formal;
+  V.Owner = Owner;
+  V.FormalPos = static_cast<unsigned>(P.Procs[Owner.index()].Formals.size());
+  P.Vars.push_back(V);
+  P.Procs[Owner.index()].Formals.push_back(Id);
+  return Id;
+}
+
+StmtId ProgramBuilder::addStmt(ProcId Parent) {
+  assert(Parent.index() < P.Procs.size() && "bad parent");
+  StmtId Id(static_cast<std::uint32_t>(P.Stmts.size()));
+  Statement S;
+  S.Parent = Parent;
+  P.Stmts.push_back(std::move(S));
+  P.Procs[Parent.index()].Stmts.push_back(Id);
+  return Id;
+}
+
+void ProgramBuilder::addMod(StmtId S, VarId V) {
+  assert(S.index() < P.Stmts.size() && "bad statement");
+  P.Stmts[S.index()].LMod.push_back(V);
+}
+
+void ProgramBuilder::addUse(StmtId S, VarId V) {
+  assert(S.index() < P.Stmts.size() && "bad statement");
+  P.Stmts[S.index()].LUse.push_back(V);
+}
+
+CallSiteId ProgramBuilder::addCall(StmtId S, ProcId Callee,
+                                   std::vector<Actual> Actuals) {
+  assert(S.index() < P.Stmts.size() && "bad statement");
+  assert(Callee.index() < P.Procs.size() && "bad callee");
+  CallSiteId Id(static_cast<std::uint32_t>(P.Calls.size()));
+  CallSite C;
+  C.Caller = P.Stmts[S.index()].Parent;
+  C.Callee = Callee;
+  C.Stmt = S;
+  C.Actuals = std::move(Actuals);
+  P.Calls.push_back(std::move(C));
+  P.Stmts[S.index()].Calls.push_back(Id);
+  P.Procs[P.Calls.back().Caller.index()].CallSites.push_back(Id);
+  return Id;
+}
+
+CallSiteId ProgramBuilder::addCall(StmtId S, ProcId Callee,
+                                   const std::vector<VarId> &Vars) {
+  std::vector<Actual> Actuals;
+  Actuals.reserve(Vars.size());
+  for (VarId V : Vars)
+    Actuals.push_back(Actual::variable(V));
+  return addCall(S, Callee, std::move(Actuals));
+}
+
+CallSiteId ProgramBuilder::addCallStmt(ProcId Caller, ProcId Callee,
+                                       const std::vector<VarId> &Vars) {
+  return addCall(addStmt(Caller), Callee, Vars);
+}
+
+Program ProgramBuilder::finish() {
+  assert(MainCreated && "program without main");
+  std::string Error;
+  if (!P.verify(Error)) {
+    // A builder-produced program that fails verification is a programming
+    // error in the client; fail loudly even in release builds.
+    std::fprintf(stderr,
+                 "ipse: ProgramBuilder produced an invalid program: %s\n",
+                 Error.c_str());
+    std::abort();
+  }
+  return std::move(P);
+}

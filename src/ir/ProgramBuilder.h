@@ -1,0 +1,84 @@
+//===- ir/ProgramBuilder.h - Incremental program construction ---*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mutable builder for ir::Program.  Used by the MiniProc frontend, the
+/// synthetic program generators, and directly by library clients (see
+/// examples/quickstart.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_IR_PROGRAMBUILDER_H
+#define IPSE_IR_PROGRAMBUILDER_H
+
+#include "ir/Program.h"
+
+#include <string_view>
+
+namespace ipse {
+namespace ir {
+
+/// Builds an ir::Program entity by entity.
+///
+/// Usage: create main first, then procedures (each naming its lexical
+/// parent), variables, statements, and calls in any order consistent with
+/// ownership; call finish() once to obtain the immutable program.  finish()
+/// asserts that Program::verify() succeeds.
+class ProgramBuilder {
+public:
+  ProgramBuilder() = default;
+
+  /// Creates the main program procedure (level 0).  Must be called first.
+  ProcId createMain(std::string_view Name);
+
+  /// Creates a procedure lexically declared inside \p Parent.
+  ProcId createProc(std::string_view Name, ProcId Parent);
+
+  /// Declares a global variable (a "local" of main).
+  VarId addGlobal(std::string_view Name);
+
+  /// Declares a local variable of \p Owner.
+  VarId addLocal(ProcId Owner, std::string_view Name);
+
+  /// Appends a reference formal parameter to \p Owner's formal list.
+  VarId addFormal(ProcId Owner, std::string_view Name);
+
+  /// Appends an empty statement to \p Parent's body.
+  StmtId addStmt(ProcId Parent);
+
+  /// Records that statement \p S may modify \p V directly (v ∈ LMOD(s)).
+  void addMod(StmtId S, VarId V);
+
+  /// Records that statement \p S may use \p V directly (v ∈ LUSE(s)).
+  void addUse(StmtId S, VarId V);
+
+  /// Adds a call to \p Callee inside statement \p S with the given actuals.
+  CallSiteId addCall(StmtId S, ProcId Callee, std::vector<Actual> Actuals);
+
+  /// Convenience overload: every actual is a variable.
+  CallSiteId addCall(StmtId S, ProcId Callee, const std::vector<VarId> &Vars);
+
+  /// Convenience: one fresh statement containing a single call.
+  CallSiteId addCallStmt(ProcId Caller, ProcId Callee,
+                         const std::vector<VarId> &Vars);
+
+  /// Read access to the program under construction (ids remain stable).
+  const Program &peek() const { return P; }
+
+  /// Finalizes: computes nesting levels and verifies invariants.
+  /// The builder must not be used afterwards.
+  Program finish();
+
+private:
+  Program P;
+  bool MainCreated = false;
+};
+
+} // namespace ir
+} // namespace ipse
+
+#endif // IPSE_IR_PROGRAMBUILDER_H

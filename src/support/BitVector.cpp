@@ -1,0 +1,140 @@
+//===- support/BitVector.cpp - Dense dynamic bit vector -------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include <bit>
+
+using namespace ipse;
+
+std::uint64_t BitVector::WordOps = 0;
+
+bool BitVector::none() const {
+  for (Word W : Words)
+    if (W != 0)
+      return false;
+  return true;
+}
+
+std::size_t BitVector::count() const {
+  std::size_t N = 0;
+  for (Word W : Words)
+    N += std::popcount(W);
+  return N;
+}
+
+void BitVector::clear() {
+  for (Word &W : Words)
+    W = 0;
+}
+
+void BitVector::resize(std::size_t NewBits) {
+  NumBits = NewBits;
+  Words.resize(numWords(NewBits), 0);
+  clearUnusedBits();
+}
+
+void BitVector::clearUnusedBits() {
+  if (NumBits % BitsPerWord != 0 && !Words.empty())
+    Words.back() &= (Word(1) << (NumBits % BitsPerWord)) - 1;
+}
+
+bool BitVector::orWith(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "size mismatch in orWith");
+  bool Changed = false;
+  WordOps += Words.size();
+  for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+    Word New = Words[I] | RHS.Words[I];
+    Changed |= New != Words[I];
+    Words[I] = New;
+  }
+  return Changed;
+}
+
+bool BitVector::andWith(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "size mismatch in andWith");
+  bool Changed = false;
+  WordOps += Words.size();
+  for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+    Word New = Words[I] & RHS.Words[I];
+    Changed |= New != Words[I];
+    Words[I] = New;
+  }
+  return Changed;
+}
+
+bool BitVector::andNotWith(const BitVector &RHS) {
+  assert(NumBits == RHS.NumBits && "size mismatch in andNotWith");
+  bool Changed = false;
+  WordOps += Words.size();
+  for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+    Word New = Words[I] & ~RHS.Words[I];
+    Changed |= New != Words[I];
+    Words[I] = New;
+  }
+  return Changed;
+}
+
+bool BitVector::orWithAndNot(const BitVector &A, const BitVector &B) {
+  assert(NumBits == A.NumBits && NumBits == B.NumBits &&
+         "size mismatch in orWithAndNot");
+  bool Changed = false;
+  WordOps += Words.size();
+  for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+    Word New = Words[I] | (A.Words[I] & ~B.Words[I]);
+    Changed |= New != Words[I];
+    Words[I] = New;
+  }
+  return Changed;
+}
+
+bool BitVector::orWithIntersectMinus(const BitVector &A, const BitVector &Keep,
+                                     const BitVector &Drop) {
+  assert(NumBits == A.NumBits && NumBits == Keep.NumBits &&
+         NumBits == Drop.NumBits && "size mismatch in orWithIntersectMinus");
+  bool Changed = false;
+  WordOps += Words.size();
+  for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+    Word New = Words[I] | (A.Words[I] & Keep.Words[I] & ~Drop.Words[I]);
+    Changed |= New != Words[I];
+    Words[I] = New;
+  }
+  return Changed;
+}
+
+bool BitVector::intersects(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "size mismatch in intersects");
+  for (std::size_t I = 0, E = Words.size(); I != E; ++I)
+    if ((Words[I] & RHS.Words[I]) != 0)
+      return true;
+  return false;
+}
+
+bool BitVector::isSubsetOf(const BitVector &RHS) const {
+  assert(NumBits == RHS.NumBits && "size mismatch in isSubsetOf");
+  for (std::size_t I = 0, E = Words.size(); I != E; ++I)
+    if ((Words[I] & ~RHS.Words[I]) != 0)
+      return false;
+  return true;
+}
+
+std::size_t BitVector::findNext(std::size_t From) const {
+  if (From >= NumBits)
+    return NumBits;
+  std::size_t WordIdx = From / BitsPerWord;
+  Word W = Words[WordIdx] >> (From % BitsPerWord);
+  if (W != 0)
+    return From + std::countr_zero(W);
+  for (++WordIdx; WordIdx < Words.size(); ++WordIdx)
+    if (Words[WordIdx] != 0)
+      return WordIdx * BitsPerWord + std::countr_zero(Words[WordIdx]);
+  return NumBits;
+}
+
+void BitVector::getSetBits(std::vector<std::size_t> &Out) const {
+  forEachSetBit([&Out](std::size_t Idx) { Out.push_back(Idx); });
+}

@@ -1,0 +1,33 @@
+//===- support/Compiler.h - Small compiler-support utilities ---*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers shared across the library.  The library follows the
+/// LLVM convention of asserting liberally and never throwing exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SUPPORT_COMPILER_H
+#define IPSE_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ipse {
+
+/// Marks a point in the code that must never be reached.  Prints \p Msg and
+/// aborts; in optimized builds it still aborts (these are programmer errors,
+/// not recoverable conditions).
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "ipse: unreachable executed: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace ipse
+
+#endif // IPSE_SUPPORT_COMPILER_H

@@ -1,0 +1,63 @@
+//===- support/Rng.h - Deterministic random number generator ---*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic RNG (SplitMix64) used by the synthetic
+/// workload generators.  Determinism matters: property tests and benchmarks
+/// must generate the same program for the same seed on every platform, which
+/// std::mt19937 plus the standard distributions does not guarantee.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SUPPORT_RNG_H
+#define IPSE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ipse {
+
+/// SplitMix64: a tiny, high-quality, deterministic 64-bit generator.
+class Rng {
+public:
+  explicit Rng(std::uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).  \p Bound > 0.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Rejection-free Lemire reduction; bias is negligible for our bounds.
+    return (static_cast<unsigned __int128>(next()) * Bound) >> 64;
+  }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] inclusive.
+  std::uint64_t nextInRange(std::uint64_t Lo, std::uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability \p Num / \p Den.
+  bool nextChance(std::uint64_t Num, std::uint64_t Den) {
+    assert(Den > 0 && "zero denominator");
+    return nextBelow(Den) < Num;
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace ipse
+
+#endif // IPSE_SUPPORT_RNG_H

@@ -1,0 +1,32 @@
+//===- support/StringInterner.cpp - Name interning ------------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+
+using namespace ipse;
+
+SymbolId StringInterner::intern(std::string_view Text) {
+  auto It = Ids.find(std::string(Text));
+  if (It != Ids.end())
+    return It->second;
+  SymbolId Id = static_cast<SymbolId>(Texts.size());
+  Texts.emplace_back(Text);
+  Ids.emplace(Texts.back(), Id);
+  return Id;
+}
+
+SymbolId StringInterner::lookup(std::string_view Text) const {
+  auto It = Ids.find(std::string(Text));
+  return It == Ids.end() ? InvalidSymbol : It->second;
+}
+
+const std::string &StringInterner::text(SymbolId Id) const {
+  assert(Id < Texts.size() && "invalid symbol id");
+  return Texts[Id];
+}

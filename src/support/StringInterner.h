@@ -1,0 +1,56 @@
+//===- support/StringInterner.h - Name interning ---------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns identifier strings into small dense integer ids, so the IR and
+/// the analyses can store and compare names in O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SUPPORT_STRINGINTERNER_H
+#define IPSE_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ipse {
+
+/// A dense id for an interned string; valid only with its owning interner.
+using SymbolId = std::uint32_t;
+
+/// Sentinel meaning "no symbol".
+inline constexpr SymbolId InvalidSymbol = ~SymbolId(0);
+
+/// Bidirectional map between strings and dense SymbolIds.
+///
+/// Ids are assigned in first-intern order, so iteration by id is
+/// deterministic for a deterministic intern sequence.
+class StringInterner {
+public:
+  /// Returns the id for \p Text, interning it if new.
+  SymbolId intern(std::string_view Text);
+
+  /// Returns the id for \p Text, or InvalidSymbol if it was never interned.
+  SymbolId lookup(std::string_view Text) const;
+
+  /// Returns the text for \p Id.
+  const std::string &text(SymbolId Id) const;
+
+  /// Returns the number of interned strings.
+  std::size_t size() const { return Texts.size(); }
+
+private:
+  std::unordered_map<std::string, SymbolId> Ids;
+  std::vector<std::string> Texts;
+};
+
+} // namespace ipse
+
+#endif // IPSE_SUPPORT_STRINGINTERNER_H

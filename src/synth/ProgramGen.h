@@ -1,0 +1,99 @@
+//===- synth/ProgramGen.h - Synthetic program generators --------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generators of synthetic ir::Programs — the workloads for
+/// the property tests and the E1–E6 benchmarks.  The paper's algorithms
+/// are pure call/binding-graph computations, so synthetic programs with
+/// controlled shape parameters (size, parameter counts µa/µf, recursion,
+/// nesting depth dP, global counts) exercise exactly what the authors'
+/// FORTRAN inputs would.
+///
+/// All generators are seeded and platform-deterministic (support/Rng.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SYNTH_PROGRAMGEN_H
+#define IPSE_SYNTH_PROGRAMGEN_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+
+namespace ipse {
+namespace synth {
+
+/// Shape parameters for the general random generator.
+struct ProgramGenConfig {
+  std::uint64_t Seed = 1;
+
+  /// Procedures besides main.
+  unsigned NumProcs = 10;
+  /// Global variables (declared by main).
+  unsigned NumGlobals = 5;
+  /// Formals per procedure are uniform in [0, MaxFormals].
+  unsigned MaxFormals = 3;
+  /// Locals per procedure are uniform in [0, MaxLocals].
+  unsigned MaxLocals = 2;
+  /// Call sites per procedure are uniform in [0, MaxCallsPerProc].
+  unsigned MaxCallsPerProc = 3;
+  /// Maximum procedure nesting level dP (1 = two-level C/FORTRAN scoping).
+  unsigned MaxNestDepth = 1;
+  /// Percent chance that each visible variable is modified by a
+  /// procedure's local statement.
+  unsigned ModDensityPct = 30;
+  /// Percent chance that each visible variable is used locally.
+  unsigned UseDensityPct = 30;
+  /// Allow call edges to lower-id procedures (creates recursion / SCCs).
+  bool AllowRecursion = true;
+  /// Percent chance an actual is a visible *formal* (drives β's size).
+  unsigned FormalActualBiasPct = 50;
+};
+
+/// Generates a random program.  The result always passes
+/// Program::verify(); it may contain unreachable procedures (the analyses
+/// and baselines treat them identically, and graph::eliminateUnreachable
+/// can strip them).
+ir::Program generateProgram(const ProgramGenConfig &Config);
+
+/// A two-level chain main -> p1 -> p2 -> ... -> pN where each pi passes
+/// its formals straight through to pi+1 and only pN modifies one of them:
+/// the deepest possible binding chain in β, the worst case for round-robin
+/// RMOD iteration and the best showcase for Figure 1.  Each procedure has
+/// \p NumFormals formals.
+ir::Program makeChainProgram(unsigned NumProcs, unsigned NumFormals);
+
+/// Like makeChainProgram, but the last procedure calls back to the first,
+/// closing the whole chain into one β / call-graph cycle (exercises the
+/// SCC machinery of both Figure 1 and Figure 2).
+ir::Program makeCycleProgram(unsigned NumProcs, unsigned NumFormals);
+
+/// A layered two-level DAG: \p Layers layers of \p Width procedures; every
+/// procedure calls \p Fanout random procedures of the next layer, passing
+/// formals through.  Models well-structured call trees.
+ir::Program makeLayeredProgram(unsigned Layers, unsigned Width,
+                               unsigned Fanout, unsigned NumFormals,
+                               unsigned NumGlobals, std::uint64_t Seed);
+
+/// A FORTRAN-flavored program: two-level, \p NumGlobals globals, every
+/// procedure modifies a few globals directly and calls a few others —
+/// the long-bit-vector regime the paper's complexity discussion assumes.
+ir::Program makeFortranStyleProgram(unsigned NumProcs, unsigned NumGlobals,
+                                    unsigned CallsPerProc,
+                                    std::uint64_t Seed);
+
+/// A nesting-stress program: a tower of procedures nested \p Depth deep
+/// (each level declaring a variable that deeper procedures modify), with
+/// \p ProcsPerLevel siblings and cross-calls among visible procedures.
+/// Exercises the §4 multi-level algorithm with dP = Depth.
+ir::Program makeNestedProgram(unsigned Depth, unsigned ProcsPerLevel,
+                              std::uint64_t Seed);
+
+} // namespace synth
+} // namespace ipse
+
+#endif // IPSE_SYNTH_PROGRAMGEN_H

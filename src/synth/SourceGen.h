@@ -1,0 +1,37 @@
+//===- synth/SourceGen.h - Emit MiniProc source from IR ---------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an ir::Program as MiniProc source text whose compilation yields
+/// a program with the *same analysis-relevant content* — same procedure
+/// tree, variables, per-statement LMOD/LUSE sets, and call sites with the
+/// same actual bindings.  Round-tripping generated programs through the
+/// frontend and comparing analysis results end-to-end is one of the
+/// integration test suites.
+///
+/// Requires globally unique names (the generators guarantee this); a
+/// statement with several LMOD entries is emitted as several assignments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SYNTH_SOURCEGEN_H
+#define IPSE_SYNTH_SOURCEGEN_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace ipse {
+namespace synth {
+
+/// Emits MiniProc source equivalent to \p P.
+std::string emitMiniProc(const ir::Program &P);
+
+} // namespace synth
+} // namespace ipse
+
+#endif // IPSE_SYNTH_SOURCEGEN_H

@@ -1,0 +1,217 @@
+//===- tests/bounded_section_test.cpp - Range-section lattice laws ------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// The bounded-range lattice is validated two ways: unit tests for the
+// interesting cases, and a concrete-model property sweep — constant-only
+// ranges denote explicit index sets over a small grid, against which meet
+// (must cover the union), contains, and mayIntersect (must be exact for
+// constants) are checked exhaustively.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/BoundedSection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace ipse;
+using namespace ipse::analysis;
+
+namespace {
+
+const ir::VarId SymI(7), SymJ(8);
+
+TEST(DimRange, MeetHullsConstants) {
+  DimRange P3 = DimRange::point(Subscript::constant(3));
+  DimRange P7 = DimRange::point(Subscript::constant(7));
+  DimRange Hull = P3.meet(P7);
+  ASSERT_TRUE(Hull.isInterval());
+  EXPECT_EQ(Hull.lo(), 3);
+  EXPECT_EQ(Hull.hi(), 7);
+}
+
+TEST(DimRange, MeetOfIntervals) {
+  DimRange A = DimRange::interval(1, 4);
+  DimRange B = DimRange::interval(3, 9);
+  DimRange Hull = A.meet(B);
+  EXPECT_EQ(Hull, DimRange::interval(1, 9));
+  // Disjoint intervals still hull (convex approximation).
+  EXPECT_EQ(DimRange::interval(1, 2).meet(DimRange::interval(8, 9)),
+            DimRange::interval(1, 9));
+}
+
+TEST(DimRange, SymbolsWidenOnMix) {
+  DimRange PI = DimRange::point(Subscript::symbol(SymI));
+  EXPECT_EQ(PI.meet(PI), PI); // Idempotent on equal symbols.
+  EXPECT_TRUE(PI.meet(DimRange::point(Subscript::symbol(SymJ))).isFull());
+  EXPECT_TRUE(PI.meet(DimRange::point(Subscript::constant(1))).isFull());
+  EXPECT_TRUE(PI.meet(DimRange::interval(1, 2)).isFull());
+}
+
+TEST(DimRange, Containment) {
+  DimRange Iv = DimRange::interval(2, 5);
+  EXPECT_TRUE(Iv.contains(DimRange::point(Subscript::constant(2))));
+  EXPECT_TRUE(Iv.contains(DimRange::point(Subscript::constant(5))));
+  EXPECT_FALSE(Iv.contains(DimRange::point(Subscript::constant(6))));
+  EXPECT_TRUE(Iv.contains(DimRange::interval(3, 4)));
+  EXPECT_FALSE(Iv.contains(DimRange::interval(3, 6)));
+  EXPECT_FALSE(Iv.contains(DimRange::full()));
+  EXPECT_TRUE(DimRange::full().contains(Iv));
+  // A symbolic point is only contained in itself and Full.
+  DimRange PI = DimRange::point(Subscript::symbol(SymI));
+  EXPECT_FALSE(Iv.contains(PI));
+  EXPECT_TRUE(DimRange::full().contains(PI));
+  EXPECT_TRUE(PI.contains(PI));
+}
+
+TEST(DimRange, Overlap) {
+  EXPECT_TRUE(DimRange::interval(1, 4).mayOverlap(DimRange::interval(4, 9)));
+  EXPECT_FALSE(
+      DimRange::interval(1, 4).mayOverlap(DimRange::interval(5, 9)));
+  EXPECT_TRUE(DimRange::interval(1, 4).mayOverlap(
+      DimRange::point(Subscript::constant(2))));
+  EXPECT_FALSE(DimRange::interval(1, 4).mayOverlap(
+      DimRange::point(Subscript::constant(5))));
+  // Symbols are conservative.
+  EXPECT_TRUE(DimRange::interval(1, 4).mayOverlap(
+      DimRange::point(Subscript::symbol(SymI))));
+}
+
+TEST(BoundedSection, StridedBlocksAreRepresentable) {
+  // A(1:8, j): impossible in the Figure 3 lattice, natural here.
+  BoundedSection Block = BoundedSection::make2(
+      DimRange::interval(1, 8), DimRange::point(Subscript::symbol(SymJ)));
+  EXPECT_EQ(Block.toString(), "(1:8,v8)");
+  EXPECT_FALSE(Block.isWhole());
+
+  BoundedSection OtherBlock = BoundedSection::make2(
+      DimRange::interval(9, 16), DimRange::point(Subscript::symbol(SymJ)));
+  // Distinct row blocks never intersect: a finer answer than rows/columns.
+  EXPECT_FALSE(Block.mayIntersect(OtherBlock));
+  // Their meet is the hull block, still not the whole array.
+  BoundedSection Hull = Block.meet(OtherBlock);
+  EXPECT_EQ(Hull.dim(0), DimRange::interval(1, 16));
+  EXPECT_FALSE(Hull.isWhole());
+}
+
+TEST(BoundedSection, EmbedsFigure3Exactly) {
+  RegularSection RowJ =
+      RegularSection::section2(Subscript::symbol(SymJ), Subscript::star());
+  BoundedSection B = BoundedSection::fromRegularSection(RowJ);
+  EXPECT_EQ(B.toString(), "(v8,*)");
+  EXPECT_TRUE(BoundedSection::fromRegularSection(RegularSection::none(2))
+                  .isNone());
+  EXPECT_TRUE(BoundedSection::fromRegularSection(RegularSection::whole(2))
+                  .isWhole());
+}
+
+TEST(BoundedSection, NoneIsIdentity) {
+  BoundedSection None = BoundedSection::none(2);
+  BoundedSection Block = BoundedSection::make2(DimRange::interval(1, 3),
+                                               DimRange::full());
+  EXPECT_EQ(None.meet(Block), Block);
+  EXPECT_EQ(Block.meet(None), Block);
+  EXPECT_TRUE(Block.contains(None));
+  EXPECT_FALSE(None.contains(Block));
+  EXPECT_FALSE(None.mayIntersect(Block));
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete-model property sweep: constant-only ranges over a small grid.
+//===----------------------------------------------------------------------===//
+
+/// All constant-only DimRanges over indices 0..5 (points and intervals),
+/// plus Full.
+std::vector<DimRange> allConstantRanges() {
+  std::vector<DimRange> Out;
+  for (int I = 0; I <= 5; ++I)
+    Out.push_back(DimRange::point(Subscript::constant(I)));
+  for (int Lo = 0; Lo <= 5; ++Lo)
+    for (int Hi = Lo; Hi <= 5; ++Hi)
+      Out.push_back(DimRange::interval(Lo, Hi));
+  Out.push_back(DimRange::full());
+  return Out;
+}
+
+/// The concrete index set a constant-only range denotes over 0..5 (Full
+/// denotes everything).
+std::set<int> denote(const DimRange &R) {
+  std::set<int> S;
+  for (int I = 0; I <= 5; ++I) {
+    DimRange P = DimRange::point(Subscript::constant(I));
+    if (R.contains(P))
+      S.insert(I);
+  }
+  return S;
+}
+
+TEST(DimRangeModel, MeetCoversUnionAndIsLattice) {
+  std::vector<DimRange> All = allConstantRanges();
+  for (const DimRange &A : All)
+    for (const DimRange &B : All) {
+      DimRange M = A.meet(B);
+      // Lattice laws.
+      EXPECT_EQ(M, B.meet(A));
+      EXPECT_EQ(A.meet(A), A);
+      // Coverage: the meet denotes a superset of the union.
+      std::set<int> DA = denote(A), DB = denote(B), DM = denote(M);
+      for (int X : DA)
+        EXPECT_TRUE(DM.count(X));
+      for (int X : DB)
+        EXPECT_TRUE(DM.count(X));
+      // And the meet is below both operands in the order.
+      EXPECT_TRUE(M.contains(A));
+      EXPECT_TRUE(M.contains(B));
+    }
+}
+
+TEST(DimRangeModel, MeetIsAssociative) {
+  std::vector<DimRange> All = allConstantRanges();
+  // Sampled triple check (full cube is large but fast enough at stride 3).
+  for (std::size_t I = 0; I < All.size(); I += 3)
+    for (std::size_t J = 1; J < All.size(); J += 3)
+      for (std::size_t K = 2; K < All.size(); K += 3)
+        EXPECT_EQ(All[I].meet(All[J]).meet(All[K]),
+                  All[I].meet(All[J].meet(All[K])));
+}
+
+TEST(DimRangeModel, OverlapIsExactForConstants) {
+  std::vector<DimRange> All = allConstantRanges();
+  for (const DimRange &A : All)
+    for (const DimRange &B : All) {
+      std::set<int> DA = denote(A), DB = denote(B);
+      bool Concrete = false;
+      for (int X : DA)
+        Concrete |= DB.count(X) != 0;
+      // Full ranges denote more than 0..5, so restrict exactness to
+      // non-Full operands; Full must simply report overlap.
+      if (A.isFull() || B.isFull())
+        EXPECT_TRUE(A.mayOverlap(B));
+      else
+        EXPECT_EQ(A.mayOverlap(B), Concrete)
+            << A.toString() << " vs " << B.toString();
+    }
+}
+
+TEST(DimRangeModel, ContainsAgreesWithDenotations) {
+  std::vector<DimRange> All = allConstantRanges();
+  for (const DimRange &A : All)
+    for (const DimRange &B : All) {
+      if (A.isFull() || B.isFull())
+        continue;
+      std::set<int> DA = denote(A), DB = denote(B);
+      bool Concrete = true;
+      for (int X : DB)
+        Concrete &= DA.count(X) != 0;
+      EXPECT_EQ(A.contains(B), Concrete)
+          << A.toString() << " vs " << B.toString();
+    }
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+//===- tests/cli_test.cpp - ipse-cli end-to-end tests -------------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives the built ipse-cli binary as a subprocess against the corpus:
+// exit codes and key output lines per subcommand.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+/// Runs a command, captures stdout, returns the exit code.
+int run(const std::string &CommandLine, std::string &Output) {
+  Output.clear();
+  FILE *Pipe = popen((CommandLine + " 2>/dev/null").c_str(), "r");
+  if (!Pipe)
+    return -1;
+  std::array<char, 4096> Buf;
+  std::size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    Output.append(Buf.data(), N);
+  int Status = pclose(Pipe);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+std::string cli() { return std::string(IPSE_CLI_PATH); }
+std::string corpus(const char *Name) {
+  return std::string(IPSE_SOURCE_DIR) + "/examples/corpus/" + Name;
+}
+
+TEST(Cli, NoArgsShowsUsage) {
+  std::string Out;
+  EXPECT_EQ(run(cli(), Out), 2);
+}
+
+TEST(Cli, UnknownCommandShowsUsage) {
+  std::string Out;
+  EXPECT_EQ(run(cli() + " frobnicate", Out), 2);
+}
+
+TEST(Cli, ReportOnCorpus) {
+  std::string Out;
+  ASSERT_EQ(run(cli() + " report " + corpus("swap_chain.mp"), Out), 0);
+  EXPECT_NE(Out.find("GMOD = { rotate.p, rotate.q, rotate.r, tmp }"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("GUSE"), std::string::npos);
+}
+
+TEST(Cli, ReportNoUseAndRMod) {
+  std::string Out;
+  ASSERT_EQ(run(cli() + " report --rmod --no-use " +
+                    corpus("swap_chain.mp"),
+                Out),
+            0);
+  EXPECT_EQ(Out.find("GUSE"), std::string::npos);
+  EXPECT_NE(Out.find("dst: RMOD"), std::string::npos) << Out;
+}
+
+TEST(Cli, ReportOnMissingFileFails) {
+  std::string Out;
+  EXPECT_EQ(run(cli() + " report /nonexistent.mp", Out), 1);
+}
+
+TEST(Cli, ReportOnBadSourceFails) {
+  // Feed it a file that exists but is not MiniProc.
+  std::string Out;
+  EXPECT_EQ(run(cli() + " report " + std::string(IPSE_SOURCE_DIR) +
+                    "/README.md",
+                Out),
+            1);
+}
+
+TEST(Cli, DotOutputs) {
+  std::string Out;
+  ASSERT_EQ(run(cli() + " dot " + corpus("evaluator.mp"), Out), 0);
+  EXPECT_NE(Out.find("digraph callgraph"), std::string::npos);
+  ASSERT_EQ(run(cli() + " dot --beta " + corpus("swap_chain.mp"), Out), 0);
+  EXPECT_NE(Out.find("digraph binding"), std::string::npos);
+  EXPECT_NE(Out.find("swap.x"), std::string::npos);
+}
+
+TEST(Cli, Stats) {
+  std::string Out;
+  ASSERT_EQ(run(cli() + " stats " + corpus("tower.mp"), Out), 0);
+  EXPECT_NE(Out.find("nesting depth dP  3"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("procedures        4"), std::string::npos) << Out;
+}
+
+TEST(Cli, CheckAgreesOnEveryCorpusFile) {
+  for (const char *Name : {"banking.mp", "swap_chain.mp", "accumulator.mp",
+                           "evaluator.mp", "tower.mp", "shadowing.mp",
+                           "ackermann.mp"}) {
+    std::string Out;
+    EXPECT_EQ(run(cli() + " check " + corpus(Name), Out), 0) << Name;
+    EXPECT_NE(Out.find("all agree"), std::string::npos) << Name << Out;
+  }
+}
+
+TEST(Cli, GenerateEmitsCompilableSource) {
+  std::string Out;
+  ASSERT_EQ(run(cli() + " generate --seed 5 --procs 12 --depth 3", Out), 0);
+  EXPECT_NE(Out.find("program main;"), std::string::npos);
+  // Deterministic: same seed, same bytes.
+  std::string Out2;
+  ASSERT_EQ(run(cli() + " generate --seed 5 --procs 12 --depth 3", Out2), 0);
+  EXPECT_EQ(Out, Out2);
+  // Different seed, different program.
+  ASSERT_EQ(run(cli() + " generate --seed 6 --procs 12 --depth 3", Out2), 0);
+  EXPECT_NE(Out, Out2);
+}
+
+TEST(Cli, RoundtripPreservesShape) {
+  for (const char *Name : {"banking.mp", "accumulator.mp", "tower.mp"}) {
+    std::string Out;
+    EXPECT_EQ(run(cli() + " roundtrip " + corpus(Name), Out), 0) << Name;
+    EXPECT_NE(Out.find("shape preserved"), std::string::npos) << Out;
+  }
+}
+
+} // namespace

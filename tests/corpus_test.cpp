@@ -1,0 +1,216 @@
+//===- tests/corpus_test.cpp - Golden results for the MiniProc corpus ---------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end coverage on realistic source programs (examples/corpus/):
+// every file must compile, verify, agree across all solvers, and match
+// hand-derived golden facts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Report.h"
+#include "analysis/SideEffectAnalyzer.h"
+#include "baselines/IterativeSolver.h"
+#include "frontend/Frontend.h"
+#include "graph/CallGraph.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace ipse;
+using namespace ipse::ir;
+
+namespace {
+
+Program compileCorpusFile(const std::string &Name) {
+  std::string Path = std::string(IPSE_SOURCE_DIR) + "/examples/corpus/" +
+                     Name;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  frontend::CompileResult R = frontend::compileMiniProc(SS.str());
+  EXPECT_TRUE(R.succeeded()) << Name << ":\n" << R.Diags.renderAll();
+  return std::move(*R.Program);
+}
+
+/// Finds a procedure by name.
+ProcId procNamed(const Program &P, const std::string &Name) {
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    if (P.name(ProcId(I)) == Name)
+      return ProcId(I);
+  ADD_FAILURE() << "no procedure named " << Name;
+  return ProcId(0);
+}
+
+/// Shared sanity: structure verifies and the fast pipeline matches the
+/// equation-(1) oracle.
+void checkAgainstOracle(const Program &P) {
+  std::string Error;
+  ASSERT_TRUE(P.verify(Error)) << Error;
+  analysis::SideEffectAnalyzer An(P);
+  analysis::VarMasks Masks(P);
+  graph::CallGraph CG(P);
+  analysis::LocalEffects Local(P, Masks, analysis::EffectKind::Mod);
+  baselines::IterativeResult Oracle =
+      baselines::solveIterative(P, CG, Masks, Local);
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    EXPECT_EQ(An.gmod(ProcId(I)), Oracle.GMod.GMod[I]) << P.name(ProcId(I));
+}
+
+TEST(Corpus, Banking) {
+  Program P = compileCorpusFile("banking.mp");
+  checkAgainstOracle(P);
+  analysis::SideEffectAnalyzer An(P);
+
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "log_entry"))), "ledger");
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "charge_fee"))),
+            "balance, fees, ledger");
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "deposit"))),
+            "balance, ledger");
+  // withdraw and retry are one SCC: identical global side effects.
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "withdraw"))),
+            "attempts, balance, errors, ledger");
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "retry"))),
+            "attempts, balance, errors, ledger");
+  // main touches everything (read balance counts as a MOD).
+  EXPECT_EQ(An.setToString(An.gmod(P.main())),
+            "attempts, balance, errors, fees, ledger");
+  // No formal parameter is ever assigned.
+  for (std::uint32_t I = 0; I != P.numVars(); ++I)
+    if (P.var(VarId(I)).Kind == VarKind::Formal)
+      EXPECT_FALSE(An.rmodContains(VarId(I)));
+}
+
+TEST(Corpus, SwapChain) {
+  Program P = compileCorpusFile("swap_chain.mp");
+  checkAgainstOracle(P);
+  analysis::SideEffectAnalyzer An(P);
+
+  ProcId Set = procNamed(P, "set");
+  ProcId Swap = procNamed(P, "swap");
+  ProcId Rotate = procNamed(P, "rotate");
+  // RMOD: dst; x and y; p, q and r — all through binding chains.
+  EXPECT_TRUE(An.rmodContains(P.proc(Set).Formals[0]));
+  EXPECT_FALSE(An.rmodContains(P.proc(Set).Formals[1]));
+  EXPECT_TRUE(An.rmodContains(P.proc(Swap).Formals[0]));
+  EXPECT_TRUE(An.rmodContains(P.proc(Swap).Formals[1]));
+  for (VarId F : P.proc(Rotate).Formals)
+    EXPECT_TRUE(An.rmodContains(F));
+
+  EXPECT_EQ(An.setToString(An.gmod(Rotate)),
+            "rotate.p, rotate.q, rotate.r, tmp");
+  EXPECT_EQ(An.setToString(An.gmod(P.main())), "a, b, c, tmp");
+}
+
+TEST(Corpus, Accumulator) {
+  Program P = compileCorpusFile("accumulator.mp");
+  checkAgainstOracle(P);
+  ASSERT_EQ(P.maxProcLevel(), 2u);
+  analysis::SideEffectAnalyzer An(P);
+
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "add"))),
+            "process.n, process.sum");
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "publish"))),
+            "count, total");
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "process"))),
+            "count, process.n, process.sum, total");
+  // process's locals vanish at main.
+  EXPECT_EQ(An.setToString(An.gmod(P.main())), "count, total");
+}
+
+TEST(Corpus, Evaluator) {
+  Program P = compileCorpusFile("evaluator.mp");
+  checkAgainstOracle(P);
+  analysis::SideEffectAnalyzer An(P);
+
+  // The three-procedure cycle shares its global effects.
+  const char *Expected = "depth, faults, result";
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "eval"))), Expected);
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "apply"))), Expected);
+  EXPECT_EQ(An.setToString(An.gmod(procNamed(P, "reduce"))), Expected);
+  EXPECT_EQ(An.setToString(An.gmod(P.main())), Expected);
+}
+
+TEST(Corpus, Tower) {
+  Program P = compileCorpusFile("tower.mp");
+  checkAgainstOracle(P);
+  ASSERT_EQ(P.maxProcLevel(), 3u);
+  analysis::SideEffectAnalyzer An(P);
+
+  ProcId L1 = procNamed(P, "level1");
+  ProcId L3 = procNamed(P, "level3");
+  // level3 stores into level1's formal (two lexical levels up).
+  const BitVector &G3 = An.gmod(L3);
+  EXPECT_TRUE(G3.test(P.proc(L1).Formals[0].index()));
+  EXPECT_EQ(An.setToString(An.gmod(P.main())), "g");
+  // a1 is in RMOD(level1) through the nested store.
+  EXPECT_TRUE(An.rmodContains(P.proc(L1).Formals[0]));
+}
+
+TEST(Corpus, Shadowing) {
+  Program P = compileCorpusFile("shadowing.mp");
+  checkAgainstOracle(P);
+  analysis::SideEffectAnalyzer An(P);
+  analysis::AnalyzerOptions UseOpts;
+  UseOpts.Kind = analysis::EffectKind::Use;
+  analysis::SideEffectAnalyzer Use(P, UseOpts);
+
+  ProcId Observe = procNamed(P, "observe");
+  ProcId Worker = procNamed(P, "worker");
+  // worker's local x shadows the global; its effects stay local.
+  EXPECT_EQ(An.setToString(An.gmod(Worker)), "log, worker.x");
+  EXPECT_EQ(An.setToString(An.gmod(P.main())), "log, x");
+  // observe never modifies its formal but uses it.
+  EXPECT_FALSE(An.rmodContains(P.proc(Observe).Formals[0]));
+  EXPECT_TRUE(Use.rmodContains(P.proc(Observe).Formals[0]));
+  // The by-value call site binds nothing: per-call DUSE is just log.
+  CallSiteId ByValue = P.proc(Worker).CallSites[1];
+  EXPECT_EQ(Use.setToString(Use.dmod(ByValue)), "log");
+  CallSiteId ByRef = P.proc(Worker).CallSites[0];
+  EXPECT_EQ(Use.setToString(Use.dmod(ByRef)), "log, worker.x");
+}
+
+TEST(Corpus, Ackermann) {
+  Program P = compileCorpusFile("ackermann.mp");
+  checkAgainstOracle(P);
+  analysis::SideEffectAnalyzer An(P);
+  analysis::AnalyzerOptions UseOpts;
+  UseOpts.Kind = analysis::EffectKind::Use;
+  analysis::SideEffectAnalyzer Use(P, UseOpts);
+
+  ProcId Ack = procNamed(P, "ack");
+  EXPECT_EQ(An.setToString(An.gmod(Ack)), "ack.out, ack.t, calls");
+  EXPECT_EQ(Use.setToString(Use.gmod(Ack)), "ack.m, ack.n, ack.t, calls");
+  EXPECT_EQ(An.setToString(An.gmod(P.main())), "calls, result");
+  // out is write-only, m and n read-only.
+  const Procedure &Pr = P.proc(Ack);
+  EXPECT_FALSE(An.rmodContains(Pr.Formals[0]));
+  EXPECT_FALSE(An.rmodContains(Pr.Formals[1]));
+  EXPECT_TRUE(An.rmodContains(Pr.Formals[2]));
+  EXPECT_TRUE(Use.rmodContains(Pr.Formals[0]));
+  EXPECT_TRUE(Use.rmodContains(Pr.Formals[1]));
+  EXPECT_FALSE(Use.rmodContains(Pr.Formals[2]));
+}
+
+TEST(Corpus, ReportsAreStable) {
+  Program P = compileCorpusFile("swap_chain.mp");
+  analysis::ReportOptions Options;
+  Options.IncludeRMod = true;
+  std::string Report = analysis::makeReport(P, Options);
+  // Spot-check the format and a few facts.
+  EXPECT_NE(Report.find("GMOD = { rotate.p, rotate.q, rotate.r, tmp }"),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("dst: RMOD"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("src: -"), std::string::npos) << Report;
+  // Two runs are byte-identical (determinism).
+  EXPECT_EQ(Report, analysis::makeReport(P, Options));
+}
+
+} // namespace

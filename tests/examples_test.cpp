@@ -1,0 +1,81 @@
+//===- tests/examples_test.cpp - The documented examples must run -------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+int run(const std::string &CommandLine, std::string &Output) {
+  Output.clear();
+  FILE *Pipe = popen((CommandLine + " 2>&1").c_str(), "r");
+  if (!Pipe)
+    return -1;
+  std::array<char, 4096> Buf;
+  std::size_t N;
+  while ((N = fread(Buf.data(), 1, Buf.size(), Pipe)) > 0)
+    Output.append(Buf.data(), N);
+  int Status = pclose(Pipe);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+std::string example(const char *Name) {
+  return std::string(IPSE_EXAMPLES_DIR) + "/" + Name;
+}
+
+TEST(Examples, Quickstart) {
+  std::string Out;
+  ASSERT_EQ(run(example("quickstart"), Out), 0);
+  // The hand-computed results from the paper-style example.
+  EXPECT_NE(Out.find("GMOD(p   ) = { h, p.b, p.x }"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("GUSE(p   ) = { g, p.a }"), std::string::npos);
+  EXPECT_NE(Out.find("p.b    : modified"), std::string::npos);
+  EXPECT_NE(Out.find("p.a    : not modified"), std::string::npos);
+}
+
+TEST(Examples, AnalyzeSourceBuiltinSample) {
+  std::string Out;
+  ASSERT_EQ(run(example("analyze_source"), Out), 0);
+  EXPECT_NE(Out.find("Per-procedure summaries"), std::string::npos);
+  EXPECT_NE(Out.find("GMOD = { depth, total, walk.local }"),
+            std::string::npos)
+      << Out;
+}
+
+TEST(Examples, AnalyzeSourceDot) {
+  std::string Out;
+  ASSERT_EQ(run(example("analyze_source") + " --dot", Out), 0);
+  EXPECT_NE(Out.find("digraph callgraph"), std::string::npos);
+  EXPECT_NE(Out.find("digraph binding"), std::string::npos);
+}
+
+TEST(Examples, ParallelLoops) {
+  std::string Out;
+  ASSERT_EQ(run(example("parallel_loops"), Out), 0);
+  EXPECT_NE(Out.find("the loop is SERIAL"), std::string::npos);
+  EXPECT_NE(Out.find("the loop is PARALLEL"), std::string::npos);
+  EXPECT_NE(Out.find("sections intersect? no"), std::string::npos);
+}
+
+TEST(Examples, CompareAlgorithmsSmall) {
+  std::string Out;
+  ASSERT_EQ(run(example("compare_algorithms") + " 300", Out), 0);
+  EXPECT_NE(Out.find("All algorithms agree."), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("MISMATCH"), std::string::npos);
+}
+
+TEST(Examples, SoundnessFuzzSmall) {
+  std::string Out;
+  ASSERT_EQ(run(example("soundness_fuzz") + " 10 100", Out), 0);
+  EXPECT_NE(Out.find("0 violations"), std::string::npos) << Out;
+}
+
+} // namespace

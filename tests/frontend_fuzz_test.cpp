@@ -1,0 +1,109 @@
+//===- tests/frontend_fuzz_test.cpp - Frontend robustness fuzzing -------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// The frontend must never crash on malformed input: it either produces a
+// verified program or diagnostics.  Fuzzing strategy: start from valid
+// generated sources and mutate them (delete spans, duplicate spans, swap
+// characters, truncate), then compile; when compilation unexpectedly
+// succeeds, the resulting program must still pass Program::verify().
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "support/Rng.h"
+#include "synth/ProgramGen.h"
+#include "synth/SourceGen.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace ipse;
+
+namespace {
+
+std::string baseSource(std::uint64_t Seed) {
+  synth::ProgramGenConfig Cfg;
+  Cfg.Seed = Seed;
+  Cfg.NumProcs = 8;
+  Cfg.NumGlobals = 3;
+  Cfg.MaxNestDepth = 2;
+  return synth::emitMiniProc(synth::generateProgram(Cfg));
+}
+
+void compileMustNotCrash(const std::string &Source) {
+  frontend::CompileResult R = frontend::compileMiniProc(Source);
+  if (R.succeeded()) {
+    std::string Error;
+    EXPECT_TRUE(R.Program->verify(Error)) << Error;
+  } else {
+    EXPECT_TRUE(R.Diags.hasErrors());
+  }
+}
+
+class FrontendFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrontendFuzz, DeletedSpans) {
+  Rng R(GetParam());
+  std::string Base = baseSource(GetParam());
+  for (int I = 0; I != 40; ++I) {
+    std::string S = Base;
+    std::size_t Pos = R.nextBelow(S.size());
+    std::size_t Len = 1 + R.nextBelow(20);
+    S.erase(Pos, Len);
+    compileMustNotCrash(S);
+  }
+}
+
+TEST_P(FrontendFuzz, DuplicatedSpans) {
+  Rng R(GetParam() * 31 + 7);
+  std::string Base = baseSource(GetParam());
+  for (int I = 0; I != 40; ++I) {
+    std::string S = Base;
+    std::size_t Pos = R.nextBelow(S.size());
+    std::size_t Len = 1 + R.nextBelow(15);
+    Len = std::min(Len, S.size() - Pos);
+    S.insert(Pos, S.substr(Pos, Len));
+    compileMustNotCrash(S);
+  }
+}
+
+TEST_P(FrontendFuzz, SwappedCharacters) {
+  Rng R(GetParam() * 131 + 3);
+  std::string Base = baseSource(GetParam());
+  for (int I = 0; I != 40; ++I) {
+    std::string S = Base;
+    for (int K = 0; K != 4; ++K) {
+      std::size_t A = R.nextBelow(S.size());
+      std::size_t B = R.nextBelow(S.size());
+      std::swap(S[A], S[B]);
+    }
+    compileMustNotCrash(S);
+  }
+}
+
+TEST_P(FrontendFuzz, Truncations) {
+  std::string Base = baseSource(GetParam());
+  for (std::size_t Cut = 0; Cut < Base.size(); Cut += 7)
+    compileMustNotCrash(Base.substr(0, Cut));
+}
+
+TEST_P(FrontendFuzz, RandomBytes) {
+  Rng R(GetParam() * 977 + 11);
+  for (int I = 0; I != 20; ++I) {
+    std::string S;
+    std::size_t Len = R.nextBelow(300);
+    for (std::size_t K = 0; K != Len; ++K)
+      S.push_back(static_cast<char>(32 + R.nextBelow(95)));
+    compileMustNotCrash(S);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FrontendFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+} // namespace

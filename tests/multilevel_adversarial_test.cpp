@@ -1,0 +1,247 @@
+//===- tests/multilevel_adversarial_test.cpp - Targeted §4 topologies ---------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// The combined §4 algorithm's per-problem Tarjan bookkeeping (single-slot
+// lowlink updates + suffix-min correction + prefix stack membership) is
+// the subtlest code in the repository.  Each test here builds a topology
+// chosen to stress one specific interaction — forward edges to nodes whose
+// deep-level components already closed, cross edges between sibling
+// subtrees, lowlink evidence arriving only through a shallower-level slot,
+// towers closing several levels at one exit — and checks the combined
+// variant against both the repeated variant and the equation-(1) oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IModPlus.h"
+#include "analysis/LocalEffects.h"
+#include "analysis/MultiLevelGMod.h"
+#include "analysis/RMod.h"
+#include "baselines/IterativeSolver.h"
+#include "graph/BindingGraph.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipse;
+using namespace ipse::analysis;
+using namespace ipse::ir;
+
+namespace {
+
+/// Runs all three GMOD solvers and requires identical answers.
+void expectAllAgree(const Program &P) {
+  VarMasks Masks(P);
+  graph::CallGraph CG(P);
+  graph::BindingGraph BG(P);
+  LocalEffects Local(P, Masks, EffectKind::Mod);
+  RModResult RMod = solveRMod(P, BG, Local);
+  std::vector<BitVector> Plus = computeIModPlus(P, Local, RMod);
+
+  GModResult Rep = solveMultiLevelRepeated(P, CG, Masks, Plus);
+  GModResult Com = solveMultiLevelCombined(P, CG, Masks, Plus);
+  baselines::IterativeResult Oracle =
+      baselines::solveIterative(P, CG, Masks, Local);
+
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    EXPECT_EQ(Com.GMod[I], Rep.GMod[I])
+        << "combined vs repeated at " << P.name(ProcId(I));
+    EXPECT_EQ(Com.GMod[I], Oracle.GMod.GMod[I])
+        << "combined vs oracle at " << P.name(ProcId(I));
+  }
+}
+
+/// A convenience kit for building nested topologies tersely.
+struct Kit {
+  ProgramBuilder B;
+  ProcId Main;
+  VarId G;
+
+  Kit() {
+    Main = B.createMain("main");
+    G = B.addGlobal("g");
+  }
+
+  ProcId proc(const char *Name, ProcId Parent) {
+    ProcId P = B.createProc(Name, Parent);
+    return P;
+  }
+
+  VarId local(ProcId P, const char *Name) { return B.addLocal(P, Name); }
+
+  void mod(ProcId P, VarId V) { B.addMod(B.addStmt(P), V); }
+  void call(ProcId From, ProcId To) { B.addCallStmt(From, To, {}); }
+};
+
+TEST(MultiLevelAdversarial, ForwardEdgeToClosedDeepComponent) {
+  // main -> outer; outer -> a -> b, then a forward-ish edge outer -> b
+  // after b's level-2 component has closed; b modifies outer's local.
+  Kit K;
+  ProcId Outer = K.proc("outer", K.Main);
+  VarId OV = K.local(Outer, "ov");
+  ProcId A = K.proc("a", Outer);
+  ProcId Bp = K.proc("b", Outer);
+  K.mod(Bp, OV);
+  K.mod(Bp, K.G);
+  K.call(Outer, A);
+  K.call(A, Bp);
+  K.call(Outer, Bp); // Second in edge order: b already visited and closed.
+  K.call(K.Main, Outer);
+  expectAllAgree(K.B.finish());
+}
+
+TEST(MultiLevelAdversarial, CrossEdgeBetweenSiblingSubtrees) {
+  // Two siblings under outer; s1's subtree finishes, then s2 cross-calls
+  // into it.  The cross edge's target is closed at level 2 but the level-1
+  // component (via a back edge to outer) is still open.
+  Kit K;
+  ProcId Outer = K.proc("outer", K.Main);
+  VarId OV = K.local(Outer, "ov");
+  ProcId S1 = K.proc("s1", Outer);
+  ProcId S2 = K.proc("s2", Outer);
+  K.mod(S1, OV);
+  K.mod(S2, K.G);
+  K.call(Outer, S1);
+  K.call(S1, Outer); // Back edge: outer and s1 share the level-1 SCC.
+  K.call(Outer, S2);
+  K.call(S2, S1); // Cross edge to the closed-at-level-2 sibling.
+  K.call(K.Main, Outer);
+  expectAllAgree(K.B.finish());
+}
+
+TEST(MultiLevelAdversarial, LowlinkEvidenceOnlyThroughShallowSlot) {
+  // The x -> b case analyzed in MultiLevelGMod.cpp: the edge's callee
+  // level is 2, but b has already been popped from the level-2 stack, so
+  // the lowlink update must land in the deepest still-stacked slot
+  // (level 1) or x closes its level-1 component prematurely.
+  Kit K;
+  ProcId Outer = K.proc("outer", K.Main); // level 1
+  VarId OV = K.local(Outer, "ov");
+  ProcId Bp = K.proc("b", Outer); // level 2
+  ProcId X = K.proc("x", Outer);  // level 2
+  K.mod(Bp, K.G);
+  K.mod(X, OV);
+  K.call(Outer, Bp); // b visited first; its level-2 SCC closes.
+  K.call(Bp, Outer); // back edge: b in outer's level-1 SCC.
+  K.call(Outer, X);
+  K.call(X, Bp); // x's only outgoing edge: must keep x open at level 1.
+  K.call(K.Main, Outer);
+  expectAllAgree(K.B.finish());
+}
+
+TEST(MultiLevelAdversarial, SeveralLevelsCloseAtOneExit) {
+  // A tower where the root of the level-1, level-2, and level-3 components
+  // is the same node: the per-level close loop at one exit must pop three
+  // parallel stacks in the right (deepest-first) order.
+  Kit K;
+  ProcId T1 = K.proc("t1", K.Main);
+  VarId V1 = K.local(T1, "v1");
+  ProcId T2 = K.proc("t2", T1);
+  VarId V2 = K.local(T2, "v2");
+  ProcId T3 = K.proc("t3", T2);
+  K.mod(T3, V1);
+  K.mod(T3, V2);
+  K.mod(T3, K.G);
+  K.call(T1, T2);
+  K.call(T2, T3);
+  K.call(T3, T3); // Self loop at the deepest level.
+  K.call(K.Main, T1);
+  expectAllAgree(K.B.finish());
+}
+
+TEST(MultiLevelAdversarial, CycleSpanningThreeLevels) {
+  // t1 -> t2 -> t3 -> t1: one level-1 SCC containing procedures at levels
+  // 1..3; the level-2 problem sees only t2 -> t3 (and t3 -> t1 drops out),
+  // the level-3 problem only trivial components.
+  Kit K;
+  ProcId T1 = K.proc("t1", K.Main);
+  VarId V1 = K.local(T1, "v1");
+  ProcId T2 = K.proc("t2", T1);
+  VarId V2 = K.local(T2, "v2");
+  ProcId T3 = K.proc("t3", T2);
+  K.mod(T2, V1);
+  K.mod(T3, V2);
+  K.mod(T1, K.G);
+  K.call(T1, T2);
+  K.call(T2, T3);
+  K.call(T3, T1);
+  K.call(K.Main, T1);
+  expectAllAgree(K.B.finish());
+}
+
+TEST(MultiLevelAdversarial, TwoIndependentDeepRegions) {
+  // Two level-1 subtrees, each with internal level-2 recursion; no edges
+  // between the regions (per-problem Tarjan must keep their stacks
+  // disjoint even though one full-graph DFS covers both).
+  Kit K;
+  ProcId L = K.proc("left", K.Main);
+  VarId LV = K.local(L, "lv");
+  ProcId L1 = K.proc("l1", L);
+  ProcId L2 = K.proc("l2", L);
+  ProcId R = K.proc("right", K.Main);
+  VarId RV = K.local(R, "rv");
+  ProcId R1 = K.proc("r1", R);
+  K.mod(L1, LV);
+  K.mod(R1, RV);
+  K.mod(R1, K.G);
+  K.call(L, L1);
+  K.call(L1, L2);
+  K.call(L2, L1); // level-2 cycle in the left region.
+  K.call(R, R1);
+  K.call(R1, R1); // self loop in the right region.
+  K.call(K.Main, L);
+  K.call(K.Main, R);
+  expectAllAgree(K.B.finish());
+}
+
+TEST(MultiLevelAdversarial, ParallelEdgesAcrossLevels) {
+  // Multi-graph stress: the same (caller, callee) pair repeated several
+  // times at different positions in the edge order.
+  Kit K;
+  ProcId T1 = K.proc("t1", K.Main);
+  VarId V1 = K.local(T1, "v1");
+  ProcId T2 = K.proc("t2", T1);
+  K.mod(T2, V1);
+  K.mod(T2, K.G);
+  K.call(T1, T2);
+  K.call(T1, T2);
+  K.call(T2, T1);
+  K.call(T1, T2);
+  K.call(K.Main, T1);
+  expectAllAgree(K.B.finish());
+}
+
+TEST(MultiLevelAdversarial, DeepTowerNoStackOverflow) {
+  // 5000 nesting levels: the iterative DFS and O(dP) per-node loops must
+  // survive; repeated-vs-combined agreement at scale.
+  Kit K;
+  ProcId Cur = K.Main;
+  std::vector<ProcId> Tower;
+  for (unsigned I = 0; I != 5000; ++I) {
+    ProcId Next = K.B.createProc("t" + std::to_string(I), Cur);
+    Tower.push_back(Next);
+    Cur = Next;
+  }
+  K.mod(Tower.back(), K.G);
+  for (unsigned I = 0; I + 1 != 5000; ++I)
+    K.call(Tower[I], Tower[I + 1]);
+  K.call(K.Main, Tower[0]);
+  Program P = K.B.finish();
+
+  VarMasks Masks(P);
+  graph::CallGraph CG(P);
+  graph::BindingGraph BG(P);
+  LocalEffects Local(P, Masks, EffectKind::Mod);
+  std::vector<BitVector> Plus =
+      computeIModPlus(P, Local, solveRMod(P, BG, Local));
+  GModResult Com = solveMultiLevelCombined(P, CG, Masks, Plus);
+  // Every tower member (and main) sees the global modification.
+  EXPECT_TRUE(Com.of(P.main()).test(K.G.index()));
+  EXPECT_TRUE(Com.of(Tower[0]).test(K.G.index()));
+  EXPECT_TRUE(Com.of(Tower[4999]).test(K.G.index()));
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- tests/multilevel_test.cpp - §4 multi-level GMOD tests ------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IModPlus.h"
+#include "analysis/LocalEffects.h"
+#include "analysis/MultiLevelGMod.h"
+#include "analysis/RMod.h"
+#include "analysis/SideEffectAnalyzer.h"
+#include "baselines/IterativeSolver.h"
+#include "graph/BindingGraph.h"
+#include "graph/Reachability.h"
+#include "ir/ProgramBuilder.h"
+#include "synth/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipse;
+using namespace ipse::analysis;
+using namespace ipse::ir;
+
+namespace {
+
+/// Runs the shared prefix of the pipeline and returns the IMOD+ sets.
+struct Pipeline {
+  VarMasks Masks;
+  graph::CallGraph CG;
+  graph::BindingGraph BG;
+  LocalEffects Local;
+  RModResult RMod;
+  std::vector<BitVector> IModPlus;
+
+  explicit Pipeline(const Program &P)
+      : Masks(P), CG(P), BG(P), Local(P, Masks, EffectKind::Mod),
+        RMod(solveRMod(P, BG, Local)),
+        IModPlus(computeIModPlus(P, Local, RMod)) {}
+};
+
+void expectSameGMod(const Program &P, const GModResult &A,
+                    const GModResult &B, const char *What) {
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    EXPECT_EQ(A.GMod[I], B.GMod[I])
+        << What << " disagrees at procedure " << P.name(ProcId(I));
+}
+
+/// Hand-checked nested example:
+///
+///   program m; var g;
+///     proc outer(); var ov;
+///       proc inner(); var iv;
+///         begin ov := 1; iv := 2; g := 3; end;
+///       begin call inner(); end;
+///   begin call outer(); end.
+TEST(MultiLevel, HandNestedExample) {
+  ProgramBuilder B;
+  ProcId Main = B.createMain("m");
+  VarId G = B.addGlobal("g");
+  ProcId Outer = B.createProc("outer", Main);
+  VarId OV = B.addLocal(Outer, "ov");
+  ProcId Inner = B.createProc("inner", Outer);
+  VarId IV = B.addLocal(Inner, "iv");
+  StmtId S = B.addStmt(Inner);
+  B.addMod(S, OV);
+  B.addMod(S, IV);
+  B.addMod(S, G);
+  B.addCallStmt(Outer, Inner, {});
+  B.addCallStmt(Main, Outer, {});
+  Program P = B.finish();
+  ASSERT_EQ(P.maxProcLevel(), 2u);
+
+  Pipeline Pipe(P);
+  for (auto Solve : {solveMultiLevelRepeated, solveMultiLevelCombined}) {
+    GModResult GM = Solve(P, Pipe.CG, Pipe.Masks, Pipe.IModPlus);
+    // GMOD(inner) = {ov, iv, g}: everything it touches.
+    EXPECT_TRUE(GM.of(Inner).test(OV.index()));
+    EXPECT_TRUE(GM.of(Inner).test(IV.index()));
+    EXPECT_TRUE(GM.of(Inner).test(G.index()));
+    // GMOD(outer): iv filtered (local to inner), ov and g stay.
+    EXPECT_TRUE(GM.of(Outer).test(OV.index()));
+    EXPECT_FALSE(GM.of(Outer).test(IV.index()));
+    EXPECT_TRUE(GM.of(Outer).test(G.index()));
+    // GMOD(main): only the global remains.
+    EXPECT_TRUE(GM.of(Main).test(G.index()));
+    EXPECT_FALSE(GM.of(Main).test(OV.index()));
+    EXPECT_FALSE(GM.of(Main).test(IV.index()));
+  }
+}
+
+TEST(MultiLevel, CycleAcrossNestingLevels) {
+  // outer <-> inner mutual recursion spans levels 1 and 2: the G_2 SCC is
+  // {inner} alone (the inner->outer edge leaves G_2), but the G_1 SCC is
+  // {outer, inner}.
+  ProgramBuilder B;
+  ProcId Main = B.createMain("m");
+  VarId G = B.addGlobal("g");
+  ProcId Outer = B.createProc("outer", Main);
+  VarId OV = B.addLocal(Outer, "ov");
+  ProcId Inner = B.createProc("inner", Outer);
+  StmtId S = B.addStmt(Inner);
+  B.addMod(S, OV);
+  B.addMod(S, G);
+  B.addCallStmt(Outer, Inner, {});
+  B.addCallStmt(Inner, Outer, {});
+  B.addCallStmt(Main, Outer, {});
+  Program P = B.finish();
+
+  Pipeline Pipe(P);
+  GModResult Rep = solveMultiLevelRepeated(P, Pipe.CG, Pipe.Masks,
+                                           Pipe.IModPlus);
+  GModResult Com = solveMultiLevelCombined(P, Pipe.CG, Pipe.Masks,
+                                           Pipe.IModPlus);
+  expectSameGMod(P, Rep, Com, "repeated vs combined");
+  EXPECT_TRUE(Com.of(Outer).test(OV.index()));
+  EXPECT_TRUE(Com.of(Outer).test(G.index()));
+  EXPECT_TRUE(Com.of(Main).test(G.index()));
+  EXPECT_FALSE(Com.of(Main).test(OV.index()));
+}
+
+TEST(MultiLevel, DegeneratesToFindGModWhenTwoLevel) {
+  Program P = synth::makeFortranStyleProgram(40, 12, 3, 99);
+  ASSERT_EQ(P.maxProcLevel(), 1u);
+  Pipeline Pipe(P);
+  GModResult Fig2 = solveGMod(P, Pipe.CG, Pipe.Masks, Pipe.IModPlus);
+  GModResult Rep = solveMultiLevelRepeated(P, Pipe.CG, Pipe.Masks,
+                                           Pipe.IModPlus);
+  GModResult Com = solveMultiLevelCombined(P, Pipe.CG, Pipe.Masks,
+                                           Pipe.IModPlus);
+  expectSameGMod(P, Fig2, Rep, "findgmod vs repeated");
+  expectSameGMod(P, Fig2, Com, "findgmod vs combined");
+}
+
+TEST(MultiLevel, TowerProgramsAgreeWithOracle) {
+  for (unsigned Depth : {1u, 2u, 3u, 5u, 8u}) {
+    for (std::uint64_t Seed : {1ull, 7ull, 23ull}) {
+      Program P = synth::makeNestedProgram(Depth, 3, Seed);
+      Pipeline Pipe(P);
+      GModResult Rep = solveMultiLevelRepeated(P, Pipe.CG, Pipe.Masks,
+                                               Pipe.IModPlus);
+      GModResult Com = solveMultiLevelCombined(P, Pipe.CG, Pipe.Masks,
+                                               Pipe.IModPlus);
+      expectSameGMod(P, Rep, Com, "repeated vs combined");
+
+      baselines::IterativeResult Oracle =
+          baselines::solveIterative(P, Pipe.CG, Pipe.Masks, Pipe.Local);
+      expectSameGMod(P, Com, Oracle.GMod, "combined vs oracle");
+    }
+  }
+}
+
+TEST(MultiLevel, RandomNestedProgramsAgreeWithOracle) {
+  for (std::uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    synth::ProgramGenConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.NumProcs = 25;
+    Cfg.NumGlobals = 4;
+    Cfg.MaxNestDepth = 4;
+    Cfg.MaxFormals = 2;
+    Cfg.MaxCallsPerProc = 4;
+    // Establish the §3.3 precondition (every procedure reachable) before
+    // comparing against the call-chain-routed oracle.
+    Program P = graph::eliminateUnreachable(synth::generateProgram(Cfg));
+
+    Pipeline Pipe(P);
+    GModResult Rep = solveMultiLevelRepeated(P, Pipe.CG, Pipe.Masks,
+                                             Pipe.IModPlus);
+    GModResult Com = solveMultiLevelCombined(P, Pipe.CG, Pipe.Masks,
+                                             Pipe.IModPlus);
+    expectSameGMod(P, Rep, Com, "repeated vs combined");
+
+    baselines::IterativeResult Oracle =
+        baselines::solveIterative(P, Pipe.CG, Pipe.Masks, Pipe.Local);
+    expectSameGMod(P, Com, Oracle.GMod, "combined vs oracle");
+  }
+}
+
+TEST(MultiLevel, AnalyzerAutoSelectsForNestedPrograms) {
+  Program P = synth::makeNestedProgram(4, 2, 5);
+  SideEffectAnalyzer Auto(P);
+
+  AnalyzerOptions Rep;
+  Rep.Algorithm = AnalyzerOptions::GModAlgorithm::MultiLevelRepeated;
+  SideEffectAnalyzer Explicit(P, Rep);
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    EXPECT_EQ(Auto.gmod(ProcId(I)), Explicit.gmod(ProcId(I)));
+}
+
+} // namespace

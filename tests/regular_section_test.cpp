@@ -1,0 +1,322 @@
+//===- tests/regular_section_test.cpp - §6 RSD lattice and solver tests -------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegularSection.h"
+#include "analysis/RegularSectionAnalysis.h"
+#include "graph/BindingGraph.h"
+#include "graph/CallGraph.h"
+#include "ir/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipse;
+using namespace ipse::analysis;
+using namespace ipse::ir;
+
+namespace {
+
+// Symbols for subscripts: fabricate variable ids (the lattice itself never
+// dereferences them).
+const VarId SymI(100), SymJ(101), SymK(102);
+
+TEST(Subscript, Equality) {
+  EXPECT_EQ(Subscript::star(), Subscript::star());
+  EXPECT_EQ(Subscript::constant(3), Subscript::constant(3));
+  EXPECT_NE(Subscript::constant(3), Subscript::constant(4));
+  EXPECT_EQ(Subscript::symbol(SymI), Subscript::symbol(SymI));
+  EXPECT_NE(Subscript::symbol(SymI), Subscript::symbol(SymJ));
+  EXPECT_NE(Subscript::symbol(SymI), Subscript::constant(100));
+}
+
+TEST(Subscript, Meet) {
+  EXPECT_EQ(Subscript::constant(3).meet(Subscript::constant(3)),
+            Subscript::constant(3));
+  EXPECT_TRUE(Subscript::constant(3).meet(Subscript::constant(4)).isStar());
+  EXPECT_TRUE(Subscript::symbol(SymI).meet(Subscript::symbol(SymJ)).isStar());
+  EXPECT_TRUE(Subscript::star().meet(Subscript::constant(1)).isStar());
+}
+
+TEST(Subscript, MayEqual) {
+  EXPECT_TRUE(Subscript::constant(3).mayEqual(Subscript::constant(3)));
+  EXPECT_FALSE(Subscript::constant(3).mayEqual(Subscript::constant(4)));
+  // Symbols are opaque: everything may coincide.
+  EXPECT_TRUE(Subscript::symbol(SymI).mayEqual(Subscript::symbol(SymJ)));
+  EXPECT_TRUE(Subscript::symbol(SymI).mayEqual(Subscript::constant(7)));
+  EXPECT_TRUE(Subscript::star().mayEqual(Subscript::constant(7)));
+}
+
+/// Figure 3's lattice: A(I,J)/A(K,J)/A(K,L) at the top, A(*,J)/A(K,*) in
+/// the middle, A(*,*) at the bottom.
+TEST(RegularSection, Figure3Relations) {
+  RegularSection AIJ = RegularSection::section2(Subscript::symbol(SymI),
+                                                Subscript::symbol(SymJ));
+  RegularSection AKJ = RegularSection::section2(Subscript::symbol(SymK),
+                                                Subscript::symbol(SymJ));
+  RegularSection AStarJ =
+      RegularSection::section2(Subscript::star(), Subscript::symbol(SymJ));
+  RegularSection AKStar =
+      RegularSection::section2(Subscript::symbol(SymK), Subscript::star());
+  RegularSection Whole = RegularSection::whole(2);
+
+  // meet(A(I,J), A(K,J)) = A(*,J), as in the figure.
+  EXPECT_EQ(AIJ.meet(AKJ), AStarJ);
+  // meet(A(*,J), A(K,*)) = A(*,*).
+  EXPECT_EQ(AStarJ.meet(AKStar), Whole);
+  // Containment follows the drawing: lower elements contain upper ones.
+  EXPECT_TRUE(AStarJ.contains(AIJ));
+  EXPECT_TRUE(AStarJ.contains(AKJ));
+  EXPECT_FALSE(AStarJ.contains(AKStar));
+  EXPECT_TRUE(Whole.contains(AStarJ));
+  EXPECT_TRUE(Whole.contains(AKStar));
+  // Depths: element 1, row/column 2, whole 3.
+  EXPECT_EQ(AIJ.depth(), 1u);
+  EXPECT_EQ(AStarJ.depth(), 2u);
+  EXPECT_EQ(Whole.depth(), 3u);
+}
+
+TEST(RegularSection, NoneIsMeetIdentity) {
+  RegularSection None = RegularSection::none(2);
+  RegularSection AIJ = RegularSection::section2(Subscript::symbol(SymI),
+                                                Subscript::symbol(SymJ));
+  EXPECT_EQ(None.meet(AIJ), AIJ);
+  EXPECT_EQ(AIJ.meet(None), AIJ);
+  EXPECT_EQ(None.meet(None), None);
+  EXPECT_EQ(None.depth(), 0u);
+  EXPECT_TRUE(AIJ.contains(None));
+  EXPECT_FALSE(None.contains(AIJ));
+}
+
+TEST(RegularSection, MeetIsCommutativeAssociativeIdempotent) {
+  RegularSection A = RegularSection::section2(Subscript::symbol(SymI),
+                                              Subscript::constant(1));
+  RegularSection B = RegularSection::section2(Subscript::symbol(SymI),
+                                              Subscript::constant(2));
+  RegularSection C = RegularSection::section2(Subscript::star(),
+                                              Subscript::constant(1));
+  EXPECT_EQ(A.meet(B), B.meet(A));
+  EXPECT_EQ(A.meet(B).meet(C), A.meet(B.meet(C)));
+  EXPECT_EQ(A.meet(A), A);
+}
+
+TEST(RegularSection, MayIntersect) {
+  RegularSection Row1 = RegularSection::section2(Subscript::constant(1),
+                                                 Subscript::star());
+  RegularSection Row2 = RegularSection::section2(Subscript::constant(2),
+                                                 Subscript::star());
+  RegularSection ColJ = RegularSection::section2(Subscript::star(),
+                                                 Subscript::symbol(SymJ));
+  EXPECT_FALSE(Row1.mayIntersect(Row2)); // Distinct constant rows.
+  EXPECT_TRUE(Row1.mayIntersect(ColJ));  // A row always crosses a column.
+  EXPECT_FALSE(Row1.mayIntersect(RegularSection::none(2)));
+}
+
+TEST(RegularSection, ToString) {
+  EXPECT_EQ(RegularSection::none(2).toString(), "none");
+  EXPECT_EQ(RegularSection::whole(2).toString(), "(*,*)");
+  EXPECT_EQ(RegularSection::section2(Subscript::constant(3),
+                                     Subscript::star())
+                .toString(),
+            "(3,*)");
+}
+
+/// Program for the β-based solves:
+///
+///   main: var A(2-d global, passed around by reference)
+///   proc work(w /*1-d*/);     lrsd(w) = (5)        [element 5]
+///   proc rowuser(r /*2-d*/);  calls work(r row i)  [row binding]
+///   main calls rowuser(A).
+struct SectionExample {
+  Program P;
+  ProcId Main, Work, RowUser;
+  VarId A, W, R, IVar;
+  graph::EdgeId RowEdge, TopEdge;
+
+  SectionExample() {
+    ProgramBuilder B;
+    Main = B.createMain("main");
+    A = B.addGlobal("A");
+    Work = B.createProc("work", Main);
+    W = B.addFormal(Work, "w");
+    StmtId SW = B.addStmt(Work);
+    B.addMod(SW, W);
+    RowUser = B.createProc("rowuser", Main);
+    R = B.addFormal(RowUser, "r");
+    IVar = B.addFormal(RowUser, "i");
+    B.addCallStmt(RowUser, Work, {R}); // Row of r, annotated below.
+    B.addCallStmt(Main, RowUser, {A, A}); // Second actual arbitrary.
+    P = B.finish();
+  }
+};
+
+TEST(RsdSolver, RowBindingComposesAcrossTheChain) {
+  SectionExample E;
+  graph::BindingGraph BG(E.P);
+  RsdProblem Problem(E.P, BG);
+  Problem.setFormalArray(E.W, 1);
+  Problem.setFormalArray(E.R, 2);
+  Problem.setLocalSection(E.W, RegularSection::section1(
+                                   Subscript::constant(5)));
+
+  // Find the β edge r -> w and annotate it: w is row `i` of r.
+  graph::NodeId RNode = BG.nodeOf(E.R);
+  ASSERT_NE(RNode, graph::BindingGraph::NoNode);
+  ASSERT_EQ(BG.graph().succs(RNode).size(), 1u);
+  graph::EdgeId Edge = BG.graph().succs(RNode)[0].Edge;
+  Problem.setEdgeBinding(Edge,
+                         SectionBinding::rowOf(Subscript::symbol(E.IVar)));
+
+  RsdResult Result = solveRsd(Problem);
+  // rsd(w) = (5); rsd(r) = (i, 5): row binding plus the element effect.
+  EXPECT_EQ(Result.of(E.W).toString(), "(5)");
+  RegularSection Expected = RegularSection::section2(
+      Subscript::symbol(E.IVar), Subscript::constant(5));
+  EXPECT_EQ(Result.of(E.R), Expected);
+  // Strictly finer than the whole array: the precision §6 is after.
+  EXPECT_FALSE(Result.of(E.R).isWhole());
+}
+
+TEST(RsdSolver, CycleWithIdentityBindingConverges) {
+  // p(x) calls itself passing x: rsd(x) must converge to lrsd(x), not
+  // descend (the paper's divide-and-conquer observation g_p(x) ⊓ x = x).
+  ProgramBuilder B;
+  ProcId Main = B.createMain("m");
+  VarId G = B.addGlobal("G");
+  ProcId PProc = B.createProc("p", Main);
+  VarId X = B.addFormal(PProc, "x");
+  StmtId S = B.addStmt(PProc);
+  B.addMod(S, X);
+  B.addCallStmt(PProc, PProc, {X});
+  B.addCallStmt(Main, PProc, {G});
+  Program P = B.finish();
+
+  graph::BindingGraph BG(P);
+  RsdProblem Problem(P, BG);
+  Problem.setFormalArray(X, 1);
+  Problem.setLocalSection(X, RegularSection::section1(
+                                 Subscript::constant(1)));
+  RsdResult Result = solveRsd(Problem);
+  EXPECT_EQ(Result.of(X).toString(), "(1)");
+  // Convergence took a bounded number of rounds despite the cycle.
+  EXPECT_LE(Result.MaxComponentRounds, 3u);
+}
+
+TEST(RsdSolver, CycleWithShiftingSymbolsWidens) {
+  // p(x, i) calls p(x, j): the row index symbol changes around the cycle,
+  // so the solution must widen that dimension to *.
+  ProgramBuilder B;
+  ProcId Main = B.createMain("m");
+  VarId G = B.addGlobal("G");
+  ProcId PProc = B.createProc("p", Main);
+  VarId X = B.addFormal(PProc, "x");
+  VarId IV = B.addFormal(PProc, "i");
+  VarId JV = B.addLocal(PProc, "j");
+  StmtId S = B.addStmt(PProc);
+  B.addMod(S, X);
+  B.addCallStmt(PProc, PProc, {X, JV});
+  B.addCallStmt(Main, PProc, {G, G});
+  Program P = B.finish();
+
+  graph::BindingGraph BG(P);
+  RsdProblem Problem(P, BG);
+  Problem.setFormalArray(X, 2);
+  // Local effect: element (i, 3).
+  Problem.setLocalSection(X, RegularSection::section2(
+                                 Subscript::symbol(IV),
+                                 Subscript::constant(3)));
+  RsdResult Result = solveRsd(Problem);
+  // Around the cycle, i becomes the local j (widened to * because j is
+  // local to the callee and meaningless in the caller's frame... then the
+  // meet of (i,3) and (*,3) is (*,3)).
+  EXPECT_EQ(Result.of(X).toString(), "(*,3)");
+}
+
+TEST(GlobalSections, PropagateOverCallGraph) {
+  // main -> a -> b; b writes row 2 of global A; a writes column k.
+  ProgramBuilder B;
+  ProcId Main = B.createMain("m");
+  VarId A = B.addGlobal("A");
+  ProcId PA = B.createProc("a", Main);
+  VarId K = B.addFormal(PA, "k");
+  ProcId PB = B.createProc("b", Main);
+  B.addCallStmt(PA, PB, {});
+  B.addCallStmt(Main, PA, {A});
+  Program P = B.finish();
+
+  graph::CallGraph CG(P);
+  GlobalSectionProblem Problem(P, CG);
+  Problem.setGlobalArray(A, 2);
+  Problem.setLocalSection(PB, A,
+                          RegularSection::section2(Subscript::constant(2),
+                                                   Subscript::star()));
+  Problem.setLocalSection(PA, A,
+                          RegularSection::section2(Subscript::star(),
+                                                   Subscript::symbol(K)));
+  GlobalSectionResult Result = solveGlobalSections(Problem);
+
+  // b: row 2 only.
+  EXPECT_EQ(Result.of(PB, A).toString(), "(2,*)");
+  // a: row 2 meets column k = whole array.
+  EXPECT_TRUE(Result.of(PA, A).isWhole());
+  // main: the symbol k is not visible, but the set is already (*,*).
+  EXPECT_TRUE(Result.of(Main, A).isWhole());
+}
+
+TEST(GlobalSections, SymbolsWidenWhenLeavingScope) {
+  // b(k) writes row k of A; a calls b(5)... with an expression actual the
+  // symbol k cannot be named in a, so a sees row *.
+  ProgramBuilder B;
+  ProcId Main = B.createMain("m");
+  VarId A = B.addGlobal("A");
+  ProcId PB = B.createProc("b", Main);
+  VarId K = B.addFormal(PB, "k");
+  ProcId PA = B.createProc("a", Main);
+  StmtId CallStmt = B.addStmt(PA);
+  B.addCall(CallStmt, PB, std::vector<Actual>{Actual::expression()});
+  B.addCallStmt(Main, PA, {});
+  Program P = B.finish();
+
+  graph::CallGraph CG(P);
+  GlobalSectionProblem Problem(P, CG);
+  Problem.setGlobalArray(A, 2);
+  Problem.setLocalSection(PB, A,
+                          RegularSection::section2(Subscript::symbol(K),
+                                                   Subscript::star()));
+  GlobalSectionResult Result = solveGlobalSections(Problem);
+  EXPECT_EQ(Result.of(PB, A).toString(),
+            "(v" + std::to_string(K.index()) + ",*)");
+  EXPECT_TRUE(Result.of(PA, A).isWhole());
+}
+
+TEST(GlobalSections, FormalActualSymbolTranslation) {
+  // b(k) writes row k; a(i) calls b(i): a sees row i (translated), and
+  // main calling a(g) sees row g.
+  ProgramBuilder B;
+  ProcId Main = B.createMain("m");
+  VarId A = B.addGlobal("A");
+  VarId G = B.addGlobal("gidx");
+  ProcId PB = B.createProc("b", Main);
+  VarId K = B.addFormal(PB, "k");
+  ProcId PA = B.createProc("a", Main);
+  VarId IV = B.addFormal(PA, "i");
+  B.addCallStmt(PA, PB, {IV});
+  B.addCallStmt(Main, PA, {G});
+  Program P = B.finish();
+
+  graph::CallGraph CG(P);
+  GlobalSectionProblem Problem(P, CG);
+  Problem.setGlobalArray(A, 2);
+  Problem.setLocalSection(PB, A,
+                          RegularSection::section2(Subscript::symbol(K),
+                                                   Subscript::star()));
+  GlobalSectionResult Result = solveGlobalSections(Problem);
+  EXPECT_EQ(Result.of(PA, A), RegularSection::section2(
+                                  Subscript::symbol(IV), Subscript::star()));
+  EXPECT_EQ(Result.of(Main, A), RegularSection::section2(
+                                    Subscript::symbol(G), Subscript::star()));
+}
+
+} // namespace

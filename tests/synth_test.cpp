@@ -1,0 +1,141 @@
+//===- tests/synth_test.cpp - Generators and source round-trips ---------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SideEffectAnalyzer.h"
+#include "frontend/Frontend.h"
+#include "graph/BindingGraph.h"
+#include "synth/ProgramGen.h"
+#include "synth/SourceGen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace ipse;
+using namespace ipse::ir;
+
+namespace {
+
+TEST(Generators, RandomProgramsVerify) {
+  for (std::uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    synth::ProgramGenConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.NumProcs = 20;
+    Cfg.MaxNestDepth = 3;
+    Program P = synth::generateProgram(Cfg);
+    std::string Error;
+    EXPECT_TRUE(P.verify(Error)) << "seed " << Seed << ": " << Error;
+  }
+}
+
+TEST(Generators, Deterministic) {
+  synth::ProgramGenConfig Cfg;
+  Cfg.Seed = 77;
+  Cfg.NumProcs = 15;
+  Program A = synth::generateProgram(Cfg);
+  Program B = synth::generateProgram(Cfg);
+  EXPECT_EQ(A.numProcs(), B.numProcs());
+  EXPECT_EQ(A.numVars(), B.numVars());
+  EXPECT_EQ(A.numCallSites(), B.numCallSites());
+  EXPECT_EQ(synth::emitMiniProc(A), synth::emitMiniProc(B));
+}
+
+TEST(Generators, ChainShape) {
+  Program P = synth::makeChainProgram(10, 2);
+  EXPECT_EQ(P.numProcs(), 11u);
+  EXPECT_EQ(P.numCallSites(), 10u);
+  graph::BindingGraph BG(P);
+  // Chain of bindings: 9 proc-to-proc calls x 2 formals = 18 edges.
+  EXPECT_EQ(BG.numEdges(), 18u);
+}
+
+TEST(Generators, CycleShape) {
+  Program P = synth::makeCycleProgram(6, 1);
+  EXPECT_EQ(P.numCallSites(), 7u); // main's entry + 6 ring calls.
+  std::string Error;
+  EXPECT_TRUE(P.verify(Error)) << Error;
+}
+
+TEST(Generators, NestedShapeReachesRequestedDepth) {
+  Program P = synth::makeNestedProgram(6, 2, 3);
+  EXPECT_EQ(P.maxProcLevel(), 6u);
+  std::string Error;
+  EXPECT_TRUE(P.verify(Error)) << Error;
+}
+
+TEST(Generators, FortranStyleIsTwoLevel) {
+  Program P = synth::makeFortranStyleProgram(30, 10, 2, 11);
+  EXPECT_EQ(P.maxProcLevel(), 1u);
+  EXPECT_EQ(P.proc(P.main()).Locals.size(), 10u);
+}
+
+TEST(Generators, LayeredShape) {
+  Program P = synth::makeLayeredProgram(4, 3, 2, 2, 2, 5);
+  EXPECT_EQ(P.numProcs(), 13u); // main + 4*3.
+  std::string Error;
+  EXPECT_TRUE(P.verify(Error)) << Error;
+}
+
+TEST(SourceGen, EmitsParsableSource) {
+  Program P = synth::makeChainProgram(5, 2);
+  std::string Source = synth::emitMiniProc(P);
+  frontend::CompileResult R = frontend::compileMiniProc(Source);
+  ASSERT_TRUE(R.succeeded()) << R.Diags.renderAll() << "\n" << Source;
+}
+
+/// End-to-end integration: generate a program, print it as MiniProc,
+/// compile it back, and check that the analysis results match variable by
+/// variable (names are unique, so name-based comparison is exact).
+void roundTrip(const Program &P) {
+  std::string Source = synth::emitMiniProc(P);
+  frontend::CompileResult R = frontend::compileMiniProc(Source);
+  ASSERT_TRUE(R.succeeded()) << R.Diags.renderAll() << "\n" << Source;
+  const Program &Q = *R.Program;
+  ASSERT_EQ(P.numProcs(), Q.numProcs());
+  ASSERT_EQ(P.numVars(), Q.numVars());
+  ASSERT_EQ(P.numCallSites(), Q.numCallSites());
+
+  analysis::SideEffectAnalyzer AnP(P);
+  analysis::SideEffectAnalyzer AnQ(Q);
+
+  // Procedures match by name (ids may be permuted by declaration order).
+  std::map<std::string, ProcId> QProcs;
+  for (std::uint32_t I = 0; I != Q.numProcs(); ++I)
+    QProcs[Q.name(ProcId(I))] = ProcId(I);
+
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    ProcId PProc(I);
+    auto It = QProcs.find(P.name(PProc));
+    ASSERT_NE(It, QProcs.end()) << P.name(PProc);
+    EXPECT_EQ(AnP.setToString(AnP.gmod(PProc)),
+              AnQ.setToString(AnQ.gmod(It->second)))
+        << "GMOD mismatch at " << P.name(PProc);
+  }
+}
+
+TEST(RoundTrip, Chain) { roundTrip(synth::makeChainProgram(8, 3)); }
+TEST(RoundTrip, Cycle) { roundTrip(synth::makeCycleProgram(7, 2)); }
+TEST(RoundTrip, Layered) {
+  roundTrip(synth::makeLayeredProgram(3, 4, 2, 2, 3, 9));
+}
+TEST(RoundTrip, Fortran) {
+  roundTrip(synth::makeFortranStyleProgram(15, 6, 2, 4));
+}
+TEST(RoundTrip, Nested) { roundTrip(synth::makeNestedProgram(4, 2, 21)); }
+
+TEST(RoundTrip, RandomPrograms) {
+  for (std::uint64_t Seed : {1ull, 5ull, 9ull, 14ull, 27ull}) {
+    synth::ProgramGenConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.NumProcs = 12;
+    Cfg.NumGlobals = 4;
+    Cfg.MaxNestDepth = 3;
+    roundTrip(synth::generateProgram(Cfg));
+  }
+}
+
+} // namespace

@@ -1,0 +1,264 @@
+//===- tools/ipse-cli.cpp - The ipse command-line driver ----------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// A multi-command driver over the whole library:
+//
+//   ipse-cli report [--rmod] [--no-use] <file.mp>   MOD/USE summary report
+//   ipse-cli dot [--beta] <file.mp>                 call graph (or β) as dot
+//   ipse-cli stats <file.mp>                        program and graph sizes
+//   ipse-cli check <file.mp>                        run all solvers, verify
+//   ipse-cli generate [--seed N] [--procs N] [--globals N] [--depth N]
+//                                                   emit random MiniProc
+//   ipse-cli roundtrip <file.mp>                    compile -> emit -> diff
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IModPlus.h"
+#include "analysis/LocalEffects.h"
+#include "analysis/MultiLevelGMod.h"
+#include "analysis/RMod.h"
+#include "analysis/Report.h"
+#include "analysis/SideEffectAnalyzer.h"
+#include "baselines/IterativeSolver.h"
+#include "baselines/SwiftStyleSolver.h"
+#include "baselines/WorklistSolver.h"
+#include "frontend/Frontend.h"
+#include "graph/Dot.h"
+#include "graph/Reachability.h"
+#include "synth/ProgramGen.h"
+#include "synth/SourceGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ipse;
+using namespace ipse::ir;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ipse-cli <command> [options] [file.mp]\n"
+      "  report [--rmod] [--no-use] <file>   MOD/USE summary report\n"
+      "  dot [--beta] <file>                 call graph (or beta) as dot\n"
+      "  stats <file>                        program and graph sizes\n"
+      "  check <file>                        run all solvers and verify\n"
+      "  generate [--seed N] [--procs N] [--globals N] [--depth N]\n"
+      "                                      emit a random MiniProc program\n"
+      "  roundtrip <file>                    compile -> emit -> recompile\n");
+  std::exit(2);
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+Program compileOrDie(const std::string &Path) {
+  frontend::CompileResult R = frontend::compileMiniProc(readFile(Path));
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "%s", R.Diags.renderAll().c_str());
+    std::exit(1);
+  }
+  return std::move(*R.Program);
+}
+
+int cmdReport(const std::vector<std::string> &Args) {
+  analysis::ReportOptions Options;
+  std::string Path;
+  for (const std::string &A : Args) {
+    if (A == "--rmod")
+      Options.IncludeRMod = true;
+    else if (A == "--no-use")
+      Options.IncludeUse = false;
+    else
+      Path = A;
+  }
+  if (Path.empty())
+    usage();
+  Program P = compileOrDie(Path);
+  std::fputs(analysis::makeReport(P, Options).c_str(), stdout);
+  return 0;
+}
+
+int cmdDot(const std::vector<std::string> &Args) {
+  bool Beta = false;
+  std::string Path;
+  for (const std::string &A : Args) {
+    if (A == "--beta")
+      Beta = true;
+    else
+      Path = A;
+  }
+  if (Path.empty())
+    usage();
+  Program P = compileOrDie(Path);
+  if (Beta) {
+    graph::BindingGraph BG(P);
+    std::fputs(graph::bindingGraphToDot(P, BG).c_str(), stdout);
+  } else {
+    graph::CallGraph CG(P);
+    std::fputs(graph::callGraphToDot(P, CG).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmdStats(const std::vector<std::string> &Args) {
+  if (Args.size() != 1)
+    usage();
+  Program P = compileOrDie(Args[0]);
+  graph::CallGraph CG(P);
+  graph::BindingGraph BG(P);
+  BitVector Reached = graph::reachableProcs(P);
+
+  unsigned Formals = 0, Globals = 0, Locals = 0;
+  for (std::uint32_t I = 0; I != P.numVars(); ++I) {
+    switch (P.var(VarId(I)).Kind) {
+    case VarKind::Formal:
+      ++Formals;
+      break;
+    case VarKind::Global:
+      ++Globals;
+      break;
+    case VarKind::Local:
+      ++Locals;
+      break;
+    }
+  }
+
+  std::printf("procedures        %zu (reachable: %zu)\n", P.numProcs(),
+              Reached.count());
+  std::printf("nesting depth dP  %u\n", P.maxProcLevel());
+  std::printf("variables         %zu (globals %u, locals %u, formals %u)\n",
+              P.numVars(), Globals, Locals, Formals);
+  std::printf("statements        %zu\n", P.numStmts());
+  std::printf("call sites (Ec)   %zu\n", P.numCallSites());
+  std::printf("beta nodes (Nb)   %zu\n", BG.numNodes());
+  std::printf("beta edges (Eb)   %zu\n", BG.numEdges());
+  return 0;
+}
+
+int cmdCheck(const std::vector<std::string> &Args) {
+  if (Args.size() != 1)
+    usage();
+  Program P = compileOrDie(Args[0]);
+  // Establish the paper's §3.3 precondition first.
+  P = graph::eliminateUnreachable(P);
+
+  analysis::VarMasks Masks(P);
+  graph::CallGraph CG(P);
+  graph::BindingGraph BG(P);
+  analysis::LocalEffects Local(P, Masks, analysis::EffectKind::Mod);
+  analysis::RModResult RMod = analysis::solveRMod(P, BG, Local);
+  std::vector<BitVector> Plus = analysis::computeIModPlus(P, Local, RMod);
+
+  analysis::GModResult Fast =
+      P.maxProcLevel() <= 1
+          ? analysis::solveGMod(P, CG, Masks, Plus)
+          : analysis::solveMultiLevelCombined(P, CG, Masks, Plus);
+  analysis::GModResult Rep =
+      analysis::solveMultiLevelRepeated(P, CG, Masks, Plus);
+  baselines::IterativeResult Oracle =
+      baselines::solveIterative(P, CG, Masks, Local);
+  baselines::IterativeResult Work =
+      baselines::solveWorklist(P, CG, Masks, Local);
+  baselines::SwiftResult Swift = baselines::solveSwift(P, CG, Masks, Local);
+
+  bool Ok = true;
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    Ok &= Fast.GMod[I] == Oracle.GMod.GMod[I];
+    Ok &= Rep.GMod[I] == Oracle.GMod.GMod[I];
+    Ok &= Work.GMod.GMod[I] == Oracle.GMod.GMod[I];
+    Ok &= Swift.GMod.GMod[I] == Oracle.GMod.GMod[I];
+  }
+  std::printf("%zu procedures, 5 solvers: %s\n", P.numProcs(),
+              Ok ? "all agree" : "DISAGREEMENT");
+  return Ok ? 0 : 1;
+}
+
+int cmdGenerate(const std::vector<std::string> &Args) {
+  synth::ProgramGenConfig Cfg;
+  Cfg.NumProcs = 10;
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    auto intArg = [&](unsigned &Out) {
+      if (I + 1 >= Args.size())
+        usage();
+      Out = static_cast<unsigned>(std::atoi(Args[++I].c_str()));
+    };
+    if (Args[I] == "--seed") {
+      unsigned S = 0;
+      intArg(S);
+      Cfg.Seed = S;
+    } else if (Args[I] == "--procs") {
+      intArg(Cfg.NumProcs);
+    } else if (Args[I] == "--globals") {
+      intArg(Cfg.NumGlobals);
+    } else if (Args[I] == "--depth") {
+      intArg(Cfg.MaxNestDepth);
+    } else {
+      usage();
+    }
+  }
+  Program P = synth::generateProgram(Cfg);
+  std::fputs(synth::emitMiniProc(P).c_str(), stdout);
+  return 0;
+}
+
+int cmdRoundtrip(const std::vector<std::string> &Args) {
+  if (Args.size() != 1)
+    usage();
+  Program P = compileOrDie(Args[0]);
+  std::string Emitted = synth::emitMiniProc(P);
+  frontend::CompileResult R = frontend::compileMiniProc(Emitted);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "re-compilation failed:\n%s",
+                 R.Diags.renderAll().c_str());
+    return 1;
+  }
+  const Program &Q = *R.Program;
+  bool SameShape = P.numProcs() == Q.numProcs() &&
+                   P.numVars() == Q.numVars() &&
+                   P.numCallSites() == Q.numCallSites();
+  std::printf("roundtrip: %zu procs, %zu vars, %zu call sites -> %s\n",
+              P.numProcs(), P.numVars(), P.numCallSites(),
+              SameShape ? "shape preserved" : "SHAPE CHANGED");
+  return SameShape ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    usage();
+  std::string Cmd = argv[1];
+  std::vector<std::string> Args(argv + 2, argv + argc);
+  if (Cmd == "report")
+    return cmdReport(Args);
+  if (Cmd == "dot")
+    return cmdDot(Args);
+  if (Cmd == "stats")
+    return cmdStats(Args);
+  if (Cmd == "check")
+    return cmdCheck(Args);
+  if (Cmd == "generate")
+    return cmdGenerate(Args);
+  if (Cmd == "roundtrip")
+    return cmdRoundtrip(Args);
+  usage();
+}
