@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_binding_graph.dir/bench_binding_graph.cpp.o"
+  "CMakeFiles/bench_binding_graph.dir/bench_binding_graph.cpp.o.d"
+  "bench_binding_graph"
+  "bench_binding_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binding_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gmod.dir/bench_gmod.cpp.o"
+  "CMakeFiles/bench_gmod.dir/bench_gmod.cpp.o.d"
+  "bench_gmod"
+  "bench_gmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_regular_section.cpp" "bench/CMakeFiles/bench_regular_section.dir/bench_regular_section.cpp.o" "gcc" "bench/CMakeFiles/bench_regular_section.dir/bench_regular_section.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ipse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ipse_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ipse_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/ipse_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ipse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ipse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

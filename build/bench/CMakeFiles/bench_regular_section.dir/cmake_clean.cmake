@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regular_section.dir/bench_regular_section.cpp.o"
+  "CMakeFiles/bench_regular_section.dir/bench_regular_section.cpp.o.d"
+  "bench_regular_section"
+  "bench_regular_section.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regular_section.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rmod.dir/bench_rmod.cpp.o"
+  "CMakeFiles/bench_rmod.dir/bench_rmod.cpp.o.d"
+  "bench_rmod"
+  "bench_rmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_loops.dir/parallel_loops.cpp.o"
+  "CMakeFiles/parallel_loops.dir/parallel_loops.cpp.o.d"
+  "parallel_loops"
+  "parallel_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

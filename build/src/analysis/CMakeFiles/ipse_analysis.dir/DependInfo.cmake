@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AliasEstimator.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/AliasEstimator.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/AliasEstimator.cpp.o.d"
+  "/root/repo/src/analysis/BoundedSection.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/BoundedSection.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/BoundedSection.cpp.o.d"
+  "/root/repo/src/analysis/DMod.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/DMod.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/DMod.cpp.o.d"
+  "/root/repo/src/analysis/GMod.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/GMod.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/GMod.cpp.o.d"
+  "/root/repo/src/analysis/IModPlus.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/IModPlus.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/IModPlus.cpp.o.d"
+  "/root/repo/src/analysis/LocalEffects.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/LocalEffects.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/LocalEffects.cpp.o.d"
+  "/root/repo/src/analysis/MultiLevelGMod.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/MultiLevelGMod.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/MultiLevelGMod.cpp.o.d"
+  "/root/repo/src/analysis/RMod.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/RMod.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/RMod.cpp.o.d"
+  "/root/repo/src/analysis/RegularSection.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/RegularSection.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/RegularSection.cpp.o.d"
+  "/root/repo/src/analysis/RegularSectionAnalysis.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/RegularSectionAnalysis.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/RegularSectionAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/Report.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/Report.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/Report.cpp.o.d"
+  "/root/repo/src/analysis/SectionDomains.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/SectionDomains.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/SectionDomains.cpp.o.d"
+  "/root/repo/src/analysis/SideEffectAnalyzer.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/SideEffectAnalyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/SideEffectAnalyzer.cpp.o.d"
+  "/root/repo/src/analysis/VarMasks.cpp" "src/analysis/CMakeFiles/ipse_analysis.dir/VarMasks.cpp.o" "gcc" "src/analysis/CMakeFiles/ipse_analysis.dir/VarMasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ipse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ipse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipse_analysis.dir/AliasEstimator.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/AliasEstimator.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/BoundedSection.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/BoundedSection.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/DMod.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/DMod.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/GMod.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/GMod.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/IModPlus.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/IModPlus.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/LocalEffects.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/LocalEffects.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/MultiLevelGMod.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/MultiLevelGMod.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/RMod.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/RMod.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/RegularSection.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/RegularSection.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/RegularSectionAnalysis.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/RegularSectionAnalysis.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/Report.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/Report.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/SectionDomains.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/SectionDomains.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/SideEffectAnalyzer.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/SideEffectAnalyzer.cpp.o.d"
+  "CMakeFiles/ipse_analysis.dir/VarMasks.cpp.o"
+  "CMakeFiles/ipse_analysis.dir/VarMasks.cpp.o.d"
+  "libipse_analysis.a"
+  "libipse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/IterativeSolver.cpp" "src/baselines/CMakeFiles/ipse_baselines.dir/IterativeSolver.cpp.o" "gcc" "src/baselines/CMakeFiles/ipse_baselines.dir/IterativeSolver.cpp.o.d"
+  "/root/repo/src/baselines/RModIterative.cpp" "src/baselines/CMakeFiles/ipse_baselines.dir/RModIterative.cpp.o" "gcc" "src/baselines/CMakeFiles/ipse_baselines.dir/RModIterative.cpp.o.d"
+  "/root/repo/src/baselines/SwiftStyleSolver.cpp" "src/baselines/CMakeFiles/ipse_baselines.dir/SwiftStyleSolver.cpp.o" "gcc" "src/baselines/CMakeFiles/ipse_baselines.dir/SwiftStyleSolver.cpp.o.d"
+  "/root/repo/src/baselines/WorklistSolver.cpp" "src/baselines/CMakeFiles/ipse_baselines.dir/WorklistSolver.cpp.o" "gcc" "src/baselines/CMakeFiles/ipse_baselines.dir/WorklistSolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ipse_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ipse_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ipse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipse_baselines.dir/IterativeSolver.cpp.o"
+  "CMakeFiles/ipse_baselines.dir/IterativeSolver.cpp.o.d"
+  "CMakeFiles/ipse_baselines.dir/RModIterative.cpp.o"
+  "CMakeFiles/ipse_baselines.dir/RModIterative.cpp.o.d"
+  "CMakeFiles/ipse_baselines.dir/SwiftStyleSolver.cpp.o"
+  "CMakeFiles/ipse_baselines.dir/SwiftStyleSolver.cpp.o.d"
+  "CMakeFiles/ipse_baselines.dir/WorklistSolver.cpp.o"
+  "CMakeFiles/ipse_baselines.dir/WorklistSolver.cpp.o.d"
+  "libipse_baselines.a"
+  "libipse_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipse_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

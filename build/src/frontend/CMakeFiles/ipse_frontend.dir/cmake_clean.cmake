@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipse_frontend.dir/Frontend.cpp.o"
+  "CMakeFiles/ipse_frontend.dir/Frontend.cpp.o.d"
+  "CMakeFiles/ipse_frontend.dir/Interpreter.cpp.o"
+  "CMakeFiles/ipse_frontend.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/ipse_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/ipse_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ipse_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/ipse_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/ipse_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/ipse_frontend.dir/Sema.cpp.o.d"
+  "libipse_frontend.a"
+  "libipse_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipse_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

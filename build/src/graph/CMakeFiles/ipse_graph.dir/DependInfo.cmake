@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/BindingGraph.cpp" "src/graph/CMakeFiles/ipse_graph.dir/BindingGraph.cpp.o" "gcc" "src/graph/CMakeFiles/ipse_graph.dir/BindingGraph.cpp.o.d"
+  "/root/repo/src/graph/CallGraph.cpp" "src/graph/CMakeFiles/ipse_graph.dir/CallGraph.cpp.o" "gcc" "src/graph/CMakeFiles/ipse_graph.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/graph/Digraph.cpp" "src/graph/CMakeFiles/ipse_graph.dir/Digraph.cpp.o" "gcc" "src/graph/CMakeFiles/ipse_graph.dir/Digraph.cpp.o.d"
+  "/root/repo/src/graph/Dot.cpp" "src/graph/CMakeFiles/ipse_graph.dir/Dot.cpp.o" "gcc" "src/graph/CMakeFiles/ipse_graph.dir/Dot.cpp.o.d"
+  "/root/repo/src/graph/Reachability.cpp" "src/graph/CMakeFiles/ipse_graph.dir/Reachability.cpp.o" "gcc" "src/graph/CMakeFiles/ipse_graph.dir/Reachability.cpp.o.d"
+  "/root/repo/src/graph/Tarjan.cpp" "src/graph/CMakeFiles/ipse_graph.dir/Tarjan.cpp.o" "gcc" "src/graph/CMakeFiles/ipse_graph.dir/Tarjan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ipse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

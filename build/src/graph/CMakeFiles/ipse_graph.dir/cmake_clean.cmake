@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipse_graph.dir/BindingGraph.cpp.o"
+  "CMakeFiles/ipse_graph.dir/BindingGraph.cpp.o.d"
+  "CMakeFiles/ipse_graph.dir/CallGraph.cpp.o"
+  "CMakeFiles/ipse_graph.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/ipse_graph.dir/Digraph.cpp.o"
+  "CMakeFiles/ipse_graph.dir/Digraph.cpp.o.d"
+  "CMakeFiles/ipse_graph.dir/Dot.cpp.o"
+  "CMakeFiles/ipse_graph.dir/Dot.cpp.o.d"
+  "CMakeFiles/ipse_graph.dir/Reachability.cpp.o"
+  "CMakeFiles/ipse_graph.dir/Reachability.cpp.o.d"
+  "CMakeFiles/ipse_graph.dir/Tarjan.cpp.o"
+  "CMakeFiles/ipse_graph.dir/Tarjan.cpp.o.d"
+  "libipse_graph.a"
+  "libipse_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipse_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

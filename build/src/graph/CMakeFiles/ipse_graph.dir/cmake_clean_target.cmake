@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipse_graph.a"
+)

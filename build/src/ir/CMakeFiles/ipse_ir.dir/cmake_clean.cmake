@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipse_ir.dir/Printer.cpp.o"
+  "CMakeFiles/ipse_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/ipse_ir.dir/Program.cpp.o"
+  "CMakeFiles/ipse_ir.dir/Program.cpp.o.d"
+  "CMakeFiles/ipse_ir.dir/ProgramBuilder.cpp.o"
+  "CMakeFiles/ipse_ir.dir/ProgramBuilder.cpp.o.d"
+  "libipse_ir.a"
+  "libipse_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipse_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

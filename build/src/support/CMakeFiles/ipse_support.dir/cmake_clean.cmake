@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipse_support.dir/BitVector.cpp.o"
+  "CMakeFiles/ipse_support.dir/BitVector.cpp.o.d"
+  "CMakeFiles/ipse_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/ipse_support.dir/StringInterner.cpp.o.d"
+  "libipse_support.a"
+  "libipse_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipse_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipse_synth.dir/ProgramGen.cpp.o"
+  "CMakeFiles/ipse_synth.dir/ProgramGen.cpp.o.d"
+  "CMakeFiles/ipse_synth.dir/SourceGen.cpp.o"
+  "CMakeFiles/ipse_synth.dir/SourceGen.cpp.o.d"
+  "libipse_synth.a"
+  "libipse_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipse_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

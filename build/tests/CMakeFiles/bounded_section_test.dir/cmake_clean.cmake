@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_section_test.dir/bounded_section_test.cpp.o"
+  "CMakeFiles/bounded_section_test.dir/bounded_section_test.cpp.o.d"
+  "bounded_section_test"
+  "bounded_section_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_section_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

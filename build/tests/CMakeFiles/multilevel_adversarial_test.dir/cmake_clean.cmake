@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_adversarial_test.dir/multilevel_adversarial_test.cpp.o"
+  "CMakeFiles/multilevel_adversarial_test.dir/multilevel_adversarial_test.cpp.o.d"
+  "multilevel_adversarial_test"
+  "multilevel_adversarial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_adversarial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regular_section_test.dir/regular_section_test.cpp.o"
+  "CMakeFiles/regular_section_test.dir/regular_section_test.cpp.o.d"
+  "regular_section_test"
+  "regular_section_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regular_section_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsd_property_test.dir/rsd_property_test.cpp.o"
+  "CMakeFiles/rsd_property_test.dir/rsd_property_test.cpp.o.d"
+  "rsd_property_test"
+  "rsd_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

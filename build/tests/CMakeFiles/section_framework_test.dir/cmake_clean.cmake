@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section_framework_test.dir/section_framework_test.cpp.o"
+  "CMakeFiles/section_framework_test.dir/section_framework_test.cpp.o.d"
+  "section_framework_test"
+  "section_framework_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section_framework_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

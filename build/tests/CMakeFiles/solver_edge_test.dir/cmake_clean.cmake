@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_edge_test.dir/solver_edge_test.cpp.o"
+  "CMakeFiles/solver_edge_test.dir/solver_edge_test.cpp.o.d"
+  "solver_edge_test"
+  "solver_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

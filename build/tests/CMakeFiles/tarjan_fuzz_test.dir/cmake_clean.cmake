@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarjan_fuzz_test.dir/tarjan_fuzz_test.cpp.o"
+  "CMakeFiles/tarjan_fuzz_test.dir/tarjan_fuzz_test.cpp.o.d"
+  "tarjan_fuzz_test"
+  "tarjan_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarjan_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

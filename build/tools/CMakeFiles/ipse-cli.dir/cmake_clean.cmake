@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipse-cli.dir/ipse-cli.cpp.o"
+  "CMakeFiles/ipse-cli.dir/ipse-cli.cpp.o.d"
+  "ipse-cli"
+  "ipse-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipse-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
