@@ -10,6 +10,25 @@
 using namespace ipse;
 using namespace ipse::analysis;
 
+BitVector analysis::computeIModPlusFor(const ir::Program &P,
+                                       const BitVector &ExtImod,
+                                       const BitVector &RModBits,
+                                       ir::ProcId Proc) {
+  BitVector Plus = ExtImod;
+  for (ir::CallSiteId Site : P.proc(Proc).CallSites) {
+    const ir::CallSite &C = P.callSite(Site);
+    const ir::Procedure &Callee = P.proc(C.Callee);
+    for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos) {
+      const ir::Actual &A = C.Actuals[Pos];
+      if (!A.isVariable())
+        continue;
+      if (RModBits.test(Callee.Formals[Pos].index()))
+        Plus.set(A.Var.index());
+    }
+  }
+  return Plus;
+}
+
 std::vector<BitVector> analysis::computeIModPlus(const ir::Program &P,
                                                  const LocalEffects &Local,
                                                  const RModResult &RMod) {

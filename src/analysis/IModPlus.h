@@ -38,6 +38,14 @@ std::vector<BitVector> computeIModPlus(const ir::Program &P,
                                        const LocalEffects &Local,
                                        const RModResult &RMod);
 
+/// IMOD+(\p Proc) alone, from an explicit nesting-extended IMOD set and
+/// per-formal RMOD bits — the per-procedure re-propagation entry point the
+/// incremental engine uses when only a few procedures' inputs changed.
+/// \p RModBits has one bit per VarId index, set exactly for formals in
+/// RMOD of their owner.
+BitVector computeIModPlusFor(const ir::Program &P, const BitVector &ExtImod,
+                             const BitVector &RModBits, ir::ProcId Proc);
+
 } // namespace analysis
 } // namespace ipse
 

@@ -10,6 +10,15 @@
 using namespace ipse;
 using namespace ipse::analysis;
 
+BitVector LocalEffects::computeOwn(const ir::Program &P, std::size_t NumVars,
+                                   EffectKind Kind, ir::ProcId Proc) {
+  BitVector Own(NumVars);
+  for (ir::StmtId S : P.proc(Proc).Stmts)
+    for (ir::VarId Var : localList(P.stmt(S), Kind))
+      Own.set(Var.index());
+  return Own;
+}
+
 LocalEffects::LocalEffects(const ir::Program &P, const VarMasks &Masks,
                            EffectKind Kind)
     : Kind(Kind) {

@@ -57,6 +57,12 @@ public:
 
   EffectKind kind() const { return Kind; }
 
+  /// IMOD(p) from \p Proc's own body alone, recomputed from the program —
+  /// the per-procedure re-propagation entry point the incremental engine
+  /// uses after an LMOD/LUSE delta.  Equals own(Proc) on a fresh program.
+  static BitVector computeOwn(const ir::Program &P, std::size_t NumVars,
+                              EffectKind Kind, ir::ProcId Proc);
+
 private:
   std::vector<BitVector> Own;
   std::vector<BitVector> Ext;

@@ -12,9 +12,10 @@
 using namespace ipse;
 using namespace ipse::analysis;
 
-RModResult analysis::solveRMod(const ir::Program &P,
-                               const graph::BindingGraph &BG,
-                               const LocalEffects &Local) {
+RModResult analysis::solveRModOnBits(const ir::Program &P,
+                                     const graph::BindingGraph &BG,
+                                     const BitVector &FormalBits) {
+  assert(FormalBits.size() == P.numVars() && "formal bits over wrong universe");
   RModResult Result;
   Result.ModifiedFormals = BitVector(P.numVars());
   std::uint64_t Steps = 0;
@@ -24,7 +25,7 @@ RModResult analysis::solveRMod(const ir::Program &P,
   for (std::uint32_t I = 0; I != P.numProcs(); ++I)
     for (ir::VarId F : P.proc(ir::ProcId(I)).Formals) {
       ++Steps;
-      if (Local.formalBit(P, F))
+      if (FormalBits.test(F.index()))
         Result.ModifiedFormals.set(F.index());
     }
 
@@ -42,7 +43,7 @@ RModResult analysis::solveRMod(const ir::Program &P,
     char Value = 0;
     for (graph::NodeId N : Sccs.Members[C]) {
       ++Steps;
-      Value |= Local.formalBit(P, BG.formal(N)) ? 1 : 0;
+      Value |= FormalBits.test(BG.formal(N).index()) ? 1 : 0;
       for (const graph::Adjacency &A : G.succs(N)) {
         ++Steps;
         // Same-component edges contribute nothing new; successor
@@ -71,4 +72,15 @@ RModResult analysis::solveRMod(const ir::Program &P,
 
   Result.BooleanSteps = Steps;
   return Result;
+}
+
+RModResult analysis::solveRMod(const ir::Program &P,
+                               const graph::BindingGraph &BG,
+                               const LocalEffects &Local) {
+  BitVector FormalBits(P.numVars());
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    for (ir::VarId F : P.proc(ir::ProcId(I)).Formals)
+      if (Local.formalBit(P, F))
+        FormalBits.set(F.index());
+  return solveRModOnBits(P, BG, FormalBits);
 }

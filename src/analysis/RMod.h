@@ -54,6 +54,13 @@ struct RModResult {
 RModResult solveRMod(const ir::Program &P, const graph::BindingGraph &BG,
                      const LocalEffects &Local);
 
+/// Re-propagation entry point for the incremental engine: runs Figure 1
+/// with explicit per-formal IMOD node values instead of a LocalEffects
+/// object.  \p FormalBits has one bit per VarId index; only formal indices
+/// are consulted.  solveRMod() is this with bits drawn from \p Local.
+RModResult solveRModOnBits(const ir::Program &P, const graph::BindingGraph &BG,
+                           const BitVector &FormalBits);
+
 } // namespace analysis
 } // namespace ipse
 

@@ -1,0 +1,83 @@
+//===- graph/Condensation.h - Resident SCC condensation ---------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived SCC condensation of a graph that changes over time — the
+/// structure the incremental analysis engine keeps resident between edits.
+///
+/// Component ids inherit the reverse-topological numbering of
+/// computeSccs(): for any cross-component edge (u, v), compOf(v) <
+/// compOf(u).  Clients that process components in increasing id order
+/// therefore see callees before callers, and a dirty-cone recomputation
+/// that only ever marks *predecessor* components dirty can drain an
+/// ascending worklist in a single pass.
+///
+/// Maintenance contract under edge deltas (the incremental engine's delta
+/// taxonomy):
+///
+///  - adding or removing an edge whose endpoints share a component leaves
+///    the membership partition valid (an intra-SCC add changes nothing; an
+///    intra-SCC removal can only *split* the component, so membership must
+///    be rebuilt — see below);
+///  - adding a cross-component edge can merge components; removing one
+///    never changes membership;
+///  - rebuild() re-runs Tarjan from scratch, the "targeted re-condensation"
+///    fallback.  It is O(N + E) integer work, far below the bit-vector
+///    cost of re-propagating analysis values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_GRAPH_CONDENSATION_H
+#define IPSE_GRAPH_CONDENSATION_H
+
+#include "graph/Tarjan.h"
+
+namespace ipse {
+namespace graph {
+
+/// The SCC partition of a graph, kept resident across graph versions.
+class Condensation {
+public:
+  Condensation() = default;
+
+  /// Recomputes the partition from \p G (Tarjan, O(N + E)).
+  void rebuild(const Digraph &G) { Sccs = computeSccs(G); }
+
+  std::size_t numNodes() const { return Sccs.SccOf.size(); }
+  std::size_t numComponents() const { return Sccs.numSccs(); }
+
+  /// Component id of a node; ids are reverse-topological (see file
+  /// comment).
+  std::uint32_t compOf(NodeId N) const {
+    assert(N < Sccs.SccOf.size() && "node out of range");
+    return Sccs.SccOf[N];
+  }
+
+  /// Member nodes of a component.
+  const std::vector<NodeId> &members(std::uint32_t Comp) const {
+    assert(Comp < Sccs.numSccs() && "component out of range");
+    return Sccs.Members[Comp];
+  }
+
+  /// True if \p A and \p B sit in the same strongly connected component —
+  /// the test that classifies an edge delta as intra-SCC (membership
+  /// preserved) or structural (re-condensation required).
+  bool sameComponent(NodeId A, NodeId B) const {
+    return compOf(A) == compOf(B);
+  }
+
+  /// The underlying decomposition (for clients of the batch interface).
+  const SccDecomposition &decomposition() const { return Sccs; }
+
+private:
+  SccDecomposition Sccs;
+};
+
+} // namespace graph
+} // namespace ipse
+
+#endif // IPSE_GRAPH_CONDENSATION_H

@@ -1,0 +1,126 @@
+//===- incremental/Edit.cpp - First-class program deltas ----------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "incremental/Edit.h"
+
+#include "incremental/AnalysisSession.h"
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace ipse;
+using namespace ipse::incremental;
+
+void incremental::applyEdit(AnalysisSession &Session, const Edit &E) {
+  switch (E.Kind) {
+  case EditKind::AddMod:
+    Session.addMod(E.Stmt, E.Var);
+    break;
+  case EditKind::RemoveMod:
+    Session.removeMod(E.Stmt, E.Var);
+    break;
+  case EditKind::AddUse:
+    Session.addUse(E.Stmt, E.Var);
+    break;
+  case EditKind::RemoveUse:
+    Session.removeUse(E.Stmt, E.Var);
+    break;
+  case EditKind::AddCall:
+    Session.addCall(E.Stmt, E.Callee, E.Actuals);
+    break;
+  case EditKind::RemoveCall:
+    Session.removeCall(E.Call);
+    break;
+  case EditKind::AddStmt:
+    Session.addStmt(E.Proc);
+    break;
+  case EditKind::AddProc:
+    Session.addProc(E.Name, E.Proc);
+    break;
+  case EditKind::AddGlobal:
+    Session.addGlobal(E.Name);
+    break;
+  case EditKind::AddLocal:
+    Session.addLocal(E.Proc, E.Name);
+    break;
+  case EditKind::AddFormal:
+    Session.addFormal(E.Proc, E.Name);
+    break;
+  case EditKind::RemoveProc:
+    Session.removeProc(E.Proc);
+    break;
+  }
+}
+
+std::string incremental::toString(const ir::Program &P, const Edit &E) {
+  std::ostringstream OS;
+  auto stmtAt = [&](ir::StmtId S) {
+    OS << P.name(P.stmt(S).Parent) << "#s" << S.index();
+  };
+  switch (E.Kind) {
+  case EditKind::AddMod:
+    OS << "add-mod ";
+    stmtAt(E.Stmt);
+    OS << " " << ir::qualifiedName(P, E.Var);
+    break;
+  case EditKind::RemoveMod:
+    OS << "rm-mod ";
+    stmtAt(E.Stmt);
+    OS << " " << ir::qualifiedName(P, E.Var);
+    break;
+  case EditKind::AddUse:
+    OS << "add-use ";
+    stmtAt(E.Stmt);
+    OS << " " << ir::qualifiedName(P, E.Var);
+    break;
+  case EditKind::RemoveUse:
+    OS << "rm-use ";
+    stmtAt(E.Stmt);
+    OS << " " << ir::qualifiedName(P, E.Var);
+    break;
+  case EditKind::AddCall: {
+    OS << "add-call ";
+    stmtAt(E.Stmt);
+    OS << " -> " << P.name(E.Callee) << "(";
+    for (std::size_t I = 0; I != E.Actuals.size(); ++I) {
+      if (I != 0)
+        OS << ", ";
+      if (E.Actuals[I].isVariable())
+        OS << ir::qualifiedName(P, E.Actuals[I].Var);
+      else
+        OS << "_";
+    }
+    OS << ")";
+    break;
+  }
+  case EditKind::RemoveCall: {
+    const ir::CallSite &C = P.callSite(E.Call);
+    OS << "rm-call " << P.name(C.Caller) << " -> " << P.name(C.Callee) << " #c"
+       << E.Call.index();
+    break;
+  }
+  case EditKind::AddStmt:
+    OS << "add-stmt " << P.name(E.Proc);
+    break;
+  case EditKind::AddProc:
+    OS << "add-proc " << E.Name << " in " << P.name(E.Proc);
+    break;
+  case EditKind::AddGlobal:
+    OS << "add-global " << E.Name;
+    break;
+  case EditKind::AddLocal:
+    OS << "add-local " << P.name(E.Proc) << "." << E.Name;
+    break;
+  case EditKind::AddFormal:
+    OS << "add-formal " << P.name(E.Proc) << "." << E.Name;
+    break;
+  case EditKind::RemoveProc:
+    OS << "rm-proc " << P.name(E.Proc);
+    break;
+  }
+  return OS.str();
+}

@@ -1,0 +1,68 @@
+//===- incremental/Edit.h - First-class program deltas ----------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A first-class description of one program delta — the currency passed
+/// between the synthetic edit generator (synth/EditGen.h), the randomized
+/// equivalence harness, the CLI `session` command, and the benchmarks.
+/// Ids inside an Edit are valid against the program state at the moment it
+/// is generated; apply it immediately (ids can shift under removals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_INCREMENTAL_EDIT_H
+#define IPSE_INCREMENTAL_EDIT_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace ipse {
+namespace incremental {
+
+/// The delta vocabulary of AnalysisSession.
+enum class EditKind : std::uint8_t {
+  AddMod,     ///< Stmt, Var: add Var to LMOD(Stmt).
+  RemoveMod,  ///< Stmt, Var: drop one occurrence of Var from LMOD(Stmt).
+  AddUse,     ///< Stmt, Var: add Var to LUSE(Stmt).
+  RemoveUse,  ///< Stmt, Var: drop one occurrence of Var from LUSE(Stmt).
+  AddCall,    ///< Stmt, Callee, Actuals: new call site.
+  RemoveCall, ///< Call: remove a call site.
+  AddStmt,    ///< Proc: append an empty statement.
+  AddProc,    ///< Name, Proc (parent): new procedure.
+  AddGlobal,  ///< Name: new global variable.
+  AddLocal,   ///< Name, Proc (owner): new local variable.
+  AddFormal,  ///< Name, Proc (owner): new formal parameter.
+  RemoveProc  ///< Proc: remove a leaf, uncalled procedure.
+};
+
+/// One delta.  Only the fields its kind documents are meaningful.
+struct Edit {
+  EditKind Kind = EditKind::AddMod;
+  ir::StmtId Stmt;
+  ir::VarId Var;
+  ir::ProcId Proc;
+  ir::ProcId Callee;
+  ir::CallSiteId Call;
+  std::vector<ir::Actual> Actuals;
+  std::string Name;
+};
+
+class AnalysisSession;
+
+/// Applies \p E to \p Session (one editor call plus dirty-set
+/// bookkeeping).  Defined in Edit.cpp.
+void applyEdit(AnalysisSession &Session, const Edit &E);
+
+/// Renders \p E against \p P for logs and failure messages.
+std::string toString(const ir::Program &P, const Edit &E);
+
+} // namespace incremental
+} // namespace ipse
+
+#endif // IPSE_INCREMENTAL_EDIT_H

@@ -168,6 +168,7 @@ public:
 
 private:
   friend class ProgramBuilder;
+  friend class ProgramEditor;
 
   std::vector<Procedure> Procs;
   std::vector<Variable> Vars;

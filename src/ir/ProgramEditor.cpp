@@ -1,0 +1,276 @@
+//===- ir/ProgramEditor.cpp - In-place program mutation ----------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramEditor.h"
+
+#include <algorithm>
+
+using namespace ipse;
+using namespace ipse::ir;
+
+void ProgramEditor::addMod(StmtId S, VarId V) {
+  assert(S.index() < P.Stmts.size() && "bad statement");
+  assert(P.isVisibleIn(V, P.Stmts[S.index()].Parent) &&
+         "LMOD variable not visible in its statement's procedure");
+  P.Stmts[S.index()].LMod.push_back(V);
+}
+
+bool ProgramEditor::removeFromList(std::vector<VarId> &List, VarId V) {
+  auto It = std::find(List.begin(), List.end(), V);
+  if (It == List.end())
+    return false;
+  List.erase(It);
+  return true;
+}
+
+bool ProgramEditor::removeMod(StmtId S, VarId V) {
+  assert(S.index() < P.Stmts.size() && "bad statement");
+  return removeFromList(P.Stmts[S.index()].LMod, V);
+}
+
+void ProgramEditor::addUse(StmtId S, VarId V) {
+  assert(S.index() < P.Stmts.size() && "bad statement");
+  assert(P.isVisibleIn(V, P.Stmts[S.index()].Parent) &&
+         "LUSE variable not visible in its statement's procedure");
+  P.Stmts[S.index()].LUse.push_back(V);
+}
+
+bool ProgramEditor::removeUse(StmtId S, VarId V) {
+  assert(S.index() < P.Stmts.size() && "bad statement");
+  return removeFromList(P.Stmts[S.index()].LUse, V);
+}
+
+StmtId ProgramEditor::addStmt(ProcId Parent) {
+  assert(Parent.index() < P.Procs.size() && "bad parent");
+  StmtId Id(static_cast<std::uint32_t>(P.Stmts.size()));
+  Statement S;
+  S.Parent = Parent;
+  P.Stmts.push_back(std::move(S));
+  P.Procs[Parent.index()].Stmts.push_back(Id);
+  return Id;
+}
+
+CallSiteId ProgramEditor::addCall(StmtId S, ProcId Callee,
+                                  std::vector<Actual> Actuals) {
+  assert(S.index() < P.Stmts.size() && "bad statement");
+  assert(Callee.index() < P.Procs.size() && "bad callee");
+  assert(Callee != P.main() && "main may not be called");
+  ProcId Caller = P.Stmts[S.index()].Parent;
+  assert(P.isAncestorOrSelf(P.proc(Callee).Parent, Caller) &&
+         "call violates lexical scoping");
+  assert(Actuals.size() == P.proc(Callee).Formals.size() &&
+         "arity mismatch at new call site");
+#ifndef NDEBUG
+  for (const Actual &A : Actuals)
+    assert((!A.isVariable() || P.isVisibleIn(A.Var, Caller)) &&
+           "actual argument not visible at call site");
+#endif
+  CallSiteId Id(static_cast<std::uint32_t>(P.Calls.size()));
+  CallSite C;
+  C.Caller = Caller;
+  C.Callee = Callee;
+  C.Stmt = S;
+  C.Actuals = std::move(Actuals);
+  P.Calls.push_back(std::move(C));
+  P.Stmts[S.index()].Calls.push_back(Id);
+  P.Procs[Caller.index()].CallSites.push_back(Id);
+  return Id;
+}
+
+CallSiteId ProgramEditor::removeCall(CallSiteId C) {
+  assert(C.index() < P.Calls.size() && "bad call site");
+
+  auto eraseId = [](std::vector<CallSiteId> &List, CallSiteId Id) {
+    auto It = std::find(List.begin(), List.end(), Id);
+    assert(It != List.end() && "call site missing from owner list");
+    List.erase(It);
+  };
+  auto replaceId = [](std::vector<CallSiteId> &List, CallSiteId From,
+                      CallSiteId To) {
+    auto It = std::find(List.begin(), List.end(), From);
+    assert(It != List.end() && "call site missing from owner list");
+    *It = To;
+  };
+
+  // Unlink C from its statement and caller.
+  const CallSite &Doomed = P.Calls[C.index()];
+  eraseId(P.Stmts[Doomed.Stmt.index()].Calls, C);
+  eraseId(P.Procs[Doomed.Caller.index()].CallSites, C);
+
+  CallSiteId Last(static_cast<std::uint32_t>(P.Calls.size() - 1));
+  if (C == Last) {
+    P.Calls.pop_back();
+    return CallSiteId();
+  }
+
+  // Move the last call site into the hole and patch the two lists that
+  // refer to it by id.
+  P.Calls[C.index()] = std::move(P.Calls.back());
+  P.Calls.pop_back();
+  const CallSite &Moved = P.Calls[C.index()];
+  replaceId(P.Stmts[Moved.Stmt.index()].Calls, Last, C);
+  replaceId(P.Procs[Moved.Caller.index()].CallSites, Last, C);
+  return Last;
+}
+
+ProcId ProgramEditor::addProc(std::string_view Name, ProcId Parent) {
+  assert(Parent.index() < P.Procs.size() && "bad parent");
+  ProcId Id(static_cast<std::uint32_t>(P.Procs.size()));
+  Procedure Pr;
+  Pr.Name = P.Names.intern(Name);
+  Pr.Parent = Parent;
+  Pr.Level = P.Procs[Parent.index()].Level + 1;
+  P.Procs.push_back(std::move(Pr));
+  P.Procs[Parent.index()].Nested.push_back(Id);
+  P.MaxLevel = std::max(P.MaxLevel, P.Procs[Id.index()].Level);
+  return Id;
+}
+
+VarId ProgramEditor::addGlobal(std::string_view Name) {
+  VarId Id(static_cast<std::uint32_t>(P.Vars.size()));
+  Variable V;
+  V.Name = P.Names.intern(Name);
+  V.Kind = VarKind::Global;
+  V.Owner = ProcId(0);
+  P.Vars.push_back(V);
+  P.Procs[0].Locals.push_back(Id);
+  return Id;
+}
+
+VarId ProgramEditor::addLocal(ProcId Owner, std::string_view Name) {
+  assert(Owner.index() < P.Procs.size() && "bad owner");
+  if (Owner == P.main())
+    return addGlobal(Name);
+  VarId Id(static_cast<std::uint32_t>(P.Vars.size()));
+  Variable V;
+  V.Name = P.Names.intern(Name);
+  V.Kind = VarKind::Local;
+  V.Owner = Owner;
+  P.Vars.push_back(V);
+  P.Procs[Owner.index()].Locals.push_back(Id);
+  return Id;
+}
+
+VarId ProgramEditor::addFormal(ProcId Owner, std::string_view Name) {
+  assert(Owner.index() < P.Procs.size() && "bad owner");
+  assert(Owner != P.main() && "main has no formals");
+#ifndef NDEBUG
+  for (const CallSite &C : P.Calls)
+    assert(C.Callee != Owner &&
+           "cannot add a formal to a procedure that is already called");
+#endif
+  VarId Id(static_cast<std::uint32_t>(P.Vars.size()));
+  Variable V;
+  V.Name = P.Names.intern(Name);
+  V.Kind = VarKind::Formal;
+  V.Owner = Owner;
+  V.FormalPos = static_cast<unsigned>(P.Procs[Owner.index()].Formals.size());
+  P.Vars.push_back(V);
+  P.Procs[Owner.index()].Formals.push_back(Id);
+  return Id;
+}
+
+void ProgramEditor::removeProc(ProcId Target) {
+  assert(Target.index() < P.Procs.size() && "bad procedure");
+  assert(Target != P.main() && "cannot remove main");
+  assert(P.Procs[Target.index()].Nested.empty() &&
+         "cannot remove a procedure with nested procedures");
+#ifndef NDEBUG
+  for (const CallSite &C : P.Calls)
+    assert(C.Callee != Target && "cannot remove a procedure that is called");
+#endif
+
+  const std::uint32_t DeadProc = Target.index();
+
+  // Old-id -> new-id maps; the invalid sentinel marks removed entities.
+  // Shifting (rather than swapping) preserves relative order, and with it
+  // the parent-id < child-id invariant that LocalEffects depends on.
+  auto buildShift = [](std::size_t Count, auto IsDead) {
+    std::vector<std::uint32_t> Map(Count);
+    std::uint32_t Next = 0;
+    for (std::uint32_t I = 0; I != Count; ++I)
+      Map[I] = IsDead(I) ? ~std::uint32_t(0) : Next++;
+    return Map;
+  };
+
+  std::vector<std::uint32_t> ProcMap = buildShift(
+      P.Procs.size(), [&](std::uint32_t I) { return I == DeadProc; });
+  std::vector<std::uint32_t> VarMap = buildShift(
+      P.Vars.size(),
+      [&](std::uint32_t I) { return P.Vars[I].Owner.index() == DeadProc; });
+  std::vector<std::uint32_t> StmtMap = buildShift(
+      P.Stmts.size(),
+      [&](std::uint32_t I) { return P.Stmts[I].Parent.index() == DeadProc; });
+  std::vector<std::uint32_t> CallMap = buildShift(
+      P.Calls.size(),
+      [&](std::uint32_t I) { return P.Calls[I].Caller.index() == DeadProc; });
+
+  auto mapProc = [&](ProcId Id) { return ProcId(ProcMap[Id.index()]); };
+  auto mapVar = [&](VarId Id) { return VarId(VarMap[Id.index()]); };
+  auto mapStmt = [&](StmtId Id) { return StmtId(StmtMap[Id.index()]); };
+  auto mapCall = [&](CallSiteId Id) { return CallSiteId(CallMap[Id.index()]); };
+  auto compact = [](auto &Table, const std::vector<std::uint32_t> &Map) {
+    std::uint32_t Next = 0;
+    for (std::uint32_t I = 0; I != Table.size(); ++I)
+      if (Map[I] != ~std::uint32_t(0)) {
+        if (Next != I) // Guard against self-move-assignment.
+          Table[Next] = std::move(Table[I]);
+        ++Next;
+      }
+    Table.resize(Next);
+  };
+
+  // Unlink from the parent's Nested list before remapping.
+  std::vector<ProcId> &Sibs = P.Procs[P.Procs[DeadProc].Parent.index()].Nested;
+  Sibs.erase(std::find(Sibs.begin(), Sibs.end(), Target));
+
+  compact(P.Procs, ProcMap);
+  compact(P.Vars, VarMap);
+  compact(P.Stmts, StmtMap);
+  compact(P.Calls, CallMap);
+
+  for (Procedure &Pr : P.Procs) {
+    if (Pr.Parent.isValid())
+      Pr.Parent = mapProc(Pr.Parent);
+    for (ProcId &N : Pr.Nested)
+      N = mapProc(N);
+    for (VarId &V : Pr.Formals)
+      V = mapVar(V);
+    for (VarId &V : Pr.Locals)
+      V = mapVar(V);
+    for (StmtId &S : Pr.Stmts)
+      S = mapStmt(S);
+    for (CallSiteId &C : Pr.CallSites)
+      C = mapCall(C);
+  }
+  for (Variable &V : P.Vars)
+    V.Owner = mapProc(V.Owner);
+  for (Statement &S : P.Stmts) {
+    S.Parent = mapProc(S.Parent);
+    // Visibility confines every variable a statement touches to surviving
+    // owners: only the dead procedure's own statements could reference its
+    // variables, and those statements are gone.
+    for (VarId &V : S.LMod)
+      V = mapVar(V);
+    for (VarId &V : S.LUse)
+      V = mapVar(V);
+    for (CallSiteId &C : S.Calls)
+      C = mapCall(C);
+  }
+  for (CallSite &C : P.Calls) {
+    C.Caller = mapProc(C.Caller);
+    C.Callee = mapProc(C.Callee);
+    C.Stmt = mapStmt(C.Stmt);
+    for (Actual &A : C.Actuals)
+      if (A.isVariable())
+        A.Var = mapVar(A.Var);
+  }
+
+  P.MaxLevel = 0;
+  for (const Procedure &Pr : P.Procs)
+    P.MaxLevel = std::max(P.MaxLevel, Pr.Level);
+}

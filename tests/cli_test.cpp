@@ -127,4 +127,41 @@ TEST(Cli, RoundtripPreservesShape) {
   }
 }
 
+TEST(Cli, SessionScriptOnStdin) {
+  std::string Script = "load " + corpus("accumulator.mp") +
+                       "\n"
+                       "gmod process\n"
+                       "add-mod add 0 count\n"
+                       "check\n"
+                       "rm-call process 2\n"
+                       "check\n"
+                       "stats\n";
+  std::string Out;
+  ASSERT_EQ(run("printf '%s' '" + Script + "' | " + cli() + " session -", Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("GMOD(process) = {"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("check: OK"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("MISMATCH"), std::string::npos) << Out;
+  // One effect-only flush (add-mod) and one structural flush (rm-call).
+  EXPECT_NE(Out.find("effect-only 1"), std::string::npos) << Out;
+}
+
+TEST(Cli, SessionOnGeneratedProgram) {
+  std::string Script = "gen procs=10 globals=5 seed=3 depth=2\n"
+                       "check\n"
+                       "add-global zz_wide\n"
+                       "check\n";
+  std::string Out;
+  ASSERT_EQ(run("printf '%s' '" + Script + "' | " + cli() + " session -", Out),
+            0)
+      << Out;
+  EXPECT_EQ(Out.find("MISMATCH"), std::string::npos) << Out;
+}
+
+TEST(Cli, SessionRejectsBadScript) {
+  std::string Out;
+  EXPECT_EQ(run("printf 'gmod nope\\n' | " + cli() + " session -", Out), 1);
+}
+
 } // namespace

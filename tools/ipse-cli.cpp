@@ -14,6 +14,9 @@
 //   ipse-cli generate [--seed N] [--procs N] [--globals N] [--depth N]
 //                                                   emit random MiniProc
 //   ipse-cli roundtrip <file.mp>                    compile -> emit -> diff
+//   ipse-cli session <script>                       drive an incremental
+//                                                   AnalysisSession from an
+//                                                   edit/query script
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +32,7 @@
 #include "frontend/Frontend.h"
 #include "graph/Dot.h"
 #include "graph/Reachability.h"
+#include "incremental/AnalysisSession.h"
 #include "synth/ProgramGen.h"
 #include "synth/SourceGen.h"
 
@@ -36,6 +40,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,7 +61,10 @@ namespace {
       "  check <file>                        run all solvers and verify\n"
       "  generate [--seed N] [--procs N] [--globals N] [--depth N]\n"
       "                                      emit a random MiniProc program\n"
-      "  roundtrip <file>                    compile -> emit -> recompile\n");
+      "  roundtrip <file>                    compile -> emit -> recompile\n"
+      "  session <script>                    drive an incremental analysis\n"
+      "                                      session ('-' reads stdin; see\n"
+      "                                      'session' section of README)\n");
   std::exit(2);
 }
 
@@ -241,6 +250,281 @@ int cmdRoundtrip(const std::vector<std::string> &Args) {
   return SameShape ? 0 : 1;
 }
 
+//===----------------------------------------------------------------------===//
+// session: a line-oriented driver over incremental::AnalysisSession.
+//
+// Script grammar (one command per line; '#' starts a comment):
+//
+//   load <file.mp>                        initial program from MiniProc
+//   gen procs=N globals=N seed=N depth=N  initial program from the generator
+//   add-mod  <proc> <stmtIdx> <var>       LMOD/LUSE deltas (stmtIdx is the
+//   rm-mod   <proc> <stmtIdx> <var>       position within the procedure's
+//   add-use  <proc> <stmtIdx> <var>       body; vars resolve through the
+//   rm-use   <proc> <stmtIdx> <var>       lexical scope chain)
+//   add-stmt <proc>                       append an empty statement
+//   add-call <proc> <stmtIdx> <callee> [actual|_ ...]
+//   rm-call  <proc> <k>                   remove proc's k-th call site
+//   add-proc <name> <parent>              universe deltas
+//   add-global <name>
+//   add-local  <proc> <name>
+//   add-formal <proc> <name>
+//   rm-proc  <name>
+//   gmod <proc> | guse <proc> | rmod <proc>
+//   mod <proc> <stmtIdx> | use <proc> <stmtIdx>
+//   check                                 compare against fresh batch runs
+//   stats                                 dump the SessionStats counters
+//===----------------------------------------------------------------------===//
+
+[[noreturn]] void scriptDie(unsigned LineNo, const std::string &Msg) {
+  std::fprintf(stderr, "session script line %u: %s\n", LineNo, Msg.c_str());
+  std::exit(1);
+}
+
+ProcId findProc(const Program &P, const std::string &Name, unsigned LineNo) {
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    if (P.name(ProcId(I)) == Name)
+      return ProcId(I);
+  scriptDie(LineNo, "unknown procedure '" + Name + "'");
+}
+
+/// Resolves \p Name through \p Scope's lexical chain (innermost first).
+VarId findVisibleVar(const Program &P, ProcId Scope, const std::string &Name,
+                     unsigned LineNo) {
+  for (ProcId Cur = Scope; Cur.isValid(); Cur = P.proc(Cur).Parent) {
+    for (VarId V : P.proc(Cur).Formals)
+      if (P.name(V) == Name)
+        return V;
+    for (VarId V : P.proc(Cur).Locals)
+      if (P.name(V) == Name)
+        return V;
+  }
+  scriptDie(LineNo, "no variable '" + Name + "' visible in '" +
+                        P.name(Scope) + "'");
+}
+
+StmtId stmtAt(const Program &P, ProcId Proc, unsigned Idx, unsigned LineNo) {
+  const std::vector<StmtId> &Stmts = P.proc(Proc).Stmts;
+  if (Idx >= Stmts.size())
+    scriptDie(LineNo, "procedure '" + P.name(Proc) + "' has only " +
+                          std::to_string(Stmts.size()) + " statements");
+  return Stmts[Idx];
+}
+
+bool sessionCheck(incremental::AnalysisSession &S) {
+  const Program &P = S.program();
+  analysis::SideEffectAnalyzer Mod(P);
+  analysis::AnalyzerOptions UseOpts;
+  UseOpts.Kind = analysis::EffectKind::Use;
+  analysis::SideEffectAnalyzer Use(P, UseOpts);
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    ProcId Proc(I);
+    if (S.gmod(Proc) != Mod.gmod(Proc) || S.guse(Proc) != Use.gmod(Proc))
+      return false;
+    for (VarId F : P.proc(Proc).Formals)
+      if (S.rmodContains(F) != Mod.rmodContains(F) ||
+          S.rmodContains(F, analysis::EffectKind::Use) !=
+              Use.rmodContains(F))
+        return false;
+  }
+  return true;
+}
+
+int cmdSession(const std::vector<std::string> &Args) {
+  if (Args.size() != 1)
+    usage();
+  std::string Script;
+  if (Args[0] == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Script = SS.str();
+  } else {
+    Script = readFile(Args[0]);
+  }
+
+  std::optional<incremental::AnalysisSession> S;
+  auto session = [&](unsigned LineNo) -> incremental::AnalysisSession & {
+    if (!S)
+      scriptDie(LineNo, "no program loaded ('load' or 'gen' must come first)");
+    return *S;
+  };
+
+  bool AllChecksPassed = true;
+  std::istringstream Lines(Script);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    if (std::size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.resize(Hash);
+    std::istringstream Tok(Line);
+    std::vector<std::string> T;
+    for (std::string W; Tok >> W;)
+      T.push_back(W);
+    if (T.empty())
+      continue;
+    const std::string &Cmd = T[0];
+    auto want = [&](std::size_t N) {
+      if (T.size() != N + 1)
+        scriptDie(LineNo, "'" + Cmd + "' expects " + std::to_string(N) +
+                              " operand(s)");
+    };
+
+    if (Cmd == "load") {
+      want(1);
+      S.emplace(compileOrDie(T[1]));
+    } else if (Cmd == "gen") {
+      synth::ProgramGenConfig Cfg;
+      for (std::size_t I = 1; I != T.size(); ++I) {
+        std::size_t Eq = T[I].find('=');
+        if (Eq == std::string::npos)
+          scriptDie(LineNo, "'gen' operands are key=value");
+        std::string Key = T[I].substr(0, Eq);
+        unsigned Val = static_cast<unsigned>(std::atoi(T[I].c_str() + Eq + 1));
+        if (Key == "procs")
+          Cfg.NumProcs = Val;
+        else if (Key == "globals")
+          Cfg.NumGlobals = Val;
+        else if (Key == "seed")
+          Cfg.Seed = Val;
+        else if (Key == "depth")
+          Cfg.MaxNestDepth = Val;
+        else
+          scriptDie(LineNo, "unknown 'gen' key '" + Key + "'");
+      }
+      S.emplace(synth::generateProgram(Cfg));
+    } else if (Cmd == "add-mod" || Cmd == "rm-mod" || Cmd == "add-use" ||
+               Cmd == "rm-use") {
+      want(3);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      const Program &P = Sess.program();
+      ProcId Proc = findProc(P, T[1], LineNo);
+      StmtId St = stmtAt(P, Proc, static_cast<unsigned>(std::atoi(T[2].c_str())),
+                         LineNo);
+      VarId V = findVisibleVar(P, Proc, T[3], LineNo);
+      if (Cmd == "add-mod")
+        Sess.addMod(St, V);
+      else if (Cmd == "rm-mod")
+        Sess.removeMod(St, V);
+      else if (Cmd == "add-use")
+        Sess.addUse(St, V);
+      else
+        Sess.removeUse(St, V);
+    } else if (Cmd == "add-stmt") {
+      want(1);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      Sess.addStmt(findProc(Sess.program(), T[1], LineNo));
+    } else if (Cmd == "add-call") {
+      if (T.size() < 4)
+        scriptDie(LineNo, "'add-call' expects <proc> <stmtIdx> <callee> ...");
+      incremental::AnalysisSession &Sess = session(LineNo);
+      const Program &P = Sess.program();
+      ProcId Proc = findProc(P, T[1], LineNo);
+      StmtId St = stmtAt(P, Proc, static_cast<unsigned>(std::atoi(T[2].c_str())),
+                         LineNo);
+      ProcId Callee = findProc(P, T[3], LineNo);
+      std::vector<Actual> Actuals;
+      for (std::size_t I = 4; I != T.size(); ++I)
+        Actuals.push_back(T[I] == "_" ? Actual::expression()
+                                      : Actual::variable(findVisibleVar(
+                                            P, Proc, T[I], LineNo)));
+      if (Actuals.size() != P.proc(Callee).Formals.size())
+        scriptDie(LineNo, "arity mismatch: '" + T[3] + "' takes " +
+                              std::to_string(P.proc(Callee).Formals.size()) +
+                              " argument(s)");
+      Sess.addCall(St, Callee, std::move(Actuals));
+    } else if (Cmd == "rm-call") {
+      want(2);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      const Program &P = Sess.program();
+      ProcId Proc = findProc(P, T[1], LineNo);
+      unsigned K = static_cast<unsigned>(std::atoi(T[2].c_str()));
+      if (K >= P.proc(Proc).CallSites.size())
+        scriptDie(LineNo, "procedure '" + T[1] + "' has only " +
+                              std::to_string(P.proc(Proc).CallSites.size()) +
+                              " call sites");
+      Sess.removeCall(P.proc(Proc).CallSites[K]);
+    } else if (Cmd == "add-proc") {
+      want(2);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      Sess.addProc(T[1], findProc(Sess.program(), T[2], LineNo));
+    } else if (Cmd == "add-global") {
+      want(1);
+      session(LineNo).addGlobal(T[1]);
+    } else if (Cmd == "add-local") {
+      want(2);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      Sess.addLocal(findProc(Sess.program(), T[1], LineNo), T[2]);
+    } else if (Cmd == "add-formal") {
+      want(2);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      Sess.addFormal(findProc(Sess.program(), T[1], LineNo), T[2]);
+    } else if (Cmd == "rm-proc") {
+      want(1);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      Sess.removeProc(findProc(Sess.program(), T[1], LineNo));
+    } else if (Cmd == "gmod" || Cmd == "guse") {
+      want(1);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      ProcId Proc = findProc(Sess.program(), T[1], LineNo);
+      const BitVector &Set =
+          Cmd == "gmod" ? Sess.gmod(Proc) : Sess.guse(Proc);
+      std::printf("%s(%s) = {%s}\n", Cmd == "gmod" ? "GMOD" : "GUSE",
+                  T[1].c_str(), Sess.setToString(Set).c_str());
+    } else if (Cmd == "rmod") {
+      want(1);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      const Program &P = Sess.program();
+      ProcId Proc = findProc(P, T[1], LineNo);
+      std::string Names;
+      for (VarId F : P.proc(Proc).Formals)
+        if (Sess.rmodContains(F)) {
+          if (!Names.empty())
+            Names += ", ";
+          Names += P.name(F);
+        }
+      std::printf("RMOD(%s) = {%s}\n", T[1].c_str(), Names.c_str());
+    } else if (Cmd == "mod" || Cmd == "use") {
+      want(2);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      const Program &P = Sess.program();
+      ProcId Proc = findProc(P, T[1], LineNo);
+      StmtId St = stmtAt(P, Proc, static_cast<unsigned>(std::atoi(T[2].c_str())),
+                         LineNo);
+      AliasInfo NoAliases(P);
+      BitVector Set =
+          Cmd == "mod" ? Sess.mod(St, NoAliases) : Sess.use(St, NoAliases);
+      std::printf("%s(%s#%s) = {%s}\n", Cmd == "mod" ? "MOD" : "USE",
+                  T[1].c_str(), T[2].c_str(), Sess.setToString(Set).c_str());
+    } else if (Cmd == "check") {
+      want(0);
+      incremental::AnalysisSession &Sess = session(LineNo);
+      bool Ok = sessionCheck(Sess);
+      AllChecksPassed &= Ok;
+      std::printf("check: %s (%u procedures, %u call sites)\n",
+                  Ok ? "OK" : "MISMATCH",
+                  static_cast<unsigned>(Sess.program().numProcs()),
+                  static_cast<unsigned>(Sess.program().numCallSites()));
+    } else if (Cmd == "stats") {
+      want(0);
+      const incremental::SessionStats &St = session(LineNo).stats();
+      std::printf("edits %llu  flushes %llu  effect-only %llu  intra-scc %llu"
+                  "  recondense %llu  full-rebuild %llu  components %llu"
+                  "  rmod-resolves %llu\n",
+                  (unsigned long long)St.EditsApplied,
+                  (unsigned long long)St.Flushes,
+                  (unsigned long long)St.EffectOnlyFlushes,
+                  (unsigned long long)St.IntraSccFlushes,
+                  (unsigned long long)St.Recondensations,
+                  (unsigned long long)St.FullRebuilds,
+                  (unsigned long long)St.ComponentsRecomputed,
+                  (unsigned long long)St.RModResolves);
+    } else {
+      scriptDie(LineNo, "unknown command '" + Cmd + "'");
+    }
+  }
+  return AllChecksPassed ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -260,5 +544,7 @@ int main(int argc, char **argv) {
     return cmdGenerate(Args);
   if (Cmd == "roundtrip")
     return cmdRoundtrip(Args);
+  if (Cmd == "session")
+    return cmdSession(Args);
   usage();
 }
