@@ -1,0 +1,165 @@
+//===- bench/bench_service.cpp - Concurrent service throughput ---------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures AnalysisService query throughput under a mixed read/write load.
+// Like bench_incremental, this is not google-benchmark based: each
+// (shape, workers) cell runs one fixed workload and emits one JSON line:
+//
+//   {"shape":"fortran-4000","procs":4000,"workers":4,"readers":4,
+//    "reads":600,"edits":40,"wall_ms":812.4,"qps":738.6,
+//    "read_p50_us":2048,"read_p99_us":8192,"read_mean_us":2913,
+//    "published":40,"read_batches":312,"batched_reads":600,
+//    "dedup_saved":41,"qps_vs_w1":1.9}
+//
+// Workload per cell: `readers` client threads each issue `reads/readers`
+// blocking call()s drawn from a pool of gmod/guse/rmod/mod/use queries
+// over the initial procedures, while the main thread streams `edits`
+// effect-set deltas (tier-1, the steady-state editing profile) through the
+// writer.  Latency is measured client-side (submit to response, so it
+// includes queueing), aggregated in a LatencyHistogram; qps counts reads
+// only.  qps_vs_w1 is this cell's qps over the same shape's workers=1 qps
+// — the worker-scaling figure (meaningful only on multi-core hosts; on a
+// single CPU all cells contend for one core and the curve is flat).
+//
+//===----------------------------------------------------------------------===//
+
+#include "incremental/Edit.h"
+#include "service/AnalysisService.h"
+#include "support/LatencyHistogram.h"
+#include "support/Rng.h"
+#include "synth/EditGen.h"
+#include "synth/ProgramGen.h"
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipse;
+using namespace ipse::service;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Shape {
+  const char *Name;
+  unsigned Procs, Globals;
+  std::uint64_t Seed;
+  unsigned Reads; ///< Total across all reader threads.
+  unsigned Edits;
+};
+
+// fortran-4000 matches bench_incremental's large shape; reads are scaled
+// down so the full matrix stays under a minute per run.
+const Shape Shapes[] = {
+    {"fortran-500", 500, 128, 5, 2000, 100},
+    {"fortran-4000", 4000, 512, 9, 600, 40},
+};
+
+double millisSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+double runCell(const Shape &Sh, unsigned Workers, unsigned Readers,
+               double BaselineQps) {
+  ServiceOptions Opts;
+  Opts.Workers = Workers;
+  Opts.QueueCapacity = 256;
+  AnalysisService Svc(synth::makeFortranStyleProgram(Sh.Procs, Sh.Globals,
+                                                     /*CallsPerProc=*/3,
+                                                     Sh.Seed),
+                      Opts);
+
+  std::vector<std::string> Pool;
+  {
+    const ir::Program &P = Svc.snapshot()->program();
+    for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+      std::string N = P.name(ir::ProcId(I));
+      Pool.push_back("gmod " + N);
+      Pool.push_back("guse " + N);
+      Pool.push_back("rmod " + N);
+      Pool.push_back("mod " + N + " 0");
+      Pool.push_back("use " + N + " 1");
+    }
+  }
+
+  // Client-side latency: submit to response, queueing included.
+  LatencyHistogram Lat;
+  unsigned PerReader = Sh.Reads / Readers;
+  Clock::time_point Start = Clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != Readers; ++T)
+    Threads.emplace_back([&, T] {
+      Rng R(100 + T);
+      for (unsigned I = 0; I != PerReader; ++I) {
+        const std::string &Cmd = Pool[R.next() % Pool.size()];
+        Clock::time_point Sent = Clock::now();
+        (void)Svc.call(Cmd);
+        Lat.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - Sent)
+                .count()));
+      }
+    });
+
+  // Effect-set deltas only: the steady-state editing profile, and it keeps
+  // the procedure universe fixed so every pooled query stays valid.
+  synth::EditGenConfig ECfg;
+  ECfg.Seed = 31;
+  ECfg.AllowStructural = false;
+  ECfg.AllowUniverse = false;
+  synth::EditGen Gen(ECfg);
+  unsigned EditsApplied = 0;
+  for (unsigned I = 0; I != Sh.Edits; ++I) {
+    std::shared_ptr<const AnalysisSnapshot> Cur = Svc.snapshot();
+    std::optional<incremental::Edit> E = Gen.next(Cur->program());
+    if (!E)
+      break;
+    if (Svc.call(incremental::toScriptLine(Cur->program(), *E)).Ok)
+      ++EditsApplied;
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  double WallMs = millisSince(Start);
+
+  ServiceCounters C = Svc.counters();
+  unsigned TotalReads = PerReader * Readers;
+  double Qps = TotalReads / (WallMs / 1000.0);
+  std::printf(
+      "{\"shape\":\"%s\",\"procs\":%u,\"workers\":%u,\"readers\":%u,"
+      "\"reads\":%u,\"edits\":%u,\"wall_ms\":%.1f,\"qps\":%.1f,"
+      "\"read_p50_us\":%llu,\"read_p99_us\":%llu,\"read_mean_us\":%llu,"
+      "\"published\":%llu,\"read_batches\":%llu,\"batched_reads\":%llu,"
+      "\"dedup_saved\":%llu,\"qps_vs_w1\":%.2f}\n",
+      Sh.Name, Sh.Procs, Workers, Readers, TotalReads, EditsApplied, WallMs,
+      Qps, (unsigned long long)Lat.percentileMicros(50),
+      (unsigned long long)Lat.percentileMicros(99),
+      (unsigned long long)Lat.meanMicros(), (unsigned long long)C.Published,
+      (unsigned long long)C.ReadBatches, (unsigned long long)C.BatchedReads,
+      (unsigned long long)C.DedupSaved,
+      BaselineQps > 0 ? Qps / BaselineQps : 1.0);
+  std::fflush(stdout);
+  return Qps;
+}
+
+} // namespace
+
+int main() {
+  for (const Shape &Sh : Shapes) {
+    double BaselineQps = 0;
+    for (unsigned Workers : {1u, 2u, 4u}) {
+      double Qps = runCell(Sh, Workers, /*Readers=*/4, BaselineQps);
+      if (Workers == 1)
+        BaselineQps = Qps;
+    }
+  }
+  return 0;
+}

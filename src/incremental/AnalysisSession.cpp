@@ -564,6 +564,21 @@ BitVector AnalysisSession::use(ir::StmtId S, const ir::AliasInfo &Aliases) {
   return analysis::modOfStmt(P, *Masks, state(EffectKind::Use).GMod, Aliases, S);
 }
 
+const analysis::VarMasks &AnalysisSession::masks() {
+  flush();
+  return *Masks;
+}
+
+const analysis::GModResult &AnalysisSession::gmodResult(EffectKind Kind) {
+  flush();
+  return state(Kind).GMod;
+}
+
+const BitVector &AnalysisSession::rmodBits(EffectKind Kind) {
+  flush();
+  return state(Kind).RModBits;
+}
+
 std::string AnalysisSession::setToString(const BitVector &Set) const {
   std::vector<std::string> Names;
   Set.forEachSetBit([&](std::size_t Idx) {

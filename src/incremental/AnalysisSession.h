@@ -164,6 +164,17 @@ public:
   /// Renders a variable set as sorted "a, p.b, ..." text.
   std::string setToString(const BitVector &Set) const;
 
+  /// \name Snapshot export hooks
+  /// Flush pending edits, then expose the resident result bundle so a
+  /// snapshotting layer (service::AnalysisSnapshot) can copy an immutable
+  /// view of the full solution.  Like the query methods, the returned
+  /// references stay valid until the next edit or flush.
+  /// @{
+  const analysis::VarMasks &masks();
+  const analysis::GModResult &gmodResult(analysis::EffectKind Kind);
+  const BitVector &rmodBits(analysis::EffectKind Kind);
+  /// @}
+
 private:
   /// Resident per-effect-kind pipeline state.
   struct KindState {

@@ -56,6 +56,82 @@ void incremental::applyEdit(AnalysisSession &Session, const Edit &E) {
   }
 }
 
+namespace {
+
+/// Position of \p S in its procedure's body (the script grammar's stmtIdx).
+std::size_t stmtIndexInProc(const ir::Program &P, ir::StmtId S) {
+  const std::vector<ir::StmtId> &Stmts = P.proc(P.stmt(S).Parent).Stmts;
+  for (std::size_t I = 0; I != Stmts.size(); ++I)
+    if (Stmts[I] == S)
+      return I;
+  assert(false && "statement not in its parent's body");
+  return 0;
+}
+
+/// Position of \p C in its caller's call-site list (the grammar's k).
+std::size_t callIndexInProc(const ir::Program &P, ir::CallSiteId C) {
+  const std::vector<ir::CallSiteId> &Sites =
+      P.proc(P.callSite(C).Caller).CallSites;
+  for (std::size_t I = 0; I != Sites.size(); ++I)
+    if (Sites[I] == C)
+      return I;
+  assert(false && "call site not in its caller's list");
+  return 0;
+}
+
+} // namespace
+
+std::string incremental::toScriptLine(const ir::Program &P, const Edit &E) {
+  std::ostringstream OS;
+  auto effect = [&](const char *Cmd) {
+    OS << Cmd << " " << P.name(P.stmt(E.Stmt).Parent) << " "
+       << stmtIndexInProc(P, E.Stmt) << " " << P.name(E.Var);
+  };
+  switch (E.Kind) {
+  case EditKind::AddMod:
+    effect("add-mod");
+    break;
+  case EditKind::RemoveMod:
+    effect("rm-mod");
+    break;
+  case EditKind::AddUse:
+    effect("add-use");
+    break;
+  case EditKind::RemoveUse:
+    effect("rm-use");
+    break;
+  case EditKind::AddCall:
+    OS << "add-call " << P.name(P.stmt(E.Stmt).Parent) << " "
+       << stmtIndexInProc(P, E.Stmt) << " " << P.name(E.Callee);
+    for (const ir::Actual &A : E.Actuals)
+      OS << " " << (A.isVariable() ? P.name(A.Var) : std::string("_"));
+    break;
+  case EditKind::RemoveCall:
+    OS << "rm-call " << P.name(P.callSite(E.Call).Caller) << " "
+       << callIndexInProc(P, E.Call);
+    break;
+  case EditKind::AddStmt:
+    OS << "add-stmt " << P.name(E.Proc);
+    break;
+  case EditKind::AddProc:
+    OS << "add-proc " << E.Name << " " << P.name(E.Proc);
+    break;
+  case EditKind::AddGlobal:
+    OS << "add-global " << E.Name;
+    break;
+  case EditKind::AddLocal:
+    OS << "add-local " << P.name(E.Proc) << " " << E.Name;
+    break;
+  case EditKind::AddFormal:
+    OS << "add-formal " << P.name(E.Proc) << " " << E.Name;
+    break;
+  case EditKind::RemoveProc:
+    OS << "rm-proc " << P.name(E.Proc);
+    break;
+  }
+  return OS.str();
+}
+
 std::string incremental::toString(const ir::Program &P, const Edit &E) {
   std::ostringstream OS;
   auto stmtAt = [&](ir::StmtId S) {

@@ -62,6 +62,16 @@ void applyEdit(AnalysisSession &Session, const Edit &E);
 /// Renders \p E against \p P for logs and failure messages.
 std::string toString(const ir::Program &P, const Edit &E);
 
+/// Renders \p E as one line of the session-script grammar (the language
+/// `ipse-cli session` scripts and service protocol `cmd` fields share; see
+/// service/ScriptDriver.h), so synthetic EditGen streams can drive the
+/// analysis service by name.  The rendering addresses statements by their
+/// position in the owning procedure's body and variables by bare name; if a
+/// generated name is shadowed in the resolution scope the parsed edit may
+/// bind a different (still visible) variable — harmless for workloads whose
+/// generated names are unique, which EditGen guarantees.
+std::string toScriptLine(const ir::Program &P, const Edit &E);
+
 } // namespace incremental
 } // namespace ipse
 

@@ -1,0 +1,348 @@
+//===- service/AnalysisService.cpp - Concurrent MOD/USE query engine ----------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisService.h"
+
+#include "incremental/AnalysisSession.h"
+#include "service/Json.h"
+
+#include <future>
+#include <unordered_map>
+
+using namespace ipse;
+using namespace ipse::service;
+
+namespace {
+
+/// In-batch dedup key: two requests with the same key are the same pure
+/// function of the pinned snapshot.
+std::string dedupKey(const ScriptCommand &Cmd) {
+  std::string Key;
+  Key += static_cast<char>('A' + static_cast<int>(Cmd.Kind));
+  for (const std::string &A : Cmd.Args) {
+    Key += '\x1f';
+    Key += A;
+  }
+  return Key;
+}
+
+} // namespace
+
+AnalysisService::AnalysisService(ir::Program Initial, ServiceOptions Options)
+    : Opts(Options), WriteQueue(Opts.QueueCapacity),
+      ReadQueue(Opts.QueueCapacity) {
+  if (Opts.MaxBatch == 0)
+    Opts.MaxBatch = 1;
+  incremental::SessionOptions SO;
+  SO.TrackUse = Opts.TrackUse;
+  Session = std::make_unique<incremental::AnalysisSession>(std::move(Initial),
+                                                           SO);
+  Current.store(AnalysisSnapshot::capture(*Session, Session->generation()),
+                std::memory_order_release);
+
+  Writer = std::thread([this] { writerLoop(); });
+  for (unsigned I = 0; I != Opts.Workers; ++I)
+    Pool.emplace_back([this] { workerLoop(); });
+  if (Opts.StatsIntervalMs) {
+    if (!Opts.StatsOut)
+      Opts.StatsOut = stderr;
+    StatsThread = std::thread([this] { statsLoop(); });
+  }
+}
+
+AnalysisService::~AnalysisService() { stop(); }
+
+void AnalysisService::stop() {
+  if (Stopped.exchange(true))
+    return;
+  WriteQueue.close();
+  ReadQueue.close();
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Stopping = true;
+  }
+  StatsCv.notify_all();
+  if (Writer.joinable())
+    Writer.join();
+  for (std::thread &T : Pool)
+    if (T.joinable())
+      T.join();
+  if (StatsThread.joinable())
+    StatsThread.join();
+}
+
+void AnalysisService::setPublishHook(PublishFn NewHook) {
+  std::lock_guard<std::mutex> Lock(HookMutex);
+  Hook = std::move(NewHook);
+}
+
+void AnalysisService::publish(std::shared_ptr<const AnalysisSnapshot> Snap) {
+  Current.store(Snap, std::memory_order_release);
+  CntPublished.fetch_add(1, std::memory_order_relaxed);
+  PublishFn H;
+  {
+    std::lock_guard<std::mutex> Lock(HookMutex);
+    H = Hook;
+  }
+  if (H)
+    H(std::move(Snap));
+}
+
+std::uint64_t AnalysisService::elapsedMicros(const Pending &P) const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - P.Enqueued)
+          .count());
+}
+
+bool AnalysisService::submit(Pending P, bool Blocking) {
+  // `stats` is served inline: it reads only atomics, and keeping it out
+  // of the queues means it still answers when the service is saturated —
+  // exactly when you want to see the counters.
+  if (P.Cmd.Kind == ScriptCommand::Op::Stats) {
+    Response R;
+    R.Id = P.Id;
+    R.Generation = generation();
+    R.Result = statsJson();
+    R.ResultIsJson = true;
+    CntQueries.fetch_add(1, std::memory_order_relaxed);
+    P.Done(std::move(R));
+    return true;
+  }
+
+  MpmcQueue<Pending> *Q = nullptr;
+  if (isEditCommand(P.Cmd.Kind))
+    Q = &WriteQueue;
+  else if (isQueryCommand(P.Cmd.Kind))
+    Q = &ReadQueue;
+  else {
+    // load / gen re-seed the program wholesale; the serve front end does
+    // that at startup, not per-request.
+    Response R;
+    R.Id = P.Id;
+    R.Ok = false;
+    R.Generation = generation();
+    R.Error = "command not available while serving";
+    CntErrors.fetch_add(1, std::memory_order_relaxed);
+    P.Done(std::move(R));
+    return true;
+  }
+
+  P.Enqueued = std::chrono::steady_clock::now();
+  bool Accepted = Blocking ? Q->push(std::move(P)) : Q->tryPush(std::move(P));
+  if (!Accepted)
+    CntRejected.fetch_add(1, std::memory_order_relaxed);
+  return Accepted;
+}
+
+bool AnalysisService::trySubmit(std::uint64_t Id, ScriptCommand Cmd,
+                                ResponseFn Done) {
+  Pending P;
+  P.Id = Id;
+  P.Cmd = std::move(Cmd);
+  P.Done = std::move(Done);
+  return submit(std::move(P), /*Blocking=*/false);
+}
+
+Response AnalysisService::call(ScriptCommand Cmd) {
+  auto Promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> Future = Promise->get_future();
+  Pending P;
+  P.Cmd = std::move(Cmd);
+  P.Done = [Promise](Response R) { Promise->set_value(std::move(R)); };
+  if (!submit(std::move(P), /*Blocking=*/true)) {
+    Response R;
+    R.Ok = false;
+    R.Error = "service stopped";
+    return R;
+  }
+  return Future.get();
+}
+
+Response AnalysisService::call(std::string_view Line) {
+  try {
+    std::optional<ScriptCommand> Cmd = parseScriptLine(Line, 0);
+    if (!Cmd) {
+      Response R; // Blank line: trivially OK, answered by nobody.
+      R.Generation = generation();
+      return R;
+    }
+    return call(std::move(*Cmd));
+  } catch (const ScriptError &E) {
+    Response R;
+    R.Ok = false;
+    R.Generation = generation();
+    R.Error = E.Message;
+    CntErrors.fetch_add(1, std::memory_order_relaxed);
+    return R;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Writer thread.
+//===----------------------------------------------------------------------===//
+
+void AnalysisService::writerLoop() {
+  std::vector<Pending> Batch;
+  std::vector<std::string> Failures;
+  while (true) {
+    std::optional<Pending> First = WriteQueue.pop();
+    if (!First)
+      return; // Closed and drained.
+    Batch.clear();
+    Batch.push_back(std::move(*First));
+    WriteQueue.tryPopBatch(Batch, Opts.MaxBatch - 1);
+
+    // Apply the whole batch before flushing: the session defers solve
+    // work until queried, so N edits cost one re-propagation.
+    Failures.assign(Batch.size(), std::string());
+    bool AnyApplied = false;
+    for (std::size_t I = 0; I != Batch.size(); ++I) {
+      try {
+        applyEditCommand(*Session, Batch[I].Cmd);
+        AnyApplied = true;
+      } catch (const ScriptError &E) {
+        Failures[I] = E.Message;
+      }
+    }
+
+    std::shared_ptr<const AnalysisSnapshot> Snap =
+        Current.load(std::memory_order_acquire);
+    if (AnyApplied) {
+      // capture() flushes; this is the batch's one solve.
+      Snap = AnalysisSnapshot::capture(*Session, Session->generation());
+      publish(Snap);
+    }
+
+    for (std::size_t I = 0; I != Batch.size(); ++I) {
+      Response R;
+      R.Id = Batch[I].Id;
+      R.Generation = Snap->generation();
+      if (Failures[I].empty()) {
+        CntEdits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        R.Ok = false;
+        R.Error = Failures[I];
+        CntErrors.fetch_add(1, std::memory_order_relaxed);
+      }
+      WriteLat.record(elapsedMicros(Batch[I]));
+      Batch[I].Done(std::move(R));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reader pool.
+//===----------------------------------------------------------------------===//
+
+void AnalysisService::workerLoop() {
+  std::vector<Pending> Batch;
+  while (true) {
+    std::optional<Pending> First = ReadQueue.pop();
+    if (!First)
+      return;
+    Batch.clear();
+    Batch.push_back(std::move(*First));
+    ReadQueue.tryPopBatch(Batch, Opts.MaxBatch - 1);
+    CntReadBatches.fetch_add(1, std::memory_order_relaxed);
+    CntBatchedReads.fetch_add(Batch.size(), std::memory_order_relaxed);
+
+    // Pin once: every request in the burst is answered from the same
+    // generation, and identical requests share one evaluation.
+    std::shared_ptr<const AnalysisSnapshot> Snap =
+        Current.load(std::memory_order_acquire);
+    struct Eval {
+      bool Ok = true;
+      QueryResult QR;
+      std::string Error;
+    };
+    std::unordered_map<std::string, std::size_t> Memo;
+    std::vector<Eval> Evals;
+
+    for (Pending &P : Batch) {
+      std::string Key = dedupKey(P.Cmd);
+      auto [It, Inserted] = Memo.try_emplace(Key, Evals.size());
+      if (Inserted) {
+        Eval E;
+        try {
+          E.QR = evalQueryCommand(*Snap, P.Cmd);
+        } catch (const ScriptError &Err) {
+          E.Ok = false;
+          E.Error = Err.Message;
+        }
+        Evals.push_back(std::move(E));
+      } else {
+        CntDedupSaved.fetch_add(1, std::memory_order_relaxed);
+      }
+      const Eval &E = Evals[It->second];
+      Response R;
+      R.Id = P.Id;
+      R.Generation = Snap->generation();
+      if (E.Ok) {
+        R.Result = E.QR.Text;
+        R.CheckOk = E.QR.CheckOk;
+        CntQueries.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        R.Ok = false;
+        R.Error = E.Error;
+        CntErrors.fetch_add(1, std::memory_order_relaxed);
+      }
+      ReadLat.record(elapsedMicros(P));
+      P.Done(std::move(R));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Observability.
+//===----------------------------------------------------------------------===//
+
+ServiceCounters AnalysisService::counters() const {
+  ServiceCounters C;
+  C.Edits = CntEdits.load(std::memory_order_relaxed);
+  C.Queries = CntQueries.load(std::memory_order_relaxed);
+  C.Errors = CntErrors.load(std::memory_order_relaxed);
+  C.Rejected = CntRejected.load(std::memory_order_relaxed);
+  C.ReadBatches = CntReadBatches.load(std::memory_order_relaxed);
+  C.BatchedReads = CntBatchedReads.load(std::memory_order_relaxed);
+  C.DedupSaved = CntDedupSaved.load(std::memory_order_relaxed);
+  C.Published = CntPublished.load(std::memory_order_relaxed);
+  return C;
+}
+
+std::string AnalysisService::statsJson() const {
+  ServiceCounters C = counters();
+  JsonWriter W;
+  W.field("gen", generation());
+  W.field("edits", C.Edits);
+  W.field("queries", C.Queries);
+  W.field("errors", C.Errors);
+  W.field("rejected", C.Rejected);
+  W.field("read_batches", C.ReadBatches);
+  W.field("batched_reads", C.BatchedReads);
+  W.field("dedup_saved", C.DedupSaved);
+  W.field("published", C.Published);
+  W.field("read_queue", static_cast<std::uint64_t>(ReadQueue.size()));
+  W.field("write_queue", static_cast<std::uint64_t>(WriteQueue.size()));
+  W.fieldRaw("read_lat", ReadLat.toJson());
+  W.fieldRaw("write_lat", WriteLat.toJson());
+  return W.finish();
+}
+
+void AnalysisService::statsLoop() {
+  std::unique_lock<std::mutex> Lock(StatsMutex);
+  while (!Stopping) {
+    StatsCv.wait_for(Lock, std::chrono::milliseconds(Opts.StatsIntervalMs));
+    if (Stopping)
+      return;
+    Lock.unlock();
+    std::string Line = statsJson();
+    std::fprintf(Opts.StatsOut, "%s\n", Line.c_str());
+    std::fflush(Opts.StatsOut);
+    Lock.lock();
+  }
+}

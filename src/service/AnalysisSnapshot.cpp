@@ -1,0 +1,48 @@
+//===- service/AnalysisSnapshot.cpp - Immutable analysis results --------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/AnalysisSnapshot.h"
+
+#include "analysis/DMod.h"
+#include "incremental/AnalysisSession.h"
+
+using namespace ipse;
+using namespace ipse::service;
+using analysis::EffectKind;
+
+std::shared_ptr<const AnalysisSnapshot>
+AnalysisSnapshot::capture(incremental::AnalysisSession &Session,
+                          std::uint64_t Generation) {
+  // No make_shared: the constructor is private and capture is the only
+  // producer.
+  std::shared_ptr<AnalysisSnapshot> S(new AnalysisSnapshot());
+  S->Gen = Generation;
+  // The accessors below flush first, so every copy reflects the same clean
+  // generation.  Copy order does not matter after that: the session is not
+  // edited concurrently (capture runs on the service's single writer
+  // thread).
+  S->P = Session.program();
+  S->Masks = std::make_unique<analysis::VarMasks>(S->P);
+  S->ModResult = Session.gmodResult(EffectKind::Mod);
+  S->ModRMod = Session.rmodBits(EffectKind::Mod);
+  S->HasUse = Session.options().TrackUse;
+  if (S->HasUse) {
+    S->UseResult = Session.gmodResult(EffectKind::Use);
+    S->UseRMod = Session.rmodBits(EffectKind::Use);
+  }
+  S->NoAliases = ir::AliasInfo(S->P);
+  return S;
+}
+
+BitVector AnalysisSnapshot::modNoAlias(ir::StmtId S) const {
+  return analysis::modOfStmt(P, *Masks, ModResult, NoAliases, S);
+}
+
+BitVector AnalysisSnapshot::useNoAlias(ir::StmtId S) const {
+  assert(HasUse && "snapshot captured without a USE pipeline");
+  return analysis::modOfStmt(P, *Masks, UseResult, NoAliases, S);
+}

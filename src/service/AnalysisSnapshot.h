@@ -1,0 +1,89 @@
+//===- service/AnalysisSnapshot.h - Immutable analysis results --*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One immutable, self-contained copy of a full analysis solution: the
+/// program as of some session generation, the shared variable masks, and
+/// the per-effect-kind GMOD / RMOD results.  The service publishes a new
+/// snapshot after each committed edit batch (via atomic shared_ptr swap)
+/// and readers answer every query from whichever snapshot they pinned —
+/// MVCC in miniature: readers never block writers, writers never tear
+/// readers, and a pinned snapshot stays valid for as long as the pin is
+/// held, regardless of how many generations the writer publishes meanwhile.
+///
+/// Self-containment is the invariant that makes the concurrency story
+/// trivial: a snapshot holds copies, not references into the session, so
+/// nothing a reader touches is ever written again.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SERVICE_ANALYSISSNAPSHOT_H
+#define IPSE_SERVICE_ANALYSISSNAPSHOT_H
+
+#include "analysis/EffectKind.h"
+#include "analysis/GMod.h"
+#include "analysis/VarMasks.h"
+#include "ir/AliasInfo.h"
+#include "ir/Program.h"
+#include "service/ScriptDriver.h"
+#include "support/BitVector.h"
+
+#include <memory>
+
+namespace ipse {
+namespace incremental {
+class AnalysisSession;
+}
+
+namespace service {
+
+class AnalysisSnapshot final : public QueryTarget {
+public:
+  /// Flushes \p Session and copies its resident solution.  \p Generation
+  /// is the session generation the copy reflects (the service passes
+  /// Session.generation() after draining an edit batch).
+  static std::shared_ptr<const AnalysisSnapshot>
+  capture(incremental::AnalysisSession &Session, std::uint64_t Generation);
+
+  std::uint64_t generation() const { return Gen; }
+
+  /// The program state this snapshot was computed from.
+  const ir::Program &program() const override { return P; }
+
+  const BitVector &gmod(ir::ProcId Proc) const override {
+    return ModResult.of(Proc);
+  }
+  const BitVector &guse(ir::ProcId Proc) const override {
+    assert(HasUse && "snapshot captured without a USE pipeline");
+    return UseResult.of(Proc);
+  }
+  bool rmodContains(ir::VarId Formal,
+                    analysis::EffectKind Kind) const override {
+    return (Kind == analysis::EffectKind::Mod ? ModRMod : UseRMod)
+        .test(Formal.index());
+  }
+  BitVector modNoAlias(ir::StmtId S) const override;
+  BitVector useNoAlias(ir::StmtId S) const override;
+
+  bool tracksUse() const { return HasUse; }
+
+private:
+  AnalysisSnapshot() = default;
+
+  std::uint64_t Gen = 0;
+  ir::Program P;
+  std::unique_ptr<analysis::VarMasks> Masks;
+  analysis::GModResult ModResult, UseResult;
+  BitVector ModRMod, UseRMod;
+  ir::AliasInfo NoAliases;
+  bool HasUse = false;
+};
+
+} // namespace service
+} // namespace ipse
+
+#endif // IPSE_SERVICE_ANALYSISSNAPSHOT_H

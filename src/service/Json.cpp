@@ -1,0 +1,302 @@
+//===- service/Json.cpp - Minimal JSON for the wire protocol ------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ipse;
+using namespace ipse::service;
+
+std::optional<std::string> JsonObject::getString(const std::string &Key) const {
+  auto It = Fields.find(Key);
+  if (It == Fields.end() || It->second.K != Kind::String)
+    return std::nullopt;
+  return It->second.Text;
+}
+
+std::optional<std::uint64_t> JsonObject::getUInt(const std::string &Key) const {
+  auto It = Fields.find(Key);
+  if (It == Fields.end() || It->second.K != Kind::Number)
+    return std::nullopt;
+  const std::string &T = It->second.Text;
+  if (T.empty() || T[0] == '-')
+    return std::nullopt;
+  return std::strtoull(T.c_str(), nullptr, 10);
+}
+
+std::optional<bool> JsonObject::getBool(const std::string &Key) const {
+  auto It = Fields.find(Key);
+  if (It == Fields.end() || It->second.K != Kind::Bool)
+    return std::nullopt;
+  return It->second.Text == "true";
+}
+
+namespace {
+
+/// A cursor over the input with the tiny amount of lookahead JSON needs.
+struct Cursor {
+  std::string_view S;
+  std::size_t I = 0;
+  std::string Error;
+
+  bool fail(const char *Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+  void skipWs() {
+    while (I < S.size() && std::isspace(static_cast<unsigned char>(S[I])))
+      ++I;
+  }
+  bool eat(char C) {
+    skipWs();
+    if (I < S.size() && S[I] == C) {
+      ++I;
+      return true;
+    }
+    return false;
+  }
+
+  /// Parses a JSON string literal (cursor on the opening quote) into
+  /// \p Out, handling the escapes the protocol can produce.
+  bool parseString(std::string &Out) {
+    if (!eat('"'))
+      return fail("expected string");
+    while (I < S.size()) {
+      char C = S[I++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (I >= S.size())
+        return fail("dangling escape");
+      char E = S[I++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (I + 4 > S.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (unsigned K = 0; K != 4; ++K) {
+          char H = S[I++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad \\u escape");
+        }
+        // The protocol only ever escapes control characters; encode the
+        // code point as UTF-8 (BMP only — surrogate pairs are rejected).
+        if (Code >= 0xD800 && Code <= 0xDFFF)
+          return fail("surrogate pairs unsupported");
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  /// Skips any JSON value without interpreting it (for nested values the
+  /// flat protocol does not use).
+  bool skipValue() {
+    skipWs();
+    if (I >= S.size())
+      return fail("expected value");
+    char C = S[I];
+    if (C == '"') {
+      std::string Dummy;
+      return parseString(Dummy);
+    }
+    if (C == '{' || C == '[') {
+      char Close = C == '{' ? '}' : ']';
+      ++I;
+      int Depth = 1;
+      while (I < S.size() && Depth > 0) {
+        char D = S[I];
+        if (D == '"') {
+          std::string Dummy;
+          if (!parseString(Dummy))
+            return false;
+          continue;
+        }
+        if (D == C)
+          ++Depth;
+        else if (D == Close)
+          --Depth;
+        ++I;
+      }
+      return Depth == 0 || fail("unterminated nesting");
+    }
+    // Number / true / false / null: consume the bare lexeme.
+    std::size_t Start = I;
+    while (I < S.size() && (std::isalnum(static_cast<unsigned char>(S[I])) ||
+                            S[I] == '-' || S[I] == '+' || S[I] == '.'))
+      ++I;
+    return I > Start || fail("expected value");
+  }
+};
+
+} // namespace
+
+std::optional<JsonObject> service::parseJsonObject(std::string_view Text,
+                                                   std::string &ErrorOut) {
+  Cursor C{Text, 0, {}};
+  JsonObject Obj;
+  auto failed = [&]() -> std::optional<JsonObject> {
+    ErrorOut = C.Error.empty() ? "malformed JSON" : C.Error;
+    return std::nullopt;
+  };
+
+  if (!C.eat('{'))
+    return C.fail("expected '{'"), failed();
+  C.skipWs();
+  if (C.eat('}'))
+    return Obj;
+  do {
+    std::string Key;
+    if (!C.parseString(Key))
+      return failed();
+    if (!C.eat(':'))
+      return C.fail("expected ':'"), failed();
+    C.skipWs();
+    if (C.I >= Text.size())
+      return C.fail("expected value"), failed();
+    char First = Text[C.I];
+    JsonObject::Value V;
+    if (First == '"') {
+      V.K = JsonObject::Kind::String;
+      if (!C.parseString(V.Text))
+        return failed();
+    } else if (First == 't' || First == 'f') {
+      V.K = JsonObject::Kind::Bool;
+      std::size_t Start = C.I;
+      if (!C.skipValue())
+        return failed();
+      V.Text = std::string(Text.substr(Start, C.I - Start));
+      if (V.Text != "true" && V.Text != "false")
+        return C.fail("bad literal"), failed();
+    } else if (First == '-' || std::isdigit(static_cast<unsigned char>(First))) {
+      V.K = JsonObject::Kind::Number;
+      std::size_t Start = C.I;
+      if (!C.skipValue())
+        return failed();
+      V.Text = std::string(Text.substr(Start, C.I - Start));
+    } else {
+      V.K = JsonObject::Kind::Other;
+      if (!C.skipValue())
+        return failed();
+    }
+    Obj.Fields[Key] = std::move(V);
+  } while (C.eat(','));
+  if (!C.eat('}'))
+    return C.fail("expected '}'"), failed();
+  return Obj;
+}
+
+std::string service::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::key(std::string_view K) {
+  if (!First)
+    Out += ',';
+  First = false;
+  Out += '"';
+  Out += jsonEscape(K);
+  Out += "\":";
+}
+
+void JsonWriter::field(std::string_view Key, std::string_view StringValue) {
+  key(Key);
+  Out += '"';
+  Out += jsonEscape(StringValue);
+  Out += '"';
+}
+
+void JsonWriter::field(std::string_view Key, std::uint64_t Value) {
+  key(Key);
+  Out += std::to_string(Value);
+}
+
+void JsonWriter::field(std::string_view Key, bool Value) {
+  key(Key);
+  Out += Value ? "true" : "false";
+}
+
+void JsonWriter::fieldRaw(std::string_view Key, std::string_view Json) {
+  key(Key);
+  Out += Json;
+}

@@ -1,0 +1,355 @@
+//===- service/ScriptDriver.cpp - Shared session-script parsing ---------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ScriptDriver.h"
+
+#include "analysis/SideEffectAnalyzer.h"
+#include "incremental/AnalysisSession.h"
+#include "ir/AliasInfo.h"
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+using namespace ipse;
+using namespace ipse::service;
+using ir::ProcId;
+using ir::Program;
+using ir::StmtId;
+using ir::VarId;
+
+namespace {
+
+[[noreturn]] void die(unsigned LineNo, std::string Msg) {
+  throw ScriptError{LineNo, std::move(Msg)};
+}
+
+struct OpSpec {
+  const char *Name;
+  ScriptCommand::Op Op;
+  /// Exact operand count, or -1 for "validated at execution" (gen,
+  /// add-call).
+  int Arity;
+};
+
+constexpr OpSpec Specs[] = {
+    {"load", ScriptCommand::Op::Load, 1},
+    {"gen", ScriptCommand::Op::Gen, -1},
+    {"add-mod", ScriptCommand::Op::AddMod, 3},
+    {"rm-mod", ScriptCommand::Op::RmMod, 3},
+    {"add-use", ScriptCommand::Op::AddUse, 3},
+    {"rm-use", ScriptCommand::Op::RmUse, 3},
+    {"add-stmt", ScriptCommand::Op::AddStmt, 1},
+    {"add-call", ScriptCommand::Op::AddCall, -1},
+    {"rm-call", ScriptCommand::Op::RmCall, 2},
+    {"add-proc", ScriptCommand::Op::AddProc, 2},
+    {"add-global", ScriptCommand::Op::AddGlobal, 1},
+    {"add-local", ScriptCommand::Op::AddLocal, 2},
+    {"add-formal", ScriptCommand::Op::AddFormal, 2},
+    {"rm-proc", ScriptCommand::Op::RmProc, 1},
+    {"gmod", ScriptCommand::Op::GMod, 1},
+    {"guse", ScriptCommand::Op::GUse, 1},
+    {"rmod", ScriptCommand::Op::RMod, 1},
+    {"mod", ScriptCommand::Op::Mod, 2},
+    {"use", ScriptCommand::Op::Use, 2},
+    {"check", ScriptCommand::Op::Check, 0},
+    {"stats", ScriptCommand::Op::Stats, 0},
+};
+
+unsigned parseIndex(const std::string &S) {
+  return static_cast<unsigned>(std::atoi(S.c_str()));
+}
+
+} // namespace
+
+bool service::isEditCommand(ScriptCommand::Op Op) {
+  switch (Op) {
+  case ScriptCommand::Op::AddMod:
+  case ScriptCommand::Op::RmMod:
+  case ScriptCommand::Op::AddUse:
+  case ScriptCommand::Op::RmUse:
+  case ScriptCommand::Op::AddStmt:
+  case ScriptCommand::Op::AddCall:
+  case ScriptCommand::Op::RmCall:
+  case ScriptCommand::Op::AddProc:
+  case ScriptCommand::Op::AddGlobal:
+  case ScriptCommand::Op::AddLocal:
+  case ScriptCommand::Op::AddFormal:
+  case ScriptCommand::Op::RmProc:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool service::isQueryCommand(ScriptCommand::Op Op) {
+  switch (Op) {
+  case ScriptCommand::Op::GMod:
+  case ScriptCommand::Op::GUse:
+  case ScriptCommand::Op::RMod:
+  case ScriptCommand::Op::Mod:
+  case ScriptCommand::Op::Use:
+  case ScriptCommand::Op::Check:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<ScriptCommand> service::parseScriptLine(std::string_view Line,
+                                                      unsigned LineNo) {
+  std::string Text(Line);
+  if (std::size_t Hash = Text.find('#'); Hash != std::string::npos)
+    Text.resize(Hash);
+  std::istringstream Tok(Text);
+  std::vector<std::string> T;
+  for (std::string W; Tok >> W;)
+    T.push_back(W);
+  if (T.empty())
+    return std::nullopt;
+
+  for (const OpSpec &Spec : Specs) {
+    if (T[0] != Spec.Name)
+      continue;
+    ScriptCommand Cmd;
+    Cmd.Kind = Spec.Op;
+    Cmd.LineNo = LineNo;
+    Cmd.Args.assign(T.begin() + 1, T.end());
+    if (Spec.Arity >= 0 &&
+        Cmd.Args.size() != static_cast<std::size_t>(Spec.Arity))
+      die(LineNo, "'" + T[0] + "' expects " + std::to_string(Spec.Arity) +
+                      " operand(s)");
+    if (Spec.Op == ScriptCommand::Op::AddCall && Cmd.Args.size() < 3)
+      die(LineNo, "'add-call' expects <proc> <stmtIdx> <callee> ...");
+    return Cmd;
+  }
+  die(LineNo, "unknown command '" + T[0] + "'");
+}
+
+ProcId service::findProc(const Program &P, const std::string &Name,
+                         unsigned LineNo) {
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    if (P.name(ProcId(I)) == Name)
+      return ProcId(I);
+  die(LineNo, "unknown procedure '" + Name + "'");
+}
+
+VarId service::findVisibleVar(const Program &P, ProcId Scope,
+                              const std::string &Name, unsigned LineNo) {
+  for (ProcId Cur = Scope; Cur.isValid(); Cur = P.proc(Cur).Parent) {
+    for (VarId V : P.proc(Cur).Formals)
+      if (P.name(V) == Name)
+        return V;
+    for (VarId V : P.proc(Cur).Locals)
+      if (P.name(V) == Name)
+        return V;
+  }
+  die(LineNo,
+      "no variable '" + Name + "' visible in '" + P.name(Scope) + "'");
+}
+
+StmtId service::stmtAt(const Program &P, ProcId Proc, unsigned Idx,
+                       unsigned LineNo) {
+  const std::vector<StmtId> &Stmts = P.proc(Proc).Stmts;
+  if (Idx >= Stmts.size())
+    die(LineNo, "procedure '" + P.name(Proc) + "' has only " +
+                    std::to_string(Stmts.size()) + " statements");
+  return Stmts[Idx];
+}
+
+void service::applyEditCommand(incremental::AnalysisSession &Session,
+                               const ScriptCommand &Cmd) {
+  const Program &P = Session.program();
+  const std::vector<std::string> &A = Cmd.Args;
+  const unsigned LineNo = Cmd.LineNo;
+  switch (Cmd.Kind) {
+  case ScriptCommand::Op::AddMod:
+  case ScriptCommand::Op::RmMod:
+  case ScriptCommand::Op::AddUse:
+  case ScriptCommand::Op::RmUse: {
+    ProcId Proc = findProc(P, A[0], LineNo);
+    StmtId St = stmtAt(P, Proc, parseIndex(A[1]), LineNo);
+    VarId V = findVisibleVar(P, Proc, A[2], LineNo);
+    if (Cmd.Kind == ScriptCommand::Op::AddMod)
+      Session.addMod(St, V);
+    else if (Cmd.Kind == ScriptCommand::Op::RmMod)
+      Session.removeMod(St, V);
+    else if (Cmd.Kind == ScriptCommand::Op::AddUse)
+      Session.addUse(St, V);
+    else
+      Session.removeUse(St, V);
+    return;
+  }
+  case ScriptCommand::Op::AddStmt:
+    Session.addStmt(findProc(P, A[0], LineNo));
+    return;
+  case ScriptCommand::Op::AddCall: {
+    ProcId Proc = findProc(P, A[0], LineNo);
+    StmtId St = stmtAt(P, Proc, parseIndex(A[1]), LineNo);
+    ProcId Callee = findProc(P, A[2], LineNo);
+    std::vector<ir::Actual> Actuals;
+    for (std::size_t I = 3; I != A.size(); ++I)
+      Actuals.push_back(A[I] == "_" ? ir::Actual::expression()
+                                    : ir::Actual::variable(findVisibleVar(
+                                          P, Proc, A[I], LineNo)));
+    if (Actuals.size() != P.proc(Callee).Formals.size())
+      die(LineNo, "arity mismatch: '" + A[2] + "' takes " +
+                      std::to_string(P.proc(Callee).Formals.size()) +
+                      " argument(s)");
+    Session.addCall(St, Callee, std::move(Actuals));
+    return;
+  }
+  case ScriptCommand::Op::RmCall: {
+    ProcId Proc = findProc(P, A[0], LineNo);
+    unsigned K = parseIndex(A[1]);
+    if (K >= P.proc(Proc).CallSites.size())
+      die(LineNo, "procedure '" + A[0] + "' has only " +
+                      std::to_string(P.proc(Proc).CallSites.size()) +
+                      " call sites");
+    Session.removeCall(P.proc(Proc).CallSites[K]);
+    return;
+  }
+  case ScriptCommand::Op::AddProc:
+    Session.addProc(A[0], findProc(P, A[1], LineNo));
+    return;
+  case ScriptCommand::Op::AddGlobal:
+    Session.addGlobal(A[0]);
+    return;
+  case ScriptCommand::Op::AddLocal:
+    Session.addLocal(findProc(P, A[0], LineNo), A[1]);
+    return;
+  case ScriptCommand::Op::AddFormal:
+    Session.addFormal(findProc(P, A[0], LineNo), A[1]);
+    return;
+  case ScriptCommand::Op::RmProc:
+    Session.removeProc(findProc(P, A[0], LineNo));
+    return;
+  default:
+    die(LineNo, "not an edit command");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Query evaluation over a QueryTarget.
+//===----------------------------------------------------------------------===//
+
+const Program &SessionQueryTarget::program() const { return S.program(); }
+const BitVector &SessionQueryTarget::gmod(ProcId Proc) const {
+  return S.gmod(Proc);
+}
+const BitVector &SessionQueryTarget::guse(ProcId Proc) const {
+  return S.guse(Proc);
+}
+bool SessionQueryTarget::rmodContains(VarId Formal,
+                                      analysis::EffectKind Kind) const {
+  return S.rmodContains(Formal, Kind);
+}
+BitVector SessionQueryTarget::modNoAlias(StmtId St) const {
+  ir::AliasInfo NoAliases(S.program());
+  return S.mod(St, NoAliases);
+}
+BitVector SessionQueryTarget::useNoAlias(StmtId St) const {
+  ir::AliasInfo NoAliases(S.program());
+  return S.use(St, NoAliases);
+}
+
+std::string service::setToString(const Program &P, const BitVector &Set) {
+  std::vector<std::string> Names;
+  Set.forEachSetBit([&](std::size_t Idx) {
+    Names.push_back(
+        ir::qualifiedName(P, VarId(static_cast<std::uint32_t>(Idx))));
+  });
+  std::sort(Names.begin(), Names.end());
+  std::ostringstream OS;
+  for (std::size_t I = 0; I != Names.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Names[I];
+  }
+  return OS.str();
+}
+
+namespace {
+
+/// `check`: the target's answers must equal a fresh batch analysis of its
+/// program — the end-to-end consistency probe every driver exposes.
+QueryResult evalCheck(const QueryTarget &Target) {
+  const Program &P = Target.program();
+  analysis::SideEffectAnalyzer Mod(P);
+  analysis::AnalyzerOptions UseOpts;
+  UseOpts.Kind = analysis::EffectKind::Use;
+  analysis::SideEffectAnalyzer Use(P, UseOpts);
+  bool Ok = true;
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    ProcId Proc(I);
+    if (Target.gmod(Proc) != Mod.gmod(Proc) ||
+        Target.guse(Proc) != Use.gmod(Proc))
+      Ok = false;
+    for (VarId F : P.proc(Proc).Formals)
+      if (Target.rmodContains(F, analysis::EffectKind::Mod) !=
+              Mod.rmodContains(F) ||
+          Target.rmodContains(F, analysis::EffectKind::Use) !=
+              Use.rmodContains(F))
+        Ok = false;
+  }
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "check: %s (%u procedures, %u call sites)",
+                Ok ? "OK" : "MISMATCH",
+                static_cast<unsigned>(P.numProcs()),
+                static_cast<unsigned>(P.numCallSites()));
+  return QueryResult{Buf, Ok};
+}
+
+} // namespace
+
+QueryResult service::evalQueryCommand(const QueryTarget &Target,
+                                      const ScriptCommand &Cmd) {
+  const std::vector<std::string> &A = Cmd.Args;
+  const unsigned LineNo = Cmd.LineNo;
+  std::ostringstream OS;
+  switch (Cmd.Kind) {
+  case ScriptCommand::Op::GMod:
+  case ScriptCommand::Op::GUse: {
+    const Program &P = Target.program();
+    ProcId Proc = findProc(P, A[0], LineNo);
+    bool IsMod = Cmd.Kind == ScriptCommand::Op::GMod;
+    const BitVector &Set = IsMod ? Target.gmod(Proc) : Target.guse(Proc);
+    OS << (IsMod ? "GMOD" : "GUSE") << "(" << A[0] << ") = {"
+       << setToString(Target.program(), Set) << "}";
+    return QueryResult{OS.str(), true};
+  }
+  case ScriptCommand::Op::RMod: {
+    const Program &P = Target.program();
+    ProcId Proc = findProc(P, A[0], LineNo);
+    std::string Names;
+    for (VarId F : P.proc(Proc).Formals)
+      if (Target.rmodContains(F, analysis::EffectKind::Mod)) {
+        if (!Names.empty())
+          Names += ", ";
+        Names += P.name(F);
+      }
+    OS << "RMOD(" << A[0] << ") = {" << Names << "}";
+    return QueryResult{OS.str(), true};
+  }
+  case ScriptCommand::Op::Mod:
+  case ScriptCommand::Op::Use: {
+    const Program &P = Target.program();
+    ProcId Proc = findProc(P, A[0], LineNo);
+    StmtId St = stmtAt(P, Proc, parseIndex(A[1]), LineNo);
+    bool IsMod = Cmd.Kind == ScriptCommand::Op::Mod;
+    BitVector Set = IsMod ? Target.modNoAlias(St) : Target.useNoAlias(St);
+    OS << (IsMod ? "MOD" : "USE") << "(" << A[0] << "#" << A[1] << ") = {"
+       << setToString(Target.program(), Set) << "}";
+    return QueryResult{OS.str(), true};
+  }
+  case ScriptCommand::Op::Check:
+    return evalCheck(Target);
+  default:
+    die(LineNo, "not a query command");
+  }
+}

@@ -1,0 +1,182 @@
+//===- service/ScriptDriver.h - Shared session-script parsing ---*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The session-script language, factored out of `ipse-cli session` so the
+/// CLI script driver and the analysis service's request decoder share one
+/// parser instead of diverging copies.  A script line is one command:
+///
+///   load <file.mp>                        initial program from MiniProc
+///   gen procs=N globals=N seed=N depth=N  initial program from the generator
+///   add-mod  <proc> <stmtIdx> <var>       LMOD/LUSE deltas (stmtIdx is the
+///   rm-mod   <proc> <stmtIdx> <var>       position within the procedure's
+///   add-use  <proc> <stmtIdx> <var>       body; vars resolve through the
+///   rm-use   <proc> <stmtIdx> <var>       lexical scope chain)
+///   add-stmt <proc>                       append an empty statement
+///   add-call <proc> <stmtIdx> <callee> [actual|_ ...]
+///   rm-call  <proc> <k>                   remove proc's k-th call site
+///   add-proc <name> <parent>              universe deltas
+///   add-global <name>
+///   add-local  <proc> <name>
+///   add-formal <proc> <name>
+///   rm-proc  <name>
+///   gmod <proc> | guse <proc> | rmod <proc>
+///   mod <proc> <stmtIdx> | use <proc> <stmtIdx>
+///   check                                 compare against fresh batch runs
+///   stats                                 driver-dependent counters
+///
+/// Parsing yields a ScriptCommand with *raw* operands; name resolution is
+/// deferred to execution time because ids shift under edits — the service
+/// resolves edits on its writer thread against the session's live program
+/// and queries against the pinned snapshot's program copy.
+///
+/// Query evaluation is generic over a QueryTarget so the same code answers
+/// from a live AnalysisSession (CLI) or an immutable AnalysisSnapshot
+/// (service read path), and renders byte-identical text either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SERVICE_SCRIPTDRIVER_H
+#define IPSE_SERVICE_SCRIPTDRIVER_H
+
+#include "analysis/EffectKind.h"
+#include "ir/Program.h"
+#include "support/BitVector.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipse {
+namespace incremental {
+class AnalysisSession;
+}
+
+namespace service {
+
+/// A script failure: unknown command, bad arity, unresolvable name.
+/// Thrown by the parse/resolve/execute functions below; callers render it
+/// (the CLI exits, the service answers an error response).
+struct ScriptError {
+  unsigned LineNo = 0;
+  std::string Message;
+};
+
+/// One parsed script line with raw (unresolved) operands.
+struct ScriptCommand {
+  enum class Op {
+    Load,
+    Gen,
+    AddMod,
+    RmMod,
+    AddUse,
+    RmUse,
+    AddStmt,
+    AddCall,
+    RmCall,
+    AddProc,
+    AddGlobal,
+    AddLocal,
+    AddFormal,
+    RmProc,
+    GMod,
+    GUse,
+    RMod,
+    Mod,
+    Use,
+    Check,
+    Stats
+  };
+  Op Kind = Op::Check;
+  std::vector<std::string> Args;
+  unsigned LineNo = 0;
+};
+
+/// True for commands that mutate the program (routed to the service's
+/// writer thread).
+bool isEditCommand(ScriptCommand::Op Op);
+
+/// True for commands answerable from an immutable snapshot (routed to the
+/// service's reader pool).
+bool isQueryCommand(ScriptCommand::Op Op);
+
+/// Parses one script line ('#' starts a comment).  Returns nullopt for
+/// blank/comment-only lines; throws ScriptError on unknown commands or
+/// wrong arity.
+std::optional<ScriptCommand> parseScriptLine(std::string_view Line,
+                                             unsigned LineNo);
+
+/// \name Name resolution (shared by edits and queries; throw ScriptError)
+/// @{
+ir::ProcId findProc(const ir::Program &P, const std::string &Name,
+                    unsigned LineNo);
+/// Resolves \p Name through \p Scope's lexical chain (innermost first).
+ir::VarId findVisibleVar(const ir::Program &P, ir::ProcId Scope,
+                         const std::string &Name, unsigned LineNo);
+ir::StmtId stmtAt(const ir::Program &P, ir::ProcId Proc, unsigned Idx,
+                  unsigned LineNo);
+/// @}
+
+/// Resolves and applies one edit command against \p Session's current
+/// program.  \p Cmd must satisfy isEditCommand.
+void applyEditCommand(incremental::AnalysisSession &Session,
+                      const ScriptCommand &Cmd);
+
+/// What a query evaluates against: a live session (CLI) or an immutable
+/// snapshot (service).  Methods are const so a pinned
+/// shared_ptr<const AnalysisSnapshot> can answer directly; the session
+/// adapter's constness is shallow (the referenced session still flushes
+/// lazily on query).
+class QueryTarget {
+public:
+  virtual ~QueryTarget() = default;
+  virtual const ir::Program &program() const = 0;
+  virtual const BitVector &gmod(ir::ProcId Proc) const = 0;
+  virtual const BitVector &guse(ir::ProcId Proc) const = 0;
+  virtual bool rmodContains(ir::VarId Formal,
+                            analysis::EffectKind Kind) const = 0;
+  /// MOD(s) / USE(s) under the empty alias relation (the protocol's view).
+  virtual BitVector modNoAlias(ir::StmtId S) const = 0;
+  virtual BitVector useNoAlias(ir::StmtId S) const = 0;
+};
+
+/// Adapts a live AnalysisSession to QueryTarget for the CLI path.
+class SessionQueryTarget : public QueryTarget {
+public:
+  explicit SessionQueryTarget(incremental::AnalysisSession &S) : S(S) {}
+  const ir::Program &program() const override;
+  const BitVector &gmod(ir::ProcId Proc) const override;
+  const BitVector &guse(ir::ProcId Proc) const override;
+  bool rmodContains(ir::VarId Formal,
+                    analysis::EffectKind Kind) const override;
+  BitVector modNoAlias(ir::StmtId S) const override;
+  BitVector useNoAlias(ir::StmtId S) const override;
+
+private:
+  incremental::AnalysisSession &S;
+};
+
+/// Result of one query command.
+struct QueryResult {
+  std::string Text;    ///< Exactly the line `ipse-cli session` prints.
+  bool CheckOk = true; ///< False only for a failed `check`.
+};
+
+/// Evaluates a query command (isQueryCommand) against \p Target.  `check`
+/// re-runs the batch analyzers over Target's program and compares.
+QueryResult evalQueryCommand(const QueryTarget &Target,
+                             const ScriptCommand &Cmd);
+
+/// Renders a variable set as sorted "a, p.b, ..." text (the rendering every
+/// driver shares).
+std::string setToString(const ir::Program &P, const BitVector &Set);
+
+} // namespace service
+} // namespace ipse
+
+#endif // IPSE_SERVICE_SCRIPTDRIVER_H

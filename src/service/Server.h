@@ -1,0 +1,109 @@
+//===- service/Server.h - Protocol front ends for the service ---*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Newline-delimited JSON front ends for AnalysisService.  One request per
+/// line:
+///
+///   {"id":7,"cmd":"gmod main"}
+///
+/// where `cmd` is any session-script command (service/ScriptDriver.h) —
+/// the protocol reuses the script grammar verbatim, so the CLI and the
+/// wire speak one language.  One response per request (order may differ
+/// from submission order under concurrency; correlate by id):
+///
+///   {"id":7,"ok":true,"gen":3,"result":"GMOD(main) = {x, y}"}
+///   {"id":8,"ok":false,"gen":3,"error":"unknown procedure 'nope'"}
+///   {"id":9,"ok":false,"retry":true,"error":"overloaded"}        (backpressure)
+///
+/// Extra response fields: `"check":false` on a failed `check`, and the
+/// `stats` command returns its object under `"result"` unquoted.
+///
+/// Front ends: serveFd() pumps one request stream over a pair of file
+/// descriptors (used for stdio serving and for each accepted TCP
+/// connection); TcpServer accepts loopback connections and serves each on
+/// its own thread; runClient() is the line-oriented client the CLI's
+/// `client` subcommand wraps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SERVICE_SERVER_H
+#define IPSE_SERVICE_SERVER_H
+
+#include "service/AnalysisService.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ipse {
+namespace service {
+
+/// Renders one response as a protocol line (no trailing newline).
+std::string renderResponse(const Response &R);
+
+/// Decodes one request line and routes it into \p Svc.  \p Emit receives
+/// exactly one response line per call — possibly on a service thread, so
+/// it must be thread-safe.  Malformed envelopes, script parse errors, and
+/// backpressure refusals are all answered inline.
+void handleRequestLine(AnalysisService &Svc, std::string_view Line,
+                       const std::function<void(const std::string &)> &Emit);
+
+/// Serves requests read from \p InFd until EOF, writing responses to
+/// \p OutFd (write-locked; service threads interleave whole lines).
+/// Drains outstanding requests before returning.
+void serveFd(AnalysisService &Svc, int InFd, int OutFd);
+
+/// A loopback TCP listener serving each accepted connection on its own
+/// thread via serveFd().
+class TcpServer {
+public:
+  explicit TcpServer(AnalysisService &Svc) : Svc(Svc) {}
+  ~TcpServer() { stop(); }
+
+  /// Binds 127.0.0.1:\p Port (0 picks an ephemeral port — see port()),
+  /// listens, and starts the accept thread.  Returns false with
+  /// \p ErrorOut set on failure.
+  bool start(std::uint16_t Port, std::string &ErrorOut);
+
+  /// The bound port (valid after a successful start()).
+  std::uint16_t port() const { return BoundPort; }
+
+  /// Stops accepting, shuts down live connections, joins all threads.
+  /// Idempotent.
+  void stop();
+
+private:
+  void acceptLoop();
+
+  AnalysisService &Svc;
+  /// Atomic: stop() retires it (exchange to -1) while acceptLoop is
+  /// blocked in accept() on it.
+  std::atomic<int> ListenFd{-1};
+  std::uint16_t BoundPort = 0;
+  std::thread Acceptor;
+  std::mutex ConnMutex;
+  std::vector<int> ConnFds;
+  std::vector<std::thread> ConnThreads;
+  bool Running = false;
+};
+
+/// Connects to 127.0.0.1:\p Port, wraps each line of \p In (a session
+/// script; '#' comments and blanks skipped) into a protocol request, and
+/// prints each response line to \p Out.  Returns 0 on success, 1 on
+/// connection failure or any ok=false response.
+int runClient(std::uint16_t Port, std::FILE *In, std::FILE *Out);
+
+} // namespace service
+} // namespace ipse
+
+#endif // IPSE_SERVICE_SERVER_H

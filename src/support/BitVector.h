@@ -140,12 +140,19 @@ public:
   const_iterator end() const { return const_iterator(*this, NumBits); }
 
   /// \name Bit-vector operation accounting
-  /// The paper measures algorithms in bit-vector steps.  When enabled, every
-  /// word-level operation performed by the binary operators above increments
-  /// a global counter, letting benchmarks report machine-independent work.
+  /// The paper measures algorithms in bit-vector steps; every word-level
+  /// operation performed by the binary operators above is counted, letting
+  /// benchmarks report machine-independent work.  The accounting is
+  /// thread-safe: each thread accumulates into its own counter (registered
+  /// on first use, folded into a retired total at thread exit) and
+  /// opCount() aggregates live threads plus the retired total, so the
+  /// service's worker pool never tears or loses counts.  Counter writes are
+  /// relaxed single-writer stores; a resetOpCount() that races with
+  /// in-flight word operations can miss those operations but never
+  /// corrupts the counter (benchmarks reset between quiescent phases).
   /// @{
-  static void resetOpCount() { WordOps = 0; }
-  static std::uint64_t opCount() { return WordOps; }
+  static void resetOpCount();
+  static std::uint64_t opCount();
   /// @}
 
 private:
@@ -156,10 +163,11 @@ private:
   /// Clears the unused high bits of the last word (class invariant).
   void clearUnusedBits();
 
+  /// Adds \p N word operations to this thread's counter.
+  static void countOps(std::uint64_t N);
+
   std::size_t NumBits = 0;
   std::vector<Word> Words;
-
-  static std::uint64_t WordOps;
 };
 
 } // namespace ipse

@@ -1,0 +1,48 @@
+//===- support/LatencyHistogram.cpp - Fixed-bucket latency histogram ----------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LatencyHistogram.h"
+
+#include <cstdio>
+
+using namespace ipse;
+
+std::uint64_t LatencyHistogram::percentileMicros(double P) const {
+  std::uint64_t Counts[NumBuckets];
+  std::uint64_t Total = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Counts[I] = Buckets[I].load(std::memory_order_relaxed);
+    Total += Counts[I];
+  }
+  if (Total == 0)
+    return 0;
+  // Rank of the percentile sample, 1-based, clamped into [1, Total].
+  std::uint64_t Rank = static_cast<std::uint64_t>(P / 100.0 * Total + 0.5);
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Total)
+    Rank = Total;
+  std::uint64_t Seen = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Seen += Counts[I];
+    if (Seen >= Rank)
+      return bucketBoundMicros(I);
+  }
+  return bucketBoundMicros(NumBuckets - 1);
+}
+
+std::string LatencyHistogram::toJson() const {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"count\":%llu,\"mean_us\":%llu,\"p50_us\":%llu,"
+                "\"p99_us\":%llu,\"max_us\":%llu}",
+                (unsigned long long)count(), (unsigned long long)meanMicros(),
+                (unsigned long long)percentileMicros(50),
+                (unsigned long long)percentileMicros(99),
+                (unsigned long long)maxMicros());
+  return Buf;
+}

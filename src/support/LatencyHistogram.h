@@ -1,0 +1,105 @@
+//===- support/LatencyHistogram.h - Fixed-bucket latency histogram -*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, fixed-bucket latency histogram for the analysis service's
+/// observability layer.  Buckets are powers of two in microseconds
+/// (bucket i counts samples in [2^(i-1), 2^i), bucket 0 counts sub-µs
+/// samples, the last bucket is an overflow catch-all), so record() is one
+/// relaxed fetch_add with no allocation — safe on every worker's hot path.
+/// Percentile answers are bucket upper bounds: exact enough for p50/p99
+/// service dashboards, and monotone under concurrent recording.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SUPPORT_LATENCYHISTOGRAM_H
+#define IPSE_SUPPORT_LATENCYHISTOGRAM_H
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace ipse {
+
+class LatencyHistogram {
+public:
+  /// Bucket 0: < 1 µs.  Bucket i (1..NumBuckets-2): [2^(i-1), 2^i) µs.
+  /// Bucket NumBuckets-1: everything >= 2^(NumBuckets-2) µs (~= 17 min).
+  static constexpr unsigned NumBuckets = 32;
+
+  LatencyHistogram() = default;
+
+  /// Records one sample of \p Micros microseconds.
+  void record(std::uint64_t Micros) {
+    Buckets[bucketOf(Micros)].fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Micros, std::memory_order_relaxed);
+    // Max is advisory (monotone CAS loop).
+    std::uint64_t Prev = Max.load(std::memory_order_relaxed);
+    while (Micros > Prev &&
+           !Max.compare_exchange_weak(Prev, Micros, std::memory_order_relaxed))
+      ;
+  }
+
+  /// Total number of recorded samples.
+  std::uint64_t count() const {
+    std::uint64_t N = 0;
+    for (const auto &B : Buckets)
+      N += B.load(std::memory_order_relaxed);
+    return N;
+  }
+
+  /// Mean in microseconds (0 when empty).
+  std::uint64_t meanMicros() const {
+    std::uint64_t N = count();
+    return N ? Sum.load(std::memory_order_relaxed) / N : 0;
+  }
+
+  std::uint64_t maxMicros() const { return Max.load(std::memory_order_relaxed); }
+
+  /// Upper bound (in µs) of the bucket containing the \p P-th percentile
+  /// (0 < P <= 100).  Returns 0 when empty.
+  std::uint64_t percentileMicros(double P) const;
+
+  /// Zeroes all buckets.  Racing record() calls may be partially lost;
+  /// reset between quiescent phases for exact numbers.
+  void reset() {
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+  }
+
+  /// Renders {"count":..,"mean_us":..,"p50_us":..,"p99_us":..,"max_us":..}.
+  std::string toJson() const;
+
+  /// Upper bound (in µs) of bucket \p I; the overflow bucket reports the
+  /// same bound as the last finite one.
+  static std::uint64_t bucketBoundMicros(unsigned I) {
+    if (I == 0)
+      return 1;
+    if (I >= NumBuckets - 1)
+      return std::uint64_t(1) << (NumBuckets - 2);
+    return std::uint64_t(1) << I;
+  }
+
+  static unsigned bucketOf(std::uint64_t Micros) {
+    if (Micros == 0)
+      return 0;
+    unsigned W = std::bit_width(Micros); // 2^(W-1) <= Micros < 2^W
+    return W < NumBuckets - 1 ? W : NumBuckets - 1;
+  }
+
+private:
+  std::atomic<std::uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<std::uint64_t> Sum{0};
+  std::atomic<std::uint64_t> Max{0};
+};
+
+} // namespace ipse
+
+#endif // IPSE_SUPPORT_LATENCYHISTOGRAM_H

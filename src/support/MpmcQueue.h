@@ -1,0 +1,150 @@
+//===- support/MpmcQueue.h - Bounded multi-producer/consumer queue -*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded MPMC FIFO used as the analysis service's request queue.
+/// Capacity is a hard bound: tryPush() fails when the queue is full, which
+/// is how the service implements backpressure (the front end answers
+/// "overloaded, retry later" instead of buffering without limit).  close()
+/// wakes every blocked producer and consumer; consumers then drain the
+/// remaining elements and see "end of stream".
+///
+/// Mutex + two condition variables: the queue guards thread handoff, not a
+/// hot compute loop — the expensive part of a request (the bit-vector walk)
+/// happens outside the lock, so a lock-free ring buys nothing here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_SUPPORT_MPMCQUEUE_H
+#define IPSE_SUPPORT_MPMCQUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace ipse {
+
+template <typename T> class MpmcQueue {
+public:
+  explicit MpmcQueue(std::size_t Capacity) : Cap(Capacity ? Capacity : 1) {}
+
+  MpmcQueue(const MpmcQueue &) = delete;
+  MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+  /// Enqueues without blocking.  Returns false if the queue is full or
+  /// closed — the caller's backpressure signal.
+  bool tryPush(T Value) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Closed || Q.size() >= Cap)
+        return false;
+      Q.push_back(std::move(Value));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Enqueues, blocking while the queue is full.  Returns false if the
+  /// queue is (or becomes) closed.
+  bool push(T Value) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      NotFull.wait(Lock, [&] { return Closed || Q.size() < Cap; });
+      if (Closed)
+        return false;
+      Q.push_back(std::move(Value));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Dequeues, blocking while the queue is empty.  Returns nullopt once the
+  /// queue is closed and fully drained.
+  std::optional<T> pop() {
+    std::optional<T> Out;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      NotEmpty.wait(Lock, [&] { return Closed || !Q.empty(); });
+      if (Q.empty())
+        return std::nullopt;
+      Out.emplace(std::move(Q.front()));
+      Q.pop_front();
+    }
+    NotFull.notify_one();
+    return Out;
+  }
+
+  /// Dequeues without blocking; nullopt when nothing is available.
+  std::optional<T> tryPop() {
+    std::optional<T> Out;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Q.empty())
+        return std::nullopt;
+      Out.emplace(std::move(Q.front()));
+      Q.pop_front();
+    }
+    NotFull.notify_one();
+    return Out;
+  }
+
+  /// Drains up to \p Max immediately available elements into \p Out without
+  /// blocking; returns the number moved.  The service's batching primitive:
+  /// one wakeup collects a whole burst.
+  std::size_t tryPopBatch(std::vector<T> &Out, std::size_t Max) {
+    std::size_t N = 0;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      while (N < Max && !Q.empty()) {
+        Out.push_back(std::move(Q.front()));
+        Q.pop_front();
+        ++N;
+      }
+    }
+    if (N)
+      NotFull.notify_all();
+    return N;
+  }
+
+  /// Closes the queue: producers fail fast, consumers drain then stop.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Closed;
+  }
+
+  /// Instantaneous depth (a gauge; stale by the time the caller reads it).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Q.size();
+  }
+
+  std::size_t capacity() const { return Cap; }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable NotEmpty, NotFull;
+  std::deque<T> Q;
+  const std::size_t Cap;
+  bool Closed = false;
+};
+
+} // namespace ipse
+
+#endif // IPSE_SUPPORT_MPMCQUEUE_H

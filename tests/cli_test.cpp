@@ -164,4 +164,37 @@ TEST(Cli, SessionRejectsBadScript) {
   EXPECT_EQ(run("printf 'gmod nope\\n' | " + cli() + " session -", Out), 1);
 }
 
+TEST(Cli, ServeOverStdio) {
+  // The serve front end speaks newline-delimited JSON over stdio; one
+  // response per request, correlated by id.
+  std::string Requests = R"({"id":1,"cmd":"gmod main"}\n)"
+                         R"({"id":2,"cmd":"add-global srv_g"}\n)"
+                         R"({"id":3,"cmd":"check"}\n)";
+  std::string Out;
+  ASSERT_EQ(run("printf '" + Requests + "' | " + cli() +
+                    " serve --gen procs=8,globals=4,seed=5 --workers 2",
+                Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("\"result\":\"GMOD(main) = {"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("check: OK"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("\"ok\":false"), std::string::npos) << Out;
+}
+
+TEST(Cli, ServeReportsScriptErrorsPerRequest) {
+  std::string Out;
+  ASSERT_EQ(run("printf '{\"id\":1,\"cmd\":\"gmod nope\"}\n' | " + cli() +
+                    " serve --gen procs=4,globals=2,seed=1",
+                Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("unknown procedure"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"ok\":false"), std::string::npos) << Out;
+}
+
+TEST(Cli, ServeNeedsAProgramSource) {
+  std::string Out;
+  EXPECT_EQ(run("printf '' | " + cli() + " serve", Out), 2);
+}
+
 } // namespace

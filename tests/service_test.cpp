@@ -1,0 +1,598 @@
+//===- tests/service_test.cpp - Concurrent analysis service tests -------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the src/service stack bottom-up: the JSON codec, the shared
+// script driver (including the EditGen -> toScriptLine -> applyEditCommand
+// round trip that lets synthetic edit streams drive the service by name),
+// snapshot capture, the concurrent service itself (MVCC semantics,
+// batching + dedup, deterministic backpressure), the TCP front end, and a
+// randomized multi-threaded stress run whose every response is re-checked
+// bit-for-bit against the published snapshot that answered it.  The
+// stress test is the ThreadSanitizer workload in CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SideEffectAnalyzer.h"
+#include "incremental/AnalysisSession.h"
+#include "incremental/Edit.h"
+#include "ir/Printer.h"
+#include "service/AnalysisService.h"
+#include "service/AnalysisSnapshot.h"
+#include "service/Json.h"
+#include "service/ScriptDriver.h"
+#include "service/Server.h"
+#include "support/Rng.h"
+#include "synth/EditGen.h"
+#include "synth/ProgramGen.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace ipse;
+using namespace ipse::service;
+
+namespace {
+
+ir::Program makeProgram(unsigned Procs = 12, unsigned Globals = 6,
+                        std::uint64_t Seed = 7) {
+  return synth::makeFortranStyleProgram(Procs, Globals, 3, Seed);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON codec.
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParsesFlatRequestEnvelope) {
+  std::string Err;
+  auto Obj = parseJsonObject(
+      R"({"id":42,"cmd":"gmod main","flag":true,"extra":[1,{"x":2}]})", Err);
+  ASSERT_TRUE(Obj.has_value()) << Err;
+  EXPECT_EQ(Obj->getUInt("id"), 42u);
+  EXPECT_EQ(Obj->getString("cmd"), "gmod main");
+  EXPECT_EQ(Obj->getBool("flag"), true);
+  EXPECT_TRUE(Obj->has("extra")); // Skipped, not interpreted.
+  EXPECT_EQ(Obj->getString("id"), std::nullopt); // Wrong type.
+  EXPECT_EQ(Obj->getUInt("missing"), std::nullopt);
+}
+
+TEST(Json, UnescapesStrings) {
+  std::string Err;
+  auto Obj = parseJsonObject(R"({"s":"a\"b\\c\nA"})", Err);
+  ASSERT_TRUE(Obj.has_value()) << Err;
+  EXPECT_EQ(Obj->getString("s"), "a\"b\\c\nA");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string Err;
+  EXPECT_FALSE(parseJsonObject("not json", Err).has_value());
+  EXPECT_FALSE(parseJsonObject(R"({"a":1)", Err).has_value());
+  EXPECT_FALSE(parseJsonObject(R"({"a"})", Err).has_value());
+}
+
+TEST(Json, WriterRoundTripsThroughParser) {
+  JsonWriter W;
+  W.field("id", std::uint64_t(7));
+  W.field("ok", true);
+  W.field("result", "GMOD(p) = {a \"quoted\"\nnewline}");
+  W.fieldRaw("nested", "{\"x\":1}");
+  std::string Text = W.finish();
+  std::string Err;
+  auto Obj = parseJsonObject(Text, Err);
+  ASSERT_TRUE(Obj.has_value()) << Err << " in " << Text;
+  EXPECT_EQ(Obj->getUInt("id"), 7u);
+  EXPECT_EQ(Obj->getBool("ok"), true);
+  EXPECT_EQ(Obj->getString("result"), "GMOD(p) = {a \"quoted\"\nnewline}");
+}
+
+//===----------------------------------------------------------------------===//
+// Script driver.
+//===----------------------------------------------------------------------===//
+
+TEST(ScriptDriver, ParsesAndClassifiesCommands) {
+  auto Cmd = parseScriptLine("  add-mod  p 0 x  # trailing comment", 3);
+  ASSERT_TRUE(Cmd.has_value());
+  EXPECT_EQ(Cmd->Kind, ScriptCommand::Op::AddMod);
+  ASSERT_EQ(Cmd->Args.size(), 3u);
+  EXPECT_EQ(Cmd->Args[0], "p");
+  EXPECT_EQ(Cmd->LineNo, 3u);
+  EXPECT_TRUE(isEditCommand(Cmd->Kind));
+  EXPECT_FALSE(isQueryCommand(Cmd->Kind));
+
+  EXPECT_FALSE(parseScriptLine("   # only a comment", 1).has_value());
+  EXPECT_FALSE(parseScriptLine("", 1).has_value());
+
+  auto Query = parseScriptLine("gmod main", 1);
+  ASSERT_TRUE(Query.has_value());
+  EXPECT_TRUE(isQueryCommand(Query->Kind));
+  EXPECT_FALSE(isEditCommand(Query->Kind));
+
+  EXPECT_THROW(parseScriptLine("frobnicate x", 9), ScriptError);
+  EXPECT_THROW(parseScriptLine("gmod", 9), ScriptError);      // Arity.
+  EXPECT_THROW(parseScriptLine("add-call p 0", 9), ScriptError);
+  try {
+    parseScriptLine("gmod a b", 17);
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError &E) {
+    EXPECT_EQ(E.LineNo, 17u);
+    EXPECT_EQ(E.Message, "'gmod' expects 1 operand(s)");
+  }
+}
+
+TEST(ScriptDriver, SessionQueriesMatchDirectSessionCalls) {
+  incremental::AnalysisSession S(makeProgram());
+  SessionQueryTarget Target(S);
+  const ir::Program &P = S.program();
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    std::string Name = P.name(ir::ProcId(I));
+    QueryResult G = evalQueryCommand(Target, *parseScriptLine("gmod " + Name, 1));
+    EXPECT_EQ(G.Text, "GMOD(" + Name + ") = {" +
+                          setToString(P, S.gmod(ir::ProcId(I))) + "}");
+  }
+  QueryResult C = evalQueryCommand(Target, *parseScriptLine("check", 1));
+  EXPECT_TRUE(C.CheckOk);
+  EXPECT_NE(C.Text.find("check: OK"), std::string::npos);
+}
+
+TEST(ScriptDriver, EditScriptLinesReplayAgainstASecondSession) {
+  // EditGen stream applied directly to one session; rendered through
+  // toScriptLine and replayed by name onto another.  Both must agree —
+  // this is the contract that lets the stress/bench drivers feed the
+  // service synthetic edits over the wire protocol.
+  incremental::AnalysisSession Direct(makeProgram(10, 5, 3));
+  incremental::AnalysisSession Replayed(makeProgram(10, 5, 3));
+  synth::EditGenConfig Cfg;
+  Cfg.Seed = 99;
+  synth::EditGen Gen(Cfg);
+  for (unsigned I = 0; I != 60; ++I) {
+    std::optional<incremental::Edit> E = Gen.next(Direct.program());
+    if (!E)
+      break;
+    std::string Line = incremental::toScriptLine(Direct.program(), *E);
+    incremental::applyEdit(Direct, *E);
+    std::optional<ScriptCommand> Cmd = parseScriptLine(Line, I + 1);
+    ASSERT_TRUE(Cmd.has_value()) << Line;
+    ASSERT_NO_THROW(applyEditCommand(Replayed, *Cmd)) << Line;
+  }
+  const ir::Program &P = Direct.program();
+  ASSERT_EQ(P.numProcs(), Replayed.program().numProcs());
+  ASSERT_EQ(P.numVars(), Replayed.program().numVars());
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    EXPECT_EQ(Direct.gmod(ir::ProcId(I)), Replayed.gmod(ir::ProcId(I)))
+        << P.name(ir::ProcId(I));
+    EXPECT_EQ(Direct.guse(ir::ProcId(I)), Replayed.guse(ir::ProcId(I)))
+        << P.name(ir::ProcId(I));
+  }
+}
+
+TEST(ScriptDriver, ResolutionErrorsNameTheProblem) {
+  incremental::AnalysisSession S(makeProgram());
+  try {
+    applyEditCommand(S, *parseScriptLine("add-local nope x", 5));
+    FAIL() << "expected ScriptError";
+  } catch (const ScriptError &E) {
+    EXPECT_EQ(E.Message, "unknown procedure 'nope'");
+  }
+  SessionQueryTarget Target(S);
+  EXPECT_THROW(evalQueryCommand(Target, *parseScriptLine("gmod nope", 1)),
+               ScriptError);
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot capture.
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisSnapshot, MatchesBatchAnalyzersAndLiveSession) {
+  incremental::AnalysisSession S(makeProgram());
+  auto Snap = AnalysisSnapshot::capture(S, S.generation());
+  const ir::Program &P = Snap->program();
+
+  analysis::SideEffectAnalyzer Mod(P);
+  analysis::AnalyzerOptions UseOpts;
+  UseOpts.Kind = analysis::EffectKind::Use;
+  analysis::SideEffectAnalyzer Use(P, UseOpts);
+
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    ir::ProcId Proc(I);
+    EXPECT_EQ(Snap->gmod(Proc), Mod.gmod(Proc));
+    EXPECT_EQ(Snap->guse(Proc), Use.gmod(Proc));
+    for (ir::VarId F : P.proc(Proc).Formals) {
+      EXPECT_EQ(Snap->rmodContains(F, analysis::EffectKind::Mod),
+                Mod.rmodContains(F));
+      EXPECT_EQ(Snap->rmodContains(F, analysis::EffectKind::Use),
+                Use.rmodContains(F));
+    }
+  }
+}
+
+TEST(AnalysisSnapshot, IsImmuneToLaterSessionEdits) {
+  incremental::AnalysisSession S(makeProgram());
+  auto Snap = AnalysisSnapshot::capture(S, S.generation());
+  std::string Before =
+      setToString(Snap->program(), Snap->gmod(S.program().main()));
+  std::size_t ProcsBefore = Snap->program().numProcs();
+
+  // Mutate the session heavily; the snapshot must not move.
+  ir::VarId G = S.addGlobal("snap_g");
+  ir::ProcId NewProc = S.addProc("snap_p", S.program().main());
+  ir::StmtId St = S.addStmt(NewProc);
+  S.addMod(St, G);
+  S.flush();
+
+  EXPECT_EQ(Snap->program().numProcs(), ProcsBefore);
+  EXPECT_EQ(setToString(Snap->program(), Snap->gmod(Snap->program().main())),
+            Before);
+}
+
+//===----------------------------------------------------------------------===//
+// The concurrent service.
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisService, AnswersQueriesAndAppliesEdits) {
+  ServiceOptions Opts;
+  Opts.Workers = 2;
+  AnalysisService Svc(makeProgram(), Opts);
+
+  incremental::AnalysisSession Ref(makeProgram());
+  std::string MainName = Ref.program().name(Ref.program().main());
+
+  Response R = Svc.call("gmod " + MainName);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Generation, 0u);
+  EXPECT_EQ(R.Result, "GMOD(" + MainName + ") = {" +
+                          setToString(Ref.program(),
+                                      Ref.gmod(Ref.program().main())) +
+                          "}");
+
+  Response E = Svc.call("add-global svc_g");
+  ASSERT_TRUE(E.Ok) << E.Error;
+  EXPECT_EQ(E.Generation, 1u);
+  EXPECT_EQ(Svc.generation(), 1u);
+
+  Response C = Svc.call("check");
+  ASSERT_TRUE(C.Ok) << C.Error;
+  EXPECT_TRUE(C.CheckOk) << C.Result;
+  EXPECT_EQ(C.Generation, 1u);
+
+  Response Bad = Svc.call("gmod nope");
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_EQ(Bad.Error, "unknown procedure 'nope'");
+
+  Response Parse = Svc.call("definitely-not-a-command");
+  EXPECT_FALSE(Parse.Ok);
+
+  Response NotServed = Svc.call("load x.mp");
+  EXPECT_FALSE(NotServed.Ok);
+  EXPECT_EQ(NotServed.Error, "command not available while serving");
+
+  Response Stats = Svc.call("stats");
+  ASSERT_TRUE(Stats.Ok);
+  EXPECT_TRUE(Stats.ResultIsJson);
+  std::string Err;
+  auto Obj = parseJsonObject(Stats.Result, Err);
+  ASSERT_TRUE(Obj.has_value()) << Err << " in " << Stats.Result;
+  EXPECT_EQ(Obj->getUInt("gen"), 1u);
+  EXPECT_EQ(Obj->getUInt("edits"), 1u);
+
+  ServiceCounters Cnt = Svc.counters();
+  EXPECT_EQ(Cnt.Edits, 1u);
+  EXPECT_GE(Cnt.Errors, 3u);
+  EXPECT_EQ(Cnt.Published, 1u);
+}
+
+TEST(AnalysisService, PublishesSnapshotPerCommittedBatch) {
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  AnalysisService Svc(makeProgram(), Opts);
+  std::mutex M;
+  std::vector<std::uint64_t> Gens;
+  Svc.setPublishHook([&](std::shared_ptr<const AnalysisSnapshot> S) {
+    std::lock_guard<std::mutex> Lock(M);
+    Gens.push_back(S->generation());
+  });
+  for (int I = 0; I != 3; ++I)
+    ASSERT_TRUE(Svc.call("add-global pub_g" + std::to_string(I)).Ok);
+  std::lock_guard<std::mutex> Lock(M);
+  // Serial blocking edits: one snapshot each, strictly increasing.
+  ASSERT_EQ(Gens.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(Gens.begin(), Gens.end()));
+  EXPECT_EQ(Gens.back(), Svc.generation());
+}
+
+TEST(AnalysisService, BackpressureIsDeterministicWithNoWorkers) {
+  ServiceOptions Opts;
+  Opts.Workers = 0; // Nobody drains the read queue.
+  Opts.QueueCapacity = 4;
+  AnalysisService Svc(makeProgram(), Opts);
+
+  auto Cmd = *parseScriptLine("gmod main", 0);
+  unsigned Accepted = 0, Refused = 0;
+  for (unsigned I = 0; I != 6; ++I) {
+    if (Svc.trySubmit(I, Cmd, [](Response) {}))
+      ++Accepted;
+    else
+      ++Refused;
+  }
+  EXPECT_EQ(Accepted, 4u);
+  EXPECT_EQ(Refused, 2u);
+  EXPECT_EQ(Svc.counters().Rejected, 2u);
+  // The write path is independent: edits still commit while reads are
+  // saturated.
+  Response E = Svc.call("add-global bp_g");
+  EXPECT_TRUE(E.Ok);
+  EXPECT_EQ(E.Generation, 1u);
+}
+
+TEST(AnalysisService, BurstOfIdenticalQueriesIsDeduplicated) {
+  ServiceOptions Opts;
+  Opts.Workers = 1; // Single worker: batch boundaries are controllable.
+  Opts.MaxBatch = 64;
+  AnalysisService Svc(makeProgram(), Opts);
+
+  // Block the worker inside the first response callback, queue a burst of
+  // identical queries behind it, then release: the worker's next wakeup
+  // drains the whole burst as one batch and evaluates it once.
+  std::mutex M;
+  std::condition_variable Cv;
+  bool Ready = false, Release = false;
+  ASSERT_TRUE(Svc.trySubmit(0, *parseScriptLine("gmod main", 0),
+                            [&](Response) {
+                              std::unique_lock<std::mutex> Lock(M);
+                              Ready = true;
+                              Cv.notify_all();
+                              Cv.wait(Lock, [&] { return Release; });
+                            }));
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Cv.wait(Lock, [&] { return Ready; });
+  }
+
+  constexpr unsigned Burst = 10;
+  std::atomic<unsigned> Answered{0};
+  std::vector<std::string> Results(Burst);
+  for (unsigned I = 0; I != Burst; ++I)
+    ASSERT_TRUE(Svc.trySubmit(I + 1, *parseScriptLine("rmod main", 0),
+                              [&, I](Response R) {
+                                Results[I] = R.Result;
+                                Answered.fetch_add(1);
+                              }));
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Release = true;
+  }
+  Cv.notify_all();
+
+  // Drain: a final blocking call is FIFO-ordered behind the burst.
+  ASSERT_TRUE(Svc.call("gmod main").Ok);
+  EXPECT_EQ(Answered.load(), Burst);
+  for (const std::string &R : Results)
+    EXPECT_EQ(R, Results[0]);
+
+  ServiceCounters Cnt = Svc.counters();
+  EXPECT_EQ(Cnt.DedupSaved, Burst - 1);
+}
+
+//===----------------------------------------------------------------------===//
+// TCP front end.
+//===----------------------------------------------------------------------===//
+
+TEST(Server, RenderedResponsesParseBack) {
+  Response R;
+  R.Id = 9;
+  R.Ok = true;
+  R.Generation = 4;
+  R.Result = "GMOD(p) = {a}";
+  std::string Line = renderResponse(R);
+  std::string Err;
+  auto Obj = parseJsonObject(Line, Err);
+  ASSERT_TRUE(Obj.has_value()) << Err;
+  EXPECT_EQ(Obj->getUInt("id"), 9u);
+  EXPECT_EQ(Obj->getBool("ok"), true);
+  EXPECT_EQ(Obj->getUInt("gen"), 4u);
+  EXPECT_EQ(Obj->getString("result"), "GMOD(p) = {a}");
+
+  Response Retry;
+  Retry.Ok = false;
+  Retry.Retry = true;
+  Retry.Error = "overloaded";
+  auto RObj = parseJsonObject(renderResponse(Retry), Err);
+  ASSERT_TRUE(RObj.has_value());
+  EXPECT_EQ(RObj->getBool("retry"), true);
+  EXPECT_EQ(RObj->getString("error"), "overloaded");
+}
+
+TEST(Server, TcpRoundTripThroughLineClient) {
+  ServiceOptions Opts;
+  Opts.Workers = 2;
+  AnalysisService Svc(makeProgram(), Opts);
+  TcpServer Server(Svc);
+  std::string Error;
+  ASSERT_TRUE(Server.start(0, Error)) << Error;
+  ASSERT_NE(Server.port(), 0);
+
+  std::string Script = "gmod main\n"
+                       "add-global tcp_g\n"
+                       "gmod main\n"
+                       "check\n"
+                       "# a comment line\n"
+                       "\n";
+  std::FILE *In = fmemopen(Script.data(), Script.size(), "r");
+  ASSERT_NE(In, nullptr);
+  char *OutBuf = nullptr;
+  std::size_t OutLen = 0;
+  std::FILE *Out = open_memstream(&OutBuf, &OutLen);
+  ASSERT_NE(Out, nullptr);
+
+  int Exit = runClient(Server.port(), In, Out);
+  std::fclose(In);
+  std::fclose(Out);
+  std::string Output(OutBuf, OutLen);
+  std::free(OutBuf);
+
+  EXPECT_EQ(Exit, 0) << Output;
+  EXPECT_NE(Output.find("\"result\":\"GMOD(main) = {"), std::string::npos)
+      << Output;
+  EXPECT_NE(Output.find("check: OK"), std::string::npos) << Output;
+  EXPECT_EQ(Output.find("\"ok\":false"), std::string::npos) << Output;
+  // Four commands -> four response lines (comments/blanks are free).
+  EXPECT_EQ(std::count(Output.begin(), Output.end(), '\n'), 4);
+
+  Server.stop();
+  EXPECT_EQ(Svc.counters().Edits, 1u);
+}
+
+TEST(Server, ScriptErrorsComeBackAsErrorResponses) {
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  AnalysisService Svc(makeProgram(), Opts);
+  TcpServer Server(Svc);
+  std::string Error;
+  ASSERT_TRUE(Server.start(0, Error)) << Error;
+
+  std::string Script = "gmod nope\n";
+  std::FILE *In = fmemopen(Script.data(), Script.size(), "r");
+  char *OutBuf = nullptr;
+  std::size_t OutLen = 0;
+  std::FILE *Out = open_memstream(&OutBuf, &OutLen);
+  int Exit = runClient(Server.port(), In, Out);
+  std::fclose(In);
+  std::fclose(Out);
+  std::string Output(OutBuf, OutLen);
+  std::free(OutBuf);
+
+  EXPECT_EQ(Exit, 1);
+  EXPECT_NE(Output.find("unknown procedure 'nope'"), std::string::npos)
+      << Output;
+  Server.stop();
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized concurrency stress: every response must be bit-for-bit
+// consistent with SOME published snapshot generation.  This is the TSan
+// workload in CI.
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceStress, EveryResponseMatchesItsSnapshotGeneration) {
+  ServiceOptions Opts;
+  Opts.Workers = 4;
+  Opts.QueueCapacity = 128;
+  AnalysisService Svc(makeProgram(24, 8, 11), Opts);
+
+  // Record every published generation (plus the initial one) so readers'
+  // responses can be replayed against the exact snapshot that answered.
+  std::mutex HistM;
+  std::map<std::uint64_t, std::shared_ptr<const AnalysisSnapshot>> History;
+  History[Svc.generation()] = Svc.snapshot();
+  Svc.setPublishHook([&](std::shared_ptr<const AnalysisSnapshot> S) {
+    std::lock_guard<std::mutex> Lock(HistM);
+    History[S->generation()] = std::move(S);
+  });
+
+  // Query pool drawn from the initial program; later generations may
+  // invalidate some names (rm-proc), which must surface as clean error
+  // responses, never as torn data.
+  std::vector<std::string> Pool;
+  {
+    const ir::Program &P = Svc.snapshot()->program();
+    for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+      std::string N = P.name(ir::ProcId(I));
+      Pool.push_back("gmod " + N);
+      Pool.push_back("guse " + N);
+      Pool.push_back("rmod " + N);
+      Pool.push_back("mod " + N + " 0");
+      Pool.push_back("use " + N + " 1");
+    }
+  }
+
+  constexpr unsigned NumReaders = 4;
+  constexpr unsigned QueriesPerReader = 120;
+  constexpr unsigned NumEdits = 50;
+  struct Logged {
+    std::string Cmd;
+    Response R;
+  };
+  std::vector<std::vector<Logged>> Logs(NumReaders);
+  std::vector<std::thread> Readers;
+  for (unsigned T = 0; T != NumReaders; ++T)
+    Readers.emplace_back([&, T] {
+      Rng R(1000 + T);
+      Logs[T].reserve(QueriesPerReader);
+      for (unsigned I = 0; I != QueriesPerReader; ++I) {
+        const std::string &Cmd = Pool[R.next() % Pool.size()];
+        Logs[T].push_back({Cmd, Svc.call(Cmd)});
+      }
+    });
+
+  // Main thread is the edit stream: EditGen against the service's own
+  // (single-writer) program view, shipped through the script grammar like
+  // a real client.
+  synth::EditGenConfig ECfg;
+  ECfg.Seed = 77;
+  synth::EditGen Gen(ECfg);
+  unsigned EditsApplied = 0;
+  for (unsigned I = 0; I != NumEdits; ++I) {
+    std::shared_ptr<const AnalysisSnapshot> Cur = Svc.snapshot();
+    std::optional<incremental::Edit> E = Gen.next(Cur->program());
+    if (!E)
+      break;
+    Response R = Svc.call(incremental::toScriptLine(Cur->program(), *E));
+    ASSERT_TRUE(R.Ok) << R.Error << " for "
+                      << incremental::toScriptLine(Cur->program(), *E);
+    ++EditsApplied;
+  }
+  for (std::thread &T : Readers)
+    T.join();
+  ASSERT_GT(EditsApplied, 0u);
+
+  Response Final = Svc.call("check");
+  ASSERT_TRUE(Final.Ok) << Final.Error;
+  EXPECT_TRUE(Final.CheckOk) << Final.Result;
+
+  // Replay: each response must reproduce exactly against the snapshot of
+  // its generation — same text for successes, same message for errors.
+  std::map<std::uint64_t, std::shared_ptr<const AnalysisSnapshot>> Hist;
+  {
+    std::lock_guard<std::mutex> Lock(HistM);
+    Hist = History;
+  }
+  unsigned Replayed = 0;
+  for (const auto &Log : Logs)
+    for (const Logged &L : Log) {
+      auto It = Hist.find(L.R.Generation);
+      ASSERT_NE(It, Hist.end())
+          << "response cites unpublished generation " << L.R.Generation;
+      std::optional<ScriptCommand> Cmd = parseScriptLine(L.Cmd, 0);
+      ASSERT_TRUE(Cmd.has_value());
+      try {
+        QueryResult QR = evalQueryCommand(*It->second, *Cmd);
+        EXPECT_TRUE(L.R.Ok) << L.Cmd << " gen " << L.R.Generation;
+        EXPECT_EQ(QR.Text, L.R.Result)
+            << L.Cmd << " torn at gen " << L.R.Generation;
+      } catch (const ScriptError &E) {
+        EXPECT_FALSE(L.R.Ok) << L.Cmd << " gen " << L.R.Generation;
+        EXPECT_EQ(E.Message, L.R.Error) << L.Cmd;
+      }
+      ++Replayed;
+    }
+  EXPECT_EQ(Replayed, NumReaders * QueriesPerReader);
+
+  // Independently, every recorded snapshot must equal a fresh batch run
+  // over its own program copy (no torn captures).
+  for (const auto &[Gen2, Snap] : Hist) {
+    const ir::Program &P = Snap->program();
+    analysis::SideEffectAnalyzer Mod(P);
+    for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+      ASSERT_EQ(Snap->gmod(ir::ProcId(I)), Mod.gmod(ir::ProcId(I)))
+          << "snapshot gen " << Gen2 << " proc " << P.name(ir::ProcId(I));
+  }
+}
+
+} // namespace

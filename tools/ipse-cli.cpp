@@ -17,6 +17,11 @@
 //   ipse-cli session <script>                       drive an incremental
 //                                                   AnalysisSession from an
 //                                                   edit/query script
+//   ipse-cli serve ...                              concurrent analysis
+//                                                   service over stdio or TCP
+//                                                   (newline-delimited JSON)
+//   ipse-cli client --port N [script]               line client for a serving
+//                                                   instance
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +38,9 @@
 #include "graph/Dot.h"
 #include "graph/Reachability.h"
 #include "incremental/AnalysisSession.h"
+#include "service/AnalysisService.h"
+#include "service/ScriptDriver.h"
+#include "service/Server.h"
 #include "synth/ProgramGen.h"
 #include "synth/SourceGen.h"
 
@@ -64,7 +72,17 @@ namespace {
       "  roundtrip <file>                    compile -> emit -> recompile\n"
       "  session <script>                    drive an incremental analysis\n"
       "                                      session ('-' reads stdin; see\n"
-      "                                      'session' section of README)\n");
+      "                                      'session' section of README)\n"
+      "  serve (--program <file> | --gen k=v[,k=v...])\n"
+      "        [--port N] [--workers N] [--queue N] [--batch N]\n"
+      "        [--stats-ms N] [--no-use]\n"
+      "                                      concurrent analysis service;\n"
+      "                                      newline-delimited JSON over\n"
+      "                                      stdio, or TCP with --port\n"
+      "                                      (0 picks a free port)\n"
+      "  client --port N [script]            send a session script to a\n"
+      "                                      serving instance (stdin when\n"
+      "                                      no script is given)\n");
   std::exit(2);
 }
 
@@ -253,26 +271,10 @@ int cmdRoundtrip(const std::vector<std::string> &Args) {
 //===----------------------------------------------------------------------===//
 // session: a line-oriented driver over incremental::AnalysisSession.
 //
-// Script grammar (one command per line; '#' starts a comment):
-//
-//   load <file.mp>                        initial program from MiniProc
-//   gen procs=N globals=N seed=N depth=N  initial program from the generator
-//   add-mod  <proc> <stmtIdx> <var>       LMOD/LUSE deltas (stmtIdx is the
-//   rm-mod   <proc> <stmtIdx> <var>       position within the procedure's
-//   add-use  <proc> <stmtIdx> <var>       body; vars resolve through the
-//   rm-use   <proc> <stmtIdx> <var>       lexical scope chain)
-//   add-stmt <proc>                       append an empty statement
-//   add-call <proc> <stmtIdx> <callee> [actual|_ ...]
-//   rm-call  <proc> <k>                   remove proc's k-th call site
-//   add-proc <name> <parent>              universe deltas
-//   add-global <name>
-//   add-local  <proc> <name>
-//   add-formal <proc> <name>
-//   rm-proc  <name>
-//   gmod <proc> | guse <proc> | rmod <proc>
-//   mod <proc> <stmtIdx> | use <proc> <stmtIdx>
-//   check                                 compare against fresh batch runs
-//   stats                                 dump the SessionStats counters
+// The script grammar lives in service/ScriptDriver.h (shared with the
+// analysis service's request decoder); this command owns only what a
+// single-threaded scripted run needs — program seeding (load / gen),
+// SessionStats printing, and the process exit code.
 //===----------------------------------------------------------------------===//
 
 [[noreturn]] void scriptDie(unsigned LineNo, const std::string &Msg) {
@@ -280,53 +282,42 @@ int cmdRoundtrip(const std::vector<std::string> &Args) {
   std::exit(1);
 }
 
-ProcId findProc(const Program &P, const std::string &Name, unsigned LineNo) {
-  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
-    if (P.name(ProcId(I)) == Name)
-      return ProcId(I);
-  scriptDie(LineNo, "unknown procedure '" + Name + "'");
-}
-
-/// Resolves \p Name through \p Scope's lexical chain (innermost first).
-VarId findVisibleVar(const Program &P, ProcId Scope, const std::string &Name,
-                     unsigned LineNo) {
-  for (ProcId Cur = Scope; Cur.isValid(); Cur = P.proc(Cur).Parent) {
-    for (VarId V : P.proc(Cur).Formals)
-      if (P.name(V) == Name)
-        return V;
-    for (VarId V : P.proc(Cur).Locals)
-      if (P.name(V) == Name)
-        return V;
+/// Parses `gen` operands (key=value tokens) into a generator config.
+synth::ProgramGenConfig parseGenSpec(const std::vector<std::string> &Args,
+                                     unsigned LineNo) {
+  synth::ProgramGenConfig Cfg;
+  for (const std::string &Arg : Args) {
+    std::size_t Eq = Arg.find('=');
+    if (Eq == std::string::npos)
+      throw service::ScriptError{LineNo, "'gen' operands are key=value"};
+    std::string Key = Arg.substr(0, Eq);
+    unsigned Val = static_cast<unsigned>(std::atoi(Arg.c_str() + Eq + 1));
+    if (Key == "procs")
+      Cfg.NumProcs = Val;
+    else if (Key == "globals")
+      Cfg.NumGlobals = Val;
+    else if (Key == "seed")
+      Cfg.Seed = Val;
+    else if (Key == "depth")
+      Cfg.MaxNestDepth = Val;
+    else
+      throw service::ScriptError{LineNo, "unknown 'gen' key '" + Key + "'"};
   }
-  scriptDie(LineNo, "no variable '" + Name + "' visible in '" +
-                        P.name(Scope) + "'");
+  return Cfg;
 }
 
-StmtId stmtAt(const Program &P, ProcId Proc, unsigned Idx, unsigned LineNo) {
-  const std::vector<StmtId> &Stmts = P.proc(Proc).Stmts;
-  if (Idx >= Stmts.size())
-    scriptDie(LineNo, "procedure '" + P.name(Proc) + "' has only " +
-                          std::to_string(Stmts.size()) + " statements");
-  return Stmts[Idx];
-}
-
-bool sessionCheck(incremental::AnalysisSession &S) {
-  const Program &P = S.program();
-  analysis::SideEffectAnalyzer Mod(P);
-  analysis::AnalyzerOptions UseOpts;
-  UseOpts.Kind = analysis::EffectKind::Use;
-  analysis::SideEffectAnalyzer Use(P, UseOpts);
-  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
-    ProcId Proc(I);
-    if (S.gmod(Proc) != Mod.gmod(Proc) || S.guse(Proc) != Use.gmod(Proc))
-      return false;
-    for (VarId F : P.proc(Proc).Formals)
-      if (S.rmodContains(F) != Mod.rmodContains(F) ||
-          S.rmodContains(F, analysis::EffectKind::Use) !=
-              Use.rmodContains(F))
-        return false;
-  }
-  return true;
+void printSessionStats(const incremental::SessionStats &St) {
+  std::printf("edits %llu  flushes %llu  effect-only %llu  intra-scc %llu"
+              "  recondense %llu  full-rebuild %llu  components %llu"
+              "  rmod-resolves %llu\n",
+              (unsigned long long)St.EditsApplied,
+              (unsigned long long)St.Flushes,
+              (unsigned long long)St.EffectOnlyFlushes,
+              (unsigned long long)St.IntraSccFlushes,
+              (unsigned long long)St.Recondensations,
+              (unsigned long long)St.FullRebuilds,
+              (unsigned long long)St.ComponentsRecomputed,
+              (unsigned long long)St.RModResolves);
 }
 
 int cmdSession(const std::vector<std::string> &Args) {
@@ -354,175 +345,147 @@ int cmdSession(const std::vector<std::string> &Args) {
   unsigned LineNo = 0;
   while (std::getline(Lines, Line)) {
     ++LineNo;
-    if (std::size_t Hash = Line.find('#'); Hash != std::string::npos)
-      Line.resize(Hash);
-    std::istringstream Tok(Line);
-    std::vector<std::string> T;
-    for (std::string W; Tok >> W;)
-      T.push_back(W);
-    if (T.empty())
-      continue;
-    const std::string &Cmd = T[0];
-    auto want = [&](std::size_t N) {
-      if (T.size() != N + 1)
-        scriptDie(LineNo, "'" + Cmd + "' expects " + std::to_string(N) +
-                              " operand(s)");
-    };
-
-    if (Cmd == "load") {
-      want(1);
-      S.emplace(compileOrDie(T[1]));
-    } else if (Cmd == "gen") {
-      synth::ProgramGenConfig Cfg;
-      for (std::size_t I = 1; I != T.size(); ++I) {
-        std::size_t Eq = T[I].find('=');
-        if (Eq == std::string::npos)
-          scriptDie(LineNo, "'gen' operands are key=value");
-        std::string Key = T[I].substr(0, Eq);
-        unsigned Val = static_cast<unsigned>(std::atoi(T[I].c_str() + Eq + 1));
-        if (Key == "procs")
-          Cfg.NumProcs = Val;
-        else if (Key == "globals")
-          Cfg.NumGlobals = Val;
-        else if (Key == "seed")
-          Cfg.Seed = Val;
-        else if (Key == "depth")
-          Cfg.MaxNestDepth = Val;
-        else
-          scriptDie(LineNo, "unknown 'gen' key '" + Key + "'");
+    try {
+      std::optional<service::ScriptCommand> Cmd =
+          service::parseScriptLine(Line, LineNo);
+      if (!Cmd)
+        continue;
+      using Op = service::ScriptCommand::Op;
+      if (Cmd->Kind == Op::Load) {
+        S.emplace(compileOrDie(Cmd->Args[0]));
+      } else if (Cmd->Kind == Op::Gen) {
+        S.emplace(synth::generateProgram(parseGenSpec(Cmd->Args, LineNo)));
+      } else if (Cmd->Kind == Op::Stats) {
+        printSessionStats(session(LineNo).stats());
+      } else if (service::isEditCommand(Cmd->Kind)) {
+        service::applyEditCommand(session(LineNo), *Cmd);
+      } else {
+        service::SessionQueryTarget Target(session(LineNo));
+        service::QueryResult R = service::evalQueryCommand(Target, *Cmd);
+        std::printf("%s\n", R.Text.c_str());
+        AllChecksPassed &= R.CheckOk;
       }
-      S.emplace(synth::generateProgram(Cfg));
-    } else if (Cmd == "add-mod" || Cmd == "rm-mod" || Cmd == "add-use" ||
-               Cmd == "rm-use") {
-      want(3);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      const Program &P = Sess.program();
-      ProcId Proc = findProc(P, T[1], LineNo);
-      StmtId St = stmtAt(P, Proc, static_cast<unsigned>(std::atoi(T[2].c_str())),
-                         LineNo);
-      VarId V = findVisibleVar(P, Proc, T[3], LineNo);
-      if (Cmd == "add-mod")
-        Sess.addMod(St, V);
-      else if (Cmd == "rm-mod")
-        Sess.removeMod(St, V);
-      else if (Cmd == "add-use")
-        Sess.addUse(St, V);
-      else
-        Sess.removeUse(St, V);
-    } else if (Cmd == "add-stmt") {
-      want(1);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      Sess.addStmt(findProc(Sess.program(), T[1], LineNo));
-    } else if (Cmd == "add-call") {
-      if (T.size() < 4)
-        scriptDie(LineNo, "'add-call' expects <proc> <stmtIdx> <callee> ...");
-      incremental::AnalysisSession &Sess = session(LineNo);
-      const Program &P = Sess.program();
-      ProcId Proc = findProc(P, T[1], LineNo);
-      StmtId St = stmtAt(P, Proc, static_cast<unsigned>(std::atoi(T[2].c_str())),
-                         LineNo);
-      ProcId Callee = findProc(P, T[3], LineNo);
-      std::vector<Actual> Actuals;
-      for (std::size_t I = 4; I != T.size(); ++I)
-        Actuals.push_back(T[I] == "_" ? Actual::expression()
-                                      : Actual::variable(findVisibleVar(
-                                            P, Proc, T[I], LineNo)));
-      if (Actuals.size() != P.proc(Callee).Formals.size())
-        scriptDie(LineNo, "arity mismatch: '" + T[3] + "' takes " +
-                              std::to_string(P.proc(Callee).Formals.size()) +
-                              " argument(s)");
-      Sess.addCall(St, Callee, std::move(Actuals));
-    } else if (Cmd == "rm-call") {
-      want(2);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      const Program &P = Sess.program();
-      ProcId Proc = findProc(P, T[1], LineNo);
-      unsigned K = static_cast<unsigned>(std::atoi(T[2].c_str()));
-      if (K >= P.proc(Proc).CallSites.size())
-        scriptDie(LineNo, "procedure '" + T[1] + "' has only " +
-                              std::to_string(P.proc(Proc).CallSites.size()) +
-                              " call sites");
-      Sess.removeCall(P.proc(Proc).CallSites[K]);
-    } else if (Cmd == "add-proc") {
-      want(2);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      Sess.addProc(T[1], findProc(Sess.program(), T[2], LineNo));
-    } else if (Cmd == "add-global") {
-      want(1);
-      session(LineNo).addGlobal(T[1]);
-    } else if (Cmd == "add-local") {
-      want(2);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      Sess.addLocal(findProc(Sess.program(), T[1], LineNo), T[2]);
-    } else if (Cmd == "add-formal") {
-      want(2);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      Sess.addFormal(findProc(Sess.program(), T[1], LineNo), T[2]);
-    } else if (Cmd == "rm-proc") {
-      want(1);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      Sess.removeProc(findProc(Sess.program(), T[1], LineNo));
-    } else if (Cmd == "gmod" || Cmd == "guse") {
-      want(1);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      ProcId Proc = findProc(Sess.program(), T[1], LineNo);
-      const BitVector &Set =
-          Cmd == "gmod" ? Sess.gmod(Proc) : Sess.guse(Proc);
-      std::printf("%s(%s) = {%s}\n", Cmd == "gmod" ? "GMOD" : "GUSE",
-                  T[1].c_str(), Sess.setToString(Set).c_str());
-    } else if (Cmd == "rmod") {
-      want(1);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      const Program &P = Sess.program();
-      ProcId Proc = findProc(P, T[1], LineNo);
-      std::string Names;
-      for (VarId F : P.proc(Proc).Formals)
-        if (Sess.rmodContains(F)) {
-          if (!Names.empty())
-            Names += ", ";
-          Names += P.name(F);
-        }
-      std::printf("RMOD(%s) = {%s}\n", T[1].c_str(), Names.c_str());
-    } else if (Cmd == "mod" || Cmd == "use") {
-      want(2);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      const Program &P = Sess.program();
-      ProcId Proc = findProc(P, T[1], LineNo);
-      StmtId St = stmtAt(P, Proc, static_cast<unsigned>(std::atoi(T[2].c_str())),
-                         LineNo);
-      AliasInfo NoAliases(P);
-      BitVector Set =
-          Cmd == "mod" ? Sess.mod(St, NoAliases) : Sess.use(St, NoAliases);
-      std::printf("%s(%s#%s) = {%s}\n", Cmd == "mod" ? "MOD" : "USE",
-                  T[1].c_str(), T[2].c_str(), Sess.setToString(Set).c_str());
-    } else if (Cmd == "check") {
-      want(0);
-      incremental::AnalysisSession &Sess = session(LineNo);
-      bool Ok = sessionCheck(Sess);
-      AllChecksPassed &= Ok;
-      std::printf("check: %s (%u procedures, %u call sites)\n",
-                  Ok ? "OK" : "MISMATCH",
-                  static_cast<unsigned>(Sess.program().numProcs()),
-                  static_cast<unsigned>(Sess.program().numCallSites()));
-    } else if (Cmd == "stats") {
-      want(0);
-      const incremental::SessionStats &St = session(LineNo).stats();
-      std::printf("edits %llu  flushes %llu  effect-only %llu  intra-scc %llu"
-                  "  recondense %llu  full-rebuild %llu  components %llu"
-                  "  rmod-resolves %llu\n",
-                  (unsigned long long)St.EditsApplied,
-                  (unsigned long long)St.Flushes,
-                  (unsigned long long)St.EffectOnlyFlushes,
-                  (unsigned long long)St.IntraSccFlushes,
-                  (unsigned long long)St.Recondensations,
-                  (unsigned long long)St.FullRebuilds,
-                  (unsigned long long)St.ComponentsRecomputed,
-                  (unsigned long long)St.RModResolves);
-    } else {
-      scriptDie(LineNo, "unknown command '" + Cmd + "'");
+    } catch (const service::ScriptError &E) {
+      scriptDie(E.LineNo, E.Message);
     }
   }
   return AllChecksPassed ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// serve / client: the concurrent analysis service (see service/Server.h
+// for the wire protocol).
+//===----------------------------------------------------------------------===//
+
+int cmdServe(const std::vector<std::string> &Args) {
+  std::string ProgramPath, GenSpec;
+  bool HavePort = false;
+  std::uint16_t Port = 0;
+  service::ServiceOptions Opts;
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    auto strArg = [&]() -> std::string {
+      if (I + 1 >= Args.size())
+        usage();
+      return Args[++I];
+    };
+    auto intArg = [&]() {
+      return static_cast<unsigned>(std::atoi(strArg().c_str()));
+    };
+    if (Args[I] == "--program")
+      ProgramPath = strArg();
+    else if (Args[I] == "--gen")
+      GenSpec = strArg();
+    else if (Args[I] == "--port") {
+      HavePort = true;
+      Port = static_cast<std::uint16_t>(intArg());
+    } else if (Args[I] == "--workers")
+      Opts.Workers = intArg();
+    else if (Args[I] == "--queue")
+      Opts.QueueCapacity = intArg();
+    else if (Args[I] == "--batch")
+      Opts.MaxBatch = intArg();
+    else if (Args[I] == "--stats-ms")
+      Opts.StatsIntervalMs = intArg();
+    else if (Args[I] == "--no-use")
+      Opts.TrackUse = false;
+    else
+      usage();
+  }
+  if (ProgramPath.empty() == GenSpec.empty()) {
+    std::fprintf(stderr,
+                 "error: 'serve' needs exactly one of --program / --gen\n");
+    return 2;
+  }
+
+  Program P;
+  if (!ProgramPath.empty()) {
+    P = compileOrDie(ProgramPath);
+  } else {
+    // Split the comma-separated spec into key=value tokens.
+    std::vector<std::string> Tokens;
+    std::istringstream SS(GenSpec);
+    for (std::string Tok; std::getline(SS, Tok, ',');)
+      if (!Tok.empty())
+        Tokens.push_back(Tok);
+    try {
+      P = synth::generateProgram(parseGenSpec(Tokens, 0));
+    } catch (const service::ScriptError &E) {
+      std::fprintf(stderr, "error: %s\n", E.Message.c_str());
+      return 2;
+    }
+  }
+
+  service::AnalysisService Svc(std::move(P), Opts);
+  if (!HavePort) {
+    service::serveFd(Svc, /*InFd=*/0, /*OutFd=*/1);
+    return 0;
+  }
+  service::TcpServer Server(Svc);
+  std::string Error;
+  if (!Server.start(Port, Error)) {
+    std::fprintf(stderr, "error: cannot listen on port %u: %s\n",
+                 unsigned(Port), Error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving on 127.0.0.1:%u (EOF on stdin stops)\n",
+               unsigned(Server.port()));
+  // Block until the operator closes stdin; connections are served on
+  // their own threads meanwhile.
+  char Buf[256];
+  while (::read(0, Buf, sizeof(Buf)) > 0)
+    ;
+  Server.stop();
+  return 0;
+}
+
+int cmdClient(const std::vector<std::string> &Args) {
+  bool HavePort = false;
+  std::uint16_t Port = 0;
+  std::string ScriptPath;
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    if (Args[I] == "--port") {
+      if (I + 1 >= Args.size())
+        usage();
+      HavePort = true;
+      Port = static_cast<std::uint16_t>(std::atoi(Args[++I].c_str()));
+    } else {
+      ScriptPath = Args[I];
+    }
+  }
+  if (!HavePort)
+    usage();
+  std::FILE *In = stdin;
+  if (!ScriptPath.empty() && ScriptPath != "-") {
+    In = std::fopen(ScriptPath.c_str(), "r");
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", ScriptPath.c_str());
+      return 1;
+    }
+  }
+  int Exit = service::runClient(Port, In, stdout);
+  if (In != stdin)
+    std::fclose(In);
+  return Exit;
 }
 
 } // namespace
@@ -546,5 +509,9 @@ int main(int argc, char **argv) {
     return cmdRoundtrip(Args);
   if (Cmd == "session")
     return cmdSession(Args);
+  if (Cmd == "serve")
+    return cmdServe(Args);
+  if (Cmd == "client")
+    return cmdClient(Args);
   usage();
 }
