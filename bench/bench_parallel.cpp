@@ -1,0 +1,131 @@
+//===- bench/bench_parallel.cpp - Parallel batch engine scaling --------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the level-scheduled parallel batch engine (E9) against the
+// sequential SideEffectAnalyzer.  Not google-benchmark based: each rep
+// times the full MOD pipeline once per cell — the sequential engine and
+// every thread count back to back — so host noise and clock drift hit all
+// cells of a shape alike instead of biasing whichever ran last.  Each cell
+// keeps its minimum over `Reps` and emits one JSON line:
+//
+//   {"shape":"fortran-2000","procs":2001,"threads":4,"wall_ms":48.1,
+//    "seq_ms":55.9,"speedup_vs_seq":1.16,"overhead_vs_seq_pct":-13.9,
+//    "levels":7,"components":2001,"widest_level":1204,"reps":5}
+//
+// threads=0 is the sequential engine itself (the baseline row).  The
+// speedup column is seq_ms / wall_ms; overhead_vs_seq_pct is the signed
+// percentage by which the cell is *slower* than sequential — the
+// acceptance gate is that the threads=1 row stays <= 5%, since the K=1
+// configuration runs the same kernels inline with no pool at all.
+//
+// Shapes cover the schedule spectrum: wide FORTRAN-style programs (many
+// components per level — the parallel-friendly regime), a deep chain (one
+// component per level — pure barrier overhead, the adversarial case), a
+// giant cycle (one SCC — no level parallelism, the representative fast
+// path carries it), and a nested tower (multi-level filters on β).
+//
+// On a single-CPU host every lane shares one core, so speedup is expected
+// to be flat (~1.0); the meaningful single-core signals are the threads=1
+// overhead and the absence of a cliff at higher K.  See EXPERIMENTS.md E9.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SideEffectAnalyzer.h"
+#include "parallel/ParallelAnalyzer.h"
+#include "synth/ProgramGen.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+using namespace ipse;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr unsigned Reps = 25;
+
+struct Shape {
+  const char *Name;
+  ir::Program P;
+};
+
+double timeOnceMs(const std::function<void()> &Fn) {
+  Clock::time_point Start = Clock::now();
+  Fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+void runShape(const Shape &Sh) {
+  const ir::Program &P = Sh.P;
+  constexpr unsigned Ks[] = {1u, 2u, 4u, 8u};
+  constexpr std::size_t NumKs = sizeof(Ks) / sizeof(Ks[0]);
+
+  double SeqMs = 0;
+  double ParMs[NumKs] = {};
+  parallel::GModScheduleStats Stats[NumKs];
+
+  // One measurement window per shape: every rep runs all five cells in a
+  // row, each cell keeping its own minimum.
+  for (unsigned R = 0; R != Reps; ++R) {
+    double Ms = timeOnceMs([&] {
+      analysis::SideEffectAnalyzer An(P);
+      (void)An.gmod(P.main());
+    });
+    if (R == 0 || Ms < SeqMs)
+      SeqMs = Ms;
+    for (std::size_t KI = 0; KI != NumKs; ++KI) {
+      Ms = timeOnceMs([&] {
+        parallel::ParallelAnalyzerOptions Opts;
+        Opts.Threads = Ks[KI];
+        parallel::ParallelAnalyzer An(P, Opts);
+        Stats[KI] = An.scheduleStats();
+      });
+      if (R == 0 || Ms < ParMs[KI])
+        ParMs[KI] = Ms;
+    }
+  }
+
+  std::printf("{\"shape\":\"%s\",\"procs\":%u,\"threads\":0,"
+              "\"wall_ms\":%.2f,\"seq_ms\":%.2f,\"speedup_vs_seq\":1.00,"
+              "\"overhead_vs_seq_pct\":0.0,\"levels\":0,\"components\":0,"
+              "\"widest_level\":0,\"reps\":%u}\n",
+              Sh.Name, (unsigned)P.numProcs(), SeqMs, SeqMs, Reps);
+  for (std::size_t KI = 0; KI != NumKs; ++KI) {
+    std::printf(
+        "{\"shape\":\"%s\",\"procs\":%u,\"threads\":%u,\"wall_ms\":%.2f,"
+        "\"seq_ms\":%.2f,\"speedup_vs_seq\":%.2f,"
+        "\"overhead_vs_seq_pct\":%.1f,\"levels\":%u,\"components\":%u,"
+        "\"widest_level\":%u,\"reps\":%u}\n",
+        Sh.Name, (unsigned)P.numProcs(), Ks[KI], ParMs[KI], SeqMs,
+        SeqMs / ParMs[KI], (ParMs[KI] - SeqMs) / SeqMs * 100.0,
+        (unsigned)Stats[KI].Levels, (unsigned)Stats[KI].Components,
+        (unsigned)Stats[KI].WidestLevel, Reps);
+  }
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main() {
+  std::vector<Shape> Shapes;
+  Shapes.push_back(
+      {"fortran-2000", synth::makeFortranStyleProgram(2000, 256, 3, 9)});
+  Shapes.push_back(
+      {"fortran-500", synth::makeFortranStyleProgram(500, 128, 3, 5)});
+  Shapes.push_back({"chain-1500", synth::makeChainProgram(1500, 3)});
+  Shapes.push_back({"cycle-800", synth::makeCycleProgram(800, 2)});
+  Shapes.push_back(
+      {"layered-6x80", synth::makeLayeredProgram(6, 80, 3, 2, 64, 7)});
+  Shapes.push_back({"nested-6x4", synth::makeNestedProgram(6, 4, 11)});
+  for (const Shape &Sh : Shapes)
+    runShape(Sh);
+  return 0;
+}

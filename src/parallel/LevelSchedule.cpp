@@ -1,0 +1,45 @@
+//===- parallel/LevelSchedule.cpp - Condensation level scheduling -------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/LevelSchedule.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipse;
+using namespace ipse::graph;
+using namespace ipse::parallel;
+
+LevelSchedule parallel::computeLevelSchedule(const Digraph &G,
+                                             const SccDecomposition &Sccs) {
+  LevelSchedule S;
+  const std::size_t NumComps = Sccs.numSccs();
+  S.LevelOf.assign(NumComps, 0);
+
+  // Ascending component ids are reverse-topological: for a cross edge
+  // (u, v), compOf(v) < compOf(u), so the callee's level is final when the
+  // caller component is visited.
+  std::uint32_t MaxLevel = 0;
+  for (std::uint32_t C = 0; C != NumComps; ++C) {
+    std::uint32_t Level = 0;
+    for (NodeId Member : Sccs.Members[C])
+      for (const Adjacency &A : G.succs(Member)) {
+        std::uint32_t D = Sccs.SccOf[A.Dst];
+        if (D != C) {
+          assert(D < C && "component ids are not reverse-topological");
+          Level = std::max(Level, S.LevelOf[D] + 1);
+        }
+      }
+    S.LevelOf[C] = Level;
+    MaxLevel = std::max(MaxLevel, Level);
+  }
+
+  S.Buckets.resize(NumComps == 0 ? 0 : MaxLevel + 1);
+  for (std::uint32_t C = 0; C != NumComps; ++C)
+    S.Buckets[S.LevelOf[C]].push_back(C); // Ascending C: buckets stay sorted.
+  return S;
+}

@@ -1,0 +1,62 @@
+//===- parallel/ParallelAnalyzer.cpp - Parallel batch pipeline ----------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ParallelAnalyzer.h"
+
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace ipse;
+using namespace ipse::parallel;
+
+ParallelAnalyzer::ParallelAnalyzer(const ir::Program &P,
+                                   ParallelAnalyzerOptions Options)
+    : P(P), Options(Options), Masks(P), CG(P), BG(P),
+      OwnedPool(std::make_unique<ThreadPool>(Options.Threads)),
+      Pool(*OwnedPool) {
+  run();
+}
+
+ParallelAnalyzer::ParallelAnalyzer(const ir::Program &P,
+                                   ParallelAnalyzerOptions Options,
+                                   ThreadPool &Pool)
+    : P(P), Options(Options), Masks(P), CG(P), BG(P), Pool(Pool) {
+  run();
+}
+
+void ParallelAnalyzer::run() {
+  Local = std::make_unique<analysis::LocalEffects>(P, Masks, Options.Kind);
+
+  BitVector FormalBits(P.numVars());
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    for (ir::VarId F : P.proc(ir::ProcId(I)).Formals)
+      if (Local->formalBit(P, F))
+        FormalBits.set(F.index());
+  RMod = solveRModLevels(P, BG, FormalBits, Pool);
+
+  IModPlus = computeIModPlusParallel(P, *Local, RMod.ModifiedFormals, Pool);
+
+  GMod = solveGModLevels(P, CG, Masks, IModPlus, Pool, &Stats);
+}
+
+std::string ParallelAnalyzer::setToString(const BitVector &Set) const {
+  std::vector<std::string> Names;
+  Set.forEachSetBit([&](std::size_t Idx) {
+    Names.push_back(
+        ir::qualifiedName(P, ir::VarId(static_cast<std::uint32_t>(Idx))));
+  });
+  std::sort(Names.begin(), Names.end());
+  std::ostringstream OS;
+  for (std::size_t I = 0; I != Names.size(); ++I) {
+    if (I != 0)
+      OS << ", ";
+    OS << Names[I];
+  }
+  return OS.str();
+}

@@ -1,0 +1,36 @@
+//===- parallel/ParallelReport.h - Parallel report materialization -*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §5 MOD(s)/USE(s) report, materialized in parallel: the MOD and USE
+/// pipelines run on the level-scheduled engine, then per-procedure and
+/// per-call-site text fragments fan out across the pool and are
+/// concatenated in id order.  Byte-identical to analysis::makeReport at
+/// every thread count — the determinism regression test pins this down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_PARALLEL_PARALLELREPORT_H
+#define IPSE_PARALLEL_PARALLELREPORT_H
+
+#include "analysis/Report.h"
+#include "ir/Program.h"
+
+#include <string>
+
+namespace ipse {
+namespace parallel {
+
+/// Parallel makeReport.  \p Threads is the pool width (clamped to >= 1).
+std::string makeReportParallel(const ir::Program &P,
+                               analysis::ReportOptions Options,
+                               unsigned Threads);
+
+} // namespace parallel
+} // namespace ipse
+
+#endif // IPSE_PARALLEL_PARALLELREPORT_H

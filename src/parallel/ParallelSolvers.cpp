@@ -1,0 +1,261 @@
+//===- parallel/ParallelSolvers.cpp - Level-scheduled batch solvers -----------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ParallelSolvers.h"
+
+#include "analysis/IModPlus.h"
+#include "parallel/LevelSchedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace ipse;
+using namespace ipse::graph;
+using namespace ipse::parallel;
+
+analysis::RModResult parallel::solveRModLevels(const ir::Program &P,
+                                               const graph::BindingGraph &BG,
+                                               const BitVector &FormalBits,
+                                               ThreadPool &Pool) {
+  assert(FormalBits.size() == P.numVars() && "formal bits over wrong universe");
+  analysis::RModResult Result;
+  Result.ModifiedFormals = BitVector(P.numVars());
+  std::uint64_t Steps = 0;
+
+  // Seeding and copy-back touch the shared ModifiedFormals vector, whose
+  // formals share words, so both stay sequential; they are O(formals) and
+  // O(Nβ) respectively.  Only the equation-(6) sweep is parallelized.
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    for (ir::VarId F : P.proc(ir::ProcId(I)).Formals) {
+      ++Steps;
+      if (FormalBits.test(F.index()))
+        Result.ModifiedFormals.set(F.index());
+    }
+
+  const Digraph &G = BG.graph();
+  SccDecomposition Sccs = computeSccs(G);
+
+  // One value slot and one step counter per component; a component's task
+  // writes only its own entries (distinct memory locations) and reads only
+  // values finalized at earlier levels, so the level barrier is the only
+  // synchronization.  Intra-component successor reads see the slot's
+  // initial 0 — exactly what the sequential sweep sees.
+  std::vector<char> SccRMod(Sccs.numSccs(), 0);
+  std::vector<std::uint64_t> CompSteps(Sccs.numSccs(), 0);
+
+  // The sequential per-component kernel from analysis/RMod.cpp, verbatim —
+  // including the early exit, so the per-component step count (and
+  // therefore the total) matches solveRModOnBits exactly.
+  auto Kernel = [&](std::uint32_t C) {
+    std::uint64_t S = 0;
+    char Value = 0;
+    for (NodeId N : Sccs.Members[C]) {
+      ++S;
+      Value |= FormalBits.test(BG.formal(N).index()) ? 1 : 0;
+      for (const Adjacency &A : G.succs(N)) {
+        ++S;
+        Value |= SccRMod[Sccs.SccOf[A.Dst]];
+      }
+      if (Value)
+        break;
+    }
+    SccRMod[C] = Value;
+    CompSteps[C] = S;
+  };
+
+  if (Pool.threads() == 1) {
+    // Component ids are reverse-topological, so the ascending sweep is a
+    // valid one-lane schedule already — no level buckets, no indirect
+    // calls, just the sequential sweep with the kernel inlined.
+    for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C)
+      Kernel(C);
+  } else {
+    LevelSchedule Sched = computeLevelSchedule(G, Sccs);
+    // One std::function for the whole solve (constructing one per level
+    // costs an allocation, and a deep chain has a level per component);
+    // only the bucket pointer changes between levels.
+    const std::vector<std::uint32_t> *Bucket = nullptr;
+    const std::function<void(std::size_t)> Task = [&](std::size_t I) {
+      Kernel((*Bucket)[I]);
+    };
+    for (std::size_t L = 0; L != Sched.numLevels(); ++L) {
+      Bucket = &Sched.level(L);
+      Pool.parallelFor(Bucket->size(), Task);
+    }
+  }
+
+  for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C)
+    Steps += CompSteps[C];
+  for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C) {
+    if (!SccRMod[C])
+      continue;
+    for (NodeId N : Sccs.Members[C]) {
+      ++Steps;
+      Result.ModifiedFormals.set(BG.formal(N).index());
+    }
+  }
+
+  Result.BooleanSteps = Steps;
+  return Result;
+}
+
+std::vector<BitVector>
+parallel::computeIModPlusParallel(const ir::Program &P,
+                                  const std::vector<BitVector> &ExtImod,
+                                  const BitVector &RModBits, ThreadPool &Pool) {
+  assert(ExtImod.size() == P.numProcs() && "one extended IMOD per procedure");
+  std::vector<BitVector> Result(P.numProcs());
+  Pool.parallelFor(P.numProcs(), [&](std::size_t I) {
+    Result[I] = analysis::computeIModPlusFor(
+        P, ExtImod[I], RModBits, ir::ProcId(static_cast<std::uint32_t>(I)));
+  });
+  return Result;
+}
+
+std::vector<BitVector>
+parallel::computeIModPlusParallel(const ir::Program &P,
+                                  const analysis::LocalEffects &Local,
+                                  const BitVector &RModBits, ThreadPool &Pool) {
+  std::vector<BitVector> Result(P.numProcs());
+  Pool.forEach(P.numProcs(), [&](std::size_t I) {
+    const ir::ProcId Proc(static_cast<std::uint32_t>(I));
+    Result[I] = analysis::computeIModPlusFor(P, Local.extended(Proc), RModBits,
+                                             Proc);
+  });
+  return Result;
+}
+
+analysis::GModResult
+parallel::solveGModLevels(const ir::Program &P, const graph::CallGraph &CG,
+                          const analysis::VarMasks &Masks,
+                          const std::vector<BitVector> &IModPlus,
+                          ThreadPool &Pool, GModScheduleStats *Stats) {
+  const Digraph &G = CG.graph();
+  SccDecomposition Sccs = computeSccs(G);
+
+  const std::size_t V = P.numVars();
+  const unsigned DP = P.maxProcLevel();
+
+  // Below[L] = variables declared at nesting levels < L: the §4 filter for
+  // an edge whose callee sits at level L (only those variables survive the
+  // return).  For two-level programs Below[1] is exactly GLOBAL, making
+  // this the Figure 2 filter.
+  std::vector<BitVector> Below(DP + 1, BitVector(V));
+  for (unsigned L = 1; L <= DP; ++L) {
+    Below[L] = Below[L - 1];
+    Below[L].orWith(Masks.level(L - 1));
+  }
+
+  analysis::GModResult Result;
+  Result.GMod.resize(P.numProcs());
+
+  if (Stats)
+    Stats->Components = Sccs.numSccs();
+
+  struct IntraEdge {
+    std::uint32_t From; ///< Caller procedure index.
+    std::uint32_t To;   ///< Callee procedure index (same component).
+    unsigned CalleeLevel;
+  };
+
+  // Flat per-procedure nesting levels: the per-edge filter choice becomes
+  // one array load instead of a Program::proc chase.
+  std::vector<unsigned> ProcLevel(P.numProcs());
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    ProcLevel[I] = P.proc(ir::ProcId(I)).Level;
+
+  auto Kernel = [&](std::uint32_t C) {
+    const std::vector<NodeId> &Members = Sccs.Members[C];
+
+    // Init members from IMOD+ and fold cross edges: callee components sit
+    // at lower levels and are final (level barrier), and this task owns
+    // every member's GMOD vector, so the writes are unshared.
+    std::vector<IntraEdge> Intra;
+    bool Uniform = true;
+    unsigned UniformLevel = 0;
+    for (NodeId M : Members)
+      Result.GMod[M] = IModPlus[M];
+    for (NodeId M : Members) {
+      // One adjacency per call site (C is a multi-graph), in call-site
+      // order — the same edges and order the sequential solvers walk.
+      for (const Adjacency &A : G.succs(M)) {
+        const std::uint32_t Q = A.Dst;
+        const unsigned Level = ProcLevel[Q];
+        if (Sccs.SccOf[Q] == C) {
+          if (Intra.empty())
+            UniformLevel = Level;
+          else
+            Uniform &= Level == UniformLevel;
+          Intra.push_back({M, Q, Level});
+        } else {
+          Result.GMod[M].orWithIntersect(Result.GMod[Q], Below[Level]);
+        }
+      }
+    }
+    if (Intra.empty())
+      return;
+
+    if (Uniform) {
+      // Representative fast path (the paper's SCC collapse): when every
+      // intra edge carries the same filter F = Below[UniformLevel], the
+      // fixed point is Val[m] = Init[m] ∪ (∪_n Init[n] ∩ F) for every
+      // member — strong connectivity routes each member's filtered
+      // contribution to all others, and F∘F = F closes the loop.  Two
+      // linear sweeps instead of an O(diameter)-round iteration, which
+      // is what keeps a single giant SCC from serializing the solve.
+      BitVector Rep(V);
+      for (NodeId M : Members)
+        Rep.orWith(Result.GMod[M]);
+      Rep.andWith(Below[UniformLevel]);
+      for (NodeId M : Members)
+        Result.GMod[M].orWith(Rep);
+      return;
+    }
+
+    // Mixed callee levels inside one component (possible only with
+    // nesting, e.g. a recursion cycle through different levels): iterate
+    // the per-edge updates to the local fixed point, Gauss–Seidel style.
+    // Deterministic: fixed edge order over this task's own vectors.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const IntraEdge &E : Intra)
+        Changed |= Result.GMod[E.From].orWithIntersect(Result.GMod[E.To],
+                                                       Below[E.CalleeLevel]);
+    }
+  };
+
+  if (Pool.threads() == 1) {
+    // Reverse-topological component ids make the ascending sweep a valid
+    // one-lane schedule; no buckets or indirect calls (see solveRModLevels).
+    for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C)
+      Kernel(C);
+    return Result;
+  }
+
+  LevelSchedule Sched = computeLevelSchedule(G, Sccs);
+  if (Stats) {
+    Stats->Levels = Sched.numLevels();
+    Stats->WidestLevel = 0;
+    for (std::size_t L = 0; L != Sched.numLevels(); ++L)
+      Stats->WidestLevel = std::max(Stats->WidestLevel, Sched.level(L).size());
+  }
+
+  // One std::function for the whole solve, with only the bucket pointer
+  // changing between levels.
+  const std::vector<std::uint32_t> *Bucket = nullptr;
+  const std::function<void(std::size_t)> Task = [&](std::size_t TaskI) {
+    Kernel((*Bucket)[TaskI]);
+  };
+  for (std::size_t L = 0; L != Sched.numLevels(); ++L) {
+    Bucket = &Sched.level(L);
+    Pool.parallelFor(Bucket->size(), Task);
+  }
+
+  return Result;
+}

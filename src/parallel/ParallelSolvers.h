@@ -1,0 +1,106 @@
+//===- parallel/ParallelSolvers.h - Level-scheduled batch solvers -*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel forms of the paper's two passes, scheduled by condensation
+/// level (parallel/LevelSchedule.h):
+///
+///  - solveRModLevels: Figure 1 on the binding multi-graph β.  Each β
+///    component's boolean value is computed by the sequential per-component
+///    kernel from analysis/RMod.cpp; components on one level run
+///    concurrently, each writing only its own slot of the per-component
+///    value array and reading only slots finalized at earlier levels.
+///
+///  - computeIModPlusParallel: equation (5) fans out per procedure —
+///    IMOD+(p) depends only on p's own sets and the (already solved) RMOD
+///    bits, so every procedure is independent.
+///
+///  - solveGModLevels: equation (4) with the §4 multi-level edge filter.
+///    Each condensation component runs the per-SCC kernel the incremental
+///    engine validated (init from IMOD+, fold cross edges through the
+///    Below-level mask, then iterate intra-component edges to the local
+///    fixpoint); a component writes only its own members' GMOD vectors and
+///    reads only callee components completed at lower levels, so no locks
+///    are needed — the level barrier is the only synchronization.
+///
+/// All three produce bit-for-bit the results of their sequential
+/// counterparts, independent of thread count: every per-component kernel is
+/// deterministic, and the level barrier makes cross-component reads
+/// scheduling-independent.  solveRModLevels even performs *exactly* the
+/// boolean step count of solveRModOnBits (same kernel, same early exits),
+/// which the differential tests assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_PARALLEL_PARALLELSOLVERS_H
+#define IPSE_PARALLEL_PARALLELSOLVERS_H
+
+#include "analysis/GMod.h"
+#include "analysis/LocalEffects.h"
+#include "analysis/RMod.h"
+#include "analysis/VarMasks.h"
+#include "graph/BindingGraph.h"
+#include "graph/CallGraph.h"
+#include "ir/Program.h"
+#include "parallel/ThreadPool.h"
+#include "support/BitVector.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace ipse {
+namespace parallel {
+
+/// Shape of a level-scheduled GMOD solve, reported for benchmarks: the
+/// available parallelism is bounded by WidestLevel, and Levels barriers are
+/// paid regardless of thread count.  Levels and WidestLevel are filled only
+/// when the solve actually level-schedules (two or more lanes); a single
+/// lane sweeps components in reverse-topological id order directly and
+/// reports them as zero.
+struct GModScheduleStats {
+  std::size_t Components = 0;
+  std::size_t Levels = 0;
+  std::size_t WidestLevel = 0;
+};
+
+/// Figure 1, level-scheduled.  Interface mirrors analysis::solveRModOnBits
+/// (and returns identical ModifiedFormals *and* BooleanSteps).
+analysis::RModResult solveRModLevels(const ir::Program &P,
+                                     const graph::BindingGraph &BG,
+                                     const BitVector &FormalBits,
+                                     ThreadPool &Pool);
+
+/// Equation (5) fanned out per procedure.  \p ExtImod holds the
+/// nesting-extended IMOD set of each procedure (what LocalEffects::extended
+/// returns); \p RModBits the solved formal-parameter problem.
+std::vector<BitVector>
+computeIModPlusParallel(const ir::Program &P,
+                        const std::vector<BitVector> &ExtImod,
+                        const BitVector &RModBits, ThreadPool &Pool);
+
+/// Same, reading the extended IMOD sets straight out of \p Local — no
+/// per-procedure copy of the inputs (the batch analyzer's path; the
+/// incremental session passes its resident Ext vector instead).
+std::vector<BitVector>
+computeIModPlusParallel(const ir::Program &P,
+                        const analysis::LocalEffects &Local,
+                        const BitVector &RModBits, ThreadPool &Pool);
+
+/// Equation (4) with the multi-level filter, level-scheduled.  Handles any
+/// nesting depth (degenerates to the Figure 2 filter when dP <= 1) and
+/// produces the same fixed point as solveGMod / solveMultiLevelCombined.
+analysis::GModResult solveGModLevels(const ir::Program &P,
+                                     const graph::CallGraph &CG,
+                                     const analysis::VarMasks &Masks,
+                                     const std::vector<BitVector> &IModPlus,
+                                     ThreadPool &Pool,
+                                     GModScheduleStats *Stats = nullptr);
+
+} // namespace parallel
+} // namespace ipse
+
+#endif // IPSE_PARALLEL_PARALLELSOLVERS_H

@@ -1,0 +1,88 @@
+//===- parallel/ThreadPool.cpp - Fixed pool for level scheduling --------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ThreadPool.h"
+
+#include <cassert>
+
+using namespace ipse;
+using namespace ipse::parallel;
+
+namespace {
+/// Task-queue capacity.  Producers block (not fail) on a full queue and
+/// consumers are always draining, so this is a throttle, not a limit on
+/// batch size; a modest constant keeps the queue's memory bounded while a
+/// level with thousands of components streams through.
+constexpr std::size_t QueueCapacity = 1024;
+} // namespace
+
+ThreadPool::ThreadPool(unsigned Threads)
+    : Lanes(Threads < 1 ? 1 : Threads),
+      // A single lane never touches the queue (parallelFor degenerates to
+      // an inline loop), so don't pay its slot array either.
+      Tasks(Lanes > 1 ? QueueCapacity : 1) {
+  Workers.reserve(Lanes - 1);
+  for (unsigned I = 1; I < Lanes; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  Tasks.close();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runIndex(std::size_t Index) {
+  (*Current.Fn)(Index);
+  std::lock_guard<std::mutex> Lock(M);
+  if (--Current.Remaining == 0)
+    AllDone.notify_all();
+}
+
+void ThreadPool::workerLoop() {
+  while (std::optional<std::size_t> Index = Tasks.pop())
+    runIndex(*Index);
+}
+
+void ThreadPool::parallelFor(std::size_t NumTasks,
+                             const std::function<void(std::size_t)> &Fn) {
+  if (NumTasks == 0)
+    return;
+
+  if (Lanes == 1 || NumTasks == 1) {
+    // Inline path: no handoff, no locks.  This is the whole K=1 engine and
+    // also serves single-component levels (a handoff would only add
+    // latency; the barrier below exists for multi-task batches).
+    for (std::size_t I = 0; I != NumTasks; ++I)
+      Fn(I);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    assert(Current.Fn == nullptr && "ThreadPool::parallelFor is not reentrant");
+    Current.Fn = &Fn;
+    Current.Remaining = NumTasks;
+  }
+
+  // Feed the queue, helping with execution whenever it is full (push would
+  // otherwise block while this thread could be working).
+  for (std::size_t I = 0; I != NumTasks; ++I) {
+    while (!Tasks.tryPush(I)) {
+      std::optional<std::size_t> Mine = Tasks.tryPop();
+      if (Mine)
+        runIndex(*Mine);
+    }
+  }
+  // All indices are queued; drain alongside the workers.
+  while (std::optional<std::size_t> Mine = Tasks.tryPop())
+    runIndex(*Mine);
+
+  std::unique_lock<std::mutex> Lock(M);
+  AllDone.wait(Lock, [this] { return Current.Remaining == 0; });
+  Current.Fn = nullptr;
+}

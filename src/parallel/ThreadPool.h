@@ -1,0 +1,105 @@
+//===- parallel/ThreadPool.h - Fixed pool for level scheduling --*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool shaped for the parallel batch engine's level
+/// scheduling: the only operation is a blocking parallelFor over a dense
+/// index range (one index per condensation component of a level, or one per
+/// procedure for report fan-out).  The caller thread participates in the
+/// work, so a pool of K "threads" is K executing lanes backed by K-1
+/// std::threads — and K <= 1 degenerates to a plain inline loop with no
+/// queue, no locks, and no threads, which is what makes the K=1
+/// configuration's overhead against the sequential engine negligible.
+///
+/// Tasks are distributed through a support::MpmcQueue (the service's
+/// bounded queue, reused as the level task queue).  parallelFor is a full
+/// barrier: it returns only after every index has been processed, and the
+/// mutex handoff on the completion latch orders every worker's writes
+/// before the caller's return — the happens-before edge the level
+/// scheduler's "read only completed predecessor levels" invariant (and
+/// exact BitVector op accounting) relies on.
+///
+/// The pool is not reentrant: parallelFor must not be called from inside a
+/// task, and only one parallelFor may run at a time (the batch engine is a
+/// single analysis pass; nothing fancier is needed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_PARALLEL_THREADPOOL_H
+#define IPSE_PARALLEL_THREADPOOL_H
+
+#include "support/MpmcQueue.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ipse {
+namespace parallel {
+
+class ThreadPool {
+public:
+  /// Creates a pool with \p Threads executing lanes (clamped to >= 1).
+  /// Spawns Threads - 1 worker std::threads; lane 0 is the calling thread.
+  explicit ThreadPool(unsigned Threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of executing lanes (>= 1).
+  unsigned threads() const { return Lanes; }
+
+  /// Invokes Fn(I) for every I in [0, NumTasks), distributing indices
+  /// across the pool, and returns once all have completed.  Fn must write
+  /// only state owned by its index (disjoint-write discipline); under that
+  /// contract the result is independent of scheduling.  Exceptions must
+  /// not escape Fn (the library asserts rather than throws).
+  void parallelFor(std::size_t NumTasks,
+                   const std::function<void(std::size_t)> &Fn);
+
+  /// parallelFor that skips the std::function wrapper on a single lane:
+  /// the body is invoked (and inlined) directly, so per-index work as
+  /// small as one bit-vector op costs no indirect call at K = 1.  Same
+  /// contract as parallelFor.
+  template <class Fn> void forEach(std::size_t NumTasks, Fn &&F) {
+    if (Lanes == 1) {
+      for (std::size_t I = 0; I != NumTasks; ++I)
+        F(I);
+      return;
+    }
+    const std::function<void(std::size_t)> Wrapped(std::forward<Fn>(F));
+    parallelFor(NumTasks, Wrapped);
+  }
+
+private:
+  struct Batch {
+    const std::function<void(std::size_t)> *Fn = nullptr;
+    std::size_t Remaining = 0; ///< Indices not yet finished.
+  };
+
+  void workerLoop();
+  /// Runs one index and, if it was the last, releases the barrier.
+  void runIndex(std::size_t Index);
+
+  unsigned Lanes = 1;
+  MpmcQueue<std::size_t> Tasks;
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable AllDone;
+  Batch Current;
+};
+
+} // namespace parallel
+} // namespace ipse
+
+#endif // IPSE_PARALLEL_THREADPOOL_H

@@ -39,6 +39,7 @@ AnalysisService::AnalysisService(ir::Program Initial, ServiceOptions Options)
     Opts.MaxBatch = 1;
   incremental::SessionOptions SO;
   SO.TrackUse = Opts.TrackUse;
+  SO.Threads = Opts.AnalysisThreads;
   Session = std::make_unique<incremental::AnalysisSession>(std::move(Initial),
                                                            SO);
   Current.store(AnalysisSnapshot::capture(*Session, Session->generation()),

@@ -196,6 +196,19 @@ bool BitVector::orWithIntersectMinus(const BitVector &A, const BitVector &Keep,
   return Changed;
 }
 
+bool BitVector::orWithIntersect(const BitVector &A, const BitVector &Keep) {
+  assert(NumBits == A.NumBits && NumBits == Keep.NumBits &&
+         "size mismatch in orWithIntersect");
+  bool Changed = false;
+  countOps(Words.size());
+  for (std::size_t I = 0, E = Words.size(); I != E; ++I) {
+    Word New = Words[I] | (A.Words[I] & Keep.Words[I]);
+    Changed |= New != Words[I];
+    Words[I] = New;
+  }
+  return Changed;
+}
+
 bool BitVector::intersects(const BitVector &RHS) const {
   assert(NumBits == RHS.NumBits && "size mismatch in intersects");
   for (std::size_t I = 0, E = Words.size(); I != E; ++I)

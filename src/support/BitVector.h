@@ -95,6 +95,12 @@ public:
   bool orWithIntersectMinus(const BitVector &A, const BitVector &Keep,
                             const BitVector &Drop);
 
+  /// Self |= (A & Keep): orWithIntersectMinus with nothing to drop, one
+  /// operand stream cheaper.  The parallel engine's cross-level edge
+  /// filter (Below[level] keeps exactly the variables that survive the
+  /// return).  Returns true if any bit changed.
+  bool orWithIntersect(const BitVector &A, const BitVector &Keep);
+
   /// Returns true if *this and RHS share at least one set bit.
   bool intersects(const BitVector &RHS) const;
 
@@ -168,6 +174,25 @@ private:
 
   std::size_t NumBits = 0;
   std::vector<Word> Words;
+};
+
+/// Samples BitVector::opCount() over a region: the count at construction is
+/// the baseline, delta() is the word operations performed since.  Under
+/// threads the sample is *exact* when both endpoints are quiescent points —
+/// no counted operation in flight — which a parallel::ThreadPool barrier
+/// guarantees: its completion handshake orders every worker's counted
+/// operations before the caller continues, so a scope opened before and
+/// read after a level-scheduled solve sees precisely that solve's words.
+/// Unlike resetOpCount(), scopes nest and never disturb other measurers.
+class OpCountScope {
+public:
+  OpCountScope() : Start(BitVector::opCount()) {}
+
+  /// Word operations counted since construction.
+  std::uint64_t delta() const { return BitVector::opCount() - Start; }
+
+private:
+  std::uint64_t Start;
 };
 
 } // namespace ipse

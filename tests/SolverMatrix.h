@@ -1,0 +1,146 @@
+//===- tests/SolverMatrix.h - Every GMOD engine, enumerable -----*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One fixture enumerating every GMOD/GUSE engine in the repository —
+/// the three data-flow baselines, the paper's Figure 2 and §4 algorithms,
+/// the public SideEffectAnalyzer, the incremental session, and the
+/// level-scheduled parallel engine at several thread counts.  Property and
+/// edge-case suites iterate this list instead of instantiating solvers ad
+/// hoc, so a future engine added here is automatically covered by every
+/// differential test.
+///
+/// Index 0 is the round-robin iterative baseline — the semantic oracle the
+/// others are compared against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_TESTS_SOLVERMATRIX_H
+#define IPSE_TESTS_SOLVERMATRIX_H
+
+#include "analysis/GMod.h"
+#include "analysis/IModPlus.h"
+#include "analysis/LocalEffects.h"
+#include "analysis/MultiLevelGMod.h"
+#include "analysis/RMod.h"
+#include "analysis/SideEffectAnalyzer.h"
+#include "analysis/VarMasks.h"
+#include "baselines/IterativeSolver.h"
+#include "baselines/SwiftStyleSolver.h"
+#include "baselines/WorklistSolver.h"
+#include "graph/BindingGraph.h"
+#include "graph/CallGraph.h"
+#include "incremental/AnalysisSession.h"
+#include "ir/Program.h"
+#include "parallel/ParallelAnalyzer.h"
+
+#include <functional>
+#include <vector>
+
+namespace ipse {
+namespace testmatrix {
+
+struct SolverEngine {
+  const char *Name;
+  /// Figure 2 relies on the two-level filter; skip it when nesting is
+  /// deeper (the multi-level engines cover those programs).
+  bool TwoLevelOnly = false;
+  std::function<analysis::GModResult(const ir::Program &,
+                                     analysis::EffectKind)>
+      Solve;
+};
+
+namespace detail {
+
+/// The shared front half of the paper's pipeline: masks, graphs, local
+/// effects, Figure-1 RMOD, and equation-(5) IMOD+.
+struct FrontHalf {
+  analysis::VarMasks Masks;
+  graph::CallGraph CG;
+  graph::BindingGraph BG;
+  analysis::LocalEffects Local;
+  analysis::RModResult RMod;
+  std::vector<BitVector> Plus;
+
+  FrontHalf(const ir::Program &P, analysis::EffectKind Kind)
+      : Masks(P), CG(P), BG(P), Local(P, Masks, Kind),
+        RMod(analysis::solveRMod(P, BG, Local)),
+        Plus(analysis::computeIModPlus(P, Local, RMod)) {}
+};
+
+} // namespace detail
+
+/// All engines.  Every entry is self-contained: it builds its own pipeline
+/// state, so engines cannot contaminate each other.
+inline const std::vector<SolverEngine> &allSolverEngines() {
+  static const std::vector<SolverEngine> Engines = [] {
+    using analysis::EffectKind;
+    using analysis::GModResult;
+    using ir::Program;
+    std::vector<SolverEngine> E;
+
+    E.push_back({"iterative", false, [](const Program &P, EffectKind K) {
+                   detail::FrontHalf F(P, K);
+                   return baselines::solveIterative(P, F.CG, F.Masks, F.Local)
+                       .GMod;
+                 }});
+    E.push_back({"worklist", false, [](const Program &P, EffectKind K) {
+                   detail::FrontHalf F(P, K);
+                   return baselines::solveWorklist(P, F.CG, F.Masks, F.Local)
+                       .GMod;
+                 }});
+    E.push_back({"swift", false, [](const Program &P, EffectKind K) {
+                   detail::FrontHalf F(P, K);
+                   return baselines::solveSwift(P, F.CG, F.Masks, F.Local)
+                       .GMod;
+                 }});
+    E.push_back({"figure2", /*TwoLevelOnly=*/true,
+                 [](const Program &P, EffectKind K) {
+                   detail::FrontHalf F(P, K);
+                   return analysis::solveGMod(P, F.CG, F.Masks, F.Plus);
+                 }});
+    E.push_back({"multilevel-repeated", false,
+                 [](const Program &P, EffectKind K) {
+                   detail::FrontHalf F(P, K);
+                   return analysis::solveMultiLevelRepeated(P, F.CG, F.Masks,
+                                                            F.Plus);
+                 }});
+    E.push_back({"multilevel-combined", false,
+                 [](const Program &P, EffectKind K) {
+                   detail::FrontHalf F(P, K);
+                   return analysis::solveMultiLevelCombined(P, F.CG, F.Masks,
+                                                            F.Plus);
+                 }});
+    E.push_back({"analyzer", false, [](const Program &P, EffectKind K) {
+                   analysis::AnalyzerOptions Opts;
+                   Opts.Kind = K;
+                   return analysis::SideEffectAnalyzer(P, Opts).gmodResult();
+                 }});
+    E.push_back({"incremental", false, [](const Program &P, EffectKind K) {
+                   incremental::AnalysisSession S(P);
+                   return S.gmodResult(K);
+                 }});
+    for (unsigned Threads : {1u, 2u, 4u}) {
+      const char *Name = Threads == 1   ? "parallel-k1"
+                         : Threads == 2 ? "parallel-k2"
+                                        : "parallel-k4";
+      E.push_back({Name, false, [Threads](const Program &P, EffectKind K) {
+                     parallel::ParallelAnalyzerOptions Opts;
+                     Opts.Kind = K;
+                     Opts.Threads = Threads;
+                     return parallel::ParallelAnalyzer(P, Opts).gmodResult();
+                   }});
+    }
+    return E;
+  }();
+  return Engines;
+}
+
+} // namespace testmatrix
+} // namespace ipse
+
+#endif // IPSE_TESTS_SOLVERMATRIX_H

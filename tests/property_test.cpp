@@ -29,6 +29,8 @@
 #include "ir/ProgramBuilder.h"
 #include "synth/ProgramGen.h"
 
+#include "SolverMatrix.h"
+
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -124,38 +126,25 @@ protected:
 
 /// The paper's decomposition (Figure 1 + eq. 5 + Figure 2/§4) must reach
 /// the very fixpoint that defines the problem (equation 1) — and so must
-/// every baseline, for both MOD and USE.
+/// every baseline and alternative engine, for both MOD and USE.  The
+/// engine list lives in tests/SolverMatrix.h; new engines registered there
+/// are covered here with no further changes.
 TEST_P(RandomPrograms, AllSolversAgreeOnGMod) {
   Program P = makeProgram();
+  const std::vector<testmatrix::SolverEngine> &Engines =
+      testmatrix::allSolverEngines();
   for (EffectKind Kind : {EffectKind::Mod, EffectKind::Use}) {
-    VarMasks Masks(P);
-    graph::CallGraph CG(P);
-    graph::BindingGraph BG(P);
-    LocalEffects Local(P, Masks, Kind);
-    RModResult RMod = solveRMod(P, BG, Local);
-    std::vector<BitVector> Plus = computeIModPlus(P, Local, RMod);
-
-    baselines::IterativeResult Oracle =
-        baselines::solveIterative(P, CG, Masks, Local);
-    baselines::IterativeResult Work =
-        baselines::solveWorklist(P, CG, Masks, Local);
-    baselines::SwiftResult Swift = baselines::solveSwift(P, CG, Masks, Local);
-
-    GModResult Fast = P.maxProcLevel() <= 1
-                          ? solveGMod(P, CG, Masks, Plus)
-                          : solveMultiLevelCombined(P, CG, Masks, Plus);
-    GModResult Rep = solveMultiLevelRepeated(P, CG, Masks, Plus);
-
-    for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
-      const std::string &Name = P.name(ProcId(I));
-      EXPECT_EQ(Fast.GMod[I], Oracle.GMod.GMod[I]) << "fast vs oracle: "
-                                                   << Name;
-      EXPECT_EQ(Rep.GMod[I], Oracle.GMod.GMod[I]) << "repeated vs oracle: "
-                                                  << Name;
-      EXPECT_EQ(Work.GMod.GMod[I], Oracle.GMod.GMod[I])
-          << "worklist vs oracle: " << Name;
-      EXPECT_EQ(Swift.GMod.GMod[I], Oracle.GMod.GMod[I])
-          << "swift vs oracle: " << Name;
+    GModResult Oracle = Engines.front().Solve(P, Kind);
+    for (std::size_t E = 1; E != Engines.size(); ++E) {
+      const testmatrix::SolverEngine &Engine = Engines[E];
+      if (Engine.TwoLevelOnly && P.maxProcLevel() > 1)
+        continue;
+      GModResult Got = Engine.Solve(P, Kind);
+      for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+        EXPECT_EQ(Got.GMod[I], Oracle.GMod[I])
+            << Engine.Name << " vs " << Engines.front().Name << ": "
+            << P.name(ProcId(I))
+            << (Kind == EffectKind::Mod ? " (MOD)" : " (USE)");
     }
   }
 }

@@ -6,12 +6,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/SideEffectAnalyzer.h"
-#include "baselines/IterativeSolver.h"
-#include "baselines/SwiftStyleSolver.h"
-#include "baselines/WorklistSolver.h"
 #include "graph/BindingGraph.h"
 #include "ir/ProgramBuilder.h"
 #include "synth/ProgramGen.h"
+
+#include "SolverMatrix.h"
 
 #include <gtest/gtest.h>
 
@@ -21,20 +20,22 @@ using namespace ipse::ir;
 
 namespace {
 
+/// Runs every engine in the solver matrix (tests/SolverMatrix.h) on \p P
+/// and compares each against the iterative oracle, for both MOD and USE.
 void expectAllSolversAgree(const Program &P) {
-  SideEffectAnalyzer An(P);
-  VarMasks Masks(P);
-  graph::CallGraph CG(P);
-  LocalEffects Local(P, Masks, EffectKind::Mod);
-  baselines::IterativeResult Oracle =
-      baselines::solveIterative(P, CG, Masks, Local);
-  baselines::IterativeResult Work =
-      baselines::solveWorklist(P, CG, Masks, Local);
-  baselines::SwiftResult Swift = baselines::solveSwift(P, CG, Masks, Local);
-  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
-    EXPECT_EQ(An.gmod(ProcId(I)), Oracle.GMod.GMod[I]) << P.name(ProcId(I));
-    EXPECT_EQ(Work.GMod.GMod[I], Oracle.GMod.GMod[I]) << P.name(ProcId(I));
-    EXPECT_EQ(Swift.GMod.GMod[I], Oracle.GMod.GMod[I]) << P.name(ProcId(I));
+  const std::vector<testmatrix::SolverEngine> &Engines =
+      testmatrix::allSolverEngines();
+  for (EffectKind Kind : {EffectKind::Mod, EffectKind::Use}) {
+    GModResult Oracle = Engines.front().Solve(P, Kind);
+    for (std::size_t E = 1; E != Engines.size(); ++E) {
+      const testmatrix::SolverEngine &Engine = Engines[E];
+      if (Engine.TwoLevelOnly && P.maxProcLevel() > 1)
+        continue;
+      GModResult Got = Engine.Solve(P, Kind);
+      for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+        EXPECT_EQ(Got.GMod[I], Oracle.GMod[I])
+            << Engine.Name << " vs oracle: " << P.name(ProcId(I));
+    }
   }
 }
 

@@ -38,6 +38,8 @@
 #include "graph/Dot.h"
 #include "graph/Reachability.h"
 #include "incremental/AnalysisSession.h"
+#include "parallel/ParallelAnalyzer.h"
+#include "parallel/ParallelReport.h"
 #include "service/AnalysisService.h"
 #include "service/ScriptDriver.h"
 #include "service/Server.h"
@@ -63,7 +65,11 @@ namespace {
   std::fprintf(
       stderr,
       "usage: ipse-cli <command> [options] [file.mp]\n"
-      "  report [--rmod] [--no-use] <file>   MOD/USE summary report\n"
+      "  report [--rmod] [--no-use] [--parallel[=K]] <file>\n"
+      "                                      MOD/USE summary report\n"
+      "                                      (--parallel: level-scheduled\n"
+      "                                      engine on K lanes, default 4;\n"
+      "                                      output is byte-identical)\n"
       "  dot [--beta] <file>                 call graph (or beta) as dot\n"
       "  stats <file>                        program and graph sizes\n"
       "  check <file>                        run all solvers and verify\n"
@@ -75,7 +81,7 @@ namespace {
       "                                      'session' section of README)\n"
       "  serve (--program <file> | --gen k=v[,k=v...])\n"
       "        [--port N] [--workers N] [--queue N] [--batch N]\n"
-      "        [--stats-ms N] [--no-use]\n"
+      "        [--stats-ms N] [--no-use] [--parallel[=K]]\n"
       "                                      concurrent analysis service;\n"
       "                                      newline-delimited JSON over\n"
       "                                      stdio, or TCP with --port\n"
@@ -97,6 +103,19 @@ std::string readFile(const std::string &Path) {
   return SS.str();
 }
 
+/// Parses "--parallel" / "--parallel=K".  Returns 0 when \p A is not this
+/// flag, otherwise the lane count (bare --parallel means 4).
+unsigned parseParallelFlag(const std::string &A) {
+  if (A == "--parallel")
+    return 4;
+  const std::string Prefix = "--parallel=";
+  if (A.compare(0, Prefix.size(), Prefix) == 0) {
+    int K = std::atoi(A.c_str() + Prefix.size());
+    return K < 1 ? 1 : static_cast<unsigned>(K);
+  }
+  return 0;
+}
+
 Program compileOrDie(const std::string &Path) {
   frontend::CompileResult R = frontend::compileMiniProc(readFile(Path));
   if (!R.succeeded()) {
@@ -108,19 +127,25 @@ Program compileOrDie(const std::string &Path) {
 
 int cmdReport(const std::vector<std::string> &Args) {
   analysis::ReportOptions Options;
+  unsigned Parallel = 0;
   std::string Path;
   for (const std::string &A : Args) {
     if (A == "--rmod")
       Options.IncludeRMod = true;
     else if (A == "--no-use")
       Options.IncludeUse = false;
+    else if (unsigned K = parseParallelFlag(A))
+      Parallel = K;
     else
       Path = A;
   }
   if (Path.empty())
     usage();
   Program P = compileOrDie(Path);
-  std::fputs(analysis::makeReport(P, Options).c_str(), stdout);
+  std::string Text = Parallel
+                         ? parallel::makeReportParallel(P, Options, Parallel)
+                         : analysis::makeReport(P, Options);
+  std::fputs(Text.c_str(), stdout);
   return 0;
 }
 
@@ -206,6 +231,9 @@ int cmdCheck(const std::vector<std::string> &Args) {
   baselines::IterativeResult Work =
       baselines::solveWorklist(P, CG, Masks, Local);
   baselines::SwiftResult Swift = baselines::solveSwift(P, CG, Masks, Local);
+  parallel::ParallelAnalyzerOptions PAOpts;
+  PAOpts.Threads = 2;
+  parallel::ParallelAnalyzer Par(P, PAOpts);
 
   bool Ok = true;
   for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
@@ -213,8 +241,9 @@ int cmdCheck(const std::vector<std::string> &Args) {
     Ok &= Rep.GMod[I] == Oracle.GMod.GMod[I];
     Ok &= Work.GMod.GMod[I] == Oracle.GMod.GMod[I];
     Ok &= Swift.GMod.GMod[I] == Oracle.GMod.GMod[I];
+    Ok &= Par.gmodResult().GMod[I] == Oracle.GMod.GMod[I];
   }
-  std::printf("%zu procedures, 5 solvers: %s\n", P.numProcs(),
+  std::printf("%zu procedures, 6 solvers: %s\n", P.numProcs(),
               Ok ? "all agree" : "DISAGREEMENT");
   return Ok ? 0 : 1;
 }
@@ -408,6 +437,8 @@ int cmdServe(const std::vector<std::string> &Args) {
       Opts.StatsIntervalMs = intArg();
     else if (Args[I] == "--no-use")
       Opts.TrackUse = false;
+    else if (unsigned K = parseParallelFlag(Args[I]))
+      Opts.AnalysisThreads = K;
     else
       usage();
   }
