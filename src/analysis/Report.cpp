@@ -8,9 +8,8 @@
 #include "analysis/Report.h"
 
 #include "analysis/SideEffectAnalyzer.h"
-#include "ir/Printer.h"
 
-#include <sstream>
+#include <memory>
 
 using namespace ipse;
 using namespace ipse::analysis;
@@ -18,40 +17,11 @@ using namespace ipse::ir;
 
 std::string analysis::makeReport(const Program &P, ReportOptions Options) {
   SideEffectAnalyzer Mod(P);
-  AnalyzerOptions UseOpts;
-  UseOpts.Kind = EffectKind::Use;
-  SideEffectAnalyzer Use(P, UseOpts);
-
-  std::ostringstream OS;
-  OS << "procedures:\n";
-  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
-    ProcId Proc(I);
-    OS << "  " << P.name(Proc) << ":\n";
-    OS << "    GMOD = { " << Mod.setToString(Mod.gmod(Proc)) << " }\n";
-    if (Options.IncludeUse)
-      OS << "    GUSE = { " << Use.setToString(Use.gmod(Proc)) << " }\n";
-    if (Options.IncludeRMod) {
-      for (VarId F : P.proc(Proc).Formals) {
-        OS << "    " << P.name(F) << ": "
-           << (Mod.rmodContains(F) ? "RMOD" : "-");
-        if (Options.IncludeUse)
-          OS << (Use.rmodContains(F) ? " RUSE" : " -");
-        OS << "\n";
-      }
-    }
+  std::unique_ptr<SideEffectAnalyzer> Use;
+  if (Options.IncludeUse) {
+    AnalyzerOptions UseOpts;
+    UseOpts.Kind = EffectKind::Use;
+    Use = std::make_unique<SideEffectAnalyzer>(P, UseOpts);
   }
-
-  if (Options.IncludeCallSites) {
-    OS << "call sites:\n";
-    for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
-      CallSiteId Site(I);
-      const CallSite &C = P.callSite(Site);
-      OS << "  s" << I << ": " << P.name(C.Caller) << " -> "
-         << P.name(C.Callee) << ":\n";
-      OS << "    DMOD = { " << Mod.setToString(Mod.dmod(Site)) << " }\n";
-      if (Options.IncludeUse)
-        OS << "    DUSE = { " << Use.setToString(Use.dmod(Site)) << " }\n";
-    }
-  }
-  return OS.str();
+  return renderReport(P, Options, Mod, Use.get());
 }

@@ -11,6 +11,12 @@
 /// optimizing compiler's diagnostics would show and the golden corpus
 /// tests pin down.
 ///
+/// The rendering itself (renderReport) is a template over any pair of
+/// engines exposing the SideEffectAnalyzer query surface, so the batch
+/// analyzer and the incremental session produce the report through the
+/// same code path — byte-identical by construction, which is what the
+/// facade's cross-engine differential tests rely on.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPSE_ANALYSIS_REPORT_H
@@ -18,6 +24,7 @@
 
 #include "ir/Program.h"
 
+#include <sstream>
 #include <string>
 
 namespace ipse {
@@ -30,8 +37,49 @@ struct ReportOptions {
   bool IncludeRMod = false;     ///< Per-formal RMOD/RUSE lines.
 };
 
-/// Runs the pipeline(s) on \p P and renders the report.  Deterministic:
-/// procedures in id order, sets sorted by qualified name.
+/// Renders the report from finished engines.  \p Mod answers the MOD
+/// problem; \p Use (may be null iff !Options.IncludeUse) answers USE.
+/// Engines need gmod(ProcId), rmodContains(VarId), dmod(CallSiteId), and
+/// setToString(BitVector).  Deterministic: procedures in id order, sets
+/// sorted by qualified name.
+template <class ModEngine, class UseEngine>
+std::string renderReport(const ir::Program &P, ReportOptions Options,
+                         const ModEngine &Mod, const UseEngine *Use) {
+  std::ostringstream OS;
+  OS << "procedures:\n";
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
+    ir::ProcId Proc(I);
+    OS << "  " << P.name(Proc) << ":\n";
+    OS << "    GMOD = { " << Mod.setToString(Mod.gmod(Proc)) << " }\n";
+    if (Options.IncludeUse)
+      OS << "    GUSE = { " << Use->setToString(Use->gmod(Proc)) << " }\n";
+    if (Options.IncludeRMod) {
+      for (ir::VarId F : P.proc(Proc).Formals) {
+        OS << "    " << P.name(F) << ": "
+           << (Mod.rmodContains(F) ? "RMOD" : "-");
+        if (Options.IncludeUse)
+          OS << (Use->rmodContains(F) ? " RUSE" : " -");
+        OS << "\n";
+      }
+    }
+  }
+
+  if (Options.IncludeCallSites) {
+    OS << "call sites:\n";
+    for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
+      ir::CallSiteId Site(I);
+      const ir::CallSite &C = P.callSite(Site);
+      OS << "  s" << I << ": " << P.name(C.Caller) << " -> "
+         << P.name(C.Callee) << ":\n";
+      OS << "    DMOD = { " << Mod.setToString(Mod.dmod(Site)) << " }\n";
+      if (Options.IncludeUse)
+        OS << "    DUSE = { " << Use->setToString(Use->dmod(Site)) << " }\n";
+    }
+  }
+  return OS.str();
+}
+
+/// Runs the pipeline(s) on \p P and renders the report via renderReport.
 std::string makeReport(const ir::Program &P,
                        ReportOptions Options = ReportOptions());
 

@@ -20,15 +20,27 @@ using namespace ipse::analysis;
 SideEffectAnalyzer::SideEffectAnalyzer(const ir::Program &P,
                                        AnalyzerOptions Options)
     : P(P), Options(Options), Masks(P), CG(P), BG(P) {
-  Local = std::make_unique<LocalEffects>(P, Masks, Options.Kind);
-  RMod = solveRMod(P, BG, *Local);
-  IModPlus = computeIModPlus(P, *Local, RMod);
+  GraphsSpan.close();
+  {
+    observe::TraceSpan Span("local");
+    Local = std::make_unique<LocalEffects>(P, Masks, Options.Kind);
+  }
+  {
+    observe::TraceSpan Span("rmod");
+    RMod = solveRMod(P, BG, *Local);
+    observe::addCounter("rmod.boolean_steps", RMod.BooleanSteps);
+  }
+  {
+    observe::TraceSpan Span("imodplus");
+    IModPlus = computeIModPlus(P, *Local, RMod);
+  }
 
   using Algo = AnalyzerOptions::GModAlgorithm;
   Algo Chosen = Options.Algorithm;
   if (Chosen == Algo::Auto)
     Chosen = P.maxProcLevel() <= 1 ? Algo::FindGMod : Algo::MultiLevelCombined;
 
+  observe::TraceSpan Span("gmod");
   switch (Chosen) {
   case Algo::FindGMod:
     GMod = solveGMod(P, CG, Masks, IModPlus);

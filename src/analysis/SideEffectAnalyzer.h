@@ -34,6 +34,7 @@
 #include "graph/CallGraph.h"
 #include "ir/AliasInfo.h"
 #include "ir/Program.h"
+#include "observe/Trace.h"
 
 #include <memory>
 #include <string>
@@ -110,6 +111,9 @@ public:
 private:
   const ir::Program &P;
   AnalyzerOptions Options;
+  // Declared before the graphs so the "graphs" span covers their
+  // member-initializer construction; closed at the top of the ctor body.
+  observe::ManualSpan GraphsSpan{"graphs"};
   VarMasks Masks;
   graph::CallGraph CG;
   graph::BindingGraph BG;

@@ -1,0 +1,371 @@
+//===- api/Ipse.cpp - The unified public analysis facade ----------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Ipse.h"
+
+#include "frontend/Frontend.h"
+#include "observe/Metrics.h"
+#include "parallel/ParallelReport.h"
+#include "parallel/ThreadPool.h"
+#include "service/ScriptDriver.h"
+
+#include <cassert>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+using namespace ipse;
+using analysis::EffectKind;
+
+//===----------------------------------------------------------------------===//
+// Analysis: the unified query handle.
+//===----------------------------------------------------------------------===//
+
+struct Analysis::Impl {
+  AnalysisOptions::Engine Engine = AnalysisOptions::Engine::Sequential;
+  bool TrackUse = true;
+  observe::CostReport Costs;
+
+  // Sequential.
+  std::unique_ptr<analysis::SideEffectAnalyzer> SeqMod, SeqUse;
+  // Parallel (MOD and USE share one pool).
+  std::unique_ptr<parallel::ThreadPool> Pool;
+  std::unique_ptr<parallel::ParallelAnalyzer> ParMod, ParUse;
+  // Session.
+  std::unique_ptr<incremental::AnalysisSession> Session;
+};
+
+Analysis::Analysis(std::unique_ptr<Impl> Impl) : I(std::move(Impl)) {}
+Analysis::Analysis(Analysis &&) noexcept = default;
+Analysis &Analysis::operator=(Analysis &&) noexcept = default;
+Analysis::~Analysis() = default;
+
+AnalysisOptions::Engine Analysis::engine() const { return I->Engine; }
+
+const observe::CostReport &Analysis::costs() const { return I->Costs; }
+
+const BitVector &Analysis::gmod(ir::ProcId Proc) const {
+  return gmod(Proc, EffectKind::Mod);
+}
+
+const BitVector &Analysis::guse(ir::ProcId Proc) const {
+  return gmod(Proc, EffectKind::Use);
+}
+
+const BitVector &Analysis::gmod(ir::ProcId Proc, EffectKind Kind) const {
+  assert((Kind == EffectKind::Mod || I->TrackUse) &&
+         "USE queries need AnalysisOptions::TrackUse");
+  switch (I->Engine) {
+  case AnalysisOptions::Engine::Sequential:
+    return (Kind == EffectKind::Mod ? *I->SeqMod : *I->SeqUse).gmod(Proc);
+  case AnalysisOptions::Engine::Parallel:
+    return (Kind == EffectKind::Mod ? *I->ParMod : *I->ParUse).gmod(Proc);
+  default:
+    return I->Session->gmod(Proc, Kind);
+  }
+}
+
+bool Analysis::rmodContains(ir::VarId Formal, EffectKind Kind) const {
+  assert((Kind == EffectKind::Mod || I->TrackUse) &&
+         "USE queries need AnalysisOptions::TrackUse");
+  switch (I->Engine) {
+  case AnalysisOptions::Engine::Sequential:
+    return (Kind == EffectKind::Mod ? *I->SeqMod : *I->SeqUse)
+        .rmodContains(Formal);
+  case AnalysisOptions::Engine::Parallel:
+    return (Kind == EffectKind::Mod ? *I->ParMod : *I->ParUse)
+        .rmodContains(Formal);
+  default:
+    return I->Session->rmodContains(Formal, Kind);
+  }
+}
+
+BitVector Analysis::dmod(ir::StmtId S) const {
+  switch (I->Engine) {
+  case AnalysisOptions::Engine::Sequential:
+    return I->SeqMod->dmod(S);
+  case AnalysisOptions::Engine::Parallel:
+    return I->ParMod->dmod(S);
+  default:
+    return I->Session->dmod(S);
+  }
+}
+
+BitVector Analysis::dmod(ir::CallSiteId C) const {
+  return dmod(C, EffectKind::Mod);
+}
+
+BitVector Analysis::dmod(ir::CallSiteId C, EffectKind Kind) const {
+  assert((Kind == EffectKind::Mod || I->TrackUse) &&
+         "USE queries need AnalysisOptions::TrackUse");
+  switch (I->Engine) {
+  case AnalysisOptions::Engine::Sequential:
+    return (Kind == EffectKind::Mod ? *I->SeqMod : *I->SeqUse).dmod(C);
+  case AnalysisOptions::Engine::Parallel:
+    return (Kind == EffectKind::Mod ? *I->ParMod : *I->ParUse).dmod(C);
+  default:
+    return I->Session->dmod(C, Kind);
+  }
+}
+
+BitVector Analysis::mod(ir::StmtId S, const ir::AliasInfo &Aliases) const {
+  switch (I->Engine) {
+  case AnalysisOptions::Engine::Sequential:
+    return I->SeqMod->mod(S, Aliases);
+  case AnalysisOptions::Engine::Parallel:
+    return I->ParMod->mod(S, Aliases);
+  default:
+    return I->Session->mod(S, Aliases);
+  }
+}
+
+const analysis::GModResult &Analysis::gmodResult(EffectKind Kind) const {
+  assert((Kind == EffectKind::Mod || I->TrackUse) &&
+         "USE queries need AnalysisOptions::TrackUse");
+  switch (I->Engine) {
+  case AnalysisOptions::Engine::Sequential:
+    return (Kind == EffectKind::Mod ? *I->SeqMod : *I->SeqUse).gmodResult();
+  case AnalysisOptions::Engine::Parallel:
+    return (Kind == EffectKind::Mod ? *I->ParMod : *I->ParUse).gmodResult();
+  default:
+    return I->Session->gmodResult(Kind);
+  }
+}
+
+std::string Analysis::setToString(const BitVector &Set) const {
+  switch (I->Engine) {
+  case AnalysisOptions::Engine::Sequential:
+    return I->SeqMod->setToString(Set);
+  case AnalysisOptions::Engine::Parallel:
+    return I->ParMod->setToString(Set);
+  default:
+    return I->Session->setToString(Set);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Analyzer.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One effect kind of a session, presented through the batch analyzers'
+/// query surface so analysis::renderReport treats all engines alike.
+class SessionKindView {
+public:
+  SessionKindView(incremental::AnalysisSession &S, EffectKind Kind)
+      : S(S), Kind(Kind) {}
+  const BitVector &gmod(ir::ProcId Proc) const { return S.gmod(Proc, Kind); }
+  bool rmodContains(ir::VarId F) const { return S.rmodContains(F, Kind); }
+  BitVector dmod(ir::CallSiteId C) const { return S.dmod(C, Kind); }
+  std::string setToString(const BitVector &Set) const {
+    return S.setToString(Set);
+  }
+
+private:
+  incremental::AnalysisSession &S;
+  EffectKind Kind;
+};
+
+std::string renderForEngine(const AnalysisOptions &Opts, const ir::Program &P,
+                            analysis::ReportOptions R) {
+  observe::TraceSpan Span("report");
+  switch (Opts.resolved()) {
+  case AnalysisOptions::Engine::Sequential:
+    return analysis::makeReport(P, R);
+  case AnalysisOptions::Engine::Parallel:
+    return parallel::makeReportParallel(P, R,
+                                        Opts.Threads < 1 ? 1 : Opts.Threads);
+  default: {
+    incremental::SessionOptions SO = Opts.sessionView();
+    SO.TrackUse = SO.TrackUse || R.IncludeUse;
+    incremental::AnalysisSession S(P, SO);
+    SessionKindView Mod(S, EffectKind::Mod);
+    SessionKindView Use(S, EffectKind::Use);
+    return analysis::renderReport(P, R, Mod, R.IncludeUse ? &Use : nullptr);
+  }
+  }
+}
+
+void printSessionStats(const incremental::SessionStats &St, std::FILE *Out) {
+  std::fprintf(Out,
+               "edits %llu  flushes %llu  effect-only %llu  intra-scc %llu"
+               "  recondense %llu  full-rebuild %llu  components %llu"
+               "  rmod-resolves %llu\n",
+               (unsigned long long)St.EditsApplied,
+               (unsigned long long)St.Flushes,
+               (unsigned long long)St.EffectOnlyFlushes,
+               (unsigned long long)St.IntraSccFlushes,
+               (unsigned long long)St.Recondensations,
+               (unsigned long long)St.FullRebuilds,
+               (unsigned long long)St.ComponentsRecomputed,
+               (unsigned long long)St.RModResolves);
+}
+
+} // namespace
+
+Analysis Analyzer::analyze(const ir::Program &P) const {
+  auto Impl = std::make_unique<Analysis::Impl>();
+  Impl->Engine = Opts.resolved();
+  Impl->TrackUse = Opts.TrackUse;
+  {
+    std::optional<observe::TraceScope> Scope;
+    if (Opts.Profile || Opts.Sink)
+      Scope.emplace(Opts.Profile ? &Impl->Costs : nullptr, Opts.Sink);
+
+    switch (Impl->Engine) {
+    case AnalysisOptions::Engine::Sequential:
+      Impl->SeqMod = std::make_unique<analysis::SideEffectAnalyzer>(
+          P, Opts.analyzerView(EffectKind::Mod));
+      if (Opts.TrackUse)
+        Impl->SeqUse = std::make_unique<analysis::SideEffectAnalyzer>(
+            P, Opts.analyzerView(EffectKind::Use));
+      break;
+    case AnalysisOptions::Engine::Parallel:
+      Impl->Pool = std::make_unique<parallel::ThreadPool>(
+          Opts.Threads < 1 ? 1 : Opts.Threads);
+      Impl->ParMod = std::make_unique<parallel::ParallelAnalyzer>(
+          P, Opts.parallelView(EffectKind::Mod), *Impl->Pool);
+      if (Opts.TrackUse)
+        Impl->ParUse = std::make_unique<parallel::ParallelAnalyzer>(
+            P, Opts.parallelView(EffectKind::Use), *Impl->Pool);
+      break;
+    default:
+      Impl->Session = std::make_unique<incremental::AnalysisSession>(
+          P, Opts.sessionView());
+      Impl->Session->flush();
+      break;
+    }
+  }
+  return Analysis(std::move(Impl));
+}
+
+ReportRun Analyzer::report(const ir::Program &P,
+                           analysis::ReportOptions R) const {
+  ReportRun Run;
+  std::optional<observe::TraceScope> Scope;
+  if (Opts.Profile || Opts.Sink)
+    Scope.emplace(Opts.Profile ? &Run.Costs : nullptr, Opts.Sink);
+  Run.Output = renderForEngine(Opts, P, R);
+  return Run;
+}
+
+ReportRun Analyzer::reportSource(std::string_view Source,
+                                 analysis::ReportOptions R) const {
+  ReportRun Run;
+  std::optional<observe::TraceScope> Scope;
+  if (Opts.Profile || Opts.Sink)
+    Scope.emplace(Opts.Profile ? &Run.Costs : nullptr, Opts.Sink);
+
+  observe::ManualSpan ParseSpan("parse");
+  frontend::CompileResult CR = frontend::compileMiniProc(Source);
+  ParseSpan.close();
+  Run.Diagnostics = CR.Diags.renderAll();
+  if (!CR.succeeded()) {
+    Run.Ok = false;
+    return Run;
+  }
+  Run.Output = renderForEngine(Opts, *CR.Program, R);
+  return Run;
+}
+
+std::unique_ptr<incremental::AnalysisSession>
+Analyzer::open_session(ir::Program Initial) const {
+  return std::make_unique<incremental::AnalysisSession>(std::move(Initial),
+                                                        Opts.sessionView());
+}
+
+std::unique_ptr<service::AnalysisService>
+Analyzer::serve(ir::Program Initial) const {
+  return std::make_unique<service::AnalysisService>(std::move(Initial),
+                                                    Opts.serviceView());
+}
+
+int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
+                               observe::CostReport *CostsOut) const {
+  std::optional<observe::TraceScope> Scope;
+  if ((Opts.Profile && CostsOut) || Opts.Sink)
+    Scope.emplace(Opts.Profile ? CostsOut : nullptr, Opts.Sink);
+
+  std::optional<incremental::AnalysisSession> S;
+  auto session = [&](unsigned LineNo) -> incremental::AnalysisSession & {
+    if (!S)
+      throw service::ScriptError{
+          LineNo, "no program loaded ('load' or 'gen' must come first)"};
+    return *S;
+  };
+
+  bool AllChecksPassed = true;
+  std::istringstream Lines(Script);
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    try {
+      std::optional<service::ScriptCommand> Cmd =
+          service::parseScriptLine(Line, LineNo);
+      if (!Cmd)
+        continue;
+      using Op = service::ScriptCommand::Op;
+      if (Cmd->Kind == Op::Load) {
+        std::ifstream In(Cmd->Args[0]);
+        if (!In)
+          throw service::ScriptError{LineNo,
+                                     "cannot open '" + Cmd->Args[0] + "'"};
+        std::ostringstream SS;
+        SS << In.rdbuf();
+        frontend::CompileResult CR = frontend::compileMiniProc(SS.str());
+        if (!CR.succeeded())
+          throw service::ScriptError{LineNo, CR.Diags.renderAll()};
+        S.emplace(std::move(*CR.Program), Opts.sessionView());
+      } else if (Cmd->Kind == Op::Gen) {
+        S.emplace(synth::generateProgram(parseGenSpec(Cmd->Args, LineNo)),
+                  Opts.sessionView());
+      } else if (Cmd->Kind == Op::Stats) {
+        printSessionStats(session(LineNo).stats(), Out);
+      } else if (Cmd->Kind == Op::Metrics) {
+        std::fprintf(Out, "%s\n",
+                     observe::MetricsRegistry::global().toJson().c_str());
+      } else if (service::isEditCommand(Cmd->Kind)) {
+        service::applyEditCommand(session(LineNo), *Cmd);
+      } else {
+        service::SessionQueryTarget Target(session(LineNo));
+        service::QueryResult R = service::evalQueryCommand(Target, *Cmd);
+        std::fprintf(Out, "%s\n", R.Text.c_str());
+        AllChecksPassed &= R.CheckOk;
+      }
+    } catch (const service::ScriptError &E) {
+      std::fprintf(stderr, "session script line %u: %s\n", E.LineNo,
+                   E.Message.c_str());
+      return 1;
+    }
+  }
+  return AllChecksPassed ? 0 : 1;
+}
+
+synth::ProgramGenConfig ipse::parseGenSpec(const std::vector<std::string> &Args,
+                                           unsigned LineNo) {
+  synth::ProgramGenConfig Cfg;
+  for (const std::string &Arg : Args) {
+    std::size_t Eq = Arg.find('=');
+    if (Eq == std::string::npos)
+      throw service::ScriptError{LineNo, "'gen' operands are key=value"};
+    std::string Key = Arg.substr(0, Eq);
+    unsigned Val = static_cast<unsigned>(std::atoi(Arg.c_str() + Eq + 1));
+    if (Key == "procs")
+      Cfg.NumProcs = Val;
+    else if (Key == "globals")
+      Cfg.NumGlobals = Val;
+    else if (Key == "seed")
+      Cfg.Seed = Val;
+    else if (Key == "depth")
+      Cfg.MaxNestDepth = Val;
+    else
+      throw service::ScriptError{LineNo, "unknown 'gen' key '" + Key + "'"};
+  }
+  return Cfg;
+}

@@ -1,0 +1,253 @@
+//===- api/Ipse.h - The unified public analysis facade ----------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's single public entry point.  The repository grew four
+/// engines — the sequential batch pipeline (analysis::SideEffectAnalyzer),
+/// the level-scheduled parallel batch engine (parallel::ParallelAnalyzer),
+/// the delta-driven incremental session (incremental::AnalysisSession),
+/// and the concurrent MVCC service (service::AnalysisService) — each with
+/// its own options struct and entry header.  This facade folds them behind
+/// two types:
+///
+///  - ipse::AnalysisOptions: one options struct (engine selection, thread
+///    count, effect tracking, trace sink / profiling) with per-engine
+///    view methods.  The per-engine structs remain as the facade's
+///    internal wire format; new code should not reach for them.
+///
+///  - ipse::Analyzer: the entry point.  analyze() runs a batch analysis
+///    on the selected engine and returns a unified query handle;
+///    report() / reportSource() render the standard MOD/USE report (byte
+///    identical across engines); open_session() and serve() hand back the
+///    long-lived engines configured from the same options.
+///
+/// Observability is threaded through: set AnalysisOptions::Profile to
+/// collect a per-run observe::CostReport (phase wall time + bit-vector
+/// word ops), and/or AnalysisOptions::Sink to stream spans (e.g. an
+/// observe::JsonLinesSink for `--trace-out`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_API_IPSE_H
+#define IPSE_API_IPSE_H
+
+#include "analysis/EffectKind.h"
+#include "analysis/GMod.h"
+#include "analysis/Report.h"
+#include "analysis/SideEffectAnalyzer.h"
+#include "incremental/AnalysisSession.h"
+#include "ir/Program.h"
+#include "observe/CostReport.h"
+#include "observe/Trace.h"
+#include "parallel/ParallelAnalyzer.h"
+#include "service/AnalysisService.h"
+#include "synth/ProgramGen.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipse {
+
+/// One options struct for every engine.  Engine-specific knobs are
+/// ignored by engines that don't consume them.
+struct AnalysisOptions {
+  /// Which engine answers.
+  enum class Engine {
+    Auto,       ///< Parallel when Threads > 1, else Sequential.
+    Sequential, ///< analysis::SideEffectAnalyzer.
+    Parallel,   ///< parallel::ParallelAnalyzer (level-scheduled pool).
+    Session     ///< incremental::AnalysisSession (delta-driven).
+  };
+  Engine Backend = Engine::Auto;
+
+  /// Executing lanes for the parallel engine; also the session's /
+  /// service's full-rebuild lane count.  <= 1 = sequential kernels.
+  unsigned Threads = 1;
+
+  /// Maintain the USE pipeline alongside MOD (guse / DUSE queries and
+  /// report lines need this).
+  bool TrackUse = true;
+
+  /// GMOD algorithm for the sequential engine.
+  analysis::AnalyzerOptions::GModAlgorithm Algorithm =
+      analysis::AnalyzerOptions::GModAlgorithm::Auto;
+
+  /// \name Service knobs (serve() only)
+  /// @{
+  unsigned ServiceWorkers = 2;
+  std::size_t ServiceQueueCapacity = 256;
+  std::size_t ServiceMaxBatch = 32;
+  unsigned ServiceStatsIntervalMs = 0;
+  std::FILE *ServiceStatsOut = nullptr;
+  /// @}
+
+  /// \name Observability
+  /// @{
+  /// Stream spans here during analyze()/report()/runSessionScript()
+  /// (not owned; may be null).
+  observe::TraceSink *Sink = nullptr;
+  /// Collect a per-run observe::CostReport (Analysis::costs() /
+  /// ReportRun::Costs).
+  bool Profile = false;
+  /// @}
+
+  /// The engine Auto resolves to.
+  Engine resolved() const {
+    if (Backend != Engine::Auto)
+      return Backend;
+    return Threads > 1 ? Engine::Parallel : Engine::Sequential;
+  }
+
+  /// \name Per-engine views (the facade's wire format)
+  /// @{
+  analysis::AnalyzerOptions analyzerView(analysis::EffectKind Kind) const {
+    analysis::AnalyzerOptions O;
+    O.Kind = Kind;
+    O.Algorithm = Algorithm;
+    return O;
+  }
+  parallel::ParallelAnalyzerOptions
+  parallelView(analysis::EffectKind Kind) const {
+    parallel::ParallelAnalyzerOptions O;
+    O.Kind = Kind;
+    O.Threads = Threads;
+    return O;
+  }
+  incremental::SessionOptions sessionView() const {
+    incremental::SessionOptions O;
+    O.TrackUse = TrackUse;
+    O.Threads = Threads;
+    return O;
+  }
+  service::ServiceOptions serviceView() const {
+    service::ServiceOptions O;
+    O.Workers = ServiceWorkers;
+    O.QueueCapacity = ServiceQueueCapacity;
+    O.MaxBatch = ServiceMaxBatch;
+    O.TrackUse = TrackUse;
+    O.AnalysisThreads = Threads;
+    O.StatsIntervalMs = ServiceStatsIntervalMs;
+    O.StatsOut = ServiceStatsOut;
+    return O;
+  }
+  /// @}
+};
+
+/// \name Deprecated per-engine option aliases
+/// The pre-facade options structs, re-exported under their old public
+/// spellings for one release.  Build AnalysisOptions and use its view
+/// methods instead.
+/// @{
+using SessionOptions [[deprecated("use ipse::AnalysisOptions::sessionView")]] =
+    incremental::SessionOptions;
+using ServiceOptions [[deprecated("use ipse::AnalysisOptions::serviceView")]] =
+    service::ServiceOptions;
+using ParallelOptions
+    [[deprecated("use ipse::AnalysisOptions::parallelView")]] =
+        parallel::ParallelAnalyzerOptions;
+/// @}
+
+/// A finished batch analysis: one engine's results behind the unified
+/// query surface.  Movable, engine-agnostic; the analyzed Program must
+/// outlive it (the Session engine keeps its own copy, but ids are shared
+/// so queries still refer to the caller's program).
+class Analysis {
+public:
+  Analysis(Analysis &&) noexcept;
+  Analysis &operator=(Analysis &&) noexcept;
+  ~Analysis();
+
+  /// The engine that produced the results.
+  AnalysisOptions::Engine engine() const;
+
+  /// \name Queries (the SideEffectAnalyzer surface)
+  /// @{
+  const BitVector &gmod(ir::ProcId Proc) const;
+  const BitVector &guse(ir::ProcId Proc) const; ///< Requires TrackUse.
+  const BitVector &gmod(ir::ProcId Proc, analysis::EffectKind Kind) const;
+  bool rmodContains(ir::VarId Formal, analysis::EffectKind Kind) const;
+  BitVector dmod(ir::StmtId S) const;
+  BitVector dmod(ir::CallSiteId C) const;
+  BitVector dmod(ir::CallSiteId C, analysis::EffectKind Kind) const;
+  BitVector mod(ir::StmtId S, const ir::AliasInfo &Aliases) const;
+  const analysis::GModResult &gmodResult(analysis::EffectKind Kind) const;
+  std::string setToString(const BitVector &Set) const;
+  /// @}
+
+  /// Phase costs collected during analyze() (empty unless
+  /// AnalysisOptions::Profile was set).
+  const observe::CostReport &costs() const;
+
+private:
+  friend class Analyzer;
+  struct Impl;
+  explicit Analysis(std::unique_ptr<Impl> Impl);
+  std::unique_ptr<Impl> I;
+};
+
+/// One report run: output text plus everything observed along the way.
+struct ReportRun {
+  bool Ok = true;           ///< False when compilation failed.
+  std::string Output;       ///< The report text ("" when !Ok).
+  std::string Diagnostics;  ///< Compiler diagnostics (reportSource only).
+  observe::CostReport Costs; ///< Filled when AnalysisOptions::Profile.
+};
+
+/// The facade.  Cheap to construct (holds only options); every method is
+/// const and reentrant.
+class Analyzer {
+public:
+  explicit Analyzer(AnalysisOptions Options = {}) : Opts(Options) {}
+
+  const AnalysisOptions &options() const { return Opts; }
+
+  /// Runs a batch analysis of \p P on the selected engine.
+  Analysis analyze(const ir::Program &P) const;
+
+  /// Renders the standard MOD/USE report for \p P.  Byte-identical across
+  /// engines at any thread count.
+  ReportRun report(const ir::Program &P,
+                   analysis::ReportOptions R = analysis::ReportOptions()) const;
+
+  /// Compiles MiniProc \p Source (the "parse" span) and reports.  On
+  /// compile errors Ok is false and Diagnostics carries the rendering.
+  ReportRun
+  reportSource(std::string_view Source,
+               analysis::ReportOptions R = analysis::ReportOptions()) const;
+
+  /// Opens a long-lived incremental session over \p Initial, configured
+  /// from these options (TrackUse, Threads).
+  std::unique_ptr<incremental::AnalysisSession>
+  open_session(ir::Program Initial) const;
+
+  /// Starts the concurrent analysis service over \p Initial, configured
+  /// from these options (service knobs, TrackUse, Threads).
+  std::unique_ptr<service::AnalysisService> serve(ir::Program Initial) const;
+
+  /// Runs a session script (the service/ScriptDriver.h grammar) against a
+  /// fresh session, printing query results to \p Out.  Returns the
+  /// process exit code: 0 on success, 1 on a script error (reported to
+  /// stderr) or any failed `check`.  Spans stream to Sink; with Profile
+  /// set and \p CostsOut non-null, phase costs accumulate there.
+  int runSessionScript(const std::string &Script, std::FILE *Out,
+                       observe::CostReport *CostsOut = nullptr) const;
+
+private:
+  AnalysisOptions Opts;
+};
+
+/// Parses generator `key=value` operands (the script `gen` command and
+/// `ipse-cli serve --gen`).  Throws service::ScriptError on unknown keys.
+synth::ProgramGenConfig parseGenSpec(const std::vector<std::string> &Args,
+                                     unsigned LineNo);
+
+} // namespace ipse
+
+#endif // IPSE_API_IPSE_H

@@ -14,6 +14,7 @@
 #include "graph/CallGraph.h"
 #include "ir/Printer.h"
 #include "ir/ProgramEditor.h"
+#include "observe/Trace.h"
 #include "parallel/ParallelSolvers.h"
 #include "parallel/ThreadPool.h"
 
@@ -196,6 +197,7 @@ void AnalysisSession::removeProc(ir::ProcId Target) {
 void AnalysisSession::flush() {
   if (CleanGeneration == Generation)
     return;
+  observe::TraceSpan FlushSpan("flush");
   ++Stats.Flushes;
   if (UniverseDirty)
     rebuildAll();
@@ -221,12 +223,14 @@ void AnalysisSession::rebuildDerivedGraphs() {
 }
 
 void AnalysisSession::recondense() {
+  observe::TraceSpan Span("flush.recondense");
   graph::CallGraph CG(P);
   Cond.rebuild(CG.graph());
   ++Stats.Recondensations;
 }
 
 void AnalysisSession::rebuildAll() {
+  observe::TraceSpan Span("flush.full-rebuild");
   ++Stats.FullRebuilds;
   Masks = std::make_unique<analysis::VarMasks>(P);
   BG = std::make_unique<graph::BindingGraph>(P);
@@ -290,6 +294,11 @@ void AnalysisSession::rebuildAll() {
 
 void AnalysisSession::flushIncremental() {
   const bool Structural = CallStructureDirty;
+  // Fast-path/fallback attribution: the span name is the tier this flush
+  // actually took (effect-only < intra-scc < call-delta < full-rebuild).
+  observe::TraceSpan TierSpan(!Structural ? "flush.effect-only"
+                              : CondDirty ? "flush.call-delta"
+                                          : "flush.intra-scc");
   if (Structural) {
     BG = std::make_unique<graph::BindingGraph>(P);
     rebuildDerivedGraphs();
@@ -571,6 +580,11 @@ BitVector AnalysisSession::duse(ir::StmtId S) {
 BitVector AnalysisSession::dmod(ir::CallSiteId C) {
   flush();
   return analysis::projectCallSite(P, *Masks, state(EffectKind::Mod).GMod, C);
+}
+
+BitVector AnalysisSession::dmod(ir::CallSiteId C, EffectKind Kind) {
+  flush();
+  return analysis::projectCallSite(P, *Masks, state(Kind).GMod, C);
 }
 
 BitVector AnalysisSession::mod(ir::StmtId S, const ir::AliasInfo &Aliases) {

@@ -163,6 +163,7 @@ public:
   BitVector dmod(ir::StmtId S);
   BitVector duse(ir::StmtId S);
   BitVector dmod(ir::CallSiteId C);
+  BitVector dmod(ir::CallSiteId C, analysis::EffectKind Kind);
   BitVector mod(ir::StmtId S, const ir::AliasInfo &Aliases);
   BitVector use(ir::StmtId S, const ir::AliasInfo &Aliases);
   /// @}

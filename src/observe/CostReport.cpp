@@ -1,0 +1,126 @@
+//===- observe/CostReport.cpp - Per-analysis phase cost summary --------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/CostReport.h"
+
+#include "observe/Trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace ipse;
+using namespace ipse::observe;
+
+void CostReport::addSpan(const SpanRecord &R) {
+  for (PhaseCost &P : Phases) {
+    if (P.Name == R.Name) {
+      ++P.Count;
+      P.WallNs += R.WallNs;
+      P.BitOps += R.BitOps;
+      return;
+    }
+  }
+  PhaseCost P;
+  P.Name = R.Name;
+  P.Count = 1;
+  P.WallNs = R.WallNs;
+  P.BitOps = R.BitOps;
+  Phases.push_back(std::move(P));
+}
+
+void CostReport::addCounter(const char *Name, std::uint64_t Value) {
+  for (NamedCount &C : Counters) {
+    if (C.Name == Name) {
+      C.Value += Value;
+      return;
+    }
+  }
+  Counters.push_back(NamedCount{Name, Value});
+}
+
+const PhaseCost *CostReport::phase(const std::string &Name) const {
+  for (const PhaseCost &P : Phases)
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+std::uint64_t CostReport::counter(const std::string &Name) const {
+  for (const NamedCount &C : Counters)
+    if (C.Name == Name)
+      return C.Value;
+  return 0;
+}
+
+void CostReport::merge(const CostReport &Other) {
+  for (const PhaseCost &P : Other.Phases) {
+    SpanRecord R;
+    R.Name = P.Name.c_str();
+    R.WallNs = P.WallNs;
+    R.BitOps = P.BitOps;
+    addSpan(R);
+    // addSpan counts one span; patch in the real count.
+    for (PhaseCost &Mine : Phases)
+      if (Mine.Name == P.Name) {
+        Mine.Count += P.Count - 1;
+        break;
+      }
+  }
+  for (const NamedCount &C : Other.Counters)
+    addCounter(C.Name.c_str(), C.Value);
+}
+
+std::string CostReport::toText() const {
+  std::string Out;
+  char Buf[160];
+  std::size_t NameWidth = 5; // "phase"
+  for (const PhaseCost &P : Phases)
+    NameWidth = std::max(NameWidth, P.Name.size());
+  for (const NamedCount &C : Counters)
+    NameWidth = std::max(NameWidth, C.Name.size());
+  std::snprintf(Buf, sizeof(Buf), "  %-*s %6s %12s %14s\n", (int)NameWidth,
+                "phase", "count", "wall_us", "bv_ops");
+  Out += Buf;
+  for (const PhaseCost &P : Phases) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-*s %6" PRIu64 " %12.1f %14" PRIu64 "\n", (int)NameWidth,
+                  P.Name.c_str(), P.Count, (double)P.WallNs / 1000.0, P.BitOps);
+    Out += Buf;
+  }
+  for (const NamedCount &C : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "  %-*s %6s %12s %14" PRIu64 "\n",
+                  (int)NameWidth, C.Name.c_str(), "-", "-", C.Value);
+    Out += Buf;
+  }
+  return Out;
+}
+
+std::string CostReport::toJson() const {
+  std::string Out = "{\"phases\":[";
+  char Buf[192];
+  bool First = true;
+  for (const PhaseCost &P : Phases) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"name\":\"%s\",\"count\":%" PRIu64 ",\"wall_ns\":%" PRIu64
+                  ",\"bv_ops\":%" PRIu64 "}",
+                  First ? "" : ",", P.Name.c_str(), P.Count, P.WallNs,
+                  P.BitOps);
+    Out += Buf;
+    First = false;
+  }
+  Out += "],\"counters\":{";
+  First = true;
+  for (const NamedCount &C : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%" PRIu64, First ? "" : ",",
+                  C.Name.c_str(), C.Value);
+    Out += Buf;
+    First = false;
+  }
+  Out += "}}";
+  return Out;
+}

@@ -1,0 +1,84 @@
+//===- observe/Metrics.cpp - Process-wide metrics registry -------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace ipse;
+using namespace ipse::observe;
+
+MetricsRegistry &MetricsRegistry::global() {
+  // Leaked on purpose: references handed to long-lived engines must stay
+  // valid through static destruction order.
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+LatencyHistogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::string(Name), std::make_unique<LatencyHistogram>())
+             .first;
+  return *It->second;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out = "{\"counters\":{";
+  char Buf[96];
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "%s\"", First ? "" : ",");
+    Out += Buf;
+    Out += Name;
+    std::snprintf(Buf, sizeof(Buf), "\":%" PRIu64, C->value());
+    Out += Buf;
+    First = false;
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    std::snprintf(Buf, sizeof(Buf), "%s\"", First ? "" : ",");
+    Out += Buf;
+    Out += Name;
+    std::snprintf(Buf, sizeof(Buf), "\":%" PRId64, G->value());
+    Out += Buf;
+    First = false;
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out += First ? "\"" : ",\"";
+    Out += Name;
+    Out += "\":";
+    Out += H->toJson();
+    First = false;
+  }
+  Out += "}}";
+  return Out;
+}

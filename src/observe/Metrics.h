@@ -1,0 +1,100 @@
+//===- observe/Metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer: a process-wide registry of
+/// named counters (monotone), gauges (last-write-wins levels), and latency
+/// histograms (support::LatencyHistogram).  Registration is get-or-create
+/// under one mutex and returns a reference with stable address, so hot
+/// paths register once and then touch a single relaxed atomic — the
+/// service's writer/worker loops update gauges per *batch*, never per
+/// word operation.
+///
+/// MetricsRegistry::global() is what the service's `metrics` protocol verb
+/// snapshots; local instances exist for tests.  Unlike tracing, the
+/// registry stays functional under IPSE_OBSERVE=OFF (its users sit on
+/// batch boundaries, not hot loops), so operational counters survive a
+/// compiled-out build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_OBSERVE_METRICS_H
+#define IPSE_OBSERVE_METRICS_H
+
+#include "support/LatencyHistogram.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ipse {
+namespace observe {
+
+/// A monotone event counter.  add() is one relaxed fetch_add.
+class Counter {
+public:
+  void add(std::uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  std::uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> V{0};
+};
+
+/// A level that moves both ways (queue depth, snapshot age).
+class Gauge {
+public:
+  void set(std::int64_t N) { V.store(N, std::memory_order_relaxed); }
+  void add(std::int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  std::int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::int64_t> V{0};
+};
+
+/// Named metrics with get-or-create registration.  All methods are
+/// thread-safe; returned references stay valid for the registry's
+/// lifetime (the global registry never dies).
+class MetricsRegistry {
+public:
+  /// The process-wide registry.
+  static MetricsRegistry &global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  /// Metric names must be JSON-safe identifiers (letters, digits,
+  /// '.', '_', '-'); they are rendered unescaped.
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  LatencyHistogram &histogram(std::string_view Name);
+
+  /// One JSON object:
+  ///   {"counters":{name:value,...},
+  ///    "gauges":{name:value,...},
+  ///    "histograms":{name:{"count":..,...},...}}
+  /// Values are a consistent-enough snapshot for dashboards: each metric
+  /// is read once with relaxed loads.
+  std::string toJson() const;
+
+private:
+  mutable std::mutex M;
+  // node-stable: references handed out must survive later registrations.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      Histograms;
+};
+
+} // namespace observe
+} // namespace ipse
+
+#endif // IPSE_OBSERVE_METRICS_H

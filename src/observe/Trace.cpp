@@ -1,0 +1,134 @@
+//===- observe/Trace.cpp - Phase tracing: spans, sinks, scopes ----------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Trace.h"
+
+#include "observe/CostReport.h"
+#include "support/BitVector.h"
+
+#include <chrono>
+
+using namespace ipse;
+using namespace ipse::observe;
+
+std::uint64_t observe::nowNanos() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Epoch)
+          .count());
+}
+
+//===----------------------------------------------------------------------===//
+// JsonLinesSink.
+//===----------------------------------------------------------------------===//
+
+JsonLinesSink::~JsonLinesSink() {
+  if (CloseOnDestroy && Out)
+    std::fclose(Out);
+}
+
+std::unique_ptr<JsonLinesSink> JsonLinesSink::open(const std::string &Path,
+                                                   std::string &ErrorOut) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    ErrorOut = "cannot open '" + Path + "' for writing";
+    return nullptr;
+  }
+  return std::make_unique<JsonLinesSink>(F, /*Close=*/true);
+}
+
+void JsonLinesSink::onSpan(const SpanRecord &R) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::fprintf(Out,
+               "{\"span\":\"%s\",\"depth\":%u,\"start_ns\":%llu,"
+               "\"wall_ns\":%llu,\"bv_ops\":%llu}\n",
+               R.Name, R.Depth, (unsigned long long)R.StartNs,
+               (unsigned long long)R.WallNs, (unsigned long long)R.BitOps);
+  std::fflush(Out);
+}
+
+#ifndef IPSE_OBSERVE_OFF
+
+//===----------------------------------------------------------------------===//
+// Thread-local context.
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local detail::TraceContext *ActiveCtx = nullptr;
+
+/// Opens: returns false (and records nothing) without an active context.
+bool openSpan(std::uint64_t &StartNs, std::uint64_t &StartOps,
+              unsigned &Depth) {
+  detail::TraceContext *Ctx = ActiveCtx;
+  if (!Ctx)
+    return false;
+  Depth = Ctx->Depth++;
+  StartNs = nowNanos();
+  StartOps = BitVector::opCount();
+  return true;
+}
+
+void closeSpan(const char *Name, std::uint64_t StartNs, std::uint64_t StartOps,
+               unsigned Depth) {
+  // Close against whatever context is active *now*: a span that outlives
+  // its scope (never the RAII pattern) simply records nowhere.
+  detail::TraceContext *Ctx = ActiveCtx;
+  if (!Ctx)
+    return;
+  SpanRecord R;
+  R.Name = Name;
+  R.Depth = Depth;
+  R.StartNs = StartNs;
+  R.WallNs = nowNanos() - StartNs;
+  R.BitOps = BitVector::opCount() - StartOps;
+  if (Ctx->Depth > 0)
+    --Ctx->Depth;
+  if (Ctx->Report)
+    Ctx->Report->addSpan(R);
+  if (Ctx->Sink)
+    Ctx->Sink->onSpan(R);
+}
+} // namespace
+
+detail::TraceContext *detail::current() { return ActiveCtx; }
+void detail::install(TraceContext *Ctx) { ActiveCtx = Ctx; }
+
+//===----------------------------------------------------------------------===//
+// Spans.
+//===----------------------------------------------------------------------===//
+
+TraceSpan::TraceSpan(const char *Name) : Name(Name) {
+  Active = openSpan(StartNs, StartOps, Depth);
+}
+
+void TraceSpan::closeNow() {
+  if (!Active)
+    return;
+  Active = false;
+  closeSpan(Name, StartNs, StartOps, Depth);
+}
+
+ManualSpan::ManualSpan(const char *Name) : Name(Name) {
+  Active = openSpan(StartNs, StartOps, Depth);
+}
+
+void ManualSpan::close() {
+  if (!Active)
+    return;
+  Active = false;
+  closeSpan(Name, StartNs, StartOps, Depth);
+}
+
+void observe::addCounter(const char *Name, std::uint64_t Value) {
+  detail::TraceContext *Ctx = ActiveCtx;
+  if (Ctx && Ctx->Report)
+    Ctx->Report->addCounter(Name, Value);
+}
+
+#endif // IPSE_OBSERVE_OFF

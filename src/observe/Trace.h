@@ -1,0 +1,214 @@
+//===- observe/Trace.h - Phase tracing: spans, sinks, scopes ----*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability layer.  The paper's whole
+/// evaluation is asymptotic ("O(N + E) bit-vector steps"), so attributing
+/// *measured* cost to pipeline phases — parse → graphs → condensation →
+/// RMOD → IMOD+ → GMOD → report — is what makes the reproduction's
+/// scalability claims checkable.  Three pieces:
+///
+///  - TraceSpan: an RAII scoped timer.  Opening one captures a steady
+///    clock and the global BitVector word-operation count; closing one
+///    emits a SpanRecord (name, nesting depth, wall time, word-op delta)
+///    to the thread's active trace context.  Spans nest; engines open
+///    them unconditionally at phase granularity.
+///
+///  - TraceScope: installs a per-thread context (a CostReport to
+///    accumulate into and/or a TraceSink to stream to) for its lifetime.
+///    Without an installed context a TraceSpan is a few loads and a
+///    branch; results are bit-for-bit identical either way because spans
+///    only observe.
+///
+///  - TraceSink: where closed spans stream.  JsonLinesSink writes one
+///    flat JSON object per span (the `--trace-out` file format).
+///
+/// Compile-out: configuring with -DIPSE_OBSERVE=OFF defines
+/// IPSE_OBSERVE_OFF and every construct here becomes an empty inline —
+/// zero code in the hot loops, results unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_OBSERVE_TRACE_H
+#define IPSE_OBSERVE_TRACE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ipse {
+namespace observe {
+
+class CostReport;
+
+/// True when the observability layer is compiled in (IPSE_OBSERVE=ON).
+constexpr bool enabled() {
+#ifdef IPSE_OBSERVE_OFF
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// One closed span, as delivered to sinks and cost reports.
+struct SpanRecord {
+  const char *Name = "";      ///< Phase name (static string).
+  unsigned Depth = 0;         ///< Nesting depth at open time (0 = root).
+  std::uint64_t StartNs = 0;  ///< Steady-clock offset from process start.
+  std::uint64_t WallNs = 0;   ///< Wall time between open and close.
+  std::uint64_t BitOps = 0;   ///< BitVector word operations in the span.
+};
+
+/// Receives closed spans.  Implementations must be safe to call from the
+/// thread that owns the installed TraceScope (one sink may be installed
+/// on several threads at once — JsonLinesSink locks internally).
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void onSpan(const SpanRecord &R) = 0;
+};
+
+/// Streams spans as newline-delimited flat JSON objects:
+///   {"span":"gmod","depth":1,"start_ns":..,"wall_ns":..,"bv_ops":..}
+/// Thread-safe (one mutex around the write).
+class JsonLinesSink : public TraceSink {
+public:
+  /// Writes to \p Out; the caller keeps ownership of the stream unless
+  /// \p Close is set (the open() path).
+  explicit JsonLinesSink(std::FILE *Out, bool Close = false)
+      : Out(Out), CloseOnDestroy(Close) {}
+  ~JsonLinesSink() override;
+
+  /// Opens \p Path for writing.  Returns nullptr (and fills \p ErrorOut)
+  /// when the file cannot be created.
+  static std::unique_ptr<JsonLinesSink> open(const std::string &Path,
+                                             std::string &ErrorOut);
+
+  void onSpan(const SpanRecord &R) override;
+
+private:
+  std::mutex M;
+  std::FILE *Out = nullptr;
+  bool CloseOnDestroy = false;
+};
+
+/// Nanoseconds on the steady clock since an arbitrary process-local epoch.
+std::uint64_t nowNanos();
+
+#ifndef IPSE_OBSERVE_OFF
+
+namespace detail {
+/// The per-thread trace context a TraceScope installs.
+struct TraceContext {
+  CostReport *Report = nullptr;
+  TraceSink *Sink = nullptr;
+  unsigned Depth = 0;
+  TraceContext *Saved = nullptr; ///< The context this one shadows.
+};
+
+/// The calling thread's active context, or nullptr.
+TraceContext *current();
+/// Installs \p Ctx (returns what it shadowed); pass nullptr to uninstall.
+void install(TraceContext *Ctx);
+} // namespace detail
+
+/// Installs a trace context on the constructing thread for the scope's
+/// lifetime.  Scopes nest (the previous context is restored on
+/// destruction); spans record into the innermost scope only.
+class TraceScope {
+public:
+  explicit TraceScope(CostReport *Report, TraceSink *Sink = nullptr) {
+    Ctx.Report = Report;
+    Ctx.Sink = Sink;
+    Ctx.Saved = detail::current();
+    detail::install(&Ctx);
+  }
+  ~TraceScope() { detail::install(Ctx.Saved); }
+
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  detail::TraceContext Ctx;
+};
+
+/// RAII phase timer.  \p Name must be a static string (it is stored by
+/// pointer).  Cheap when no TraceScope is active on this thread.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name);
+  ~TraceSpan() { closeNow(); }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Closes the span early (the destructor becomes a no-op).
+  void closeNow();
+
+private:
+  const char *Name;
+  std::uint64_t StartNs = 0;
+  std::uint64_t StartOps = 0;
+  unsigned Depth = 0;
+  bool Active = false;
+};
+
+/// A span with explicit open/close, for regions that cross a constructor's
+/// member-initializer list (open it as an earlier member, close it in the
+/// constructor body).  Closes on destruction if still open.
+class ManualSpan {
+public:
+  explicit ManualSpan(const char *Name);
+  ~ManualSpan() { close(); }
+
+  ManualSpan(const ManualSpan &) = delete;
+  ManualSpan &operator=(const ManualSpan &) = delete;
+
+  void close();
+
+private:
+  const char *Name;
+  std::uint64_t StartNs = 0;
+  std::uint64_t StartOps = 0;
+  unsigned Depth = 0;
+  bool Active = false;
+};
+
+/// Adds \p Value to the named per-run counter of the innermost scope's
+/// CostReport (e.g. boolean-step totals the solvers return by value).
+/// No-op without an active scope.
+void addCounter(const char *Name, std::uint64_t Value);
+
+#else // IPSE_OBSERVE_OFF
+
+class TraceScope {
+public:
+  explicit TraceScope(CostReport *, TraceSink * = nullptr) {}
+};
+
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *) {}
+  void closeNow() {}
+};
+
+class ManualSpan {
+public:
+  explicit ManualSpan(const char *) {}
+  void close() {}
+};
+
+inline void addCounter(const char *, std::uint64_t) {}
+
+#endif // IPSE_OBSERVE_OFF
+
+} // namespace observe
+} // namespace ipse
+
+#endif // IPSE_OBSERVE_TRACE_H

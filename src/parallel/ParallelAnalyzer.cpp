@@ -31,18 +31,31 @@ ParallelAnalyzer::ParallelAnalyzer(const ir::Program &P,
 }
 
 void ParallelAnalyzer::run() {
-  Local = std::make_unique<analysis::LocalEffects>(P, Masks, Options.Kind);
-
-  BitVector FormalBits(P.numVars());
-  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
-    for (ir::VarId F : P.proc(ir::ProcId(I)).Formals)
-      if (Local->formalBit(P, F))
-        FormalBits.set(F.index());
-  RMod = solveRModLevels(P, BG, FormalBits, Pool);
-
-  IModPlus = computeIModPlusParallel(P, *Local, RMod.ModifiedFormals, Pool);
-
-  GMod = solveGModLevels(P, CG, Masks, IModPlus, Pool, &Stats);
+  GraphsSpan.close();
+  const std::uint64_t IdleBefore = Pool.idleNanos();
+  {
+    observe::TraceSpan Span("local");
+    Local = std::make_unique<analysis::LocalEffects>(P, Masks, Options.Kind);
+  }
+  {
+    observe::TraceSpan Span("rmod");
+    BitVector FormalBits(P.numVars());
+    for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+      for (ir::VarId F : P.proc(ir::ProcId(I)).Formals)
+        if (Local->formalBit(P, F))
+          FormalBits.set(F.index());
+    RMod = solveRModLevels(P, BG, FormalBits, Pool);
+    observe::addCounter("rmod.boolean_steps", RMod.BooleanSteps);
+  }
+  {
+    observe::TraceSpan Span("imodplus");
+    IModPlus = computeIModPlusParallel(P, *Local, RMod.ModifiedFormals, Pool);
+  }
+  {
+    observe::TraceSpan Span("gmod");
+    GMod = solveGModLevels(P, CG, Masks, IModPlus, Pool, &Stats);
+  }
+  observe::addCounter("pool.idle_ns", Pool.idleNanos() - IdleBefore);
 }
 
 std::string ParallelAnalyzer::setToString(const BitVector &Set) const {

@@ -34,6 +34,7 @@
 #include "graph/CallGraph.h"
 #include "ir/AliasInfo.h"
 #include "ir/Program.h"
+#include "observe/Trace.h"
 #include "parallel/ParallelSolvers.h"
 #include "parallel/ThreadPool.h"
 
@@ -116,6 +117,9 @@ private:
 
   const ir::Program &P;
   ParallelAnalyzerOptions Options;
+  // Declared before the graphs so the "graphs" span covers their
+  // member-initializer construction; closed at the top of run().
+  observe::ManualSpan GraphsSpan{"graphs"};
   analysis::VarMasks Masks;
   graph::CallGraph CG;
   graph::BindingGraph BG;

@@ -8,6 +8,7 @@
 #include "parallel/ParallelSolvers.h"
 
 #include "analysis/IModPlus.h"
+#include "observe/Trace.h"
 #include "parallel/LevelSchedule.h"
 
 #include <algorithm>
@@ -136,6 +137,7 @@ parallel::solveGModLevels(const ir::Program &P, const graph::CallGraph &CG,
                           const std::vector<BitVector> &IModPlus,
                           ThreadPool &Pool, GModScheduleStats *Stats) {
   const Digraph &G = CG.graph();
+  observe::ManualSpan CondenseSpan("gmod.condense");
   SccDecomposition Sccs = computeSccs(G);
 
   const std::size_t V = P.numVars();
@@ -231,6 +233,7 @@ parallel::solveGModLevels(const ir::Program &P, const graph::CallGraph &CG,
   };
 
   if (Pool.threads() == 1) {
+    CondenseSpan.close();
     // Reverse-topological component ids make the ascending sweep a valid
     // one-lane schedule; no buckets or indirect calls (see solveRModLevels).
     for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C)
@@ -239,6 +242,7 @@ parallel::solveGModLevels(const ir::Program &P, const graph::CallGraph &CG,
   }
 
   LevelSchedule Sched = computeLevelSchedule(G, Sccs);
+  CondenseSpan.close();
   if (Stats) {
     Stats->Levels = Sched.numLevels();
     Stats->WidestLevel = 0;
@@ -253,6 +257,10 @@ parallel::solveGModLevels(const ir::Program &P, const graph::CallGraph &CG,
     Kernel((*Bucket)[TaskI]);
   };
   for (std::size_t L = 0; L != Sched.numLevels(); ++L) {
+    // Per-level span on the coordinating thread: wall time is the level's
+    // barrier-to-barrier latency, bv_ops the workers' combined word work
+    // (the barrier orders their counter writes before the close).
+    observe::TraceSpan LevelSpan("gmod.level");
     Bucket = &Sched.level(L);
     Pool.parallelFor(Bucket->size(), Task);
   }

@@ -7,6 +7,8 @@
 
 #include "parallel/ThreadPool.h"
 
+#include "observe/Trace.h"
+
 #include <cassert>
 
 using namespace ipse;
@@ -24,10 +26,10 @@ ThreadPool::ThreadPool(unsigned Threads)
     : Lanes(Threads < 1 ? 1 : Threads),
       // A single lane never touches the queue (parallelFor degenerates to
       // an inline loop), so don't pay its slot array either.
-      Tasks(Lanes > 1 ? QueueCapacity : 1) {
+      Tasks(Lanes > 1 ? QueueCapacity : 1), IdleNs(Lanes - 1) {
   Workers.reserve(Lanes - 1);
   for (unsigned I = 1; I < Lanes; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I - 1); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -43,9 +45,21 @@ void ThreadPool::runIndex(std::size_t Index) {
     AllDone.notify_all();
 }
 
-void ThreadPool::workerLoop() {
-  while (std::optional<std::size_t> Index = Tasks.pop())
+void ThreadPool::workerLoop(unsigned Worker) {
+  for (;;) {
+    // Idle = blocked in pop().  The final pop (queue closed) also counts,
+    // but engines read idleNanos() deltas around a run, before shutdown.
+    std::uint64_t T0 = 0;
+    if constexpr (observe::enabled())
+      T0 = observe::nowNanos();
+    std::optional<std::size_t> Index = Tasks.pop();
+    if constexpr (observe::enabled())
+      IdleNs[Worker].fetch_add(observe::nowNanos() - T0,
+                               std::memory_order_relaxed);
+    if (!Index)
+      break;
     runIndex(*Index);
+  }
 }
 
 void ThreadPool::parallelFor(std::size_t NumTasks,

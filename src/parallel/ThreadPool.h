@@ -34,6 +34,7 @@
 
 #include "support/MpmcQueue.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -57,6 +58,17 @@ public:
 
   /// Number of executing lanes (>= 1).
   unsigned threads() const { return Lanes; }
+
+  /// Total nanoseconds the worker lanes (not lane 0) have spent blocked
+  /// waiting for tasks since construction.  Monotone; engines report the
+  /// delta across a run.  Always 0 when the observability layer is
+  /// compiled out (IPSE_OBSERVE=OFF) or at K = 1.
+  std::uint64_t idleNanos() const {
+    std::uint64_t Total = 0;
+    for (const auto &N : IdleNs)
+      Total += N.load(std::memory_order_relaxed);
+    return Total;
+  }
 
   /// Invokes Fn(I) for every I in [0, NumTasks), distributing indices
   /// across the pool, and returns once all have completed.  Fn must write
@@ -86,13 +98,15 @@ private:
     std::size_t Remaining = 0; ///< Indices not yet finished.
   };
 
-  void workerLoop();
+  void workerLoop(unsigned Worker);
   /// Runs one index and, if it was the last, releases the barrier.
   void runIndex(std::size_t Index);
 
   unsigned Lanes = 1;
   MpmcQueue<std::size_t> Tasks;
   std::vector<std::thread> Workers;
+  /// Per-worker idle accumulators (size Lanes - 1); see idleNanos().
+  std::vector<std::atomic<std::uint64_t>> IdleNs;
 
   std::mutex M;
   std::condition_variable AllDone;

@@ -8,6 +8,8 @@
 #include "service/AnalysisService.h"
 
 #include "incremental/AnalysisSession.h"
+#include "observe/Metrics.h"
+#include "observe/Trace.h"
 #include "service/Json.h"
 
 #include <future>
@@ -44,6 +46,7 @@ AnalysisService::AnalysisService(ir::Program Initial, ServiceOptions Options)
                                                            SO);
   Current.store(AnalysisSnapshot::capture(*Session, Session->generation()),
                 std::memory_order_release);
+  LastPublishNs.store(observe::nowNanos(), std::memory_order_relaxed);
 
   Writer = std::thread([this] { writerLoop(); });
   for (unsigned I = 0; I != Opts.Workers; ++I)
@@ -83,6 +86,7 @@ void AnalysisService::setPublishHook(PublishFn NewHook) {
 
 void AnalysisService::publish(std::shared_ptr<const AnalysisSnapshot> Snap) {
   Current.store(Snap, std::memory_order_release);
+  LastPublishNs.store(observe::nowNanos(), std::memory_order_relaxed);
   CntPublished.fetch_add(1, std::memory_order_relaxed);
   PublishFn H;
   {
@@ -104,11 +108,17 @@ bool AnalysisService::submit(Pending P, bool Blocking) {
   // `stats` is served inline: it reads only atomics, and keeping it out
   // of the queues means it still answers when the service is saturated —
   // exactly when you want to see the counters.
-  if (P.Cmd.Kind == ScriptCommand::Op::Stats) {
+  if (P.Cmd.Kind == ScriptCommand::Op::Stats ||
+      P.Cmd.Kind == ScriptCommand::Op::Metrics) {
     Response R;
     R.Id = P.Id;
     R.Generation = generation();
-    R.Result = statsJson();
+    if (P.Cmd.Kind == ScriptCommand::Op::Stats) {
+      R.Result = statsJson();
+    } else {
+      refreshGauges();
+      R.Result = observe::MetricsRegistry::global().toJson();
+    }
     R.ResultIsJson = true;
     CntQueries.fetch_add(1, std::memory_order_relaxed);
     P.Done(std::move(R));
@@ -214,9 +224,15 @@ void AnalysisService::writerLoop() {
     std::shared_ptr<const AnalysisSnapshot> Snap =
         Current.load(std::memory_order_acquire);
     if (AnyApplied) {
+      const std::uint64_t T0 = observe::nowNanos();
       // capture() flushes; this is the batch's one solve.
       Snap = AnalysisSnapshot::capture(*Session, Session->generation());
       publish(Snap);
+      observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
+      Reg.histogram("service.flush_us")
+          .record((observe::nowNanos() - T0) / 1000);
+      Reg.histogram("service.flush_batch").record(Batch.size());
+      refreshGauges();
     }
 
     for (std::size_t I = 0; I != Batch.size(); ++I) {
@@ -302,6 +318,19 @@ void AnalysisService::workerLoop() {
 // Observability.
 //===----------------------------------------------------------------------===//
 
+void AnalysisService::refreshGauges() const {
+  observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
+  Reg.gauge("service.write_queue_depth")
+      .set(static_cast<std::int64_t>(WriteQueue.size()));
+  Reg.gauge("service.read_queue_depth")
+      .set(static_cast<std::int64_t>(ReadQueue.size()));
+  Reg.gauge("service.snapshot_age_us")
+      .set(static_cast<std::int64_t>(
+          (observe::nowNanos() -
+           LastPublishNs.load(std::memory_order_relaxed)) /
+          1000));
+}
+
 ServiceCounters AnalysisService::counters() const {
   ServiceCounters C;
   C.Edits = CntEdits.load(std::memory_order_relaxed);
@@ -316,6 +345,7 @@ ServiceCounters AnalysisService::counters() const {
 }
 
 std::string AnalysisService::statsJson() const {
+  refreshGauges();
   ServiceCounters C = counters();
   JsonWriter W;
   W.field("gen", generation());

@@ -179,6 +179,10 @@ private:
   void workerLoop();
   void statsLoop();
   void publish(std::shared_ptr<const AnalysisSnapshot> Snap);
+  /// Pushes current queue depths and snapshot age into the process-wide
+  /// observe::MetricsRegistry (called per writer batch and on demand by
+  /// the stats / metrics endpoints).
+  void refreshGauges() const;
   /// Routes one request; \p Blocking selects push vs. tryPush.
   bool submit(Pending P, bool Blocking);
   std::uint64_t elapsedMicros(const Pending &P) const;
@@ -200,6 +204,8 @@ private:
       CntRejected{0}, CntReadBatches{0}, CntBatchedReads{0},
       CntDedupSaved{0}, CntPublished{0};
   LatencyHistogram ReadLat, WriteLat;
+  /// nowNanos() of the last publish (snapshot-age gauge input).
+  std::atomic<std::uint64_t> LastPublishNs{0};
 
   std::thread StatsThread;
   std::mutex StatsMutex;

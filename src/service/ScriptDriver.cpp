@@ -59,6 +59,7 @@ constexpr OpSpec Specs[] = {
     {"use", ScriptCommand::Op::Use, 2},
     {"check", ScriptCommand::Op::Check, 0},
     {"stats", ScriptCommand::Op::Stats, 0},
+    {"metrics", ScriptCommand::Op::Metrics, 0},
 };
 
 unsigned parseIndex(const std::string &S) {

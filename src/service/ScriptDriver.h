@@ -28,6 +28,7 @@
 ///   mod <proc> <stmtIdx> | use <proc> <stmtIdx>
 ///   check                                 compare against fresh batch runs
 ///   stats                                 driver-dependent counters
+///   metrics                               process-wide metrics registry JSON
 ///
 /// Parsing yields a ScriptCommand with *raw* operands; name resolution is
 /// deferred to execution time because ids shift under edits — the service
@@ -90,7 +91,8 @@ struct ScriptCommand {
     Mod,
     Use,
     Check,
-    Stats
+    Stats,
+    Metrics
   };
   Op Kind = Op::Check;
   std::vector<std::string> Args;

@@ -27,16 +27,14 @@
 #include "analysis/LocalEffects.h"
 #include "analysis/MultiLevelGMod.h"
 #include "analysis/RMod.h"
-#include "analysis/SideEffectAnalyzer.h"
 #include "analysis/VarMasks.h"
+#include "api/Ipse.h"
 #include "baselines/IterativeSolver.h"
 #include "baselines/SwiftStyleSolver.h"
 #include "baselines/WorklistSolver.h"
 #include "graph/BindingGraph.h"
 #include "graph/CallGraph.h"
-#include "incremental/AnalysisSession.h"
 #include "ir/Program.h"
-#include "parallel/ParallelAnalyzer.h"
 
 #include <functional>
 #include <vector>
@@ -115,24 +113,34 @@ inline const std::vector<SolverEngine> &allSolverEngines() {
                    return analysis::solveMultiLevelCombined(P, F.CG, F.Masks,
                                                             F.Plus);
                  }});
-    E.push_back({"analyzer", false, [](const Program &P, EffectKind K) {
-                   analysis::AnalyzerOptions Opts;
-                   Opts.Kind = K;
-                   return analysis::SideEffectAnalyzer(P, Opts).gmodResult();
+    // The remaining engines answer through the ipse::Analyzer facade —
+    // the public path every consumer takes.
+    auto viaFacade = [](ipse::AnalysisOptions Opts, const Program &P,
+                        EffectKind K) {
+      return ipse::Analyzer(Opts).analyze(P).gmodResult(K);
+    };
+    E.push_back({"analyzer", false, [viaFacade](const Program &P,
+                                                EffectKind K) {
+                   ipse::AnalysisOptions Opts;
+                   Opts.Backend = ipse::AnalysisOptions::Engine::Sequential;
+                   return viaFacade(Opts, P, K);
                  }});
-    E.push_back({"incremental", false, [](const Program &P, EffectKind K) {
-                   incremental::AnalysisSession S(P);
-                   return S.gmodResult(K);
+    E.push_back({"incremental", false, [viaFacade](const Program &P,
+                                                   EffectKind K) {
+                   ipse::AnalysisOptions Opts;
+                   Opts.Backend = ipse::AnalysisOptions::Engine::Session;
+                   return viaFacade(Opts, P, K);
                  }});
     for (unsigned Threads : {1u, 2u, 4u}) {
       const char *Name = Threads == 1   ? "parallel-k1"
                          : Threads == 2 ? "parallel-k2"
                                         : "parallel-k4";
-      E.push_back({Name, false, [Threads](const Program &P, EffectKind K) {
-                     parallel::ParallelAnalyzerOptions Opts;
-                     Opts.Kind = K;
+      E.push_back({Name, false, [viaFacade, Threads](const Program &P,
+                                                     EffectKind K) {
+                     ipse::AnalysisOptions Opts;
+                     Opts.Backend = ipse::AnalysisOptions::Engine::Parallel;
                      Opts.Threads = Threads;
-                     return parallel::ParallelAnalyzer(P, Opts).gmodResult();
+                     return viaFacade(Opts, P, K);
                    }});
     }
     return E;

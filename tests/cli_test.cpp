@@ -10,10 +10,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "observe/Trace.h"
+
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 namespace {
@@ -162,6 +165,97 @@ TEST(Cli, SessionOnGeneratedProgram) {
 TEST(Cli, SessionRejectsBadScript) {
   std::string Out;
   EXPECT_EQ(run("printf 'gmod nope\\n' | " + cli() + " session -", Out), 1);
+}
+
+TEST(Cli, ReportEnginesAreByteIdentical) {
+  std::string Seq, Par, Sess;
+  ASSERT_EQ(run(cli() + " report --rmod " + corpus("tower.mp"), Seq), 0);
+  ASSERT_EQ(run(cli() + " report --rmod --parallel=2 " + corpus("tower.mp"),
+                Par),
+            0);
+  ASSERT_EQ(run(cli() + " report --rmod --engine=session " +
+                    corpus("tower.mp"),
+                Sess),
+            0);
+  EXPECT_EQ(Seq, Par);
+  EXPECT_EQ(Seq, Sess);
+}
+
+TEST(Cli, ReportProfileAppendsPhaseTable) {
+  for (const char *Flags : {"--profile", "--profile --parallel=2",
+                            "--profile --engine=session"}) {
+    std::string Out;
+    ASSERT_EQ(run(cli() + " report " + Flags + " " + corpus("tower.mp"), Out),
+              0)
+        << Flags;
+    // The report itself is unchanged and the profile block follows it.
+    EXPECT_NE(Out.find("call sites:"), std::string::npos) << Out;
+    std::size_t At = Out.find("profile:");
+    ASSERT_NE(At, std::string::npos) << Flags << Out;
+    if (ipse::observe::enabled()) {
+      EXPECT_NE(Out.find("parse", At), std::string::npos) << Flags << Out;
+      EXPECT_NE(Out.find("report", At), std::string::npos) << Flags << Out;
+      EXPECT_NE(Out.find("bv_ops", At), std::string::npos) << Flags << Out;
+    }
+  }
+}
+
+TEST(Cli, ReportTraceOutStreamsJsonLines) {
+  std::string Path = testing::TempDir() + "/ipse_cli_trace.jsonl";
+  std::string Out;
+  ASSERT_EQ(run(cli() + " report --trace-out=" + Path + " " +
+                    corpus("tower.mp"),
+                Out),
+            0);
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string First;
+  std::getline(In, First);
+  if (ipse::observe::enabled()) {
+    EXPECT_EQ(First.find("{\"span\":\""), 0u) << First;
+  } else {
+    EXPECT_TRUE(First.empty());
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(Cli, ReportTraceOutUnwritableFails) {
+  std::string Out;
+  EXPECT_EQ(run(cli() + " report --trace-out=/nonexistent-dir/t.jsonl " +
+                    corpus("tower.mp"),
+                Out),
+            1);
+}
+
+TEST(Cli, ReportUnknownEngineFails) {
+  std::string Out;
+  EXPECT_EQ(run(cli() + " report --engine=quantum " + corpus("tower.mp"),
+                Out),
+            2);
+}
+
+TEST(Cli, SessionMetricsVerb) {
+  std::string Out;
+  ASSERT_EQ(run("printf 'gen procs=6 globals=3 seed=2\\nmetrics\\n' | " +
+                    cli() + " session -",
+                Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("\"counters\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"histograms\""), std::string::npos) << Out;
+}
+
+TEST(Cli, SessionProfile) {
+  std::string Out;
+  ASSERT_EQ(run("printf 'gen procs=6 globals=3 seed=2\\ngmod p0\\n' | " +
+                    cli() + " session --profile -",
+                Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("profile:"), std::string::npos) << Out;
+  if (ipse::observe::enabled()) {
+    EXPECT_NE(Out.find("flush.full-rebuild"), std::string::npos) << Out;
+  }
 }
 
 TEST(Cli, ServeOverStdio) {

@@ -29,21 +29,15 @@
 #include "analysis/LocalEffects.h"
 #include "analysis/MultiLevelGMod.h"
 #include "analysis/RMod.h"
-#include "analysis/Report.h"
-#include "analysis/SideEffectAnalyzer.h"
+#include "api/Ipse.h"
 #include "baselines/IterativeSolver.h"
 #include "baselines/SwiftStyleSolver.h"
 #include "baselines/WorklistSolver.h"
 #include "frontend/Frontend.h"
 #include "graph/Dot.h"
 #include "graph/Reachability.h"
-#include "incremental/AnalysisSession.h"
-#include "parallel/ParallelAnalyzer.h"
-#include "parallel/ParallelReport.h"
-#include "service/AnalysisService.h"
 #include "service/ScriptDriver.h"
 #include "service/Server.h"
-#include "synth/ProgramGen.h"
 #include "synth/SourceGen.h"
 
 #include <cstdio>
@@ -65,18 +59,26 @@ namespace {
   std::fprintf(
       stderr,
       "usage: ipse-cli <command> [options] [file.mp]\n"
-      "  report [--rmod] [--no-use] [--parallel[=K]] <file>\n"
+      "  report [--rmod] [--no-use] [--engine=E] [--parallel[=K]]\n"
+      "         [--profile] [--trace-out=FILE] <file>\n"
       "                                      MOD/USE summary report\n"
-      "                                      (--parallel: level-scheduled\n"
-      "                                      engine on K lanes, default 4;\n"
-      "                                      output is byte-identical)\n"
+      "                                      (--engine: sequential, parallel\n"
+      "                                      or session; --parallel[=K]:\n"
+      "                                      the parallel engine on K lanes,\n"
+      "                                      default 4; the report is byte-\n"
+      "                                      identical on every engine.\n"
+      "                                      --profile appends per-phase\n"
+      "                                      wall time and bit-vector op\n"
+      "                                      counts; --trace-out streams\n"
+      "                                      spans as JSON lines)\n"
       "  dot [--beta] <file>                 call graph (or beta) as dot\n"
       "  stats <file>                        program and graph sizes\n"
       "  check <file>                        run all solvers and verify\n"
       "  generate [--seed N] [--procs N] [--globals N] [--depth N]\n"
       "                                      emit a random MiniProc program\n"
       "  roundtrip <file>                    compile -> emit -> recompile\n"
-      "  session <script>                    drive an incremental analysis\n"
+      "  session [--profile] [--trace-out=FILE] <script>\n"
+      "                                      drive an incremental analysis\n"
       "                                      session ('-' reads stdin; see\n"
       "                                      'session' section of README)\n"
       "  serve (--program <file> | --gen k=v[,k=v...])\n"
@@ -125,27 +127,87 @@ Program compileOrDie(const std::string &Path) {
   return std::move(*R.Program);
 }
 
+/// The engine / observability flags shared by `report` and `session`: one
+/// ipse::AnalysisOptions plus the owned `--trace-out` sink feeding it.
+struct CommonFlags {
+  ipse::AnalysisOptions Opts;
+  std::unique_ptr<observe::JsonLinesSink> TraceOut;
+
+  /// Consumes --engine=E / --parallel[=K] / --profile / --trace-out=FILE.
+  /// Returns false when \p A is some other argument.  Exits on an
+  /// unwritable trace file or unknown engine name.
+  bool parse(const std::string &A) {
+    using Engine = ipse::AnalysisOptions::Engine;
+    if (unsigned K = parseParallelFlag(A)) {
+      Opts.Backend = Engine::Parallel;
+      Opts.Threads = K;
+      return true;
+    }
+    const std::string EnginePrefix = "--engine=";
+    if (A.compare(0, EnginePrefix.size(), EnginePrefix) == 0) {
+      std::string Name = A.substr(EnginePrefix.size());
+      if (Name == "sequential")
+        Opts.Backend = Engine::Sequential;
+      else if (Name == "parallel") {
+        Opts.Backend = Engine::Parallel;
+        if (Opts.Threads < 2)
+          Opts.Threads = 4;
+      } else if (Name == "session")
+        Opts.Backend = Engine::Session;
+      else {
+        std::fprintf(stderr, "error: unknown engine '%s'\n", Name.c_str());
+        std::exit(2);
+      }
+      return true;
+    }
+    if (A == "--profile") {
+      Opts.Profile = true;
+      return true;
+    }
+    const std::string TracePrefix = "--trace-out=";
+    if (A.compare(0, TracePrefix.size(), TracePrefix) == 0) {
+      std::string Error;
+      TraceOut = observe::JsonLinesSink::open(A.substr(TracePrefix.size()),
+                                              Error);
+      if (!TraceOut) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        std::exit(1);
+      }
+      Opts.Sink = TraceOut.get();
+      return true;
+    }
+    return false;
+  }
+};
+
 int cmdReport(const std::vector<std::string> &Args) {
   analysis::ReportOptions Options;
-  unsigned Parallel = 0;
+  CommonFlags F;
   std::string Path;
   for (const std::string &A : Args) {
     if (A == "--rmod")
       Options.IncludeRMod = true;
     else if (A == "--no-use")
       Options.IncludeUse = false;
-    else if (unsigned K = parseParallelFlag(A))
-      Parallel = K;
+    else if (F.parse(A))
+      ;
     else
       Path = A;
   }
   if (Path.empty())
     usage();
-  Program P = compileOrDie(Path);
-  std::string Text = Parallel
-                         ? parallel::makeReportParallel(P, Options, Parallel)
-                         : analysis::makeReport(P, Options);
-  std::fputs(Text.c_str(), stdout);
+  F.Opts.TrackUse = Options.IncludeUse;
+  ipse::Analyzer An(F.Opts);
+  ipse::ReportRun Run = An.reportSource(readFile(Path), Options);
+  if (!Run.Ok) {
+    std::fprintf(stderr, "%s", Run.Diagnostics.c_str());
+    return 1;
+  }
+  std::fputs(Run.Output.c_str(), stdout);
+  if (F.Opts.Profile) {
+    std::fputs("profile:\n", stdout);
+    std::fputs(Run.Costs.toText().c_str(), stdout);
+  }
   return 0;
 }
 
@@ -231,9 +293,11 @@ int cmdCheck(const std::vector<std::string> &Args) {
   baselines::IterativeResult Work =
       baselines::solveWorklist(P, CG, Masks, Local);
   baselines::SwiftResult Swift = baselines::solveSwift(P, CG, Masks, Local);
-  parallel::ParallelAnalyzerOptions PAOpts;
-  PAOpts.Threads = 2;
-  parallel::ParallelAnalyzer Par(P, PAOpts);
+  ipse::AnalysisOptions ParOpts;
+  ParOpts.Backend = ipse::AnalysisOptions::Engine::Parallel;
+  ParOpts.Threads = 2;
+  ParOpts.TrackUse = false;
+  ipse::Analysis Par = ipse::Analyzer(ParOpts).analyze(P);
 
   bool Ok = true;
   for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
@@ -241,7 +305,8 @@ int cmdCheck(const std::vector<std::string> &Args) {
     Ok &= Rep.GMod[I] == Oracle.GMod.GMod[I];
     Ok &= Work.GMod.GMod[I] == Oracle.GMod.GMod[I];
     Ok &= Swift.GMod.GMod[I] == Oracle.GMod.GMod[I];
-    Ok &= Par.gmodResult().GMod[I] == Oracle.GMod.GMod[I];
+    Ok &= Par.gmodResult(analysis::EffectKind::Mod).GMod[I] ==
+          Oracle.GMod.GMod[I];
   }
   std::printf("%zu procedures, 6 solvers: %s\n", P.numProcs(),
               Ok ? "all agree" : "DISAGREEMENT");
@@ -300,105 +365,41 @@ int cmdRoundtrip(const std::vector<std::string> &Args) {
 //===----------------------------------------------------------------------===//
 // session: a line-oriented driver over incremental::AnalysisSession.
 //
-// The script grammar lives in service/ScriptDriver.h (shared with the
-// analysis service's request decoder); this command owns only what a
-// single-threaded scripted run needs — program seeding (load / gen),
-// SessionStats printing, and the process exit code.
+// The script grammar lives in service/ScriptDriver.h and the execution
+// loop in ipse::Analyzer::runSessionScript (shared with library users);
+// this command owns only argument parsing and the stdin special case.
 //===----------------------------------------------------------------------===//
 
-[[noreturn]] void scriptDie(unsigned LineNo, const std::string &Msg) {
-  std::fprintf(stderr, "session script line %u: %s\n", LineNo, Msg.c_str());
-  std::exit(1);
-}
-
-/// Parses `gen` operands (key=value tokens) into a generator config.
-synth::ProgramGenConfig parseGenSpec(const std::vector<std::string> &Args,
-                                     unsigned LineNo) {
-  synth::ProgramGenConfig Cfg;
-  for (const std::string &Arg : Args) {
-    std::size_t Eq = Arg.find('=');
-    if (Eq == std::string::npos)
-      throw service::ScriptError{LineNo, "'gen' operands are key=value"};
-    std::string Key = Arg.substr(0, Eq);
-    unsigned Val = static_cast<unsigned>(std::atoi(Arg.c_str() + Eq + 1));
-    if (Key == "procs")
-      Cfg.NumProcs = Val;
-    else if (Key == "globals")
-      Cfg.NumGlobals = Val;
-    else if (Key == "seed")
-      Cfg.Seed = Val;
-    else if (Key == "depth")
-      Cfg.MaxNestDepth = Val;
-    else
-      throw service::ScriptError{LineNo, "unknown 'gen' key '" + Key + "'"};
-  }
-  return Cfg;
-}
-
-void printSessionStats(const incremental::SessionStats &St) {
-  std::printf("edits %llu  flushes %llu  effect-only %llu  intra-scc %llu"
-              "  recondense %llu  full-rebuild %llu  components %llu"
-              "  rmod-resolves %llu\n",
-              (unsigned long long)St.EditsApplied,
-              (unsigned long long)St.Flushes,
-              (unsigned long long)St.EffectOnlyFlushes,
-              (unsigned long long)St.IntraSccFlushes,
-              (unsigned long long)St.Recondensations,
-              (unsigned long long)St.FullRebuilds,
-              (unsigned long long)St.ComponentsRecomputed,
-              (unsigned long long)St.RModResolves);
-}
-
 int cmdSession(const std::vector<std::string> &Args) {
-  if (Args.size() != 1)
+  CommonFlags F;
+  std::string Path;
+  for (const std::string &A : Args) {
+    if (F.parse(A))
+      ;
+    else if (Path.empty())
+      Path = A;
+    else
+      usage();
+  }
+  if (Path.empty())
     usage();
   std::string Script;
-  if (Args[0] == "-") {
+  if (Path == "-") {
     std::ostringstream SS;
     SS << std::cin.rdbuf();
     Script = SS.str();
   } else {
-    Script = readFile(Args[0]);
+    Script = readFile(Path);
   }
 
-  std::optional<incremental::AnalysisSession> S;
-  auto session = [&](unsigned LineNo) -> incremental::AnalysisSession & {
-    if (!S)
-      scriptDie(LineNo, "no program loaded ('load' or 'gen' must come first)");
-    return *S;
-  };
-
-  bool AllChecksPassed = true;
-  std::istringstream Lines(Script);
-  std::string Line;
-  unsigned LineNo = 0;
-  while (std::getline(Lines, Line)) {
-    ++LineNo;
-    try {
-      std::optional<service::ScriptCommand> Cmd =
-          service::parseScriptLine(Line, LineNo);
-      if (!Cmd)
-        continue;
-      using Op = service::ScriptCommand::Op;
-      if (Cmd->Kind == Op::Load) {
-        S.emplace(compileOrDie(Cmd->Args[0]));
-      } else if (Cmd->Kind == Op::Gen) {
-        S.emplace(synth::generateProgram(parseGenSpec(Cmd->Args, LineNo)));
-      } else if (Cmd->Kind == Op::Stats) {
-        printSessionStats(session(LineNo).stats());
-      } else if (service::isEditCommand(Cmd->Kind)) {
-        service::applyEditCommand(session(LineNo), *Cmd);
-      } else {
-        service::SessionQueryTarget Target(session(LineNo));
-        service::QueryResult R = service::evalQueryCommand(Target, *Cmd);
-        std::printf("%s\n", R.Text.c_str());
-        AllChecksPassed &= R.CheckOk;
-      }
-    } catch (const service::ScriptError &E) {
-      scriptDie(E.LineNo, E.Message);
-    }
+  ipse::Analyzer An(F.Opts);
+  observe::CostReport Costs;
+  int Exit = An.runSessionScript(Script, stdout, &Costs);
+  if (F.Opts.Profile) {
+    std::fputs("profile:\n", stdout);
+    std::fputs(Costs.toText().c_str(), stdout);
   }
-  return AllChecksPassed ? 0 : 1;
+  return Exit;
 }
 
 //===----------------------------------------------------------------------===//
@@ -410,7 +411,7 @@ int cmdServe(const std::vector<std::string> &Args) {
   std::string ProgramPath, GenSpec;
   bool HavePort = false;
   std::uint16_t Port = 0;
-  service::ServiceOptions Opts;
+  ipse::AnalysisOptions Opts;
   for (std::size_t I = 0; I != Args.size(); ++I) {
     auto strArg = [&]() -> std::string {
       if (I + 1 >= Args.size())
@@ -428,17 +429,17 @@ int cmdServe(const std::vector<std::string> &Args) {
       HavePort = true;
       Port = static_cast<std::uint16_t>(intArg());
     } else if (Args[I] == "--workers")
-      Opts.Workers = intArg();
+      Opts.ServiceWorkers = intArg();
     else if (Args[I] == "--queue")
-      Opts.QueueCapacity = intArg();
+      Opts.ServiceQueueCapacity = intArg();
     else if (Args[I] == "--batch")
-      Opts.MaxBatch = intArg();
+      Opts.ServiceMaxBatch = intArg();
     else if (Args[I] == "--stats-ms")
-      Opts.StatsIntervalMs = intArg();
+      Opts.ServiceStatsIntervalMs = intArg();
     else if (Args[I] == "--no-use")
       Opts.TrackUse = false;
     else if (unsigned K = parseParallelFlag(Args[I]))
-      Opts.AnalysisThreads = K;
+      Opts.Threads = K;
     else
       usage();
   }
@@ -459,14 +460,16 @@ int cmdServe(const std::vector<std::string> &Args) {
       if (!Tok.empty())
         Tokens.push_back(Tok);
     try {
-      P = synth::generateProgram(parseGenSpec(Tokens, 0));
+      P = synth::generateProgram(ipse::parseGenSpec(Tokens, 0));
     } catch (const service::ScriptError &E) {
       std::fprintf(stderr, "error: %s\n", E.Message.c_str());
       return 2;
     }
   }
 
-  service::AnalysisService Svc(std::move(P), Opts);
+  std::unique_ptr<service::AnalysisService> SvcPtr =
+      ipse::Analyzer(Opts).serve(std::move(P));
+  service::AnalysisService &Svc = *SvcPtr;
   if (!HavePort) {
     service::serveFd(Svc, /*InFd=*/0, /*OutFd=*/1);
     return 0;
