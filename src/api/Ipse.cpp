@@ -9,6 +9,7 @@
 
 #include "frontend/Frontend.h"
 #include "observe/Metrics.h"
+#include "observe/Prometheus.h"
 #include "parallel/ParallelReport.h"
 #include "parallel/ThreadPool.h"
 #include "service/ScriptDriver.h"
@@ -328,8 +329,11 @@ int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
       } else if (Cmd->Kind == Op::Stats) {
         printSessionStats(session(LineNo).stats(), Out);
       } else if (Cmd->Kind == Op::Metrics) {
-        std::fprintf(Out, "%s\n",
-                     observe::MetricsRegistry::global().toJson().c_str());
+        observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
+        bool Prom = !Cmd->Args.empty() && Cmd->Args[0] == "--format=prom";
+        std::string Text = Prom ? observe::prometheusText(Reg) : Reg.toJson();
+        std::fprintf(Out, "%s%s", Text.c_str(),
+                     (!Text.empty() && Text.back() == '\n') ? "" : "\n");
       } else if (service::isEditCommand(Cmd->Kind)) {
         service::applyEditCommand(session(LineNo), *Cmd);
       } else {

@@ -27,8 +27,10 @@
 ///
 /// Observability is threaded through: set AnalysisOptions::Profile to
 /// collect a per-run observe::CostReport (phase wall time + bit-vector
-/// word ops), and/or AnalysisOptions::Sink to stream spans (e.g. an
-/// observe::JsonLinesSink for `--trace-out`).
+/// word ops), and/or AnalysisOptions::Sink to stream spans (an
+/// observe::JsonLinesSink or observe::ChromeTraceSink for `--trace-out`;
+/// serve() forwards the sink to the service, which tags spans with
+/// request trace ids).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -90,8 +92,9 @@ struct AnalysisOptions {
 
   /// \name Observability
   /// @{
-  /// Stream spans here during analyze()/report()/runSessionScript()
-  /// (not owned; may be null).
+  /// Stream spans here during analyze()/report()/runSessionScript(), and
+  /// from serve()'s worker/writer threads (request-tagged).  Not owned;
+  /// may be null.
   observe::TraceSink *Sink = nullptr;
   /// Collect a per-run observe::CostReport (Analysis::costs() /
   /// ReportRun::Costs).
@@ -135,6 +138,7 @@ struct AnalysisOptions {
     O.AnalysisThreads = Threads;
     O.StatsIntervalMs = ServiceStatsIntervalMs;
     O.StatsOut = ServiceStatsOut;
+    O.Sink = Sink;
     return O;
   }
   /// @}

@@ -47,6 +47,21 @@ LatencyHistogram &MetricsRegistry::histogram(std::string_view Name) {
   return *It->second;
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  MetricsSnapshot S;
+  S.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    S.Counters.emplace_back(Name, C->value());
+  S.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges.emplace_back(Name, G->value());
+  S.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms)
+    S.Histograms.emplace_back(Name, H.get());
+  return S;
+}
+
 std::string MetricsRegistry::toJson() const {
   std::lock_guard<std::mutex> Lock(M);
   std::string Out = "{\"counters\":{";

@@ -34,6 +34,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace ipse {
 namespace observe {
@@ -57,6 +59,15 @@ public:
 
 private:
   std::atomic<std::int64_t> V{0};
+};
+
+/// A point-in-time view of a registry: scalar values copied, histograms
+/// as stable pointers (valid for the registry's lifetime).  What the
+/// exporters iterate without holding the registration mutex.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> Counters;
+  std::vector<std::pair<std::string, std::int64_t>> Gauges;
+  std::vector<std::pair<std::string, const LatencyHistogram *>> Histograms;
 };
 
 /// Named metrics with get-or-create registration.  All methods are
@@ -84,6 +95,9 @@ public:
   /// Values are a consistent-enough snapshot for dashboards: each metric
   /// is read once with relaxed loads.
   std::string toJson() const;
+
+  /// Copies the current name/value sets (alphabetical, map order).
+  MetricsSnapshot snapshot() const;
 
 private:
   mutable std::mutex M;

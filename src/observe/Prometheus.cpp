@@ -1,0 +1,87 @@
+//===- observe/Prometheus.cpp - Prometheus text-format exporter ---------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Prometheus.h"
+
+#include "observe/Metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace ipse;
+using namespace ipse::observe;
+
+std::string observe::prometheusName(std::string_view Name) {
+  std::string Out = "ipse_";
+  Out.reserve(Out.size() + Name.size());
+  for (char C : Name) {
+    bool Legal = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                 (C >= '0' && C <= '9') || C == '_' || C == ':';
+    Out += Legal ? C : '_';
+  }
+  return Out;
+}
+
+namespace {
+
+void appendScalar(std::string &Out, const std::string &Name,
+                  const char *Type, long long Value) {
+  std::string P = prometheusName(Name);
+  char Buf[64];
+  Out += "# TYPE " + P + " " + Type + "\n";
+  std::snprintf(Buf, sizeof(Buf), " %lld\n", Value);
+  Out += P;
+  Out += Buf;
+}
+
+void appendHistogram(std::string &Out, const std::string &Name,
+                     const LatencyHistogram &H) {
+  std::string P = prometheusName(Name);
+  Out += "# TYPE " + P + " histogram\n";
+
+  // Highest non-empty finite bucket; everything above it is zero and
+  // adds no information to the cumulative series.
+  unsigned Last = 0;
+  for (unsigned I = 0; I + 1 < LatencyHistogram::NumBuckets; ++I)
+    if (H.bucketCount(I))
+      Last = I;
+
+  char Buf[96];
+  std::uint64_t Cum = 0;
+  for (unsigned I = 0; I <= Last; ++I) {
+    Cum += H.bucketCount(I);
+    std::snprintf(Buf, sizeof(Buf), "_bucket{le=\"%" PRIu64 "\"} %" PRIu64
+                  "\n",
+                  LatencyHistogram::bucketBoundMicros(I), Cum);
+    Out += P;
+    Out += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                H.count());
+  Out += P;
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "_sum %" PRIu64 "\n", H.sumMicros());
+  Out += P;
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "_count %" PRIu64 "\n", H.count());
+  Out += P;
+  Out += Buf;
+}
+
+} // namespace
+
+std::string observe::prometheusText(const MetricsRegistry &Reg) {
+  MetricsSnapshot S = Reg.snapshot();
+  std::string Out;
+  for (const auto &[Name, Value] : S.Counters)
+    appendScalar(Out, Name, "counter", static_cast<long long>(Value));
+  for (const auto &[Name, Value] : S.Gauges)
+    appendScalar(Out, Name, "gauge", static_cast<long long>(Value));
+  for (const auto &[Name, H] : S.Histograms)
+    appendHistogram(Out, Name, *H);
+  return Out;
+}

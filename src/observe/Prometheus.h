@@ -1,0 +1,54 @@
+//===- observe/Prometheus.h - Prometheus text-format exporter ---*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a MetricsRegistry in the Prometheus text exposition format
+/// (version 0.0.4) so the service's `metrics --format=prom` verb and
+/// `ipse-cli metrics-dump` plug straight into standard scrapers:
+///
+///   # TYPE ipse_service_edits counter
+///   ipse_service_edits 12
+///   # TYPE ipse_service_flush_us histogram
+///   ipse_service_flush_us_bucket{le="1"} 0
+///   ...
+///   ipse_service_flush_us_bucket{le="+Inf"} 12
+///   ipse_service_flush_us_sum 48211
+///   ipse_service_flush_us_count 12
+///
+/// Registry names use '.' separators; Prometheus names allow only
+/// [a-zA-Z0-9_:], so names are sanitized ('.' and '-' become '_') and
+/// prefixed "ipse_".  LatencyHistograms map onto native Prometheus
+/// histograms: the power-of-two bucket bounds become cumulative `le`
+/// labels (dropping all-empty trailing buckets keeps the series compact), the
+/// overflow bucket is `+Inf`, and `_sum` / `_count` come from the
+/// histogram's own accumulators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_OBSERVE_PROMETHEUS_H
+#define IPSE_OBSERVE_PROMETHEUS_H
+
+#include <string>
+#include <string_view>
+
+namespace ipse {
+namespace observe {
+
+class MetricsRegistry;
+
+/// Sanitizes \p Name into a legal Prometheus metric name with the
+/// "ipse_" prefix: characters outside [a-zA-Z0-9_:] become '_'.
+std::string prometheusName(std::string_view Name);
+
+/// Renders \p Reg in Prometheus text exposition format.  Each metric is
+/// read once with relaxed loads (same consistency as toJson()).
+std::string prometheusText(const MetricsRegistry &Reg);
+
+} // namespace observe
+} // namespace ipse
+
+#endif // IPSE_OBSERVE_PROMETHEUS_H

@@ -10,7 +10,10 @@
 #include "observe/CostReport.h"
 #include "support/BitVector.h"
 
+#include <atomic>
 #include <chrono>
+
+#include <unistd.h>
 
 using namespace ipse;
 using namespace ipse::observe;
@@ -22,6 +25,13 @@ std::uint64_t observe::nowNanos() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            Epoch)
           .count());
+}
+
+std::uint32_t observe::currentTid() {
+  static std::atomic<std::uint32_t> Next{1};
+  thread_local std::uint32_t Tid =
+      Next.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
 }
 
 //===----------------------------------------------------------------------===//
@@ -46,10 +56,74 @@ std::unique_ptr<JsonLinesSink> JsonLinesSink::open(const std::string &Path,
 void JsonLinesSink::onSpan(const SpanRecord &R) {
   std::lock_guard<std::mutex> Lock(M);
   std::fprintf(Out,
-               "{\"span\":\"%s\",\"depth\":%u,\"start_ns\":%llu,"
-               "\"wall_ns\":%llu,\"bv_ops\":%llu}\n",
-               R.Name, R.Depth, (unsigned long long)R.StartNs,
+               "{\"span\":\"%s\",\"depth\":%u,\"tid\":%u,\"start_ns\":%llu,"
+               "\"wall_ns\":%llu,\"bv_ops\":%llu",
+               R.Name, R.Depth, R.Tid, (unsigned long long)R.StartNs,
                (unsigned long long)R.WallNs, (unsigned long long)R.BitOps);
+  if (R.Tags) {
+    // Trace ids come from the wire; escape conservatively by dropping
+    // characters a JSON string cannot carry raw.
+    std::fputs(",\"trace\":\"", Out);
+    for (char C : R.Tags->TraceId)
+      if (C != '"' && C != '\\' && static_cast<unsigned char>(C) >= 0x20)
+        std::fputc(C, Out);
+    std::fprintf(Out, "\",\"gen\":%llu",
+                 (unsigned long long)R.Tags->Generation);
+  }
+  std::fputs("}\n", Out);
+  std::fflush(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// ChromeTraceSink.
+//===----------------------------------------------------------------------===//
+
+ChromeTraceSink::ChromeTraceSink(std::FILE *Out, bool Close)
+    : Out(Out), CloseOnDestroy(Close) {
+  std::fputs("[\n", Out);
+  Tail = std::ftell(Out);
+  std::fputs("]\n", Out);
+  std::fflush(Out);
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  if (CloseOnDestroy && Out)
+    std::fclose(Out);
+}
+
+std::unique_ptr<ChromeTraceSink>
+ChromeTraceSink::open(const std::string &Path, std::string &ErrorOut) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    ErrorOut = "cannot open '" + Path + "' for writing";
+    return nullptr;
+  }
+  return std::make_unique<ChromeTraceSink>(F, /*Close=*/true);
+}
+
+void ChromeTraceSink::onSpan(const SpanRecord &R) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::fseek(Out, Tail, SEEK_SET);
+  std::fprintf(Out,
+               "%s{\"name\":\"%s\",\"cat\":\"ipse\",\"ph\":\"X\","
+               "\"pid\":%ld,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,"
+               "\"args\":{\"depth\":%u,\"bv_ops\":%llu",
+               First ? "" : ",\n", R.Name, static_cast<long>(::getpid()),
+               R.Tid, static_cast<double>(R.StartNs) / 1000.0,
+               static_cast<double>(R.WallNs) / 1000.0, R.Depth,
+               (unsigned long long)R.BitOps);
+  if (R.Tags) {
+    std::fputs(",\"trace\":\"", Out);
+    for (char C : R.Tags->TraceId)
+      if (C != '"' && C != '\\' && static_cast<unsigned char>(C) >= 0x20)
+        std::fputc(C, Out);
+    std::fprintf(Out, "\",\"gen\":%llu",
+                 (unsigned long long)R.Tags->Generation);
+  }
+  std::fputs("}}", Out);
+  First = false;
+  Tail = std::ftell(Out);
+  std::fputs("\n]\n", Out);
   std::fflush(Out);
 }
 
@@ -87,6 +161,8 @@ void closeSpan(const char *Name, std::uint64_t StartNs, std::uint64_t StartOps,
   R.StartNs = StartNs;
   R.WallNs = nowNanos() - StartNs;
   R.BitOps = BitVector::opCount() - StartOps;
+  R.Tid = currentTid();
+  R.Tags = Ctx->Tags;
   if (Ctx->Depth > 0)
     --Ctx->Depth;
   if (Ctx->Report)

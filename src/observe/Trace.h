@@ -25,7 +25,15 @@
 ///    only observe.
 ///
 ///  - TraceSink: where closed spans stream.  JsonLinesSink writes one
-///    flat JSON object per span (the `--trace-out` file format).
+///    flat JSON object per span (the `--trace-out` file format);
+///    ChromeTraceSink writes Chrome Trace Event Format JSON that loads
+///    directly in Perfetto / chrome://tracing.
+///
+/// Spans carry a compact thread id (currentTid()) so interleaved
+/// multi-thread traces stay attributable, and a TraceScope can install
+/// ScopeTags (request trace id + snapshot generation) that every span
+/// closed under it inherits — the analysis service uses this to make one
+/// query's phase tree reconstructable from a shared trace file.
 ///
 /// Compile-out: configuring with -DIPSE_OBSERVE=OFF defines
 /// IPSE_OBSERVE_OFF and every construct here becomes an empty inline —
@@ -56,6 +64,14 @@ constexpr bool enabled() {
 #endif
 }
 
+/// Request-scoped tags a TraceScope can attach to every span it closes.
+/// The service tags each query/flush scope so spans from many requests
+/// interleaved in one trace file stay attributable.
+struct ScopeTags {
+  std::string TraceId;          ///< Request trace id ("" = untagged).
+  std::uint64_t Generation = 0; ///< Snapshot generation answering it.
+};
+
 /// One closed span, as delivered to sinks and cost reports.
 struct SpanRecord {
   const char *Name = "";      ///< Phase name (static string).
@@ -63,6 +79,10 @@ struct SpanRecord {
   std::uint64_t StartNs = 0;  ///< Steady-clock offset from process start.
   std::uint64_t WallNs = 0;   ///< Wall time between open and close.
   std::uint64_t BitOps = 0;   ///< BitVector word operations in the span.
+  std::uint32_t Tid = 0;      ///< Compact id of the closing thread.
+  /// The innermost scope's tags, or nullptr.  Valid only for the
+  /// duration of the onSpan() call (it points into the live TraceScope).
+  const ScopeTags *Tags = nullptr;
 };
 
 /// Receives closed spans.  Implementations must be safe to call from the
@@ -75,7 +95,9 @@ public:
 };
 
 /// Streams spans as newline-delimited flat JSON objects:
-///   {"span":"gmod","depth":1,"start_ns":..,"wall_ns":..,"bv_ops":..}
+///   {"span":"gmod","depth":1,"tid":1,"start_ns":..,"wall_ns":..,
+///    "bv_ops":..}
+/// plus "trace" / "gen" fields when the closing scope carries tags.
 /// Thread-safe (one mutex around the write).
 class JsonLinesSink : public TraceSink {
 public:
@@ -98,8 +120,49 @@ private:
   bool CloseOnDestroy = false;
 };
 
+/// Streams spans as Chrome Trace Event Format JSON — one complete ("X")
+/// event per span, loadable directly in Perfetto / chrome://tracing:
+///
+///   [
+///   {"name":"gmod","cat":"ipse","ph":"X","pid":1234,"tid":1,
+///    "ts":12.345,"dur":6.789,"args":{"depth":1,"bv_ops":42,
+///    "trace":"q7","gen":3}},
+///   ...
+///   ]
+///
+/// ts/dur are microseconds (Trace Event Format's unit).  The file is a
+/// single well-formed JSON array at *every* moment: each event write
+/// seeks back over the closing bracket and re-appends it, so a trace cut
+/// short by a crash or a still-running server is loadable as-is.
+/// Thread-safe (one mutex around the write).
+class ChromeTraceSink : public TraceSink {
+public:
+  /// Writes to \p Out, which must be seekable; the caller keeps ownership
+  /// unless \p Close is set (the open() path).
+  explicit ChromeTraceSink(std::FILE *Out, bool Close = false);
+  ~ChromeTraceSink() override;
+
+  /// Opens \p Path for writing.  Returns nullptr (and fills \p ErrorOut)
+  /// when the file cannot be created.
+  static std::unique_ptr<ChromeTraceSink> open(const std::string &Path,
+                                               std::string &ErrorOut);
+
+  void onSpan(const SpanRecord &R) override;
+
+private:
+  std::mutex M;
+  std::FILE *Out = nullptr;
+  bool CloseOnDestroy = false;
+  bool First = true;
+  long Tail = 0; ///< Offset of the closing "\n]\n" (next insertion point).
+};
+
 /// Nanoseconds on the steady clock since an arbitrary process-local epoch.
 std::uint64_t nowNanos();
+
+/// A compact, stable id for the calling thread (1, 2, 3, ... in first-use
+/// order) — readable in trace files where std::thread::id is not.
+std::uint32_t currentTid();
 
 #ifndef IPSE_OBSERVE_OFF
 
@@ -110,6 +173,7 @@ struct TraceContext {
   TraceSink *Sink = nullptr;
   unsigned Depth = 0;
   TraceContext *Saved = nullptr; ///< The context this one shadows.
+  const ScopeTags *Tags = nullptr; ///< Owned by the installing TraceScope.
 };
 
 /// The calling thread's active context, or nullptr.
@@ -129,12 +193,23 @@ public:
     Ctx.Saved = detail::current();
     detail::install(&Ctx);
   }
+  /// Tagged form: every span closed under this scope carries \p Tags
+  /// (request trace id + snapshot generation) into its SpanRecord.
+  TraceScope(CostReport *Report, TraceSink *Sink, ScopeTags TagValues)
+      : Tags(std::move(TagValues)) {
+    Ctx.Report = Report;
+    Ctx.Sink = Sink;
+    Ctx.Saved = detail::current();
+    Ctx.Tags = &Tags;
+    detail::install(&Ctx);
+  }
   ~TraceScope() { detail::install(Ctx.Saved); }
 
   TraceScope(const TraceScope &) = delete;
   TraceScope &operator=(const TraceScope &) = delete;
 
 private:
+  ScopeTags Tags;
   detail::TraceContext Ctx;
 };
 
@@ -190,6 +265,7 @@ void addCounter(const char *Name, std::uint64_t Value);
 class TraceScope {
 public:
   explicit TraceScope(CostReport *, TraceSink * = nullptr) {}
+  TraceScope(CostReport *, TraceSink *, ScopeTags) {}
 };
 
 class TraceSpan {

@@ -9,10 +9,12 @@
 
 #include "incremental/AnalysisSession.h"
 #include "observe/Metrics.h"
+#include "observe/Prometheus.h"
 #include "observe/Trace.h"
 #include "service/Json.h"
 
 #include <future>
+#include <optional>
 #include <unordered_map>
 
 using namespace ipse;
@@ -113,13 +115,19 @@ bool AnalysisService::submit(Pending P, bool Blocking) {
     Response R;
     R.Id = P.Id;
     R.Generation = generation();
+    R.TraceId = P.TraceId;
+    R.ResultIsJson = true;
     if (P.Cmd.Kind == ScriptCommand::Op::Stats) {
       R.Result = statsJson();
     } else {
       refreshGauges();
-      R.Result = observe::MetricsRegistry::global().toJson();
+      if (!P.Cmd.Args.empty() && P.Cmd.Args[0] == "--format=prom") {
+        R.Result = observe::prometheusText(observe::MetricsRegistry::global());
+        R.ResultIsJson = false;
+      } else {
+        R.Result = observe::MetricsRegistry::global().toJson();
+      }
     }
-    R.ResultIsJson = true;
     CntQueries.fetch_add(1, std::memory_order_relaxed);
     P.Done(std::move(R));
     return true;
@@ -137,6 +145,7 @@ bool AnalysisService::submit(Pending P, bool Blocking) {
     R.Id = P.Id;
     R.Ok = false;
     R.Generation = generation();
+    R.TraceId = P.TraceId;
     R.Error = "command not available while serving";
     CntErrors.fetch_add(1, std::memory_order_relaxed);
     P.Done(std::move(R));
@@ -151,19 +160,21 @@ bool AnalysisService::submit(Pending P, bool Blocking) {
 }
 
 bool AnalysisService::trySubmit(std::uint64_t Id, ScriptCommand Cmd,
-                                ResponseFn Done) {
+                                ResponseFn Done, std::string TraceId) {
   Pending P;
   P.Id = Id;
   P.Cmd = std::move(Cmd);
   P.Done = std::move(Done);
+  P.TraceId = std::move(TraceId);
   return submit(std::move(P), /*Blocking=*/false);
 }
 
-Response AnalysisService::call(ScriptCommand Cmd) {
+Response AnalysisService::call(ScriptCommand Cmd, std::string TraceId) {
   auto Promise = std::make_shared<std::promise<Response>>();
   std::future<Response> Future = Promise->get_future();
   Pending P;
   P.Cmd = std::move(Cmd);
+  P.TraceId = std::move(TraceId);
   P.Done = [Promise](Response R) { Promise->set_value(std::move(R)); };
   if (!submit(std::move(P), /*Blocking=*/true)) {
     Response R;
@@ -174,19 +185,21 @@ Response AnalysisService::call(ScriptCommand Cmd) {
   return Future.get();
 }
 
-Response AnalysisService::call(std::string_view Line) {
+Response AnalysisService::call(std::string_view Line, std::string TraceId) {
   try {
     std::optional<ScriptCommand> Cmd = parseScriptLine(Line, 0);
     if (!Cmd) {
       Response R; // Blank line: trivially OK, answered by nobody.
       R.Generation = generation();
+      R.TraceId = std::move(TraceId);
       return R;
     }
-    return call(std::move(*Cmd));
+    return call(std::move(*Cmd), std::move(TraceId));
   } catch (const ScriptError &E) {
     Response R;
     R.Ok = false;
     R.Generation = generation();
+    R.TraceId = std::move(TraceId);
     R.Error = E.Message;
     CntErrors.fetch_add(1, std::memory_order_relaxed);
     return R;
@@ -225,8 +238,18 @@ void AnalysisService::writerLoop() {
         Current.load(std::memory_order_acquire);
     if (AnyApplied) {
       const std::uint64_t T0 = observe::nowNanos();
-      // capture() flushes; this is the batch's one solve.
-      Snap = AnalysisSnapshot::capture(*Session, Session->generation());
+      {
+        // The flush span is attributed to the request that opened the
+        // batch (the edits that ride along share its solve anyway).
+        std::optional<observe::TraceScope> Scope;
+        if (Opts.Sink)
+          Scope.emplace(nullptr, Opts.Sink,
+                        observe::ScopeTags{Batch.front().TraceId,
+                                           Session->generation()});
+        observe::TraceSpan Span("service.flush");
+        // capture() flushes; this is the batch's one solve.
+        Snap = AnalysisSnapshot::capture(*Session, Session->generation());
+      }
       publish(Snap);
       observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
       Reg.histogram("service.flush_us")
@@ -235,10 +258,12 @@ void AnalysisService::writerLoop() {
       refreshGauges();
     }
 
+    observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
     for (std::size_t I = 0; I != Batch.size(); ++I) {
       Response R;
       R.Id = Batch[I].Id;
       R.Generation = Snap->generation();
+      R.TraceId = Batch[I].TraceId;
       if (Failures[I].empty()) {
         CntEdits.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -246,7 +271,9 @@ void AnalysisService::writerLoop() {
         R.Error = Failures[I];
         CntErrors.fetch_add(1, std::memory_order_relaxed);
       }
-      WriteLat.record(elapsedMicros(Batch[I]));
+      std::uint64_t Us = elapsedMicros(Batch[I]);
+      WriteLat.record(Us);
+      Reg.histogram("service.write_lat_us").record(Us);
       Batch[I].Done(std::move(R));
     }
   }
@@ -280,16 +307,27 @@ void AnalysisService::workerLoop() {
     std::unordered_map<std::string, std::size_t> Memo;
     std::vector<Eval> Evals;
 
+    observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
     for (Pending &P : Batch) {
       std::string Key = dedupKey(P.Cmd);
       auto [It, Inserted] = Memo.try_emplace(Key, Evals.size());
       if (Inserted) {
         Eval E;
-        try {
-          E.QR = evalQueryCommand(*Snap, P.Cmd);
-        } catch (const ScriptError &Err) {
-          E.Ok = false;
-          E.Error = Err.Message;
+        {
+          // Tag the evaluation's span tree with the triggering request
+          // (dedup followers reuse the result, so the work is theirs
+          // too, but the trace attributes it to whoever paid for it).
+          std::optional<observe::TraceScope> Scope;
+          if (Opts.Sink)
+            Scope.emplace(nullptr, Opts.Sink,
+                          observe::ScopeTags{P.TraceId, Snap->generation()});
+          observe::TraceSpan Span("service.query");
+          try {
+            E.QR = evalQueryCommand(*Snap, P.Cmd);
+          } catch (const ScriptError &Err) {
+            E.Ok = false;
+            E.Error = Err.Message;
+          }
         }
         Evals.push_back(std::move(E));
       } else {
@@ -299,6 +337,7 @@ void AnalysisService::workerLoop() {
       Response R;
       R.Id = P.Id;
       R.Generation = Snap->generation();
+      R.TraceId = P.TraceId;
       if (E.Ok) {
         R.Result = E.QR.Text;
         R.CheckOk = E.QR.CheckOk;
@@ -308,7 +347,9 @@ void AnalysisService::workerLoop() {
         R.Error = E.Error;
         CntErrors.fetch_add(1, std::memory_order_relaxed);
       }
-      ReadLat.record(elapsedMicros(P));
+      std::uint64_t Us = elapsedMicros(P);
+      ReadLat.record(Us);
+      Reg.histogram("service.read_lat_us").record(Us);
       P.Done(std::move(R));
     }
   }

@@ -62,6 +62,9 @@ namespace ipse {
 namespace incremental {
 class AnalysisSession;
 }
+namespace observe {
+class TraceSink;
+}
 
 namespace service {
 
@@ -85,6 +88,10 @@ struct ServiceOptions {
   unsigned StatsIntervalMs = 0;
   /// Stream for periodic stats lines (defaults to stderr).
   std::FILE *StatsOut = nullptr;
+  /// When set, worker query evaluation and writer flushes run under
+  /// request-tagged TraceScopes streaming here (must be thread-safe; not
+  /// owned; must outlive the service).
+  observe::TraceSink *Sink = nullptr;
 };
 
 /// One answer.  For edits, Result is empty and Generation is the
@@ -101,6 +108,8 @@ struct Response {
   /// True when Result is pre-rendered JSON (the `stats` endpoint).
   bool ResultIsJson = false;
   std::uint64_t Generation = 0;
+  /// The request's trace id, echoed back verbatim (empty if none given).
+  std::string TraceId;
   std::string Result;
   std::string Error;
 };
@@ -135,15 +144,17 @@ public:
   /// will be invoked exactly once, on a service thread (or inline for
   /// `stats` and malformed commands).  Returns false when the target
   /// queue is full or the service is stopped; \p Done is NOT invoked and
-  /// the caller should answer "retry later".
-  bool trySubmit(std::uint64_t Id, ScriptCommand Cmd, ResponseFn Done);
+  /// the caller should answer "retry later".  \p TraceId tags the spans
+  /// this request produces (Options.Sink) and is echoed in the response.
+  bool trySubmit(std::uint64_t Id, ScriptCommand Cmd, ResponseFn Done,
+                 std::string TraceId = {});
 
   /// Blocking convenience used by tests and the stress driver: submits
   /// (waiting for queue space rather than refusing) and waits for the
   /// answer.
-  Response call(ScriptCommand Cmd);
+  Response call(ScriptCommand Cmd, std::string TraceId = {});
   /// Parses \p Line first; parse errors come back as ok=false responses.
-  Response call(std::string_view Line);
+  Response call(std::string_view Line, std::string TraceId = {});
 
   /// The currently published snapshot (never null).
   std::shared_ptr<const AnalysisSnapshot> snapshot() const {
@@ -172,6 +183,7 @@ private:
     std::uint64_t Id = 0;
     ScriptCommand Cmd;
     ResponseFn Done;
+    std::string TraceId;
     std::chrono::steady_clock::time_point Enqueued;
   };
 

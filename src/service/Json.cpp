@@ -31,11 +31,25 @@ std::optional<std::uint64_t> JsonObject::getUInt(const std::string &Key) const {
   return std::strtoull(T.c_str(), nullptr, 10);
 }
 
+std::optional<double> JsonObject::getDouble(const std::string &Key) const {
+  auto It = Fields.find(Key);
+  if (It == Fields.end() || It->second.K != Kind::Number)
+    return std::nullopt;
+  return std::strtod(It->second.Text.c_str(), nullptr);
+}
+
 std::optional<bool> JsonObject::getBool(const std::string &Key) const {
   auto It = Fields.find(Key);
   if (It == Fields.end() || It->second.K != Kind::Bool)
     return std::nullopt;
   return It->second.Text == "true";
+}
+
+std::optional<std::string> JsonObject::getRaw(const std::string &Key) const {
+  auto It = Fields.find(Key);
+  if (It == Fields.end() || It->second.K == Kind::String)
+    return std::nullopt;
+  return It->second.Text;
 }
 
 namespace {
@@ -180,7 +194,99 @@ struct Cursor {
   }
 };
 
+/// Strictly validates one JSON value of any type, recursing into
+/// containers (unlike Cursor::skipValue, which only balances brackets).
+bool validateValue(Cursor &C, int Depth) {
+  if (Depth > 128)
+    return C.fail("nesting too deep");
+  C.skipWs();
+  if (C.I >= C.S.size())
+    return C.fail("expected value");
+  char First = C.S[C.I];
+  if (First == '"') {
+    std::string Dummy;
+    return C.parseString(Dummy);
+  }
+  if (First == '{') {
+    ++C.I;
+    if (C.eat('}'))
+      return true;
+    do {
+      std::string Key;
+      if (!C.parseString(Key))
+        return false;
+      if (!C.eat(':'))
+        return C.fail("expected ':'");
+      if (!validateValue(C, Depth + 1))
+        return false;
+    } while (C.eat(','));
+    return C.eat('}') || C.fail("expected '}'");
+  }
+  if (First == '[') {
+    ++C.I;
+    if (C.eat(']'))
+      return true;
+    do {
+      if (!validateValue(C, Depth + 1))
+        return false;
+    } while (C.eat(','));
+    return C.eat(']') || C.fail("expected ']'");
+  }
+  if (First == 't' || First == 'f' || First == 'n') {
+    for (const char *Lit : {"true", "false", "null"})
+      if (C.S.substr(C.I, std::string_view(Lit).size()) == Lit) {
+        C.I += std::string_view(Lit).size();
+        return true;
+      }
+    return C.fail("bad literal");
+  }
+  // Number: -?int frac? exp?
+  if (First == '-')
+    ++C.I;
+  std::size_t DigitStart = C.I;
+  while (C.I < C.S.size() && std::isdigit(static_cast<unsigned char>(C.S[C.I])))
+    ++C.I;
+  if (C.I == DigitStart)
+    return C.fail("expected value");
+  if (C.I < C.S.size() && C.S[C.I] == '.') {
+    ++C.I;
+    std::size_t FracStart = C.I;
+    while (C.I < C.S.size() &&
+           std::isdigit(static_cast<unsigned char>(C.S[C.I])))
+      ++C.I;
+    if (C.I == FracStart)
+      return C.fail("bad number");
+  }
+  if (C.I < C.S.size() && (C.S[C.I] == 'e' || C.S[C.I] == 'E')) {
+    ++C.I;
+    if (C.I < C.S.size() && (C.S[C.I] == '+' || C.S[C.I] == '-'))
+      ++C.I;
+    std::size_t ExpStart = C.I;
+    while (C.I < C.S.size() &&
+           std::isdigit(static_cast<unsigned char>(C.S[C.I])))
+      ++C.I;
+    if (C.I == ExpStart)
+      return C.fail("bad number");
+  }
+  return true;
+}
+
 } // namespace
+
+bool service::validateJsonDocument(std::string_view Text,
+                                   std::string &ErrorOut) {
+  Cursor C{Text, 0, {}};
+  if (!validateValue(C, 0)) {
+    ErrorOut = C.Error.empty() ? "malformed JSON" : C.Error;
+    return false;
+  }
+  C.skipWs();
+  if (C.I != Text.size()) {
+    ErrorOut = "trailing garbage after document";
+    return false;
+  }
+  return true;
+}
 
 std::optional<JsonObject> service::parseJsonObject(std::string_view Text,
                                                    std::string &ErrorOut) {
@@ -227,8 +333,10 @@ std::optional<JsonObject> service::parseJsonObject(std::string_view Text,
       V.Text = std::string(Text.substr(Start, C.I - Start));
     } else {
       V.K = JsonObject::Kind::Other;
+      std::size_t Start = C.I;
       if (!C.skipValue())
         return failed();
+      V.Text = std::string(Text.substr(Start, C.I - Start));
     }
     Obj.Fields[Key] = std::move(V);
   } while (C.eat(','));

@@ -39,8 +39,18 @@ public:
   /// The unsigned integer value of \p Key, or nullopt.
   std::optional<std::uint64_t> getUInt(const std::string &Key) const;
 
+  /// The numeric value of \p Key (signed, fractional, exponent forms all
+  /// accepted), or nullopt if absent / not a number.
+  std::optional<double> getDouble(const std::string &Key) const;
+
   /// The boolean value of \p Key, or nullopt.
   std::optional<bool> getBool(const std::string &Key) const;
+
+  /// The raw lexeme of \p Key for non-string values — numbers, booleans,
+  /// and skipped nested objects/arrays (which can be re-fed to
+  /// parseJsonObject).  nullopt for strings (use getString) and absent
+  /// keys.
+  std::optional<std::string> getRaw(const std::string &Key) const;
 
 private:
   friend std::optional<JsonObject> parseJsonObject(std::string_view Text,
@@ -57,6 +67,12 @@ private:
 /// on malformed input.
 std::optional<JsonObject> parseJsonObject(std::string_view Text,
                                           std::string &ErrorOut);
+
+/// Checks that \p Text is exactly one well-formed JSON value (any type,
+/// arbitrarily nested) with nothing but whitespace after it.  Used by
+/// tests to prove exported documents (Chrome traces) parse as a whole.
+/// Fills \p ErrorOut on failure.
+bool validateJsonDocument(std::string_view Text, std::string &ErrorOut);
 
 /// Escapes \p S for inclusion inside a JSON string literal (adds no
 /// surrounding quotes).

@@ -59,7 +59,7 @@ constexpr OpSpec Specs[] = {
     {"use", ScriptCommand::Op::Use, 2},
     {"check", ScriptCommand::Op::Check, 0},
     {"stats", ScriptCommand::Op::Stats, 0},
-    {"metrics", ScriptCommand::Op::Metrics, 0},
+    {"metrics", ScriptCommand::Op::Metrics, -1},
 };
 
 unsigned parseIndex(const std::string &S) {
@@ -127,6 +127,11 @@ std::optional<ScriptCommand> service::parseScriptLine(std::string_view Line,
                       " operand(s)");
     if (Spec.Op == ScriptCommand::Op::AddCall && Cmd.Args.size() < 3)
       die(LineNo, "'add-call' expects <proc> <stmtIdx> <callee> ...");
+    if (Spec.Op == ScriptCommand::Op::Metrics &&
+        (Cmd.Args.size() > 1 ||
+         (Cmd.Args.size() == 1 && Cmd.Args[0] != "--format=json" &&
+          Cmd.Args[0] != "--format=prom")))
+      die(LineNo, "'metrics' expects at most '--format=json|prom'");
     return Cmd;
   }
   die(LineNo, "unknown command '" + T[0] + "'");

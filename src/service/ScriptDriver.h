@@ -28,7 +28,9 @@
 ///   mod <proc> <stmtIdx> | use <proc> <stmtIdx>
 ///   check                                 compare against fresh batch runs
 ///   stats                                 driver-dependent counters
-///   metrics                               process-wide metrics registry JSON
+///   metrics [--format=json|prom]          process-wide metrics registry
+///                                         (JSON object, or Prometheus
+///                                         text exposition format)
 ///
 /// Parsing yields a ScriptCommand with *raw* operands; name resolution is
 /// deferred to execution time because ids shift under edits — the service

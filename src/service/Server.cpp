@@ -9,6 +9,7 @@
 
 #include "service/Json.h"
 
+#include <atomic>
 #include <cctype>
 #include <condition_variable>
 #include <cstdlib>
@@ -29,6 +30,8 @@ std::string service::renderResponse(const Response &R) {
   if (R.Retry)
     W.field("retry", true);
   W.field("gen", R.Generation);
+  if (!R.TraceId.empty())
+    W.field("trace", R.TraceId);
   if (!R.CheckOk)
     W.field("check", false);
   if (!R.Result.empty()) {
@@ -63,6 +66,19 @@ void service::handleRequestLine(
     return;
   }
   R.Id = Obj->getUInt("id").value_or(0);
+  // Client-supplied trace id, or a server-assigned "s<N>" — either way
+  // every response (including the inline error paths below) echoes it.
+  std::string TraceId;
+  if (std::optional<std::string> T = Obj->getString("trace");
+      T && !T->empty()) {
+    TraceId = std::move(*T);
+  } else {
+    static std::atomic<std::uint64_t> NextServerTrace{1};
+    TraceId =
+        "s" + std::to_string(NextServerTrace.fetch_add(
+                  1, std::memory_order_relaxed));
+  }
+  R.TraceId = TraceId;
   std::optional<std::string> CmdText = Obj->getString("cmd");
   if (!CmdText) {
     R.Ok = false;
@@ -95,7 +111,8 @@ void service::handleRequestLine(
   std::function<void(const std::string &)> EmitCopy = Emit;
   bool Accepted = Svc.trySubmit(
       Id, std::move(*Cmd),
-      [EmitCopy](Response Done) { EmitCopy(renderResponse(Done)); });
+      [EmitCopy](Response Done) { EmitCopy(renderResponse(Done)); },
+      std::move(TraceId));
   if (!Accepted) {
     R.Ok = false;
     R.Retry = true;
@@ -261,11 +278,15 @@ void TcpServer::stop() {
 // Line-oriented client.
 //===----------------------------------------------------------------------===//
 
-int service::runClient(std::uint16_t Port, std::FILE *In, std::FILE *Out) {
+namespace {
+
+/// Connects to 127.0.0.1:\p Port; returns -1 with a stderr diagnostic on
+/// failure.
+int connectLoopback(std::uint16_t Port) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0) {
     std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
-    return 1;
+    return -1;
   }
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
@@ -275,8 +296,17 @@ int service::runClient(std::uint16_t Port, std::FILE *In, std::FILE *Out) {
     std::fprintf(stderr, "error: connect 127.0.0.1:%u: %s\n", unsigned(Port),
                  std::strerror(errno));
     ::close(Fd);
-    return 1;
+    return -1;
   }
+  return Fd;
+}
+
+} // namespace
+
+int service::runClient(std::uint16_t Port, std::FILE *In, std::FILE *Out) {
+  int Fd = connectLoopback(Port);
+  if (Fd < 0)
+    return 1;
 
   // Synchronous one-at-a-time: send a request, read its response line.
   // Simple, and exactly what scripted use needs.
@@ -318,7 +348,11 @@ int service::runClient(std::uint16_t Port, std::FILE *In, std::FILE *Out) {
       continue;
 
     JsonWriter W;
-    W.field("id", NextId++);
+    W.field("id", NextId);
+    // Client-chosen trace ids ("c1", "c2", ...) mirror the request ids,
+    // so a span's "trace" tag reads straight back to a script line.
+    W.field("trace", "c" + std::to_string(NextId));
+    ++NextId;
     W.field("cmd", Script);
     std::string Req = W.finish() + "\n";
     if (::write(Fd, Req.data(), Req.size()) !=
@@ -342,4 +376,54 @@ int service::runClient(std::uint16_t Port, std::FILE *In, std::FILE *Out) {
   std::free(LinePtr);
   ::close(Fd);
   return Exit;
+}
+
+int service::runMetricsDump(std::uint16_t Port, bool Prom, std::FILE *Out) {
+  int Fd = connectLoopback(Port);
+  if (Fd < 0)
+    return 1;
+
+  JsonWriter W;
+  W.field("id", std::uint64_t(1));
+  W.field("cmd", Prom ? "metrics --format=prom" : "metrics");
+  std::string Req = W.finish() + "\n";
+  if (::write(Fd, Req.data(), Req.size()) != static_cast<ssize_t>(Req.size())) {
+    std::fprintf(stderr, "error: connection lost\n");
+    ::close(Fd);
+    return 1;
+  }
+
+  std::string Carry;
+  char Buf[4096];
+  std::size_t Nl;
+  while ((Nl = Carry.find('\n')) == std::string::npos) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N <= 0) {
+      std::fprintf(stderr, "error: connection closed\n");
+      ::close(Fd);
+      return 1;
+    }
+    Carry.append(Buf, static_cast<std::size_t>(N));
+  }
+  ::close(Fd);
+
+  std::string RespLine = Carry.substr(0, Nl);
+  std::string Err;
+  std::optional<JsonObject> Resp = parseJsonObject(RespLine, Err);
+  if (!Resp || Resp->getBool("ok") != true) {
+    std::fprintf(stderr, "error: bad metrics response: %s\n",
+                 RespLine.c_str());
+    return 1;
+  }
+  // Prometheus text arrives as a JSON string; the JSON form arrives as a
+  // nested object the flat parser keeps as a raw lexeme.
+  std::optional<std::string> Payload =
+      Prom ? Resp->getString("result") : Resp->getRaw("result");
+  if (!Payload) {
+    std::fprintf(stderr, "error: metrics response without result\n");
+    return 1;
+  }
+  std::fprintf(Out, "%s%s", Payload->c_str(),
+               (!Payload->empty() && Payload->back() == '\n') ? "" : "\n");
+  return 0;
 }

@@ -21,7 +21,14 @@
 ///   {"id":9,"ok":false,"retry":true,"error":"overloaded"}        (backpressure)
 ///
 /// Extra response fields: `"check":false` on a failed `check`, and the
-/// `stats` command returns its object under `"result"` unquoted.
+/// `stats` / `metrics` commands return their object under `"result"`
+/// unquoted (`metrics --format=prom` returns Prometheus text as a plain
+/// string).
+///
+/// Tracing: a request may carry `"trace":"<id>"`; the server assigns
+/// "s<N>" when absent.  The id is echoed back as `"trace"` and tags every
+/// span the request produces in the service's trace sink, so one request's
+/// phase tree is recoverable from a shared trace file.
 ///
 /// Front ends: serveFd() pumps one request stream over a pair of file
 /// descriptors (used for stdio serving and for each accepted TCP
@@ -102,6 +109,12 @@ private:
 /// prints each response line to \p Out.  Returns 0 on success, 1 on
 /// connection failure or any ok=false response.
 int runClient(std::uint16_t Port, std::FILE *In, std::FILE *Out);
+
+/// Connects to 127.0.0.1:\p Port, issues one `metrics` request, and
+/// prints the decoded payload — Prometheus text when \p Prom, the raw
+/// JSON object otherwise — to \p Out.  Returns 0 on success, 1 on
+/// connection or protocol failure.
+int runMetricsDump(std::uint16_t Port, bool Prom, std::FILE *Out);
 
 } // namespace service
 } // namespace ipse

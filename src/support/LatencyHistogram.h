@@ -61,6 +61,33 @@ public:
 
   std::uint64_t maxMicros() const { return Max.load(std::memory_order_relaxed); }
 
+  /// Sum of all recorded samples in microseconds.
+  std::uint64_t sumMicros() const {
+    return Sum.load(std::memory_order_relaxed);
+  }
+
+  /// Samples recorded into bucket \p I (relaxed load).
+  std::uint64_t bucketCount(unsigned I) const {
+    return I < NumBuckets ? Buckets[I].load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Folds \p Other into this histogram bucket-wise (the per-thread
+  /// shard -> global aggregation path).  Safe against concurrent
+  /// record() on either side, with the usual relaxed-snapshot caveat.
+  void merge(const LatencyHistogram &Other) {
+    for (unsigned I = 0; I != NumBuckets; ++I)
+      if (std::uint64_t N = Other.Buckets[I].load(std::memory_order_relaxed))
+        Buckets[I].fetch_add(N, std::memory_order_relaxed);
+    Sum.fetch_add(Other.Sum.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    std::uint64_t OtherMax = Other.Max.load(std::memory_order_relaxed);
+    std::uint64_t Prev = Max.load(std::memory_order_relaxed);
+    while (OtherMax > Prev &&
+           !Max.compare_exchange_weak(Prev, OtherMax,
+                                      std::memory_order_relaxed))
+      ;
+  }
+
   /// Upper bound (in µs) of the bucket containing the \p P-th percentile
   /// (0 < P <= 100).  Returns 0 when empty.
   std::uint64_t percentileMicros(double P) const;

@@ -11,12 +11,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "observe/Trace.h"
+#include "service/Json.h"
 
 #include <gtest/gtest.h>
 
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -219,6 +221,58 @@ TEST(Cli, ReportTraceOutStreamsJsonLines) {
   std::remove(Path.c_str());
 }
 
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::size_t countOf(const std::string &Hay, const std::string &Needle) {
+  std::size_t N = 0;
+  for (std::size_t At = Hay.find(Needle); At != std::string::npos;
+       At = Hay.find(Needle, At + Needle.size()))
+    ++N;
+  return N;
+}
+
+TEST(Cli, ReportTraceFormatChromeIsOneWellFormedDocument) {
+  std::string Path = testing::TempDir() + "/ipse_cli_trace.chrome.json";
+  std::string Out;
+  // Four analysis threads interleave their spans into one file.
+  ASSERT_EQ(run(cli() + " report --engine=parallel --parallel=4"
+                        " --trace-out=" + Path + " --trace-format=chrome " +
+                    corpus("tower.mp"),
+                Out),
+            0);
+  std::string Doc = slurp(Path);
+  std::string Error;
+  ASSERT_TRUE(ipse::service::validateJsonDocument(Doc, Error))
+      << Error << "\n" << Doc;
+  if (ipse::observe::enabled()) {
+    std::size_t Events = countOf(Doc, "{\"name\":\"");
+    ASSERT_GT(Events, 0u) << Doc;
+    // Every event is a complete ("X") slice carrying a thread id, and no
+    // event has a negative duration.
+    EXPECT_EQ(countOf(Doc, "\"ph\":\"X\""), Events) << Doc;
+    EXPECT_EQ(countOf(Doc, "\"tid\":"), Events) << Doc;
+    EXPECT_EQ(countOf(Doc, "\"dur\":-"), 0u) << Doc;
+    EXPECT_EQ(countOf(Doc, "\"ts\":-"), 0u) << Doc;
+  } else {
+    EXPECT_EQ(countOf(Doc, "{\"name\":\""), 0u) << Doc;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(Cli, ReportUnknownTraceFormatFails) {
+  std::string Out;
+  EXPECT_EQ(run(cli() + " report --trace-out=/dev/null"
+                        " --trace-format=bogus " +
+                    corpus("tower.mp"),
+                Out),
+            2);
+}
+
 TEST(Cli, ReportTraceOutUnwritableFails) {
   std::string Out;
   EXPECT_EQ(run(cli() + " report --trace-out=/nonexistent-dir/t.jsonl " +
@@ -289,6 +343,81 @@ TEST(Cli, ServeReportsScriptErrorsPerRequest) {
 TEST(Cli, ServeNeedsAProgramSource) {
   std::string Out;
   EXPECT_EQ(run("printf '' | " + cli() + " serve", Out), 2);
+}
+
+TEST(Cli, ServeClientMetricsDumpOverTcpWithChromeTrace) {
+  // The full observability walkthrough: serve over TCP with a Chrome
+  // trace sink, drive it with the line client, scrape it with
+  // metrics-dump, shut it down by closing its stdin — then check the
+  // trace attributes every span to its request.
+  std::string Dir = testing::TempDir();
+  std::string ErrFile = Dir + "/ipse_serve_err.txt";
+  std::string Trace = Dir + "/ipse_serve_trace.chrome.json";
+  std::string Done = Dir + "/ipse_serve_done";
+  std::string Script = Dir + "/ipse_serve_script.txt";
+  {
+    std::ofstream S(Script);
+    S << "gmod main\n"
+      << "add-global tcp_trace_g\n"
+      << "check\n";
+  }
+  std::remove(Done.c_str());
+  std::remove(ErrFile.c_str());
+
+  // The serve process reads stdin until EOF; feed it from a loop that
+  // ends when the done-file appears, so the server outlives both client
+  // runs and stops cleanly afterwards.
+  std::string Cmd =
+      "( while [ ! -e " + Done + " ]; do sleep 0.1; done ) | " + cli() +
+      " serve --gen procs=8,globals=4,seed=5 --port 0 --workers 2"
+      " --trace-out=" + Trace + " --trace-format=chrome 2>" + ErrFile +
+      " & SRV=$!; "
+      "for I in $(seq 1 100); do"
+      "  grep -q 'serving on' " + ErrFile + " 2>/dev/null && break;"
+      "  sleep 0.1; "
+      "done; "
+      "PORT=$(sed -n 's/.*127\\.0\\.0\\.1:\\([0-9]*\\).*/\\1/p' " + ErrFile +
+      "); " +
+      cli() + " client --port $PORT " + Script + " && " +
+      cli() + " metrics-dump --port $PORT; RC=$?; "
+      "touch " + Done + "; wait $SRV; exit $RC";
+  std::string Out;
+  ASSERT_EQ(run(Cmd, Out), 0) << Out << "\nserver stderr:\n"
+                              << slurp(ErrFile);
+
+  // Client responses: answers, the committed edit, and per-request trace
+  // ids assigned by the client ("c1", "c2", ...).
+  EXPECT_NE(Out.find("\"result\":\"GMOD(main) = {"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("check: OK"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("\"ok\":false"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"trace\":\"c1\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"trace\":\"c2\""), std::string::npos) << Out;
+  // metrics-dump appended Prometheus text after the response lines.
+  EXPECT_NE(Out.find("# TYPE"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("ipse_service_read_lat_us"), std::string::npos) << Out;
+
+  // The trace file: one well-formed Chrome Trace Event document whose
+  // service spans carry the client's trace ids.
+  std::string Doc = slurp(Trace);
+  std::string Error;
+  ASSERT_TRUE(ipse::service::validateJsonDocument(Doc, Error))
+      << Error << "\n" << Doc;
+  if (ipse::observe::enabled()) {
+    EXPECT_NE(Doc.find("\"name\":\"service.query\""), std::string::npos)
+        << Doc;
+    EXPECT_NE(Doc.find("\"name\":\"service.flush\""), std::string::npos)
+        << Doc;
+    EXPECT_NE(Doc.find("\"trace\":\"c1\""), std::string::npos) << Doc;
+    // The edit (request c2) committed generation 1; its flush span says so.
+    EXPECT_NE(Doc.find("\"trace\":\"c2\",\"gen\":1"), std::string::npos)
+        << Doc;
+    EXPECT_EQ(countOf(Doc, "\"dur\":-"), 0u) << Doc;
+  }
+  std::remove(Trace.c_str());
+  std::remove(Script.c_str());
+  std::remove(ErrFile.c_str());
+  std::remove(Done.c_str());
 }
 
 } // namespace

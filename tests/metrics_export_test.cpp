@@ -1,0 +1,338 @@
+//===- tests/metrics_export_test.cpp - Prometheus export tests ----------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// The metrics export surface: LatencyHistogram's bucket/quantile accessors
+// (the raw material of the Prometheus exporter) under empty, single-sample,
+// overflow, and merged-across-threads populations; prometheusName
+// sanitization; and prometheusText's line-level validity — every line must
+// be either a `# TYPE` comment or `name{labels} value` with a legal metric
+// name, histograms must be cumulative and monotone, and `+Inf` must equal
+// `_count`.  All of this is live under -DIPSE_OBSERVE=OFF too: the
+// registry and exporter are not compiled out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Metrics.h"
+#include "observe/Prometheus.h"
+#include "support/LatencyHistogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipse;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A small validator for the Prometheus text exposition format (0.0.4).
+//===----------------------------------------------------------------------===//
+
+bool isLegalMetricName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  auto Head = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+           C == ':';
+  };
+  if (!Head(Name[0]))
+    return false;
+  for (char C : Name)
+    if (!Head(C) && !(C >= '0' && C <= '9'))
+      return false;
+  return true;
+}
+
+/// One parsed sample line: `name value` or `name{labels} value`.
+struct PromSample {
+  std::string Name;
+  std::string Labels; // raw text inside {...}, empty if none
+  double Value = 0;
+};
+
+/// Splits \p Text into samples, failing the calling test on any line that
+/// is neither a comment nor a well-formed sample.
+std::vector<PromSample> parsePromText(const std::string &Text) {
+  std::vector<PromSample> Samples;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#') {
+      // The only comments we emit are `# TYPE <name> <type>`.
+      if (!Line.empty()) {
+        std::istringstream C(Line);
+        std::string Hash, Kw, Name, Type, Extra;
+        C >> Hash >> Kw >> Name >> Type;
+        EXPECT_EQ(Kw, "TYPE") << Line;
+        EXPECT_TRUE(isLegalMetricName(Name)) << Line;
+        EXPECT_TRUE(Type == "counter" || Type == "gauge" ||
+                    Type == "histogram")
+            << Line;
+        EXPECT_FALSE(C >> Extra) << Line;
+      }
+      continue;
+    }
+    PromSample S;
+    std::size_t NameEnd = Line.find_first_of("{ ");
+    EXPECT_NE(NameEnd, std::string::npos) << Line;
+    if (NameEnd == std::string::npos)
+      continue;
+    S.Name = Line.substr(0, NameEnd);
+    EXPECT_TRUE(isLegalMetricName(S.Name)) << Line;
+    std::size_t ValueBegin = NameEnd;
+    if (Line[NameEnd] == '{') {
+      std::size_t Close = Line.find('}', NameEnd);
+      EXPECT_NE(Close, std::string::npos) << Line;
+      if (Close == std::string::npos)
+        continue;
+      S.Labels = Line.substr(NameEnd + 1, Close - NameEnd - 1);
+      ValueBegin = Close + 1;
+    }
+    EXPECT_LT(ValueBegin, Line.size()) << Line;
+    EXPECT_EQ(Line[ValueBegin], ' ') << Line;
+    const char *Num = Line.c_str() + ValueBegin + 1;
+    char *End = nullptr;
+    S.Value = std::strtod(Num, &End);
+    EXPECT_NE(End, Num) << Line;
+    EXPECT_EQ(*End, '\0') << "trailing junk: " << Line;
+    Samples.push_back(std::move(S));
+  }
+  return Samples;
+}
+
+/// The `le` bound of a histogram bucket sample, as written (e.g. "+Inf").
+std::string leOf(const PromSample &S) {
+  std::size_t Eq = S.Labels.find("le=\"");
+  if (Eq == std::string::npos)
+    return "";
+  std::size_t End = S.Labels.find('"', Eq + 4);
+  return S.Labels.substr(Eq + 4, End - (Eq + 4));
+}
+
+//===----------------------------------------------------------------------===//
+// LatencyHistogram: the accessors the exporter is built on.
+//===----------------------------------------------------------------------===//
+
+TEST(LatencyHistogram, EmptyExportsAllZero) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sumMicros(), 0u);
+  EXPECT_EQ(H.maxMicros(), 0u);
+  for (unsigned I = 0; I != LatencyHistogram::NumBuckets; ++I)
+    EXPECT_EQ(H.bucketCount(I), 0u) << "bucket " << I;
+  // Out-of-range buckets read as empty rather than UB.
+  EXPECT_EQ(H.bucketCount(LatencyHistogram::NumBuckets), 0u);
+  EXPECT_EQ(H.bucketCount(~0u), 0u);
+  EXPECT_EQ(H.percentileMicros(50), 0u);
+}
+
+TEST(LatencyHistogram, SingleSampleLandsInOneBucket) {
+  LatencyHistogram H;
+  H.record(100); // 64 <= 100 < 128 -> bucket 7, bound 128
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.sumMicros(), 100u);
+  EXPECT_EQ(H.maxMicros(), 100u);
+  unsigned Hot = LatencyHistogram::bucketOf(100);
+  EXPECT_EQ(Hot, 7u);
+  EXPECT_EQ(LatencyHistogram::bucketBoundMicros(Hot), 128u);
+  for (unsigned I = 0; I != LatencyHistogram::NumBuckets; ++I)
+    EXPECT_EQ(H.bucketCount(I), I == Hot ? 1u : 0u) << "bucket " << I;
+  // Every quantile of a one-sample population is that sample's bucket.
+  EXPECT_EQ(H.percentileMicros(1), 128u);
+  EXPECT_EQ(H.percentileMicros(50), 128u);
+  EXPECT_EQ(H.percentileMicros(100), 128u);
+}
+
+TEST(LatencyHistogram, HugeSamplesSaturateTheOverflowBucket) {
+  LatencyHistogram H;
+  const unsigned Overflow = LatencyHistogram::NumBuckets - 1;
+  // Smallest value past the last finite bound, and the largest possible.
+  H.record(std::uint64_t(1) << (LatencyHistogram::NumBuckets - 2));
+  H.record(~std::uint64_t(0));
+  EXPECT_EQ(H.bucketCount(Overflow), 2u);
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_EQ(H.maxMicros(), ~std::uint64_t(0));
+  // The overflow bucket reports the last finite bound, keeping the
+  // cumulative `le` series monotone.
+  EXPECT_EQ(LatencyHistogram::bucketBoundMicros(Overflow),
+            LatencyHistogram::bucketBoundMicros(Overflow - 1));
+  EXPECT_EQ(H.percentileMicros(99),
+            LatencyHistogram::bucketBoundMicros(Overflow));
+}
+
+TEST(LatencyHistogram, MergeFoldsThreadShardsExactly) {
+  // The per-thread-shard aggregation path: each thread records into its
+  // own histogram, then all shards merge into one.
+  constexpr unsigned Threads = 4, PerThread = 5000;
+  std::vector<LatencyHistogram> Shards(Threads);
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&Shards, T] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        Shards[T].record(T * 1000 + I % 7);
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  LatencyHistogram Merged;
+  std::uint64_t WantSum = 0, WantMax = 0;
+  for (unsigned T = 0; T != Threads; ++T) {
+    Merged.merge(Shards[T]);
+    WantSum += Shards[T].sumMicros();
+    WantMax = std::max(WantMax, Shards[T].maxMicros());
+  }
+  EXPECT_EQ(Merged.count(), std::uint64_t(Threads) * PerThread);
+  EXPECT_EQ(Merged.sumMicros(), WantSum);
+  EXPECT_EQ(Merged.maxMicros(), WantMax);
+  for (unsigned I = 0; I != LatencyHistogram::NumBuckets; ++I) {
+    std::uint64_t Want = 0;
+    for (unsigned T = 0; T != Threads; ++T)
+      Want += Shards[T].bucketCount(I);
+    EXPECT_EQ(Merged.bucketCount(I), Want) << "bucket " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Name sanitization.
+//===----------------------------------------------------------------------===//
+
+TEST(Prometheus, NamesAreSanitizedAndPrefixed) {
+  using observe::prometheusName;
+  EXPECT_EQ(prometheusName("service.read_lat_us"),
+            "ipse_service_read_lat_us");
+  EXPECT_EQ(prometheusName("a-b.c"), "ipse_a_b_c");
+  EXPECT_EQ(prometheusName("already_ok:sub"), "ipse_already_ok:sub");
+  EXPECT_EQ(prometheusName(""), "ipse_");
+  EXPECT_TRUE(isLegalMetricName(prometheusName("weird name!{}\"")));
+}
+
+//===----------------------------------------------------------------------===//
+// prometheusText: format validity and histogram semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(Prometheus, EmptyRegistryRendersEmpty) {
+  observe::MetricsRegistry Reg;
+  EXPECT_EQ(observe::prometheusText(Reg), "");
+}
+
+TEST(Prometheus, ScalarsRenderAsTypedSamples) {
+  observe::MetricsRegistry Reg;
+  Reg.counter("service.edits").add(12);
+  Reg.gauge("queue.depth").set(-3);
+
+  std::string Text = observe::prometheusText(Reg);
+  std::vector<PromSample> Samples = parsePromText(Text);
+  ASSERT_EQ(Samples.size(), 2u) << Text;
+
+  std::map<std::string, double> ByName;
+  for (const PromSample &S : Samples)
+    ByName[S.Name] = S.Value;
+  EXPECT_EQ(ByName.at("ipse_service_edits"), 12.0);
+  EXPECT_EQ(ByName.at("ipse_queue_depth"), -3.0);
+  EXPECT_NE(Text.find("# TYPE ipse_service_edits counter\n"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("# TYPE ipse_queue_depth gauge\n"), std::string::npos)
+      << Text;
+}
+
+TEST(Prometheus, HistogramsAreCumulativeAndMonotone) {
+  observe::MetricsRegistry Reg;
+  LatencyHistogram &H = Reg.histogram("flush_us");
+  H.record(0);   // bucket 0 (le 1)
+  H.record(3);   // bucket 2 (le 4)
+  H.record(3);   // bucket 2
+  H.record(100); // bucket 7 (le 128)
+
+  std::string Text = observe::prometheusText(Reg);
+  EXPECT_NE(Text.find("# TYPE ipse_flush_us histogram\n"), std::string::npos)
+      << Text;
+
+  std::vector<PromSample> Samples = parsePromText(Text);
+  std::vector<PromSample> Buckets;
+  double Sum = -1, Count = -1;
+  for (const PromSample &S : Samples) {
+    if (S.Name == "ipse_flush_us_bucket")
+      Buckets.push_back(S);
+    else if (S.Name == "ipse_flush_us_sum")
+      Sum = S.Value;
+    else if (S.Name == "ipse_flush_us_count")
+      Count = S.Value;
+    else
+      ADD_FAILURE() << "unexpected sample " << S.Name;
+  }
+  EXPECT_EQ(Sum, 106.0);
+  EXPECT_EQ(Count, 4.0);
+
+  // Buckets: cumulative, bounds strictly increasing, trailing empties
+  // dropped, +Inf last and equal to _count.
+  ASSERT_GE(Buckets.size(), 2u);
+  EXPECT_EQ(leOf(Buckets.back()), "+Inf");
+  EXPECT_EQ(Buckets.back().Value, Count);
+  double PrevBound = -1, PrevCum = -1;
+  for (std::size_t I = 0; I + 1 < Buckets.size(); ++I) {
+    double Bound = std::strtod(leOf(Buckets[I]).c_str(), nullptr);
+    EXPECT_GT(Bound, PrevBound);
+    EXPECT_GE(Buckets[I].Value, PrevCum);
+    PrevBound = Bound;
+    PrevCum = Buckets[I].Value;
+  }
+  // The last finite bucket is the highest non-empty one: bound 128,
+  // cumulative 4.
+  ASSERT_GE(Buckets.size(), 2u);
+  const PromSample &LastFinite = Buckets[Buckets.size() - 2];
+  EXPECT_EQ(leOf(LastFinite), "128");
+  EXPECT_EQ(LastFinite.Value, 4.0);
+}
+
+TEST(Prometheus, EmptyHistogramStillExportsInfSumCount) {
+  observe::MetricsRegistry Reg;
+  Reg.histogram("idle_us");
+  std::string Text = observe::prometheusText(Reg);
+  std::vector<PromSample> Samples = parsePromText(Text);
+
+  bool SawInf = false, SawSum = false, SawCount = false;
+  for (const PromSample &S : Samples) {
+    if (S.Name == "ipse_idle_us_bucket" && leOf(S) == "+Inf") {
+      SawInf = true;
+      EXPECT_EQ(S.Value, 0.0);
+    } else if (S.Name == "ipse_idle_us_sum") {
+      SawSum = true;
+      EXPECT_EQ(S.Value, 0.0);
+    } else if (S.Name == "ipse_idle_us_count") {
+      SawCount = true;
+      EXPECT_EQ(S.Value, 0.0);
+    }
+  }
+  EXPECT_TRUE(SawInf) << Text;
+  EXPECT_TRUE(SawSum) << Text;
+  EXPECT_TRUE(SawCount) << Text;
+}
+
+TEST(Prometheus, FullRegistryPassesTheLineChecker) {
+  observe::MetricsRegistry Reg;
+  Reg.counter("reads").add(7);
+  Reg.counter("service.writes").add(1);
+  Reg.gauge("snapshot.gen").set(42);
+  Reg.histogram("service.read_lat_us").record(250);
+  Reg.histogram("service.write_lat_us").record(9000);
+
+  std::string Text = observe::prometheusText(Reg);
+  ASSERT_FALSE(Text.empty());
+  EXPECT_EQ(Text.back(), '\n');
+  std::vector<PromSample> Samples = parsePromText(Text);
+  // 2 counters + 1 gauge + 2 histograms of >= 3 samples each.
+  EXPECT_GE(Samples.size(), 9u) << Text;
+}
+
+} // namespace

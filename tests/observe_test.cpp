@@ -272,6 +272,142 @@ TEST(JsonLinesSink, OpenFailureReportsError) {
 }
 
 //===----------------------------------------------------------------------===//
+// Request tags and thread ids on spans.
+//===----------------------------------------------------------------------===//
+
+/// SpanRecord.Tags points into the live TraceScope, so a sink that wants
+/// them past onSpan() must copy — which is also what this sink asserts.
+struct TagCollectingSink : observe::TraceSink {
+  struct Row {
+    std::string Name;
+    std::uint32_t Tid;
+    bool Tagged;
+    std::string TraceId;
+    std::uint64_t Generation;
+  };
+  std::vector<Row> Rows;
+  void onSpan(const observe::SpanRecord &R) override {
+    Rows.push_back({R.Name, R.Tid, R.Tags != nullptr,
+                    R.Tags ? R.Tags->TraceId : std::string(),
+                    R.Tags ? R.Tags->Generation : 0});
+  }
+};
+
+TEST(Trace, TaggedScopeStampsEverySpan) {
+  if (!observe::enabled())
+    GTEST_SKIP() << "built with IPSE_OBSERVE=OFF";
+  TagCollectingSink Sink;
+  {
+    observe::TraceScope Scope(nullptr, &Sink,
+                              observe::ScopeTags{"req-42", 7});
+    observe::TraceSpan Outer("outer");
+    { observe::TraceSpan Inner("inner"); }
+  }
+  {
+    // An untagged scope delivers spans with no tags.
+    observe::TraceScope Scope(nullptr, &Sink);
+    observe::TraceSpan S("untagged");
+  }
+  ASSERT_EQ(Sink.Rows.size(), 3u);
+  for (unsigned I = 0; I != 2; ++I) {
+    EXPECT_TRUE(Sink.Rows[I].Tagged) << Sink.Rows[I].Name;
+    EXPECT_EQ(Sink.Rows[I].TraceId, "req-42");
+    EXPECT_EQ(Sink.Rows[I].Generation, 7u);
+    EXPECT_EQ(Sink.Rows[I].Tid, observe::currentTid());
+  }
+  EXPECT_FALSE(Sink.Rows[2].Tagged);
+}
+
+TEST(Trace, CurrentTidIsStablePerThreadAndDistinctAcrossThreads) {
+  std::uint32_t Mine = observe::currentTid();
+  EXPECT_GT(Mine, 0u);
+  EXPECT_EQ(observe::currentTid(), Mine);
+  std::uint32_t Other = 0;
+  std::thread([&Other] { Other = observe::currentTid(); }).join();
+  EXPECT_GT(Other, 0u);
+  EXPECT_NE(Other, Mine);
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome Trace Event sink.
+//===----------------------------------------------------------------------===//
+
+std::string slurpFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+TEST(ChromeTraceSink, FileIsAValidJsonDocumentAtEveryMoment) {
+  if (!observe::enabled())
+    GTEST_SKIP() << "built with IPSE_OBSERVE=OFF";
+  std::string Path = testing::TempDir() + "/ipse_observe_trace.chrome.json";
+  std::string Error;
+  std::unique_ptr<observe::ChromeTraceSink> Sink =
+      observe::ChromeTraceSink::open(Path, Error);
+  ASSERT_NE(Sink, nullptr) << Error;
+
+  // Empty trace: already a well-formed (empty) array.
+  std::string Doc = slurpFile(Path);
+  EXPECT_TRUE(service::validateJsonDocument(Doc, Error)) << Error << Doc;
+
+  {
+    observe::TraceScope Scope(nullptr, Sink.get(),
+                              observe::ScopeTags{"q1", 3});
+    { observe::TraceSpan S("alpha"); }
+    // Mid-stream, with the sink still open and more spans to come: the
+    // file must parse as-is (the crash-durability property).
+    Doc = slurpFile(Path);
+    EXPECT_TRUE(service::validateJsonDocument(Doc, Error)) << Error << Doc;
+    { observe::TraceSpan S("beta"); }
+  }
+  Sink.reset();
+
+  Doc = slurpFile(Path);
+  ASSERT_TRUE(service::validateJsonDocument(Doc, Error)) << Error << Doc;
+  // Complete events with the span names, thread id, and request tags.
+  EXPECT_NE(Doc.find("\"name\":\"alpha\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"name\":\"beta\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"ph\":\"X\""), std::string::npos) << Doc;
+  std::string Tid = "\"tid\":" + std::to_string(observe::currentTid());
+  EXPECT_NE(Doc.find(Tid), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"trace\":\"q1\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"gen\":3"), std::string::npos) << Doc;
+  std::remove(Path.c_str());
+}
+
+TEST(ChromeTraceSink, HostileTraceIdsAreEscapedOut) {
+  if (!observe::enabled())
+    GTEST_SKIP() << "built with IPSE_OBSERVE=OFF";
+  std::string Path = testing::TempDir() + "/ipse_observe_hostile.chrome.json";
+  std::string Error;
+  std::unique_ptr<observe::ChromeTraceSink> Sink =
+      observe::ChromeTraceSink::open(Path, Error);
+  ASSERT_NE(Sink, nullptr) << Error;
+  {
+    // A wire-supplied id full of JSON-breaking characters must not be
+    // able to corrupt the document.
+    observe::TraceScope Scope(
+        nullptr, Sink.get(),
+        observe::ScopeTags{"a\"b\\c\nd\te}", 1});
+    observe::TraceSpan S("hostile");
+  }
+  Sink.reset();
+  std::string Doc = slurpFile(Path);
+  EXPECT_TRUE(service::validateJsonDocument(Doc, Error)) << Error << Doc;
+  EXPECT_NE(Doc.find("\"trace\":\"abcde}\""), std::string::npos) << Doc;
+  std::remove(Path.c_str());
+}
+
+TEST(ChromeTraceSink, OpenFailureReportsError) {
+  std::string Error;
+  EXPECT_EQ(observe::ChromeTraceSink::open("/nonexistent-dir/x.json", Error),
+            nullptr);
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
 // The differential guarantee: observing never changes results.
 //===----------------------------------------------------------------------===//
 

@@ -19,6 +19,7 @@
 #include "analysis/SideEffectAnalyzer.h"
 #include "incremental/AnalysisSession.h"
 #include "incremental/Edit.h"
+#include "observe/Trace.h"
 #include "ir/Printer.h"
 #include "service/AnalysisService.h"
 #include "service/AnalysisSnapshot.h"
@@ -32,6 +33,7 @@
 #include "gtest/gtest.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
@@ -381,6 +383,105 @@ TEST(AnalysisService, BurstOfIdenticalQueriesIsDeduplicated) {
 }
 
 //===----------------------------------------------------------------------===//
+// Request-scoped tracing through the service.
+//===----------------------------------------------------------------------===//
+
+/// Copies each span's identity out of the live SpanRecord (Tags is only
+/// valid during onSpan).  Worker and writer threads both deliver here.
+struct ServiceTagSink : observe::TraceSink {
+  struct Row {
+    std::string Name;
+    std::string TraceId;
+    std::uint64_t Generation;
+  };
+  std::mutex M;
+  std::vector<Row> Rows;
+  void onSpan(const observe::SpanRecord &R) override {
+    std::lock_guard<std::mutex> Lock(M);
+    Rows.push_back({R.Name, R.Tags ? R.Tags->TraceId : std::string(),
+                    R.Tags ? R.Tags->Generation : 0});
+  }
+  std::vector<Row> named(const std::string &Name) {
+    std::lock_guard<std::mutex> Lock(M);
+    std::vector<Row> Out;
+    for (const Row &R : Rows)
+      if (R.Name == Name)
+        Out.push_back(R);
+    return Out;
+  }
+};
+
+TEST(AnalysisService, EchoesTraceIdsAndTagsSpans) {
+  ServiceTagSink Sink;
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  Opts.Sink = &Sink;
+  AnalysisService Svc(makeProgram(), Opts);
+
+  Response Q = Svc.call("gmod main", "req-q");
+  ASSERT_TRUE(Q.Ok) << Q.Error;
+  EXPECT_EQ(Q.TraceId, "req-q");
+
+  Response E = Svc.call("add-global trace_g", "req-e");
+  ASSERT_TRUE(E.Ok) << E.Error;
+  EXPECT_EQ(E.TraceId, "req-e");
+  EXPECT_EQ(E.Generation, 1u);
+
+  // Inline verbs and inline errors echo too.
+  EXPECT_EQ(Svc.call("stats", "req-s").TraceId, "req-s");
+  EXPECT_EQ(Svc.call("load x.mp", "req-x").TraceId, "req-x");
+  // No trace supplied: none invented at this layer.
+  EXPECT_EQ(Svc.call("gmod main").TraceId, "");
+
+  if (!observe::enabled())
+    return;
+  // The query's evaluation span carries its trace id and the snapshot
+  // generation that answered it (0: before the edit).
+  std::vector<ServiceTagSink::Row> Queries = Sink.named("service.query");
+  bool SawQuery = false;
+  for (const ServiceTagSink::Row &R : Queries)
+    if (R.TraceId == "req-q") {
+      SawQuery = true;
+      EXPECT_EQ(R.Generation, 0u);
+    }
+  EXPECT_TRUE(SawQuery);
+  // The flush span carries the editing request's id and the generation it
+  // produced.
+  std::vector<ServiceTagSink::Row> Flushes = Sink.named("service.flush");
+  ASSERT_FALSE(Flushes.empty());
+  EXPECT_EQ(Flushes[0].TraceId, "req-e");
+  EXPECT_EQ(Flushes[0].Generation, 1u);
+}
+
+TEST(AnalysisService, MetricsVerbSpeaksJsonAndPrometheus) {
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  AnalysisService Svc(makeProgram(), Opts);
+  // Touch the latency paths so the exported histograms are non-trivial.
+  ASSERT_TRUE(Svc.call("gmod main").Ok);
+  ASSERT_TRUE(Svc.call("add-global prom_g").Ok);
+
+  Response Json = Svc.call("metrics");
+  ASSERT_TRUE(Json.Ok) << Json.Error;
+  EXPECT_TRUE(Json.ResultIsJson);
+  std::string Err;
+  ASSERT_TRUE(parseJsonObject(Json.Result, Err).has_value())
+      << Err << " in " << Json.Result;
+
+  Response Prom = Svc.call("metrics --format=prom");
+  ASSERT_TRUE(Prom.Ok) << Prom.Error;
+  // Prometheus text is a plain string payload, not a JSON object.
+  EXPECT_FALSE(Prom.ResultIsJson);
+  EXPECT_NE(Prom.Result.find("# TYPE"), std::string::npos) << Prom.Result;
+  EXPECT_NE(Prom.Result.find("ipse_service_read_lat_us_bucket"),
+            std::string::npos)
+      << Prom.Result;
+  EXPECT_NE(Prom.Result.find("ipse_service_write_lat_us_count"),
+            std::string::npos)
+      << Prom.Result;
+}
+
+//===----------------------------------------------------------------------===//
 // TCP front end.
 //===----------------------------------------------------------------------===//
 
@@ -472,6 +573,114 @@ TEST(Server, ScriptErrorsComeBackAsErrorResponses) {
   EXPECT_NE(Output.find("unknown procedure 'nope'"), std::string::npos)
       << Output;
   Server.stop();
+}
+
+TEST(Server, TraceIdsAreEchoedOrServerAssigned) {
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  AnalysisService Svc(makeProgram(), Opts);
+
+  std::mutex M;
+  std::vector<std::string> Lines;
+  auto Emit = [&](const std::string &L) {
+    std::lock_guard<std::mutex> Lock(M);
+    Lines.push_back(L);
+  };
+  handleRequestLine(Svc, R"({"id":1,"cmd":"gmod main","trace":"cli-7"})",
+                    Emit);
+  handleRequestLine(Svc, R"({"id":2,"cmd":"rmod main"})", Emit);
+  // Inline error paths carry the trace too.
+  handleRequestLine(Svc, R"({"id":3,"cmd":"load x.mp","trace":"cli-9"})",
+                    Emit);
+
+  // Query responses arrive on the worker thread; wait for all three.
+  for (int Spin = 0; Spin != 5000; ++Spin) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      if (Lines.size() == 3)
+        break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  ASSERT_EQ(Lines.size(), 3u);
+
+  std::map<std::uint64_t, JsonObject> ById;
+  for (const std::string &L : Lines) {
+    std::string Err;
+    auto Obj = parseJsonObject(L, Err);
+    ASSERT_TRUE(Obj.has_value()) << Err << " in " << L;
+    ById.emplace(*Obj->getUInt("id"), *Obj);
+  }
+  // Client-supplied ids come back verbatim.
+  EXPECT_EQ(ById.at(1).getString("trace"), "cli-7");
+  EXPECT_EQ(ById.at(3).getString("trace"), "cli-9");
+  EXPECT_EQ(ById.at(3).getBool("ok"), false);
+  // No trace supplied: the server assigns one ("s<N>").
+  std::optional<std::string> Assigned = ById.at(2).getString("trace");
+  ASSERT_TRUE(Assigned.has_value());
+  EXPECT_EQ(Assigned->front(), 's');
+  EXPECT_GT(Assigned->size(), 1u);
+}
+
+TEST(Server, MetricsAndStatsFlowOverTcp) {
+  ServiceOptions Opts;
+  Opts.Workers = 1;
+  AnalysisService Svc(makeProgram(), Opts);
+  TcpServer Server(Svc);
+  std::string Error;
+  ASSERT_TRUE(Server.start(0, Error)) << Error;
+
+  // The line client: stats and both metrics formats are served inline
+  // over the wire, and every request carries a client trace id.
+  std::string Script = "gmod main\n"
+                       "stats\n"
+                       "metrics\n"
+                       "metrics --format=prom\n";
+  std::FILE *In = fmemopen(Script.data(), Script.size(), "r");
+  char *OutBuf = nullptr;
+  std::size_t OutLen = 0;
+  std::FILE *Out = open_memstream(&OutBuf, &OutLen);
+  int Exit = runClient(Server.port(), In, Out);
+  std::fclose(In);
+  std::fclose(Out);
+  std::string Output(OutBuf, OutLen);
+  std::free(OutBuf);
+
+  EXPECT_EQ(Exit, 0) << Output;
+  EXPECT_NE(Output.find("\"edits\":"), std::string::npos) << Output;
+  EXPECT_NE(Output.find("\"counters\""), std::string::npos) << Output;
+  EXPECT_NE(Output.find("# TYPE"), std::string::npos) << Output;
+  EXPECT_NE(Output.find("\"trace\":\"c1\""), std::string::npos) << Output;
+
+  // The one-shot metrics scraper, both formats.
+  char *DumpBuf = nullptr;
+  std::size_t DumpLen = 0;
+  std::FILE *Dump = open_memstream(&DumpBuf, &DumpLen);
+  EXPECT_EQ(runMetricsDump(Server.port(), /*Prom=*/true, Dump), 0);
+  std::fclose(Dump);
+  std::string Prom(DumpBuf, DumpLen);
+  std::free(DumpBuf);
+  EXPECT_NE(Prom.find("# TYPE"), std::string::npos) << Prom;
+  EXPECT_NE(Prom.find("ipse_service_read_lat_us_count"), std::string::npos)
+      << Prom;
+  // Decoded payload, not a protocol envelope.
+  EXPECT_EQ(Prom.find("\"ok\""), std::string::npos) << Prom;
+
+  Dump = open_memstream(&DumpBuf, &DumpLen);
+  EXPECT_EQ(runMetricsDump(Server.port(), /*Prom=*/false, Dump), 0);
+  std::fclose(Dump);
+  std::string Json(DumpBuf, DumpLen);
+  std::free(DumpBuf);
+  std::string Err;
+  ASSERT_TRUE(parseJsonObject(Json, Err).has_value()) << Err << " in " << Json;
+  EXPECT_NE(Json.find("\"histograms\""), std::string::npos) << Json;
+
+  Server.stop();
+  // Nobody is listening afterwards: the dump fails cleanly.
+  std::FILE *Null = std::fopen("/dev/null", "w");
+  EXPECT_EQ(runMetricsDump(Server.port(), true, Null), 1);
+  std::fclose(Null);
 }
 
 //===----------------------------------------------------------------------===//

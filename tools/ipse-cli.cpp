@@ -22,6 +22,9 @@
 //                                                   (newline-delimited JSON)
 //   ipse-cli client --port N [script]               line client for a serving
 //                                                   instance
+//   ipse-cli metrics-dump --port N [--format=F]     fetch a serving instance's
+//                                                   metrics (Prometheus text
+//                                                   or JSON)
 //
 //===----------------------------------------------------------------------===//
 
@@ -60,7 +63,7 @@ namespace {
       stderr,
       "usage: ipse-cli <command> [options] [file.mp]\n"
       "  report [--rmod] [--no-use] [--engine=E] [--parallel[=K]]\n"
-      "         [--profile] [--trace-out=FILE] <file>\n"
+      "         [--profile] [--trace-out=FILE] [--trace-format=F] <file>\n"
       "                                      MOD/USE summary report\n"
       "                                      (--engine: sequential, parallel\n"
       "                                      or session; --parallel[=K]:\n"
@@ -70,27 +73,36 @@ namespace {
       "                                      --profile appends per-phase\n"
       "                                      wall time and bit-vector op\n"
       "                                      counts; --trace-out streams\n"
-      "                                      spans as JSON lines)\n"
+      "                                      spans, --trace-format selects\n"
+      "                                      jsonl (default) or chrome —\n"
+      "                                      Trace Event JSON for Perfetto)\n"
       "  dot [--beta] <file>                 call graph (or beta) as dot\n"
       "  stats <file>                        program and graph sizes\n"
       "  check <file>                        run all solvers and verify\n"
       "  generate [--seed N] [--procs N] [--globals N] [--depth N]\n"
       "                                      emit a random MiniProc program\n"
       "  roundtrip <file>                    compile -> emit -> recompile\n"
-      "  session [--profile] [--trace-out=FILE] <script>\n"
+      "  session [--profile] [--trace-out=FILE] [--trace-format=F] <script>\n"
       "                                      drive an incremental analysis\n"
       "                                      session ('-' reads stdin; see\n"
       "                                      'session' section of README)\n"
       "  serve (--program <file> | --gen k=v[,k=v...])\n"
       "        [--port N] [--workers N] [--queue N] [--batch N]\n"
       "        [--stats-ms N] [--no-use] [--parallel[=K]]\n"
+      "        [--trace-out=FILE] [--trace-format=F]\n"
       "                                      concurrent analysis service;\n"
       "                                      newline-delimited JSON over\n"
       "                                      stdio, or TCP with --port\n"
-      "                                      (0 picks a free port)\n"
+      "                                      (0 picks a free port); spans\n"
+      "                                      are tagged with request trace\n"
+      "                                      ids\n"
       "  client --port N [script]            send a session script to a\n"
       "                                      serving instance (stdin when\n"
-      "                                      no script is given)\n");
+      "                                      no script is given)\n"
+      "  metrics-dump --port N [--format=prom|json]\n"
+      "                                      fetch a serving instance's\n"
+      "                                      metrics (Prometheus text by\n"
+      "                                      default)\n");
   std::exit(2);
 }
 
@@ -127,15 +139,18 @@ Program compileOrDie(const std::string &Path) {
   return std::move(*R.Program);
 }
 
-/// The engine / observability flags shared by `report` and `session`: one
-/// ipse::AnalysisOptions plus the owned `--trace-out` sink feeding it.
+/// The engine / observability flags shared by `report`, `session`, and
+/// `serve`: one ipse::AnalysisOptions plus the owned `--trace-out` sink
+/// feeding it.
 struct CommonFlags {
   ipse::AnalysisOptions Opts;
-  std::unique_ptr<observe::JsonLinesSink> TraceOut;
+  std::unique_ptr<observe::TraceSink> TraceOut;
+  std::string TracePath;
+  bool TraceChrome = false;
 
-  /// Consumes --engine=E / --parallel[=K] / --profile / --trace-out=FILE.
-  /// Returns false when \p A is some other argument.  Exits on an
-  /// unwritable trace file or unknown engine name.
+  /// Consumes --engine=E / --parallel[=K] / --profile / --trace-out=FILE
+  /// / --trace-format=jsonl|chrome.  Returns false when \p A is some
+  /// other argument.  Exits on an unknown engine or trace format name.
   bool parse(const std::string &A) {
     using Engine = ipse::AnalysisOptions::Engine;
     if (unsigned K = parseParallelFlag(A)) {
@@ -166,17 +181,41 @@ struct CommonFlags {
     }
     const std::string TracePrefix = "--trace-out=";
     if (A.compare(0, TracePrefix.size(), TracePrefix) == 0) {
-      std::string Error;
-      TraceOut = observe::JsonLinesSink::open(A.substr(TracePrefix.size()),
-                                              Error);
-      if (!TraceOut) {
-        std::fprintf(stderr, "error: %s\n", Error.c_str());
-        std::exit(1);
+      TracePath = A.substr(TracePrefix.size());
+      return true;
+    }
+    const std::string FormatPrefix = "--trace-format=";
+    if (A.compare(0, FormatPrefix.size(), FormatPrefix) == 0) {
+      std::string Name = A.substr(FormatPrefix.size());
+      if (Name == "jsonl")
+        TraceChrome = false;
+      else if (Name == "chrome")
+        TraceChrome = true;
+      else {
+        std::fprintf(stderr, "error: unknown trace format '%s'\n",
+                     Name.c_str());
+        std::exit(2);
       }
-      Opts.Sink = TraceOut.get();
       return true;
     }
     return false;
+  }
+
+  /// Opens the trace sink once every flag is seen (--trace-format may
+  /// come after --trace-out).  Exits on an unwritable file.
+  void finish() {
+    if (TracePath.empty())
+      return;
+    std::string Error;
+    if (TraceChrome)
+      TraceOut = observe::ChromeTraceSink::open(TracePath, Error);
+    else
+      TraceOut = observe::JsonLinesSink::open(TracePath, Error);
+    if (!TraceOut) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      std::exit(1);
+    }
+    Opts.Sink = TraceOut.get();
   }
 };
 
@@ -196,6 +235,7 @@ int cmdReport(const std::vector<std::string> &Args) {
   }
   if (Path.empty())
     usage();
+  F.finish();
   F.Opts.TrackUse = Options.IncludeUse;
   ipse::Analyzer An(F.Opts);
   ipse::ReportRun Run = An.reportSource(readFile(Path), Options);
@@ -383,6 +423,7 @@ int cmdSession(const std::vector<std::string> &Args) {
   }
   if (Path.empty())
     usage();
+  F.finish();
   std::string Script;
   if (Path == "-") {
     std::ostringstream SS;
@@ -411,7 +452,8 @@ int cmdServe(const std::vector<std::string> &Args) {
   std::string ProgramPath, GenSpec;
   bool HavePort = false;
   std::uint16_t Port = 0;
-  ipse::AnalysisOptions Opts;
+  CommonFlags F;
+  ipse::AnalysisOptions &Opts = F.Opts;
   for (std::size_t I = 0; I != Args.size(); ++I) {
     auto strArg = [&]() -> std::string {
       if (I + 1 >= Args.size())
@@ -438,8 +480,8 @@ int cmdServe(const std::vector<std::string> &Args) {
       Opts.ServiceStatsIntervalMs = intArg();
     else if (Args[I] == "--no-use")
       Opts.TrackUse = false;
-    else if (unsigned K = parseParallelFlag(Args[I]))
-      Opts.Threads = K;
+    else if (F.parse(Args[I]))
+      ;
     else
       usage();
   }
@@ -448,6 +490,7 @@ int cmdServe(const std::vector<std::string> &Args) {
                  "error: 'serve' needs exactly one of --program / --gen\n");
     return 2;
   }
+  F.finish();
 
   Program P;
   if (!ProgramPath.empty()) {
@@ -522,6 +565,29 @@ int cmdClient(const std::vector<std::string> &Args) {
   return Exit;
 }
 
+int cmdMetricsDump(const std::vector<std::string> &Args) {
+  bool HavePort = false;
+  std::uint16_t Port = 0;
+  bool Prom = true;
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    if (Args[I] == "--port") {
+      if (I + 1 >= Args.size())
+        usage();
+      HavePort = true;
+      Port = static_cast<std::uint16_t>(std::atoi(Args[++I].c_str()));
+    } else if (Args[I] == "--format=prom") {
+      Prom = true;
+    } else if (Args[I] == "--format=json") {
+      Prom = false;
+    } else {
+      usage();
+    }
+  }
+  if (!HavePort)
+    usage();
+  return service::runMetricsDump(Port, Prom, stdout);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -547,5 +613,7 @@ int main(int argc, char **argv) {
     return cmdServe(Args);
   if (Cmd == "client")
     return cmdClient(Args);
+  if (Cmd == "metrics-dump")
+    return cmdMetricsDump(Args);
   usage();
 }
