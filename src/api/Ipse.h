@@ -88,6 +88,12 @@ struct AnalysisOptions {
   std::size_t ServiceMaxBatch = 32;
   unsigned ServiceStatsIntervalMs = 0;
   std::FILE *ServiceStatsOut = nullptr;
+  /// Durable mode: recover from / persist to this data directory (see
+  /// service::ServiceOptions::DataDir).  Empty = in-memory only.
+  std::string DataDir;
+  /// WAL compaction thresholds for durable mode.
+  std::uint64_t CompactWalRecords = 1024;
+  std::uint64_t CompactWalBytes = 8u << 20;
   /// @}
 
   /// \name Observability
@@ -139,6 +145,9 @@ struct AnalysisOptions {
     O.StatsIntervalMs = ServiceStatsIntervalMs;
     O.StatsOut = ServiceStatsOut;
     O.Sink = Sink;
+    O.DataDir = DataDir;
+    O.CompactWalRecords = CompactWalRecords;
+    O.CompactWalBytes = CompactWalBytes;
     return O;
   }
   /// @}

@@ -49,15 +49,63 @@ void addUnique(std::vector<std::uint32_t> &List, std::vector<char> &Flag,
 
 AnalysisSession::AnalysisSession(ir::Program Initial, SessionOptions Options)
     : P(std::move(Initial)), Opts(Options) {
+  initKindStates();
+  rebuildAll();
+  // The constructor's build is not a serviced edit; keep the stats clean.
+  Stats = SessionStats();
+}
+
+AnalysisSession::AnalysisSession(ir::Program Initial, SessionOptions Options,
+                                 SessionPlanes Planes)
+    : P(std::move(Initial)), Opts(Options) {
+  observe::TraceSpan Span("session.restore");
+  initKindStates();
+  assert(Planes.Kinds.size() == States.size() &&
+         "restored planes must match the TrackUse configuration");
+  rebuildSharedStructure();
+  for (SessionPlanes::KindPlanes &KP : Planes.Kinds) {
+    KindState &K = state(KP.Kind);
+    assert(KP.Own.size() == P.numProcs() && KP.Ext.size() == P.numProcs() &&
+           KP.IModPlus.size() == P.numProcs() &&
+           KP.GMod.size() == P.numProcs() &&
+           KP.FormalBits.size() == P.numVars() &&
+           KP.RModBits.size() == P.numVars() &&
+           "restored plane dimensions must match the program");
+    K.Own = std::move(KP.Own);
+    K.Ext = std::move(KP.Ext);
+    K.FormalBits = std::move(KP.FormalBits);
+    K.RModBits = std::move(KP.RModBits);
+    K.IModPlus = std::move(KP.IModPlus);
+    K.GMod.GMod = std::move(KP.GMod);
+  }
+  Generation = CleanGeneration = Planes.Generation;
+}
+
+void AnalysisSession::initKindStates() {
   States.emplace_back();
   States.back().Kind = EffectKind::Mod;
   if (Opts.TrackUse) {
     States.emplace_back();
     States.back().Kind = EffectKind::Use;
   }
-  rebuildAll();
-  // The constructor's build is not a serviced edit; keep the stats clean.
-  Stats = SessionStats();
+}
+
+SessionPlanes AnalysisSession::exportPlanes() {
+  flush();
+  SessionPlanes Out;
+  Out.Generation = Generation;
+  for (const KindState &K : States) {
+    SessionPlanes::KindPlanes KP;
+    KP.Kind = K.Kind;
+    KP.Own = K.Own;
+    KP.Ext = K.Ext;
+    KP.FormalBits = K.FormalBits;
+    KP.RModBits = K.RModBits;
+    KP.IModPlus = K.IModPlus;
+    KP.GMod = K.GMod.GMod;
+    Out.Kinds.push_back(std::move(KP));
+  }
+  return Out;
 }
 
 AnalysisSession::KindState &AnalysisSession::state(EffectKind Kind) {
@@ -229,9 +277,7 @@ void AnalysisSession::recondense() {
   ++Stats.Recondensations;
 }
 
-void AnalysisSession::rebuildAll() {
-  observe::TraceSpan Span("flush.full-rebuild");
-  ++Stats.FullRebuilds;
+void AnalysisSession::rebuildSharedStructure() {
   Masks = std::make_unique<analysis::VarMasks>(P);
   BG = std::make_unique<graph::BindingGraph>(P);
 
@@ -247,6 +293,16 @@ void AnalysisSession::rebuildAll() {
   graph::CallGraph CG(P);
   Cond.rebuild(CG.graph());
   rebuildDerivedGraphs();
+}
+
+void AnalysisSession::rebuildAll() {
+  observe::TraceSpan Span("flush.full-rebuild");
+  ++Stats.FullRebuilds;
+  rebuildSharedStructure();
+
+  const std::size_t V = P.numVars();
+  const unsigned DP = P.maxProcLevel();
+  graph::CallGraph CG(P);
 
   // Tier-3 rebuilds redo every pass over the whole program — exactly the
   // shape the level-scheduled batch engine parallelizes.  Incremental

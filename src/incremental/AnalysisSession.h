@@ -101,6 +101,29 @@ struct SessionStats {
   std::uint64_t RModResolves = 0;
 };
 
+/// The solver planes of a flushed session, detached from it — what a
+/// snapshot file stores and a warm restart installs.  Everything else the
+/// session keeps resident (VarMasks, the binding graph, the condensation,
+/// caller lists) is derivable from the program in linear integer time, far
+/// below the fixed-point solves these planes make skippable.
+struct SessionPlanes {
+  /// The generation the planes were exported at; a session restored from
+  /// them resumes counting there, so generation numbers survive restarts.
+  std::uint64_t Generation = 0;
+
+  struct KindPlanes {
+    analysis::EffectKind Kind = analysis::EffectKind::Mod;
+    /// Per-proc IMOD from the procedure's own body / nesting-extended.
+    std::vector<BitVector> Own, Ext;
+    /// Per-var bit planes: β inputs and Figure-1 RMOD outputs.
+    BitVector FormalBits, RModBits;
+    /// Per-proc IMOD+ (equation 5) and GMOD/GUSE (equation 4).
+    std::vector<BitVector> IModPlus, GMod;
+  };
+  /// MOD first; USE present iff the exporting session tracked it.
+  std::vector<KindPlanes> Kinds;
+};
+
 /// A long-lived analysis over one evolving program.
 ///
 /// All query methods flush pending edits first, so results always reflect
@@ -110,6 +133,16 @@ class AnalysisSession {
 public:
   explicit AnalysisSession(ir::Program Initial,
                            SessionOptions Options = SessionOptions());
+
+  /// Warm-restart constructor: installs previously exported planes
+  /// instead of solving.  Only the linear derived structure is rebuilt,
+  /// so construction costs no fixed-point iteration at all.  \p Planes
+  /// must have been exported (exportPlanes()) from a session over an
+  /// identical program with the same TrackUse setting; dimensions are
+  /// asserted, semantic validity is the caller's contract (the persist
+  /// layer checksums files and cross-checks the derived graphs).
+  AnalysisSession(ir::Program Initial, SessionOptions Options,
+                  SessionPlanes Planes);
 
   /// The current program.  Ids obtained from it are valid until the next
   /// removal edit (see ir::ProgramEditor's id-stability rules).
@@ -182,6 +215,10 @@ public:
   const BitVector &rmodBits(analysis::EffectKind Kind);
   /// @}
 
+  /// Flushes, then copies out every solver plane (the warm-restart
+  /// payload; see SessionPlanes).
+  SessionPlanes exportPlanes();
+
 private:
   /// Resident per-effect-kind pipeline state.
   struct KindState {
@@ -208,6 +245,11 @@ private:
   void markUniverseDirty();
 
   // Flush machinery.
+  void initKindStates();
+  /// Rebuilds the linearly derivable resident structure (masks, β, level
+  /// masks, condensation, caller lists) — the part of rebuildAll() a
+  /// warm restart shares.
+  void rebuildSharedStructure();
   void rebuildAll();
   void flushIncremental();
   void rebuildDerivedGraphs();

@@ -56,6 +56,48 @@ void incremental::applyEdit(AnalysisSession &Session, const Edit &E) {
   }
 }
 
+void Edit::encode(ByteWriter &W) const {
+  W.u8(static_cast<std::uint8_t>(Kind));
+  W.u32(Stmt.index());
+  W.u32(Var.index());
+  W.u32(Proc.index());
+  W.u32(Callee.index());
+  W.u32(Call.index());
+  W.u32(static_cast<std::uint32_t>(Actuals.size()));
+  for (const ir::Actual &A : Actuals)
+    W.u32(A.Var.index());
+  W.str(Name);
+}
+
+bool Edit::decode(ByteReader &R, Edit &Out) {
+  std::uint8_t Kind = 0;
+  if (!R.u8(Kind) || Kind > static_cast<std::uint8_t>(EditKind::RemoveProc))
+    return false;
+  Out.Kind = static_cast<EditKind>(Kind);
+  std::uint32_t Stmt, Var, Proc, Callee, Call, NumActuals;
+  if (!R.u32(Stmt) || !R.u32(Var) || !R.u32(Proc) || !R.u32(Callee) ||
+      !R.u32(Call) || !R.u32(NumActuals))
+    return false;
+  Out.Stmt = ir::StmtId(Stmt);
+  Out.Var = ir::VarId(Var);
+  Out.Proc = ir::ProcId(Proc);
+  Out.Callee = ir::ProcId(Callee);
+  Out.Call = ir::CallSiteId(Call);
+  // A corrupt count would otherwise reserve gigabytes before the reads
+  // fail; each actual takes 4 bytes, so the remaining length bounds it.
+  if (NumActuals > R.remaining() / 4)
+    return false;
+  Out.Actuals.clear();
+  Out.Actuals.reserve(NumActuals);
+  for (std::uint32_t I = 0; I != NumActuals; ++I) {
+    std::uint32_t Raw;
+    if (!R.u32(Raw))
+      return false;
+    Out.Actuals.push_back(ir::Actual{ir::VarId(Raw)});
+  }
+  return R.str(Out.Name);
+}
+
 namespace {
 
 /// Position of \p S in its procedure's body (the script grammar's stmtIdx).

@@ -18,6 +18,7 @@
 #define IPSE_INCREMENTAL_EDIT_H
 
 #include "ir/Program.h"
+#include "support/Binary.h"
 
 #include <string>
 #include <vector>
@@ -51,6 +52,23 @@ struct Edit {
   ir::CallSiteId Call;
   std::vector<ir::Actual> Actuals;
   std::string Name;
+
+  /// \name Wire codec (the WAL's record payload)
+  /// The encoding is kind-independent: every field is written, including
+  /// the ones the kind leaves defaulted, so decode ∘ encode is the
+  /// identity on the *whole* struct for every kind — the round-trip the
+  /// write-ahead log depends on.  Ids are stored as raw 32-bit values
+  /// (the invalid sentinel included); they are only meaningful against
+  /// the program state the edit was resolved under, which is exactly how
+  /// replay presents them.
+  /// @{
+  void encode(ByteWriter &W) const;
+  /// Returns false (leaving \p Out unspecified) on truncated input or an
+  /// out-of-range kind byte.
+  static bool decode(ByteReader &R, Edit &Out);
+  /// @}
+
+  friend bool operator==(const Edit &, const Edit &) = default;
 };
 
 class AnalysisSession;

@@ -29,6 +29,9 @@
 #include <vector>
 
 namespace ipse {
+namespace persist {
+class ProgramCodec;
+}
 namespace ir {
 
 /// What scope a variable belongs to.
@@ -58,6 +61,8 @@ struct Actual {
   static Actual variable(VarId V) { return Actual{V}; }
   static Actual expression() { return Actual{VarId()}; }
   bool isVariable() const { return Var.isValid(); }
+
+  friend bool operator==(const Actual &, const Actual &) = default;
 };
 
 /// A call site e = (p, q): an invocation of Callee from a statement in
@@ -169,6 +174,10 @@ public:
 private:
   friend class ProgramBuilder;
   friend class ProgramEditor;
+  /// The snapshot serializer reads and reconstitutes the raw tables
+  /// directly (persist/Snapshot.cpp); a decoded program is re-checked with
+  /// verify() before anything consumes it.
+  friend class persist::ProgramCodec;
 
   std::vector<Procedure> Procs;
   std::vector<Variable> Vars;

@@ -1,0 +1,109 @@
+//===- persist/Wal.h - Write-ahead edit log ---------------------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The write-ahead log: resolved incremental::Edit records appended (and
+/// fsync'd) before the service publishes the state they produce, so every
+/// acknowledged generation is reconstructible as snapshot + log tail.
+///
+/// Layout (little-endian):
+///
+///   magic "IPSEWAL1" | u32 version | u64 baseGeneration | u32 headerCrc
+///   then records:  u32 payloadLen | u32 payloadCrc | payload (one Edit)
+///
+/// baseGeneration names the snapshot the log extends: replaying the log's
+/// records, in order, against a session restored from that snapshot
+/// reproduces generation baseGeneration + recordCount.  Replay is
+/// deterministic because ProgramEditor's id assignment is deterministic
+/// (adds append; removeCall moves the last site into the hole; removeProc
+/// compacts in order), so ids resolved when a record was written are valid
+/// when it is replayed in order from the same base.
+///
+/// Recovery scans until end-of-file or the first record whose length or
+/// checksum does not hold — a *torn tail* from a crash mid-append — and
+/// truncates the file back to the last intact record, after which appends
+/// may resume.  Everything before the tear is trusted (CRC-verified);
+/// everything after was never acknowledged, because acknowledgment follows
+/// the fsync.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_PERSIST_WAL_H
+#define IPSE_PERSIST_WAL_H
+
+#include "incremental/Edit.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipse {
+namespace persist {
+
+inline constexpr char WalMagic[8] = {'I', 'P', 'S', 'E', 'W', 'A', 'L', '1'};
+inline constexpr std::uint32_t WalVersion = 1;
+
+/// What a recovery scan found in a log file.
+struct WalRecovery {
+  std::uint64_t BaseGeneration = 0;
+  /// Intact records, in append order.
+  std::vector<incremental::Edit> Edits;
+  /// Bytes cut off the end (0 for a clean log).
+  std::uint64_t TruncatedBytes = 0;
+  /// File size after truncation — where appends resume.
+  std::uint64_t ValidBytes = 0;
+};
+
+/// An open, appendable log file.
+class Wal {
+public:
+  Wal() = default;
+  ~Wal();
+  Wal(const Wal &) = delete;
+  Wal &operator=(const Wal &) = delete;
+  Wal(Wal &&Other) noexcept;
+  Wal &operator=(Wal &&Other) noexcept;
+
+  /// Creates a fresh log at \p Path (truncating any old file) whose
+  /// records extend generation \p BaseGeneration, fsync'd before return.
+  static bool create(const std::string &Path, std::uint64_t BaseGeneration,
+                     Wal &Out, std::string &Err);
+
+  /// Opens an existing log for appending at \p ValidBytes (a prior
+  /// recover() result); the torn tail, if any, must already be truncated.
+  static bool openForAppend(const std::string &Path, const WalRecovery &R,
+                            Wal &Out, std::string &Err);
+
+  /// Scans \p Path, truncates any torn tail in place, and returns the
+  /// intact prefix.  Fails only on I/O errors or a corrupt header — a
+  /// half-written *record* is expected crash damage and is repaired, but a
+  /// file that never had a valid header was not produced by this layer.
+  static bool recover(const std::string &Path, WalRecovery &Out,
+                      std::string &Err);
+
+  /// Appends one record per edit, then fsyncs once (group commit).  The
+  /// call returning true is the durability point for the whole batch.
+  bool append(const std::vector<incremental::Edit> &Batch, std::string &Err);
+
+  bool isOpen() const { return Fd >= 0; }
+  std::uint64_t recordCount() const { return Records; }
+  std::uint64_t sizeBytes() const { return Bytes; }
+  std::uint64_t baseGeneration() const { return BaseGen; }
+
+  void close();
+
+private:
+  int Fd = -1;
+  std::uint64_t Records = 0;
+  std::uint64_t Bytes = 0;
+  std::uint64_t BaseGen = 0;
+};
+
+} // namespace persist
+} // namespace ipse
+
+#endif // IPSE_PERSIST_WAL_H

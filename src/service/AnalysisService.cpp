@@ -11,10 +11,12 @@
 #include "observe/Metrics.h"
 #include "observe/Prometheus.h"
 #include "observe/Trace.h"
+#include "persist/Store.h"
 #include "service/Json.h"
 
 #include <future>
 #include <optional>
+#include <stdexcept>
 #include <unordered_map>
 
 using namespace ipse;
@@ -44,8 +46,36 @@ AnalysisService::AnalysisService(ir::Program Initial, ServiceOptions Options)
   incremental::SessionOptions SO;
   SO.TrackUse = Opts.TrackUse;
   SO.Threads = Opts.AnalysisThreads;
-  Session = std::make_unique<incremental::AnalysisSession>(std::move(Initial),
-                                                           SO);
+  if (!Opts.DataDir.empty()) {
+    persist::StoreOptions PO;
+    PO.CompactWalRecords = Opts.CompactWalRecords;
+    PO.CompactWalBytes = Opts.CompactWalBytes;
+    DataStore = std::make_unique<persist::Store>();
+    std::string Err;
+    if (persist::Store::exists(Opts.DataDir)) {
+      // Warm restart: snapshot planes + WAL tail replace the constructor's
+      // program.  TrackUse follows the store — a durable session must
+      // resume the configuration it was persisted under.
+      persist::RecoveredState RS;
+      if (!persist::Store::open(Opts.DataDir, PO, *DataStore, RS, Err))
+        throw std::runtime_error("persist: cannot recover '" + Opts.DataDir +
+                                 "': " + Err);
+      Opts.TrackUse = SO.TrackUse = RS.Snapshot.TrackUse;
+      Session = std::make_unique<incremental::AnalysisSession>(
+          std::move(RS.Snapshot.Program), SO, std::move(RS.Snapshot.Planes));
+      for (const incremental::Edit &E : RS.Tail)
+        incremental::applyEdit(*Session, E);
+    } else {
+      Session = std::make_unique<incremental::AnalysisSession>(
+          std::move(Initial), SO);
+      if (!persist::Store::init(Opts.DataDir, PO, *Session, *DataStore, Err))
+        throw std::runtime_error("persist: cannot initialize '" +
+                                 Opts.DataDir + "': " + Err);
+    }
+  } else {
+    Session = std::make_unique<incremental::AnalysisSession>(std::move(Initial),
+                                                             SO);
+  }
   Current.store(AnalysisSnapshot::capture(*Session, Session->generation()),
                 std::memory_order_release);
   LastPublishNs.store(observe::nowNanos(), std::memory_order_relaxed);
@@ -213,10 +243,11 @@ Response AnalysisService::call(std::string_view Line, std::string TraceId) {
 void AnalysisService::writerLoop() {
   std::vector<Pending> Batch;
   std::vector<std::string> Failures;
+  std::vector<incremental::Edit> Applied;
   while (true) {
     std::optional<Pending> First = WriteQueue.pop();
     if (!First)
-      return; // Closed and drained.
+      break; // Closed and drained.
     Batch.clear();
     Batch.push_back(std::move(*First));
     WriteQueue.tryPopBatch(Batch, Opts.MaxBatch - 1);
@@ -224,13 +255,29 @@ void AnalysisService::writerLoop() {
     // Apply the whole batch before flushing: the session defers solve
     // work until queried, so N edits cost one re-propagation.
     Failures.assign(Batch.size(), std::string());
+    Applied.clear();
     bool AnyApplied = false;
     for (std::size_t I = 0; I != Batch.size(); ++I) {
       try {
-        applyEditCommand(*Session, Batch[I].Cmd);
+        Applied.push_back(applyEditCommand(*Session, Batch[I].Cmd));
         AnyApplied = true;
       } catch (const ScriptError &E) {
         Failures[I] = E.Message;
+      }
+    }
+
+    // Durability barrier: the batch's resolved edits hit the WAL (one
+    // group-commit fsync) before any snapshot containing them can
+    // publish.  A crash after this point replays them; a crash before it
+    // never published them, so nothing observable is lost either way.
+    if (AnyApplied && DataStore) {
+      std::string Err;
+      if (!DataStore->appendEdits(Applied, Err)) {
+        std::fprintf(stderr,
+                     "ipse: WAL append failed, persistence disabled: %s\n",
+                     Err.c_str());
+        observe::MetricsRegistry::global().counter("persist.wal_errors").add();
+        DataStore.reset();
       }
     }
 
@@ -258,6 +305,13 @@ void AnalysisService::writerLoop() {
       refreshGauges();
     }
 
+    if (DataStore && DataStore->shouldCompact()) {
+      std::string Err;
+      if (!DataStore->compact(*Session, Err))
+        std::fprintf(stderr, "ipse: compaction failed (will retry): %s\n",
+                     Err.c_str());
+    }
+
     observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
     for (std::size_t I = 0; I != Batch.size(); ++I) {
       Response R;
@@ -276,6 +330,14 @@ void AnalysisService::writerLoop() {
       Reg.histogram("service.write_lat_us").record(Us);
       Batch[I].Done(std::move(R));
     }
+  }
+
+  // Clean shutdown: fold the WAL into a final snapshot so the next boot
+  // loads planes and replays nothing.
+  if (DataStore && DataStore->walRecords() > 0) {
+    std::string Err;
+    if (!DataStore->compact(*Session, Err))
+      std::fprintf(stderr, "ipse: final compaction failed: %s\n", Err.c_str());
   }
 }
 

@@ -65,6 +65,9 @@ class AnalysisSession;
 namespace observe {
 class TraceSink;
 }
+namespace persist {
+class Store;
+}
 
 namespace service {
 
@@ -92,6 +95,17 @@ struct ServiceOptions {
   /// request-tagged TraceScopes streaming here (must be thread-safe; not
   /// owned; must outlive the service).
   observe::TraceSink *Sink = nullptr;
+  /// When non-empty, durable mode: the directory must exist.  If it holds
+  /// a store, the service recovers from it (latest snapshot + WAL tail;
+  /// the initial program and TrackUse are taken from the store, not from
+  /// the constructor arguments); otherwise it is initialized from the
+  /// constructor's program.  Every applied edit batch is then
+  /// write-ahead-logged (fsync'd) before its snapshot publishes, and the
+  /// store compacts on the thresholds below, plus once at shutdown.
+  std::string DataDir;
+  /// Compact when the WAL reaches this many records / bytes.
+  std::uint64_t CompactWalRecords = 1024;
+  std::uint64_t CompactWalBytes = 8u << 20;
 };
 
 /// One answer.  For edits, Result is empty and Generation is the
@@ -133,7 +147,10 @@ public:
       std::function<void(std::shared_ptr<const AnalysisSnapshot>)>;
 
   /// Builds the session, publishes the generation-0 snapshot, and starts
-  /// the writer + worker (+ optional stats) threads.
+  /// the writer + worker (+ optional stats) threads.  With
+  /// Options.DataDir set, throws std::runtime_error if the store cannot
+  /// be recovered or initialized (a service that silently dropped
+  /// durability would be worse than one that refuses to start).
   AnalysisService(ir::Program Initial, ServiceOptions Options = {});
   ~AnalysisService();
 
@@ -201,6 +218,10 @@ private:
 
   ServiceOptions Opts;
   std::unique_ptr<incremental::AnalysisSession> Session; ///< Writer-owned.
+  /// Durable store (DataDir mode only).  Confined to the writer thread
+  /// after construction; reset on a WAL write error (the service keeps
+  /// serving from memory but refuses to pretend it is still durable).
+  std::unique_ptr<persist::Store> DataStore;
   std::atomic<std::shared_ptr<const AnalysisSnapshot>> Current;
 
   MpmcQueue<Pending> WriteQueue, ReadQueue;

@@ -1,4 +1,4 @@
-//===- service/Json.h - Minimal JSON for the wire protocol ------*- C++ -*-===//
+//===- service/Json.h - JSON forwarding header ------------------*- C++ -*-===//
 //
 // Part of the ipse project: a reproduction of Cooper & Kennedy,
 // "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
@@ -6,100 +6,26 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Just enough JSON for the analysis service's newline-delimited protocol:
-/// flat objects with string, unsigned-integer, and boolean values.  The
-/// request envelope is `{"id":N,"cmd":"..."}` and responses are flat
-/// objects too, so nothing nested is ever needed — the parser still skips
-/// (without interpreting) nested arrays/objects so foreign fields don't
-/// break decoding.  No external dependency, by design.
+/// The JSON codec moved to support/Json.h so layers below the service (the
+/// persistence store's manifest) can share the one parser the wire
+/// protocol uses.  This header keeps the historical ipse::service spelling
+/// alive for the protocol code and its tests.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPSE_SERVICE_JSON_H
 #define IPSE_SERVICE_JSON_H
 
-#include <cstdint>
-#include <map>
-#include <optional>
-#include <string>
-#include <string_view>
+#include "support/Json.h"
 
 namespace ipse {
 namespace service {
 
-/// A decoded flat JSON object.  Values keep their lexical class: strings
-/// are unescaped; numbers/booleans are parsed on demand.
-class JsonObject {
-public:
-  bool has(const std::string &Key) const { return Fields.count(Key) != 0; }
-
-  /// The string value of \p Key, or nullopt if absent / not a string.
-  std::optional<std::string> getString(const std::string &Key) const;
-
-  /// The unsigned integer value of \p Key, or nullopt.
-  std::optional<std::uint64_t> getUInt(const std::string &Key) const;
-
-  /// The numeric value of \p Key (signed, fractional, exponent forms all
-  /// accepted), or nullopt if absent / not a number.
-  std::optional<double> getDouble(const std::string &Key) const;
-
-  /// The boolean value of \p Key, or nullopt.
-  std::optional<bool> getBool(const std::string &Key) const;
-
-  /// The raw lexeme of \p Key for non-string values — numbers, booleans,
-  /// and skipped nested objects/arrays (which can be re-fed to
-  /// parseJsonObject).  nullopt for strings (use getString) and absent
-  /// keys.
-  std::optional<std::string> getRaw(const std::string &Key) const;
-
-private:
-  friend std::optional<JsonObject> parseJsonObject(std::string_view Text,
-                                                   std::string &ErrorOut);
-  enum class Kind { String, Number, Bool, Other };
-  struct Value {
-    Kind K;
-    std::string Text; ///< Unescaped for strings, lexeme otherwise.
-  };
-  std::map<std::string, Value> Fields;
-};
-
-/// Parses one flat JSON object.  Returns nullopt (and fills \p ErrorOut)
-/// on malformed input.
-std::optional<JsonObject> parseJsonObject(std::string_view Text,
-                                          std::string &ErrorOut);
-
-/// Checks that \p Text is exactly one well-formed JSON value (any type,
-/// arbitrarily nested) with nothing but whitespace after it.  Used by
-/// tests to prove exported documents (Chrome traces) parse as a whole.
-/// Fills \p ErrorOut on failure.
-bool validateJsonDocument(std::string_view Text, std::string &ErrorOut);
-
-/// Escapes \p S for inclusion inside a JSON string literal (adds no
-/// surrounding quotes).
-std::string jsonEscape(std::string_view S);
-
-/// An incremental writer for one flat JSON object.
-class JsonWriter {
-public:
-  JsonWriter() : Out("{") {}
-  void field(std::string_view Key, std::string_view StringValue);
-  /// Without this overload a string literal would convert to bool
-  /// (pointer->bool is a standard conversion and beats the user-defined
-  /// one to string_view).
-  void field(std::string_view Key, const char *StringValue) {
-    field(Key, std::string_view(StringValue));
-  }
-  void field(std::string_view Key, std::uint64_t Value);
-  void field(std::string_view Key, bool Value);
-  /// A pre-rendered JSON value (e.g. a nested object) spliced in verbatim.
-  void fieldRaw(std::string_view Key, std::string_view Json);
-  std::string finish() { return Out + "}"; }
-
-private:
-  void key(std::string_view K);
-  std::string Out;
-  bool First = true;
-};
+using ipse::JsonObject;
+using ipse::JsonWriter;
+using ipse::jsonEscape;
+using ipse::parseJsonObject;
+using ipse::validateJsonDocument;
 
 } // namespace service
 } // namespace ipse

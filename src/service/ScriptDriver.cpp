@@ -168,47 +168,45 @@ StmtId service::stmtAt(const Program &P, ProcId Proc, unsigned Idx,
   return Stmts[Idx];
 }
 
-void service::applyEditCommand(incremental::AnalysisSession &Session,
-                               const ScriptCommand &Cmd) {
-  const Program &P = Session.program();
+incremental::Edit service::resolveEditCommand(const Program &P,
+                                              const ScriptCommand &Cmd) {
   const std::vector<std::string> &A = Cmd.Args;
   const unsigned LineNo = Cmd.LineNo;
+  incremental::Edit E;
   switch (Cmd.Kind) {
   case ScriptCommand::Op::AddMod:
   case ScriptCommand::Op::RmMod:
   case ScriptCommand::Op::AddUse:
   case ScriptCommand::Op::RmUse: {
     ProcId Proc = findProc(P, A[0], LineNo);
-    StmtId St = stmtAt(P, Proc, parseIndex(A[1]), LineNo);
-    VarId V = findVisibleVar(P, Proc, A[2], LineNo);
-    if (Cmd.Kind == ScriptCommand::Op::AddMod)
-      Session.addMod(St, V);
-    else if (Cmd.Kind == ScriptCommand::Op::RmMod)
-      Session.removeMod(St, V);
-    else if (Cmd.Kind == ScriptCommand::Op::AddUse)
-      Session.addUse(St, V);
-    else
-      Session.removeUse(St, V);
-    return;
+    E.Kind = Cmd.Kind == ScriptCommand::Op::AddMod ? incremental::EditKind::AddMod
+             : Cmd.Kind == ScriptCommand::Op::RmMod
+                 ? incremental::EditKind::RemoveMod
+             : Cmd.Kind == ScriptCommand::Op::AddUse
+                 ? incremental::EditKind::AddUse
+                 : incremental::EditKind::RemoveUse;
+    E.Stmt = stmtAt(P, Proc, parseIndex(A[1]), LineNo);
+    E.Var = findVisibleVar(P, Proc, A[2], LineNo);
+    return E;
   }
   case ScriptCommand::Op::AddStmt:
-    Session.addStmt(findProc(P, A[0], LineNo));
-    return;
+    E.Kind = incremental::EditKind::AddStmt;
+    E.Proc = findProc(P, A[0], LineNo);
+    return E;
   case ScriptCommand::Op::AddCall: {
     ProcId Proc = findProc(P, A[0], LineNo);
-    StmtId St = stmtAt(P, Proc, parseIndex(A[1]), LineNo);
-    ProcId Callee = findProc(P, A[2], LineNo);
-    std::vector<ir::Actual> Actuals;
+    E.Kind = incremental::EditKind::AddCall;
+    E.Stmt = stmtAt(P, Proc, parseIndex(A[1]), LineNo);
+    E.Callee = findProc(P, A[2], LineNo);
     for (std::size_t I = 3; I != A.size(); ++I)
-      Actuals.push_back(A[I] == "_" ? ir::Actual::expression()
-                                    : ir::Actual::variable(findVisibleVar(
-                                          P, Proc, A[I], LineNo)));
-    if (Actuals.size() != P.proc(Callee).Formals.size())
+      E.Actuals.push_back(A[I] == "_" ? ir::Actual::expression()
+                                      : ir::Actual::variable(findVisibleVar(
+                                            P, Proc, A[I], LineNo)));
+    if (E.Actuals.size() != P.proc(E.Callee).Formals.size())
       die(LineNo, "arity mismatch: '" + A[2] + "' takes " +
-                      std::to_string(P.proc(Callee).Formals.size()) +
+                      std::to_string(P.proc(E.Callee).Formals.size()) +
                       " argument(s)");
-    Session.addCall(St, Callee, std::move(Actuals));
-    return;
+    return E;
   }
   case ScriptCommand::Op::RmCall: {
     ProcId Proc = findProc(P, A[0], LineNo);
@@ -217,27 +215,43 @@ void service::applyEditCommand(incremental::AnalysisSession &Session,
       die(LineNo, "procedure '" + A[0] + "' has only " +
                       std::to_string(P.proc(Proc).CallSites.size()) +
                       " call sites");
-    Session.removeCall(P.proc(Proc).CallSites[K]);
-    return;
+    E.Kind = incremental::EditKind::RemoveCall;
+    E.Call = P.proc(Proc).CallSites[K];
+    return E;
   }
   case ScriptCommand::Op::AddProc:
-    Session.addProc(A[0], findProc(P, A[1], LineNo));
-    return;
+    E.Kind = incremental::EditKind::AddProc;
+    E.Name = A[0];
+    E.Proc = findProc(P, A[1], LineNo);
+    return E;
   case ScriptCommand::Op::AddGlobal:
-    Session.addGlobal(A[0]);
-    return;
+    E.Kind = incremental::EditKind::AddGlobal;
+    E.Name = A[0];
+    return E;
   case ScriptCommand::Op::AddLocal:
-    Session.addLocal(findProc(P, A[0], LineNo), A[1]);
-    return;
+    E.Kind = incremental::EditKind::AddLocal;
+    E.Proc = findProc(P, A[0], LineNo);
+    E.Name = A[1];
+    return E;
   case ScriptCommand::Op::AddFormal:
-    Session.addFormal(findProc(P, A[0], LineNo), A[1]);
-    return;
+    E.Kind = incremental::EditKind::AddFormal;
+    E.Proc = findProc(P, A[0], LineNo);
+    E.Name = A[1];
+    return E;
   case ScriptCommand::Op::RmProc:
-    Session.removeProc(findProc(P, A[0], LineNo));
-    return;
+    E.Kind = incremental::EditKind::RemoveProc;
+    E.Proc = findProc(P, A[0], LineNo);
+    return E;
   default:
     die(LineNo, "not an edit command");
   }
+}
+
+incremental::Edit service::applyEditCommand(incremental::AnalysisSession &Session,
+                                            const ScriptCommand &Cmd) {
+  incremental::Edit E = resolveEditCommand(Session.program(), Cmd);
+  incremental::applyEdit(Session, E);
+  return E;
 }
 
 //===----------------------------------------------------------------------===//

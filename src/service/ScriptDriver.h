@@ -47,6 +47,7 @@
 #define IPSE_SERVICE_SCRIPTDRIVER_H
 
 #include "analysis/EffectKind.h"
+#include "incremental/Edit.h"
 #include "ir/Program.h"
 #include "support/BitVector.h"
 
@@ -126,10 +127,21 @@ ir::StmtId stmtAt(const ir::Program &P, ir::ProcId Proc, unsigned Idx,
                   unsigned LineNo);
 /// @}
 
+/// Resolves one edit command's names against \p P into a first-class
+/// incremental::Edit (ids valid for the current program state; apply
+/// before further edits).  \p Cmd must satisfy isEditCommand; throws
+/// ScriptError on unresolvable names or arity mismatches.  This is the
+/// step that gives service edits a canonical wire form: the resolved Edit
+/// is what the write-ahead log records and replays.
+incremental::Edit resolveEditCommand(const ir::Program &P,
+                                     const ScriptCommand &Cmd);
+
 /// Resolves and applies one edit command against \p Session's current
-/// program.  \p Cmd must satisfy isEditCommand.
-void applyEditCommand(incremental::AnalysisSession &Session,
-                      const ScriptCommand &Cmd);
+/// program (resolveEditCommand + incremental::applyEdit).  \p Cmd must
+/// satisfy isEditCommand.  Returns the resolved edit so callers that
+/// persist deltas can log exactly what was applied.
+incremental::Edit applyEditCommand(incremental::AnalysisSession &Session,
+                                   const ScriptCommand &Cmd);
 
 /// What a query evaluates against: a live session (CLI) or an immutable
 /// snapshot (service).  Methods are const so a pinned

@@ -1,0 +1,61 @@
+//===- support/Binary.cpp - Little-endian byte codec + CRC32 ------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Binary.h"
+
+#include <array>
+#include <cstring>
+
+using namespace ipse;
+
+namespace {
+
+// Slicing-by-8: eight derived tables let the loop fold one aligned
+// 8-byte word per iteration instead of one byte.  Table[0] is the
+// classic byte-at-a-time table (polynomial 0xEDB88320); Table[K][B] is
+// the CRC of byte B followed by K zero bytes, so the eight lookups of a
+// word's bytes XOR together into that word's combined contribution.
+// Multi-megabyte snapshot sections are CRC'd on every load, which makes
+// this the persistence subsystem's hottest loop.
+std::array<std::array<std::uint32_t, 256>, 8> makeCrcTables() {
+  std::array<std::array<std::uint32_t, 256>, 8> Tables{};
+  for (std::uint32_t I = 0; I != 256; ++I) {
+    std::uint32_t C = I;
+    for (unsigned K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Tables[0][I] = C;
+  }
+  for (std::uint32_t I = 0; I != 256; ++I)
+    for (unsigned K = 1; K != 8; ++K)
+      Tables[K][I] =
+          Tables[0][Tables[K - 1][I] & 0xFF] ^ (Tables[K - 1][I] >> 8);
+  return Tables;
+}
+
+} // namespace
+
+std::uint32_t ipse::crc32(const void *Data, std::size_t Size,
+                          std::uint32_t Seed) {
+  static const std::array<std::array<std::uint32_t, 256>, 8> T =
+      makeCrcTables();
+  const std::uint8_t *P = static_cast<const std::uint8_t *>(Data);
+  std::uint32_t C = Seed ^ 0xFFFFFFFFu;
+
+  while (Size >= 8) {
+    std::uint64_t W;
+    std::memcpy(&W, P, 8); // Little-endian layout assumed repo-wide.
+    W ^= C;
+    C = T[7][W & 0xFF] ^ T[6][(W >> 8) & 0xFF] ^ T[5][(W >> 16) & 0xFF] ^
+        T[4][(W >> 24) & 0xFF] ^ T[3][(W >> 32) & 0xFF] ^
+        T[2][(W >> 40) & 0xFF] ^ T[1][(W >> 48) & 0xFF] ^ T[0][W >> 56];
+    P += 8;
+    Size -= 8;
+  }
+  for (std::size_t I = 0; I != Size; ++I)
+    C = T[0][(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}

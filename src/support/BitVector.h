@@ -145,6 +145,22 @@ public:
   const_iterator begin() const { return const_iterator(*this, findNext(0)); }
   const_iterator end() const { return const_iterator(*this, NumBits); }
 
+  /// \name Raw word access (persistence)
+  /// The snapshot codec streams vectors as (bit count, word array); these
+  /// expose the storage without copying.  assignWords() re-establishes the
+  /// clear-unused-bits invariant, so even a corrupted word array that slips
+  /// past checksumming cannot poison set-algebra results with ghost bits.
+  /// @{
+  const Word *rawWords() const { return Words.data(); }
+  std::size_t rawWordCount() const { return Words.size(); }
+  void assignWords(std::size_t Bits, const Word *Data, std::size_t Count) {
+    assert(Count == numWords(Bits) && "word count must match bit count");
+    NumBits = Bits;
+    Words.assign(Data, Data + Count);
+    clearUnusedBits();
+  }
+  /// @}
+
   /// \name Bit-vector operation accounting
   /// The paper measures algorithms in bit-vector steps; every word-level
   /// operation performed by the binary operators above is counted, letting

@@ -1,18 +1,18 @@
-//===- service/Json.cpp - Minimal JSON for the wire protocol ------------------===//
+//===- support/Json.cpp - Minimal JSON for the wire protocol ------------------===//
 //
 // Part of the ipse project: a reproduction of Cooper & Kennedy,
 // "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
 //
 //===----------------------------------------------------------------------===//
 
-#include "service/Json.h"
+#include "support/Json.h"
 
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace ipse;
-using namespace ipse::service;
+
 
 std::optional<std::string> JsonObject::getString(const std::string &Key) const {
   auto It = Fields.find(Key);
@@ -273,7 +273,7 @@ bool validateValue(Cursor &C, int Depth) {
 
 } // namespace
 
-bool service::validateJsonDocument(std::string_view Text,
+bool ipse::validateJsonDocument(std::string_view Text,
                                    std::string &ErrorOut) {
   Cursor C{Text, 0, {}};
   if (!validateValue(C, 0)) {
@@ -288,7 +288,7 @@ bool service::validateJsonDocument(std::string_view Text,
   return true;
 }
 
-std::optional<JsonObject> service::parseJsonObject(std::string_view Text,
+std::optional<JsonObject> ipse::parseJsonObject(std::string_view Text,
                                                    std::string &ErrorOut) {
   Cursor C{Text, 0, {}};
   JsonObject Obj;
@@ -345,7 +345,7 @@ std::optional<JsonObject> service::parseJsonObject(std::string_view Text,
   return Obj;
 }
 
-std::string service::jsonEscape(std::string_view S) {
+std::string ipse::jsonEscape(std::string_view S) {
   std::string Out;
   Out.reserve(S.size());
   for (char C : S) {

@@ -420,4 +420,111 @@ TEST(Cli, ServeClientMetricsDumpOverTcpWithChromeTrace) {
   std::remove(Done.c_str());
 }
 
+TEST(Cli, SaveInspectLoadRoundTrip) {
+  std::string Snap = testing::TempDir() + "/cli_roundtrip.ipsesnap";
+  std::string Out;
+  ASSERT_EQ(run(cli() + " save --program " + corpus("tower.mp") + " " + Snap,
+                Out),
+            0)
+      << Out;
+  EXPECT_NE(Out.find("wrote " + Snap), std::string::npos) << Out;
+  EXPECT_NE(Out.find("use-tracking on"), std::string::npos) << Out;
+
+  ASSERT_EQ(run(cli() + " inspect-snapshot " + Snap, Out), 0) << Out;
+  EXPECT_NE(Out.find("header      ok"), std::string::npos) << Out;
+  for (const char *Tag : {"PROG", "GRPH", "PLNS"})
+    EXPECT_NE(Out.find(Tag), std::string::npos) << Tag << "\n" << Out;
+  EXPECT_EQ(Out.find("BAD"), std::string::npos) << Out;
+
+  ASSERT_EQ(run(cli() + " load " + Snap, Out), 0) << Out;
+  EXPECT_NE(Out.find("generation 0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("full rebuilds since load: 0"), std::string::npos)
+      << Out;
+
+  // The loaded planes must answer identically to a cold solve: the
+  // report rendered from the snapshot matches `report` on the source.
+  std::string Cold, Warm;
+  ASSERT_EQ(run(cli() + " report " + corpus("tower.mp"), Cold), 0);
+  ASSERT_EQ(run(cli() + " load --report " + Snap, Warm), 0);
+  EXPECT_NE(Warm.find(Cold), std::string::npos)
+      << "---- cold ----\n" << Cold << "---- warm ----\n" << Warm;
+  std::remove(Snap.c_str());
+}
+
+TEST(Cli, InspectSnapshotFlagsCorruptionAndLoadRefusesIt) {
+  std::string Snap = testing::TempDir() + "/cli_corrupt.ipsesnap";
+  std::string Out;
+  ASSERT_EQ(run(cli() + " save --gen procs=12,globals=4,seed=3 " + Snap, Out),
+            0)
+      << Out;
+
+  // Flip one payload byte near the end of the file (the planes section).
+  {
+    std::string Bytes = slurp(Snap);
+    ASSERT_GT(Bytes.size(), 64u);
+    Bytes[Bytes.size() - 2] ^= 0x20;
+    std::ofstream F(Snap, std::ios::binary | std::ios::trunc);
+    F.write(Bytes.data(), std::streamsize(Bytes.size()));
+  }
+  EXPECT_EQ(run(cli() + " inspect-snapshot " + Snap, Out), 1) << Out;
+  EXPECT_NE(Out.find("BAD"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("header      ok"), std::string::npos) << Out;
+  EXPECT_EQ(run(cli() + " load " + Snap, Out), 1) << Out;
+  std::remove(Snap.c_str());
+}
+
+TEST(Cli, ServeDataDirSurvivesKillNine) {
+  // The crash-recovery walkthrough, end to end through the binary: serve
+  // with --data-dir, commit edits (each response means the WAL record is
+  // fsync'd), SIGKILL the server mid-traffic, restart from the same
+  // directory, and require the answers and generation to come back warm.
+  std::string Dir = testing::TempDir() + "/ipse_cli_store";
+  std::string Out1 = testing::TempDir() + "/ipse_kill9_out1.txt";
+  std::string Err2 = testing::TempDir() + "/ipse_kill9_err2.txt";
+  std::string Done = testing::TempDir() + "/ipse_kill9_done";
+  std::string Out;
+  run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Err2 + " " + Done, Out);
+
+  std::string Requests = R"({"id":1,"cmd":"add-global kill9_g"}\n)"
+                         R"({"id":2,"cmd":"add-stmt main"}\n)"
+                         R"({"id":3,"cmd":"add-mod main 0 kill9_g"}\n)";
+  // Hold stdin open after the requests so EOF cannot trigger the *clean*
+  // shutdown path: the server must die by SIGKILL with its WAL tail
+  // unfolded. An edit's response follows the WAL fsync, so once the
+  // output shows generation 3 all three edits are durable.
+  std::string Cmd =
+      "( printf '" + Requests + "'; while [ ! -e " + Done +
+      " ]; do sleep 0.1; done ) | " + cli() +
+      " serve --gen procs=8,globals=4,seed=5 --workers 2 --data-dir " + Dir +
+      " >" + Out1 + " 2>/dev/null & SRV=$!; "
+      "for I in $(seq 1 100); do"
+      "  grep -q '\"gen\":3' " + Out1 + " 2>/dev/null && break;"
+      "  sleep 0.1; "
+      "done; "
+      "kill -9 $SRV; touch " + Done + "; wait $SRV 2>/dev/null; exit 0";
+  ASSERT_EQ(run(Cmd, Out), 0) << Out;
+  std::string FirstRun = slurp(Out1);
+  ASSERT_NE(FirstRun.find("\"gen\":3"), std::string::npos) << FirstRun;
+
+  // Restart from the store alone: no --gen, no --program. The recovery
+  // banner goes to stderr; the re-queried GMOD must include the edit
+  // committed before the kill.
+  std::string Requests2 = R"({"id":1,"cmd":"gmod main"}\n)";
+  // The subshell keeps run()'s own trailing stderr redirect from
+  // overriding the capture into Err2.
+  ASSERT_EQ(run("( printf '" + Requests2 + "' | " + cli() +
+                    " serve --data-dir " + Dir + " 2>" + Err2 + " )",
+                Out),
+            0)
+      << Out << slurp(Err2);
+  EXPECT_NE(Out.find("kill9_g"), std::string::npos) << Out;
+  std::string Banner = slurp(Err2);
+  EXPECT_NE(Banner.find("recovered '" + Dir + "' at generation 3"),
+            std::string::npos)
+      << Banner;
+  EXPECT_NE(Banner.find("stopped at generation 3"), std::string::npos)
+      << Banner;
+  run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Err2 + " " + Done, Out);
+}
+
 } // namespace

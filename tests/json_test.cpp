@@ -1,0 +1,213 @@
+//===- tests/json_test.cpp - Minimal-JSON edge cases --------------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// The support-layer JSON kit underpins the service wire protocol, the
+// Chrome-trace validator, and the persistence manifest — three consumers
+// with different failure costs, so the edge cases get their own suite:
+// validateJsonDocument's strictness (NaN/Infinity, deep nesting, broken
+// escapes, trailing garbage), parseJsonObject's typed accessors, and the
+// escape round trip through JsonWriter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Json.h" // The forwarding header: service code's view.
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace ipse;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// validateJsonDocument.
+//===----------------------------------------------------------------------===//
+
+bool valid(const std::string &Doc) {
+  std::string Err;
+  return validateJsonDocument(Doc, Err);
+}
+
+std::string errorOf(const std::string &Doc) {
+  std::string Err;
+  EXPECT_FALSE(validateJsonDocument(Doc, Err)) << Doc;
+  return Err;
+}
+
+TEST(JsonValidate, AcceptsEveryValueType) {
+  EXPECT_TRUE(valid("{}"));
+  EXPECT_TRUE(valid("[]"));
+  EXPECT_TRUE(valid("\"string\""));
+  EXPECT_TRUE(valid("42"));
+  EXPECT_TRUE(valid("-0.5e+10"));
+  EXPECT_TRUE(valid("true"));
+  EXPECT_TRUE(valid("false"));
+  EXPECT_TRUE(valid("null"));
+  EXPECT_TRUE(valid("  {\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}  "));
+}
+
+TEST(JsonValidate, RejectsNaNAndInfinity) {
+  // JSON has no NaN/Infinity literals; a histogram or timing exporter
+  // that leaks one must be caught by the validator, not by a consumer.
+  EXPECT_FALSE(valid("NaN"));
+  EXPECT_FALSE(valid("nan"));
+  EXPECT_FALSE(valid("Infinity"));
+  EXPECT_FALSE(valid("-Infinity"));
+  EXPECT_FALSE(valid("{\"v\":NaN}"));
+  EXPECT_FALSE(valid("{\"v\":Infinity}"));
+  EXPECT_FALSE(valid("[1e309,NaN]")); // 1e309 overflows but is valid JSON...
+  EXPECT_TRUE(valid("[1e309]"));      // ...the NaN is what kills it.
+}
+
+TEST(JsonValidate, RejectsMalformedNumbers) {
+  EXPECT_FALSE(valid("-"));
+  EXPECT_FALSE(valid("1."));
+  EXPECT_FALSE(valid("1.e5"));
+  EXPECT_FALSE(valid(".5"));
+  EXPECT_FALSE(valid("1e"));
+  EXPECT_FALSE(valid("1e+"));
+  EXPECT_TRUE(valid("1.5e-3"));
+  EXPECT_TRUE(valid("-0"));
+}
+
+TEST(JsonValidate, DeepNestingIsBounded) {
+  // 128 levels pass; beyond that the validator refuses instead of
+  // recursing toward a stack overflow on hostile input.
+  auto nested = [](int Depth) {
+    std::string S;
+    for (int I = 0; I != Depth; ++I)
+      S += '[';
+    S += '1';
+    for (int I = 0; I != Depth; ++I)
+      S += ']';
+    return S;
+  };
+  EXPECT_TRUE(valid(nested(100)));
+  EXPECT_FALSE(valid(nested(200)));
+  EXPECT_EQ(errorOf(nested(200)), "nesting too deep");
+  // Mixed object/array nesting hits the same bound.
+  std::string Obj;
+  for (int I = 0; I != 200; ++I)
+    Obj += "{\"k\":";
+  Obj += "1";
+  for (int I = 0; I != 200; ++I)
+    Obj += '}';
+  EXPECT_EQ(errorOf(Obj), "nesting too deep");
+}
+
+TEST(JsonValidate, RejectsBrokenEscapes) {
+  EXPECT_FALSE(valid("\"\\x41\""));      // Unknown escape letter.
+  EXPECT_FALSE(valid("\"\\u12\""));      // Truncated \u.
+  EXPECT_FALSE(valid("\"\\u12zq\""));    // Non-hex digits.
+  EXPECT_FALSE(valid("\"\\uD800\""));    // Lone surrogate.
+  EXPECT_FALSE(valid("\"\\uDFFF\""));    // Lone surrogate (high end).
+  EXPECT_FALSE(valid("\"dangling\\"));   // Escape at end of input.
+  EXPECT_FALSE(valid("\"unterminated")); // No closing quote.
+  EXPECT_TRUE(valid("\"\\u0041\\n\\t\\\\\\\"\\/\""));
+  EXPECT_TRUE(valid("\"\\u00e9\\u4e2d\"")); // BMP code points are fine.
+}
+
+TEST(JsonValidate, RejectsTrailingGarbage) {
+  EXPECT_EQ(errorOf("{} extra"), "trailing garbage after document");
+  EXPECT_EQ(errorOf("1 2"), "trailing garbage after document");
+  EXPECT_EQ(errorOf("{}{}"), "trailing garbage after document");
+  EXPECT_TRUE(valid("{}   \n\t "));
+}
+
+TEST(JsonValidate, RejectsStructuralBreakage) {
+  EXPECT_FALSE(valid(""));
+  EXPECT_FALSE(valid("{"));
+  EXPECT_FALSE(valid("{\"a\":}"));
+  EXPECT_FALSE(valid("{\"a\" 1}"));
+  EXPECT_FALSE(valid("{a:1}"));
+  EXPECT_FALSE(valid("[1,]") || valid("[,1]"));
+  EXPECT_FALSE(valid("truthy"));
+}
+
+//===----------------------------------------------------------------------===//
+// parseJsonObject and the typed accessors.
+//===----------------------------------------------------------------------===//
+
+TEST(JsonObjectParse, TypedAccessorsKeepLexicalClass) {
+  std::string Err;
+  std::optional<JsonObject> O = parseJsonObject(
+      "{\"s\":\"text\",\"n\":42,\"neg\":-7,\"d\":2.5,\"b\":true,"
+      "\"nested\":{\"x\":[1,2]}}",
+      Err);
+  ASSERT_TRUE(O) << Err;
+  EXPECT_EQ(O->getString("s"), "text");
+  EXPECT_EQ(O->getUInt("n"), 42u);
+  EXPECT_EQ(O->getUInt("neg"), std::nullopt); // Negative: not a uint.
+  EXPECT_EQ(O->getDouble("d"), 2.5);
+  EXPECT_EQ(O->getBool("b"), true);
+  // Cross-type reads miss instead of coercing.
+  EXPECT_EQ(O->getString("n"), std::nullopt);
+  EXPECT_EQ(O->getUInt("s"), std::nullopt);
+  EXPECT_EQ(O->getBool("n"), std::nullopt);
+  // Nested values survive as raw lexemes, re-parseable on demand.
+  std::optional<std::string> Raw = O->getRaw("nested");
+  ASSERT_TRUE(Raw);
+  std::optional<JsonObject> Inner = parseJsonObject(*Raw, Err);
+  ASSERT_TRUE(Inner) << Err;
+  EXPECT_TRUE(Inner->has("x"));
+  // Absent keys.
+  EXPECT_FALSE(O->has("missing"));
+  EXPECT_EQ(O->getString("missing"), std::nullopt);
+}
+
+TEST(JsonObjectParse, UnescapesStringValues) {
+  std::string Err;
+  std::optional<JsonObject> O = parseJsonObject(
+      "{\"v\":\"a\\n\\t\\\"b\\\\c\\u0041\"}", Err);
+  ASSERT_TRUE(O) << Err;
+  EXPECT_EQ(O->getString("v"), "a\n\t\"b\\cA");
+}
+
+TEST(JsonObjectParse, RejectsMalformedObjects) {
+  std::string Err;
+  EXPECT_FALSE(parseJsonObject("", Err));
+  EXPECT_FALSE(parseJsonObject("[1]", Err));
+  EXPECT_FALSE(parseJsonObject("{\"k\":\"\\uDEAD\"}", Err));
+  EXPECT_FALSE(parseJsonObject("{\"k\":tru}", Err));
+  EXPECT_FALSE(parseJsonObject("{\"k\":1", Err));
+}
+
+//===----------------------------------------------------------------------===//
+// JsonWriter and the escape round trip.
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriter, EscapedOutputParsesBackVerbatim) {
+  std::string Nasty = "quote\" slash\\ nl\n tab\t cr\r ctrl\x01 end";
+  JsonWriter W;
+  W.field("s", Nasty);
+  W.field("n", std::uint64_t(7));
+  W.field("b", false);
+  W.fieldRaw("raw", "[1,2]");
+  std::string Doc = W.finish();
+
+  std::string Err;
+  ASSERT_TRUE(validateJsonDocument(Doc, Err)) << Err << "\n" << Doc;
+  std::optional<JsonObject> O = parseJsonObject(Doc, Err);
+  ASSERT_TRUE(O) << Err;
+  EXPECT_EQ(O->getString("s"), Nasty);
+  EXPECT_EQ(O->getUInt("n"), 7u);
+  EXPECT_EQ(O->getBool("b"), false);
+  EXPECT_EQ(O->getRaw("raw"), "[1,2]");
+}
+
+TEST(JsonWriter, ServiceAliasStillCompiles) {
+  // The pre-move spelling ipse::service::JsonWriter must keep working
+  // (seven call sites rely on the forwarding header).
+  service::JsonWriter W;
+  W.field("k", "v");
+  std::string Err;
+  EXPECT_TRUE(service::validateJsonDocument(W.finish(), Err)) << Err;
+}
+
+} // namespace

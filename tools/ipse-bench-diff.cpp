@@ -114,6 +114,10 @@ std::string identService(const service::JsonObject &Row) {
   return Shape.empty() || W.empty() ? "" : Shape + "/w" + W;
 }
 
+std::string identPersist(const service::JsonObject &Row) {
+  return field(Row, "shape");
+}
+
 // Wall-clock metrics tolerate large relative noise on shared runners;
 // their absolute floors keep micro-benchmarks (sub-ms cells) from
 // tripping on scheduler jitter.  Bit-vector op counts are deterministic
@@ -126,6 +130,11 @@ const RowSpec Specs[] = {
     {"observe", identObserve,
      {{"wall_ns", false, 0.75, 250000.0}, {"bv_ops", false, 0.02, 64.0}}},
     {"service", identService, {{"qps", true, 0.50, 4000.0}}},
+    // recovery_ms is the warm-restart promise; snapshot_mbps the decode
+    // bandwidth.  Both are I/O-bound on shared runners, so they gate as
+    // loosely as the other wall-clock metrics.
+    {"persist", identPersist,
+     {{"recovery_ms", false, 0.75, 5.0}, {"snapshot_mbps", true, 0.50, 50.0}}},
 };
 
 struct Options {

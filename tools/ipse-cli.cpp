@@ -25,6 +25,11 @@
 //   ipse-cli metrics-dump --port N [--format=F]     fetch a serving instance's
 //                                                   metrics (Prometheus text
 //                                                   or JSON)
+//   ipse-cli save ... <out.ipsesnap>                solve and write a binary
+//                                                   snapshot (planes + program)
+//   ipse-cli load <file.ipsesnap>                   warm-restore a snapshot
+//                                                   and print a summary
+//   ipse-cli inspect-snapshot <file.ipsesnap>       header / sections / CRCs
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,10 +44,14 @@
 #include "frontend/Frontend.h"
 #include "graph/Dot.h"
 #include "graph/Reachability.h"
+#include "persist/Snapshot.h"
+#include "persist/Store.h"
 #include "service/ScriptDriver.h"
 #include "service/Server.h"
 #include "synth/SourceGen.h"
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -52,6 +61,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace ipse;
 using namespace ipse::ir;
@@ -86,23 +97,44 @@ namespace {
       "                                      drive an incremental analysis\n"
       "                                      session ('-' reads stdin; see\n"
       "                                      'session' section of README)\n"
-      "  serve (--program <file> | --gen k=v[,k=v...])\n"
+      "  serve (--program <file> | --gen k=v[,k=v...] | --data-dir DIR)\n"
       "        [--port N] [--workers N] [--queue N] [--batch N]\n"
       "        [--stats-ms N] [--no-use] [--parallel[=K]]\n"
+      "        [--compact-records N] [--compact-bytes N]\n"
       "        [--trace-out=FILE] [--trace-format=F]\n"
       "                                      concurrent analysis service;\n"
       "                                      newline-delimited JSON over\n"
       "                                      stdio, or TCP with --port\n"
       "                                      (0 picks a free port); spans\n"
       "                                      are tagged with request trace\n"
-      "                                      ids\n"
+      "                                      ids.  --data-dir makes the\n"
+      "                                      service durable: edits are\n"
+      "                                      write-ahead-logged and the\n"
+      "                                      service warm-restarts from the\n"
+      "                                      directory if it already holds\n"
+      "                                      a store (then --program/--gen\n"
+      "                                      may be omitted).  SIGTERM /\n"
+      "                                      SIGINT drain, flush, and\n"
+      "                                      compact before exiting\n"
       "  client --port N [script]            send a session script to a\n"
       "                                      serving instance (stdin when\n"
       "                                      no script is given)\n"
       "  metrics-dump --port N [--format=prom|json]\n"
       "                                      fetch a serving instance's\n"
       "                                      metrics (Prometheus text by\n"
-      "                                      default)\n");
+      "                                      default)\n"
+      "  save (--program <file> | --gen k=v[,k=v...]) [--no-use]\n"
+      "       <out.ipsesnap>                 solve, then write a versioned\n"
+      "                                      checksummed binary snapshot\n"
+      "                                      (program + graphs + GMOD/RMOD\n"
+      "                                      planes)\n"
+      "  load [--report] <file.ipsesnap>     restore a snapshot without\n"
+      "                                      re-solving; print a summary\n"
+      "                                      (--report: the full MOD/USE\n"
+      "                                      report from restored planes)\n"
+      "  inspect-snapshot <file.ipsesnap>    print header, section sizes\n"
+      "                                      and CRC status; exit 0 only\n"
+      "                                      if every checksum verifies\n");
   std::exit(2);
 }
 
@@ -448,6 +480,41 @@ int cmdSession(const std::vector<std::string> &Args) {
 // for the wire protocol).
 //===----------------------------------------------------------------------===//
 
+/// Shared by serve/save: builds the initial program from exactly one of
+/// --program <file> / --gen k=v[,k=v...].  Exits on errors.
+Program buildInitialProgram(const std::string &ProgramPath,
+                            const std::string &GenSpec) {
+  if (!ProgramPath.empty())
+    return compileOrDie(ProgramPath);
+  // Split the comma-separated spec into key=value tokens.
+  std::vector<std::string> Tokens;
+  std::istringstream SS(GenSpec);
+  for (std::string Tok; std::getline(SS, Tok, ',');)
+    if (!Tok.empty())
+      Tokens.push_back(Tok);
+  try {
+    return synth::generateProgram(ipse::parseGenSpec(Tokens, 0));
+  } catch (const service::ScriptError &E) {
+    std::fprintf(stderr, "error: %s\n", E.Message.c_str());
+    std::exit(2);
+  }
+}
+
+/// Set by the SIGTERM/SIGINT handler; the serve loops poll it and the
+/// handler is installed without SA_RESTART, so blocking read()s return
+/// EINTR and the drain/flush/compact shutdown path runs.
+volatile std::sig_atomic_t ShutdownRequested = 0;
+
+void installShutdownHandler() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = [](int) { ShutdownRequested = 1; };
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // Deliberately no SA_RESTART.
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+}
+
 int cmdServe(const std::vector<std::string> &Args) {
   std::string ProgramPath, GenSpec;
   bool HavePort = false;
@@ -467,6 +534,12 @@ int cmdServe(const std::vector<std::string> &Args) {
       ProgramPath = strArg();
     else if (Args[I] == "--gen")
       GenSpec = strArg();
+    else if (Args[I] == "--data-dir")
+      Opts.DataDir = strArg();
+    else if (Args[I] == "--compact-records")
+      Opts.CompactWalRecords = intArg();
+    else if (Args[I] == "--compact-bytes")
+      Opts.CompactWalBytes = intArg();
     else if (Args[I] == "--port") {
       HavePort = true;
       Port = static_cast<std::uint16_t>(intArg());
@@ -485,53 +558,76 @@ int cmdServe(const std::vector<std::string> &Args) {
     else
       usage();
   }
-  if (ProgramPath.empty() == GenSpec.empty()) {
+  const bool HaveStore =
+      !Opts.DataDir.empty() && persist::Store::exists(Opts.DataDir);
+  if (HaveStore) {
+    if (!ProgramPath.empty() || !GenSpec.empty())
+      std::fprintf(stderr,
+                   "note: '%s' holds a store; --program/--gen ignored, "
+                   "recovering from it\n",
+                   Opts.DataDir.c_str());
+  } else if (ProgramPath.empty() == GenSpec.empty()) {
     std::fprintf(stderr,
-                 "error: 'serve' needs exactly one of --program / --gen\n");
+                 "error: 'serve' needs exactly one of --program / --gen "
+                 "(or --data-dir pointing at an existing store)\n");
     return 2;
   }
   F.finish();
 
   Program P;
-  if (!ProgramPath.empty()) {
-    P = compileOrDie(ProgramPath);
-  } else {
-    // Split the comma-separated spec into key=value tokens.
-    std::vector<std::string> Tokens;
-    std::istringstream SS(GenSpec);
-    for (std::string Tok; std::getline(SS, Tok, ',');)
-      if (!Tok.empty())
-        Tokens.push_back(Tok);
-    try {
-      P = synth::generateProgram(ipse::parseGenSpec(Tokens, 0));
-    } catch (const service::ScriptError &E) {
-      std::fprintf(stderr, "error: %s\n", E.Message.c_str());
-      return 2;
-    }
-  }
+  if (!HaveStore)
+    P = buildInitialProgram(ProgramPath, GenSpec);
 
-  std::unique_ptr<service::AnalysisService> SvcPtr =
-      ipse::Analyzer(Opts).serve(std::move(P));
-  service::AnalysisService &Svc = *SvcPtr;
-  if (!HavePort) {
-    service::serveFd(Svc, /*InFd=*/0, /*OutFd=*/1);
-    return 0;
-  }
-  service::TcpServer Server(Svc);
-  std::string Error;
-  if (!Server.start(Port, Error)) {
-    std::fprintf(stderr, "error: cannot listen on port %u: %s\n",
-                 unsigned(Port), Error.c_str());
+  std::unique_ptr<service::AnalysisService> SvcPtr;
+  try {
+    SvcPtr = ipse::Analyzer(Opts).serve(std::move(P));
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
     return 1;
   }
-  std::fprintf(stderr, "serving on 127.0.0.1:%u (EOF on stdin stops)\n",
-               unsigned(Server.port()));
-  // Block until the operator closes stdin; connections are served on
-  // their own threads meanwhile.
-  char Buf[256];
-  while (::read(0, Buf, sizeof(Buf)) > 0)
-    ;
-  Server.stop();
+  service::AnalysisService &Svc = *SvcPtr;
+  installShutdownHandler();
+  if (HaveStore)
+    std::fprintf(stderr, "recovered '%s' at generation %llu\n",
+                 Opts.DataDir.c_str(), (unsigned long long)Svc.generation());
+
+  if (!HavePort) {
+    // serveFd returns on EOF or on an EINTR'd read (our signal handler);
+    // either way fall through to the drain + final-compact shutdown.
+    service::serveFd(Svc, /*InFd=*/0, /*OutFd=*/1);
+  } else {
+    service::TcpServer Server(Svc);
+    std::string Error;
+    if (!Server.start(Port, Error)) {
+      std::fprintf(stderr, "error: cannot listen on port %u: %s\n",
+                   unsigned(Port), Error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "serving on 127.0.0.1:%u (EOF on stdin or SIGTERM stops)\n",
+                 unsigned(Server.port()));
+    // Block until the operator closes stdin or a shutdown signal lands;
+    // connections are served on their own threads meanwhile.
+    char Buf[256];
+    while (!ShutdownRequested) {
+      ssize_t N = ::read(0, Buf, sizeof(Buf));
+      if (N > 0)
+        continue;
+      if (N < 0 && errno == EINTR)
+        continue; // Re-check ShutdownRequested.
+      break;      // EOF or hard error.
+    }
+    Server.stop();
+  }
+
+  // Drain the queues and join the writer: with --data-dir this is what
+  // folds the WAL into a final snapshot (writerLoop's exit compaction).
+  if (ShutdownRequested)
+    std::fprintf(stderr, "shutdown signal: draining\n");
+  Svc.stop();
+  if (!Opts.DataDir.empty())
+    std::fprintf(stderr, "stopped at generation %llu; store '%s' compacted\n",
+                 (unsigned long long)Svc.generation(), Opts.DataDir.c_str());
   return 0;
 }
 
@@ -588,6 +684,142 @@ int cmdMetricsDump(const std::vector<std::string> &Args) {
   return service::runMetricsDump(Port, Prom, stdout);
 }
 
+//===----------------------------------------------------------------------===//
+// save / load / inspect-snapshot: the persistence subsystem's CLI surface.
+//===----------------------------------------------------------------------===//
+
+int cmdSave(const std::vector<std::string> &Args) {
+  std::string ProgramPath, GenSpec, OutPath;
+  bool TrackUse = true;
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    auto strArg = [&]() -> std::string {
+      if (I + 1 >= Args.size())
+        usage();
+      return Args[++I];
+    };
+    if (Args[I] == "--program")
+      ProgramPath = strArg();
+    else if (Args[I] == "--gen")
+      GenSpec = strArg();
+    else if (Args[I] == "--no-use")
+      TrackUse = false;
+    else if (OutPath.empty())
+      OutPath = Args[I];
+    else
+      usage();
+  }
+  if (OutPath.empty() || ProgramPath.empty() == GenSpec.empty())
+    usage();
+
+  Program P = buildInitialProgram(ProgramPath, GenSpec);
+  incremental::SessionOptions SO;
+  SO.TrackUse = TrackUse;
+  incremental::AnalysisSession S(std::move(P), SO);
+  std::string Err;
+  if (!persist::SnapshotWriter::capture(OutPath, S, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  const Program &Q = S.program();
+  std::printf("wrote %s: generation %llu, %zu procs, %zu vars, "
+              "use-tracking %s\n",
+              OutPath.c_str(), (unsigned long long)S.generation(),
+              Q.numProcs(), Q.numVars(), TrackUse ? "on" : "off");
+  return 0;
+}
+
+/// One effect kind of a session behind the batch analyzers' const query
+/// surface, so `load --report` renders through analysis::renderReport.
+class LoadedKindView {
+public:
+  LoadedKindView(incremental::AnalysisSession &S, analysis::EffectKind Kind)
+      : S(S), Kind(Kind) {}
+  const BitVector &gmod(ProcId Proc) const { return S.gmod(Proc, Kind); }
+  bool rmodContains(VarId F) const { return S.rmodContains(F, Kind); }
+  BitVector dmod(CallSiteId C) const { return S.dmod(C, Kind); }
+  std::string setToString(const BitVector &Set) const {
+    return S.setToString(Set);
+  }
+
+private:
+  incremental::AnalysisSession &S;
+  analysis::EffectKind Kind;
+};
+
+int cmdLoad(const std::vector<std::string> &Args) {
+  bool Report = false;
+  std::string Path;
+  for (const std::string &A : Args) {
+    if (A == "--report")
+      Report = true;
+    else if (Path.empty())
+      Path = A;
+    else
+      usage();
+  }
+  if (Path.empty())
+    usage();
+
+  persist::SnapshotData Data;
+  std::string Err;
+  if (!persist::SnapshotReader::read(Path, Data, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  incremental::SessionOptions SO;
+  SO.TrackUse = Data.TrackUse;
+  incremental::AnalysisSession S(std::move(Data.Program), SO,
+                                 std::move(Data.Planes));
+  const Program &P = S.program();
+  std::printf("%s: generation %llu\n", Path.c_str(),
+              (unsigned long long)S.generation());
+  std::printf("  procs %zu  vars %zu  stmts %zu  call sites %zu  "
+              "use-tracking %s\n",
+              P.numProcs(), P.numVars(), P.numStmts(), P.numCallSites(),
+              Data.TrackUse ? "on" : "off");
+  if (Report) {
+    analysis::ReportOptions R;
+    R.IncludeUse = Data.TrackUse;
+    LoadedKindView Mod(S, analysis::EffectKind::Mod);
+    LoadedKindView Use(S, analysis::EffectKind::Use);
+    std::fputs(analysis::renderReport(P, R, Mod,
+                                      Data.TrackUse ? &Use : nullptr)
+                   .c_str(),
+               stdout);
+  }
+  // 0 proves the warm path: every query above came from restored planes.
+  std::printf("  full rebuilds since load: %llu\n",
+              (unsigned long long)S.stats().FullRebuilds);
+  return 0;
+}
+
+int cmdInspectSnapshot(const std::vector<std::string> &Args) {
+  if (Args.size() != 1)
+    usage();
+  persist::SnapshotInfo Info;
+  std::string Err;
+  if (!persist::SnapshotReader::inspect(Args[0], Info, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("%s:\n", Args[0].c_str());
+  std::printf("  header      %s\n", Info.HeaderOk ? "ok" : "BAD");
+  std::printf("  version     %u\n", Info.Version);
+  std::printf("  flags       0x%x (use-tracking %s)\n", Info.Flags,
+              (Info.Flags & persist::SnapshotFlagTrackUse) ? "on" : "off");
+  std::printf("  generation  %llu\n", (unsigned long long)Info.Generation);
+  std::printf("  sections    %zu\n", Info.Sections.size());
+  bool AllOk = Info.HeaderOk;
+  for (const persist::SnapshotInfo::Section &S : Info.Sections) {
+    std::printf("    %-6s %10llu bytes  crc 0x%08x  %s\n",
+                persist::sectionTagName(S.Tag).c_str(),
+                (unsigned long long)S.PayloadBytes, S.StoredCrc,
+                S.CrcOk ? "ok" : "BAD");
+    AllOk = AllOk && S.CrcOk;
+  }
+  return AllOk ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -615,5 +847,11 @@ int main(int argc, char **argv) {
     return cmdClient(Args);
   if (Cmd == "metrics-dump")
     return cmdMetricsDump(Args);
+  if (Cmd == "save")
+    return cmdSave(Args);
+  if (Cmd == "load")
+    return cmdLoad(Args);
+  if (Cmd == "inspect-snapshot")
+    return cmdInspectSnapshot(Args);
   usage();
 }
