@@ -85,6 +85,9 @@ void runShape(const Shape &Sh) {
       Ms = timeOnceMs([&] {
         parallel::ParallelAnalyzerOptions Opts;
         Opts.Threads = Ks[KI];
+        // Measure raw K: the small-program floor would silently turn
+        // every row below the threshold into a K=1 rerun.
+        Opts.SmallProgramThreshold = 0;
         parallel::ParallelAnalyzer An(P, Opts);
         Stats[KI] = An.scheduleStats();
       });

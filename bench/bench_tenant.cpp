@@ -1,0 +1,152 @@
+//===- bench/bench_tenant.cpp - Multi-tenant service throughput ---------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the sharded multi-tenant registry: how fast tenants open, the
+// read-path gap between a resident tenant (inline snapshot pin) and an
+// evicted one (queue + fault-in from disk), the fault-in latency itself,
+// and the headline capacity figure — a single server holding far more
+// open tenants than its resident cap while answering from whichever side
+// of the LRU a query lands on.  Like bench_persist, not google-benchmark
+// based: one JSON line per shape:
+//
+//   {"shape":"tenants-1000/cap-64","tenants":1000,"cap":64,"procs":6,
+//    "open_ms":2301.2,"opens_per_s":434.5,"edit_us":170.1,
+//    "resident_qps":211000.0,"evicted_qps":580.1,"fault_in_ms":1.62}
+//
+// resident_qps hammers one warm tenant (every query is the lock-free
+// inline path).  evicted_qps round-robins the whole population through a
+// cap-sized residency window, so nearly every query pays a fault-in plus
+// the eviction it forces — the worst case for a cache this shape.
+// fault_in_ms isolates one cold query against a long-idle tenant.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ScriptDriver.h"
+#include "tenant/TenantService.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+using namespace ipse;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Shape {
+  const char *Name;
+  unsigned Tenants;
+  std::size_t Cap;
+  unsigned Procs;
+  unsigned ResidentQueries;
+  unsigned ColdQueries;
+};
+
+// tenants-1000 is the acceptance shape: 1000 open programs through a
+// 64-seat residency window.  tenants-128 keeps a fast row for smoke runs.
+const Shape Shapes[] = {
+    {"tenants-128/cap-16", 128, 16, 6, 2000, 64},
+    {"tenants-1000/cap-64", 1000, 64, 6, 4000, 128},
+};
+
+double millisSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+void die(const std::string &Err) {
+  std::fprintf(stderr, "bench_tenant: %s\n", Err.c_str());
+  std::exit(1);
+}
+
+service::Response expectOk(service::Response R, const char *What) {
+  if (!R.Ok)
+    die(std::string(What) + ": " + R.Error);
+  return R;
+}
+
+void runShape(const Shape &Sh, const std::string &Dir) {
+  std::filesystem::remove_all(Dir);
+
+  tenant::TenantOptions Opts;
+  Opts.Shards = 4;
+  Opts.DataDir = Dir;
+  Opts.MaxResident = Sh.Cap;
+  tenant::TenantService Svc(Opts);
+
+  auto NameOf = [](unsigned I) { return "t" + std::to_string(I); };
+  std::string Spec = " procs=" + std::to_string(Sh.Procs) +
+                     " globals=4 seed=";
+
+  // Open rate: session solve + store init + manifest rewrite per tenant,
+  // with the LRU evicting all the while.
+  Clock::time_point T0 = Clock::now();
+  for (unsigned I = 0; I != Sh.Tenants; ++I)
+    expectOk(Svc.call("", "open " + NameOf(I) + Spec + std::to_string(I)),
+             "open");
+  double OpenMs = millisSince(T0);
+
+  // Edit latency on a warm tenant: apply + WAL fsync + snapshot publish.
+  std::string Hot = NameOf(Sh.Tenants - 1);
+  constexpr unsigned Edits = 32;
+  T0 = Clock::now();
+  for (unsigned I = 0; I != Edits; ++I)
+    expectOk(Svc.call(Hot, "add-global bg" + std::to_string(I)), "edit");
+  double EditUs = millisSince(T0) * 1000.0 / Edits;
+
+  // Resident reads: every query pins the published snapshot inline.
+  expectOk(Svc.call(Hot, "gmod main"), "warm query");
+  T0 = Clock::now();
+  for (unsigned I = 0; I != Sh.ResidentQueries; ++I)
+    expectOk(Svc.call(Hot, "gmod main"), "resident query");
+  double ResidentQps = Sh.ResidentQueries / (millisSince(T0) / 1000.0);
+
+  // Fault-in latency: tenants 0..N-cap-1 have been cold since the open
+  // sweep; each first touch restores planes from disk (no re-solve).
+  T0 = Clock::now();
+  for (unsigned I = 0; I != Sh.ColdQueries; ++I)
+    expectOk(Svc.call(NameOf(I), "gmod main"), "cold query");
+  double FaultInMs = millisSince(T0) / Sh.ColdQueries;
+
+  // Evicted-side throughput: round-robin the whole population through the
+  // cap-sized window — continuous fault-in + forced eviction.
+  unsigned Sweep = Sh.Tenants * 2;
+  T0 = Clock::now();
+  for (unsigned I = 0; I != Sweep; ++I)
+    expectOk(Svc.call(NameOf((I * 37) % Sh.Tenants), "gmod main"),
+             "sweep query");
+  double EvictedQps = Sweep / (millisSince(T0) / 1000.0);
+
+  tenant::TenantCounters C = Svc.counters();
+  if (C.Evictions == 0 || C.FaultIns == 0)
+    die("shape never exercised the LRU (evictions=" +
+        std::to_string(C.Evictions) + ")");
+
+  std::printf(
+      "{\"shape\":\"%s\",\"tenants\":%u,\"cap\":%zu,\"procs\":%u,"
+      "\"open_ms\":%.1f,\"opens_per_s\":%.1f,\"edit_us\":%.1f,"
+      "\"resident_qps\":%.1f,\"evicted_qps\":%.1f,\"fault_in_ms\":%.2f}\n",
+      Sh.Name, Sh.Tenants, Sh.Cap, Sh.Procs, OpenMs,
+      OpenMs > 0 ? Sh.Tenants / (OpenMs / 1000.0) : 0.0, EditUs, ResidentQps,
+      EvictedQps, FaultInMs);
+  std::fflush(stdout);
+
+  Svc.stop();
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace
+
+int main() {
+  std::string Dir =
+      std::filesystem::temp_directory_path() / "ipse_bench_tenant";
+  for (const Shape &Sh : Shapes)
+    runShape(Sh, Dir);
+  return 0;
+}

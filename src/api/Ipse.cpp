@@ -226,15 +226,22 @@ Analysis Analyzer::analyze(const ir::Program &P) const {
         Impl->SeqUse = std::make_unique<analysis::SideEffectAnalyzer>(
             P, Opts.analyzerView(EffectKind::Use));
       break;
-    case AnalysisOptions::Engine::Parallel:
-      Impl->Pool = std::make_unique<parallel::ThreadPool>(
-          Opts.Threads < 1 ? 1 : Opts.Threads);
+    case AnalysisOptions::Engine::Parallel: {
+      // The facade lends one pool to both kinds, so the small-program
+      // floor is applied here, where the pool is sized.
+      const unsigned Eff =
+          Opts.parallelView(EffectKind::Mod).effectiveThreads(P.numProcs());
+      observe::addCounter("parallel.effective_threads", Eff);
+      if (Eff < (Opts.Threads < 1 ? 1u : Opts.Threads))
+        observe::addCounter("parallel.small_program_clamp", 1);
+      Impl->Pool = std::make_unique<parallel::ThreadPool>(Eff);
       Impl->ParMod = std::make_unique<parallel::ParallelAnalyzer>(
           P, Opts.parallelView(EffectKind::Mod), *Impl->Pool);
       if (Opts.TrackUse)
         Impl->ParUse = std::make_unique<parallel::ParallelAnalyzer>(
             P, Opts.parallelView(EffectKind::Use), *Impl->Pool);
       break;
+    }
     default:
       Impl->Session = std::make_unique<incremental::AnalysisSession>(
           P, Opts.sessionView());
@@ -286,6 +293,14 @@ Analyzer::serve(ir::Program Initial) const {
                                                     Opts.serviceView());
 }
 
+std::unique_ptr<tenant::TenantService> Analyzer::openTenants() const {
+  if (!Opts.TenantsEnabled)
+    throw std::runtime_error(
+        "multi-tenant serving is disabled (set AnalysisOptions::"
+        "TenantsEnabled / pass --tenants)");
+  return std::make_unique<tenant::TenantService>(Opts.tenantView());
+}
+
 int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
                                observe::CostReport *CostsOut) const {
   std::optional<observe::TraceScope> Scope;
@@ -334,6 +349,10 @@ int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
         std::string Text = Prom ? observe::prometheusText(Reg) : Reg.toJson();
         std::fprintf(Out, "%s%s", Text.c_str(),
                      (!Text.empty() && Text.back() == '\n') ? "" : "\n");
+      } else if (service::isTenantCommand(Cmd->Kind)) {
+        throw service::ScriptError{
+            LineNo, "open/close/attach need a multi-tenant server "
+                    "(ipse-cli serve --tenants)"};
       } else if (service::isEditCommand(Cmd->Kind)) {
         service::applyEditCommand(session(LineNo), *Cmd);
       } else {
@@ -353,23 +372,7 @@ int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
 
 synth::ProgramGenConfig ipse::parseGenSpec(const std::vector<std::string> &Args,
                                            unsigned LineNo) {
-  synth::ProgramGenConfig Cfg;
-  for (const std::string &Arg : Args) {
-    std::size_t Eq = Arg.find('=');
-    if (Eq == std::string::npos)
-      throw service::ScriptError{LineNo, "'gen' operands are key=value"};
-    std::string Key = Arg.substr(0, Eq);
-    unsigned Val = static_cast<unsigned>(std::atoi(Arg.c_str() + Eq + 1));
-    if (Key == "procs")
-      Cfg.NumProcs = Val;
-    else if (Key == "globals")
-      Cfg.NumGlobals = Val;
-    else if (Key == "seed")
-      Cfg.Seed = Val;
-    else if (Key == "depth")
-      Cfg.MaxNestDepth = Val;
-    else
-      throw service::ScriptError{LineNo, "unknown 'gen' key '" + Key + "'"};
-  }
-  return Cfg;
+  // The parser moved next to the rest of the script grammar so the tenant
+  // service can build programs for `open` without depending on this layer.
+  return service::parseGenSpec(Args, LineNo);
 }

@@ -48,6 +48,7 @@
 #include "parallel/ParallelAnalyzer.h"
 #include "service/AnalysisService.h"
 #include "synth/ProgramGen.h"
+#include "tenant/TenantService.h"
 
 #include <cstdio>
 #include <memory>
@@ -94,6 +95,21 @@ struct AnalysisOptions {
   /// WAL compaction thresholds for durable mode.
   std::uint64_t CompactWalRecords = 1024;
   std::uint64_t CompactWalBytes = 8u << 20;
+  /// @}
+
+  /// \name Multi-tenant knobs (openTenants() only)
+  /// @{
+  /// Enable the sharded multi-tenant registry (`ipse-cli serve
+  /// --tenants`); openTenants() refuses when false.
+  bool TenantsEnabled = false;
+  /// Writer shards for the tenant registry.
+  unsigned TenantShards = 2;
+  /// LRU resident-session cap (0 = unlimited; needs DataDir to evict).
+  std::size_t TenantMaxResident = 0;
+  /// Per-tenant procedure-count quota (0 = unlimited).
+  std::size_t TenantMaxProcs = 0;
+  /// Per-tenant queued-edit quota (0 = unlimited).
+  std::size_t TenantMaxQueuedEdits = 0;
   /// @}
 
   /// \name Observability
@@ -148,6 +164,24 @@ struct AnalysisOptions {
     O.DataDir = DataDir;
     O.CompactWalRecords = CompactWalRecords;
     O.CompactWalBytes = CompactWalBytes;
+    return O;
+  }
+  tenant::TenantOptions tenantView() const {
+    tenant::TenantOptions O;
+    O.Shards = TenantShards;
+    O.QueueCapacity = ServiceQueueCapacity;
+    O.MaxBatch = ServiceMaxBatch;
+    O.TrackUse = TrackUse;
+    O.MaxResident = TenantMaxResident;
+    O.MaxProcs = TenantMaxProcs;
+    O.MaxQueuedEdits = TenantMaxQueuedEdits;
+    // The tenant registry shares the service's data directory: the
+    // single-program store's files and the per-tenant t-<name> subtrees
+    // are disjoint namespaces within it.
+    O.DataDir = DataDir;
+    O.CompactWalRecords = CompactWalRecords;
+    O.CompactWalBytes = CompactWalBytes;
+    O.Sink = Sink;
     return O;
   }
   /// @}
@@ -243,6 +277,14 @@ public:
   /// Starts the concurrent analysis service over \p Initial, configured
   /// from these options (service knobs, TrackUse, Threads).
   std::unique_ptr<service::AnalysisService> serve(ir::Program Initial) const;
+
+  /// Starts the sharded multi-tenant registry (tenant knobs, DataDir),
+  /// recovering the tenant manifest in durable mode.  Throws
+  /// std::runtime_error when TenantsEnabled is false or the data
+  /// directory is unusable.  Pair it with a serve() instance and the
+  /// tenant::serveTenantFd / tenantConnectionHandler front end to run a
+  /// combined server (`ipse-cli serve --tenants`).
+  std::unique_ptr<tenant::TenantService> openTenants() const;
 
   /// Runs a session script (the service/ScriptDriver.h grammar) against a
   /// fresh session, printing query results to \p Out.  Returns the

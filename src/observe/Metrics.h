@@ -83,7 +83,11 @@ public:
   MetricsRegistry &operator=(const MetricsRegistry &) = delete;
 
   /// Metric names must be JSON-safe identifiers (letters, digits,
-  /// '.', '_', '-'); they are rendered unescaped.
+  /// '.', '_', '-'); they are rendered unescaped.  A single
+  /// `{key=value}` suffix (same alphabet inside) is also allowed —
+  /// per-entity series like "tenant.edits{tenant=acme}" — and is
+  /// recognized by the Prometheus exporter, which renders it as a real
+  /// label block.
   Counter &counter(std::string_view Name);
   Gauge &gauge(std::string_view Name);
   LatencyHistogram &histogram(std::string_view Name);

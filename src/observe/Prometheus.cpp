@@ -28,20 +28,79 @@ std::string observe::prometheusName(std::string_view Name) {
 
 namespace {
 
-void appendScalar(std::string &Out, const std::string &Name,
-                  const char *Type, long long Value) {
-  std::string P = prometheusName(Name);
+/// A registry name split at its optional `{key=value}` label suffix:
+/// Name is the sanitized exported metric name, Labels the rendered
+/// `{key="value"}` block ("" when the registry name carried none).
+struct SplitName {
+  std::string Name;
+  std::string Labels;
+};
+
+SplitName splitLabels(std::string_view Raw) {
+  SplitName S;
+  std::size_t Brace = Raw.find('{');
+  if (Brace == std::string_view::npos || Raw.back() != '}') {
+    S.Name = prometheusName(Raw);
+    return S;
+  }
+  std::string_view Inner = Raw.substr(Brace + 1, Raw.size() - Brace - 2);
+  std::size_t Eq = Inner.find('=');
+  S.Name = prometheusName(Raw.substr(0, Brace));
+  if (Eq == std::string_view::npos) {
+    // No key=value inside the braces: treat the whole thing as part of
+    // the name rather than emit malformed exposition text.
+    S.Name = prometheusName(Raw);
+    return S;
+  }
+  // The key must be a legal label name; the value is a quoted string, so
+  // escape the two characters the format cares about.
+  std::string Key;
+  for (char C : Inner.substr(0, Eq)) {
+    bool Legal = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                 (C >= '0' && C <= '9') || C == '_';
+    Key += Legal ? C : '_';
+  }
+  std::string Value;
+  for (char C : Inner.substr(Eq + 1)) {
+    if (C == '"' || C == '\\')
+      Value += '\\';
+    Value += C;
+  }
+  S.Labels = "{" + Key + "=\"" + Value + "\"}";
+  return S;
+}
+
+/// Emits the `# TYPE` header unless the previous series shared the base
+/// name (labeled series of one metric must be grouped under one header).
+void appendType(std::string &Out, std::string &LastTyped,
+                const std::string &Name, const char *Type) {
+  if (Name == LastTyped)
+    return;
+  Out += "# TYPE " + Name + " " + Type + "\n";
+  LastTyped = Name;
+}
+
+void appendScalar(std::string &Out, std::string &LastTyped,
+                  const std::string &Raw, const char *Type,
+                  long long Value) {
+  SplitName S = splitLabels(Raw);
+  appendType(Out, LastTyped, S.Name, Type);
   char Buf[64];
-  Out += "# TYPE " + P + " " + Type + "\n";
   std::snprintf(Buf, sizeof(Buf), " %lld\n", Value);
-  Out += P;
+  Out += S.Name;
+  Out += S.Labels;
   Out += Buf;
 }
 
-void appendHistogram(std::string &Out, const std::string &Name,
-                     const LatencyHistogram &H) {
-  std::string P = prometheusName(Name);
-  Out += "# TYPE " + P + " histogram\n";
+void appendHistogram(std::string &Out, std::string &LastTyped,
+                     const std::string &Raw, const LatencyHistogram &H) {
+  SplitName S = splitLabels(Raw);
+  appendType(Out, LastTyped, S.Name, "histogram");
+  // A histogram's bucket series carries the `le` label; fold an optional
+  // tenant-style label in front of it.
+  std::string InnerLabels =
+      S.Labels.empty() ? ""
+                       : S.Labels.substr(1, S.Labels.size() - 2) + ",";
 
   // Highest non-empty finite bucket; everything above it is zero and
   // adds no information to the cumulative series.
@@ -54,21 +113,24 @@ void appendHistogram(std::string &Out, const std::string &Name,
   std::uint64_t Cum = 0;
   for (unsigned I = 0; I <= Last; ++I) {
     Cum += H.bucketCount(I);
-    std::snprintf(Buf, sizeof(Buf), "_bucket{le=\"%" PRIu64 "\"} %" PRIu64
+    std::snprintf(Buf, sizeof(Buf), "_bucket{%sle=\"%" PRIu64 "\"} %" PRIu64
                   "\n",
+                  InnerLabels.c_str(),
                   LatencyHistogram::bucketBoundMicros(I), Cum);
-    Out += P;
+    Out += S.Name;
     Out += Buf;
   }
-  std::snprintf(Buf, sizeof(Buf), "_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+  std::snprintf(Buf, sizeof(Buf), "_bucket{%sle=\"+Inf\"} %" PRIu64 "\n",
+                InnerLabels.c_str(), H.count());
+  Out += S.Name;
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "_sum%s %" PRIu64 "\n", S.Labels.c_str(),
+                H.sumMicros());
+  Out += S.Name;
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "_count%s %" PRIu64 "\n", S.Labels.c_str(),
                 H.count());
-  Out += P;
-  Out += Buf;
-  std::snprintf(Buf, sizeof(Buf), "_sum %" PRIu64 "\n", H.sumMicros());
-  Out += P;
-  Out += Buf;
-  std::snprintf(Buf, sizeof(Buf), "_count %" PRIu64 "\n", H.count());
-  Out += P;
+  Out += S.Name;
   Out += Buf;
 }
 
@@ -77,11 +139,14 @@ void appendHistogram(std::string &Out, const std::string &Name,
 std::string observe::prometheusText(const MetricsRegistry &Reg) {
   MetricsSnapshot S = Reg.snapshot();
   std::string Out;
+  std::string LastTyped;
   for (const auto &[Name, Value] : S.Counters)
-    appendScalar(Out, Name, "counter", static_cast<long long>(Value));
+    appendScalar(Out, LastTyped, Name, "counter",
+                 static_cast<long long>(Value));
   for (const auto &[Name, Value] : S.Gauges)
-    appendScalar(Out, Name, "gauge", static_cast<long long>(Value));
+    appendScalar(Out, LastTyped, Name, "gauge",
+                 static_cast<long long>(Value));
   for (const auto &[Name, H] : S.Histograms)
-    appendHistogram(Out, Name, *H);
+    appendHistogram(Out, LastTyped, Name, *H);
   return Out;
 }

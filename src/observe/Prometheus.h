@@ -27,6 +27,18 @@
 /// overflow bucket is `+Inf`, and `_sum` / `_count` come from the
 /// histogram's own accumulators.
 ///
+/// Labels: a registry name may carry one `{key=value}` suffix (the
+/// multi-tenant service registers e.g. "tenant.edits{tenant=acme}"); the
+/// exporter splits it off, sanitizes the base name and key, and renders a
+/// proper label block:
+///
+///   ipse_tenant_edits{tenant="acme"} 12
+///
+/// Series sharing a base name therefore aggregate across label values in
+/// Prometheus exactly as intended.  The JSON export keeps the full
+/// suffixed name as its object key (label values are restricted to
+/// JSON-safe characters by the registering code).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPSE_OBSERVE_PROMETHEUS_H

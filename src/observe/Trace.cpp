@@ -69,6 +69,13 @@ void JsonLinesSink::onSpan(const SpanRecord &R) {
         std::fputc(C, Out);
     std::fprintf(Out, "\",\"gen\":%llu",
                  (unsigned long long)R.Tags->Generation);
+    if (!R.Tags->Tenant.empty()) {
+      std::fputs(",\"tenant\":\"", Out);
+      for (char C : R.Tags->Tenant)
+        if (C != '"' && C != '\\' && static_cast<unsigned char>(C) >= 0x20)
+          std::fputc(C, Out);
+      std::fputc('"', Out);
+    }
   }
   std::fputs("}\n", Out);
   std::fflush(Out);
@@ -119,6 +126,13 @@ void ChromeTraceSink::onSpan(const SpanRecord &R) {
         std::fputc(C, Out);
     std::fprintf(Out, "\",\"gen\":%llu",
                  (unsigned long long)R.Tags->Generation);
+    if (!R.Tags->Tenant.empty()) {
+      std::fputs(",\"tenant\":\"", Out);
+      for (char C : R.Tags->Tenant)
+        if (C != '"' && C != '\\' && static_cast<unsigned char>(C) >= 0x20)
+          std::fputc(C, Out);
+      std::fputc('"', Out);
+    }
   }
   std::fputs("}}", Out);
   First = false;

@@ -70,6 +70,10 @@ constexpr bool enabled() {
 struct ScopeTags {
   std::string TraceId;          ///< Request trace id ("" = untagged).
   std::uint64_t Generation = 0; ///< Snapshot generation answering it.
+  /// Owning tenant in multi-tenant serving ("" = single-program mode);
+  /// emitted as a "tenant" field so one tenant's spans are filterable
+  /// out of a shared trace file.
+  std::string Tenant;
 };
 
 /// One closed span, as delivered to sinks and cost reports.

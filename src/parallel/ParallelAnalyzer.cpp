@@ -18,8 +18,12 @@ using namespace ipse::parallel;
 ParallelAnalyzer::ParallelAnalyzer(const ir::Program &P,
                                    ParallelAnalyzerOptions Options)
     : P(P), Options(Options), Masks(P), CG(P), BG(P),
-      OwnedPool(std::make_unique<ThreadPool>(Options.Threads)),
+      OwnedPool(
+          std::make_unique<ThreadPool>(Options.effectiveThreads(P.numProcs()))),
       Pool(*OwnedPool) {
+  observe::addCounter("parallel.effective_threads", Pool.threads());
+  if (Pool.threads() < (Options.Threads < 1 ? 1u : Options.Threads))
+    observe::addCounter("parallel.small_program_clamp", 1);
   run();
 }
 

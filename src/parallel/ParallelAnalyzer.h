@@ -49,6 +49,23 @@ struct ParallelAnalyzerOptions {
   analysis::EffectKind Kind = analysis::EffectKind::Mod;
   /// Executing lanes (clamped to >= 1); 1 = inline, sequential kernels.
   unsigned Threads = 1;
+  /// Programs with fewer procedures than this run with one lane no matter
+  /// what Threads says: on every benchmarked shape up to a few thousand
+  /// procedures the pool fan-out costs more than the kernels it spreads,
+  /// so K > 1 is pure overhead there (see BENCH_ipse.json, bench_parallel
+  /// rows).  Results are bit-identical at any lane count, so the clamp is
+  /// answer-invisible.  0 disables it (benchmarks measuring raw K do this).
+  /// Only the owned-pool constructor consults it; a lent pool's width is
+  /// the caller's decision.
+  unsigned SmallProgramThreshold = 4096;
+
+  /// The lane count the owned-pool constructor will actually use for a
+  /// program of \p NumProcs procedures.
+  unsigned effectiveThreads(std::size_t NumProcs) const {
+    if (SmallProgramThreshold != 0 && NumProcs < SmallProgramThreshold)
+      return 1;
+    return Threads < 1 ? 1 : Threads;
+  }
 };
 
 /// Runs the pipeline at construction; every query afterwards is cheap.

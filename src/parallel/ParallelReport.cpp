@@ -20,9 +20,16 @@ using namespace ipse::parallel;
 std::string parallel::makeReportParallel(const Program &P,
                                          analysis::ReportOptions Options,
                                          unsigned Threads) {
-  ThreadPool Pool(Threads);
-
+  // Same small-program floor as the owned-pool analyzer: the report's
+  // lent pool is sized once here, so clamp before it spins up.
   ParallelAnalyzerOptions ModOpts;
+  ModOpts.Threads = Threads;
+  const unsigned Eff = ModOpts.effectiveThreads(P.numProcs());
+  observe::addCounter("parallel.effective_threads", Eff);
+  if (Eff < (Threads < 1 ? 1u : Threads))
+    observe::addCounter("parallel.small_program_clamp", 1);
+  ThreadPool Pool(Eff);
+
   ParallelAnalyzer Mod(P, ModOpts, Pool);
   std::unique_ptr<ParallelAnalyzer> Use;
   if (Options.IncludeUse) {

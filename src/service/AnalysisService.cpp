@@ -12,7 +12,7 @@
 #include "observe/Prometheus.h"
 #include "observe/Trace.h"
 #include "persist/Store.h"
-#include "service/Json.h"
+#include "support/Json.h"
 
 #include <future>
 #include <optional>
@@ -292,7 +292,7 @@ void AnalysisService::writerLoop() {
         if (Opts.Sink)
           Scope.emplace(nullptr, Opts.Sink,
                         observe::ScopeTags{Batch.front().TraceId,
-                                           Session->generation()});
+                                           Session->generation(), {}});
         observe::TraceSpan Span("service.flush");
         // capture() flushes; this is the batch's one solve.
         Snap = AnalysisSnapshot::capture(*Session, Session->generation());
@@ -382,7 +382,8 @@ void AnalysisService::workerLoop() {
           std::optional<observe::TraceScope> Scope;
           if (Opts.Sink)
             Scope.emplace(nullptr, Opts.Sink,
-                          observe::ScopeTags{P.TraceId, Snap->generation()});
+                          observe::ScopeTags{P.TraceId, Snap->generation(),
+                                             {}});
           observe::TraceSpan Span("service.query");
           try {
             E.QR = evalQueryCommand(*Snap, P.Cmd);

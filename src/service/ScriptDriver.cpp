@@ -11,6 +11,7 @@
 #include "incremental/AnalysisSession.h"
 #include "ir/AliasInfo.h"
 #include "ir/Printer.h"
+#include "synth/ProgramGen.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -60,6 +61,9 @@ constexpr OpSpec Specs[] = {
     {"check", ScriptCommand::Op::Check, 0},
     {"stats", ScriptCommand::Op::Stats, 0},
     {"metrics", ScriptCommand::Op::Metrics, -1},
+    {"open", ScriptCommand::Op::Open, -1},
+    {"close", ScriptCommand::Op::Close, 1},
+    {"attach", ScriptCommand::Op::Attach, 1},
 };
 
 unsigned parseIndex(const std::string &S) {
@@ -102,6 +106,52 @@ bool service::isQueryCommand(ScriptCommand::Op Op) {
   }
 }
 
+synth::ProgramGenConfig
+service::parseGenSpec(const std::vector<std::string> &Args, unsigned LineNo) {
+  synth::ProgramGenConfig Cfg;
+  for (const std::string &Arg : Args) {
+    std::size_t Eq = Arg.find('=');
+    if (Eq == std::string::npos)
+      throw ScriptError{LineNo, "'gen' operands are key=value"};
+    std::string Key = Arg.substr(0, Eq);
+    unsigned Val = static_cast<unsigned>(std::atoi(Arg.c_str() + Eq + 1));
+    if (Key == "procs")
+      Cfg.NumProcs = Val;
+    else if (Key == "globals")
+      Cfg.NumGlobals = Val;
+    else if (Key == "seed")
+      Cfg.Seed = Val;
+    else if (Key == "depth")
+      Cfg.MaxNestDepth = Val;
+    else
+      throw ScriptError{LineNo, "unknown 'gen' key '" + Key + "'"};
+  }
+  return Cfg;
+}
+
+bool service::isTenantCommand(ScriptCommand::Op Op) {
+  switch (Op) {
+  case ScriptCommand::Op::Open:
+  case ScriptCommand::Op::Close:
+  case ScriptCommand::Op::Attach:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool service::isValidTenantName(std::string_view Name) {
+  if (Name.empty() || Name.size() > 64)
+    return false;
+  for (char C : Name) {
+    bool Legal = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                 (C >= '0' && C <= '9') || C == '_' || C == '.' || C == '-';
+    if (!Legal)
+      return false;
+  }
+  return true;
+}
+
 std::optional<ScriptCommand> service::parseScriptLine(std::string_view Line,
                                                       unsigned LineNo) {
   std::string Text(Line);
@@ -127,6 +177,13 @@ std::optional<ScriptCommand> service::parseScriptLine(std::string_view Line,
                       " operand(s)");
     if (Spec.Op == ScriptCommand::Op::AddCall && Cmd.Args.size() < 3)
       die(LineNo, "'add-call' expects <proc> <stmtIdx> <callee> ...");
+    if (isTenantCommand(Spec.Op)) {
+      if (Cmd.Args.empty())
+        die(LineNo, "'" + T[0] + "' expects a tenant name");
+      if (!isValidTenantName(Cmd.Args[0]))
+        die(LineNo, "invalid tenant name '" + Cmd.Args[0] +
+                        "' (1-64 chars from [A-Za-z0-9_.-])");
+    }
     if (Spec.Op == ScriptCommand::Op::Metrics &&
         (Cmd.Args.size() > 1 ||
          (Cmd.Args.size() == 1 && Cmd.Args[0] != "--format=json" &&

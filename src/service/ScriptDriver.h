@@ -31,6 +31,12 @@
 ///   metrics [--format=json|prom]          process-wide metrics registry
 ///                                         (JSON object, or Prometheus
 ///                                         text exposition format)
+///   open <tenant> [k=v ...]               multi-tenant verbs (serve
+///   close <tenant>                        --tenants only): create a
+///   attach <tenant>                       tenant (gen-spec keys as for
+///                                         `gen`), end its lifetime, or
+///                                         set the connection's default
+///                                         tenant for later commands
 ///
 /// Parsing yields a ScriptCommand with *raw* operands; name resolution is
 /// deferred to execution time because ids shift under edits — the service
@@ -59,6 +65,9 @@
 namespace ipse {
 namespace incremental {
 class AnalysisSession;
+}
+namespace synth {
+struct ProgramGenConfig;
 }
 
 namespace service {
@@ -95,7 +104,10 @@ struct ScriptCommand {
     Use,
     Check,
     Stats,
-    Metrics
+    Metrics,
+    Open,
+    Close,
+    Attach
   };
   Op Kind = Op::Check;
   std::vector<std::string> Args;
@@ -109,6 +121,21 @@ bool isEditCommand(ScriptCommand::Op Op);
 /// True for commands answerable from an immutable snapshot (routed to the
 /// service's reader pool).
 bool isQueryCommand(ScriptCommand::Op Op);
+
+/// True for the multi-tenant lifecycle verbs (open / close / attach),
+/// which only the tenant-serving front end accepts.
+bool isTenantCommand(ScriptCommand::Op Op);
+
+/// True if \p Name is a legal tenant id: 1-64 characters drawn from
+/// [A-Za-z0-9_.-].  The restriction keeps names safe as directory names,
+/// Prometheus label values, and whitespace-delimited script operands.
+bool isValidTenantName(std::string_view Name);
+
+/// Parses generator `key=value` operands (the script `gen` command, the
+/// tenant `open` verb's shape arguments, and `ipse-cli serve --gen`).
+/// Throws ScriptError on unknown keys.
+synth::ProgramGenConfig parseGenSpec(const std::vector<std::string> &Args,
+                                     unsigned LineNo);
 
 /// Parses one script line ('#' starts a comment).  Returns nullopt for
 /// blank/comment-only lines; throws ScriptError on unknown commands or

@@ -7,7 +7,7 @@
 
 #include "service/Server.h"
 
-#include "service/Json.h"
+#include "support/Json.h"
 
 #include <atomic>
 #include <cctype>
@@ -142,7 +142,7 @@ void writeLine(int Fd, std::mutex &WriteMutex, const std::string &Text) {
 
 } // namespace
 
-void service::serveFd(AnalysisService &Svc, int InFd, int OutFd) {
+void service::serveLines(const LineHandler &Handle, int InFd, int OutFd) {
   std::mutex WriteMutex;
   // Outstanding = requests handed to the service whose response has not
   // been written yet; EOF waits for the count to drain so no response is
@@ -189,13 +189,22 @@ void service::serveFd(AnalysisService &Svc, int InFd, int OutFd) {
         std::lock_guard<std::mutex> Lock(PendingMutex);
         ++Outstanding;
       }
-      handleRequestLine(Svc, Line, Emit);
+      Handle(Line, Emit);
     }
     Carry.erase(0, Start);
   }
 
   std::unique_lock<std::mutex> Lock(PendingMutex);
   PendingCv.wait(Lock, [&] { return Outstanding == 0; });
+}
+
+void service::serveFd(AnalysisService &Svc, int InFd, int OutFd) {
+  serveLines(
+      [&Svc](std::string_view Line,
+             const std::function<void(const std::string &)> &Emit) {
+        handleRequestLine(Svc, Line, Emit);
+      },
+      InFd, OutFd);
 }
 
 //===----------------------------------------------------------------------===//
@@ -242,7 +251,7 @@ void TcpServer::acceptLoop() {
     }
     ConnFds.push_back(Conn);
     ConnThreads.emplace_back([this, Conn] {
-      serveFd(Svc, Conn, Conn);
+      Handler(Conn, Conn);
       ::close(Conn);
     });
   }

@@ -65,16 +65,36 @@ std::string renderResponse(const Response &R);
 void handleRequestLine(AnalysisService &Svc, std::string_view Line,
                        const std::function<void(const std::string &)> &Emit);
 
-/// Serves requests read from \p InFd until EOF, writing responses to
-/// \p OutFd (write-locked; service threads interleave whole lines).
-/// Drains outstanding requests before returning.
+/// One request line dispatched by the generic pump below: decode, route,
+/// and call \p Emit exactly once (possibly later, from a service thread).
+using LineHandler = std::function<void(
+    std::string_view Line, const std::function<void(const std::string &)> &Emit)>;
+
+/// The protocol pump behind every front end: reads newline-delimited
+/// requests from \p InFd until EOF, hands each non-blank line to
+/// \p Handle, and writes emitted responses to \p OutFd (write-locked;
+/// service threads interleave whole lines).  Drains outstanding requests
+/// before returning.  \p Handle runs on the reading thread, so
+/// per-connection state (the tenant front end's `attach` default) needs
+/// no locking.
+void serveLines(const LineHandler &Handle, int InFd, int OutFd);
+
+/// Serves single-program requests from \p InFd until EOF (serveLines over
+/// handleRequestLine).
 void serveFd(AnalysisService &Svc, int InFd, int OutFd);
 
 /// A loopback TCP listener serving each accepted connection on its own
-/// thread via serveFd().
+/// thread.  The single-program constructor pumps serveFd(); the handler
+/// constructor runs an arbitrary per-connection server (the multi-tenant
+/// front end passes a closure that builds fresh connection state and
+/// calls serveLines).
 class TcpServer {
 public:
-  explicit TcpServer(AnalysisService &Svc) : Svc(Svc) {}
+  using ConnectionFn = std::function<void(int InFd, int OutFd)>;
+
+  explicit TcpServer(AnalysisService &Svc)
+      : Handler([&Svc](int InFd, int OutFd) { serveFd(Svc, InFd, OutFd); }) {}
+  explicit TcpServer(ConnectionFn Handler) : Handler(std::move(Handler)) {}
   ~TcpServer() { stop(); }
 
   /// Binds 127.0.0.1:\p Port (0 picks an ephemeral port — see port()),
@@ -92,7 +112,7 @@ public:
 private:
   void acceptLoop();
 
-  AnalysisService &Svc;
+  ConnectionFn Handler;
   /// Atomic: stop() retires it (exchange to -1) while acceptLoop is
   /// blocked in accept() on it.
   std::atomic<int> ListenFd{-1};

@@ -1,0 +1,77 @@
+//===- tenant/Protocol.h - Multi-tenant NDJSON front end --------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tenant-aware request decoder layered on the service's NDJSON
+/// protocol (service/Server.h).  The envelope grows two things:
+///
+///  - lifecycle verbs in `cmd`: `open <tenant> [k=v ...]` creates a
+///    tenant, `close <tenant>` ends its lifetime, and `attach <tenant>`
+///    sets the connection's default tenant for subsequent commands;
+///  - an optional `"tenant":"<name>"` request field, which routes a
+///    single command to a tenant and overrides the connection default.
+///
+/// A request naming no tenant (neither field nor attach) keeps today's
+/// single-program semantics: it is forwarded verbatim to the legacy
+/// AnalysisService, so a tenant-mode server is a strict superset of a
+/// plain one.  Tenant-routed `stats` answers the tenant service's
+/// aggregate stats object; `metrics` is process-wide either way.
+///
+///   {"id":1,"cmd":"open acme procs=100 seed=7"}
+///   {"id":2,"cmd":"attach acme"}
+///   {"id":3,"cmd":"gmod p1"}                      → answered by acme
+///   {"id":4,"tenant":"beta","cmd":"gmod p1"}      → answered by beta
+///   {"id":5,"cmd":"close acme"}
+///
+/// Attach state is per connection, owned by the reading thread (see
+/// serveLines), so it needs no locking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_TENANT_PROTOCOL_H
+#define IPSE_TENANT_PROTOCOL_H
+
+#include "service/Server.h"
+#include "tenant/TenantService.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace ipse {
+namespace tenant {
+
+/// Per-connection front-end state: the tenant `attach` selected.
+struct TenantConnection {
+  std::string Attached;
+};
+
+/// Decodes one request line and routes it into \p Tenants, the legacy
+/// \p Single service (may be null: unattached requests then fail), or
+/// \p Conn (attach).  \p Emit receives exactly one response line per
+/// non-blank request — possibly on a shard thread, so it must be
+/// thread-safe.
+void handleTenantRequestLine(
+    TenantService &Tenants, service::AnalysisService *Single,
+    TenantConnection &Conn, std::string_view Line,
+    const std::function<void(const std::string &)> &Emit);
+
+/// Serves tenant-aware requests from \p InFd until EOF (serveLines over
+/// handleTenantRequestLine with fresh per-connection state).
+void serveTenantFd(TenantService &Tenants, service::AnalysisService *Single,
+                   int InFd, int OutFd);
+
+/// A per-connection handler for service::TcpServer: each accepted
+/// connection gets its own TenantConnection (its own attach default).
+service::TcpServer::ConnectionFn
+tenantConnectionHandler(TenantService &Tenants,
+                        service::AnalysisService *Single);
+
+} // namespace tenant
+} // namespace ipse
+
+#endif // IPSE_TENANT_PROTOCOL_H

@@ -1,0 +1,981 @@
+//===- tenant/TenantService.cpp - Sharded multi-tenant service ----------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tenant/TenantService.h"
+
+#include "incremental/AnalysisSession.h"
+#include "observe/Metrics.h"
+#include "observe/Prometheus.h"
+#include "observe/Trace.h"
+#include "persist/Snapshot.h"
+#include "persist/Store.h"
+#include "support/Json.h"
+#include "synth/ProgramGen.h"
+
+#include <filesystem>
+#include <future>
+#include <optional>
+#include <stdexcept>
+
+using namespace ipse;
+using namespace ipse::tenant;
+
+using service::Response;
+using service::ScriptCommand;
+using service::ScriptError;
+
+//===----------------------------------------------------------------------===//
+// Construction / registry.
+//===----------------------------------------------------------------------===//
+
+TenantService::TenantService(TenantOptions Options) : Opts(Options) {
+  if (Opts.Shards == 0)
+    Opts.Shards = 1;
+  if (Opts.MaxBatch == 0)
+    Opts.MaxBatch = 1;
+  if (!Opts.DataDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(Opts.DataDir, Ec);
+    if (Ec)
+      throw std::runtime_error("tenant: cannot create data dir '" +
+                               Opts.DataDir + "': " + Ec.message());
+    loadManifest();
+  }
+  for (unsigned I = 0; I != Opts.Shards; ++I)
+    Shards.push_back(std::make_unique<Shard>(Opts.QueueCapacity));
+  for (unsigned I = 0; I != Opts.Shards; ++I)
+    Shards[I]->Thread = std::thread([this, I] { shardLoop(I); });
+  refreshGauges();
+}
+
+TenantService::~TenantService() { stop(); }
+
+void TenantService::stop() {
+  if (Stopped.exchange(true))
+    return;
+  for (std::unique_ptr<Shard> &S : Shards)
+    S->Queue.close();
+  for (std::unique_ptr<Shard> &S : Shards)
+    if (S->Thread.joinable())
+      S->Thread.join();
+}
+
+unsigned TenantService::shardOf(std::string_view Name) const {
+  // FNV-1a: stable across runs, so a tenant faults back in on the same
+  // shard it was evicted from.
+  std::uint64_t H = 1469598103934665603ull;
+  for (char C : Name) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  // Opts.Shards (clamped in the ctor), not Shards.size(): loadManifest()
+  // registers tenants before the shard vector is populated.
+  return static_cast<unsigned>(H % Opts.Shards);
+}
+
+std::string TenantService::tenantDir(const std::string &Name) const {
+  return Opts.DataDir + "/t-" + Name;
+}
+
+std::shared_ptr<TenantService::Tenant>
+TenantService::lookup(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  auto It = Registry.find(Name);
+  return It == Registry.end() ? nullptr : It->second;
+}
+
+std::shared_ptr<TenantService::Tenant>
+TenantService::registerTenant(const std::string &Name, std::string &Err) {
+  auto T = std::make_shared<Tenant>();
+  T->Name = Name;
+  T->ShardIdx = shardOf(Name);
+  observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
+  T->CtrEdits = &Reg.counter("tenant.edits{tenant=" + Name + "}");
+  T->CtrQueries = &Reg.counter("tenant.queries{tenant=" + Name + "}");
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  auto [It, Inserted] = Registry.try_emplace(Name, T);
+  (void)It;
+  if (!Inserted) {
+    Err = "tenant '" + Name + "' already open";
+    return nullptr;
+  }
+  return T;
+}
+
+void TenantService::touch(Tenant &T) const {
+  T.LastTouchNs.store(observe::nowNanos(), std::memory_order_relaxed);
+}
+
+std::uint64_t TenantService::elapsedMicros(const Job &J) const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - J.Enqueued)
+          .count());
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest.
+//===----------------------------------------------------------------------===//
+
+void TenantService::loadManifest() {
+  std::string Path = Opts.DataDir + "/tenants.json";
+  if (!std::filesystem::exists(Path))
+    return;
+  std::vector<std::uint8_t> Bytes;
+  std::string Err;
+  if (!persist::readFileBytes(Path, Bytes, Err))
+    throw std::runtime_error("tenant: manifest unreadable: " + Err);
+  std::string Text(Bytes.begin(), Bytes.end());
+  std::optional<JsonObject> Obj = parseJsonObject(Text, Err);
+  if (!Obj)
+    throw std::runtime_error("tenant: manifest corrupt: " + Err);
+  std::optional<std::string> Raw = Obj->getRaw("tenants");
+  if (!Raw)
+    throw std::runtime_error("tenant: manifest corrupt: missing 'tenants'");
+  // Tenant names are drawn from [A-Za-z0-9_.-], so scanning the raw array
+  // lexeme for quoted runs is an exact parse (no escapes possible).
+  for (std::size_t I = 0; I < Raw->size();) {
+    if ((*Raw)[I] != '"') {
+      ++I;
+      continue;
+    }
+    std::size_t End = Raw->find('"', I + 1);
+    if (End == std::string::npos)
+      break;
+    std::string Name = Raw->substr(I + 1, End - I - 1);
+    I = End + 1;
+    if (!service::isValidTenantName(Name))
+      throw std::runtime_error("tenant: manifest corrupt: bad name '" + Name +
+                               "'");
+    if (!persist::Store::exists(tenantDir(Name))) {
+      std::fprintf(stderr,
+                   "ipse: tenant '%s' listed in manifest but its store is "
+                   "missing; dropping\n",
+                   Name.c_str());
+      continue;
+    }
+    std::string RegErr;
+    // Registered evicted (no session, null snapshot): the first request
+    // that needs it faults it in, so restart cost is O(live set).
+    registerTenant(Name, RegErr);
+  }
+}
+
+bool TenantService::saveManifest(std::string &Err) {
+  if (Opts.DataDir.empty())
+    return true;
+  std::lock_guard<std::mutex> MLock(ManifestMutex);
+  std::string Arr = "[";
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    bool First = true;
+    for (const auto &[Name, T] : Registry) {
+      if (T->Closed.load(std::memory_order_relaxed))
+        continue;
+      if (!First)
+        Arr += ",";
+      Arr += "\"" + Name + "\"";
+      First = false;
+    }
+  }
+  Arr += "]";
+  JsonWriter W;
+  W.field("schema", static_cast<std::uint64_t>(1));
+  W.fieldRaw("tenants", Arr);
+  std::string Doc = W.finish();
+  Doc += "\n";
+  return persist::writeFileAtomic(Opts.DataDir + "/tenants.json", Doc.data(),
+                                  Doc.size(), Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Submission.
+//===----------------------------------------------------------------------===//
+
+bool TenantService::tryInlineQuery(const std::shared_ptr<Tenant> &T, Job &J) {
+  std::shared_ptr<const service::AnalysisSnapshot> Snap =
+      T->Snap.load(std::memory_order_acquire);
+  if (!Snap)
+    return false;
+  Response R;
+  R.Id = J.Id;
+  R.TraceId = J.TraceId;
+  R.Generation = Snap->generation();
+  {
+    std::optional<observe::TraceScope> Scope;
+    if (Opts.Sink)
+      Scope.emplace(nullptr, Opts.Sink,
+                    observe::ScopeTags{J.TraceId, Snap->generation(), T->Name});
+    observe::TraceSpan Span("tenant.query");
+    try {
+      service::QueryResult QR = service::evalQueryCommand(*Snap, J.Cmd);
+      R.Result = std::move(QR.Text);
+      R.CheckOk = QR.CheckOk;
+      T->CtrQueries->add();
+      CntQueries.fetch_add(1, std::memory_order_relaxed);
+    } catch (const ScriptError &E) {
+      R.Ok = false;
+      R.Error = E.Message;
+      CntErrors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  touch(*T);
+  observe::MetricsRegistry::global()
+      .histogram("tenant.read_lat_us")
+      .record(elapsedMicros(J));
+  J.Done(std::move(R));
+  return true;
+}
+
+bool TenantService::submit(std::string TenantName, Job J, bool Blocking) {
+  using Op = ScriptCommand::Op;
+  const Op K = J.Cmd.Kind;
+  J.Enqueued = std::chrono::steady_clock::now();
+
+  auto Inline = [&](bool Ok, std::string Text, bool Retry = false) {
+    Response R;
+    R.Id = J.Id;
+    R.TraceId = J.TraceId;
+    R.Ok = Ok;
+    R.Retry = Retry;
+    if (Ok)
+      R.Result = std::move(Text);
+    else {
+      R.Error = std::move(Text);
+      CntErrors.fetch_add(1, std::memory_order_relaxed);
+    }
+    J.Done(std::move(R));
+    return true;
+  };
+
+  // `stats` / `metrics` answer inline from atomics — they must still work
+  // when every shard is saturated.
+  if (K == Op::Stats || K == Op::Metrics) {
+    Response R;
+    R.Id = J.Id;
+    R.TraceId = J.TraceId;
+    R.ResultIsJson = true;
+    if (K == Op::Stats) {
+      R.Result = statsJson();
+    } else {
+      refreshGauges();
+      if (!J.Cmd.Args.empty() && J.Cmd.Args[0] == "--format=prom") {
+        R.Result = observe::prometheusText(observe::MetricsRegistry::global());
+        R.ResultIsJson = false;
+      } else {
+        R.Result = observe::MetricsRegistry::global().toJson();
+      }
+    }
+    CntQueries.fetch_add(1, std::memory_order_relaxed);
+    J.Done(std::move(R));
+    return true;
+  }
+
+  if (K == Op::Open || K == Op::Close) {
+    if (J.Cmd.Args.empty() || !service::isValidTenantName(J.Cmd.Args[0]))
+      return Inline(false, "invalid tenant name");
+    const std::string &Name = J.Cmd.Args[0];
+    std::shared_ptr<Tenant> T;
+    if (K == Op::Open) {
+      std::string Err;
+      T = registerTenant(Name, Err);
+      if (!T)
+        return Inline(false, std::move(Err));
+      J.K = Job::Kind::Open;
+    } else {
+      T = lookup(Name);
+      if (!T)
+        return Inline(false, "unknown tenant '" + Name + "'");
+      J.K = Job::Kind::Close;
+    }
+    J.T = T;
+    T->QueuedJobs.fetch_add(1, std::memory_order_release);
+    Shard &S = *Shards[T->ShardIdx];
+    bool Accepted =
+        Blocking ? S.Queue.push(std::move(J)) : S.Queue.tryPush(std::move(J));
+    if (!Accepted) {
+      T->QueuedJobs.fetch_sub(1, std::memory_order_relaxed);
+      if (K == Op::Open) {
+        std::lock_guard<std::mutex> Lock(RegistryMutex);
+        auto It = Registry.find(Name);
+        if (It != Registry.end() && It->second == T)
+          Registry.erase(It);
+      }
+      CntRejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Accepted;
+  }
+
+  if (K == Op::Attach)
+    // A connection-scoped default, consumed by the serving front end
+    // before requests reach the service proper.
+    return Inline(false, "attach is a connection verb");
+
+  if (TenantName.empty())
+    return Inline(false, "no tenant specified (open one, attach, or add a "
+                         "\"tenant\" request field)");
+  std::shared_ptr<Tenant> T = lookup(TenantName);
+  if (!T)
+    return Inline(false, "unknown tenant '" + TenantName + "'");
+
+  if (service::isEditCommand(K)) {
+    if (Opts.MaxQueuedEdits &&
+        T->QueuedEdits.load(std::memory_order_relaxed) >=
+            Opts.MaxQueuedEdits) {
+      CntRejected.fetch_add(1, std::memory_order_relaxed);
+      if (Blocking) {
+        // Blocking callers still see the quota — as an explicit retry
+        // response rather than a silent wait (the quota exists to push
+        // back, not to stall).
+        Response R;
+        R.Id = J.Id;
+        R.TraceId = J.TraceId;
+        R.Ok = false;
+        R.Retry = true;
+        R.Error = "tenant edit quota exceeded";
+        J.Done(std::move(R));
+        return true;
+      }
+      return false;
+    }
+    J.K = Job::Kind::Edit;
+    J.T = T;
+    T->QueuedEdits.fetch_add(1, std::memory_order_relaxed);
+    T->QueuedJobs.fetch_add(1, std::memory_order_release);
+    Shard &S = *Shards[T->ShardIdx];
+    bool Accepted =
+        Blocking ? S.Queue.push(std::move(J)) : S.Queue.tryPush(std::move(J));
+    if (!Accepted) {
+      T->QueuedEdits.fetch_sub(1, std::memory_order_relaxed);
+      T->QueuedJobs.fetch_sub(1, std::memory_order_relaxed);
+      CntRejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Accepted;
+  }
+
+  if (service::isQueryCommand(K)) {
+    J.K = Job::Kind::Query;
+    J.T = T;
+    // Resident fast path: pin the snapshot and answer on this thread —
+    // no queue, no shard, no lock.
+    if (tryInlineQuery(T, J))
+      return true;
+    // Evicted (or still opening): the shard faults the session in.
+    T->QueuedJobs.fetch_add(1, std::memory_order_release);
+    Shard &S = *Shards[T->ShardIdx];
+    bool Accepted =
+        Blocking ? S.Queue.push(std::move(J)) : S.Queue.tryPush(std::move(J));
+    if (!Accepted) {
+      T->QueuedJobs.fetch_sub(1, std::memory_order_relaxed);
+      CntRejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Accepted;
+  }
+
+  return Inline(false, "command not available while serving");
+}
+
+bool TenantService::trySubmit(std::string TenantName, std::uint64_t Id,
+                              ScriptCommand Cmd, ResponseFn Done,
+                              std::string TraceId) {
+  Job J;
+  J.Id = Id;
+  J.Cmd = std::move(Cmd);
+  J.Done = std::move(Done);
+  J.TraceId = std::move(TraceId);
+  return submit(std::move(TenantName), std::move(J), /*Blocking=*/false);
+}
+
+Response TenantService::call(std::string TenantName, ScriptCommand Cmd,
+                             std::string TraceId) {
+  auto Promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> Future = Promise->get_future();
+  Job J;
+  J.Cmd = std::move(Cmd);
+  J.TraceId = std::move(TraceId);
+  J.Done = [Promise](Response R) { Promise->set_value(std::move(R)); };
+  if (!submit(std::move(TenantName), std::move(J), /*Blocking=*/true)) {
+    Response R;
+    R.Ok = false;
+    R.Error = "service stopped";
+    return R;
+  }
+  return Future.get();
+}
+
+Response TenantService::call(std::string TenantName, std::string_view Line,
+                             std::string TraceId) {
+  try {
+    std::optional<ScriptCommand> Cmd = service::parseScriptLine(Line, 0);
+    if (!Cmd) {
+      Response R;
+      R.TraceId = std::move(TraceId);
+      return R;
+    }
+    return call(std::move(TenantName), std::move(*Cmd), std::move(TraceId));
+  } catch (const ScriptError &E) {
+    Response R;
+    R.Ok = false;
+    R.TraceId = std::move(TraceId);
+    R.Error = E.Message;
+    CntErrors.fetch_add(1, std::memory_order_relaxed);
+    return R;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Shard threads.
+//===----------------------------------------------------------------------===//
+
+void TenantService::shardLoop(unsigned Idx) {
+  Shard &S = *Shards[Idx];
+  std::vector<Job> Batch;
+  while (true) {
+    std::optional<Job> First = S.Queue.pop();
+    if (!First)
+      break; // Closed and drained.
+    Batch.clear();
+    Batch.push_back(std::move(*First));
+    S.Queue.tryPopBatch(Batch, Opts.MaxBatch - 1);
+
+    std::size_t I = 0;
+    while (I != Batch.size()) {
+      Job &J = Batch[I];
+      switch (J.K) {
+      case Job::Kind::Open:
+        runOpen(J);
+        J.T->QueuedJobs.fetch_sub(1, std::memory_order_release);
+        ++I;
+        break;
+      case Job::Kind::Close:
+        runClose(J);
+        J.T->QueuedJobs.fetch_sub(1, std::memory_order_release);
+        ++I;
+        break;
+      case Job::Kind::Query:
+        runQuery(J);
+        J.T->QueuedJobs.fetch_sub(1, std::memory_order_release);
+        ++I;
+        break;
+      case Job::Kind::Evict:
+        // Posted by a peer shard that found us hosting the LRU victim.
+        evictIfIdle(*J.T);
+        ++I;
+        break;
+      case Job::Kind::Edit: {
+        // Group-commit window: every consecutive edit for the same
+        // tenant shares one WAL fsync and one flush/publish.
+        std::size_t End = I + 1;
+        while (End != Batch.size() && Batch[End].K == Job::Kind::Edit &&
+               Batch[End].T == J.T)
+          ++End;
+        runEditGroup(Batch, I, End);
+        J.T->QueuedJobs.fetch_sub(static_cast<std::uint32_t>(End - I),
+                                  std::memory_order_release);
+        I = End;
+        break;
+      }
+      }
+    }
+    enforceResidentCap(Idx, nullptr);
+  }
+
+  // Clean shutdown: fold every owned resident tenant's WAL into a final
+  // snapshot so the next boot loads planes and replays nothing.
+  std::vector<std::shared_ptr<Tenant>> Mine;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    for (const auto &[Name, T] : Registry)
+      if (T->ShardIdx == Idx)
+        Mine.push_back(T);
+  }
+  for (const std::shared_ptr<Tenant> &T : Mine) {
+    if (!T->Session || !T->Store || T->Store->walRecords() == 0)
+      continue;
+    std::string Err;
+    if (!T->Store->compact(*T->Session, Err))
+      std::fprintf(stderr, "ipse: tenant '%s' final compaction failed: %s\n",
+                   T->Name.c_str(), Err.c_str());
+  }
+}
+
+void TenantService::publish(Tenant &T, std::uint64_t Generation) {
+  T.Snap.store(service::AnalysisSnapshot::capture(*T.Session, Generation),
+               std::memory_order_release);
+}
+
+void TenantService::runOpen(Job &J) {
+  Tenant &T = *J.T;
+  observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
+  std::string Fail;
+  ir::Program Prog;
+  try {
+    std::vector<std::string> Spec(J.Cmd.Args.begin() + 1, J.Cmd.Args.end());
+    synth::ProgramGenConfig Cfg = service::parseGenSpec(Spec, J.Cmd.LineNo);
+    Prog = synth::generateProgram(Cfg);
+  } catch (const ScriptError &E) {
+    Fail = E.Message;
+  }
+  if (Fail.empty() && Opts.MaxProcs && Prog.numProcs() > Opts.MaxProcs) {
+    Fail = "tenant quota: " + std::to_string(Prog.numProcs()) +
+           " procedures exceeds the cap (" + std::to_string(Opts.MaxProcs) +
+           ")";
+    CntRejected.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (Fail.empty()) {
+    incremental::SessionOptions SO;
+    SO.TrackUse = Opts.TrackUse;
+    T.TrackUse = Opts.TrackUse;
+    T.Session =
+        std::make_unique<incremental::AnalysisSession>(std::move(Prog), SO);
+    if (!Opts.DataDir.empty()) {
+      std::string Dir = tenantDir(T.Name);
+      std::error_code Ec;
+      // A leftover subtree here is an orphan (crashed open, or a close
+      // that died before deleting): this name is not in the manifest.
+      std::filesystem::remove_all(Dir, Ec);
+      std::filesystem::create_directories(Dir, Ec);
+      persist::StoreOptions PO;
+      PO.CompactWalRecords = Opts.CompactWalRecords;
+      PO.CompactWalBytes = Opts.CompactWalBytes;
+      T.Store = std::make_unique<persist::Store>();
+      std::string Err;
+      if (Ec || !persist::Store::init(Dir, PO, *T.Session, *T.Store, Err)) {
+        Fail = "cannot initialize tenant store '" + Dir +
+               "': " + (Ec ? Ec.message() : Err);
+        T.Session.reset();
+        T.Store.reset();
+      } else {
+        std::string MErr;
+        // Manifest before the open acks: a crash after the ack must
+        // recover the tenant.
+        if (!saveManifest(MErr)) {
+          Fail = "cannot write tenant manifest: " + MErr;
+          T.Session.reset();
+          T.Store.reset();
+        }
+      }
+    }
+  }
+
+  Response R;
+  R.Id = J.Id;
+  R.TraceId = J.TraceId;
+  if (!Fail.empty()) {
+    T.Closed.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> Lock(RegistryMutex);
+      auto It = Registry.find(T.Name);
+      if (It != Registry.end() && It->second == J.T)
+        Registry.erase(It);
+    }
+    R.Ok = false;
+    R.Error = std::move(Fail);
+    CntErrors.fetch_add(1, std::memory_order_relaxed);
+    refreshGauges();
+    J.Done(std::move(R));
+    return;
+  }
+
+  publish(T, T.Session->generation());
+  Resident.fetch_add(1, std::memory_order_relaxed);
+  CntOpens.fetch_add(1, std::memory_order_relaxed);
+  Reg.counter("tenant.opens").add();
+  refreshGauges();
+  touch(T);
+  enforceResidentCap(T.ShardIdx, &T);
+  R.Generation = T.Session->generation();
+  R.Result = "opened '" + T.Name + "' (" +
+             std::to_string(T.Session->program().numProcs()) + " procs)";
+  J.Done(std::move(R));
+}
+
+void TenantService::runClose(Job &J) {
+  Tenant &T = *J.T;
+  Response R;
+  R.Id = J.Id;
+  R.TraceId = J.TraceId;
+  if (T.Closed.load(std::memory_order_acquire)) {
+    R.Ok = false;
+    R.Error = "unknown tenant '" + T.Name + "'";
+    CntErrors.fetch_add(1, std::memory_order_relaxed);
+    J.Done(std::move(R));
+    return;
+  }
+  if (T.Session) {
+    T.Session.reset();
+    T.Store.reset();
+    T.Snap.store(nullptr, std::memory_order_release);
+    Resident.fetch_sub(1, std::memory_order_relaxed);
+  }
+  T.Closed.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    auto It = Registry.find(T.Name);
+    if (It != Registry.end() && It->second == J.T)
+      Registry.erase(It);
+  }
+  // Manifest first, subtree second: a crash in between leaves an orphan
+  // directory that is invisible (not in the manifest) and reclaimed by
+  // the next open of the same name.
+  std::string MErr;
+  if (!saveManifest(MErr))
+    std::fprintf(stderr, "ipse: tenant manifest write failed: %s\n",
+                 MErr.c_str());
+  if (!Opts.DataDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::remove_all(tenantDir(T.Name), Ec);
+  }
+  CntCloses.fetch_add(1, std::memory_order_relaxed);
+  observe::MetricsRegistry::global().counter("tenant.closes").add();
+  refreshGauges();
+  R.Result = "closed '" + T.Name + "'";
+  J.Done(std::move(R));
+}
+
+void TenantService::runQuery(Job &J) {
+  Tenant &T = *J.T;
+  Response R;
+  R.Id = J.Id;
+  R.TraceId = J.TraceId;
+  std::string Err;
+  if (T.Closed.load(std::memory_order_acquire)) {
+    R.Ok = false;
+    R.Error = "unknown tenant '" + T.Name + "'";
+  } else if (!ensureResident(T, Err)) {
+    R.Ok = false;
+    R.Error = std::move(Err);
+  } else {
+    std::shared_ptr<const service::AnalysisSnapshot> Snap =
+        T.Snap.load(std::memory_order_acquire);
+    R.Generation = Snap->generation();
+    std::optional<observe::TraceScope> Scope;
+    if (Opts.Sink)
+      Scope.emplace(nullptr, Opts.Sink,
+                    observe::ScopeTags{J.TraceId, Snap->generation(), T.Name});
+    observe::TraceSpan Span("tenant.query");
+    try {
+      service::QueryResult QR = service::evalQueryCommand(*Snap, J.Cmd);
+      R.Result = std::move(QR.Text);
+      R.CheckOk = QR.CheckOk;
+      T.CtrQueries->add();
+      CntQueries.fetch_add(1, std::memory_order_relaxed);
+    } catch (const ScriptError &E) {
+      R.Ok = false;
+      R.Error = E.Message;
+    }
+    touch(T);
+  }
+  if (!R.Ok)
+    CntErrors.fetch_add(1, std::memory_order_relaxed);
+  observe::MetricsRegistry::global()
+      .histogram("tenant.read_lat_us")
+      .record(elapsedMicros(J));
+  J.Done(std::move(R));
+}
+
+void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
+                                 std::size_t End) {
+  Tenant &T = *Batch[Begin].T;
+  const std::size_t N = End - Begin;
+  observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
+
+  auto FailAll = [&](const std::string &Err) {
+    for (std::size_t I = Begin; I != End; ++I) {
+      Response R;
+      R.Id = Batch[I].Id;
+      R.TraceId = Batch[I].TraceId;
+      R.Ok = false;
+      R.Error = Err;
+      CntErrors.fetch_add(1, std::memory_order_relaxed);
+      Reg.histogram("tenant.write_lat_us").record(elapsedMicros(Batch[I]));
+      Batch[I].Done(std::move(R));
+    }
+    T.QueuedEdits.fetch_sub(static_cast<std::uint32_t>(N),
+                            std::memory_order_relaxed);
+  };
+
+  if (T.Closed.load(std::memory_order_acquire)) {
+    FailAll("unknown tenant '" + T.Name + "'");
+    return;
+  }
+  std::string Err;
+  if (!ensureResident(T, Err)) {
+    FailAll(Err);
+    return;
+  }
+
+  // Apply the whole group before flushing: the session defers solve work
+  // until queried, so N edits cost one re-propagation.
+  std::vector<std::string> Failures(N);
+  std::vector<incremental::Edit> Applied;
+  bool AnyApplied = false;
+  for (std::size_t I = 0; I != N; ++I) {
+    const ScriptCommand &Cmd = Batch[Begin + I].Cmd;
+    if (Opts.MaxProcs && Cmd.Kind == ScriptCommand::Op::AddProc &&
+        T.Session->program().numProcs() >= Opts.MaxProcs) {
+      Failures[I] = "tenant quota: max procedures (" +
+                    std::to_string(Opts.MaxProcs) + ") reached";
+      CntRejected.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    try {
+      Applied.push_back(service::applyEditCommand(*T.Session, Cmd));
+      AnyApplied = true;
+    } catch (const ScriptError &E) {
+      Failures[I] = E.Message;
+    }
+  }
+
+  // Durability barrier, per tenant: the group's resolved edits hit the
+  // tenant's WAL (one fsync) before the snapshot containing them can
+  // publish.
+  if (AnyApplied && T.Store) {
+    std::string WErr;
+    if (!T.Store->appendEdits(Applied, WErr)) {
+      std::fprintf(
+          stderr,
+          "ipse: tenant '%s' WAL append failed, persistence disabled: %s\n",
+          T.Name.c_str(), WErr.c_str());
+      Reg.counter("tenant.wal_errors").add();
+      // The tenant keeps serving from memory but is pinned resident:
+      // evictIfIdle() refuses tenants without a store.
+      T.Store.reset();
+    }
+  }
+
+  const std::uint64_t Gen = T.Session->generation();
+  if (AnyApplied) {
+    const std::uint64_t T0 = observe::nowNanos();
+    {
+      std::optional<observe::TraceScope> Scope;
+      if (Opts.Sink)
+        Scope.emplace(nullptr, Opts.Sink,
+                      observe::ScopeTags{Batch[Begin].TraceId, Gen, T.Name});
+      observe::TraceSpan Span("tenant.flush");
+      // capture() flushes; this is the group's one solve.
+      publish(T, Gen);
+    }
+    Reg.histogram("tenant.flush_us").record((observe::nowNanos() - T0) / 1000);
+    Reg.histogram("tenant.flush_batch").record(N);
+  }
+
+  if (T.Store && T.Store->shouldCompact()) {
+    std::string CErr;
+    if (!T.Store->compact(*T.Session, CErr))
+      std::fprintf(stderr,
+                   "ipse: tenant '%s' compaction failed (will retry): %s\n",
+                   T.Name.c_str(), CErr.c_str());
+  }
+
+  for (std::size_t I = 0; I != N; ++I) {
+    Response R;
+    R.Id = Batch[Begin + I].Id;
+    R.TraceId = Batch[Begin + I].TraceId;
+    R.Generation = Gen;
+    if (Failures[I].empty()) {
+      T.CtrEdits->add();
+      CntEdits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      R.Ok = false;
+      R.Error = std::move(Failures[I]);
+      CntErrors.fetch_add(1, std::memory_order_relaxed);
+    }
+    Reg.histogram("tenant.write_lat_us").record(elapsedMicros(Batch[Begin + I]));
+    Batch[Begin + I].Done(std::move(R));
+  }
+  T.QueuedEdits.fetch_sub(static_cast<std::uint32_t>(N),
+                          std::memory_order_relaxed);
+  touch(T);
+  enforceResidentCap(T.ShardIdx, &T);
+}
+
+//===----------------------------------------------------------------------===//
+// Eviction / fault-in.
+//===----------------------------------------------------------------------===//
+
+bool TenantService::ensureResident(Tenant &T, std::string &Err) {
+  if (T.Session)
+    return true;
+  if (Opts.DataDir.empty()) {
+    // Unreachable in memory-only mode (nothing ever evicts), but a
+    // truthful answer beats an assert in a server.
+    Err = "tenant '" + T.Name + "' has no resident session";
+    return false;
+  }
+  const std::uint64_t T0 = observe::nowNanos();
+  persist::StoreOptions PO;
+  PO.CompactWalRecords = Opts.CompactWalRecords;
+  PO.CompactWalBytes = Opts.CompactWalBytes;
+  auto Store = std::make_unique<persist::Store>();
+  persist::RecoveredState RS;
+  std::string OpenErr;
+  if (!persist::Store::open(tenantDir(T.Name), PO, *Store, RS, OpenErr)) {
+    Err = "cannot fault in tenant '" + T.Name + "': " + OpenErr;
+    return false;
+  }
+  // Warm restore: planes install directly, the WAL tail replays as
+  // deltas, and no fixed point is re-solved.
+  incremental::SessionOptions SO;
+  SO.TrackUse = RS.Snapshot.TrackUse;
+  T.TrackUse = RS.Snapshot.TrackUse;
+  T.Session = std::make_unique<incremental::AnalysisSession>(
+      std::move(RS.Snapshot.Program), SO, std::move(RS.Snapshot.Planes));
+  for (const incremental::Edit &E : RS.Tail)
+    incremental::applyEdit(*T.Session, E);
+  T.Store = std::move(Store);
+  publish(T, T.Session->generation());
+  Resident.fetch_add(1, std::memory_order_relaxed);
+  CntFaultIns.fetch_add(1, std::memory_order_relaxed);
+  observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
+  Reg.counter("tenant.fault_ins").add();
+  Reg.histogram("tenant.fault_in_us").record((observe::nowNanos() - T0) / 1000);
+  refreshGauges();
+  touch(T);
+  enforceResidentCap(T.ShardIdx, &T);
+  return true;
+}
+
+void TenantService::evictIfIdle(Tenant &T) {
+  T.EvictQueued.store(false, std::memory_order_relaxed);
+  if (T.Closed.load(std::memory_order_acquire) || !T.Session)
+    return;
+  if (T.QueuedJobs.load(std::memory_order_acquire) != 0)
+    return; // Became busy since it was picked; evicting now would thrash.
+  if (!T.Store)
+    return; // WAL failure made it memory-only; evicting would lose data.
+  // Fold the WAL first so fault-in is a snapshot load plus zero replay.
+  std::string Err;
+  if (T.Store->walRecords() > 0 && !T.Store->compact(*T.Session, Err)) {
+    std::fprintf(stderr,
+                 "ipse: tenant '%s' eviction compaction failed, staying "
+                 "resident: %s\n",
+                 T.Name.c_str(), Err.c_str());
+    return;
+  }
+  T.Session.reset();
+  T.Store.reset();
+  // In-flight readers that pinned the snapshot keep it alive; the next
+  // query sees null and faults the tenant back in.
+  T.Snap.store(nullptr, std::memory_order_release);
+  Resident.fetch_sub(1, std::memory_order_relaxed);
+  CntEvictions.fetch_add(1, std::memory_order_relaxed);
+  observe::MetricsRegistry::global().counter("tenant.evictions").add();
+  refreshGauges();
+}
+
+void TenantService::enforceResidentCap(unsigned SelfIdx, const Tenant *Keep) {
+  if (!Opts.MaxResident || Opts.DataDir.empty())
+    return;
+  // Async evictions posted to peer shards have not decremented Resident
+  // yet; counting them stops this pass from sweeping every idle tenant.
+  std::size_t PendingAsync = 0;
+  for (unsigned Guard = 0; Guard != 64; ++Guard) {
+    if (Resident.load(std::memory_order_relaxed) <=
+        Opts.MaxResident + PendingAsync)
+      return;
+    std::shared_ptr<Tenant> Victim;
+    std::uint64_t Oldest = ~std::uint64_t(0);
+    {
+      std::lock_guard<std::mutex> Lock(RegistryMutex);
+      for (const auto &[Name, T] : Registry) {
+        if (T.get() == Keep || T->Closed.load(std::memory_order_relaxed))
+          continue;
+        if (!T->Snap.load(std::memory_order_acquire))
+          continue; // Not resident.
+        if (T->QueuedJobs.load(std::memory_order_relaxed) != 0)
+          continue; // Busy; skip rather than thrash.
+        if (T->EvictQueued.load(std::memory_order_relaxed))
+          continue; // Already being handled by its shard.
+        std::uint64_t Touched = T->LastTouchNs.load(std::memory_order_relaxed);
+        if (Touched <= Oldest) {
+          Oldest = Touched;
+          Victim = T;
+        }
+      }
+    }
+    if (!Victim)
+      return; // Everything resident is busy; best effort, try next batch.
+    if (Victim->ShardIdx == SelfIdx) {
+      evictIfIdle(*Victim);
+      if (Victim->Snap.load(std::memory_order_acquire))
+        return; // Could not evict it (raced busy); give up this pass.
+    } else {
+      Victim->EvictQueued.store(true, std::memory_order_relaxed);
+      Job J;
+      J.K = Job::Kind::Evict;
+      J.T = Victim;
+      if (!Shards[Victim->ShardIdx]->Queue.tryPush(std::move(J))) {
+        Victim->EvictQueued.store(false, std::memory_order_relaxed);
+        return; // Peer shard saturated; it will sweep after its batch.
+      }
+      ++PendingAsync;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Observability.
+//===----------------------------------------------------------------------===//
+
+bool TenantService::hasTenant(const std::string &Name) const {
+  return lookup(Name) != nullptr;
+}
+
+std::size_t TenantService::tenantCount() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  return Registry.size();
+}
+
+std::size_t TenantService::residentCount() const {
+  return Resident.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TenantService::generation(const std::string &Name) const {
+  std::shared_ptr<Tenant> T = lookup(Name);
+  if (!T)
+    return 0;
+  std::shared_ptr<const service::AnalysisSnapshot> Snap =
+      T->Snap.load(std::memory_order_acquire);
+  return Snap ? Snap->generation() : 0;
+}
+
+TenantCounters TenantService::counters() const {
+  TenantCounters C;
+  C.Opens = CntOpens.load(std::memory_order_relaxed);
+  C.Closes = CntCloses.load(std::memory_order_relaxed);
+  C.Evictions = CntEvictions.load(std::memory_order_relaxed);
+  C.FaultIns = CntFaultIns.load(std::memory_order_relaxed);
+  C.Edits = CntEdits.load(std::memory_order_relaxed);
+  C.Queries = CntQueries.load(std::memory_order_relaxed);
+  C.Errors = CntErrors.load(std::memory_order_relaxed);
+  C.Rejected = CntRejected.load(std::memory_order_relaxed);
+  return C;
+}
+
+void TenantService::refreshGauges() const {
+  observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
+  Reg.gauge("tenant.count").set(static_cast<std::int64_t>(tenantCount()));
+  Reg.gauge("tenant.resident").set(static_cast<std::int64_t>(residentCount()));
+}
+
+std::string TenantService::statsJson() const {
+  refreshGauges();
+  TenantCounters C = counters();
+  JsonWriter W;
+  W.field("tenants", static_cast<std::uint64_t>(tenantCount()));
+  W.field("resident", static_cast<std::uint64_t>(residentCount()));
+  W.field("opens", C.Opens);
+  W.field("closes", C.Closes);
+  W.field("evictions", C.Evictions);
+  W.field("fault_ins", C.FaultIns);
+  W.field("edits", C.Edits);
+  W.field("queries", C.Queries);
+  W.field("errors", C.Errors);
+  W.field("rejected", C.Rejected);
+  return W.finish();
+}

@@ -1,0 +1,289 @@
+//===- tenant/TenantService.h - Sharded multi-tenant service ----*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One server, thousands of programs: a registry of named tenants, each
+/// owning an independent incremental::AnalysisSession with its own MVCC
+/// snapshot chain and (in durable mode) its own persist::Store subtree.
+///
+/// Threading is sharded rather than per-tenant: a fixed pool of writer
+/// threads each owns a bounded job queue, and a tenant is pinned to the
+/// shard its name hashes to.  Everything that touches a tenant's session
+/// or store — open, close, edits, fault-in, eviction — runs on its owning
+/// shard thread, so per-tenant mutable state needs no locking, exactly as
+/// AnalysisService confines its session to one writer.  A burst of edits
+/// to one tenant group-commits: the shard drains its batch, applies every
+/// consecutive edit for the tenant, appends them to the tenant's WAL with
+/// one fsync, and captures/publishes one snapshot.
+///
+/// Queries against a *resident* tenant never enter a queue: the caller
+/// pins the tenant's published snapshot (one atomic shared_ptr load) and
+/// evaluates on its own thread — the read path is identical to
+/// AnalysisService's, minus the batching, and scales with client threads
+/// rather than with a worker-pool knob.  Queries against an evicted
+/// tenant queue to the shard, which faults the session back in first.
+///
+/// LRU evict-to-disk: with MaxResident set (durable mode only), a shard
+/// that finds the resident population over the cap picks the
+/// least-recently-touched idle tenant and evicts it — compact the store
+/// (folding the WAL so recovery replays nothing), drop the session, and
+/// null the published snapshot.  In-flight readers keep their pinned
+/// snapshots (immutable, shared_ptr-kept), so eviction is invisible to
+/// them; the next query faults the tenant back in from its snapshot file
+/// with zero re-solving (the warm-restart path PR 6 built).  Cross-shard
+/// victims are evicted by posting an Evict job to their owning shard.
+///
+/// Durable layout under DataDir:
+///
+///   <dir>/tenants.json   {"schema":1,"tenants":["acme","beta",...]}
+///   <dir>/t-<name>/      a persist::Store (manifest + snapshot + WAL)
+///
+/// The manifest is rewritten atomically on every open/close; restart
+/// re-registers every listed tenant as evicted and faults each in on
+/// first touch, so a server hosting thousands of tenants restarts in
+/// O(live set), not O(tenant count).  `close` ends the tenant's lifetime:
+/// it leaves the registry and the manifest and its subtree is deleted.
+///
+/// Quotas (admission control, per tenant): MaxProcs bounds the program's
+/// procedure count — `open` refuses to create an oversized program and
+/// add-proc refuses at application time (ok=false, not a retry).
+/// MaxQueuedEdits bounds a tenant's in-flight edit backlog — trySubmit
+/// refuses beyond it, which the front end renders as the same
+/// "overloaded, retry" response the single-program service uses, so one
+/// tenant's edit storm cannot monopolize its shard's queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_TENANT_TENANTSERVICE_H
+#define IPSE_TENANT_TENANTSERVICE_H
+
+#include "service/AnalysisService.h"
+#include "support/MpmcQueue.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace ipse {
+namespace incremental {
+class AnalysisSession;
+}
+namespace observe {
+class Counter;
+class TraceSink;
+}
+namespace persist {
+class Store;
+}
+
+namespace tenant {
+
+struct TenantOptions {
+  /// Writer shards.  Tenants are pinned to shards by name hash; a shard
+  /// serializes open/close/edit/fault-in for its tenants.
+  unsigned Shards = 2;
+  /// Capacity of each shard's job queue; tryPush beyond it is refused.
+  std::size_t QueueCapacity = 256;
+  /// Max jobs drained per shard wakeup — the group-commit window.
+  std::size_t MaxBatch = 32;
+  /// Maintain the USE pipeline in every tenant session.
+  bool TrackUse = true;
+  /// Resident-session cap (0 = unlimited).  Requires DataDir: without a
+  /// store to evict to, the cap is ignored.
+  std::size_t MaxResident = 0;
+  /// Per-tenant procedure-count quota (0 = unlimited).
+  std::size_t MaxProcs = 0;
+  /// Per-tenant queued-edit quota (0 = unlimited): trySubmit refuses
+  /// edits for a tenant already carrying this many unanswered ones.
+  std::size_t MaxQueuedEdits = 0;
+  /// When non-empty, durable mode: tenants.json + one store subtree per
+  /// tenant (created if missing; recovered if present).
+  std::string DataDir;
+  /// Per-tenant store compaction thresholds.
+  std::uint64_t CompactWalRecords = 1024;
+  std::uint64_t CompactWalBytes = 8u << 20;
+  /// When set, tenant flushes / queries / fault-ins run under
+  /// tenant-tagged TraceScopes streaming here (thread-safe; not owned).
+  observe::TraceSink *Sink = nullptr;
+};
+
+/// Monotonic service-wide counters (relaxed loads; per-tenant series live
+/// in the observe::MetricsRegistry under "tenant.*{tenant=<name>}").
+struct TenantCounters {
+  std::uint64_t Opens = 0;     ///< Tenants created.
+  std::uint64_t Closes = 0;    ///< Tenants destroyed.
+  std::uint64_t Evictions = 0; ///< Sessions evicted to disk.
+  std::uint64_t FaultIns = 0;  ///< Sessions restored from disk.
+  std::uint64_t Edits = 0;     ///< Edit commands applied (all tenants).
+  std::uint64_t Queries = 0;   ///< Query commands answered (all tenants).
+  std::uint64_t Errors = 0;    ///< Requests answered ok=false.
+  std::uint64_t Rejected = 0;  ///< Backpressure / quota refusals.
+};
+
+class TenantService {
+public:
+  using ResponseFn = std::function<void(service::Response)>;
+
+  /// Starts the shard threads.  With DataDir set, creates the directory
+  /// if needed and re-registers every tenant in tenants.json as evicted
+  /// (sessions fault in lazily); throws std::runtime_error when the
+  /// directory or manifest is unusable.
+  explicit TenantService(TenantOptions Options = {});
+  ~TenantService();
+
+  TenantService(const TenantService &) = delete;
+  TenantService &operator=(const TenantService &) = delete;
+
+  /// Routes \p Cmd for \p TenantName without blocking.  `open` / `close`
+  /// carry their tenant in Cmd.Args[0] and \p TenantName is ignored.
+  /// Returns true if accepted — \p Done fires exactly once, inline (for
+  /// resident queries, stats, and errors) or on a shard thread.  Returns
+  /// false on backpressure (shard queue full, or the tenant's edit quota
+  /// is spent); \p Done is NOT invoked and the caller should answer
+  /// "overloaded, retry".
+  bool trySubmit(std::string TenantName, std::uint64_t Id,
+                 service::ScriptCommand Cmd, ResponseFn Done,
+                 std::string TraceId = {});
+
+  /// Blocking conveniences for tests and benches: wait for queue space
+  /// rather than refusing (edit quotas still refuse, with Retry set).
+  service::Response call(std::string TenantName, service::ScriptCommand Cmd,
+                         std::string TraceId = {});
+  service::Response call(std::string TenantName, std::string_view Line,
+                         std::string TraceId = {});
+
+  /// True when \p Name is currently open (resident or evicted).
+  bool hasTenant(const std::string &Name) const;
+  /// Open tenants, resident or not.
+  std::size_t tenantCount() const;
+  /// Tenants currently holding a live session.
+  std::size_t residentCount() const;
+  /// The published generation of \p Name (0 if unknown or evicted).
+  std::uint64_t generation(const std::string &Name) const;
+
+  TenantCounters counters() const;
+  /// One JSON object: tenant/resident gauges and the counters above.
+  std::string statsJson() const;
+
+  /// Stops accepting requests, drains every shard queue, compacts every
+  /// resident durable tenant, and joins the shard threads.  Idempotent.
+  void stop();
+
+  const TenantOptions &options() const { return Opts; }
+
+private:
+  /// One tenant.  Session / Store / TrackUse are confined to the owning
+  /// shard thread; Snap and the atomics are the cross-thread surface.
+  struct Tenant {
+    std::string Name;
+    unsigned ShardIdx = 0;
+    /// Published snapshot; null while opening or evicted.  Residency is
+    /// exactly "Snap != null" from any thread's point of view.
+    std::atomic<std::shared_ptr<const service::AnalysisSnapshot>> Snap;
+    std::unique_ptr<incremental::AnalysisSession> Session;
+    std::unique_ptr<persist::Store> Store;
+    bool TrackUse = true;
+    /// observe::nowNanos() of the last request touching this tenant —
+    /// the LRU clock.
+    std::atomic<std::uint64_t> LastTouchNs{0};
+    /// Jobs accepted but not yet answered (eviction skips busy tenants).
+    std::atomic<std::uint32_t> QueuedJobs{0};
+    /// Edit jobs accepted but not yet answered (the quota gauge).
+    std::atomic<std::uint32_t> QueuedEdits{0};
+    /// Set once when the tenant leaves the registry; jobs queued behind
+    /// the close answer "unknown tenant".
+    std::atomic<bool> Closed{false};
+    /// An Evict job is in flight to the owning shard (dedup).
+    std::atomic<bool> EvictQueued{false};
+    /// Registry-stable per-tenant series, cached so the query fast path
+    /// pays one relaxed add instead of a name lookup.
+    observe::Counter *CtrEdits = nullptr;
+    observe::Counter *CtrQueries = nullptr;
+  };
+
+  struct Job {
+    enum class Kind { Open, Close, Edit, Query, Evict };
+    Kind K = Kind::Query;
+    std::shared_ptr<Tenant> T;
+    std::uint64_t Id = 0;
+    service::ScriptCommand Cmd;
+    ResponseFn Done;
+    std::string TraceId;
+    std::chrono::steady_clock::time_point Enqueued;
+  };
+
+  struct Shard {
+    explicit Shard(std::size_t Capacity) : Queue(Capacity) {}
+    MpmcQueue<Job> Queue;
+    std::thread Thread;
+  };
+
+  unsigned shardOf(std::string_view Name) const;
+  std::string tenantDir(const std::string &Name) const;
+  std::shared_ptr<Tenant> lookup(const std::string &Name) const;
+  std::shared_ptr<Tenant> registerTenant(const std::string &Name,
+                                         std::string &Err);
+  void touch(Tenant &T) const;
+
+  bool submit(std::string TenantName, Job J, bool Blocking);
+  /// The resident-query fast path; false when the tenant has no
+  /// published snapshot (caller queues to the shard instead).
+  bool tryInlineQuery(const std::shared_ptr<Tenant> &T, Job &J);
+
+  void shardLoop(unsigned Idx);
+  void runOpen(Job &J);
+  void runClose(Job &J);
+  void runQuery(Job &J);
+  /// Applies Batch[Begin, End) — consecutive edits for one tenant — as a
+  /// group commit: one WAL fsync, one flush, one published snapshot.
+  void runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
+                    std::size_t End);
+  /// Restores an evicted tenant's session from its store (shard thread).
+  bool ensureResident(Tenant &T, std::string &Err);
+  /// Evicts \p T if it is resident, idle, and durable (shard thread).
+  void evictIfIdle(Tenant &T);
+  /// Posts/performs evictions until the resident count is back under
+  /// MaxResident (best effort; busy tenants are skipped).  \p Keep is
+  /// never chosen (the tenant just touched).
+  void enforceResidentCap(unsigned SelfIdx, const Tenant *Keep);
+  void publish(Tenant &T, std::uint64_t Generation);
+
+  /// Rewrites DataDir/tenants.json from the live registry (atomic write
+  /// under ManifestMutex).
+  bool saveManifest(std::string &Err);
+  /// Registers every tenant the manifest lists (constructor only).
+  void loadManifest();
+  void refreshGauges() const;
+  std::uint64_t elapsedMicros(const Job &J) const;
+
+  TenantOptions Opts;
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  mutable std::mutex RegistryMutex;
+  std::map<std::string, std::shared_ptr<Tenant>> Registry;
+  std::atomic<std::size_t> Resident{0};
+
+  std::mutex ManifestMutex;
+
+  std::atomic<std::uint64_t> CntOpens{0}, CntCloses{0}, CntEvictions{0},
+      CntFaultIns{0}, CntEdits{0}, CntQueries{0}, CntErrors{0},
+      CntRejected{0};
+  std::atomic<bool> Stopped{false};
+};
+
+} // namespace tenant
+} // namespace ipse
+
+#endif // IPSE_TENANT_TENANTSERVICE_H

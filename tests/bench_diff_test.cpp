@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "service/Json.h"
+#include "support/Json.h"
 
 #include <gtest/gtest.h>
 
@@ -26,7 +26,7 @@
 #include <vector>
 
 namespace fs = std::filesystem;
-using ipse::service::parseJsonObject;
+using ipse::parseJsonObject;
 
 namespace {
 

@@ -11,7 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "observe/Trace.h"
-#include "service/Json.h"
+#include "support/Json.h"
 
 #include <gtest/gtest.h>
 
@@ -247,7 +247,7 @@ TEST(Cli, ReportTraceFormatChromeIsOneWellFormedDocument) {
             0);
   std::string Doc = slurp(Path);
   std::string Error;
-  ASSERT_TRUE(ipse::service::validateJsonDocument(Doc, Error))
+  ASSERT_TRUE(ipse::validateJsonDocument(Doc, Error))
       << Error << "\n" << Doc;
   if (ipse::observe::enabled()) {
     std::size_t Events = countOf(Doc, "{\"name\":\"");
@@ -401,7 +401,7 @@ TEST(Cli, ServeClientMetricsDumpOverTcpWithChromeTrace) {
   // service spans carry the client's trace ids.
   std::string Doc = slurp(Trace);
   std::string Error;
-  ASSERT_TRUE(ipse::service::validateJsonDocument(Doc, Error))
+  ASSERT_TRUE(ipse::validateJsonDocument(Doc, Error))
       << Error << "\n" << Doc;
   if (ipse::observe::enabled()) {
     EXPECT_NE(Doc.find("\"name\":\"service.query\""), std::string::npos)
@@ -523,6 +523,71 @@ TEST(Cli, ServeDataDirSurvivesKillNine) {
             std::string::npos)
       << Banner;
   EXPECT_NE(Banner.find("stopped at generation 3"), std::string::npos)
+      << Banner;
+  run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Err2 + " " + Done, Out);
+}
+
+TEST(Cli, ServeTenantsSurviveKillNine) {
+  // The multi-tenant crash walkthrough: serve --tenants --data-dir, open
+  // two tenants, storm both with edits, SIGKILL the server once the last
+  // acks (each ack follows the tenant's WAL fsync) are visible, restart
+  // from the directory, and require the manifest to re-register both and
+  // every answer to come back from a warm fault-in — no re-solve.
+  std::string Dir = testing::TempDir() + "/ipse_cli_tenants";
+  std::string Out1 = testing::TempDir() + "/ipse_tkill9_out1.txt";
+  std::string Err2 = testing::TempDir() + "/ipse_tkill9_err2.txt";
+  std::string Done = testing::TempDir() + "/ipse_tkill9_done";
+  std::string Out;
+  run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Err2 + " " + Done, Out);
+
+  std::string Requests =
+      R"({"id":100,"cmd":"open acme procs=8 globals=4 seed=5"}\n)"
+      R"({"id":200,"cmd":"open beta procs=6 globals=3 seed=9"}\n)"
+      R"({"id":101,"cmd":"add-global kill9_a","tenant":"acme"}\n)"
+      R"({"id":201,"cmd":"add-global kill9_b","tenant":"beta"}\n)"
+      R"({"id":102,"cmd":"add-stmt main","tenant":"acme"}\n)"
+      R"({"id":202,"cmd":"add-stmt main","tenant":"beta"}\n)"
+      R"({"id":103,"cmd":"add-mod main 0 kill9_a","tenant":"acme"}\n)"
+      R"({"id":203,"cmd":"add-mod main 0 kill9_b","tenant":"beta"}\n)";
+  std::string Cmd =
+      "( printf '" + Requests + "'; while [ ! -e " + Done +
+      " ]; do sleep 0.1; done ) | " + cli() +
+      " serve --tenants=2 --data-dir " + Dir +
+      " >" + Out1 + " 2>/dev/null & SRV=$!; "
+      "for I in $(seq 1 100); do"
+      "  grep -q '\"id\":103' " + Out1 + " 2>/dev/null &&"
+      "  grep -q '\"id\":203' " + Out1 + " 2>/dev/null && break;"
+      "  sleep 0.1; "
+      "done; "
+      "kill -9 $SRV; touch " + Done + "; wait $SRV 2>/dev/null; exit 0";
+  ASSERT_EQ(run(Cmd, Out), 0) << Out;
+  std::string FirstRun = slurp(Out1);
+  ASSERT_NE(FirstRun.find("\"id\":103"), std::string::npos) << FirstRun;
+  ASSERT_NE(FirstRun.find("\"id\":203"), std::string::npos) << FirstRun;
+  EXPECT_EQ(FirstRun.find("\"ok\":false"), std::string::npos) << FirstRun;
+
+  // Restart: the manifest re-registers both tenants (evicted); the first
+  // query per tenant faults its session in from snapshot + WAL tail.
+  std::string Requests2 =
+      R"({"id":1,"cmd":"gmod main","tenant":"acme"}\n)"
+      R"({"id":2,"cmd":"check","tenant":"acme"}\n)"
+      R"({"id":3,"cmd":"gmod main","tenant":"beta"}\n)"
+      R"({"id":4,"cmd":"check","tenant":"beta"}\n)";
+  ASSERT_EQ(run("( printf '" + Requests2 + "' | " + cli() +
+                    " serve --tenants=2 --data-dir " + Dir + " 2>" + Err2 +
+                    " )",
+                Out),
+            0)
+      << Out << slurp(Err2);
+  EXPECT_NE(Out.find("kill9_a"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("kill9_b"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("\"ok\":false"), std::string::npos) << Out;
+  EXPECT_EQ(countOf(Out, "check: OK"), 2u) << Out;
+  std::string Banner = slurp(Err2);
+  EXPECT_NE(Banner.find("tenants: 2 registered in '" + Dir + "'"),
+            std::string::npos)
+      << Banner;
+  EXPECT_NE(Banner.find("tenants stopped; 2 in manifest"), std::string::npos)
       << Banner;
   run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Err2 + " " + Done, Out);
 }

@@ -14,7 +14,6 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "service/Json.h" // The forwarding header: service code's view.
 #include "support/Json.h"
 
 #include <gtest/gtest.h>
@@ -199,15 +198,6 @@ TEST(JsonWriter, EscapedOutputParsesBackVerbatim) {
   EXPECT_EQ(O->getUInt("n"), 7u);
   EXPECT_EQ(O->getBool("b"), false);
   EXPECT_EQ(O->getRaw("raw"), "[1,2]");
-}
-
-TEST(JsonWriter, ServiceAliasStillCompiles) {
-  // The pre-move spelling ipse::service::JsonWriter must keep working
-  // (seven call sites rely on the forwarding header).
-  service::JsonWriter W;
-  W.field("k", "v");
-  std::string Err;
-  EXPECT_TRUE(service::validateJsonDocument(W.finish(), Err)) << Err;
 }
 
 } // namespace

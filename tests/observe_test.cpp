@@ -21,7 +21,7 @@
 #include "observe/CostReport.h"
 #include "observe/Metrics.h"
 #include "observe/Trace.h"
-#include "service/Json.h"
+#include "support/Json.h"
 #include "synth/ProgramGen.h"
 
 #include <gtest/gtest.h>
@@ -248,8 +248,8 @@ TEST(JsonLinesSink, RoundTripsThroughTheFlatJsonParser) {
   std::string Line;
   while (std::getline(In, Line)) {
     std::string ParseError;
-    std::optional<service::JsonObject> Obj =
-        service::parseJsonObject(Line, ParseError);
+    std::optional<JsonObject> Obj =
+        parseJsonObject(Line, ParseError);
     ASSERT_TRUE(Obj.has_value()) << Line << ": " << ParseError;
     ASSERT_TRUE(Obj->getString("span").has_value()) << Line;
     EXPECT_TRUE(Obj->getUInt("depth").has_value()) << Line;
@@ -299,7 +299,7 @@ TEST(Trace, TaggedScopeStampsEverySpan) {
   TagCollectingSink Sink;
   {
     observe::TraceScope Scope(nullptr, &Sink,
-                              observe::ScopeTags{"req-42", 7});
+                              observe::ScopeTags{"req-42", 7, {}});
     observe::TraceSpan Outer("outer");
     { observe::TraceSpan Inner("inner"); }
   }
@@ -350,22 +350,22 @@ TEST(ChromeTraceSink, FileIsAValidJsonDocumentAtEveryMoment) {
 
   // Empty trace: already a well-formed (empty) array.
   std::string Doc = slurpFile(Path);
-  EXPECT_TRUE(service::validateJsonDocument(Doc, Error)) << Error << Doc;
+  EXPECT_TRUE(validateJsonDocument(Doc, Error)) << Error << Doc;
 
   {
     observe::TraceScope Scope(nullptr, Sink.get(),
-                              observe::ScopeTags{"q1", 3});
+                              observe::ScopeTags{"q1", 3, {}});
     { observe::TraceSpan S("alpha"); }
     // Mid-stream, with the sink still open and more spans to come: the
     // file must parse as-is (the crash-durability property).
     Doc = slurpFile(Path);
-    EXPECT_TRUE(service::validateJsonDocument(Doc, Error)) << Error << Doc;
+    EXPECT_TRUE(validateJsonDocument(Doc, Error)) << Error << Doc;
     { observe::TraceSpan S("beta"); }
   }
   Sink.reset();
 
   Doc = slurpFile(Path);
-  ASSERT_TRUE(service::validateJsonDocument(Doc, Error)) << Error << Doc;
+  ASSERT_TRUE(validateJsonDocument(Doc, Error)) << Error << Doc;
   // Complete events with the span names, thread id, and request tags.
   EXPECT_NE(Doc.find("\"name\":\"alpha\""), std::string::npos) << Doc;
   EXPECT_NE(Doc.find("\"name\":\"beta\""), std::string::npos) << Doc;
@@ -390,12 +390,12 @@ TEST(ChromeTraceSink, HostileTraceIdsAreEscapedOut) {
     // able to corrupt the document.
     observe::TraceScope Scope(
         nullptr, Sink.get(),
-        observe::ScopeTags{"a\"b\\c\nd\te}", 1});
+        observe::ScopeTags{"a\"b\\c\nd\te}", 1, {}});
     observe::TraceSpan S("hostile");
   }
   Sink.reset();
   std::string Doc = slurpFile(Path);
-  EXPECT_TRUE(service::validateJsonDocument(Doc, Error)) << Error << Doc;
+  EXPECT_TRUE(validateJsonDocument(Doc, Error)) << Error << Doc;
   EXPECT_NE(Doc.find("\"trace\":\"abcde}\""), std::string::npos) << Doc;
   std::remove(Path.c_str());
 }

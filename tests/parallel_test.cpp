@@ -178,6 +178,9 @@ void expectParallelMatches(const Program &P, EffectKind Kind,
     parallel::ParallelAnalyzerOptions Opts;
     Opts.Kind = Kind;
     Opts.Threads = K;
+    // These programs are tiny; keep the lanes real so the differential
+    // actually exercises the parallel kernels.
+    Opts.SmallProgramThreshold = 0;
     parallel::ParallelAnalyzer Par(P, Opts);
 
     EXPECT_EQ(Par.rmodResult().ModifiedFormals,
@@ -332,12 +335,50 @@ TEST(ParallelDifferential, WideStar) {
 
   parallel::ParallelAnalyzerOptions Opts;
   Opts.Threads = 4;
+  Opts.SmallProgramThreshold = 0;
   parallel::ParallelAnalyzer An(P, Opts);
   EXPECT_EQ(An.scheduleStats().Levels, 2u);
   EXPECT_EQ(An.scheduleStats().WidestLevel, 300u);
 
   for (EffectKind Kind : {EffectKind::Mod, EffectKind::Use})
     expectParallelMatches(P, Kind, "star-300");
+}
+
+//===----------------------------------------------------------------------===//
+// The small-program floor: K > 1 on tiny inputs is pure pool overhead
+// (every benchmarked shape loses), so the owned-pool constructor clamps
+// to one lane below the threshold.
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelAnalyzer, SmallProgramFloorClampsOwnedPool) {
+  Program P = synth::makeFortranStyleProgram(64, 16, 3, 7);
+  ASSERT_LT(P.numProcs(), 4096u);
+
+  parallel::ParallelAnalyzerOptions Opts;
+  Opts.Threads = 8;
+  parallel::ParallelAnalyzer Clamped(P, Opts);
+  EXPECT_EQ(Clamped.threads(), 1u);
+
+  Opts.SmallProgramThreshold = 0; // disabled: the request stands
+  parallel::ParallelAnalyzer Raw(P, Opts);
+  EXPECT_EQ(Raw.threads(), 8u);
+
+  Opts.SmallProgramThreshold = 32; // program is above it: no clamp
+  parallel::ParallelAnalyzer Above(P, Opts);
+  EXPECT_EQ(Above.threads(), 8u);
+
+  // Answer-invisible: clamped and raw runs agree bit for bit.
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    EXPECT_EQ(Clamped.gmod(ProcId(I)), Raw.gmod(ProcId(I)));
+
+  parallel::ParallelAnalyzerOptions O;
+  O.Threads = 8;
+  EXPECT_EQ(O.effectiveThreads(100), 1u);
+  EXPECT_EQ(O.effectiveThreads(4096), 8u);
+  O.SmallProgramThreshold = 0;
+  EXPECT_EQ(O.effectiveThreads(1), 8u);
+  O.Threads = 0;
+  EXPECT_EQ(O.effectiveThreads(1), 1u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -395,6 +436,7 @@ TEST(ParallelDifferential, MatchesIncrementalSessionAfterReplayedEdits) {
           parallel::ParallelAnalyzerOptions Opts;
           Opts.Kind = Kind;
           Opts.Threads = K;
+          Opts.SmallProgramThreshold = 0;
           parallel::ParallelAnalyzer Par(S.program(), Opts);
           for (std::uint32_t I = 0; I != S.program().numProcs(); ++I)
             EXPECT_EQ(Par.gmod(ProcId(I)), S.gmod(ProcId(I), Kind))
@@ -487,6 +529,7 @@ TEST(ParallelOpCounts, WordCountsAreExactAndThreadCountInvariant) {
     OpCountScope Scope;
     parallel::ParallelAnalyzerOptions Opts;
     Opts.Threads = K;
+    Opts.SmallProgramThreshold = 0;
     parallel::ParallelAnalyzer An(P, Opts);
     Deltas.push_back(Scope.delta());
     EXPECT_TRUE(An.gmod(P.main()).any());

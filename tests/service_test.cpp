@@ -23,7 +23,7 @@
 #include "ir/Printer.h"
 #include "service/AnalysisService.h"
 #include "service/AnalysisSnapshot.h"
-#include "service/Json.h"
+#include "support/Json.h"
 #include "service/ScriptDriver.h"
 #include "service/Server.h"
 #include "support/Rng.h"

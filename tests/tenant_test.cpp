@@ -1,0 +1,471 @@
+//===- tests/tenant_test.cpp - Multi-tenant service tests ---------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// The sharded multi-tenant registry end to end: lifecycle (open / edit /
+// query / close), admission control (name validation, procedure and
+// queued-edit quotas), the tenant-aware wire protocol (attach routing and
+// the single-program fallback), durable warm restart from the manifest,
+// and — the load-bearing differential — a storm of concurrent clients
+// across enough tenants to force LRU eviction and fault-in, where every
+// tenant's every answer must be byte-identical to a single-program
+// session fed the same script.  TSan runs this suite: the snapshot
+// publish/pin protocol, the sharded queues, and the LRU bookkeeping are
+// all cross-thread surfaces.
+//
+//===----------------------------------------------------------------------===//
+
+#include "incremental/AnalysisSession.h"
+#include "persist/Snapshot.h"
+#include "support/Json.h"
+#include "synth/ProgramGen.h"
+#include "tenant/Protocol.h"
+#include "tenant/TenantService.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipse;
+using service::Response;
+using service::ScriptCommand;
+using tenant::TenantOptions;
+using tenant::TenantService;
+
+namespace {
+
+/// A fresh, empty directory under the test temp root.
+std::string freshDir(const std::string &Name) {
+  std::string D = testing::TempDir() + "ipse_tenant_" + Name;
+  std::filesystem::remove_all(D);
+  std::filesystem::create_directories(D);
+  return D;
+}
+
+/// The deterministic per-tenant script: every command below succeeds on
+/// any generated program, so the tenant service and the single-program
+/// oracle walk the same states.
+std::vector<std::string> tenantEditScript(unsigned Rounds) {
+  std::vector<std::string> Lines;
+  for (unsigned R = 0; R != Rounds; ++R) {
+    std::string S = std::to_string(R);
+    Lines.push_back("add-global xg" + S);
+    Lines.push_back("add-proc xq" + S + " main");
+    Lines.push_back("add-stmt xq" + S);
+    Lines.push_back("add-mod xq" + S + " 0 xg" + S);
+  }
+  return Lines;
+}
+
+std::vector<std::string> tenantQueryScript(unsigned Rounds) {
+  std::vector<std::string> Lines = {"gmod main", "rmod p1", "guse p1"};
+  for (unsigned R = 0; R != Rounds; ++R)
+    Lines.push_back("gmod xq" + std::to_string(R));
+  Lines.push_back("check");
+  return Lines;
+}
+
+/// The oracle: one private AnalysisSession fed the same script a tenant
+/// received, answering through the same evaluator the service uses.
+class Oracle {
+public:
+  Oracle(const std::string &GenSpec, bool TrackUse = true) {
+    service::ScriptCommand Gen =
+        *service::parseScriptLine("gen " + GenSpec, 1);
+    synth::ProgramGenConfig Cfg = service::parseGenSpec(Gen.Args, 1);
+    incremental::SessionOptions SO;
+    SO.TrackUse = TrackUse;
+    Session = std::make_unique<incremental::AnalysisSession>(
+        synth::generateProgram(Cfg), SO);
+  }
+
+  void apply(const std::string &Line) {
+    service::applyEditCommand(*Session, *service::parseScriptLine(Line, 1));
+  }
+
+  std::string query(const std::string &Line) {
+    Session->flush();
+    service::SessionQueryTarget Target(*Session);
+    return service::evalQueryCommand(Target, *service::parseScriptLine(Line, 1))
+        .Text;
+  }
+
+private:
+  std::unique_ptr<incremental::AnalysisSession> Session;
+};
+
+//===----------------------------------------------------------------------===//
+// Lifecycle and admission control (one shard, in-memory).
+//===----------------------------------------------------------------------===//
+
+TEST(TenantLifecycle, OpenEditQueryClose) {
+  TenantOptions Opts;
+  Opts.Shards = 1;
+  TenantService Svc(Opts);
+
+  Response R = Svc.call("", "open acme procs=6 globals=4 seed=3");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_NE(R.Result.find("opened 'acme'"), std::string::npos) << R.Result;
+  EXPECT_TRUE(Svc.hasTenant("acme"));
+  EXPECT_EQ(Svc.tenantCount(), 1u);
+  EXPECT_EQ(Svc.residentCount(), 1u);
+
+  // Double open is an error, not an overwrite.
+  R = Svc.call("", "open acme procs=6 globals=4 seed=3");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("already open"), std::string::npos) << R.Error;
+
+  // Edits bump the tenant's generation; queries answer from it.
+  R = Svc.call("acme", "add-global fresh");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Generation, 1u);
+  EXPECT_EQ(Svc.generation("acme"), 1u);
+  R = Svc.call("acme", "gmod main");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Generation, 1u);
+  EXPECT_NE(R.Result.find("GMOD(main)"), std::string::npos) << R.Result;
+  R = Svc.call("acme", "check");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.CheckOk);
+
+  // Unknown tenants and missing routing are answered, not dropped.
+  R = Svc.call("ghost", "gmod main");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unknown tenant"), std::string::npos) << R.Error;
+  R = Svc.call("", "gmod main");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("no tenant"), std::string::npos) << R.Error;
+
+  // close ends the lifetime; queued-after semantics answer unknown.
+  R = Svc.call("", "close acme");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(Svc.hasTenant("acme"));
+  EXPECT_EQ(Svc.tenantCount(), 0u);
+  R = Svc.call("acme", "gmod main");
+  EXPECT_FALSE(R.Ok);
+
+  tenant::TenantCounters C = Svc.counters();
+  EXPECT_EQ(C.Opens, 1u);
+  EXPECT_EQ(C.Closes, 1u);
+  EXPECT_GE(C.Errors, 3u);
+}
+
+TEST(TenantLifecycle, NameValidationAndQuotas) {
+  TenantOptions Opts;
+  Opts.Shards = 1;
+  Opts.MaxProcs = 5;
+  TenantService Svc(Opts);
+
+  // Hostile names are refused before they can become directory names.
+  for (const char *Bad : {"", "a/b", "a b", "..", "x\n"}) {
+    Response R = Svc.call("", std::string("open ") + Bad);
+    EXPECT_FALSE(R.Ok) << "name: '" << Bad << "'";
+  }
+
+  // MaxProcs bounds the generated program (procs=8 means 9 with main).
+  Response R = Svc.call("", "open big procs=8 globals=2 seed=1");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("quota"), std::string::npos) << R.Error;
+  EXPECT_FALSE(Svc.hasTenant("big"));
+
+  // At the cap, add-proc is refused at application time.
+  R = Svc.call("", "open small procs=4 globals=2 seed=1");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  R = Svc.call("small", "add-proc overflow main");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("max procedures"), std::string::npos) << R.Error;
+  // The refusal changed nothing: the tenant still answers at gen 0.
+  R = Svc.call("small", "check");
+  EXPECT_TRUE(R.Ok && R.CheckOk) << R.Error;
+  EXPECT_GE(Svc.counters().Rejected, 1u);
+}
+
+TEST(TenantLifecycle, EditQuotaShedsStormWithRetry) {
+  TenantOptions Opts;
+  Opts.Shards = 1;
+  Opts.QueueCapacity = 512;
+  Opts.MaxQueuedEdits = 4;
+  TenantService Svc(Opts);
+  ASSERT_TRUE(Svc.call("", "open victim procs=4 globals=2 seed=9").Ok);
+  // Wedge the single shard behind a slow open (submitted async — a
+  // blocking call would wait the solve out) so the storm below cannot
+  // drain: every edit past the quota must be refused at submission.
+  ScriptCommand Slow =
+      *service::parseScriptLine("open slow procs=2000 globals=16 seed=1", 1);
+  ASSERT_TRUE(Svc.trySubmit("", 999, Slow, [](Response) {}));
+
+  ScriptCommand Edit = *service::parseScriptLine("add-global gq", 1);
+  std::atomic<unsigned> Answered{0};
+  unsigned Accepted = 0, Refused = 0;
+  for (unsigned I = 0; I != 64; ++I) {
+    bool Took = Svc.trySubmit("victim", I, Edit,
+                              [&](Response) { Answered.fetch_add(1); });
+    (Took ? Accepted : Refused) += 1;
+  }
+  EXPECT_GT(Refused, 0u);
+  EXPECT_LE(Accepted, 64u - Refused);
+  Svc.stop();
+  EXPECT_EQ(Answered.load(), Accepted);
+  EXPECT_GE(Svc.counters().Rejected, Refused);
+}
+
+TEST(TenantLifecycle, InMemoryModeIgnoresResidentCap) {
+  TenantOptions Opts;
+  Opts.Shards = 2;
+  Opts.MaxResident = 1; // no DataDir: nothing to evict to
+  TenantService Svc(Opts);
+  for (const char *Name : {"a", "b", "c", "d"})
+    ASSERT_TRUE(
+        Svc.call("", std::string("open ") + Name + " procs=4 globals=2 seed=2")
+            .Ok);
+  EXPECT_EQ(Svc.residentCount(), 4u);
+  EXPECT_EQ(Svc.counters().Evictions, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The protocol front end: attach routing and single-program fallback.
+//===----------------------------------------------------------------------===//
+
+/// Collects emitted response lines; shard threads and the caller both
+/// emit, and tenant responses land out of order, so lookup is by id.
+struct ResponseLog {
+  std::mutex M;
+  std::vector<std::string> Lines;
+
+  void operator()(std::string Line) {
+    std::lock_guard<std::mutex> G(M);
+    Lines.push_back(std::move(Line));
+  }
+
+  /// The raw line answering request \p Id (waits for async responses).
+  std::string waitLine(std::uint64_t Id) {
+    for (unsigned Spin = 0; Spin != 200000; ++Spin) {
+      {
+        std::lock_guard<std::mutex> G(M);
+        for (const std::string &L : Lines) {
+          std::string Err;
+          auto Obj = parseJsonObject(L, Err);
+          if (Obj && Obj->getUInt("id") == Id)
+            return L;
+        }
+      }
+      std::this_thread::yield();
+    }
+    ADD_FAILURE() << "no response for id " << Id;
+    return "{}";
+  }
+
+  JsonObject waitFor(std::uint64_t Id) {
+    std::string Err;
+    auto Obj = parseJsonObject(waitLine(Id), Err);
+    EXPECT_TRUE(Obj) << Err;
+    return Obj ? *Obj : JsonObject{};
+  }
+};
+
+TEST(TenantProtocol, AttachRoutesAndFallbackAnswers) {
+  TenantOptions Opts;
+  Opts.Shards = 1;
+  TenantService Svc(Opts);
+  tenant::TenantConnection Conn;
+  ResponseLog Log;
+  auto Emit = [&](std::string Line) { Log(std::move(Line)); };
+
+  tenant::handleTenantRequestLine(
+      Svc, nullptr, Conn,
+      R"({"id":1,"cmd":"open acme procs=4 globals=2 seed=5"})", Emit);
+  tenant::handleTenantRequestLine(Svc, nullptr, Conn,
+                                  R"({"id":2,"cmd":"attach acme"})", Emit);
+  EXPECT_EQ(Conn.Attached, "acme");
+  EXPECT_EQ(Log.waitFor(1).getBool("ok"), true);
+  EXPECT_EQ(Log.waitFor(2).getBool("ok"), true);
+
+  // Edits and queries route through the attachment.
+  tenant::handleTenantRequestLine(Svc, nullptr, Conn,
+                                  R"({"id":3,"cmd":"add-global fresh"})", Emit);
+  JsonObject Obj = Log.waitFor(3);
+  EXPECT_EQ(Obj.getBool("ok"), true);
+  EXPECT_EQ(Obj.getUInt("gen"), 1u);
+  tenant::handleTenantRequestLine(Svc, nullptr, Conn,
+                                  R"({"id":4,"cmd":"gmod main"})", Emit);
+  std::string Line = Log.waitLine(4);
+  EXPECT_NE(Line.find("\"ok\":true"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("GMOD(main)"), std::string::npos) << Line;
+
+  // An explicit "tenant" field overrides the attachment...
+  tenant::handleTenantRequestLine(
+      Svc, nullptr, Conn, R"({"id":5,"cmd":"gmod main","tenant":"ghost"})",
+      Emit);
+  Line = Log.waitLine(5);
+  EXPECT_NE(Line.find("\"ok\":false"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("unknown tenant"), std::string::npos) << Line;
+
+  // ...and attaching to an unknown tenant is refused, keeping the old one.
+  tenant::handleTenantRequestLine(Svc, nullptr, Conn,
+                                  R"({"id":6,"cmd":"attach ghost"})", Emit);
+  EXPECT_EQ(Conn.Attached, "acme");
+  EXPECT_EQ(Log.waitFor(6).getBool("ok"), false);
+
+  // Unattached data requests with no single-program service get guidance.
+  tenant::TenantConnection Fresh;
+  tenant::handleTenantRequestLine(Svc, nullptr, Fresh,
+                                  R"({"id":7,"cmd":"gmod main"})", Emit);
+  Line = Log.waitLine(7);
+  EXPECT_NE(Line.find("\"ok\":false"), std::string::npos) << Line;
+  EXPECT_NE(Line.find("no tenant"), std::string::npos) << Line;
+}
+
+//===----------------------------------------------------------------------===//
+// Durable mode: manifest warm restart.
+//===----------------------------------------------------------------------===//
+
+TEST(TenantDurable, WarmRestartFaultsInWithoutResolve) {
+  std::string Dir = freshDir("restart");
+  std::string PreGmod, PreCheck;
+  {
+    TenantOptions Opts;
+    Opts.Shards = 2;
+    Opts.DataDir = Dir;
+    TenantService Svc(Opts);
+    ASSERT_TRUE(Svc.call("", "open acme procs=8 globals=4 seed=11").Ok);
+    ASSERT_TRUE(Svc.call("", "open beta procs=6 globals=3 seed=12").Ok);
+    for (const std::string &L : tenantEditScript(3))
+      ASSERT_TRUE(Svc.call("acme", L).Ok);
+    Response R = Svc.call("acme", "gmod xq2");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    PreGmod = R.Result;
+    R = Svc.call("acme", "check");
+    ASSERT_TRUE(R.Ok && R.CheckOk);
+    PreCheck = R.Result;
+    // Closed tenants must NOT come back after restart.
+    ASSERT_TRUE(Svc.call("", "close beta").Ok);
+    Svc.stop();
+  }
+  {
+    TenantOptions Opts;
+    Opts.Shards = 2;
+    Opts.DataDir = Dir;
+    TenantService Svc(Opts);
+    EXPECT_TRUE(Svc.hasTenant("acme"));
+    EXPECT_FALSE(Svc.hasTenant("beta"));
+    EXPECT_EQ(Svc.tenantCount(), 1u);
+    EXPECT_EQ(Svc.residentCount(), 0u); // lazy: fault in on first touch
+
+    Response R = Svc.call("acme", "gmod xq2");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Result, PreGmod);
+    EXPECT_EQ(R.Generation, 12u); // 3 rounds x 4 edits, preserved
+    R = Svc.call("acme", "check");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.CheckOk);
+    EXPECT_EQ(R.Result, PreCheck);
+    EXPECT_EQ(Svc.counters().FaultIns, 1u);
+    EXPECT_EQ(Svc.residentCount(), 1u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The differential storm: many tenants, many clients, forced eviction.
+//===----------------------------------------------------------------------===//
+
+TEST(TenantStorm, ConcurrentTenantsMatchOracleUnderEviction) {
+  constexpr unsigned NumTenants = 64;
+  constexpr unsigned NumClients = 8;
+  constexpr unsigned Rounds = 2;
+
+  std::string Dir = freshDir("storm");
+  TenantOptions Opts;
+  Opts.Shards = 4;
+  Opts.DataDir = Dir;
+  Opts.MaxResident = 8; // 64 tenants through 8 seats: constant churn
+  Opts.CompactWalRecords = 4;
+  TenantService Svc(Opts);
+
+  auto NameOf = [](unsigned I) { return "t" + std::to_string(I); };
+  auto SpecOf = [](unsigned I) {
+    return "procs=" + std::to_string(4 + I % 5) + " globals=3 seed=" +
+           std::to_string(100 + I);
+  };
+
+  const std::vector<std::string> Edits = tenantEditScript(Rounds);
+  const std::vector<std::string> Queries = tenantQueryScript(Rounds);
+
+  // Each client owns a disjoint slice of tenants, so per-tenant command
+  // order is deterministic while the service sees all slices at once.
+  std::vector<std::string> Failures(NumClients);
+  std::vector<std::thread> Clients;
+  for (unsigned C = 0; C != NumClients; ++C) {
+    Clients.emplace_back([&, C] {
+      auto Fail = [&](const std::string &Msg) {
+        if (Failures[C].empty())
+          Failures[C] = Msg;
+      };
+      for (unsigned I = C; I < NumTenants; I += NumClients) {
+        std::string Name = NameOf(I);
+        Response R = Svc.call("", "open " + Name + " " + SpecOf(I));
+        if (!R.Ok)
+          return Fail(Name + ": open: " + R.Error);
+        Oracle Model(SpecOf(I));
+        // Interleave edits and queries so snapshots publish mid-script,
+        // with eviction racing the whole time.
+        for (const std::string &L : Edits) {
+          R = Svc.call(Name, L);
+          if (!R.Ok)
+            return Fail(Name + ": " + L + ": " + R.Error);
+          Model.apply(L);
+          R = Svc.call(Name, "gmod main");
+          if (!R.Ok)
+            return Fail(Name + ": gmod main: " + R.Error);
+          if (R.Result != Model.query("gmod main"))
+            return Fail(Name + ": gmod main diverged after " + L + ": " +
+                        R.Result);
+        }
+        for (const std::string &Q : Queries) {
+          R = Svc.call(Name, Q);
+          if (!R.Ok)
+            return Fail(Name + ": " + Q + ": " + R.Error);
+          if (!R.CheckOk)
+            return Fail(Name + ": check failed");
+          std::string Want = Model.query(Q);
+          if (R.Result != Want)
+            return Fail(Name + ": " + Q + ": got '" + R.Result + "' want '" +
+                        Want + "'");
+        }
+      }
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  for (const std::string &F : Failures)
+    EXPECT_EQ(F, "");
+
+  tenant::TenantCounters C = Svc.counters();
+  EXPECT_EQ(Svc.tenantCount(), NumTenants);
+  EXPECT_GT(C.Evictions, 0u) << "cap 8 over 64 tenants must evict";
+  EXPECT_GT(C.FaultIns, 0u) << "evicted tenants were queried again";
+  EXPECT_EQ(C.Opens, NumTenants);
+
+  // Quiesced: the resident population respects the cap (in-flight evict
+  // posts may still be draining, so allow the enforcement loop's slack).
+  Svc.stop();
+  EXPECT_LE(Svc.residentCount(), Opts.MaxResident + Opts.Shards);
+
+  // Every tenant survived in the manifest.
+  std::string Err;
+  std::vector<std::uint8_t> Bytes;
+  ASSERT_TRUE(persist::readFileBytes(Dir + "/tenants.json", Bytes, Err)) << Err;
+  std::string Manifest(Bytes.begin(), Bytes.end());
+  for (unsigned I = 0; I != NumTenants; ++I)
+    EXPECT_NE(Manifest.find("\"" + NameOf(I) + "\""), std::string::npos) << I;
+}
+
+} // namespace

@@ -46,7 +46,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "service/Json.h"
+#include "support/Json.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -77,11 +77,11 @@ struct RowSpec {
   /// Builds the row's identity ("" = skip the row).  Returning the empty
   /// string drops rows that carry no gateable identity (e.g. the observe
   /// overhead summaries, which are ratios of two noisy timings).
-  std::string (*Identity)(const service::JsonObject &Row);
+  std::string (*Identity)(const JsonObject &Row);
   std::vector<MetricSpec> Metrics;
 };
 
-std::string field(const service::JsonObject &Row, const char *Key) {
+std::string field(const JsonObject &Row, const char *Key) {
   if (std::optional<std::string> S = Row.getString(Key))
     return *S;
   if (std::optional<std::uint64_t> N = Row.getUInt(Key))
@@ -89,17 +89,17 @@ std::string field(const service::JsonObject &Row, const char *Key) {
   return "";
 }
 
-std::string identIncremental(const service::JsonObject &Row) {
+std::string identIncremental(const JsonObject &Row) {
   std::string Shape = field(Row, "shape"), Mix = field(Row, "mix");
   return Shape.empty() || Mix.empty() ? "" : Shape + "/" + Mix;
 }
 
-std::string identParallel(const service::JsonObject &Row) {
+std::string identParallel(const JsonObject &Row) {
   std::string Shape = field(Row, "shape"), T = field(Row, "threads");
   return Shape.empty() || T.empty() ? "" : Shape + "/t" + T;
 }
 
-std::string identObserve(const service::JsonObject &Row) {
+std::string identObserve(const JsonObject &Row) {
   if (field(Row, "kind") != "phase")
     return "";
   std::string Engine = field(Row, "engine"), Shape = field(Row, "shape"),
@@ -109,12 +109,16 @@ std::string identObserve(const service::JsonObject &Row) {
   return Engine + "/" + Shape + "/" + Phase;
 }
 
-std::string identService(const service::JsonObject &Row) {
+std::string identService(const JsonObject &Row) {
   std::string Shape = field(Row, "shape"), W = field(Row, "workers");
   return Shape.empty() || W.empty() ? "" : Shape + "/w" + W;
 }
 
-std::string identPersist(const service::JsonObject &Row) {
+std::string identPersist(const JsonObject &Row) {
+  return field(Row, "shape");
+}
+
+std::string identTenant(const JsonObject &Row) {
   return field(Row, "shape");
 }
 
@@ -135,6 +139,10 @@ const RowSpec Specs[] = {
     // loosely as the other wall-clock metrics.
     {"persist", identPersist,
      {{"recovery_ms", false, 0.75, 5.0}, {"snapshot_mbps", true, 0.50, 50.0}}},
+    // resident_qps is the lock-free read path's promise; fault_in_ms the
+    // evict-to-disk round trip.  Both wall-clock, both gated loosely.
+    {"tenant", identTenant,
+     {{"resident_qps", true, 0.50, 2000.0}, {"fault_in_ms", false, 0.75, 1.0}}},
 };
 
 struct Options {
@@ -192,8 +200,8 @@ bool foldFile(const fs::path &Path, MetricMap &Out) {
     if (Blank)
       continue;
     std::string Err;
-    std::optional<service::JsonObject> Row =
-        service::parseJsonObject(Line, Err);
+    std::optional<JsonObject> Row =
+        parseJsonObject(Line, Err);
     if (!Row) {
       std::fprintf(stderr, "error: %s:%u: %s\n", Path.string().c_str(),
                    LineNo, Err.c_str());
@@ -252,8 +260,8 @@ bool readBaseline(const std::string &Path, MetricMap &Out) {
   std::ostringstream SS;
   SS << In.rdbuf();
   std::string Err;
-  std::optional<service::JsonObject> Obj =
-      service::parseJsonObject(SS.str(), Err);
+  std::optional<JsonObject> Obj =
+      parseJsonObject(SS.str(), Err);
   if (!Obj) {
     std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
     std::exit(2);

@@ -49,6 +49,7 @@
 #include "service/ScriptDriver.h"
 #include "service/Server.h"
 #include "synth/SourceGen.h"
+#include "tenant/Protocol.h"
 
 #include <cerrno>
 #include <csignal>
@@ -102,6 +103,8 @@ namespace {
       "        [--stats-ms N] [--no-use] [--parallel[=K]]\n"
       "        [--compact-records N] [--compact-bytes N]\n"
       "        [--trace-out=FILE] [--trace-format=F]\n"
+      "        [--tenants[=SHARDS]] [--resident-cap N]\n"
+      "        [--tenant-max-procs N] [--tenant-max-edits N]\n"
       "                                      concurrent analysis service;\n"
       "                                      newline-delimited JSON over\n"
       "                                      stdio, or TCP with --port\n"
@@ -115,7 +118,20 @@ namespace {
       "                                      a store (then --program/--gen\n"
       "                                      may be omitted).  SIGTERM /\n"
       "                                      SIGINT drain, flush, and\n"
-      "                                      compact before exiting\n"
+      "                                      compact before exiting.\n"
+      "                                      --tenants hosts many programs\n"
+      "                                      in one server (protocol verbs\n"
+      "                                      open/close/attach, sharded\n"
+      "                                      writers, per-tenant stores\n"
+      "                                      under --data-dir);\n"
+      "                                      --resident-cap bounds live\n"
+      "                                      sessions (LRU evict-to-disk),\n"
+      "                                      --tenant-max-procs /\n"
+      "                                      --tenant-max-edits set per-\n"
+      "                                      tenant quotas.  --program /\n"
+      "                                      --gen stay optional: requests\n"
+      "                                      naming no tenant go to the\n"
+      "                                      single-program service\n"
       "  client --port N [script]            send a session script to a\n"
       "                                      serving instance (stdin when\n"
       "                                      no script is given)\n"
@@ -553,6 +569,18 @@ int cmdServe(const std::vector<std::string> &Args) {
       Opts.ServiceStatsIntervalMs = intArg();
     else if (Args[I] == "--no-use")
       Opts.TrackUse = false;
+    else if (Args[I] == "--tenants")
+      Opts.TenantsEnabled = true;
+    else if (Args[I].rfind("--tenants=", 0) == 0) {
+      Opts.TenantsEnabled = true;
+      Opts.TenantShards =
+          static_cast<unsigned>(std::atoi(Args[I].c_str() + 10));
+    } else if (Args[I] == "--resident-cap")
+      Opts.TenantMaxResident = intArg();
+    else if (Args[I] == "--tenant-max-procs")
+      Opts.TenantMaxProcs = intArg();
+    else if (Args[I] == "--tenant-max-edits")
+      Opts.TenantMaxQueuedEdits = intArg();
     else if (F.parse(Args[I]))
       ;
     else
@@ -566,6 +594,14 @@ int cmdServe(const std::vector<std::string> &Args) {
                    "note: '%s' holds a store; --program/--gen ignored, "
                    "recovering from it\n",
                    Opts.DataDir.c_str());
+  } else if (Opts.TenantsEnabled) {
+    // Tenant mode: the single-program service is optional (requests that
+    // name no tenant need it; tenant-only deployments skip it).
+    if (!ProgramPath.empty() && !GenSpec.empty()) {
+      std::fprintf(stderr, "error: 'serve' takes --program or --gen, "
+                           "not both\n");
+      return 2;
+    }
   } else if (ProgramPath.empty() == GenSpec.empty()) {
     std::fprintf(stderr,
                  "error: 'serve' needs exactly one of --program / --gen "
@@ -574,38 +610,58 @@ int cmdServe(const std::vector<std::string> &Args) {
   }
   F.finish();
 
+  const bool HaveSingle =
+      HaveStore || !ProgramPath.empty() || !GenSpec.empty();
   Program P;
-  if (!HaveStore)
+  if (HaveSingle && !HaveStore)
     P = buildInitialProgram(ProgramPath, GenSpec);
 
   std::unique_ptr<service::AnalysisService> SvcPtr;
+  std::unique_ptr<tenant::TenantService> TenantsPtr;
   try {
-    SvcPtr = ipse::Analyzer(Opts).serve(std::move(P));
+    if (HaveSingle)
+      SvcPtr = ipse::Analyzer(Opts).serve(std::move(P));
+    if (Opts.TenantsEnabled)
+      TenantsPtr = ipse::Analyzer(Opts).openTenants();
   } catch (const std::exception &E) {
     std::fprintf(stderr, "error: %s\n", E.what());
     return 1;
   }
-  service::AnalysisService &Svc = *SvcPtr;
   installShutdownHandler();
-  if (HaveStore)
+  if (HaveStore && SvcPtr)
     std::fprintf(stderr, "recovered '%s' at generation %llu\n",
-                 Opts.DataDir.c_str(), (unsigned long long)Svc.generation());
+                 Opts.DataDir.c_str(),
+                 (unsigned long long)SvcPtr->generation());
+  if (TenantsPtr && !Opts.DataDir.empty())
+    std::fprintf(stderr, "tenants: %llu registered in '%s'\n",
+                 (unsigned long long)TenantsPtr->tenantCount(),
+                 Opts.DataDir.c_str());
 
   if (!HavePort) {
-    // serveFd returns on EOF or on an EINTR'd read (our signal handler);
-    // either way fall through to the drain + final-compact shutdown.
-    service::serveFd(Svc, /*InFd=*/0, /*OutFd=*/1);
+    // The pump returns on EOF or on an EINTR'd read (our signal
+    // handler); either way fall through to the drain + final-compact
+    // shutdown.
+    if (TenantsPtr)
+      tenant::serveTenantFd(*TenantsPtr, SvcPtr.get(), /*InFd=*/0,
+                            /*OutFd=*/1);
+    else
+      service::serveFd(*SvcPtr, /*InFd=*/0, /*OutFd=*/1);
   } else {
-    service::TcpServer Server(Svc);
+    std::unique_ptr<service::TcpServer> Server;
+    if (TenantsPtr)
+      Server = std::make_unique<service::TcpServer>(
+          tenant::tenantConnectionHandler(*TenantsPtr, SvcPtr.get()));
+    else
+      Server = std::make_unique<service::TcpServer>(*SvcPtr);
     std::string Error;
-    if (!Server.start(Port, Error)) {
+    if (!Server->start(Port, Error)) {
       std::fprintf(stderr, "error: cannot listen on port %u: %s\n",
                    unsigned(Port), Error.c_str());
       return 1;
     }
     std::fprintf(stderr,
                  "serving on 127.0.0.1:%u (EOF on stdin or SIGTERM stops)\n",
-                 unsigned(Server.port()));
+                 unsigned(Server->port()));
     // Block until the operator closes stdin or a shutdown signal lands;
     // connections are served on their own threads meanwhile.
     char Buf[256];
@@ -617,17 +673,26 @@ int cmdServe(const std::vector<std::string> &Args) {
         continue; // Re-check ShutdownRequested.
       break;      // EOF or hard error.
     }
-    Server.stop();
+    Server->stop();
   }
 
-  // Drain the queues and join the writer: with --data-dir this is what
-  // folds the WAL into a final snapshot (writerLoop's exit compaction).
+  // Drain the queues and join the writer threads: with --data-dir this is
+  // what folds every WAL into a final snapshot (the writer/shard loops'
+  // exit compaction).
   if (ShutdownRequested)
     std::fprintf(stderr, "shutdown signal: draining\n");
-  Svc.stop();
-  if (!Opts.DataDir.empty())
+  if (TenantsPtr)
+    TenantsPtr->stop();
+  if (SvcPtr)
+    SvcPtr->stop();
+  if (!Opts.DataDir.empty() && SvcPtr)
     std::fprintf(stderr, "stopped at generation %llu; store '%s' compacted\n",
-                 (unsigned long long)Svc.generation(), Opts.DataDir.c_str());
+                 (unsigned long long)SvcPtr->generation(),
+                 Opts.DataDir.c_str());
+  if (!Opts.DataDir.empty() && TenantsPtr)
+    std::fprintf(stderr, "tenants stopped; %llu in manifest '%s'\n",
+                 (unsigned long long)TenantsPtr->tenantCount(),
+                 Opts.DataDir.c_str());
   return 0;
 }
 
