@@ -38,6 +38,8 @@ struct Analysis::Impl {
   std::unique_ptr<parallel::ParallelAnalyzer> ParMod, ParUse;
   // Session.
   std::unique_ptr<incremental::AnalysisSession> Session;
+  // Demand (lazy: queries solve their region on first touch).
+  std::unique_ptr<demand::DemandSession> Demand;
 };
 
 Analysis::Analysis(std::unique_ptr<Impl> Impl) : I(std::move(Impl)) {}
@@ -65,6 +67,8 @@ const BitVector &Analysis::gmod(ir::ProcId Proc, EffectKind Kind) const {
     return (Kind == EffectKind::Mod ? *I->SeqMod : *I->SeqUse).gmod(Proc);
   case AnalysisOptions::Engine::Parallel:
     return (Kind == EffectKind::Mod ? *I->ParMod : *I->ParUse).gmod(Proc);
+  case AnalysisOptions::Engine::Demand:
+    return I->Demand->gmod(Proc, Kind);
   default:
     return I->Session->gmod(Proc, Kind);
   }
@@ -80,6 +84,8 @@ bool Analysis::rmodContains(ir::VarId Formal, EffectKind Kind) const {
   case AnalysisOptions::Engine::Parallel:
     return (Kind == EffectKind::Mod ? *I->ParMod : *I->ParUse)
         .rmodContains(Formal);
+  case AnalysisOptions::Engine::Demand:
+    return I->Demand->rmodContains(Formal, Kind);
   default:
     return I->Session->rmodContains(Formal, Kind);
   }
@@ -91,6 +97,8 @@ BitVector Analysis::dmod(ir::StmtId S) const {
     return I->SeqMod->dmod(S);
   case AnalysisOptions::Engine::Parallel:
     return I->ParMod->dmod(S);
+  case AnalysisOptions::Engine::Demand:
+    return I->Demand->dmod(S);
   default:
     return I->Session->dmod(S);
   }
@@ -108,6 +116,8 @@ BitVector Analysis::dmod(ir::CallSiteId C, EffectKind Kind) const {
     return (Kind == EffectKind::Mod ? *I->SeqMod : *I->SeqUse).dmod(C);
   case AnalysisOptions::Engine::Parallel:
     return (Kind == EffectKind::Mod ? *I->ParMod : *I->ParUse).dmod(C);
+  case AnalysisOptions::Engine::Demand:
+    return I->Demand->dmod(C, Kind);
   default:
     return I->Session->dmod(C, Kind);
   }
@@ -119,6 +129,8 @@ BitVector Analysis::mod(ir::StmtId S, const ir::AliasInfo &Aliases) const {
     return I->SeqMod->mod(S, Aliases);
   case AnalysisOptions::Engine::Parallel:
     return I->ParMod->mod(S, Aliases);
+  case AnalysisOptions::Engine::Demand:
+    return I->Demand->mod(S, Aliases);
   default:
     return I->Session->mod(S, Aliases);
   }
@@ -132,6 +144,9 @@ const analysis::GModResult &Analysis::gmodResult(EffectKind Kind) const {
     return (Kind == EffectKind::Mod ? *I->SeqMod : *I->SeqUse).gmodResult();
   case AnalysisOptions::Engine::Parallel:
     return (Kind == EffectKind::Mod ? *I->ParMod : *I->ParUse).gmodResult();
+  case AnalysisOptions::Engine::Demand:
+    // Full-plane export: forces the whole program solved.
+    return I->Demand->gmodResult(Kind);
   default:
     return I->Session->gmodResult(Kind);
   }
@@ -143,6 +158,8 @@ std::string Analysis::setToString(const BitVector &Set) const {
     return I->SeqMod->setToString(Set);
   case AnalysisOptions::Engine::Parallel:
     return I->ParMod->setToString(Set);
+  case AnalysisOptions::Engine::Demand:
+    return I->Demand->setToString(Set);
   default:
     return I->Session->setToString(Set);
   }
@@ -172,6 +189,25 @@ private:
   EffectKind Kind;
 };
 
+/// One effect kind of a demand session, for renderReport.  The report
+/// sweeps every procedure, so this is the one demand path that pays for
+/// the full program.
+class DemandKindView {
+public:
+  DemandKindView(demand::DemandSession &S, EffectKind Kind)
+      : S(S), Kind(Kind) {}
+  const BitVector &gmod(ir::ProcId Proc) const { return S.gmod(Proc, Kind); }
+  bool rmodContains(ir::VarId F) const { return S.rmodContains(F, Kind); }
+  BitVector dmod(ir::CallSiteId C) const { return S.dmod(C, Kind); }
+  std::string setToString(const BitVector &Set) const {
+    return S.setToString(Set);
+  }
+
+private:
+  demand::DemandSession &S;
+  EffectKind Kind;
+};
+
 std::string renderForEngine(const AnalysisOptions &Opts, const ir::Program &P,
                             analysis::ReportOptions R) {
   observe::TraceSpan Span("report");
@@ -181,6 +217,14 @@ std::string renderForEngine(const AnalysisOptions &Opts, const ir::Program &P,
   case AnalysisOptions::Engine::Parallel:
     return parallel::makeReportParallel(P, R,
                                         Opts.Threads < 1 ? 1 : Opts.Threads);
+  case AnalysisOptions::Engine::Demand: {
+    demand::DemandOptions DO = Opts.demandView();
+    DO.TrackUse = DO.TrackUse || R.IncludeUse;
+    demand::DemandSession S(P, DO);
+    DemandKindView Mod(S, EffectKind::Mod);
+    DemandKindView Use(S, EffectKind::Use);
+    return analysis::renderReport(P, R, Mod, R.IncludeUse ? &Use : nullptr);
+  }
   default: {
     incremental::SessionOptions SO = Opts.sessionView();
     SO.TrackUse = SO.TrackUse || R.IncludeUse;
@@ -205,6 +249,21 @@ void printSessionStats(const incremental::SessionStats &St, std::FILE *Out) {
                (unsigned long long)St.FullRebuilds,
                (unsigned long long)St.ComponentsRecomputed,
                (unsigned long long)St.RModResolves);
+}
+
+void printDemandStats(const demand::DemandStats &St, std::FILE *Out) {
+  std::fprintf(Out,
+               "edits %llu  queries %llu  region-solves %llu"
+               "  region-procs %llu  memo-hits %llu  invalidations %llu"
+               "  absorbed %llu  full-resets %llu\n",
+               (unsigned long long)St.EditsApplied,
+               (unsigned long long)St.Queries,
+               (unsigned long long)St.RegionSolves,
+               (unsigned long long)St.RegionProcs,
+               (unsigned long long)St.MemoHits,
+               (unsigned long long)St.Invalidations,
+               (unsigned long long)St.AbsorbedEdits,
+               (unsigned long long)St.FullResets);
 }
 
 } // namespace
@@ -242,6 +301,11 @@ Analysis Analyzer::analyze(const ir::Program &P) const {
             P, Opts.parallelView(EffectKind::Use), *Impl->Pool);
       break;
     }
+    case AnalysisOptions::Engine::Demand:
+      // No eager solve: the first query pays for its region only.
+      Impl->Demand =
+          std::make_unique<demand::DemandSession>(P, Opts.demandView());
+      break;
     default:
       Impl->Session = std::make_unique<incremental::AnalysisSession>(
           P, Opts.sessionView());
@@ -287,6 +351,12 @@ Analyzer::open_session(ir::Program Initial) const {
                                                         Opts.sessionView());
 }
 
+std::unique_ptr<demand::DemandSession>
+Analyzer::open_demand(ir::Program Initial) const {
+  return std::make_unique<demand::DemandSession>(std::move(Initial),
+                                                 Opts.demandView());
+}
+
 std::unique_ptr<service::AnalysisService>
 Analyzer::serve(ir::Program Initial) const {
   return std::make_unique<service::AnalysisService>(std::move(Initial),
@@ -307,12 +377,23 @@ int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
   if ((Opts.Profile && CostsOut) || Opts.Sink)
     Scope.emplace(Opts.Profile ? CostsOut : nullptr, Opts.Sink);
 
+  // Under --engine=demand the script runs against a DemandSession: edits
+  // funnel through the same resolved-Edit wire form, and queries solve
+  // only the region they touch.
+  const bool UseDemand = Opts.resolved() == AnalysisOptions::Engine::Demand;
   std::optional<incremental::AnalysisSession> S;
+  std::optional<demand::DemandSession> D;
   auto session = [&](unsigned LineNo) -> incremental::AnalysisSession & {
     if (!S)
       throw service::ScriptError{
           LineNo, "no program loaded ('load' or 'gen' must come first)"};
     return *S;
+  };
+  auto demandSession = [&](unsigned LineNo) -> demand::DemandSession & {
+    if (!D)
+      throw service::ScriptError{
+          LineNo, "no program loaded ('load' or 'gen' must come first)"};
+    return *D;
   };
 
   bool AllChecksPassed = true;
@@ -337,12 +418,22 @@ int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
         frontend::CompileResult CR = frontend::compileMiniProc(SS.str());
         if (!CR.succeeded())
           throw service::ScriptError{LineNo, CR.Diags.renderAll()};
-        S.emplace(std::move(*CR.Program), Opts.sessionView());
+        if (UseDemand)
+          D.emplace(std::move(*CR.Program), Opts.demandView());
+        else
+          S.emplace(std::move(*CR.Program), Opts.sessionView());
       } else if (Cmd->Kind == Op::Gen) {
-        S.emplace(synth::generateProgram(parseGenSpec(Cmd->Args, LineNo)),
-                  Opts.sessionView());
+        ir::Program P =
+            synth::generateProgram(parseGenSpec(Cmd->Args, LineNo));
+        if (UseDemand)
+          D.emplace(std::move(P), Opts.demandView());
+        else
+          S.emplace(std::move(P), Opts.sessionView());
       } else if (Cmd->Kind == Op::Stats) {
-        printSessionStats(session(LineNo).stats(), Out);
+        if (UseDemand)
+          printDemandStats(demandSession(LineNo).stats(), Out);
+        else
+          printSessionStats(session(LineNo).stats(), Out);
       } else if (Cmd->Kind == Op::Metrics) {
         observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
         bool Prom = !Cmd->Args.empty() && Cmd->Args[0] == "--format=prom";
@@ -354,7 +445,18 @@ int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
             LineNo, "open/close/attach need a multi-tenant server "
                     "(ipse-cli serve --tenants)"};
       } else if (service::isEditCommand(Cmd->Kind)) {
-        service::applyEditCommand(session(LineNo), *Cmd);
+        if (UseDemand) {
+          demand::DemandSession &DS = demandSession(LineNo);
+          demand::applyEdit(DS,
+                            service::resolveEditCommand(DS.program(), *Cmd));
+        } else {
+          service::applyEditCommand(session(LineNo), *Cmd);
+        }
+      } else if (UseDemand) {
+        service::DemandSessionQueryTarget Target(demandSession(LineNo));
+        service::QueryResult R = service::evalQueryCommand(Target, *Cmd);
+        std::fprintf(Out, "%s\n", R.Text.c_str());
+        AllChecksPassed &= R.CheckOk;
       } else {
         service::SessionQueryTarget Target(session(LineNo));
         service::QueryResult R = service::evalQueryCommand(Target, *Cmd);

@@ -41,6 +41,7 @@
 #include "analysis/GMod.h"
 #include "analysis/Report.h"
 #include "analysis/SideEffectAnalyzer.h"
+#include "demand/DemandSession.h"
 #include "incremental/AnalysisSession.h"
 #include "ir/Program.h"
 #include "observe/CostReport.h"
@@ -66,7 +67,8 @@ struct AnalysisOptions {
     Auto,       ///< Parallel when Threads > 1, else Sequential.
     Sequential, ///< analysis::SideEffectAnalyzer.
     Parallel,   ///< parallel::ParallelAnalyzer (level-scheduled pool).
-    Session     ///< incremental::AnalysisSession (delta-driven).
+    Session,    ///< incremental::AnalysisSession (delta-driven).
+    Demand      ///< demand::DemandSession (query-driven region solving).
   };
   Engine Backend = Engine::Auto;
 
@@ -151,6 +153,11 @@ struct AnalysisOptions {
     O.Threads = Threads;
     return O;
   }
+  demand::DemandOptions demandView() const {
+    demand::DemandOptions O;
+    O.TrackUse = TrackUse;
+    return O;
+  }
   service::ServiceOptions serviceView() const {
     service::ServiceOptions O;
     O.Workers = ServiceWorkers;
@@ -175,6 +182,9 @@ struct AnalysisOptions {
     O.MaxResident = TenantMaxResident;
     O.MaxProcs = TenantMaxProcs;
     O.MaxQueuedEdits = TenantMaxQueuedEdits;
+    // `--engine=demand --tenants`: tenants hold DemandSessions, publish
+    // partial snapshots, and fault back in without re-solving anything.
+    O.DemandFaultIn = resolved() == Engine::Demand;
     // The tenant registry shares the service's data directory: the
     // single-program store's files and the per-tenant t-<name> subtrees
     // are disjoint namespaces within it.
@@ -273,6 +283,12 @@ public:
   /// from these options (TrackUse, Threads).
   std::unique_ptr<incremental::AnalysisSession>
   open_session(ir::Program Initial) const;
+
+  /// Opens a long-lived demand-driven session over \p Initial, configured
+  /// from these options (TrackUse).  Queries solve only their
+  /// backward-reachable region and memoize it; edits invalidate through
+  /// the incremental delta machinery.
+  std::unique_ptr<demand::DemandSession> open_demand(ir::Program Initial) const;
 
   /// Starts the concurrent analysis service over \p Initial, configured
   /// from these options (service knobs, TrackUse, Threads).

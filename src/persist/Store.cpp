@@ -121,6 +121,30 @@ bool Store::init(const std::string &Dir, const StoreOptions &Options,
   return true;
 }
 
+bool Store::init(const std::string &Dir, const StoreOptions &Options,
+                 const SnapshotData &Data, Store &Out, std::string &Err) {
+  Out.Dir = Dir;
+  Out.Opts = Options;
+
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    Err = "cannot create data dir '" + Dir + "': " + EC.message();
+    return false;
+  }
+
+  const std::uint64_t Gen = Data.Generation;
+  std::string Snap = snapName(Gen), Wal = walName(Gen);
+  if (!SnapshotWriter::write(Dir + "/" + Snap, Data, Err))
+    return false;
+  if (!Wal::create(Dir + "/" + Wal, Gen, Out.Log, Err))
+    return false;
+  if (!Out.writeManifest(Gen, Snap, Wal, Err))
+    return false;
+  observe::MetricsRegistry::global().counter("persist.snapshots_written").add();
+  return true;
+}
+
 bool Store::open(const std::string &Dir, const StoreOptions &Options,
                  Store &Out, RecoveredState &Recovered, std::string &Err) {
   observe::TraceSpan Span("persist.recover");
@@ -209,6 +233,33 @@ bool Store::compact(incremental::AnalysisSession &Session, std::string &Err) {
   // A crash before the swing leaves the old pair current (new files are
   // swept as orphans); after it, the new pair is complete and current.
   if (!SnapshotWriter::capture(Dir + "/" + NewSnap, Session, Err))
+    return false;
+  Wal NewLog;
+  if (!Wal::create(Dir + "/" + NewWal, Gen, NewLog, Err))
+    return false;
+  if (!writeManifest(Gen, NewSnap, NewWal, Err))
+    return false;
+  Log = std::move(NewLog);
+
+  if (OldSnap != NewSnap && ::unlink((Dir + "/" + OldSnap).c_str()) == 0)
+    syncParentDir(Dir + "/" + OldSnap, Err);
+  if (OldWal != NewWal && ::unlink((Dir + "/" + OldWal).c_str()) == 0)
+    syncParentDir(Dir + "/" + OldWal, Err);
+
+  observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
+  Reg.counter("persist.snapshots_written").add();
+  Reg.counter("persist.compactions").add();
+  return true;
+}
+
+bool Store::compact(const SnapshotData &Data, std::string &Err) {
+  observe::TraceSpan Span("persist.compact");
+
+  const std::uint64_t Gen = Data.Generation;
+  std::string OldSnap = SnapFile, OldWal = WalFile;
+  std::string NewSnap = snapName(Gen), NewWal = walName(Gen);
+
+  if (!SnapshotWriter::write(Dir + "/" + NewSnap, Data, Err))
     return false;
   Wal NewLog;
   if (!Wal::create(Dir + "/" + NewWal, Gen, NewLog, Err))

@@ -75,6 +75,13 @@ public:
                    incremental::AnalysisSession &Session, Store &Out,
                    std::string &Err);
 
+  /// Same, from already-exported state — the demand-driven tenant path,
+  /// where the caller controls when (and whether) planes are solved.
+  /// \p Data.Planes must be full, final planes (SnapshotReader validates
+  /// dimensions, and warm restores treat every procedure as solved).
+  static bool init(const std::string &Dir, const StoreOptions &Options,
+                   const SnapshotData &Data, Store &Out, std::string &Err);
+
   /// Opens an existing store: loads the manifest's snapshot (CRC +
   /// structure verified), recovers the WAL (truncating a torn tail), and
   /// returns the replayable state in \p Recovered.  The handle keeps the
@@ -95,6 +102,10 @@ public:
   /// swings the manifest; old files are deleted afterwards.  On failure
   /// the previous pair remains current and the store stays usable.
   bool compact(incremental::AnalysisSession &Session, std::string &Err);
+
+  /// Same, from already-exported state (see the SnapshotData init
+  /// overload for the planes contract).
+  bool compact(const SnapshotData &Data, std::string &Err);
 
   bool isOpen() const { return Log.isOpen(); }
   const std::string &dir() const { return Dir; }

@@ -49,16 +49,28 @@ public:
   static std::shared_ptr<const AnalysisSnapshot>
   capture(incremental::AnalysisSession &Session, std::uint64_t Generation);
 
+  /// Copies a demand session's planes as they stand — solved procedures
+  /// only, no fixed-point work.  Readers must gate every query through
+  /// covers(); the service falls back to the writer (which extends the
+  /// region and republishes) when a query names an uncovered procedure.
+  /// Soundness of per-procedure coverage: Solved(p) implies every
+  /// procedure p's answers depend on is also Solved, so covered planes
+  /// hold final bits even though the rest of the plane is stale or empty.
+  static std::shared_ptr<const AnalysisSnapshot>
+  capturePartial(demand::DemandSession &Session, std::uint64_t Generation);
+
   std::uint64_t generation() const { return Gen; }
 
   /// The program state this snapshot was computed from.
   const ir::Program &program() const override { return P; }
 
   const BitVector &gmod(ir::ProcId Proc) const override {
+    assert(covered(Proc, analysis::EffectKind::Mod) && "uncovered GMOD read");
     return ModResult.of(Proc);
   }
   const BitVector &guse(ir::ProcId Proc) const override {
     assert(HasUse && "snapshot captured without a USE pipeline");
+    assert(covered(Proc, analysis::EffectKind::Use) && "uncovered GUSE read");
     return UseResult.of(Proc);
   }
   bool rmodContains(ir::VarId Formal,
@@ -68,11 +80,39 @@ public:
   }
   BitVector modNoAlias(ir::StmtId S) const override;
   BitVector useNoAlias(ir::StmtId S) const override;
+  BitVector dmodSite(ir::CallSiteId C) const override;
 
   bool tracksUse() const { return HasUse; }
 
+  /// True when this snapshot holds only a solved region (capturePartial).
+  bool partial() const { return Partial; }
+
+  /// True when \p Proc's plane entries are final in \p Kind.  Full
+  /// snapshots cover everything.
+  bool covered(ir::ProcId Proc, analysis::EffectKind Kind) const {
+    if (!Partial)
+      return true;
+    const std::vector<char> &C =
+        Kind == analysis::EffectKind::Mod ? ModCovered : UseCovered;
+    return Proc.index() < C.size() && C[Proc.index()];
+  }
+
+  /// True when \p Cmd (a query command) is answerable from this snapshot's
+  /// covered region.  Commands with unresolvable names report covered —
+  /// they fail identically against any target, so the normal evaluation
+  /// path should render the error.
+  bool covers(const ScriptCommand &Cmd) const;
+
 private:
   AnalysisSnapshot() = default;
+
+  /// be(GMOD(callee)) for partial snapshots, which carry no VarMasks: the
+  /// callee's local mask is rebuilt per call, keeping resident memory
+  /// proportional to the solved region instead of O(procs × vars).
+  BitVector projectSitePartial(const analysis::GModResult &G,
+                               ir::CallSiteId Site) const;
+  BitVector effectOfStmtPartial(const analysis::GModResult &G,
+                                ir::StmtId S) const;
 
   std::uint64_t Gen = 0;
   ir::Program P;
@@ -81,6 +121,8 @@ private:
   BitVector ModRMod, UseRMod;
   ir::AliasInfo NoAliases;
   bool HasUse = false;
+  bool Partial = false;
+  std::vector<char> ModCovered, UseCovered;
 };
 
 } // namespace service

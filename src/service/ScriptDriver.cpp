@@ -8,12 +8,14 @@
 #include "service/ScriptDriver.h"
 
 #include "analysis/SideEffectAnalyzer.h"
+#include "demand/DemandSession.h"
 #include "incremental/AnalysisSession.h"
 #include "ir/AliasInfo.h"
 #include "ir/Printer.h"
 #include "synth/ProgramGen.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <sstream>
 
@@ -58,6 +60,7 @@ constexpr OpSpec Specs[] = {
     {"rmod", ScriptCommand::Op::RMod, 1},
     {"mod", ScriptCommand::Op::Mod, 2},
     {"use", ScriptCommand::Op::Use, 2},
+    {"query", ScriptCommand::Op::Query, -1},
     {"check", ScriptCommand::Op::Check, 0},
     {"stats", ScriptCommand::Op::Stats, 0},
     {"metrics", ScriptCommand::Op::Metrics, -1},
@@ -99,6 +102,7 @@ bool service::isQueryCommand(ScriptCommand::Op Op) {
   case ScriptCommand::Op::RMod:
   case ScriptCommand::Op::Mod:
   case ScriptCommand::Op::Use:
+  case ScriptCommand::Op::Query:
   case ScriptCommand::Op::Check:
     return true;
   default:
@@ -155,8 +159,15 @@ bool service::isValidTenantName(std::string_view Name) {
 std::optional<ScriptCommand> service::parseScriptLine(std::string_view Line,
                                                       unsigned LineNo) {
   std::string Text(Line);
-  if (std::size_t Hash = Text.find('#'); Hash != std::string::npos)
-    Text.resize(Hash);
+  // A '#' opens a comment only at line start or after whitespace; mid-token
+  // it is data ("query p12#0" names p12's call site 0).
+  for (std::size_t Hash = Text.find('#'); Hash != std::string::npos;
+       Hash = Text.find('#', Hash + 1))
+    if (Hash == 0 ||
+        std::isspace(static_cast<unsigned char>(Text[Hash - 1]))) {
+      Text.resize(Hash);
+      break;
+    }
   std::istringstream Tok(Text);
   std::vector<std::string> T;
   for (std::string W; Tok >> W;)
@@ -177,6 +188,8 @@ std::optional<ScriptCommand> service::parseScriptLine(std::string_view Line,
                       " operand(s)");
     if (Spec.Op == ScriptCommand::Op::AddCall && Cmd.Args.size() < 3)
       die(LineNo, "'add-call' expects <proc> <stmtIdx> <callee> ...");
+    if (Spec.Op == ScriptCommand::Op::Query && Cmd.Args.empty())
+      die(LineNo, "'query' expects at least one <proc> or <proc>#<k>");
     if (isTenantCommand(Spec.Op)) {
       if (Cmd.Args.empty())
         die(LineNo, "'" + T[0] + "' expects a tenant name");
@@ -334,6 +347,34 @@ BitVector SessionQueryTarget::useNoAlias(StmtId St) const {
   ir::AliasInfo NoAliases(S.program());
   return S.use(St, NoAliases);
 }
+BitVector SessionQueryTarget::dmodSite(ir::CallSiteId C) const {
+  return S.dmod(C);
+}
+
+const Program &DemandSessionQueryTarget::program() const {
+  return S.program();
+}
+const BitVector &DemandSessionQueryTarget::gmod(ProcId Proc) const {
+  return S.gmod(Proc);
+}
+const BitVector &DemandSessionQueryTarget::guse(ProcId Proc) const {
+  return S.guse(Proc);
+}
+bool DemandSessionQueryTarget::rmodContains(VarId Formal,
+                                            analysis::EffectKind Kind) const {
+  return S.rmodContains(Formal, Kind);
+}
+BitVector DemandSessionQueryTarget::modNoAlias(StmtId St) const {
+  ir::AliasInfo NoAliases(S.program());
+  return S.mod(St, NoAliases);
+}
+BitVector DemandSessionQueryTarget::useNoAlias(StmtId St) const {
+  ir::AliasInfo NoAliases(S.program());
+  return S.use(St, NoAliases);
+}
+BitVector DemandSessionQueryTarget::dmodSite(ir::CallSiteId C) const {
+  return S.dmod(C);
+}
 
 std::string service::setToString(const Program &P, const BitVector &Set) {
   std::vector<std::string> Names;
@@ -422,6 +463,33 @@ QueryResult service::evalQueryCommand(const QueryTarget &Target,
     BitVector Set = IsMod ? Target.modNoAlias(St) : Target.useNoAlias(St);
     OS << (IsMod ? "MOD" : "USE") << "(" << A[0] << "#" << A[1] << ") = {"
        << setToString(Target.program(), Set) << "}";
+    return QueryResult{OS.str(), true};
+  }
+  case ScriptCommand::Op::Query: {
+    // Demand-style batch query: each operand is a procedure (GMOD) or a
+    // proc#k call site (DMOD of proc's k-th call site).  One output line,
+    // operands joined by "; ", so protocol clients get one response.
+    const Program &P = Target.program();
+    for (std::size_t I = 0; I != A.size(); ++I) {
+      if (I != 0)
+        OS << "; ";
+      std::size_t Hash = A[I].find('#');
+      if (Hash == std::string::npos) {
+        ProcId Proc = findProc(P, A[I], LineNo);
+        OS << "GMOD(" << A[I] << ") = {"
+           << setToString(P, Target.gmod(Proc)) << "}";
+        continue;
+      }
+      std::string Name = A[I].substr(0, Hash);
+      ProcId Proc = findProc(P, Name, LineNo);
+      unsigned K = parseIndex(A[I].substr(Hash + 1));
+      const std::vector<ir::CallSiteId> &Sites = P.proc(Proc).CallSites;
+      if (K >= Sites.size())
+        die(LineNo, "procedure '" + Name + "' has only " +
+                        std::to_string(Sites.size()) + " call sites");
+      OS << "DMOD(" << Name << "#" << K << ") = {"
+         << setToString(P, Target.dmodSite(Sites[K])) << "}";
+    }
     return QueryResult{OS.str(), true};
   }
   case ScriptCommand::Op::Check:

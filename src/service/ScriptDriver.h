@@ -26,6 +26,13 @@
 ///   rm-proc  <name>
 ///   gmod <proc> | guse <proc> | rmod <proc>
 ///   mod <proc> <stmtIdx> | use <proc> <stmtIdx>
+///   query <proc|proc#k> ...               demand-style batch query: GMOD
+///                                         for each named procedure, DMOD
+///                                         for each proc#k call site (the
+///                                         k-th call site of proc), all on
+///                                         one line joined by "; ".  Under
+///                                         --engine=demand only the named
+///                                         sites' regions are solved.
 ///   check                                 compare against fresh batch runs
 ///   stats                                 driver-dependent counters
 ///   metrics [--format=json|prom]          process-wide metrics registry
@@ -66,6 +73,9 @@ namespace ipse {
 namespace incremental {
 class AnalysisSession;
 }
+namespace demand {
+class DemandSession;
+}
 namespace synth {
 struct ProgramGenConfig;
 }
@@ -102,6 +112,7 @@ struct ScriptCommand {
     RMod,
     Mod,
     Use,
+    Query,
     Check,
     Stats,
     Metrics,
@@ -186,6 +197,8 @@ public:
   /// MOD(s) / USE(s) under the empty alias relation (the protocol's view).
   virtual BitVector modNoAlias(ir::StmtId S) const = 0;
   virtual BitVector useNoAlias(ir::StmtId S) const = 0;
+  /// DMOD projected at one call site (the `query proc#k` operand form).
+  virtual BitVector dmodSite(ir::CallSiteId C) const = 0;
 };
 
 /// Adapts a live AnalysisSession to QueryTarget for the CLI path.
@@ -199,9 +212,29 @@ public:
                     analysis::EffectKind Kind) const override;
   BitVector modNoAlias(ir::StmtId S) const override;
   BitVector useNoAlias(ir::StmtId S) const override;
+  BitVector dmodSite(ir::CallSiteId C) const override;
 
 private:
   incremental::AnalysisSession &S;
+};
+
+/// Adapts a live demand::DemandSession to QueryTarget.  Queries solve only
+/// the region they depend on, so a script that touches one procedure never
+/// pays for the whole program.
+class DemandSessionQueryTarget : public QueryTarget {
+public:
+  explicit DemandSessionQueryTarget(demand::DemandSession &S) : S(S) {}
+  const ir::Program &program() const override;
+  const BitVector &gmod(ir::ProcId Proc) const override;
+  const BitVector &guse(ir::ProcId Proc) const override;
+  bool rmodContains(ir::VarId Formal,
+                    analysis::EffectKind Kind) const override;
+  BitVector modNoAlias(ir::StmtId S) const override;
+  BitVector useNoAlias(ir::StmtId S) const override;
+  BitVector dmodSite(ir::CallSiteId C) const override;
+
+private:
+  demand::DemandSession &S;
 };
 
 /// Result of one query command.

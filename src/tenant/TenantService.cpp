@@ -7,6 +7,7 @@
 
 #include "tenant/TenantService.h"
 
+#include "demand/DemandSession.h"
 #include "incremental/AnalysisSession.h"
 #include "observe/Metrics.h"
 #include "observe/Prometheus.h"
@@ -27,6 +28,24 @@ using namespace ipse::tenant;
 using service::Response;
 using service::ScriptCommand;
 using service::ScriptError;
+
+namespace {
+
+/// Full, final planes for a demand tenant — what the store's snapshot
+/// format requires.  Forces the whole program solved (ensureSolvedAll via
+/// exportPlanes), so durable opens, compactions, and evictions of a demand
+/// tenant pay a batch-sized solve; the payoff is that the *fault-in* after
+/// them replays state with no solving at all.
+persist::SnapshotData demandSnapshotData(demand::DemandSession &S) {
+  persist::SnapshotData D;
+  D.TrackUse = S.options().TrackUse;
+  D.Program = S.program();
+  D.Planes = S.exportPlanes();
+  D.Generation = S.generation();
+  return D;
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Construction / registry.
@@ -201,6 +220,9 @@ bool TenantService::tryInlineQuery(const std::shared_ptr<Tenant> &T, Job &J) {
       T->Snap.load(std::memory_order_acquire);
   if (!Snap)
     return false;
+  if (!Snap->covers(J.Cmd))
+    return false; // Partial (demand) snapshot: the shard solves the
+                  // missing region and republishes.
   Response R;
   R.Id = J.Id;
   R.TraceId = J.TraceId;
@@ -494,16 +516,27 @@ void TenantService::shardLoop(unsigned Idx) {
         Mine.push_back(T);
   }
   for (const std::shared_ptr<Tenant> &T : Mine) {
-    if (!T->Session || !T->Store || T->Store->walRecords() == 0)
+    if ((!T->Session && !T->DemandS) || !T->Store ||
+        T->Store->walRecords() == 0)
       continue;
     std::string Err;
-    if (!T->Store->compact(*T->Session, Err))
+    if (!(T->DemandS ? T->Store->compact(demandSnapshotData(*T->DemandS), Err)
+                     : T->Store->compact(*T->Session, Err)))
       std::fprintf(stderr, "ipse: tenant '%s' final compaction failed: %s\n",
                    T->Name.c_str(), Err.c_str());
   }
 }
 
 void TenantService::publish(Tenant &T, std::uint64_t Generation) {
+  if (T.DemandS) {
+    // Partial snapshot: exactly the procedures queries have solved so
+    // far.  Readers of uncovered procedures miss covers() on the inline
+    // path and queue to the shard, which extends the region.
+    T.Snap.store(
+        service::AnalysisSnapshot::capturePartial(*T.DemandS, Generation),
+        std::memory_order_release);
+    return;
+  }
   T.Snap.store(service::AnalysisSnapshot::capture(*T.Session, Generation),
                std::memory_order_release);
 }
@@ -527,11 +560,20 @@ void TenantService::runOpen(Job &J) {
     CntRejected.fetch_add(1, std::memory_order_relaxed);
   }
   if (Fail.empty()) {
-    incremental::SessionOptions SO;
-    SO.TrackUse = Opts.TrackUse;
     T.TrackUse = Opts.TrackUse;
-    T.Session =
-        std::make_unique<incremental::AnalysisSession>(std::move(Prog), SO);
+    if (Opts.DemandFaultIn) {
+      // Demand tenant: nothing is solved at open.  A memory-only open is
+      // O(structure); the first query pays only for its own region.
+      demand::DemandOptions DO;
+      DO.TrackUse = Opts.TrackUse;
+      T.DemandS =
+          std::make_unique<demand::DemandSession>(std::move(Prog), DO);
+    } else {
+      incremental::SessionOptions SO;
+      SO.TrackUse = Opts.TrackUse;
+      T.Session =
+          std::make_unique<incremental::AnalysisSession>(std::move(Prog), SO);
+    }
     if (!Opts.DataDir.empty()) {
       std::string Dir = tenantDir(T.Name);
       std::error_code Ec;
@@ -544,10 +586,18 @@ void TenantService::runOpen(Job &J) {
       PO.CompactWalBytes = Opts.CompactWalBytes;
       T.Store = std::make_unique<persist::Store>();
       std::string Err;
-      if (Ec || !persist::Store::init(Dir, PO, *T.Session, *T.Store, Err)) {
+      // The store needs full planes, so a *durable* demand open pays the
+      // one batch-sized solve here; every later fault-in is solve-free.
+      bool Ok = !Ec && (T.DemandS ? persist::Store::init(
+                                        Dir, PO, demandSnapshotData(*T.DemandS),
+                                        *T.Store, Err)
+                                  : persist::Store::init(Dir, PO, *T.Session,
+                                                         *T.Store, Err));
+      if (!Ok) {
         Fail = "cannot initialize tenant store '" + Dir +
                "': " + (Ec ? Ec.message() : Err);
         T.Session.reset();
+        T.DemandS.reset();
         T.Store.reset();
       } else {
         std::string MErr;
@@ -556,6 +606,7 @@ void TenantService::runOpen(Job &J) {
         if (!saveManifest(MErr)) {
           Fail = "cannot write tenant manifest: " + MErr;
           T.Session.reset();
+          T.DemandS.reset();
           T.Store.reset();
         }
       }
@@ -581,16 +632,20 @@ void TenantService::runOpen(Job &J) {
     return;
   }
 
-  publish(T, T.Session->generation());
+  const std::uint64_t Gen =
+      T.DemandS ? T.DemandS->generation() : T.Session->generation();
+  publish(T, Gen);
   Resident.fetch_add(1, std::memory_order_relaxed);
   CntOpens.fetch_add(1, std::memory_order_relaxed);
   Reg.counter("tenant.opens").add();
   refreshGauges();
   touch(T);
   enforceResidentCap(T.ShardIdx, &T);
-  R.Generation = T.Session->generation();
+  R.Generation = Gen;
+  const ir::Program &Prog2 =
+      T.DemandS ? T.DemandS->program() : T.Session->program();
   R.Result = "opened '" + T.Name + "' (" +
-             std::to_string(T.Session->program().numProcs()) + " procs)";
+             std::to_string(Prog2.numProcs()) + " procs)";
   J.Done(std::move(R));
 }
 
@@ -606,8 +661,9 @@ void TenantService::runClose(Job &J) {
     J.Done(std::move(R));
     return;
   }
-  if (T.Session) {
+  if (T.Session || T.DemandS) {
     T.Session.reset();
+    T.DemandS.reset();
     T.Store.reset();
     T.Snap.store(nullptr, std::memory_order_release);
     Resident.fetch_sub(1, std::memory_order_relaxed);
@@ -649,6 +705,30 @@ void TenantService::runQuery(Job &J) {
   } else if (!ensureResident(T, Err)) {
     R.Ok = false;
     R.Error = std::move(Err);
+  } else if (T.DemandS) {
+    // Demand tenant: answer from the live session — the query solves (at
+    // most) its own region — then republish the enlarged partial
+    // snapshot so repeat queries take the inline lock-free path.
+    const std::uint64_t Gen = T.DemandS->generation();
+    R.Generation = Gen;
+    std::optional<observe::TraceScope> Scope;
+    if (Opts.Sink)
+      Scope.emplace(nullptr, Opts.Sink,
+                    observe::ScopeTags{J.TraceId, Gen, T.Name});
+    observe::TraceSpan Span("tenant.query");
+    try {
+      service::DemandSessionQueryTarget QT(*T.DemandS);
+      service::QueryResult QR = service::evalQueryCommand(QT, J.Cmd);
+      R.Result = std::move(QR.Text);
+      R.CheckOk = QR.CheckOk;
+      T.CtrQueries->add();
+      CntQueries.fetch_add(1, std::memory_order_relaxed);
+    } catch (const ScriptError &E) {
+      R.Ok = false;
+      R.Error = E.Message;
+    }
+    publish(T, Gen);
+    touch(T);
   } else {
     std::shared_ptr<const service::AnalysisSnapshot> Snap =
         T.Snap.load(std::memory_order_acquire);
@@ -716,15 +796,23 @@ void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
   bool AnyApplied = false;
   for (std::size_t I = 0; I != N; ++I) {
     const ScriptCommand &Cmd = Batch[Begin + I].Cmd;
+    const ir::Program &Prog =
+        T.DemandS ? T.DemandS->program() : T.Session->program();
     if (Opts.MaxProcs && Cmd.Kind == ScriptCommand::Op::AddProc &&
-        T.Session->program().numProcs() >= Opts.MaxProcs) {
+        Prog.numProcs() >= Opts.MaxProcs) {
       Failures[I] = "tenant quota: max procedures (" +
                     std::to_string(Opts.MaxProcs) + ") reached";
       CntRejected.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     try {
-      Applied.push_back(service::applyEditCommand(*T.Session, Cmd));
+      if (T.DemandS) {
+        incremental::Edit E = service::resolveEditCommand(Prog, Cmd);
+        demand::applyEdit(*T.DemandS, E);
+        Applied.push_back(std::move(E));
+      } else {
+        Applied.push_back(service::applyEditCommand(*T.Session, Cmd));
+      }
       AnyApplied = true;
     } catch (const ScriptError &E) {
       Failures[I] = E.Message;
@@ -748,7 +836,8 @@ void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
     }
   }
 
-  const std::uint64_t Gen = T.Session->generation();
+  const std::uint64_t Gen =
+      T.DemandS ? T.DemandS->generation() : T.Session->generation();
   if (AnyApplied) {
     const std::uint64_t T0 = observe::nowNanos();
     {
@@ -757,7 +846,9 @@ void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
         Scope.emplace(nullptr, Opts.Sink,
                       observe::ScopeTags{Batch[Begin].TraceId, Gen, T.Name});
       observe::TraceSpan Span("tenant.flush");
-      // capture() flushes; this is the group's one solve.
+      // capture() flushes; this is the group's one solve.  (For a demand
+      // tenant capturePartial() only flushes invalidation — the next
+      // query re-solves whatever the group dirtied.)
       publish(T, Gen);
     }
     Reg.histogram("tenant.flush_us").record((observe::nowNanos() - T0) / 1000);
@@ -766,7 +857,8 @@ void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
 
   if (T.Store && T.Store->shouldCompact()) {
     std::string CErr;
-    if (!T.Store->compact(*T.Session, CErr))
+    if (!(T.DemandS ? T.Store->compact(demandSnapshotData(*T.DemandS), CErr)
+                    : T.Store->compact(*T.Session, CErr)))
       std::fprintf(stderr,
                    "ipse: tenant '%s' compaction failed (will retry): %s\n",
                    T.Name.c_str(), CErr.c_str());
@@ -799,7 +891,7 @@ void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
 //===----------------------------------------------------------------------===//
 
 bool TenantService::ensureResident(Tenant &T, std::string &Err) {
-  if (T.Session)
+  if (T.Session || T.DemandS)
     return true;
   if (Opts.DataDir.empty()) {
     // Unreachable in memory-only mode (nothing ever evicts), but a
@@ -820,15 +912,28 @@ bool TenantService::ensureResident(Tenant &T, std::string &Err) {
   }
   // Warm restore: planes install directly, the WAL tail replays as
   // deltas, and no fixed point is re-solved.
-  incremental::SessionOptions SO;
-  SO.TrackUse = RS.Snapshot.TrackUse;
   T.TrackUse = RS.Snapshot.TrackUse;
-  T.Session = std::make_unique<incremental::AnalysisSession>(
-      std::move(RS.Snapshot.Program), SO, std::move(RS.Snapshot.Planes));
-  for (const incremental::Edit &E : RS.Tail)
-    incremental::applyEdit(*T.Session, E);
+  if (Opts.DemandFaultIn) {
+    // Demand fault-in: the snapshot's planes install fully memoized, the
+    // tail replay only *invalidates* regions, and nothing solves here —
+    // the first query after fault-in pays for its own region instead of
+    // the whole program.
+    demand::DemandOptions DO;
+    DO.TrackUse = RS.Snapshot.TrackUse;
+    T.DemandS = std::make_unique<demand::DemandSession>(
+        std::move(RS.Snapshot.Program), DO, std::move(RS.Snapshot.Planes));
+    for (const incremental::Edit &E : RS.Tail)
+      demand::applyEdit(*T.DemandS, E);
+  } else {
+    incremental::SessionOptions SO;
+    SO.TrackUse = RS.Snapshot.TrackUse;
+    T.Session = std::make_unique<incremental::AnalysisSession>(
+        std::move(RS.Snapshot.Program), SO, std::move(RS.Snapshot.Planes));
+    for (const incremental::Edit &E : RS.Tail)
+      incremental::applyEdit(*T.Session, E);
+  }
   T.Store = std::move(Store);
-  publish(T, T.Session->generation());
+  publish(T, T.DemandS ? T.DemandS->generation() : T.Session->generation());
   Resident.fetch_add(1, std::memory_order_relaxed);
   CntFaultIns.fetch_add(1, std::memory_order_relaxed);
   observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
@@ -842,15 +947,20 @@ bool TenantService::ensureResident(Tenant &T, std::string &Err) {
 
 void TenantService::evictIfIdle(Tenant &T) {
   T.EvictQueued.store(false, std::memory_order_relaxed);
-  if (T.Closed.load(std::memory_order_acquire) || !T.Session)
+  if (T.Closed.load(std::memory_order_acquire) || (!T.Session && !T.DemandS))
     return;
   if (T.QueuedJobs.load(std::memory_order_acquire) != 0)
     return; // Became busy since it was picked; evicting now would thrash.
   if (!T.Store)
     return; // WAL failure made it memory-only; evicting would lose data.
   // Fold the WAL first so fault-in is a snapshot load plus zero replay.
+  // (A demand tenant's compaction exports full planes, forcing the whole
+  // program solved — eviction is where a demand tenant pays its batch
+  // solve, not open or fault-in.)
   std::string Err;
-  if (T.Store->walRecords() > 0 && !T.Store->compact(*T.Session, Err)) {
+  if (T.Store->walRecords() > 0 &&
+      !(T.DemandS ? T.Store->compact(demandSnapshotData(*T.DemandS), Err)
+                  : T.Store->compact(*T.Session, Err))) {
     std::fprintf(stderr,
                  "ipse: tenant '%s' eviction compaction failed, staying "
                  "resident: %s\n",
@@ -858,6 +968,7 @@ void TenantService::evictIfIdle(Tenant &T) {
     return;
   }
   T.Session.reset();
+  T.DemandS.reset();
   T.Store.reset();
   // In-flight readers that pinned the snapshot keep it alive; the next
   // query sees null and faults the tenant back in.

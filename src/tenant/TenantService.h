@@ -77,6 +77,9 @@
 #include <vector>
 
 namespace ipse {
+namespace demand {
+class DemandSession;
+}
 namespace incremental {
 class AnalysisSession;
 }
@@ -108,6 +111,14 @@ struct TenantOptions {
   /// Per-tenant queued-edit quota (0 = unlimited): trySubmit refuses
   /// edits for a tenant already carrying this many unanswered ones.
   std::size_t MaxQueuedEdits = 0;
+  /// Demand-driven tenant sessions: queries solve only their
+  /// backward-reachable region and the published snapshot covers exactly
+  /// the solved procedures (service::AnalysisSnapshot::capturePartial).
+  /// An evicted tenant's fault-in becomes warm-restore + WAL replay with
+  /// NO re-solving at all — the first query after fault-in pays only for
+  /// its own region.  Trade-off: durable open / eviction / shutdown must
+  /// write full planes, so they force the whole program solved.
+  bool DemandFaultIn = false;
   /// When non-empty, durable mode: tenants.json + one store subtree per
   /// tenant (created if missing; recovered if present).
   std::string DataDir;
@@ -193,6 +204,9 @@ private:
     /// exactly "Snap != null" from any thread's point of view.
     std::atomic<std::shared_ptr<const service::AnalysisSnapshot>> Snap;
     std::unique_ptr<incremental::AnalysisSession> Session;
+    /// Demand-mode alternative to Session (TenantOptions::DemandFaultIn);
+    /// exactly one of the two is live while resident.
+    std::unique_ptr<demand::DemandSession> DemandS;
     std::unique_ptr<persist::Store> Store;
     bool TrackUse = true;
     /// observe::nowNanos() of the last request touching this tenant —

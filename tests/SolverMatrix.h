@@ -131,6 +131,14 @@ inline const std::vector<SolverEngine> &allSolverEngines() {
                    Opts.Backend = ipse::AnalysisOptions::Engine::Session;
                    return viaFacade(Opts, P, K);
                  }});
+    // gmodResult() forces the demand engine to cover the whole program,
+    // so this exercises region solving driven to completion.
+    E.push_back({"demand", false, [viaFacade](const Program &P,
+                                              EffectKind K) {
+                   ipse::AnalysisOptions Opts;
+                   Opts.Backend = ipse::AnalysisOptions::Engine::Demand;
+                   return viaFacade(Opts, P, K);
+                 }});
     for (unsigned Threads : {1u, 2u, 4u}) {
       const char *Name = Threads == 1   ? "parallel-k1"
                          : Threads == 2 ? "parallel-k2"

@@ -1,0 +1,124 @@
+//===- tests/TestSeed.h - Reproducible seeds for randomized suites -*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed plumbing for the randomized suites (EditGen sequences, property
+/// batteries, fuzzers).  Every such suite derives its generator seeds from
+/// testseed::baseSeed(), which resolves, in priority order:
+///
+///   1. `--seed=N` on the test binary's command line,
+///   2. the `IPSE_SEED` environment variable,
+///   3. the suite's compiled-in default.
+///
+/// A red run prints the resolved base seed in a `[  SEED  ]` trailer so the
+/// failure is reproducible with `./the_test --seed=N` instead of lost.
+/// Suites opt in by calling IPSE_SEEDED_TEST_MAIN() instead of linking the
+/// stock gtest main (defining main in the test object preempts
+/// gtest_main's).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_TESTS_TESTSEED_H
+#define IPSE_TESTS_TESTSEED_H
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+namespace ipse {
+namespace testseed {
+
+namespace detail {
+
+struct SeedState {
+  std::optional<std::uint64_t> Override; // --seed / IPSE_SEED
+  std::optional<std::uint64_t> Resolved; // what baseSeed() handed out
+};
+
+inline SeedState &state() {
+  static SeedState S;
+  return S;
+}
+
+inline std::optional<std::uint64_t> parseSeed(const char *Text) {
+  if (!Text || !*Text)
+    return std::nullopt;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (!End || *End != '\0')
+    return std::nullopt;
+  return static_cast<std::uint64_t>(V);
+}
+
+/// Prints the base seed after any failed test, once per test.
+class SeedReporter : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo &Info) override {
+    if (!Info.result() || !Info.result()->Failed())
+      return;
+    if (!state().Resolved)
+      return; // The failing test never drew randomness.
+    std::cerr << "[  SEED  ] base seed " << *state().Resolved
+              << " — reproduce with --seed=" << *state().Resolved
+              << " (or IPSE_SEED=" << *state().Resolved << ")\n";
+  }
+};
+
+} // namespace detail
+
+/// The suite's base seed: command-line/environment override, else
+/// \p Default.  Also records the value so a failure can print it.
+inline std::uint64_t baseSeed(std::uint64_t Default = 1) {
+  detail::SeedState &S = detail::state();
+  std::uint64_t Value = S.Override ? *S.Override : Default;
+  S.Resolved = Value;
+  return Value;
+}
+
+/// Parses `--seed=N` / `--seed N` out of argv (consuming them) and the
+/// IPSE_SEED environment variable, and installs the failure reporter.
+/// Call after InitGoogleTest.
+inline void initSeed(int &Argc, char **Argv) {
+  detail::SeedState &S = detail::state();
+  if (std::optional<std::uint64_t> V =
+          detail::parseSeed(std::getenv("IPSE_SEED")))
+    S.Override = V;
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    std::optional<std::uint64_t> V;
+    if (std::strncmp(Argv[I], "--seed=", 7) == 0)
+      V = detail::parseSeed(Argv[I] + 7);
+    else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc)
+      V = detail::parseSeed(Argv[++I]);
+    else {
+      Argv[Out++] = Argv[I];
+      continue;
+    }
+    if (V)
+      S.Override = V; // Command line beats the environment.
+  }
+  Argc = Out;
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new detail::SeedReporter);
+}
+
+} // namespace testseed
+} // namespace ipse
+
+/// Drop-in main for seeded suites.
+#define IPSE_SEEDED_TEST_MAIN()                                                \
+  int main(int argc, char **argv) {                                            \
+    ::testing::InitGoogleTest(&argc, argv);                                    \
+    ::ipse::testseed::initSeed(argc, argv);                                    \
+    return RUN_ALL_TESTS();                                                    \
+  }
+
+#endif // IPSE_TESTS_TESTSEED_H

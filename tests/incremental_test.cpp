@@ -24,6 +24,8 @@
 #include "synth/EditGen.h"
 #include "synth/ProgramGen.h"
 
+#include "TestSeed.h"
+
 #include <gtest/gtest.h>
 
 using namespace ipse;
@@ -426,8 +428,9 @@ void runRandomSession(unsigned Shape, std::uint64_t Seed, unsigned EditsPerRun,
 TEST(IncrementalEquivalence, RandomEditSequences) {
   // 5 shapes x 24 seeds = 120 independent edit sequences, every query
   // compared against fresh batch analyzers after every edit.
+  const std::uint64_t Base = testseed::baseSeed(1);
   for (unsigned Shape = 0; Shape != 5; ++Shape)
-    for (std::uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    for (std::uint64_t Seed = Base; Seed != Base + 24; ++Seed) {
       runRandomSession(Shape, Seed, 12, /*AllowUniverse=*/true);
       ASSERT_FALSE(::testing::Test::HasFailure())
           << "divergence in shape " << Shape << " seed " << Seed;
@@ -437,10 +440,11 @@ TEST(IncrementalEquivalence, RandomEditSequences) {
 TEST(IncrementalEquivalence, LongEffectOnlySequencesStayIncremental) {
   // With only tier-1/2 deltas enabled the session must never fall back to
   // a full rebuild, across a long run.
+  const std::uint64_t Base = testseed::baseSeed(1);
   for (unsigned Shape = 0; Shape != 5; ++Shape) {
-    AnalysisSession S(makeShape(Shape, 42));
+    AnalysisSession S(makeShape(Shape, Base + 41));
     synth::EditGenConfig Cfg;
-    Cfg.Seed = 1234 + Shape;
+    Cfg.Seed = Base * 1234 + Shape;
     Cfg.AllowUniverse = false;
     synth::EditGen Gen(Cfg);
     for (unsigned I = 0; I != 40; ++I) {
@@ -455,3 +459,5 @@ TEST(IncrementalEquivalence, LongEffectOnlySequencesStayIncremental) {
 }
 
 } // namespace
+
+IPSE_SEEDED_TEST_MAIN()

@@ -34,6 +34,7 @@
 #include "synth/ProgramGen.h"
 
 #include "SolverMatrix.h"
+#include "TestSeed.h"
 
 #include <gtest/gtest.h>
 
@@ -122,7 +123,8 @@ void expectValidSchedule(const graph::Digraph &G) {
 }
 
 TEST(LevelSchedule, InvariantsHoldOnRandomPrograms) {
-  for (std::uint64_t Seed = 1; Seed <= 20; ++Seed) {
+  const std::uint64_t Base = testseed::baseSeed(1);
+  for (std::uint64_t Seed = Base; Seed != Base + 20; ++Seed) {
     synth::ProgramGenConfig Cfg;
     Cfg.Seed = Seed;
     Cfg.NumProcs = 25;
@@ -265,8 +267,9 @@ const DiffShape DiffShapes[] = {
 TEST(ParallelDifferential, RandomPrograms) {
   // 6 shapes × 17 seeds = 102 programs, each checked for MOD and USE at
   // thread counts 1/2/4/8 against the sequential analyzer and the oracle.
+  const std::uint64_t Base = testseed::baseSeed(1);
   for (const DiffShape &Shape : DiffShapes)
-    for (std::uint64_t Seed = 1; Seed <= 17; ++Seed) {
+    for (std::uint64_t Seed = Base; Seed != Base + 17; ++Seed) {
       synth::ProgramGenConfig Cfg = Shape.Base;
       Cfg.Seed = Seed;
       Program P = graph::eliminateUnreachable(synth::generateProgram(Cfg));
@@ -415,8 +418,9 @@ TEST(ParallelDifferential, MatchesIncrementalSessionAfterReplayedEdits) {
   // 5 shapes × 6 seeds, 10 random edits each (all tiers enabled): the
   // session's delta-maintained results and a fresh parallel solve of the
   // edited program must coincide bit-for-bit.
+  const std::uint64_t Base = testseed::baseSeed(1);
   for (unsigned Shape = 0; Shape != 5; ++Shape)
-    for (std::uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    for (std::uint64_t Seed = Base; Seed != Base + 6; ++Seed) {
       incremental::AnalysisSession S(makeSessionShape(Shape, Seed));
       synth::EditGenConfig Cfg;
       Cfg.Seed = Seed * 977 + Shape;
@@ -569,3 +573,5 @@ TEST(ParallelService, AnalysisThreadsOptionIsAnswerInvisible) {
 }
 
 } // namespace
+
+IPSE_SEEDED_TEST_MAIN()

@@ -374,6 +374,129 @@ TEST(TenantDurable, WarmRestartFaultsInWithoutResolve) {
 }
 
 //===----------------------------------------------------------------------===//
+// Demand-driven tenants: partial snapshots, solve-free fault-in.
+//===----------------------------------------------------------------------===//
+
+TEST(TenantDemand, DemandTenantsMatchSessionTenants) {
+  TenantOptions Opts;
+  Opts.Shards = 1;
+  Opts.DemandFaultIn = true;
+  TenantService Svc(Opts);
+
+  ASSERT_TRUE(Svc.call("", "open acme procs=10 globals=5 seed=7").Ok);
+  Oracle Model("procs=10 globals=5 seed=7");
+
+  // Interleave edits with queries so partial snapshots republish between
+  // invalidations; every answer must match the batch-backed oracle.
+  for (const std::string &L : tenantEditScript(3)) {
+    Response R = Svc.call("acme", L);
+    ASSERT_TRUE(R.Ok) << L << ": " << R.Error;
+    Model.apply(L);
+    R = Svc.call("acme", "gmod main");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Result, Model.query("gmod main")) << "after " << L;
+  }
+  for (const std::string &Q : tenantQueryScript(3)) {
+    Response R = Svc.call("acme", Q);
+    ASSERT_TRUE(R.Ok) << Q << ": " << R.Error;
+    EXPECT_TRUE(R.CheckOk) << Q;
+    EXPECT_EQ(R.Result, Model.query(Q)) << Q;
+  }
+
+  // The query verb answers from the demand region too.
+  Response R = Svc.call("acme", "query main p1");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Result, Model.query("query main p1"));
+}
+
+TEST(TenantDemand, FaultInAnswersFromPartialRegion) {
+  std::string Dir = freshDir("demand_restart");
+  std::string PreGmod, PreQuery;
+  {
+    TenantOptions Opts;
+    Opts.Shards = 2;
+    Opts.DataDir = Dir;
+    Opts.DemandFaultIn = true;
+    TenantService Svc(Opts);
+    ASSERT_TRUE(Svc.call("", "open acme procs=12 globals=5 seed=21").Ok);
+    for (const std::string &L : tenantEditScript(2))
+      ASSERT_TRUE(Svc.call("acme", L).Ok);
+    Response R = Svc.call("acme", "gmod xq1");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    PreGmod = R.Result;
+    R = Svc.call("acme", "query main xq0");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    PreQuery = R.Result;
+    R = Svc.call("acme", "check");
+    ASSERT_TRUE(R.Ok && R.CheckOk) << R.Error;
+    Svc.stop();
+  }
+  {
+    TenantOptions Opts;
+    Opts.Shards = 2;
+    Opts.DataDir = Dir;
+    Opts.DemandFaultIn = true;
+    TenantService Svc(Opts);
+    EXPECT_TRUE(Svc.hasTenant("acme"));
+    EXPECT_EQ(Svc.residentCount(), 0u); // lazy: fault in on first touch
+
+    // The first query after fault-in solves only its region; the answer
+    // still matches the pre-restart full-plane one byte for byte.
+    Response R = Svc.call("acme", "gmod xq1");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Result, PreGmod);
+    EXPECT_EQ(R.Generation, 8u); // 2 rounds x 4 edits, preserved
+    EXPECT_EQ(Svc.counters().FaultIns, 1u);
+    R = Svc.call("acme", "query main xq0");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Result, PreQuery);
+    R = Svc.call("acme", "check");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.CheckOk);
+  }
+}
+
+TEST(TenantDemand, EvictionChurnKeepsDemandAnswersExact) {
+  std::string Dir = freshDir("demand_churn");
+  TenantOptions Opts;
+  Opts.Shards = 2;
+  Opts.DataDir = Dir;
+  Opts.DemandFaultIn = true;
+  Opts.MaxResident = 1; // two tenants through one seat: every switch evicts
+  Opts.CompactWalRecords = 4;
+  TenantService Svc(Opts);
+
+  ASSERT_TRUE(Svc.call("", "open left procs=8 globals=4 seed=31").Ok);
+  ASSERT_TRUE(Svc.call("", "open right procs=9 globals=4 seed=32").Ok);
+  Oracle Left("procs=8 globals=4 seed=31"), Right("procs=9 globals=4 seed=32");
+
+  for (unsigned Round = 0; Round != 3; ++Round) {
+    std::string S = std::to_string(Round);
+    for (auto [Name, Model] :
+         {std::pair<const char *, Oracle *>{"left", &Left},
+          std::pair<const char *, Oracle *>{"right", &Right}}) {
+      Response R;
+      for (const std::string &Edit :
+           {"add-global cg" + S, "add-proc cq" + S + " main",
+            "add-stmt cq" + S, "add-mod cq" + S + " 0 cg" + S}) {
+        R = Svc.call(Name, Edit);
+        ASSERT_TRUE(R.Ok) << Name << ": " << Edit << ": " << R.Error;
+        Model->apply(Edit);
+      }
+      for (const std::string &Q :
+           {std::string("gmod main"), std::string("query main p1"),
+            std::string("guse p2"), std::string("gmod cq" + S)}) {
+        R = Svc.call(Name, Q);
+        ASSERT_TRUE(R.Ok) << Name << ": " << Q << ": " << R.Error;
+        EXPECT_EQ(R.Result, Model->query(Q)) << Name << " round " << S;
+      }
+    }
+  }
+  EXPECT_GT(Svc.counters().Evictions, 0u);
+  EXPECT_GT(Svc.counters().FaultIns, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // The differential storm: many tenants, many clients, forced eviction.
 //===----------------------------------------------------------------------===//
 

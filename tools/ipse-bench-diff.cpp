@@ -109,6 +109,10 @@ std::string identObserve(const JsonObject &Row) {
   return Engine + "/" + Shape + "/" + Phase;
 }
 
+std::string identDemand(const JsonObject &Row) {
+  return field(Row, "shape");
+}
+
 std::string identService(const JsonObject &Row) {
   std::string Shape = field(Row, "shape"), W = field(Row, "workers");
   return Shape.empty() || W.empty() ? "" : Shape + "/w" + W;
@@ -134,6 +138,15 @@ const RowSpec Specs[] = {
     {"observe", identObserve,
      {{"wall_ns", false, 0.75, 250000.0}, {"bv_ops", false, 0.02, 64.0}}},
     {"service", identService, {{"qps", true, 0.50, 4000.0}}},
+    // cold_query_us is the demand engine's promise (O(region) first
+    // answers); region_procs is a deterministic closure size, so it gates
+    // tight like the bit-vector op counts — growth means the region
+    // computation itself changed.
+    {"demand", identDemand,
+     {{"cold_query_us", false, 0.75, 25.0},
+      {"warm_query_us", false, 0.75, 1.0},
+      {"batch_us", false, 0.75, 500.0},
+      {"region_procs", false, 0.02, 8.0}}},
     // recovery_ms is the warm-restart promise; snapshot_mbps the decode
     // bandwidth.  Both are I/O-bound on shared runners, so they gate as
     // loosely as the other wall-clock metrics.

@@ -77,8 +77,9 @@ namespace {
       "  report [--rmod] [--no-use] [--engine=E] [--parallel[=K]]\n"
       "         [--profile] [--trace-out=FILE] [--trace-format=F] <file>\n"
       "                                      MOD/USE summary report\n"
-      "                                      (--engine: sequential, parallel\n"
-      "                                      or session; --parallel[=K]:\n"
+      "                                      (--engine: sequential, parallel,\n"
+      "                                      session or demand;\n"
+      "                                      --parallel[=K]:\n"
       "                                      the parallel engine on K lanes,\n"
       "                                      default 4; the report is byte-\n"
       "                                      identical on every engine.\n"
@@ -94,10 +95,24 @@ namespace {
       "  generate [--seed N] [--procs N] [--globals N] [--depth N]\n"
       "                                      emit a random MiniProc program\n"
       "  roundtrip <file>                    compile -> emit -> recompile\n"
-      "  session [--profile] [--trace-out=FILE] [--trace-format=F] <script>\n"
+      "  session [--engine=E] [--profile] [--trace-out=FILE]\n"
+      "          [--trace-format=F] <script>\n"
       "                                      drive an incremental analysis\n"
       "                                      session ('-' reads stdin; see\n"
-      "                                      'session' section of README)\n"
+      "                                      'session' section of README;\n"
+      "                                      --engine=demand runs the script\n"
+      "                                      against a demand-driven session\n"
+      "                                      that solves only queried\n"
+      "                                      regions)\n"
+      "  query (--program <file> | --gen k=v[,k=v...]) [--engine=E]\n"
+      "        [--stats] <proc|proc#k> ...\n"
+      "                                      demand-driven one-shot query:\n"
+      "                                      GMOD for each named procedure,\n"
+      "                                      DMOD for each proc#k call site,\n"
+      "                                      solving only the region the\n"
+      "                                      queries reach (--engine=demand\n"
+      "                                      is the default here; --stats\n"
+      "                                      appends region/memo counters)\n"
       "  serve (--program <file> | --gen k=v[,k=v...] | --data-dir DIR)\n"
       "        [--port N] [--workers N] [--queue N] [--batch N]\n"
       "        [--stats-ms N] [--no-use] [--parallel[=K]]\n"
@@ -217,6 +232,8 @@ struct CommonFlags {
           Opts.Threads = 4;
       } else if (Name == "session")
         Opts.Backend = Engine::Session;
+      else if (Name == "demand")
+        Opts.Backend = Engine::Demand;
       else {
         std::fprintf(stderr, "error: unknown engine '%s'\n", Name.c_str());
         std::exit(2);
@@ -489,6 +506,81 @@ int cmdSession(const std::vector<std::string> &Args) {
     std::fputs(Costs.toText().c_str(), stdout);
   }
   return Exit;
+}
+
+//===----------------------------------------------------------------------===//
+// query: one-shot demand-driven queries over a program.
+//===----------------------------------------------------------------------===//
+
+Program buildInitialProgram(const std::string &ProgramPath,
+                            const std::string &GenSpec);
+
+int cmdQuery(const std::vector<std::string> &Args) {
+  std::string ProgramPath, GenSpec;
+  bool PrintStats = false;
+  CommonFlags F;
+  // Demand is the point of this command; --engine can still force another
+  // engine to cross-check answers.
+  F.Opts.Backend = ipse::AnalysisOptions::Engine::Demand;
+  std::vector<std::string> Operands;
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    auto strArg = [&]() -> std::string {
+      if (I + 1 >= Args.size())
+        usage();
+      return Args[++I];
+    };
+    if (Args[I] == "--program")
+      ProgramPath = strArg();
+    else if (Args[I] == "--gen")
+      GenSpec = strArg();
+    else if (Args[I] == "--stats")
+      PrintStats = true;
+    else if (F.parse(Args[I]))
+      ;
+    else
+      Operands.push_back(Args[I]);
+  }
+  if (Operands.empty() || ProgramPath.empty() == GenSpec.empty())
+    usage();
+  F.finish();
+
+  Program P = buildInitialProgram(ProgramPath, GenSpec);
+  service::ScriptCommand Cmd;
+  Cmd.Kind = service::ScriptCommand::Op::Query;
+  Cmd.Args = Operands;
+  Cmd.LineNo = 1;
+
+  ipse::Analyzer An(F.Opts);
+  try {
+    if (F.Opts.resolved() == ipse::AnalysisOptions::Engine::Demand) {
+      std::unique_ptr<demand::DemandSession> D = An.open_demand(std::move(P));
+      service::DemandSessionQueryTarget Target(*D);
+      service::QueryResult R = service::evalQueryCommand(Target, Cmd);
+      std::printf("%s\n", R.Text.c_str());
+      if (PrintStats) {
+        const demand::DemandStats &St = D->stats();
+        std::printf("region-solves %llu  region-procs %llu  memo-hits %llu"
+                    "  covered %zu/%zu\n",
+                    (unsigned long long)St.RegionSolves,
+                    (unsigned long long)St.RegionProcs,
+                    (unsigned long long)St.MemoHits,
+                    D->coveredCount(analysis::EffectKind::Mod),
+                    D->program().numProcs());
+      }
+    } else {
+      // Cross-check path: any batch/session engine through the same
+      // rendering, so outputs diff cleanly against demand.
+      std::unique_ptr<incremental::AnalysisSession> S =
+          An.open_session(std::move(P));
+      service::SessionQueryTarget Target(*S);
+      service::QueryResult R = service::evalQueryCommand(Target, Cmd);
+      std::printf("%s\n", R.Text.c_str());
+    }
+  } catch (const service::ScriptError &E) {
+    std::fprintf(stderr, "error: %s\n", E.Message.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -906,6 +998,8 @@ int main(int argc, char **argv) {
     return cmdRoundtrip(Args);
   if (Cmd == "session")
     return cmdSession(Args);
+  if (Cmd == "query")
+    return cmdQuery(Args);
   if (Cmd == "serve")
     return cmdServe(Args);
   if (Cmd == "client")
