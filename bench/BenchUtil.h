@@ -36,7 +36,7 @@ struct PipelineInput {
   std::unique_ptr<graph::BindingGraph> BG;
   std::unique_ptr<analysis::LocalEffects> Local;
   analysis::RModResult RMod;
-  std::vector<BitVector> IModPlus;
+  std::vector<EffectSet> IModPlus;
 
   explicit PipelineInput(ir::Program Prog) : P(std::move(Prog)) {
     Masks = std::make_unique<analysis::VarMasks>(P);

@@ -47,11 +47,11 @@ void BM_FindGMod(benchmark::State &State) {
   PipelineInput In = fortranInput(static_cast<unsigned>(State.range(0)));
   std::uint64_t Words = 0;
   for (auto _ : State) {
-    BitVector::resetOpCount();
+    EffectSet::resetOpCount();
     analysis::GModResult R =
         analysis::solveGMod(In.P, *In.CG, *In.Masks, In.IModPlus);
     benchmark::DoNotOptimize(R);
-    Words = BitVector::opCount();
+    Words = EffectSet::opCount();
   }
   State.counters["words"] = static_cast<double>(Words);
   // Bit-vector *steps* (vector-level operations): the unit of Theorem 2.
@@ -66,11 +66,11 @@ void BM_RoundRobin(benchmark::State &State) {
   PipelineInput In = fortranInput(static_cast<unsigned>(State.range(0)));
   std::uint64_t Words = 0, Rounds = 0;
   for (auto _ : State) {
-    BitVector::resetOpCount();
+    EffectSet::resetOpCount();
     baselines::IterativeResult R =
         baselines::solveIterative(In.P, *In.CG, *In.Masks, *In.Local);
     benchmark::DoNotOptimize(R);
-    Words = BitVector::opCount();
+    Words = EffectSet::opCount();
     Rounds = R.Rounds;
   }
   State.counters["words"] = static_cast<double>(Words);
@@ -85,11 +85,11 @@ void BM_Worklist(benchmark::State &State) {
   PipelineInput In = fortranInput(static_cast<unsigned>(State.range(0)));
   std::uint64_t Words = 0;
   for (auto _ : State) {
-    BitVector::resetOpCount();
+    EffectSet::resetOpCount();
     baselines::IterativeResult R =
         baselines::solveWorklist(In.P, *In.CG, *In.Masks, *In.Local);
     benchmark::DoNotOptimize(R);
-    Words = BitVector::opCount();
+    Words = EffectSet::opCount();
   }
   State.counters["words"] = static_cast<double>(Words);
   State.SetComplexityN(State.range(0));
@@ -100,11 +100,11 @@ void BM_SwiftTwoPhase(benchmark::State &State) {
   PipelineInput In = fortranInput(static_cast<unsigned>(State.range(0)));
   std::uint64_t Words = 0;
   for (auto _ : State) {
-    BitVector::resetOpCount();
+    EffectSet::resetOpCount();
     baselines::SwiftResult R =
         baselines::solveSwift(In.P, *In.CG, *In.Masks, *In.Local);
     benchmark::DoNotOptimize(R);
-    Words = BitVector::opCount();
+    Words = EffectSet::opCount();
   }
   State.counters["words"] = static_cast<double>(Words);
   State.SetComplexityN(State.range(0));

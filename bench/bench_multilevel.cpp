@@ -38,11 +38,11 @@ void BM_Repeated_DepthSweep(benchmark::State &State) {
       nestedInput(static_cast<unsigned>(State.range(0)), 256);
   std::uint64_t Words = 0;
   for (auto _ : State) {
-    BitVector::resetOpCount();
+    EffectSet::resetOpCount();
     analysis::GModResult R = analysis::solveMultiLevelRepeated(
         In.P, *In.CG, *In.Masks, In.IModPlus);
     benchmark::DoNotOptimize(R);
-    Words = BitVector::opCount();
+    Words = EffectSet::opCount();
   }
   State.counters["dP"] = static_cast<double>(In.P.maxProcLevel());
   State.counters["N"] = static_cast<double>(In.P.numProcs());
@@ -55,11 +55,11 @@ void BM_Combined_DepthSweep(benchmark::State &State) {
       nestedInput(static_cast<unsigned>(State.range(0)), 256);
   std::uint64_t Words = 0;
   for (auto _ : State) {
-    BitVector::resetOpCount();
+    EffectSet::resetOpCount();
     analysis::GModResult R = analysis::solveMultiLevelCombined(
         In.P, *In.CG, *In.Masks, In.IModPlus);
     benchmark::DoNotOptimize(R);
-    Words = BitVector::opCount();
+    Words = EffectSet::opCount();
   }
   State.counters["dP"] = static_cast<double>(In.P.maxProcLevel());
   State.counters["N"] = static_cast<double>(In.P.numProcs());

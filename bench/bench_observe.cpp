@@ -18,7 +18,7 @@
 //
 //  The acceptance gate is overhead_pct < 2 for every engine (spans sit at
 //  phase granularity, so the span count per run is a small constant; the
-//  only per-word cost is the BitVector op counter, which is compiled in
+//  only per-word cost is the EffectSet op counter, which is compiled in
 //  for both cells here).  Comparing an IPSE_OBSERVE=OFF *build* against ON
 //  is a separate two-build experiment; this benchmark measures the
 //  scope-installed vs dormant gap inside one ON build, which is the cost a

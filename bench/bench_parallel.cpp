@@ -10,17 +10,23 @@
 // times the full MOD pipeline once per cell — the sequential engine and
 // every thread count back to back — so host noise and clock drift hit all
 // cells of a shape alike instead of biasing whichever ran last.  Each cell
-// keeps its minimum over `Reps` and emits one JSON line:
+// keeps its minimum over `Reps` and emits one JSON line keyed by "mode":
 //
-//   {"shape":"fortran-2000","procs":2001,"threads":4,"wall_ms":48.1,
-//    "seq_ms":55.9,"speedup_vs_seq":1.16,"overhead_vs_seq_pct":-13.9,
-//    "levels":7,"components":2001,"widest_level":1204,"reps":5}
+//   {"shape":"fortran-2000","mode":"k4","procs":2001,"threads":4,
+//    "wall_ms":48.1,"seq_ms":55.9,"speedup_vs_seq":1.16,
+//    "overhead_vs_seq_pct":-13.9,"levels":7,"components":2001,
+//    "widest_level":1204,"reps":5}
 //
-// threads=0 is the sequential engine itself (the baseline row).  The
+// mode "seq" is the sequential engine itself (the baseline row); "k1",
+// "k2", "k4", "k8" are the parallel engine at that lane count.  The
 // speedup column is seq_ms / wall_ms; overhead_vs_seq_pct is the signed
-// percentage by which the cell is *slower* than sequential — the
-// acceptance gate is that the threads=1 row stays <= 5%, since the K=1
-// configuration runs the same kernels inline with no pool at all.
+// percentage by which the cell is *slower* than sequential.  After the
+// per-mode rows each shape emits one "summary" row carrying speedup_k4 —
+// the median of per-rep paired seq/k4 ratios (robust against host drift
+// in a way a ratio of independent minima is not) and the headline ratio
+// ipse-bench-diff hard-gates: with the adaptive
+// scheduler (per-level fan-out decisions, lazy worker spawn), asking for
+// K=4 must never lose to the sequential engine, on any host.
 //
 // Shapes cover the schedule spectrum: wide FORTRAN-style programs (many
 // components per level — the parallel-friendly regime), a deep chain (one
@@ -28,9 +34,11 @@
 // giant cycle (one SCC — no level parallelism, the representative fast
 // path carries it), and a nested tower (multi-level filters on β).
 //
-// On a single-CPU host every lane shares one core, so speedup is expected
-// to be flat (~1.0); the meaningful single-core signals are the threads=1
-// overhead and the absence of a cliff at higher K.  See EXPERIMENTS.md E9.
+// On a single-CPU host the adaptive schedule inlines every level (one
+// real lane means a handoff can only add latency), so every K row tracks
+// sequential and speedup_k4 sits at ~1.0; on a many-core host the wide
+// shapes fan out and speedup_k4 rises above it.  Either way the gate
+// holds — that is the point of the scheduler.  See EXPERIMENTS.md E9.
 //
 //===----------------------------------------------------------------------===//
 
@@ -49,7 +57,7 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-constexpr unsigned Reps = 25;
+constexpr unsigned Reps = 41;
 
 struct Shape {
   const char *Name;
@@ -63,6 +71,20 @@ double timeOnceMs(const std::function<void()> &Fn) {
       .count();
 }
 
+/// One timed sample: \p Inner back-to-back solves, reported per solve.
+/// Small shapes finish in tens of microseconds, where a single solve is
+/// all scheduler jitter and cache luck; batching enough solves that every
+/// sample covers ~1ms of real work is what makes the summary ratios (and
+/// the hard gate sitting on them) stable run to run.
+double timeBatchMs(unsigned Inner, const std::function<void()> &Fn) {
+  Clock::time_point Start = Clock::now();
+  for (unsigned I = 0; I != Inner; ++I)
+    Fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+             .count() /
+         Inner;
+}
+
 void runShape(const Shape &Sh) {
   const ir::Program &P = Sh.P;
   constexpr unsigned Ks[] = {1u, 2u, 4u, 8u};
@@ -72,46 +94,99 @@ void runShape(const Shape &Sh) {
   double ParMs[NumKs] = {};
   parallel::GModScheduleStats Stats[NumKs];
 
+  // Calibrate the per-sample batch off one warm-up solve (which also pages
+  // the program in before measurement starts).
+  double CalMs = timeOnceMs([&] {
+    analysis::SideEffectAnalyzer An(P);
+    (void)An.gmod(P.main());
+  });
+  unsigned Inner = 1;
+  if (CalMs < 4.0)
+    Inner = (unsigned)(4.0 / (CalMs > 0.005 ? CalMs : 0.005)) + 1;
+
   // One measurement window per shape: every rep runs all five cells in a
-  // row, each cell keeping its own minimum.
-  for (unsigned R = 0; R != Reps; ++R) {
-    double Ms = timeOnceMs([&] {
+  // row, each cell keeping its own minimum.  The summary ratio is instead
+  // the median of *per-rep paired* seq/k4 ratios: the two cells of a pair
+  // run back to back (in alternating order, seq-first on even reps and
+  // k4-first on odd ones), so host-wide drift — frequency steps, noisy
+  // neighbours, scheduler episodes — hits both sides of a ratio alike and
+  // cancels, and whatever bias remains against the cell that runs second
+  // flips sign every rep and drops out of the median.
+  auto MeasureSeq = [&] {
+    return timeBatchMs(Inner, [&] {
       analysis::SideEffectAnalyzer An(P);
       (void)An.gmod(P.main());
     });
-    if (R == 0 || Ms < SeqMs)
-      SeqMs = Ms;
-    for (std::size_t KI = 0; KI != NumKs; ++KI) {
-      Ms = timeOnceMs([&] {
-        parallel::ParallelAnalyzerOptions Opts;
-        Opts.Threads = Ks[KI];
-        // Measure raw K: the small-program floor would silently turn
-        // every row below the threshold into a K=1 rerun.
-        Opts.SmallProgramThreshold = 0;
-        parallel::ParallelAnalyzer An(P, Opts);
-        Stats[KI] = An.scheduleStats();
-      });
-      if (R == 0 || Ms < ParMs[KI])
-        ParMs[KI] = Ms;
+  };
+  auto MeasureK = [&](std::size_t KI) {
+    return timeBatchMs(Inner, [&] {
+      parallel::ParallelAnalyzerOptions Opts;
+      Opts.Threads = Ks[KI];
+      // Measure raw K: the small-program floor would silently turn
+      // every row below the threshold into a K=1 rerun.
+      Opts.SmallProgramThreshold = 0;
+      parallel::ParallelAnalyzer An(P, Opts);
+      Stats[KI] = An.scheduleStats();
+    });
+  };
+  std::vector<double> K4Ratios;
+  K4Ratios.reserve(Reps);
+  for (unsigned R = 0; R != Reps; ++R) {
+    // Four slots per rep — the seq/k4 pair plus the other three lane
+    // counts — visited in an order rotated by the rep index, so no cell
+    // owns a fixed position (early slots run measurably colder, and a
+    // fixed order would bias the per-cell minima apart even though the
+    // cells execute identical code on a delegating host).
+    constexpr std::size_t Others[3] = {0, 1, 3}; // k1, k2, k8
+    for (unsigned Slot = 0; Slot != 4; ++Slot) {
+      const unsigned Which = (Slot + R) % 4;
+      if (Which == 0) {
+        double RepSeqMs, K4Ms;
+        if (R % 2 == 0) {
+          RepSeqMs = MeasureSeq();
+          K4Ms = MeasureK(2);
+        } else {
+          K4Ms = MeasureK(2);
+          RepSeqMs = MeasureSeq();
+        }
+        if (R == 0 || RepSeqMs < SeqMs)
+          SeqMs = RepSeqMs;
+        if (R == 0 || K4Ms < ParMs[2])
+          ParMs[2] = K4Ms;
+        K4Ratios.push_back(RepSeqMs / K4Ms);
+      } else {
+        const std::size_t KI = Others[(Which - 1 + R) % 3];
+        double Ms = MeasureK(KI);
+        if (R == 0 || Ms < ParMs[KI])
+          ParMs[KI] = Ms;
+      }
     }
   }
+  std::sort(K4Ratios.begin(), K4Ratios.end());
+  double SpeedupK4 = K4Ratios[K4Ratios.size() / 2];
 
-  std::printf("{\"shape\":\"%s\",\"procs\":%u,\"threads\":0,"
+  std::printf("{\"shape\":\"%s\",\"mode\":\"seq\",\"procs\":%u,\"threads\":0,"
               "\"wall_ms\":%.2f,\"seq_ms\":%.2f,\"speedup_vs_seq\":1.00,"
               "\"overhead_vs_seq_pct\":0.0,\"levels\":0,\"components\":0,"
               "\"widest_level\":0,\"reps\":%u}\n",
               Sh.Name, (unsigned)P.numProcs(), SeqMs, SeqMs, Reps);
   for (std::size_t KI = 0; KI != NumKs; ++KI) {
     std::printf(
-        "{\"shape\":\"%s\",\"procs\":%u,\"threads\":%u,\"wall_ms\":%.2f,"
+        "{\"shape\":\"%s\",\"mode\":\"k%u\",\"procs\":%u,\"threads\":%u,"
+        "\"wall_ms\":%.2f,"
         "\"seq_ms\":%.2f,\"speedup_vs_seq\":%.2f,"
         "\"overhead_vs_seq_pct\":%.1f,\"levels\":%u,\"components\":%u,"
         "\"widest_level\":%u,\"reps\":%u}\n",
-        Sh.Name, (unsigned)P.numProcs(), Ks[KI], ParMs[KI], SeqMs,
+        Sh.Name, Ks[KI], (unsigned)P.numProcs(), Ks[KI], ParMs[KI], SeqMs,
         SeqMs / ParMs[KI], (ParMs[KI] - SeqMs) / SeqMs * 100.0,
         (unsigned)Stats[KI].Levels, (unsigned)Stats[KI].Components,
         (unsigned)Stats[KI].WidestLevel, Reps);
   }
+  // The headline row: K=4 against sequential, the ratio the diff tool
+  // hard-gates (>= 1 up to noise tolerance, never warn-only).
+  std::printf("{\"shape\":\"%s\",\"mode\":\"summary\",\"procs\":%u,"
+              "\"speedup_k4\":%.3f,\"reps\":%u}\n",
+              Sh.Name, (unsigned)P.numProcs(), SpeedupK4, Reps);
   std::fflush(stdout);
 }
 
@@ -127,7 +202,11 @@ int main() {
   Shapes.push_back({"cycle-800", synth::makeCycleProgram(800, 2)});
   Shapes.push_back(
       {"layered-6x80", synth::makeLayeredProgram(6, 80, 3, 2, 64, 7)});
-  Shapes.push_back({"nested-6x4", synth::makeNestedProgram(6, 4, 11)});
+  // Deep enough for dP = 8 multi-level filters, wide enough (~320 procs)
+  // that the solve is measured in hundreds of microseconds — a tower of 25
+  // procedures finishes in ~20us, where the ratio measures the analyzers'
+  // constant setup cost instead of the scheduler.
+  Shapes.push_back({"nested-8x40", synth::makeNestedProgram(8, 40, 11)});
   for (const Shape &Sh : Shapes)
     runShape(Sh);
   return 0;

@@ -138,7 +138,7 @@ void BM_Phase_GMod(benchmark::State &State) {
   graph::BindingGraph BG(P);
   analysis::LocalEffects Local(P, Masks, analysis::EffectKind::Mod);
   analysis::RModResult R = analysis::solveRMod(P, BG, Local);
-  std::vector<BitVector> Plus = analysis::computeIModPlus(P, Local, R);
+  std::vector<EffectSet> Plus = analysis::computeIModPlus(P, Local, R);
   for (auto _ : State) {
     analysis::GModResult G = analysis::solveGMod(P, CG, Masks, Plus);
     benchmark::DoNotOptimize(G);

@@ -77,12 +77,12 @@ void BM_SwiftBitVector_Chain(benchmark::State &State) {
   PipelineInput In = chainInput(static_cast<unsigned>(State.range(0)), 3);
   std::uint64_t BvSteps = 0, Words = 0;
   for (auto _ : State) {
-    BitVector::resetOpCount();
+    EffectSet::resetOpCount();
     baselines::SwiftRModResult R =
         baselines::solveSwiftRMod(In.P, *In.CG, *In.Masks, *In.Local);
     benchmark::DoNotOptimize(R);
     BvSteps = R.BitVectorSteps;
-    Words = BitVector::opCount();
+    Words = EffectSet::opCount();
   }
   State.counters["bvsteps"] = static_cast<double>(BvSteps);
   State.counters["words"] = static_cast<double>(Words);

@@ -42,14 +42,14 @@ double msSince(std::chrono::steady_clock::time_point Start) {
 }
 
 /// Times one solver and verifies its GMOD result against the reference.
-void run(const char *Name, const std::vector<BitVector> *Reference,
-         const std::function<std::vector<BitVector>()> &Solve,
-         std::vector<BitVector> *Out = nullptr) {
-  BitVector::resetOpCount();
+void run(const char *Name, const std::vector<EffectSet> *Reference,
+         const std::function<std::vector<EffectSet>()> &Solve,
+         std::vector<EffectSet> *Out = nullptr) {
+  EffectSet::resetOpCount();
   auto Start = std::chrono::steady_clock::now();
-  std::vector<BitVector> Result = Solve();
+  std::vector<EffectSet> Result = Solve();
   double Ms = msSince(Start);
-  std::uint64_t Words = BitVector::opCount();
+  std::uint64_t Words = EffectSet::opCount();
 
   bool Match = true;
   if (Reference)
@@ -110,22 +110,22 @@ int main(int argc, char **argv) {
                     : "** MISMATCH **");
   }
   {
-    BitVector::resetOpCount();
+    EffectSet::resetOpCount();
     auto Start = std::chrono::steady_clock::now();
     baselines::SwiftRModResult Swift =
         baselines::solveSwiftRMod(P, CG, Masks, Local);
     std::printf("  %-28s %10.2f ms   %12llu words           %s\n",
                 "swift-style bit vectors", msSince(Start),
-                static_cast<unsigned long long>(BitVector::opCount()),
+                static_cast<unsigned long long>(EffectSet::opCount()),
                 Swift.RMod.ModifiedFormals == Fig1.ModifiedFormals
                     ? "MATCHES"
                     : "** MISMATCH **");
   }
 
   // ---- GMOD phase. ----------------------------------------------------------
-  std::vector<BitVector> Plus = computeIModPlus(P, Local, Fig1);
+  std::vector<EffectSet> Plus = computeIModPlus(P, Local, Fig1);
   std::printf("\nGMOD (global variable problem):\n");
-  std::vector<BitVector> Reference;
+  std::vector<EffectSet> Reference;
   run("findgmod (Figure 2)", nullptr,
       [&] { return solveGMod(P, CG, Masks, Plus).GMod; }, &Reference);
   run("multi-level repeated", &Reference,

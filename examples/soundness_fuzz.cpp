@@ -38,7 +38,7 @@ using namespace ipse::ir;
 
 namespace {
 
-std::set<std::string> namesOf(const Program &P, const BitVector &BV) {
+std::set<std::string> namesOf(const Program &P, const EffectSet &BV) {
   std::set<std::string> Out;
   BV.forEachSetBit([&](std::size_t I) {
     Out.insert(qualifiedName(P, VarId(static_cast<std::uint32_t>(I))));

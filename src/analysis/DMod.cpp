@@ -10,15 +10,15 @@
 using namespace ipse;
 using namespace ipse::analysis;
 
-BitVector analysis::projectCallSite(const ir::Program &P, const VarMasks &Masks,
+EffectSet analysis::projectCallSite(const ir::Program &P, const VarMasks &Masks,
                                     const GModResult &GMod,
                                     ir::CallSiteId Site) {
   const ir::CallSite &C = P.callSite(Site);
   const ir::Procedure &Callee = P.proc(C.Callee);
-  const BitVector &G = GMod.of(C.Callee);
+  const EffectSet &G = GMod.of(C.Callee);
 
   // Pass-through of everything that outlives the callee's activation.
-  BitVector Out(P.numVars());
+  EffectSet Out(P.numVars());
   Out.orWithAndNot(G, Masks.local(C.Callee));
 
   // Formal-to-actual projection.
@@ -30,10 +30,10 @@ BitVector analysis::projectCallSite(const ir::Program &P, const VarMasks &Masks,
   return Out;
 }
 
-BitVector analysis::dmodOfStmt(const ir::Program &P, const VarMasks &Masks,
+EffectSet analysis::dmodOfStmt(const ir::Program &P, const VarMasks &Masks,
                                const GModResult &GMod, ir::StmtId S) {
   const ir::Statement &Stmt = P.stmt(S);
-  BitVector Out(P.numVars());
+  EffectSet Out(P.numVars());
   for (ir::VarId V : Stmt.LMod)
     Out.set(V.index());
   for (ir::CallSiteId C : Stmt.Calls)
@@ -41,14 +41,14 @@ BitVector analysis::dmodOfStmt(const ir::Program &P, const VarMasks &Masks,
   return Out;
 }
 
-BitVector analysis::modOfStmt(const ir::Program &P, const VarMasks &Masks,
+EffectSet analysis::modOfStmt(const ir::Program &P, const VarMasks &Masks,
                               const GModResult &GMod,
                               const ir::AliasInfo &Aliases, ir::StmtId S) {
-  const BitVector DMod = dmodOfStmt(P, Masks, GMod, S);
+  const EffectSet DMod = dmodOfStmt(P, Masks, GMod, S);
   ir::ProcId Proc = P.stmt(S).Parent;
   // One application of the pairs against DMOD(s): aliases of DMOD members
   // join MOD, but newly added variables do not trigger further pairs (§5).
-  BitVector Out = DMod;
+  EffectSet Out = DMod;
   for (const auto &[X, Y] : Aliases.pairs(Proc)) {
     if (DMod.test(X.index()))
       Out.set(Y.index());

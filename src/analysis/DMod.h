@@ -27,23 +27,23 @@
 #include "analysis/VarMasks.h"
 #include "ir/AliasInfo.h"
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 namespace ipse {
 namespace analysis {
 
 /// be(GMOD(q)) for one call site: the call's contribution to the DMOD of
 /// its enclosing statement.  O(|vars| / word + formals of q).
-BitVector projectCallSite(const ir::Program &P, const VarMasks &Masks,
+EffectSet projectCallSite(const ir::Program &P, const VarMasks &Masks,
                           const GModResult &GMod, ir::CallSiteId Site);
 
 /// DMOD(s) by equation (2).
-BitVector dmodOfStmt(const ir::Program &P, const VarMasks &Masks,
+EffectSet dmodOfStmt(const ir::Program &P, const VarMasks &Masks,
                      const GModResult &GMod, ir::StmtId S);
 
 /// MOD(s): DMOD(s) closed (one application) under ALIAS of the enclosing
 /// procedure (§5 step 2).  Linear in |DMOD(s)| + |ALIAS(p)|.
-BitVector modOfStmt(const ir::Program &P, const VarMasks &Masks,
+EffectSet modOfStmt(const ir::Program &P, const VarMasks &Masks,
                     const GModResult &GMod, const ir::AliasInfo &Aliases,
                     ir::StmtId S);
 

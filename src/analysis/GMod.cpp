@@ -23,7 +23,7 @@ using namespace ipse::graph;
 
 GModResult analysis::solveGMod(const ir::Program &P, const CallGraph &CG,
                                const VarMasks &Masks,
-                               const std::vector<BitVector> &IModPlus) {
+                               const std::vector<EffectSet> &IModPlus) {
   assert(P.maxProcLevel() <= 1 &&
          "findgmod handles two-level scoping; use MultiLevelGMod for nested "
          "programs");

@@ -34,7 +34,7 @@
 #include "analysis/VarMasks.h"
 #include "graph/CallGraph.h"
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <vector>
 
@@ -44,16 +44,16 @@ namespace analysis {
 /// The solution of the global-variable problem.
 struct GModResult {
   /// GMOD(p) per procedure, over all VarId indices.
-  std::vector<BitVector> GMod;
+  std::vector<EffectSet> GMod;
 
-  const BitVector &of(ir::ProcId P) const { return GMod[P.index()]; }
+  const EffectSet &of(ir::ProcId P) const { return GMod[P.index()]; }
 };
 
 /// Runs findgmod (Figure 2).  \p IModPlus must come from computeIModPlus.
 /// Requires a two-level program (P.maxProcLevel() <= 1); asserts otherwise.
 GModResult solveGMod(const ir::Program &P, const graph::CallGraph &CG,
                      const VarMasks &Masks,
-                     const std::vector<BitVector> &IModPlus);
+                     const std::vector<EffectSet> &IModPlus);
 
 } // namespace analysis
 } // namespace ipse

@@ -10,11 +10,11 @@
 using namespace ipse;
 using namespace ipse::analysis;
 
-BitVector analysis::computeIModPlusFor(const ir::Program &P,
-                                       const BitVector &ExtImod,
-                                       const BitVector &RModBits,
+EffectSet analysis::computeIModPlusFor(const ir::Program &P,
+                                       const EffectSet &ExtImod,
+                                       const EffectSet &RModBits,
                                        ir::ProcId Proc) {
-  BitVector Plus = ExtImod;
+  EffectSet Plus = ExtImod;
   for (ir::CallSiteId Site : P.proc(Proc).CallSites) {
     const ir::CallSite &C = P.callSite(Site);
     const ir::Procedure &Callee = P.proc(C.Callee);
@@ -29,10 +29,10 @@ BitVector analysis::computeIModPlusFor(const ir::Program &P,
   return Plus;
 }
 
-std::vector<BitVector> analysis::computeIModPlus(const ir::Program &P,
+std::vector<EffectSet> analysis::computeIModPlus(const ir::Program &P,
                                                  const LocalEffects &Local,
                                                  const RModResult &RMod) {
-  std::vector<BitVector> Plus;
+  std::vector<EffectSet> Plus;
   Plus.reserve(P.numProcs());
   for (std::uint32_t I = 0; I != P.numProcs(); ++I)
     Plus.push_back(Local.extended(ir::ProcId(I)));

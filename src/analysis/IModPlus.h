@@ -24,7 +24,7 @@
 #include "analysis/LocalEffects.h"
 #include "analysis/RMod.h"
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <vector>
 
@@ -34,7 +34,7 @@ namespace analysis {
 /// Computes IMOD+(p) for every procedure.  \p Local supplies the
 /// (nesting-extended) IMOD sets; \p RMod the solved formal-parameter
 /// problem.  O(size of the program).
-std::vector<BitVector> computeIModPlus(const ir::Program &P,
+std::vector<EffectSet> computeIModPlus(const ir::Program &P,
                                        const LocalEffects &Local,
                                        const RModResult &RMod);
 
@@ -43,8 +43,8 @@ std::vector<BitVector> computeIModPlus(const ir::Program &P,
 /// incremental engine uses when only a few procedures' inputs changed.
 /// \p RModBits has one bit per VarId index, set exactly for formals in
 /// RMOD of their owner.
-BitVector computeIModPlusFor(const ir::Program &P, const BitVector &ExtImod,
-                             const BitVector &RModBits, ir::ProcId Proc);
+EffectSet computeIModPlusFor(const ir::Program &P, const EffectSet &ExtImod,
+                             const EffectSet &RModBits, ir::ProcId Proc);
 
 } // namespace analysis
 } // namespace ipse

@@ -10,9 +10,9 @@
 using namespace ipse;
 using namespace ipse::analysis;
 
-BitVector LocalEffects::computeOwn(const ir::Program &P, std::size_t NumVars,
+EffectSet LocalEffects::computeOwn(const ir::Program &P, std::size_t NumVars,
                                    EffectKind Kind, ir::ProcId Proc) {
-  BitVector Own(NumVars);
+  EffectSet Own(NumVars);
   for (ir::StmtId S : P.proc(Proc).Stmts)
     for (ir::VarId Var : localList(P.stmt(S), Kind))
       Own.set(Var.index());
@@ -23,7 +23,7 @@ LocalEffects::LocalEffects(const ir::Program &P, const VarMasks &Masks,
                            EffectKind Kind)
     : Kind(Kind) {
   const std::size_t V = P.numVars();
-  Own.assign(P.numProcs(), BitVector(V));
+  Own.assign(P.numProcs(), EffectSet(V));
 
   for (std::uint32_t I = 0; I != P.numStmts(); ++I) {
     const ir::Statement &S = P.stmt(ir::StmtId(I));

@@ -28,7 +28,7 @@
 #include "analysis/EffectKind.h"
 #include "analysis/VarMasks.h"
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <vector>
 
@@ -42,11 +42,11 @@ public:
   LocalEffects(const ir::Program &P, const VarMasks &Masks, EffectKind Kind);
 
   /// IMOD(p) considering only statements literally in p's body.
-  const BitVector &own(ir::ProcId P) const { return Own[P.index()]; }
+  const EffectSet &own(ir::ProcId P) const { return Own[P.index()]; }
 
   /// The §3.3 nesting-extended IMOD(p).  Equal to own(p) when p nests no
   /// procedures.
-  const BitVector &extended(ir::ProcId P) const { return Ext[P.index()]; }
+  const EffectSet &extended(ir::ProcId P) const { return Ext[P.index()]; }
 
   /// True iff formal \p F is directly modified (used) within its owner's
   /// extended body — the IMOD(fp_i^p) node value of §3.2.
@@ -60,12 +60,12 @@ public:
   /// IMOD(p) from \p Proc's own body alone, recomputed from the program —
   /// the per-procedure re-propagation entry point the incremental engine
   /// uses after an LMOD/LUSE delta.  Equals own(Proc) on a fresh program.
-  static BitVector computeOwn(const ir::Program &P, std::size_t NumVars,
+  static EffectSet computeOwn(const ir::Program &P, std::size_t NumVars,
                               EffectKind Kind, ir::ProcId Proc);
 
 private:
-  std::vector<BitVector> Own;
-  std::vector<BitVector> Ext;
+  std::vector<EffectSet> Own;
+  std::vector<EffectSet> Ext;
   EffectKind Kind;
 };
 

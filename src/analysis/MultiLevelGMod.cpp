@@ -37,7 +37,7 @@ static unsigned levelOf(const ir::Program &P, NodeId N) {
 GModResult
 analysis::solveMultiLevelRepeated(const ir::Program &P, const CallGraph &CG,
                                   const VarMasks &Masks,
-                                  const std::vector<BitVector> &IModPlus) {
+                                  const std::vector<EffectSet> &IModPlus) {
   const Digraph &G = CG.graph();
   const std::size_t N = G.numNodes();
   const std::size_t V = P.numVars();
@@ -56,14 +56,14 @@ analysis::solveMultiLevelRepeated(const ir::Program &P, const CallGraph &CG,
     Sub.finalize();
 
     SccDecomposition Sccs = computeSccs(Sub);
-    const BitVector &Tracked = Masks.level(Level - 1);
+    const EffectSet &Tracked = Masks.level(Level - 1);
 
     // Reachability union over the condensation; SCC ids are already in
     // reverse topological order, so one increasing sweep suffices.
-    std::vector<BitVector> Soln(Sccs.numSccs(), BitVector(V));
-    BitVector Empty(V);
+    std::vector<EffectSet> Soln(Sccs.numSccs(), EffectSet(V));
+    EffectSet Empty(V);
     for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C) {
-      BitVector &S = Soln[C];
+      EffectSet &S = Soln[C];
       for (NodeId M : Sccs.Members[C]) {
         S.orWithIntersectMinus(IModPlus[M], Tracked, Empty);
         for (const Adjacency &A : Sub.succs(M)) {
@@ -83,7 +83,7 @@ analysis::solveMultiLevelRepeated(const ir::Program &P, const CallGraph &CG,
 GModResult
 analysis::solveMultiLevelCombined(const ir::Program &P, const CallGraph &CG,
                                   const VarMasks &Masks,
-                                  const std::vector<BitVector> &IModPlus) {
+                                  const std::vector<EffectSet> &IModPlus) {
   const Digraph &G = CG.graph();
   const std::size_t N = G.numNodes();
   const std::size_t V = P.numVars();
@@ -98,7 +98,7 @@ analysis::solveMultiLevelCombined(const ir::Program &P, const CallGraph &CG,
   // Below[L] = variables declared at levels 0..L-1.  The equation-(4)
   // filter across an edge whose callee sits at level L is exactly Below[L]
   // (everything shallower than the callee survives its return).
-  std::vector<BitVector> Below(DP + 1, BitVector(V));
+  std::vector<EffectSet> Below(DP + 1, EffectSet(V));
   for (unsigned L = 1; L <= DP; ++L) {
     Below[L] = Below[L - 1];
     Below[L].orWith(Masks.level(L - 1));

@@ -46,7 +46,7 @@
 #include "analysis/VarMasks.h"
 #include "graph/CallGraph.h"
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <vector>
 
@@ -57,13 +57,13 @@ namespace analysis {
 GModResult solveMultiLevelRepeated(const ir::Program &P,
                                    const graph::CallGraph &CG,
                                    const VarMasks &Masks,
-                                   const std::vector<BitVector> &IModPlus);
+                                   const std::vector<EffectSet> &IModPlus);
 
 /// O(E + dP N) variant: one DFS, lowlink vectors, parallel stacks.
 GModResult solveMultiLevelCombined(const ir::Program &P,
                                    const graph::CallGraph &CG,
                                    const VarMasks &Masks,
-                                   const std::vector<BitVector> &IModPlus);
+                                   const std::vector<EffectSet> &IModPlus);
 
 } // namespace analysis
 } // namespace ipse

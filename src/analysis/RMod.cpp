@@ -14,10 +14,10 @@ using namespace ipse::analysis;
 
 RModResult analysis::solveRModOnBits(const ir::Program &P,
                                      const graph::BindingGraph &BG,
-                                     const BitVector &FormalBits) {
+                                     const EffectSet &FormalBits) {
   assert(FormalBits.size() == P.numVars() && "formal bits over wrong universe");
   RModResult Result;
-  Result.ModifiedFormals = BitVector(P.numVars());
+  Result.ModifiedFormals = EffectSet(P.numVars());
   std::uint64_t Steps = 0;
 
   // Formals without a β node: RMOD bit = IMOD bit (no binding events).
@@ -77,7 +77,7 @@ RModResult analysis::solveRModOnBits(const ir::Program &P,
 RModResult analysis::solveRMod(const ir::Program &P,
                                const graph::BindingGraph &BG,
                                const LocalEffects &Local) {
-  BitVector FormalBits(P.numVars());
+  EffectSet FormalBits(P.numVars());
   for (std::uint32_t I = 0; I != P.numProcs(); ++I)
     for (ir::VarId F : P.proc(ir::ProcId(I)).Formals)
       if (Local.formalBit(P, F))

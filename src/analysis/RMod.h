@@ -30,7 +30,7 @@
 #include "analysis/LocalEffects.h"
 #include "graph/BindingGraph.h"
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 namespace ipse {
 namespace analysis {
@@ -39,7 +39,7 @@ namespace analysis {
 struct RModResult {
   /// One bit per VarId index; set exactly for the formals f with
   /// f ∈ RMOD(owner(f)).
-  BitVector ModifiedFormals;
+  EffectSet ModifiedFormals;
 
   /// Simple boolean steps the solver performed (for E1 measurements).
   std::uint64_t BooleanSteps = 0;
@@ -59,7 +59,7 @@ RModResult solveRMod(const ir::Program &P, const graph::BindingGraph &BG,
 /// object.  \p FormalBits has one bit per VarId index; only formal indices
 /// are consulted.  solveRMod() is this with bits drawn from \p Local.
 RModResult solveRModOnBits(const ir::Program &P, const graph::BindingGraph &BG,
-                           const BitVector &FormalBits);
+                           const EffectSet &FormalBits);
 
 } // namespace analysis
 } // namespace ipse

@@ -40,7 +40,7 @@ struct ReportOptions {
 /// Renders the report from finished engines.  \p Mod answers the MOD
 /// problem; \p Use (may be null iff !Options.IncludeUse) answers USE.
 /// Engines need gmod(ProcId), rmodContains(VarId), dmod(CallSiteId), and
-/// setToString(BitVector).  Deterministic: procedures in id order, sets
+/// setToString(EffectSet).  Deterministic: procedures in id order, sets
 /// sorted by qualified name.
 template <class ModEngine, class UseEngine>
 std::string renderReport(const ir::Program &P, ReportOptions Options,

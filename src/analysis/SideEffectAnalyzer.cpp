@@ -56,7 +56,7 @@ SideEffectAnalyzer::SideEffectAnalyzer(const ir::Program &P,
   }
 }
 
-std::string SideEffectAnalyzer::setToString(const BitVector &Set) const {
+std::string SideEffectAnalyzer::setToString(const EffectSet &Set) const {
   std::vector<std::string> Names;
   Set.forEachSetBit([&](std::size_t Idx) {
     Names.push_back(ir::qualifiedName(P, ir::VarId(

@@ -69,37 +69,37 @@ public:
 
   /// GMOD(p) (or GUSE(p)): every variable an invocation of p may modify
   /// (use).
-  const BitVector &gmod(ir::ProcId Proc) const { return GMod.of(Proc); }
+  const EffectSet &gmod(ir::ProcId Proc) const { return GMod.of(Proc); }
 
   /// True iff formal \p F is in RMOD of its owner.
   bool rmodContains(ir::VarId F) const { return RMod.contains(F); }
 
   /// IMOD+(p) (equation 5).
-  const BitVector &imodPlus(ir::ProcId Proc) const {
+  const EffectSet &imodPlus(ir::ProcId Proc) const {
     return IModPlus[Proc.index()];
   }
 
   /// The nesting-extended IMOD(p).
-  const BitVector &imod(ir::ProcId Proc) const {
+  const EffectSet &imod(ir::ProcId Proc) const {
     return Local->extended(Proc);
   }
 
   /// DMOD(s) (equation 2).
-  BitVector dmod(ir::StmtId S) const { return dmodOfStmt(P, Masks, GMod, S); }
+  EffectSet dmod(ir::StmtId S) const { return dmodOfStmt(P, Masks, GMod, S); }
 
   /// be(GMOD(q)) for one call site.
-  BitVector dmod(ir::CallSiteId C) const {
+  EffectSet dmod(ir::CallSiteId C) const {
     return projectCallSite(P, Masks, GMod, C);
   }
 
   /// MOD(s) under the given alias pairs (§5).
-  BitVector mod(ir::StmtId S, const ir::AliasInfo &Aliases) const {
+  EffectSet mod(ir::StmtId S, const ir::AliasInfo &Aliases) const {
     return modOfStmt(P, Masks, GMod, Aliases, S);
   }
 
   /// Renders a variable set as sorted "a, p.b, ..." text (for examples and
   /// debugging).
-  std::string setToString(const BitVector &Set) const;
+  std::string setToString(const EffectSet &Set) const;
 
   /// Shared building blocks, exposed for tests and benchmarks.
   const VarMasks &masks() const { return Masks; }
@@ -119,7 +119,7 @@ private:
   graph::BindingGraph BG;
   std::unique_ptr<LocalEffects> Local;
   RModResult RMod;
-  std::vector<BitVector> IModPlus;
+  std::vector<EffectSet> IModPlus;
   GModResult GMod;
 };
 

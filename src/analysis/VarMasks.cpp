@@ -12,9 +12,9 @@ using namespace ipse::analysis;
 
 VarMasks::VarMasks(const ir::Program &P) {
   const std::size_t V = P.numVars();
-  Locals.assign(P.numProcs(), BitVector(V));
-  Global = BitVector(V);
-  Levels.assign(P.maxProcLevel() + 1, BitVector(V));
+  Locals.assign(P.numProcs(), EffectSet(V));
+  Global = EffectSet(V);
+  Levels.assign(P.maxProcLevel() + 1, EffectSet(V));
 
   for (std::uint32_t I = 0; I != V; ++I) {
     ir::VarId Id(I);

@@ -16,7 +16,7 @@
 #define IPSE_ANALYSIS_VARMASKS_H
 
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <vector>
 
@@ -30,16 +30,16 @@ public:
 
   /// LOCAL(p): the formals and locals declared by \p P (the globals, for
   /// main).
-  const BitVector &local(ir::ProcId P) const {
+  const EffectSet &local(ir::ProcId P) const {
     return Locals[P.index()];
   }
 
   /// GLOBAL: all variables declared by main.
-  const BitVector &global() const { return Global; }
+  const EffectSet &global() const { return Global; }
 
   /// Variables declared at procedure nesting level \p Level (globals are
   /// level 0; a level-k procedure's formals and locals are level k).
-  const BitVector &level(unsigned Level) const {
+  const EffectSet &level(unsigned Level) const {
     assert(Level < Levels.size() && "bad nesting level");
     return Levels[Level];
   }
@@ -47,9 +47,9 @@ public:
   std::size_t numVars() const { return Global.size(); }
 
 private:
-  std::vector<BitVector> Locals;
-  BitVector Global;
-  std::vector<BitVector> Levels;
+  std::vector<EffectSet> Locals;
+  EffectSet Global;
+  std::vector<EffectSet> Levels;
 };
 
 } // namespace analysis

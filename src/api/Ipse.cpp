@@ -51,15 +51,15 @@ AnalysisOptions::Engine Analysis::engine() const { return I->Engine; }
 
 const observe::CostReport &Analysis::costs() const { return I->Costs; }
 
-const BitVector &Analysis::gmod(ir::ProcId Proc) const {
+const EffectSet &Analysis::gmod(ir::ProcId Proc) const {
   return gmod(Proc, EffectKind::Mod);
 }
 
-const BitVector &Analysis::guse(ir::ProcId Proc) const {
+const EffectSet &Analysis::guse(ir::ProcId Proc) const {
   return gmod(Proc, EffectKind::Use);
 }
 
-const BitVector &Analysis::gmod(ir::ProcId Proc, EffectKind Kind) const {
+const EffectSet &Analysis::gmod(ir::ProcId Proc, EffectKind Kind) const {
   assert((Kind == EffectKind::Mod || I->TrackUse) &&
          "USE queries need AnalysisOptions::TrackUse");
   switch (I->Engine) {
@@ -91,7 +91,7 @@ bool Analysis::rmodContains(ir::VarId Formal, EffectKind Kind) const {
   }
 }
 
-BitVector Analysis::dmod(ir::StmtId S) const {
+EffectSet Analysis::dmod(ir::StmtId S) const {
   switch (I->Engine) {
   case AnalysisOptions::Engine::Sequential:
     return I->SeqMod->dmod(S);
@@ -104,11 +104,11 @@ BitVector Analysis::dmod(ir::StmtId S) const {
   }
 }
 
-BitVector Analysis::dmod(ir::CallSiteId C) const {
+EffectSet Analysis::dmod(ir::CallSiteId C) const {
   return dmod(C, EffectKind::Mod);
 }
 
-BitVector Analysis::dmod(ir::CallSiteId C, EffectKind Kind) const {
+EffectSet Analysis::dmod(ir::CallSiteId C, EffectKind Kind) const {
   assert((Kind == EffectKind::Mod || I->TrackUse) &&
          "USE queries need AnalysisOptions::TrackUse");
   switch (I->Engine) {
@@ -123,7 +123,7 @@ BitVector Analysis::dmod(ir::CallSiteId C, EffectKind Kind) const {
   }
 }
 
-BitVector Analysis::mod(ir::StmtId S, const ir::AliasInfo &Aliases) const {
+EffectSet Analysis::mod(ir::StmtId S, const ir::AliasInfo &Aliases) const {
   switch (I->Engine) {
   case AnalysisOptions::Engine::Sequential:
     return I->SeqMod->mod(S, Aliases);
@@ -152,7 +152,7 @@ const analysis::GModResult &Analysis::gmodResult(EffectKind Kind) const {
   }
 }
 
-std::string Analysis::setToString(const BitVector &Set) const {
+std::string Analysis::setToString(const EffectSet &Set) const {
   switch (I->Engine) {
   case AnalysisOptions::Engine::Sequential:
     return I->SeqMod->setToString(Set);
@@ -177,10 +177,10 @@ class SessionKindView {
 public:
   SessionKindView(incremental::AnalysisSession &S, EffectKind Kind)
       : S(S), Kind(Kind) {}
-  const BitVector &gmod(ir::ProcId Proc) const { return S.gmod(Proc, Kind); }
+  const EffectSet &gmod(ir::ProcId Proc) const { return S.gmod(Proc, Kind); }
   bool rmodContains(ir::VarId F) const { return S.rmodContains(F, Kind); }
-  BitVector dmod(ir::CallSiteId C) const { return S.dmod(C, Kind); }
-  std::string setToString(const BitVector &Set) const {
+  EffectSet dmod(ir::CallSiteId C) const { return S.dmod(C, Kind); }
+  std::string setToString(const EffectSet &Set) const {
     return S.setToString(Set);
   }
 
@@ -196,10 +196,10 @@ class DemandKindView {
 public:
   DemandKindView(demand::DemandSession &S, EffectKind Kind)
       : S(S), Kind(Kind) {}
-  const BitVector &gmod(ir::ProcId Proc) const { return S.gmod(Proc, Kind); }
+  const EffectSet &gmod(ir::ProcId Proc) const { return S.gmod(Proc, Kind); }
   bool rmodContains(ir::VarId F) const { return S.rmodContains(F, Kind); }
-  BitVector dmod(ir::CallSiteId C) const { return S.dmod(C, Kind); }
-  std::string setToString(const BitVector &Set) const {
+  EffectSet dmod(ir::CallSiteId C) const { return S.dmod(C, Kind); }
+  std::string setToString(const EffectSet &Set) const {
     return S.setToString(Set);
   }
 
@@ -269,6 +269,7 @@ void printDemandStats(const demand::DemandStats &St, std::FILE *Out) {
 } // namespace
 
 Analysis Analyzer::analyze(const ir::Program &P) const {
+  EffectSet::setDefaultRepresentation(Opts.Repr);
   auto Impl = std::make_unique<Analysis::Impl>();
   Impl->Engine = Opts.resolved();
   Impl->TrackUse = Opts.TrackUse;
@@ -318,6 +319,7 @@ Analysis Analyzer::analyze(const ir::Program &P) const {
 
 ReportRun Analyzer::report(const ir::Program &P,
                            analysis::ReportOptions R) const {
+  EffectSet::setDefaultRepresentation(Opts.Repr);
   ReportRun Run;
   std::optional<observe::TraceScope> Scope;
   if (Opts.Profile || Opts.Sink)
@@ -328,6 +330,7 @@ ReportRun Analyzer::report(const ir::Program &P,
 
 ReportRun Analyzer::reportSource(std::string_view Source,
                                  analysis::ReportOptions R) const {
+  EffectSet::setDefaultRepresentation(Opts.Repr);
   ReportRun Run;
   std::optional<observe::TraceScope> Scope;
   if (Opts.Profile || Opts.Sink)
@@ -347,23 +350,27 @@ ReportRun Analyzer::reportSource(std::string_view Source,
 
 std::unique_ptr<incremental::AnalysisSession>
 Analyzer::open_session(ir::Program Initial) const {
+  EffectSet::setDefaultRepresentation(Opts.Repr);
   return std::make_unique<incremental::AnalysisSession>(std::move(Initial),
                                                         Opts.sessionView());
 }
 
 std::unique_ptr<demand::DemandSession>
 Analyzer::open_demand(ir::Program Initial) const {
+  EffectSet::setDefaultRepresentation(Opts.Repr);
   return std::make_unique<demand::DemandSession>(std::move(Initial),
                                                  Opts.demandView());
 }
 
 std::unique_ptr<service::AnalysisService>
 Analyzer::serve(ir::Program Initial) const {
+  EffectSet::setDefaultRepresentation(Opts.Repr);
   return std::make_unique<service::AnalysisService>(std::move(Initial),
                                                     Opts.serviceView());
 }
 
 std::unique_ptr<tenant::TenantService> Analyzer::openTenants() const {
+  EffectSet::setDefaultRepresentation(Opts.Repr);
   if (!Opts.TenantsEnabled)
     throw std::runtime_error(
         "multi-tenant serving is disabled (set AnalysisOptions::"
@@ -373,6 +380,7 @@ std::unique_ptr<tenant::TenantService> Analyzer::openTenants() const {
 
 int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
                                observe::CostReport *CostsOut) const {
+  EffectSet::setDefaultRepresentation(Opts.Repr);
   std::optional<observe::TraceScope> Scope;
   if ((Opts.Profile && CostsOut) || Opts.Sink)
     Scope.emplace(Opts.Profile ? CostsOut : nullptr, Opts.Sink);

@@ -48,6 +48,7 @@
 #include "observe/Trace.h"
 #include "parallel/ParallelAnalyzer.h"
 #include "service/AnalysisService.h"
+#include "support/EffectSet.h"
 #include "synth/ProgramGen.h"
 #include "tenant/TenantService.h"
 
@@ -83,6 +84,17 @@ struct AnalysisOptions {
   /// GMOD algorithm for the sequential engine.
   analysis::AnalyzerOptions::GModAlgorithm Algorithm =
       analysis::AnalyzerOptions::GModAlgorithm::Auto;
+
+  /// Effect-set representation for every engine this facade starts
+  /// (`ipse-cli --repr=`).  Auto is the hybrid crossover heuristic (sets
+  /// start sparse, densify at ~2 set bits per universe word); Dense
+  /// pins the word-array form the solvers always used; Sparse pins the
+  /// sorted index list.  Results are byte-identical across all three —
+  /// this is a memory/speed knob and a differential-testing axis, never
+  /// a semantics knob.  Applied process-wide at entry (the underlying
+  /// default is per-process, captured by each set at construction), so
+  /// mixing facades with different Repr in one process is unsupported.
+  EffectSet::Representation Repr = EffectSet::Representation::Auto;
 
   /// \name Service knobs (serve() only)
   /// @{
@@ -197,20 +209,6 @@ struct AnalysisOptions {
   /// @}
 };
 
-/// \name Deprecated per-engine option aliases
-/// The pre-facade options structs, re-exported under their old public
-/// spellings for one release.  Build AnalysisOptions and use its view
-/// methods instead.
-/// @{
-using SessionOptions [[deprecated("use ipse::AnalysisOptions::sessionView")]] =
-    incremental::SessionOptions;
-using ServiceOptions [[deprecated("use ipse::AnalysisOptions::serviceView")]] =
-    service::ServiceOptions;
-using ParallelOptions
-    [[deprecated("use ipse::AnalysisOptions::parallelView")]] =
-        parallel::ParallelAnalyzerOptions;
-/// @}
-
 /// A finished batch analysis: one engine's results behind the unified
 /// query surface.  Movable, engine-agnostic; the analyzed Program must
 /// outlive it (the Session engine keeps its own copy, but ids are shared
@@ -226,16 +224,16 @@ public:
 
   /// \name Queries (the SideEffectAnalyzer surface)
   /// @{
-  const BitVector &gmod(ir::ProcId Proc) const;
-  const BitVector &guse(ir::ProcId Proc) const; ///< Requires TrackUse.
-  const BitVector &gmod(ir::ProcId Proc, analysis::EffectKind Kind) const;
+  const EffectSet &gmod(ir::ProcId Proc) const;
+  const EffectSet &guse(ir::ProcId Proc) const; ///< Requires TrackUse.
+  const EffectSet &gmod(ir::ProcId Proc, analysis::EffectKind Kind) const;
   bool rmodContains(ir::VarId Formal, analysis::EffectKind Kind) const;
-  BitVector dmod(ir::StmtId S) const;
-  BitVector dmod(ir::CallSiteId C) const;
-  BitVector dmod(ir::CallSiteId C, analysis::EffectKind Kind) const;
-  BitVector mod(ir::StmtId S, const ir::AliasInfo &Aliases) const;
+  EffectSet dmod(ir::StmtId S) const;
+  EffectSet dmod(ir::CallSiteId C) const;
+  EffectSet dmod(ir::CallSiteId C, analysis::EffectKind Kind) const;
+  EffectSet mod(ir::StmtId S, const ir::AliasInfo &Aliases) const;
   const analysis::GModResult &gmodResult(analysis::EffectKind Kind) const;
-  std::string setToString(const BitVector &Set) const;
+  std::string setToString(const EffectSet &Set) const;
   /// @}
 
   /// Phase costs collected during analyze() (empty unless

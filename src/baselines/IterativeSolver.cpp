@@ -12,11 +12,11 @@ using namespace ipse::baselines;
 
 bool baselines::applyFullBinding(const ir::Program &P,
                                  const analysis::VarMasks &Masks,
-                                 const std::vector<BitVector> &GMod,
-                                 ir::CallSiteId Site, BitVector &Out) {
+                                 const std::vector<EffectSet> &GMod,
+                                 ir::CallSiteId Site, EffectSet &Out) {
   const ir::CallSite &C = P.callSite(Site);
   const ir::Procedure &Callee = P.proc(C.Callee);
-  const BitVector &G = GMod[C.Callee.index()];
+  const EffectSet &G = GMod[C.Callee.index()];
 
   bool Changed = Out.orWithAndNot(G, Masks.local(C.Callee));
   for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos) {

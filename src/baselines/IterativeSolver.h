@@ -53,8 +53,8 @@ IterativeResult solveIterative(const ir::Program &P,
 /// \p Site into \p Out:  Out |= be(GMOD(callee)).  Returns true on change.
 /// Shared by the iterative and worklist baselines.
 bool applyFullBinding(const ir::Program &P, const analysis::VarMasks &Masks,
-                      const std::vector<BitVector> &GMod,
-                      ir::CallSiteId Site, BitVector &Out);
+                      const std::vector<EffectSet> &GMod,
+                      ir::CallSiteId Site, EffectSet &Out);
 
 } // namespace baselines
 } // namespace ipse

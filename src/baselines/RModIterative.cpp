@@ -15,7 +15,7 @@ baselines::solveRModIterative(const ir::Program &P,
                               const graph::BindingGraph &BG,
                               const analysis::LocalEffects &Local) {
   analysis::RModResult Result;
-  Result.ModifiedFormals = BitVector(P.numVars());
+  Result.ModifiedFormals = EffectSet(P.numVars());
   std::uint64_t Steps = 0;
 
   // Seed every formal with its IMOD bit (formals without β nodes are

@@ -22,7 +22,7 @@ namespace {
 /// return true on change.  Returns the number of edge applications.
 template <typename ApplyEdgeT>
 std::uint64_t eliminate(const ir::Program &P, const CallGraph &CG,
-                        std::vector<BitVector> &X, ApplyEdgeT ApplyEdge) {
+                        std::vector<EffectSet> &X, ApplyEdgeT ApplyEdge) {
   const Digraph &G = CG.graph();
   SccDecomposition Sccs = computeSccs(G);
   std::uint64_t Steps = 0;
@@ -58,29 +58,29 @@ baselines::solveSwiftRMod(const ir::Program &P, const CallGraph &CG,
   // The universe of phase 1: every formal parameter in the program
   // ("bit vectors as long as the total number of reference formal
   // parameters", §3.2).
-  BitVector FormalsMask(V);
+  EffectSet FormalsMask(V);
   for (std::uint32_t I = 0; I != V; ++I)
     if (P.var(ir::VarId(I)).Kind == ir::VarKind::Formal)
       FormalsMask.set(I);
 
   // X(p): formals (own or of enclosing scopes) modified by invoking p.
-  std::vector<BitVector> X;
+  std::vector<EffectSet> X;
   X.reserve(P.numProcs());
   for (std::uint32_t I = 0; I != P.numProcs(); ++I) {
-    BitVector Init(V);
+    EffectSet Init(V);
     Init.orWithIntersectMinus(Local.extended(ir::ProcId(I)), FormalsMask,
-                              BitVector(V));
+                              EffectSet(V));
     X.push_back(std::move(Init));
   }
 
   SwiftRModResult Result;
   Result.BitVectorSteps = eliminate(
       P, CG, X,
-      [&](ir::CallSiteId Site, BitVector &Out,
-          const std::vector<BitVector> &Cur) {
+      [&](ir::CallSiteId Site, EffectSet &Out,
+          const std::vector<EffectSet> &Cur) {
         const ir::CallSite &C = P.callSite(Site);
         const ir::Procedure &Callee = P.proc(C.Callee);
-        const BitVector &S = Cur[C.Callee.index()];
+        const EffectSet &S = Cur[C.Callee.index()];
         // Formals of enclosing scopes pass through; the callee's own
         // formals project onto formal actuals.
         bool Changed = Out.orWithAndNot(S, Masks.local(C.Callee));
@@ -99,10 +99,10 @@ baselines::solveSwiftRMod(const ir::Program &P, const CallGraph &CG,
       });
 
   // RMOD(p) = X(p) restricted to p's own formals.
-  Result.RMod.ModifiedFormals = BitVector(V);
+  Result.RMod.ModifiedFormals = EffectSet(V);
   for (std::uint32_t I = 0; I != P.numProcs(); ++I)
     Result.RMod.ModifiedFormals.orWithIntersectMinus(
-        X[I], Masks.local(ir::ProcId(I)), BitVector(V));
+        X[I], Masks.local(ir::ProcId(I)), EffectSet(V));
   Result.RMod.ModifiedFormals.andWith(FormalsMask);
   return Result;
 }
@@ -115,12 +115,12 @@ SwiftResult baselines::solveSwift(const ir::Program &P, const CallGraph &CG,
   SwiftRModResult Phase1 = solveSwiftRMod(P, CG, Masks, Local);
   Result.BitVectorSteps = Phase1.BitVectorSteps;
 
-  std::vector<BitVector> G =
+  std::vector<EffectSet> G =
       analysis::computeIModPlus(P, Local, Phase1.RMod);
   Result.BitVectorSteps += eliminate(
       P, CG, G,
-      [&](ir::CallSiteId Site, BitVector &Out,
-          const std::vector<BitVector> &Cur) {
+      [&](ir::CallSiteId Site, EffectSet &Out,
+          const std::vector<EffectSet> &Cur) {
         const ir::CallSite &C = P.callSite(Site);
         // Equation (4): everything not local to the callee survives.
         return Out.orWithAndNot(Cur[C.Callee.index()],

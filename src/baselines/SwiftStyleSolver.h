@@ -23,7 +23,7 @@
 /// per-component iteration preserves the property being compared — every
 /// step manipulates an Nβ- (or |vars|-) long bit vector, against the new
 /// algorithm's O(1) boolean steps — and needs no reducibility assumption.
-/// BitVector::opCount() exposes the word-operation totals the E1/E2
+/// EffectSet::opCount() exposes the word-operation totals the E1/E2
 /// benchmarks report.
 ///
 //===----------------------------------------------------------------------===//

@@ -91,12 +91,12 @@ void DemandSession::initKindStates() {
   const std::size_t N = P.numProcs();
   const std::size_t V = P.numVars();
   for (KindState &K : States) {
-    K.Own.assign(N, BitVector());
-    K.Ext.assign(N, BitVector());
-    K.FormalBits = BitVector(V);
-    K.RModBits = BitVector(V);
-    K.IModPlus.assign(N, BitVector());
-    K.GMod.GMod.assign(N, BitVector());
+    K.Own.assign(N, EffectSet());
+    K.Ext.assign(N, EffectSet());
+    K.FormalBits = EffectSet(V);
+    K.RModBits = EffectSet(V);
+    K.IModPlus.assign(N, EffectSet());
+    K.GMod.GMod.assign(N, EffectSet());
     K.Ready.assign(N, 0);
     K.Solved.assign(N, 0);
   }
@@ -117,21 +117,21 @@ DemandSession::KindState &DemandSession::state(EffectKind Kind) {
 void DemandSession::rebuildVarStructure() {
   const std::size_t V = P.numVars();
   const unsigned DP = P.maxProcLevel();
-  EmptyVars = BitVector(V);
+  EmptyVars = EffectSet(V);
 
-  std::vector<BitVector> Levels(DP + 1, BitVector(V));
+  std::vector<EffectSet> Levels(DP + 1, EffectSet(V));
   for (std::uint32_t I = 0; I != V; ++I) {
     unsigned L = P.varLevel(ir::VarId(I));
     assert(L <= DP && "variable deeper than the deepest procedure");
     Levels[L].set(I);
   }
-  Below.assign(DP + 1, BitVector(V));
+  Below.assign(DP + 1, EffectSet(V));
   for (unsigned L = 1; L <= DP; ++L) {
     Below[L] = Below[L - 1];
     Below[L].orWith(Levels[L - 1]);
   }
 
-  LocalMasks.assign(P.numProcs(), BitVector());
+  LocalMasks.assign(P.numProcs(), EffectSet());
   LocalMaskReady.assign(P.numProcs(), 0);
 }
 
@@ -161,10 +161,10 @@ void DemandSession::rebuildBindingStructure() {
   }
 }
 
-const BitVector &DemandSession::localMask(ir::ProcId Proc) {
+const EffectSet &DemandSession::localMask(ir::ProcId Proc) {
   std::uint32_t I = Proc.index();
   if (!LocalMaskReady[I]) {
-    BitVector M(P.numVars());
+    EffectSet M(P.numVars());
     const ir::Procedure &PR = P.proc(Proc);
     for (ir::VarId F : PR.Formals)
       M.set(F.index());
@@ -411,7 +411,7 @@ void DemandSession::makeEffectReady(KindState &K, std::uint32_t Proc) {
 
   K.Own[Proc] = analysis::LocalEffects::computeOwn(P, P.numVars(), K.Kind,
                                                    ir::ProcId(Proc));
-  BitVector Ext = K.Own[Proc];
+  EffectSet Ext = K.Own[Proc];
   for (ir::ProcId Child : PR.Nested)
     Ext.orWithAndNot(K.Ext[Child.index()], localMask(Child));
   K.Ext[Proc] = std::move(Ext);
@@ -435,7 +435,7 @@ void DemandSession::applyEffectDelta(KindState &K,
   for (std::uint32_t Proc : Dirty) {
     if (!K.Ready[Proc])
       continue;
-    BitVector New = analysis::LocalEffects::computeOwn(P, P.numVars(), K.Kind,
+    EffectSet New = analysis::LocalEffects::computeOwn(P, P.numVars(), K.Kind,
                                                        ir::ProcId(Proc));
     if (New != K.Own[Proc]) {
       K.Own[Proc] = std::move(New);
@@ -461,7 +461,7 @@ void DemandSession::applyEffectDelta(KindState &K,
 
   std::vector<std::uint32_t> ExtChanged;
   for (std::uint32_t Proc : Chain) {
-    BitVector New = K.Own[Proc];
+    EffectSet New = K.Own[Proc];
     for (ir::ProcId Child : P.proc(ir::ProcId(Proc)).Nested)
       New.orWithAndNot(K.Ext[Child.index()], localMask(Child));
     if (New != K.Ext[Proc]) {
@@ -496,7 +496,7 @@ void DemandSession::applyEffectDelta(KindState &K,
     // grew and every new bit is already in the memoized GMOD(p), the old
     // solution still satisfies p's equation and the least fixed point is
     // unchanged — p stays Solved and nothing is invalidated.
-    BitVector New = analysis::computeIModPlusFor(P, K.Ext[Proc], K.RModBits,
+    EffectSet New = analysis::computeIModPlusFor(P, K.Ext[Proc], K.RModBits,
                                                  ir::ProcId(Proc));
     if (New == K.IModPlus[Proc])
       continue;
@@ -700,11 +700,11 @@ void DemandSession::solveRegionGMod(KindState &K,
     unsigned CalleeLevel;
   };
   std::vector<IntraEdge> Intra;
-  std::vector<BitVector> Vals;
+  std::vector<EffectSet> Vals;
 
   for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C) {
     const std::vector<graph::NodeId> &Members = Sccs.Members[C];
-    Vals.assign(Members.size(), BitVector());
+    Vals.assign(Members.size(), EffectSet());
     Intra.clear();
     for (std::uint32_t J = 0; J != Members.size(); ++J)
       MemberOf[Members[J]] = J;
@@ -745,25 +745,25 @@ void DemandSession::solveRegionGMod(KindState &K,
 // Queries.
 //===----------------------------------------------------------------------===//
 
-const BitVector &DemandSession::gmod(ir::ProcId Proc) {
+const EffectSet &DemandSession::gmod(ir::ProcId Proc) {
   return gmod(Proc, EffectKind::Mod);
 }
 
-const BitVector &DemandSession::guse(ir::ProcId Proc) {
+const EffectSet &DemandSession::guse(ir::ProcId Proc) {
   return gmod(Proc, EffectKind::Use);
 }
 
-const BitVector &DemandSession::gmod(ir::ProcId Proc, EffectKind Kind) {
+const EffectSet &DemandSession::gmod(ir::ProcId Proc, EffectKind Kind) {
   ensureSolved({{Proc}}, Kind);
   return state(Kind).GMod.GMod[Proc.index()];
 }
 
-const BitVector &DemandSession::imodPlus(ir::ProcId Proc, EffectKind Kind) {
+const EffectSet &DemandSession::imodPlus(ir::ProcId Proc, EffectKind Kind) {
   ensureSolved({{Proc}}, Kind);
   return state(Kind).IModPlus[Proc.index()];
 }
 
-const BitVector &DemandSession::imod(ir::ProcId Proc, EffectKind Kind) {
+const EffectSet &DemandSession::imod(ir::ProcId Proc, EffectKind Kind) {
   flushDirt();
   KindState &K = state(Kind);
   makeEffectReady(K, Proc.index());
@@ -780,12 +780,12 @@ bool DemandSession::rmodContains(ir::VarId Formal, EffectKind Kind) {
   return state(Kind).RModBits.test(Formal.index());
 }
 
-BitVector DemandSession::projectSite(KindState &K, ir::CallSiteId Site) {
+EffectSet DemandSession::projectSite(KindState &K, ir::CallSiteId Site) {
   const ir::CallSite &C = P.callSite(Site);
   const ir::Procedure &Callee = P.proc(C.Callee);
-  const BitVector &G = K.GMod.GMod[C.Callee.index()];
+  const EffectSet &G = K.GMod.GMod[C.Callee.index()];
 
-  BitVector Out(P.numVars());
+  EffectSet Out(P.numVars());
   Out.orWithAndNot(G, localMask(C.Callee));
   for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos) {
     const ir::Actual &A = C.Actuals[Pos];
@@ -795,7 +795,7 @@ BitVector DemandSession::projectSite(KindState &K, ir::CallSiteId Site) {
   return Out;
 }
 
-BitVector DemandSession::effectOfStmt(EffectKind Kind, ir::StmtId S,
+EffectSet DemandSession::effectOfStmt(EffectKind Kind, ir::StmtId S,
                                       const ir::AliasInfo *Aliases) {
   const ir::Statement &Stmt = P.stmt(S);
   std::vector<ir::ProcId> Callees;
@@ -805,7 +805,7 @@ BitVector DemandSession::effectOfStmt(EffectKind Kind, ir::StmtId S,
   ensureSolved(Callees, Kind);
 
   KindState &K = state(Kind);
-  BitVector DMod(P.numVars());
+  EffectSet DMod(P.numVars());
   // Direct effects come from LMod for both kinds — DMOD/DUSE differ only
   // in which GMOD plane the call sites project (mirrors dmodOfStmt).
   for (ir::VarId V : Stmt.LMod)
@@ -816,7 +816,7 @@ BitVector DemandSession::effectOfStmt(EffectKind Kind, ir::StmtId S,
     return DMod;
 
   // One application of the pairs against DMOD(s) (§5 step 2).
-  BitVector Out = DMod;
+  EffectSet Out = DMod;
   for (const auto &[X, Y] : Aliases->pairs(Stmt.Parent)) {
     if (DMod.test(X.index()))
       Out.set(Y.index());
@@ -826,33 +826,33 @@ BitVector DemandSession::effectOfStmt(EffectKind Kind, ir::StmtId S,
   return Out;
 }
 
-BitVector DemandSession::dmod(ir::StmtId S) {
+EffectSet DemandSession::dmod(ir::StmtId S) {
   return effectOfStmt(EffectKind::Mod, S, nullptr);
 }
 
-BitVector DemandSession::duse(ir::StmtId S) {
+EffectSet DemandSession::duse(ir::StmtId S) {
   return effectOfStmt(EffectKind::Use, S, nullptr);
 }
 
-BitVector DemandSession::dmod(ir::CallSiteId C) {
+EffectSet DemandSession::dmod(ir::CallSiteId C) {
   return dmod(C, EffectKind::Mod);
 }
 
-BitVector DemandSession::dmod(ir::CallSiteId C, EffectKind Kind) {
+EffectSet DemandSession::dmod(ir::CallSiteId C, EffectKind Kind) {
   ir::ProcId Callee = P.callSite(C).Callee;
   ensureSolved({{Callee}}, Kind);
   return projectSite(state(Kind), C);
 }
 
-BitVector DemandSession::mod(ir::StmtId S, const ir::AliasInfo &Aliases) {
+EffectSet DemandSession::mod(ir::StmtId S, const ir::AliasInfo &Aliases) {
   return effectOfStmt(EffectKind::Mod, S, &Aliases);
 }
 
-BitVector DemandSession::use(ir::StmtId S, const ir::AliasInfo &Aliases) {
+EffectSet DemandSession::use(ir::StmtId S, const ir::AliasInfo &Aliases) {
   return effectOfStmt(EffectKind::Use, S, &Aliases);
 }
 
-std::string DemandSession::setToString(const BitVector &Set) const {
+std::string DemandSession::setToString(const EffectSet &Set) const {
   std::vector<std::string> Names;
   Set.forEachSetBit([&](std::size_t Idx) {
     Names.push_back(
@@ -881,7 +881,7 @@ const analysis::GModResult &DemandSession::gmodResult(EffectKind Kind) {
   return state(Kind).GMod;
 }
 
-const BitVector &DemandSession::rmodBits(EffectKind Kind) {
+const EffectSet &DemandSession::rmodBits(EffectKind Kind) {
   std::vector<ir::ProcId> All;
   All.reserve(P.numProcs());
   for (std::uint32_t I = 0; I != P.numProcs(); ++I)
@@ -895,7 +895,7 @@ const analysis::GModResult &DemandSession::peekGModResult(EffectKind Kind) {
   return state(Kind).GMod;
 }
 
-const BitVector &DemandSession::peekRModBits(EffectKind Kind) {
+const EffectSet &DemandSession::peekRModBits(EffectKind Kind) {
   flushDirt();
   return state(Kind).RModBits;
 }

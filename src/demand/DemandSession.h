@@ -68,7 +68,7 @@
 #include "incremental/Edit.h"
 #include "ir/AliasInfo.h"
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <memory>
 #include <span>
@@ -168,24 +168,24 @@ public:
 
   /// \name Queries (mirror AnalysisSession; solve their region on demand)
   /// @{
-  const BitVector &gmod(ir::ProcId Proc);
-  const BitVector &guse(ir::ProcId Proc);
-  const BitVector &gmod(ir::ProcId Proc, analysis::EffectKind Kind);
-  const BitVector &imodPlus(ir::ProcId Proc, analysis::EffectKind Kind);
-  const BitVector &imod(ir::ProcId Proc, analysis::EffectKind Kind);
+  const EffectSet &gmod(ir::ProcId Proc);
+  const EffectSet &guse(ir::ProcId Proc);
+  const EffectSet &gmod(ir::ProcId Proc, analysis::EffectKind Kind);
+  const EffectSet &imodPlus(ir::ProcId Proc, analysis::EffectKind Kind);
+  const EffectSet &imod(ir::ProcId Proc, analysis::EffectKind Kind);
   bool rmodContains(ir::VarId Formal);
   bool rmodContains(ir::VarId Formal, analysis::EffectKind Kind);
 
-  BitVector dmod(ir::StmtId S);
-  BitVector duse(ir::StmtId S);
-  BitVector dmod(ir::CallSiteId C);
-  BitVector dmod(ir::CallSiteId C, analysis::EffectKind Kind);
-  BitVector mod(ir::StmtId S, const ir::AliasInfo &Aliases);
-  BitVector use(ir::StmtId S, const ir::AliasInfo &Aliases);
+  EffectSet dmod(ir::StmtId S);
+  EffectSet duse(ir::StmtId S);
+  EffectSet dmod(ir::CallSiteId C);
+  EffectSet dmod(ir::CallSiteId C, analysis::EffectKind Kind);
+  EffectSet mod(ir::StmtId S, const ir::AliasInfo &Aliases);
+  EffectSet use(ir::StmtId S, const ir::AliasInfo &Aliases);
   /// @}
 
   /// Renders a variable set as sorted "a, p.b, ..." text.
-  std::string setToString(const BitVector &Set) const;
+  std::string setToString(const EffectSet &Set) const;
 
   /// \name Whole-program export hooks
   /// These cover everything first (ensureSolvedAll), so they cost a full
@@ -193,7 +193,7 @@ public:
   /// persistence layer, not for the demand fast path.
   /// @{
   const analysis::GModResult &gmodResult(analysis::EffectKind Kind);
-  const BitVector &rmodBits(analysis::EffectKind Kind);
+  const EffectSet &rmodBits(analysis::EffectKind Kind);
   incremental::SessionPlanes exportPlanes();
   /// @}
 
@@ -204,23 +204,23 @@ public:
   /// capturePartial does).
   /// @{
   const analysis::GModResult &peekGModResult(analysis::EffectKind Kind);
-  const BitVector &peekRModBits(analysis::EffectKind Kind);
+  const EffectSet &peekRModBits(analysis::EffectKind Kind);
   std::vector<char> coveredFlags(analysis::EffectKind Kind);
   /// @}
 
 private:
   /// Resident per-effect-kind pipeline state.  Per-procedure vectors hold
-  /// empty BitVectors until the procedure is touched (Ready) or solved.
+  /// empty EffectSets until the procedure is touched (Ready) or solved.
   struct KindState {
     analysis::EffectKind Kind = analysis::EffectKind::Mod;
     /// Own/Ext IMOD; valid iff Ready[p].
-    std::vector<BitVector> Own, Ext;
+    std::vector<EffectSet> Own, Ext;
     /// Per-var β-input bits; bit of formal f valid iff Ready[owner(f)].
-    BitVector FormalBits;
+    EffectSet FormalBits;
     /// Per-var Figure-1 RMOD outputs; bit of f valid iff Solved[owner(f)].
-    BitVector RModBits;
+    EffectSet RModBits;
     /// IMOD+ / GMOD planes; entries valid iff Solved[p].
-    std::vector<BitVector> IModPlus;
+    std::vector<EffectSet> IModPlus;
     analysis::GModResult GMod;
     /// Local effects computed and FormalBits synced for p (and, by
     /// construction, for p's lexical descendants).
@@ -240,7 +240,7 @@ private:
   // Structure (linear integer work, no fixed points).
   void rebuildVarStructure();
   void rebuildBindingStructure();
-  const BitVector &localMask(ir::ProcId Proc);
+  const EffectSet &localMask(ir::ProcId Proc);
   void initKindStates();
   void fullReset();
 
@@ -256,8 +256,8 @@ private:
                        const std::vector<std::uint32_t> &Region);
   void solveRegionGMod(KindState &K,
                        const std::vector<std::uint32_t> &Region);
-  BitVector projectSite(KindState &K, ir::CallSiteId Site);
-  BitVector effectOfStmt(analysis::EffectKind Kind, ir::StmtId S,
+  EffectSet projectSite(KindState &K, ir::CallSiteId Site);
+  EffectSet effectOfStmt(analysis::EffectKind Kind, ir::StmtId S,
                          const ir::AliasInfo *Aliases);
 
   ir::Program P;
@@ -269,10 +269,10 @@ private:
   // Resident shared structure.
   std::unique_ptr<graph::BindingGraph> BG;
   /// Below[L]: variables declared at levels < L (the §4 edge filter).
-  std::vector<BitVector> Below;
-  BitVector EmptyVars;
+  std::vector<EffectSet> Below;
+  EffectSet EmptyVars;
   /// LOCAL(p) masks, built lazily per procedure.
-  std::vector<BitVector> LocalMasks;
+  std::vector<EffectSet> LocalMasks;
   std::vector<char> LocalMaskReady;
   /// Forward/reverse dependency adjacency: call edges plus β-owner edges
   /// (parallel entries kept; closures walk with a visited set).

@@ -283,8 +283,8 @@ void AnalysisSession::rebuildSharedStructure() {
 
   const std::size_t V = P.numVars();
   const unsigned DP = P.maxProcLevel();
-  EmptyVars = BitVector(V);
-  Below.assign(DP + 1, BitVector(V));
+  EmptyVars = EffectSet(V);
+  Below.assign(DP + 1, EffectSet(V));
   for (unsigned L = 1; L <= DP; ++L) {
     Below[L] = Below[L - 1];
     Below[L].orWith(Masks->level(L - 1));
@@ -322,7 +322,7 @@ void AnalysisSession::rebuildAll() {
       K.Ext.push_back(Local.extended(ir::ProcId(I)));
     }
 
-    K.FormalBits = BitVector(V);
+    K.FormalBits = EffectSet(V);
     for (std::uint32_t I = 0; I != P.numProcs(); ++I)
       for (ir::VarId F : P.proc(ir::ProcId(I)).Formals)
         if (Local.formalBit(P, F))
@@ -387,7 +387,7 @@ void AnalysisSession::flushIncremental() {
     std::vector<std::uint32_t> Seeds;
     std::vector<char> SeedSeen;
     for (std::uint32_t Proc : Candidates) {
-      BitVector New = analysis::computeIModPlusFor(P, K.Ext[Proc], K.RModBits,
+      EffectSet New = analysis::computeIModPlusFor(P, K.Ext[Proc], K.RModBits,
                                                    ir::ProcId(Proc));
       if (New != K.IModPlus[Proc]) {
         // Monotone-growth prune: if IMOD+(p) only grew and every new bit is
@@ -426,7 +426,7 @@ AnalysisSession::updateLocalEffects(KindState &K,
 
   bool AnyOwnChanged = false;
   for (std::uint32_t Proc : Dirty) {
-    BitVector New = analysis::LocalEffects::computeOwn(P, P.numVars(), K.Kind,
+    EffectSet New = analysis::LocalEffects::computeOwn(P, P.numVars(), K.Kind,
                                                        ir::ProcId(Proc));
     if (New != K.Own[Proc]) {
       K.Own[Proc] = std::move(New);
@@ -452,7 +452,7 @@ AnalysisSession::updateLocalEffects(KindState &K,
   std::sort(Chain.begin(), Chain.end(), std::greater<std::uint32_t>());
 
   for (std::uint32_t Proc : Chain) {
-    BitVector New = K.Own[Proc];
+    EffectSet New = K.Own[Proc];
     for (ir::ProcId Child : P.proc(ir::ProcId(Proc)).Nested)
       New.orWithAndNot(K.Ext[Child.index()], Masks->local(Child));
     if (New != K.Ext[Proc]) {
@@ -591,25 +591,25 @@ void AnalysisSession::recomputeComponent(KindState &K, std::uint32_t Comp,
 // Queries.
 //===----------------------------------------------------------------------===//
 
-const BitVector &AnalysisSession::gmod(ir::ProcId Proc) {
+const EffectSet &AnalysisSession::gmod(ir::ProcId Proc) {
   return gmod(Proc, EffectKind::Mod);
 }
 
-const BitVector &AnalysisSession::guse(ir::ProcId Proc) {
+const EffectSet &AnalysisSession::guse(ir::ProcId Proc) {
   return gmod(Proc, EffectKind::Use);
 }
 
-const BitVector &AnalysisSession::gmod(ir::ProcId Proc, EffectKind Kind) {
+const EffectSet &AnalysisSession::gmod(ir::ProcId Proc, EffectKind Kind) {
   flush();
   return state(Kind).GMod.of(Proc);
 }
 
-const BitVector &AnalysisSession::imodPlus(ir::ProcId Proc, EffectKind Kind) {
+const EffectSet &AnalysisSession::imodPlus(ir::ProcId Proc, EffectKind Kind) {
   flush();
   return state(Kind).IModPlus[Proc.index()];
 }
 
-const BitVector &AnalysisSession::imod(ir::ProcId Proc, EffectKind Kind) {
+const EffectSet &AnalysisSession::imod(ir::ProcId Proc, EffectKind Kind) {
   flush();
   return state(Kind).Ext[Proc.index()];
 }
@@ -623,32 +623,32 @@ bool AnalysisSession::rmodContains(ir::VarId Formal, EffectKind Kind) {
   return state(Kind).RModBits.test(Formal.index());
 }
 
-BitVector AnalysisSession::dmod(ir::StmtId S) {
+EffectSet AnalysisSession::dmod(ir::StmtId S) {
   flush();
   return analysis::dmodOfStmt(P, *Masks, state(EffectKind::Mod).GMod, S);
 }
 
-BitVector AnalysisSession::duse(ir::StmtId S) {
+EffectSet AnalysisSession::duse(ir::StmtId S) {
   flush();
   return analysis::dmodOfStmt(P, *Masks, state(EffectKind::Use).GMod, S);
 }
 
-BitVector AnalysisSession::dmod(ir::CallSiteId C) {
+EffectSet AnalysisSession::dmod(ir::CallSiteId C) {
   flush();
   return analysis::projectCallSite(P, *Masks, state(EffectKind::Mod).GMod, C);
 }
 
-BitVector AnalysisSession::dmod(ir::CallSiteId C, EffectKind Kind) {
+EffectSet AnalysisSession::dmod(ir::CallSiteId C, EffectKind Kind) {
   flush();
   return analysis::projectCallSite(P, *Masks, state(Kind).GMod, C);
 }
 
-BitVector AnalysisSession::mod(ir::StmtId S, const ir::AliasInfo &Aliases) {
+EffectSet AnalysisSession::mod(ir::StmtId S, const ir::AliasInfo &Aliases) {
   flush();
   return analysis::modOfStmt(P, *Masks, state(EffectKind::Mod).GMod, Aliases, S);
 }
 
-BitVector AnalysisSession::use(ir::StmtId S, const ir::AliasInfo &Aliases) {
+EffectSet AnalysisSession::use(ir::StmtId S, const ir::AliasInfo &Aliases) {
   flush();
   return analysis::modOfStmt(P, *Masks, state(EffectKind::Use).GMod, Aliases, S);
 }
@@ -663,12 +663,12 @@ const analysis::GModResult &AnalysisSession::gmodResult(EffectKind Kind) {
   return state(Kind).GMod;
 }
 
-const BitVector &AnalysisSession::rmodBits(EffectKind Kind) {
+const EffectSet &AnalysisSession::rmodBits(EffectKind Kind) {
   flush();
   return state(Kind).RModBits;
 }
 
-std::string AnalysisSession::setToString(const BitVector &Set) const {
+std::string AnalysisSession::setToString(const EffectSet &Set) const {
   std::vector<std::string> Names;
   Set.forEachSetBit([&](std::size_t Idx) {
     Names.push_back(

@@ -58,7 +58,7 @@
 #include "graph/Condensation.h"
 #include "ir/AliasInfo.h"
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <memory>
 #include <string>
@@ -114,11 +114,11 @@ struct SessionPlanes {
   struct KindPlanes {
     analysis::EffectKind Kind = analysis::EffectKind::Mod;
     /// Per-proc IMOD from the procedure's own body / nesting-extended.
-    std::vector<BitVector> Own, Ext;
+    std::vector<EffectSet> Own, Ext;
     /// Per-var bit planes: β inputs and Figure-1 RMOD outputs.
-    BitVector FormalBits, RModBits;
+    EffectSet FormalBits, RModBits;
     /// Per-proc IMOD+ (equation 5) and GMOD/GUSE (equation 4).
-    std::vector<BitVector> IModPlus, GMod;
+    std::vector<EffectSet> IModPlus, GMod;
   };
   /// MOD first; USE present iff the exporting session tracked it.
   std::vector<KindPlanes> Kinds;
@@ -185,24 +185,24 @@ public:
 
   /// \name Queries (mirror SideEffectAnalyzer)
   /// @{
-  const BitVector &gmod(ir::ProcId Proc);
-  const BitVector &guse(ir::ProcId Proc);
-  const BitVector &gmod(ir::ProcId Proc, analysis::EffectKind Kind);
-  const BitVector &imodPlus(ir::ProcId Proc, analysis::EffectKind Kind);
-  const BitVector &imod(ir::ProcId Proc, analysis::EffectKind Kind);
+  const EffectSet &gmod(ir::ProcId Proc);
+  const EffectSet &guse(ir::ProcId Proc);
+  const EffectSet &gmod(ir::ProcId Proc, analysis::EffectKind Kind);
+  const EffectSet &imodPlus(ir::ProcId Proc, analysis::EffectKind Kind);
+  const EffectSet &imod(ir::ProcId Proc, analysis::EffectKind Kind);
   bool rmodContains(ir::VarId Formal);
   bool rmodContains(ir::VarId Formal, analysis::EffectKind Kind);
 
-  BitVector dmod(ir::StmtId S);
-  BitVector duse(ir::StmtId S);
-  BitVector dmod(ir::CallSiteId C);
-  BitVector dmod(ir::CallSiteId C, analysis::EffectKind Kind);
-  BitVector mod(ir::StmtId S, const ir::AliasInfo &Aliases);
-  BitVector use(ir::StmtId S, const ir::AliasInfo &Aliases);
+  EffectSet dmod(ir::StmtId S);
+  EffectSet duse(ir::StmtId S);
+  EffectSet dmod(ir::CallSiteId C);
+  EffectSet dmod(ir::CallSiteId C, analysis::EffectKind Kind);
+  EffectSet mod(ir::StmtId S, const ir::AliasInfo &Aliases);
+  EffectSet use(ir::StmtId S, const ir::AliasInfo &Aliases);
   /// @}
 
   /// Renders a variable set as sorted "a, p.b, ..." text.
-  std::string setToString(const BitVector &Set) const;
+  std::string setToString(const EffectSet &Set) const;
 
   /// \name Snapshot export hooks
   /// Flush pending edits, then expose the resident result bundle so a
@@ -212,7 +212,7 @@ public:
   /// @{
   const analysis::VarMasks &masks();
   const analysis::GModResult &gmodResult(analysis::EffectKind Kind);
-  const BitVector &rmodBits(analysis::EffectKind Kind);
+  const EffectSet &rmodBits(analysis::EffectKind Kind);
   /// @}
 
   /// Flushes, then copies out every solver plane (the warm-restart
@@ -224,13 +224,13 @@ private:
   struct KindState {
     analysis::EffectKind Kind = analysis::EffectKind::Mod;
     /// IMOD(p) from p's own body / nesting-extended (§3.3).
-    std::vector<BitVector> Own, Ext;
+    std::vector<EffectSet> Own, Ext;
     /// Per-var: the IMOD(fp_i^p) node value of each formal (β inputs).
-    BitVector FormalBits;
+    EffectSet FormalBits;
     /// Per-var: formals in RMOD of their owner (Figure 1 outputs).
-    BitVector RModBits;
+    EffectSet RModBits;
     /// IMOD+(p), equation (5).
-    std::vector<BitVector> IModPlus;
+    std::vector<EffectSet> IModPlus;
     /// GMOD(p) / GUSE(p); wrapped in GModResult so the DMod projection
     /// helpers consume it directly.
     analysis::GModResult GMod;
@@ -282,8 +282,8 @@ private:
   std::unique_ptr<graph::BindingGraph> BG;
   /// Below[L]: variables declared at levels < L — the equation-(4) filter
   /// across an edge whose callee sits at level L.
-  std::vector<BitVector> Below;
-  BitVector EmptyVars;
+  std::vector<EffectSet> Below;
+  EffectSet EmptyVars;
   graph::Condensation Cond;
   /// Callers[p]: callers of p, one entry per call site (parallel edges
   /// kept) — the reverse adjacency the dirty-cone walk climbs.
@@ -301,7 +301,7 @@ private:
 
   // Scratch reused by recomputeComponent (member-index stamps).
   std::vector<std::uint32_t> MemberSlot;
-  std::vector<BitVector> MemberVals;
+  std::vector<EffectSet> MemberVals;
 };
 
 } // namespace incremental

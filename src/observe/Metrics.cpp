@@ -7,8 +7,11 @@
 
 #include "observe/Metrics.h"
 
+#include "support/SimdKernels.h"
+
 #include <cinttypes>
 #include <cstdio>
+#include <string>
 
 using namespace ipse;
 using namespace ipse::observe;
@@ -16,7 +19,15 @@ using namespace ipse::observe;
 MetricsRegistry &MetricsRegistry::global() {
   // Leaked on purpose: references handed to long-lived engines must stay
   // valid through static destruction order.
-  static MetricsRegistry *R = new MetricsRegistry();
+  static MetricsRegistry *R = [] {
+    auto *Reg = new MetricsRegistry();
+    // Which dense-kernel table this process dispatched to — an info
+    // metric (constant 1, the label carries the value), so every
+    // `metrics` dump records the ISA its numbers were measured on.
+    Reg->gauge(std::string("simd.kernel{isa=") + simd::dispatchedIsa() + "}")
+        .set(1);
+    return Reg;
+  }();
   return *R;
 }
 

@@ -8,7 +8,7 @@
 #include "observe/Trace.h"
 
 #include "observe/CostReport.h"
-#include "support/BitVector.h"
+#include "support/OpCount.h"
 
 #include <atomic>
 #include <chrono>
@@ -158,7 +158,7 @@ bool openSpan(std::uint64_t &StartNs, std::uint64_t &StartOps,
     return false;
   Depth = Ctx->Depth++;
   StartNs = nowNanos();
-  StartOps = BitVector::opCount();
+  StartOps = ops::total();
   return true;
 }
 
@@ -174,7 +174,7 @@ void closeSpan(const char *Name, std::uint64_t StartNs, std::uint64_t StartOps,
   R.Depth = Depth;
   R.StartNs = StartNs;
   R.WallNs = nowNanos() - StartNs;
-  R.BitOps = BitVector::opCount() - StartOps;
+  R.BitOps = ops::total() - StartOps;
   R.Tid = currentTid();
   R.Tags = Ctx->Tags;
   if (Ctx->Depth > 0)

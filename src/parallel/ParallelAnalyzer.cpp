@@ -43,26 +43,30 @@ void ParallelAnalyzer::run() {
   }
   {
     observe::TraceSpan Span("rmod");
-    BitVector FormalBits(P.numVars());
+    EffectSet FormalBits(P.numVars());
     for (std::uint32_t I = 0; I != P.numProcs(); ++I)
       for (ir::VarId F : P.proc(ir::ProcId(I)).Formals)
         if (Local->formalBit(P, F))
           FormalBits.set(F.index());
-    RMod = solveRModLevels(P, BG, FormalBits, Pool);
+    RMod = solveRModLevels(P, BG, FormalBits, Pool, Options.Schedule);
     observe::addCounter("rmod.boolean_steps", RMod.BooleanSteps);
   }
   {
     observe::TraceSpan Span("imodplus");
-    IModPlus = computeIModPlusParallel(P, *Local, RMod.ModifiedFormals, Pool);
+    IModPlus = computeIModPlusParallel(P, *Local, RMod.ModifiedFormals, Pool,
+                                       Options.Schedule);
   }
   {
     observe::TraceSpan Span("gmod");
-    GMod = solveGModLevels(P, CG, Masks, IModPlus, Pool, &Stats);
+    GMod = solveGModLevels(P, CG, Masks, IModPlus, Pool, &Stats,
+                           Options.Schedule);
   }
   observe::addCounter("pool.idle_ns", Pool.idleNanos() - IdleBefore);
+  observe::addCounter("parallel.fanout_levels", Stats.FanoutLevels);
+  observe::addCounter("parallel.inline_levels", Stats.InlineLevels);
 }
 
-std::string ParallelAnalyzer::setToString(const BitVector &Set) const {
+std::string ParallelAnalyzer::setToString(const EffectSet &Set) const {
   std::vector<std::string> Names;
   Set.forEachSetBit([&](std::size_t Idx) {
     Names.push_back(

@@ -59,12 +59,27 @@ struct ParallelAnalyzerOptions {
   /// the caller's decision.
   unsigned SmallProgramThreshold = 4096;
 
+  /// Per-level fan-out policy (the adaptive-K half of the scheduler; the
+  /// SmallProgramThreshold clamp above is the whole-program half).  The
+  /// default probes the host once: a level only fans out when the machine
+  /// can actually run lanes side by side and the level's width x universe
+  /// words clears the handoff cost.  Tests that need pool traffic on
+  /// every level set Schedule.AdaptiveFanout = false.
+  ScheduleOptions Schedule = defaultSchedule();
+
   /// The lane count the owned-pool constructor will actually use for a
   /// program of \p NumProcs procedures.
   unsigned effectiveThreads(std::size_t NumProcs) const {
     if (SmallProgramThreshold != 0 && NumProcs < SmallProgramThreshold)
       return 1;
     return Threads < 1 ? 1 : Threads;
+  }
+
+  /// ScheduleOptions with HardwareLanes filled from the host.
+  static ScheduleOptions defaultSchedule() {
+    ScheduleOptions S;
+    S.HardwareLanes = std::thread::hardware_concurrency();
+    return S;
   }
 };
 
@@ -89,38 +104,38 @@ public:
   const GModScheduleStats &scheduleStats() const { return Stats; }
 
   /// GMOD(p) (or GUSE(p)).
-  const BitVector &gmod(ir::ProcId Proc) const { return GMod.of(Proc); }
+  const EffectSet &gmod(ir::ProcId Proc) const { return GMod.of(Proc); }
 
   /// True iff formal \p F is in RMOD of its owner.
   bool rmodContains(ir::VarId F) const { return RMod.contains(F); }
 
   /// IMOD+(p) (equation 5).
-  const BitVector &imodPlus(ir::ProcId Proc) const {
+  const EffectSet &imodPlus(ir::ProcId Proc) const {
     return IModPlus[Proc.index()];
   }
 
   /// The nesting-extended IMOD(p).
-  const BitVector &imod(ir::ProcId Proc) const {
+  const EffectSet &imod(ir::ProcId Proc) const {
     return Local->extended(Proc);
   }
 
   /// DMOD(s) (equation 2).
-  BitVector dmod(ir::StmtId S) const {
+  EffectSet dmod(ir::StmtId S) const {
     return analysis::dmodOfStmt(P, Masks, GMod, S);
   }
 
   /// be(GMOD(q)) for one call site.
-  BitVector dmod(ir::CallSiteId C) const {
+  EffectSet dmod(ir::CallSiteId C) const {
     return analysis::projectCallSite(P, Masks, GMod, C);
   }
 
   /// MOD(s) under the given alias pairs (§5).
-  BitVector mod(ir::StmtId S, const ir::AliasInfo &Aliases) const {
+  EffectSet mod(ir::StmtId S, const ir::AliasInfo &Aliases) const {
     return analysis::modOfStmt(P, Masks, GMod, Aliases, S);
   }
 
   /// Renders a variable set as sorted "a, p.b, ..." text.
-  std::string setToString(const BitVector &Set) const;
+  std::string setToString(const EffectSet &Set) const;
 
   /// Shared building blocks, exposed for tests and benchmarks.
   const analysis::VarMasks &masks() const { return Masks; }
@@ -144,7 +159,7 @@ private:
   ThreadPool &Pool;
   std::unique_ptr<analysis::LocalEffects> Local;
   analysis::RModResult RMod;
-  std::vector<BitVector> IModPlus;
+  std::vector<EffectSet> IModPlus;
   analysis::GModResult GMod;
   GModScheduleStats Stats;
 };

@@ -8,6 +8,7 @@
 #include "parallel/ParallelSolvers.h"
 
 #include "analysis/IModPlus.h"
+#include "analysis/MultiLevelGMod.h"
 #include "observe/Trace.h"
 #include "parallel/LevelSchedule.h"
 
@@ -21,11 +22,23 @@ using namespace ipse::parallel;
 
 analysis::RModResult parallel::solveRModLevels(const ir::Program &P,
                                                const graph::BindingGraph &BG,
-                                               const BitVector &FormalBits,
-                                               ThreadPool &Pool) {
+                                               const EffectSet &FormalBits,
+                                               ThreadPool &Pool,
+                                               const ScheduleOptions &Sched) {
   assert(FormalBits.size() == P.numVars() && "formal bits over wrong universe");
+
+  // One working lane — whether a genuinely 1-thread pool or a K-lane pool
+  // on a host where no level can ever clear the fan-out bar — means the
+  // level machinery (a second β condensation, per-component value arrays,
+  // the copy-back sweep) is pure bookkeeping on top of what Figure 1
+  // already does.  Delegate to the sequential reference solver, which
+  // this function is documented to match bit-for-bit *and* step-for-step;
+  // that is what makes asking for K lanes cost what K=1 costs here.
+  if (Pool.threads() == 1 || Sched.neverFansOut())
+    return analysis::solveRModOnBits(P, BG, FormalBits);
+
   analysis::RModResult Result;
-  Result.ModifiedFormals = BitVector(P.numVars());
+  Result.ModifiedFormals = EffectSet(P.numVars());
   std::uint64_t Steps = 0;
 
   // Seeding and copy-back touch the shared ModifiedFormals vector, whose
@@ -69,25 +82,24 @@ analysis::RModResult parallel::solveRModLevels(const ir::Program &P,
     CompSteps[C] = S;
   };
 
-  if (Pool.threads() == 1) {
-    // Component ids are reverse-topological, so the ascending sweep is a
-    // valid one-lane schedule already — no level buckets, no indirect
-    // calls, just the sequential sweep with the kernel inlined.
-    for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C)
-      Kernel(C);
-  } else {
-    LevelSchedule Sched = computeLevelSchedule(G, Sccs);
-    // One std::function for the whole solve (constructing one per level
-    // costs an allocation, and a deep chain has a level per component);
-    // only the bucket pointer changes between levels.
-    const std::vector<std::uint32_t> *Bucket = nullptr;
-    const std::function<void(std::size_t)> Task = [&](std::size_t I) {
-      Kernel((*Bucket)[I]);
-    };
-    for (std::size_t L = 0; L != Sched.numLevels(); ++L) {
-      Bucket = &Sched.level(L);
-      Pool.parallelFor(Bucket->size(), Task);
-    }
+  LevelSchedule Levels = computeLevelSchedule(G, Sccs);
+  // One std::function for the whole solve (constructing one per level
+  // costs an allocation, and a deep chain has a level per component);
+  // only the bucket pointer changes between levels.
+  const std::vector<std::uint32_t> *Bucket = nullptr;
+  const std::function<void(std::size_t)> Task = [&](std::size_t I) {
+    Kernel((*Bucket)[I]);
+  };
+  for (std::size_t L = 0; L != Levels.numLevels(); ++L) {
+    Bucket = &Levels.level(L);
+    // One boolean word per component: only genuinely wide levels clear
+    // the fan-out bar, and consecutive narrow ones merge into this
+    // lane's inline sweep with no barrier between them.
+    if (Sched.shouldFanOut(Bucket->size(), 1))
+      Pool.parallelFor(Bucket->size(), Task, Sched.ChunkSize);
+    else
+      for (std::uint32_t C : *Bucket)
+        Kernel(C);
   }
 
   for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C)
@@ -105,49 +117,105 @@ analysis::RModResult parallel::solveRModLevels(const ir::Program &P,
   return Result;
 }
 
-std::vector<BitVector>
+namespace {
+
+/// The per-procedure equation-(5) sweep costs one universe of words per
+/// task; below the schedule's fan-out bar it runs on the coordinating
+/// lane with no handoff at all.
+std::size_t imodPlusWordsPerTask(const ir::Program &P) {
+  return (P.numVars() + EffectSet::BitsPerWord - 1) / EffectSet::BitsPerWord;
+}
+
+} // namespace
+
+std::vector<EffectSet>
 parallel::computeIModPlusParallel(const ir::Program &P,
-                                  const std::vector<BitVector> &ExtImod,
-                                  const BitVector &RModBits, ThreadPool &Pool) {
+                                  const std::vector<EffectSet> &ExtImod,
+                                  const EffectSet &RModBits, ThreadPool &Pool,
+                                  const ScheduleOptions &Sched) {
   assert(ExtImod.size() == P.numProcs() && "one extended IMOD per procedure");
-  std::vector<BitVector> Result(P.numProcs());
-  Pool.parallelFor(P.numProcs(), [&](std::size_t I) {
+  std::vector<EffectSet> Result(P.numProcs());
+  auto Task = [&](std::size_t I) {
     Result[I] = analysis::computeIModPlusFor(
         P, ExtImod[I], RModBits, ir::ProcId(static_cast<std::uint32_t>(I)));
-  });
+  };
+  if (!Sched.shouldFanOut(P.numProcs(), imodPlusWordsPerTask(P))) {
+    for (std::size_t I = 0, E = P.numProcs(); I != E; ++I)
+      Task(I);
+    return Result;
+  }
+  Pool.parallelFor(P.numProcs(), Task, Sched.ChunkSize);
   return Result;
 }
 
-std::vector<BitVector>
+std::vector<EffectSet>
 parallel::computeIModPlusParallel(const ir::Program &P,
                                   const analysis::LocalEffects &Local,
-                                  const BitVector &RModBits, ThreadPool &Pool) {
-  std::vector<BitVector> Result(P.numProcs());
-  Pool.forEach(P.numProcs(), [&](std::size_t I) {
+                                  const EffectSet &RModBits, ThreadPool &Pool,
+                                  const ScheduleOptions &Sched) {
+  std::vector<EffectSet> Result;
+  if (!Sched.shouldFanOut(P.numProcs(), imodPlusWordsPerTask(P))) {
+    // Below the bar, run the sequential algorithm verbatim: one flat
+    // call-site sweep instead of a per-procedure pass re-walking each
+    // procedure's own sites (same sets, better constants — and exactly
+    // what the sequential engine pays).
+    Result.reserve(P.numProcs());
+    for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+      Result.push_back(Local.extended(ir::ProcId(I)));
+    for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
+      const ir::CallSite &C = P.callSite(ir::CallSiteId(I));
+      const ir::Procedure &Callee = P.proc(C.Callee);
+      for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos) {
+        const ir::Actual &A = C.Actuals[Pos];
+        if (!A.isVariable())
+          continue;
+        if (RModBits.test(Callee.Formals[Pos].index()))
+          Result[C.Caller.index()].set(A.Var.index());
+      }
+    }
+    return Result;
+  }
+  Result.resize(P.numProcs());
+  auto Task = [&](std::size_t I) {
     const ir::ProcId Proc(static_cast<std::uint32_t>(I));
     Result[I] = analysis::computeIModPlusFor(P, Local.extended(Proc), RModBits,
                                              Proc);
-  });
+  };
+  Pool.forEach(P.numProcs(), Task);
   return Result;
 }
 
 analysis::GModResult
 parallel::solveGModLevels(const ir::Program &P, const graph::CallGraph &CG,
                           const analysis::VarMasks &Masks,
-                          const std::vector<BitVector> &IModPlus,
-                          ThreadPool &Pool, GModScheduleStats *Stats) {
+                          const std::vector<EffectSet> &IModPlus,
+                          ThreadPool &Pool, GModScheduleStats *Stats,
+                          const ScheduleOptions &Sched) {
+  const unsigned DP = P.maxProcLevel();
+
+  // One working lane (a 1-thread pool, or a K-lane pool the adaptive
+  // policy will never fan out on this host): the level machinery — a
+  // condensation this function would otherwise build, level buckets, the
+  // per-component kernel's edge partitioning — is all bookkeeping on top
+  // of what the sequential solvers already do.  Delegate to the same
+  // solver the sequential analyzer's Auto choice picks; results are the
+  // shared fixed point either way, and asking for K lanes here costs
+  // exactly what K=1 costs.  Stats stay zero: nothing was scheduled.
+  if (Pool.threads() == 1 || Sched.neverFansOut())
+    return DP <= 1 ? analysis::solveGMod(P, CG, Masks, IModPlus)
+                   : analysis::solveMultiLevelCombined(P, CG, Masks, IModPlus);
+
   const Digraph &G = CG.graph();
   observe::ManualSpan CondenseSpan("gmod.condense");
   SccDecomposition Sccs = computeSccs(G);
 
   const std::size_t V = P.numVars();
-  const unsigned DP = P.maxProcLevel();
 
   // Below[L] = variables declared at nesting levels < L: the §4 filter for
   // an edge whose callee sits at level L (only those variables survive the
   // return).  For two-level programs Below[1] is exactly GLOBAL, making
   // this the Figure 2 filter.
-  std::vector<BitVector> Below(DP + 1, BitVector(V));
+  std::vector<EffectSet> Below(DP + 1, EffectSet(V));
   for (unsigned L = 1; L <= DP; ++L) {
     Below[L] = Below[L - 1];
     Below[L].orWith(Masks.level(L - 1));
@@ -210,7 +278,7 @@ parallel::solveGModLevels(const ir::Program &P, const graph::CallGraph &CG,
       // contribution to all others, and F∘F = F closes the loop.  Two
       // linear sweeps instead of an O(diameter)-round iteration, which
       // is what keeps a single giant SCC from serializing the solve.
-      BitVector Rep(V);
+      EffectSet Rep(V);
       for (NodeId M : Members)
         Rep.orWith(Result.GMod[M]);
       Rep.andWith(Below[UniformLevel]);
@@ -232,23 +300,19 @@ parallel::solveGModLevels(const ir::Program &P, const graph::CallGraph &CG,
     }
   };
 
-  if (Pool.threads() == 1) {
-    CondenseSpan.close();
-    // Reverse-topological component ids make the ascending sweep a valid
-    // one-lane schedule; no buckets or indirect calls (see solveRModLevels).
-    for (std::uint32_t C = 0; C != Sccs.numSccs(); ++C)
-      Kernel(C);
-    return Result;
-  }
-
-  LevelSchedule Sched = computeLevelSchedule(G, Sccs);
+  LevelSchedule Levels = computeLevelSchedule(G, Sccs);
   CondenseSpan.close();
   if (Stats) {
-    Stats->Levels = Sched.numLevels();
+    Stats->Levels = Levels.numLevels();
     Stats->WidestLevel = 0;
-    for (std::size_t L = 0; L != Sched.numLevels(); ++L)
-      Stats->WidestLevel = std::max(Stats->WidestLevel, Sched.level(L).size());
+    for (std::size_t L = 0; L != Levels.numLevels(); ++L)
+      Stats->WidestLevel = std::max(Stats->WidestLevel, Levels.level(L).size());
   }
+
+  // A GMOD task streams whole effect-set words; width x universe words is
+  // the level's estimated word work, the quantity the CostReport rows
+  // charge per level.
+  const std::size_t WordsPerTask = EffectSet(V).wordCount();
 
   // One std::function for the whole solve, with only the bucket pointer
   // changing between levels.
@@ -256,13 +320,27 @@ parallel::solveGModLevels(const ir::Program &P, const graph::CallGraph &CG,
   const std::function<void(std::size_t)> Task = [&](std::size_t TaskI) {
     Kernel((*Bucket)[TaskI]);
   };
-  for (std::size_t L = 0; L != Sched.numLevels(); ++L) {
-    // Per-level span on the coordinating thread: wall time is the level's
-    // barrier-to-barrier latency, bv_ops the workers' combined word work
-    // (the barrier orders their counter writes before the close).
-    observe::TraceSpan LevelSpan("gmod.level");
-    Bucket = &Sched.level(L);
-    Pool.parallelFor(Bucket->size(), Task);
+  for (std::size_t L = 0; L != Levels.numLevels(); ++L) {
+    Bucket = &Levels.level(L);
+    if (Sched.shouldFanOut(Bucket->size(), WordsPerTask)) {
+      // Per-level span on the coordinating thread: wall time is the
+      // level's barrier-to-barrier latency, bv_ops the workers' combined
+      // word work (the barrier orders their counter writes before the
+      // close).
+      observe::TraceSpan LevelSpan("gmod.level");
+      Pool.parallelFor(Bucket->size(), Task, Sched.ChunkSize);
+      if (Stats)
+        ++Stats->FanoutLevels;
+    } else {
+      // Shallow level: run it on this lane.  Adjacent shallow levels
+      // merge into one uninterrupted sweep — no barrier, no handoff, no
+      // span (a span per merged level would itself be the overhead the
+      // merge removes).
+      for (std::uint32_t C : *Bucket)
+        Kernel(C);
+      if (Stats)
+        ++Stats->InlineLevels;
+    }
   }
 
   return Result;

@@ -47,7 +47,7 @@
 #include "graph/CallGraph.h"
 #include "ir/Program.h"
 #include "parallel/ThreadPool.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <cstddef>
 #include <vector>
@@ -55,40 +55,96 @@
 namespace ipse {
 namespace parallel {
 
+/// Per-level fan-out policy for the level-scheduled solvers.  With two or
+/// more lanes available, each level still chooses between fanning out
+/// across the pool and running inline on the coordinating lane: a level's
+/// estimated word work (width x words per task) has to clear the handoff
+/// cost of waking the pool, or parallelism is pure loss.  Consecutive
+/// levels that fall below the bar merge into one uninterrupted inline
+/// sweep — no barrier, no pool traffic — which is what keeps the deep,
+/// narrow tail of a condensation (a chain has a level per component) from
+/// drowning K > 1 in per-level overhead.
+struct ScheduleOptions {
+  /// Decide fan-out per level.  false restores unconditional fan-out at
+  /// K > 1 (differential and TSan tests use this to force pool traffic on
+  /// every level regardless of host shape).
+  bool AdaptiveFanout = true;
+  /// A level fans out only with at least this many tasks (below it there
+  /// is nothing to spread).
+  std::size_t MinFanoutTasks = 2;
+  /// ... and only when width x words-per-task reaches this many words of
+  /// estimated work.  The default is a few hundred microseconds of kernel
+  /// work — comfortably above one pool handoff.
+  std::size_t MinFanoutWords = 2048;
+  /// Chunk size forwarded to ThreadPool::parallelFor (0 = auto).
+  std::size_t ChunkSize = 0;
+  /// Lanes the host can actually run at once; fanning out past it only
+  /// adds contention, so a level fans out only when this is > 1.  0 means
+  /// unknown (fan out on faith).  Defaulted from hardware_concurrency()
+  /// by the analyzer options; the pool's width is not clamped — only the
+  /// per-level decision — so tests forcing AdaptiveFanout = false still
+  /// drive every pool path on any host.
+  unsigned HardwareLanes = 0;
+
+  /// The fan-out decision for one level.
+  bool shouldFanOut(std::size_t Width, std::size_t WordsPerTask) const {
+    if (!AdaptiveFanout)
+      return true;
+    return HardwareLanes != 1 && Width >= MinFanoutTasks &&
+           Width * WordsPerTask >= MinFanoutWords;
+  }
+
+  /// True when no level can ever clear the bar (a single real lane): the
+  /// solvers then skip the level machinery entirely and delegate to their
+  /// sequential reference counterparts, so asking for K lanes on a
+  /// one-core host costs exactly what the sequential engine costs.
+  bool neverFansOut() const { return AdaptiveFanout && HardwareLanes == 1; }
+};
+
 /// Shape of a level-scheduled GMOD solve, reported for benchmarks: the
 /// available parallelism is bounded by WidestLevel, and Levels barriers are
-/// paid regardless of thread count.  Levels and WidestLevel are filled only
-/// when the solve actually level-schedules (two or more lanes); a single
-/// lane sweeps components in reverse-topological id order directly and
-/// reports them as zero.
+/// paid regardless of thread count.  All fields are filled only when the
+/// solve actually level-schedules; a single working lane (one thread, or a
+/// pool ScheduleOptions::neverFansOut() will never feed) delegates to the
+/// sequential solver and reports everything as zero — nothing was
+/// scheduled.  FanoutLevels + InlineLevels == Levels: the split records
+/// how many levels cleared the ScheduleOptions bar and went to the pool
+/// versus merging into the coordinating lane's inline sweep.
 struct GModScheduleStats {
   std::size_t Components = 0;
   std::size_t Levels = 0;
   std::size_t WidestLevel = 0;
+  std::size_t FanoutLevels = 0;
+  std::size_t InlineLevels = 0;
 };
 
 /// Figure 1, level-scheduled.  Interface mirrors analysis::solveRModOnBits
 /// (and returns identical ModifiedFormals *and* BooleanSteps).
 analysis::RModResult solveRModLevels(const ir::Program &P,
                                      const graph::BindingGraph &BG,
-                                     const BitVector &FormalBits,
-                                     ThreadPool &Pool);
+                                     const EffectSet &FormalBits,
+                                     ThreadPool &Pool,
+                                     const ScheduleOptions &Sched = {});
 
 /// Equation (5) fanned out per procedure.  \p ExtImod holds the
 /// nesting-extended IMOD set of each procedure (what LocalEffects::extended
-/// returns); \p RModBits the solved formal-parameter problem.
-std::vector<BitVector>
+/// returns); \p RModBits the solved formal-parameter problem.  \p Sched
+/// decides whether the per-procedure sweep is worth the pool at all
+/// (width = numProcs, words-per-task = one effect universe).
+std::vector<EffectSet>
 computeIModPlusParallel(const ir::Program &P,
-                        const std::vector<BitVector> &ExtImod,
-                        const BitVector &RModBits, ThreadPool &Pool);
+                        const std::vector<EffectSet> &ExtImod,
+                        const EffectSet &RModBits, ThreadPool &Pool,
+                        const ScheduleOptions &Sched = {});
 
 /// Same, reading the extended IMOD sets straight out of \p Local — no
 /// per-procedure copy of the inputs (the batch analyzer's path; the
 /// incremental session passes its resident Ext vector instead).
-std::vector<BitVector>
+std::vector<EffectSet>
 computeIModPlusParallel(const ir::Program &P,
                         const analysis::LocalEffects &Local,
-                        const BitVector &RModBits, ThreadPool &Pool);
+                        const EffectSet &RModBits, ThreadPool &Pool,
+                        const ScheduleOptions &Sched = {});
 
 /// Equation (4) with the multi-level filter, level-scheduled.  Handles any
 /// nesting depth (degenerates to the Figure 2 filter when dP <= 1) and
@@ -96,9 +152,10 @@ computeIModPlusParallel(const ir::Program &P,
 analysis::GModResult solveGModLevels(const ir::Program &P,
                                      const graph::CallGraph &CG,
                                      const analysis::VarMasks &Masks,
-                                     const std::vector<BitVector> &IModPlus,
+                                     const std::vector<EffectSet> &IModPlus,
                                      ThreadPool &Pool,
-                                     GModScheduleStats *Stats = nullptr);
+                                     GModScheduleStats *Stats = nullptr,
+                                     const ScheduleOptions &Sched = {});
 
 } // namespace parallel
 } // namespace ipse

@@ -15,57 +15,103 @@ using namespace ipse;
 using namespace ipse::parallel;
 
 namespace {
-/// Task-queue capacity.  Producers block (not fail) on a full queue and
-/// consumers are always draining, so this is a throttle, not a limit on
-/// batch size; a modest constant keeps the queue's memory bounded while a
-/// level with thousands of components streams through.
-constexpr std::size_t QueueCapacity = 1024;
+
+constexpr std::uint64_t IndexMask = 0xffffffffu;
+
+// The claim word carries the low 32 bits of the generation; comparisons
+// truncate the same way, so the scheme survives generation wrap-around.
+std::uint64_t packClaim(std::uint64_t Gen, std::size_t Index) {
+  return ((Gen & IndexMask) << 32) | Index;
+}
+
 } // namespace
 
 ThreadPool::ThreadPool(unsigned Threads)
-    : Lanes(Threads < 1 ? 1 : Threads),
-      // A single lane never touches the queue (parallelFor degenerates to
-      // an inline loop), so don't pay its slot array either.
-      Tasks(Lanes > 1 ? QueueCapacity : 1), IdleNs(Lanes - 1) {
+    : Lanes(Threads < 1 ? 1 : Threads), IdleNs(Lanes - 1) {
+  // Workers spawn lazily on the first fan-out (ensureWorkers): an engine
+  // whose schedule inlines every level — the adaptive policy on a small
+  // host — never pays thread creation at all.
   Workers.reserve(Lanes - 1);
+}
+
+void ThreadPool::ensureWorkers() {
+  if (!Workers.empty() || Lanes == 1)
+    return;
   for (unsigned I = 1; I < Lanes; ++I)
     Workers.emplace_back([this, I] { workerLoop(I - 1); });
 }
 
 ThreadPool::~ThreadPool() {
-  Tasks.close();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Shutdown = true;
+  }
+  BatchReady.notify_all();
   for (std::thread &W : Workers)
     W.join();
 }
 
-void ThreadPool::runIndex(std::size_t Index) {
-  (*Current.Fn)(Index);
+void ThreadPool::runChunks(const BatchView &B) {
+  std::size_t Done = 0;
+  std::uint64_t Cur = Claim.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((Cur >> 32) != (B.Gen & IndexMask))
+      break; // A newer batch owns the claim word; this one is finished.
+    std::size_t Begin = static_cast<std::size_t>(Cur & IndexMask);
+    if (Begin >= B.NumTasks)
+      break;
+    std::size_t End = Begin + B.Chunk;
+    if (End > B.NumTasks)
+      End = B.NumTasks;
+    if (!Claim.compare_exchange_weak(Cur, packClaim(B.Gen, End),
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed))
+      continue; // Cur reloaded; re-check generation and range.
+    for (std::size_t I = Begin; I != End; ++I)
+      (*B.Fn)(I);
+    Done += End - Begin;
+    Cur = Claim.load(std::memory_order_relaxed);
+  }
+  if (Done == 0)
+    return;
   std::lock_guard<std::mutex> Lock(M);
-  if (--Current.Remaining == 0)
+  Remaining -= Done;
+  if (Remaining == 0)
     AllDone.notify_all();
 }
 
 void ThreadPool::workerLoop(unsigned Worker) {
+  std::uint64_t SeenGen = 0;
   for (;;) {
-    // Idle = blocked in pop().  The final pop (queue closed) also counts,
-    // but engines read idleNanos() deltas around a run, before shutdown.
-    std::uint64_t T0 = 0;
-    if constexpr (observe::enabled())
-      T0 = observe::nowNanos();
-    std::optional<std::size_t> Index = Tasks.pop();
-    if constexpr (observe::enabled())
-      IdleNs[Worker].fetch_add(observe::nowNanos() - T0,
-                               std::memory_order_relaxed);
-    if (!Index)
-      break;
-    runIndex(*Index);
+    BatchView B;
+    {
+      // Idle = blocked waiting for a batch.  The final wait (shutdown)
+      // also counts, but engines read idleNanos() deltas around a run,
+      // before destruction.
+      std::uint64_t T0 = 0;
+      if constexpr (observe::enabled())
+        T0 = observe::nowNanos();
+      std::unique_lock<std::mutex> Lock(M);
+      BatchReady.wait(Lock,
+                      [&] { return Shutdown || Current.Gen != SeenGen; });
+      if constexpr (observe::enabled())
+        IdleNs[Worker].fetch_add(observe::nowNanos() - T0,
+                                 std::memory_order_relaxed);
+      if (Shutdown)
+        return;
+      B = Current;
+      SeenGen = B.Gen;
+    }
+    runChunks(B);
   }
 }
 
 void ThreadPool::parallelFor(std::size_t NumTasks,
-                             const std::function<void(std::size_t)> &Fn) {
+                             const std::function<void(std::size_t)> &Fn,
+                             std::size_t ChunkSize) {
   if (NumTasks == 0)
     return;
+  assert(NumTasks <= IndexMask && "batch exceeds 32-bit index range");
 
   if (Lanes == 1 || NumTasks == 1) {
     // Inline path: no handoff, no locks.  This is the whole K=1 engine and
@@ -76,27 +122,36 @@ void ThreadPool::parallelFor(std::size_t NumTasks,
     return;
   }
 
+  if (ChunkSize == 0) {
+    // A few claims per lane: coarse enough that claim traffic is O(lanes),
+    // fine enough that an unlucky lane can still shed load.
+    ChunkSize = NumTasks / (std::size_t(Lanes) * 4);
+    if (ChunkSize == 0)
+      ChunkSize = 1;
+  }
+
+  ensureWorkers();
+
+  BatchView Mine;
   {
     std::lock_guard<std::mutex> Lock(M);
     assert(Current.Fn == nullptr && "ThreadPool::parallelFor is not reentrant");
     Current.Fn = &Fn;
-    Current.Remaining = NumTasks;
+    Current.NumTasks = NumTasks;
+    Current.Chunk = ChunkSize;
+    ++Current.Gen;
+    Mine = Current;
+    // Publish the claim word before any worker can wake: the mutex orders
+    // this store ahead of every claim in the new generation.
+    Claim.store(packClaim(Current.Gen, 0), std::memory_order_relaxed);
+    Remaining = NumTasks;
   }
+  BatchReady.notify_all();
 
-  // Feed the queue, helping with execution whenever it is full (push would
-  // otherwise block while this thread could be working).
-  for (std::size_t I = 0; I != NumTasks; ++I) {
-    while (!Tasks.tryPush(I)) {
-      std::optional<std::size_t> Mine = Tasks.tryPop();
-      if (Mine)
-        runIndex(*Mine);
-    }
-  }
-  // All indices are queued; drain alongside the workers.
-  while (std::optional<std::size_t> Mine = Tasks.tryPop())
-    runIndex(*Mine);
+  // Lane 0 works too.
+  runChunks(Mine);
 
   std::unique_lock<std::mutex> Lock(M);
-  AllDone.wait(Lock, [this] { return Current.Remaining == 0; });
+  AllDone.wait(Lock, [this] { return Remaining == 0; });
   Current.Fn = nullptr;
 }

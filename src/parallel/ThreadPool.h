@@ -12,16 +12,25 @@
 /// procedure for report fan-out).  The caller thread participates in the
 /// work, so a pool of K "threads" is K executing lanes backed by K-1
 /// std::threads — and K <= 1 degenerates to a plain inline loop with no
-/// queue, no locks, and no threads, which is what makes the K=1
+/// atomics, no locks, and no threads, which is what makes the K=1
 /// configuration's overhead against the sequential engine negligible.
 ///
-/// Tasks are distributed through a support::MpmcQueue (the service's
-/// bounded queue, reused as the level task queue).  parallelFor is a full
-/// barrier: it returns only after every index has been processed, and the
-/// mutex handoff on the completion latch orders every worker's writes
-/// before the caller's return — the happens-before edge the level
-/// scheduler's "read only completed predecessor levels" invariant (and
-/// exact BitVector op accounting) relies on.
+/// Work is distributed by chunk self-scheduling: a batch publishes one
+/// generation-tagged claim word, and every lane grabs contiguous chunks of
+/// indices from it with a CAS until the range is exhausted.  Compared to
+/// pushing one queue entry per index (the previous design), a level of a
+/// thousand small SCCs costs each lane a handful of CAS operations instead
+/// of a thousand queue handoffs — fan-out overhead scales with lanes, not
+/// with components, which is what lets K > 1 keep its head above the
+/// sequential engine on shallow levels.  Lanes that finish their chunks
+/// early keep claiming from the shared word, so load balance is the same
+/// work-stealing effect the queue gave, without the per-index traffic.
+///
+/// parallelFor is a full barrier: it returns only after every index has
+/// been processed, and the mutex handoff on the completion latch orders
+/// every worker's writes before the caller's return — the happens-before
+/// edge the level scheduler's "read only completed predecessor levels"
+/// invariant (and exact word-op accounting) relies on.
 ///
 /// The pool is not reentrant: parallelFor must not be called from inside a
 /// task, and only one parallelFor may run at a time (the batch engine is a
@@ -32,11 +41,10 @@
 #ifndef IPSE_PARALLEL_THREADPOOL_H
 #define IPSE_PARALLEL_THREADPOOL_H
 
-#include "support/MpmcQueue.h"
-
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -60,7 +68,7 @@ public:
   unsigned threads() const { return Lanes; }
 
   /// Total nanoseconds the worker lanes (not lane 0) have spent blocked
-  /// waiting for tasks since construction.  Monotone; engines report the
+  /// waiting for batches since construction.  Monotone; engines report the
   /// delta across a run.  Always 0 when the observability layer is
   /// compiled out (IPSE_OBSERVE=OFF) or at K = 1.
   std::uint64_t idleNanos() const {
@@ -70,13 +78,18 @@ public:
     return Total;
   }
 
-  /// Invokes Fn(I) for every I in [0, NumTasks), distributing indices
-  /// across the pool, and returns once all have completed.  Fn must write
-  /// only state owned by its index (disjoint-write discipline); under that
-  /// contract the result is independent of scheduling.  Exceptions must
-  /// not escape Fn (the library asserts rather than throws).
+  /// Invokes Fn(I) for every I in [0, NumTasks), distributing chunks of
+  /// indices across the pool, and returns once all have completed.  Fn
+  /// must write only state owned by its index (disjoint-write
+  /// discipline); under that contract the result is independent of
+  /// scheduling and of \p ChunkSize.  ChunkSize = 0 picks a chunk that
+  /// gives each lane a few claims per batch; callers with unusually
+  /// lumpy per-index cost can pass 1 to fall back to index-at-a-time
+  /// stealing.  Exceptions must not escape Fn (the library asserts
+  /// rather than throws).
   void parallelFor(std::size_t NumTasks,
-                   const std::function<void(std::size_t)> &Fn);
+                   const std::function<void(std::size_t)> &Fn,
+                   std::size_t ChunkSize = 0);
 
   /// parallelFor that skips the std::function wrapper on a single lane:
   /// the body is invoked (and inlined) directly, so per-index work as
@@ -93,24 +106,43 @@ public:
   }
 
 private:
-  struct Batch {
+  /// Everything a lane needs to execute one batch, snapshotted under the
+  /// mutex so a late-waking worker never reads state the next batch has
+  /// already overwritten.
+  struct BatchView {
     const std::function<void(std::size_t)> *Fn = nullptr;
-    std::size_t Remaining = 0; ///< Indices not yet finished.
+    std::size_t NumTasks = 0;
+    std::size_t Chunk = 1;
+    std::uint64_t Gen = 0;
   };
 
   void workerLoop(unsigned Worker);
-  /// Runs one index and, if it was the last, releases the barrier.
-  void runIndex(std::size_t Index);
+  /// Claims and runs chunks of \p B until the batch's range is exhausted
+  /// (or a newer generation has replaced it), then folds the completed
+  /// count into the barrier.
+  void runChunks(const BatchView &B);
+  /// Spawns the worker threads on the first fan-out; until then the pool
+  /// is just a number.  Called only from parallelFor (whose contract
+  /// already serializes callers), so no extra synchronization is needed.
+  void ensureWorkers();
 
   unsigned Lanes = 1;
-  MpmcQueue<std::size_t> Tasks;
   std::vector<std::thread> Workers;
   /// Per-worker idle accumulators (size Lanes - 1); see idleNanos().
   std::vector<std::atomic<std::uint64_t>> IdleNs;
 
+  /// The claim word: (generation << 32) | next unclaimed index.  The
+  /// generation tag makes a stale claim attempt (a worker that slept
+  /// through the end of its batch) fail its CAS and retire harmlessly
+  /// instead of stealing indices from the batch that replaced it.
+  std::atomic<std::uint64_t> Claim{0};
+
   std::mutex M;
-  std::condition_variable AllDone;
-  Batch Current;
+  std::condition_variable BatchReady; ///< Workers wait for a new generation.
+  std::condition_variable AllDone;    ///< The caller waits for Remaining == 0.
+  BatchView Current;                  ///< Guarded by M.
+  std::size_t Remaining = 0;          ///< Indices not yet finished; guarded by M.
+  bool Shutdown = false;              ///< Guarded by M.
 };
 
 } // namespace parallel

@@ -347,24 +347,29 @@ bool ProgramCodec::decode(ByteReader &R, ir::Program &Out, std::string &Err) {
 
 namespace {
 
-void encodeBitVector(ByteWriter &W, const BitVector &BV) {
+void encodeBitVector(ByteWriter &W, const EffectSet &BV) {
+  // Canonical dense export: the wire format is (bit count, word array)
+  // regardless of which representation the set is resident in, so
+  // snapshots written by a sparse-policy process load anywhere.
   W.u64(BV.size());
-  for (std::size_t I = 0; I != BV.rawWordCount(); ++I)
-    W.u64(BV.rawWords()[I]);
+  std::vector<EffectSet::Word> Words;
+  BV.exportWords(Words);
+  for (EffectSet::Word Wd : Words)
+    W.u64(Wd);
 }
 
-bool decodeBitVector(ByteReader &R, BitVector &Out) {
+bool decodeBitVector(ByteReader &R, EffectSet &Out) {
   std::uint64_t Bits = 0;
   if (!R.u64(Bits))
     return false;
   std::size_t NumWords = (Bits + 63) / 64;
   if (NumWords > R.remaining() / 8)
     return false;
-  std::vector<BitVector::Word> Words(NumWords);
+  std::vector<EffectSet::Word> Words(NumWords);
   // On little-endian hosts with 64-bit words the in-memory layout matches
   // the wire format, so the plane payload (the bulk of a snapshot) loads
   // with one copy instead of a shift-and-or per word.
-  if constexpr (sizeof(BitVector::Word) == 8 &&
+  if constexpr (sizeof(EffectSet::Word) == 8 &&
                 std::endian::native == std::endian::little) {
     if (!R.raw(Words.data(), NumWords * 8))
       return false;
@@ -373,27 +378,27 @@ bool decodeBitVector(ByteReader &R, BitVector &Out) {
     for (std::size_t I = 0; I != NumWords; ++I) {
       if (!R.u64(W))
         return false;
-      Words[I] = static_cast<BitVector::Word>(W);
+      Words[I] = static_cast<EffectSet::Word>(W);
     }
   }
   Out.assignWords(static_cast<std::size_t>(Bits), Words.data(), NumWords);
   return true;
 }
 
-void encodeBvArray(ByteWriter &W, const std::vector<BitVector> &Vs) {
+void encodeBvArray(ByteWriter &W, const std::vector<EffectSet> &Vs) {
   W.u32(static_cast<std::uint32_t>(Vs.size()));
-  for (const BitVector &BV : Vs)
+  for (const EffectSet &BV : Vs)
     encodeBitVector(W, BV);
 }
 
-bool decodeBvArray(ByteReader &R, std::vector<BitVector> &Out) {
+bool decodeBvArray(ByteReader &R, std::vector<EffectSet> &Out) {
   std::uint32_t N = 0;
   if (!R.u32(N) || N > R.remaining() / 8)
     return false;
   Out.clear();
   Out.reserve(N);
   for (std::uint32_t I = 0; I != N; ++I) {
-    BitVector BV;
+    EffectSet BV;
     if (!decodeBitVector(R, BV))
       return false;
     Out.push_back(std::move(BV));
@@ -719,12 +724,12 @@ bool SnapshotReader::read(const std::string &Path, SnapshotData &Out,
       Err = "plane dimensions disagree with program";
       return false;
     }
-    for (const BitVector &BV : K.Own)
+    for (const EffectSet &BV : K.Own)
       if (BV.size() != Out.Program.numVars()) {
         Err = "plane dimensions disagree with program";
         return false;
       }
-    for (const BitVector &BV : K.GMod)
+    for (const EffectSet &BV : K.GMod)
       if (BV.size() != Out.Program.numVars()) {
         Err = "plane dimensions disagree with program";
         return false;

@@ -62,17 +62,17 @@ AnalysisSnapshot::capturePartial(demand::DemandSession &Session,
   return S;
 }
 
-BitVector AnalysisSnapshot::projectSitePartial(const analysis::GModResult &G,
+EffectSet AnalysisSnapshot::projectSitePartial(const analysis::GModResult &G,
                                                ir::CallSiteId Site) const {
   const ir::CallSite &C = P.callSite(Site);
   const ir::Procedure &Callee = P.proc(C.Callee);
-  BitVector Local(P.numVars());
+  EffectSet Local(P.numVars());
   for (ir::VarId F : Callee.Formals)
     Local.set(F.index());
   for (ir::VarId L : Callee.Locals)
     Local.set(L.index());
-  const BitVector &GM = G.of(C.Callee);
-  BitVector Out(P.numVars());
+  const EffectSet &GM = G.of(C.Callee);
+  EffectSet Out(P.numVars());
   Out.orWithAndNot(GM, Local);
   for (unsigned Pos = 0; Pos != C.Actuals.size(); ++Pos) {
     const ir::Actual &A = C.Actuals[Pos];
@@ -82,11 +82,11 @@ BitVector AnalysisSnapshot::projectSitePartial(const analysis::GModResult &G,
   return Out;
 }
 
-BitVector
+EffectSet
 AnalysisSnapshot::effectOfStmtPartial(const analysis::GModResult &G,
                                       ir::StmtId S) const {
   const ir::Statement &Stmt = P.stmt(S);
-  BitVector Out(P.numVars());
+  EffectSet Out(P.numVars());
   // Direct effects come from LMod for both kinds — DMOD/DUSE differ only
   // in which GMOD plane the call sites project (mirrors dmodOfStmt).
   for (ir::VarId V : Stmt.LMod)
@@ -96,20 +96,20 @@ AnalysisSnapshot::effectOfStmtPartial(const analysis::GModResult &G,
   return Out;
 }
 
-BitVector AnalysisSnapshot::modNoAlias(ir::StmtId S) const {
+EffectSet AnalysisSnapshot::modNoAlias(ir::StmtId S) const {
   if (Partial)
     return effectOfStmtPartial(ModResult, S);
   return analysis::modOfStmt(P, *Masks, ModResult, NoAliases, S);
 }
 
-BitVector AnalysisSnapshot::useNoAlias(ir::StmtId S) const {
+EffectSet AnalysisSnapshot::useNoAlias(ir::StmtId S) const {
   assert(HasUse && "snapshot captured without a USE pipeline");
   if (Partial)
     return effectOfStmtPartial(UseResult, S);
   return analysis::modOfStmt(P, *Masks, UseResult, NoAliases, S);
 }
 
-BitVector AnalysisSnapshot::dmodSite(ir::CallSiteId C) const {
+EffectSet AnalysisSnapshot::dmodSite(ir::CallSiteId C) const {
   if (Partial)
     return projectSitePartial(ModResult, C);
   return analysis::projectCallSite(P, *Masks, ModResult, C);

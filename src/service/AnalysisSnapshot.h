@@ -30,7 +30,7 @@
 #include "ir/AliasInfo.h"
 #include "ir/Program.h"
 #include "service/ScriptDriver.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <memory>
 
@@ -64,11 +64,11 @@ public:
   /// The program state this snapshot was computed from.
   const ir::Program &program() const override { return P; }
 
-  const BitVector &gmod(ir::ProcId Proc) const override {
+  const EffectSet &gmod(ir::ProcId Proc) const override {
     assert(covered(Proc, analysis::EffectKind::Mod) && "uncovered GMOD read");
     return ModResult.of(Proc);
   }
-  const BitVector &guse(ir::ProcId Proc) const override {
+  const EffectSet &guse(ir::ProcId Proc) const override {
     assert(HasUse && "snapshot captured without a USE pipeline");
     assert(covered(Proc, analysis::EffectKind::Use) && "uncovered GUSE read");
     return UseResult.of(Proc);
@@ -78,9 +78,9 @@ public:
     return (Kind == analysis::EffectKind::Mod ? ModRMod : UseRMod)
         .test(Formal.index());
   }
-  BitVector modNoAlias(ir::StmtId S) const override;
-  BitVector useNoAlias(ir::StmtId S) const override;
-  BitVector dmodSite(ir::CallSiteId C) const override;
+  EffectSet modNoAlias(ir::StmtId S) const override;
+  EffectSet useNoAlias(ir::StmtId S) const override;
+  EffectSet dmodSite(ir::CallSiteId C) const override;
 
   bool tracksUse() const { return HasUse; }
 
@@ -109,16 +109,16 @@ private:
   /// be(GMOD(callee)) for partial snapshots, which carry no VarMasks: the
   /// callee's local mask is rebuilt per call, keeping resident memory
   /// proportional to the solved region instead of O(procs × vars).
-  BitVector projectSitePartial(const analysis::GModResult &G,
+  EffectSet projectSitePartial(const analysis::GModResult &G,
                                ir::CallSiteId Site) const;
-  BitVector effectOfStmtPartial(const analysis::GModResult &G,
+  EffectSet effectOfStmtPartial(const analysis::GModResult &G,
                                 ir::StmtId S) const;
 
   std::uint64_t Gen = 0;
   ir::Program P;
   std::unique_ptr<analysis::VarMasks> Masks;
   analysis::GModResult ModResult, UseResult;
-  BitVector ModRMod, UseRMod;
+  EffectSet ModRMod, UseRMod;
   ir::AliasInfo NoAliases;
   bool HasUse = false;
   bool Partial = false;

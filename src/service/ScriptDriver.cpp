@@ -329,54 +329,54 @@ incremental::Edit service::applyEditCommand(incremental::AnalysisSession &Sessio
 //===----------------------------------------------------------------------===//
 
 const Program &SessionQueryTarget::program() const { return S.program(); }
-const BitVector &SessionQueryTarget::gmod(ProcId Proc) const {
+const EffectSet &SessionQueryTarget::gmod(ProcId Proc) const {
   return S.gmod(Proc);
 }
-const BitVector &SessionQueryTarget::guse(ProcId Proc) const {
+const EffectSet &SessionQueryTarget::guse(ProcId Proc) const {
   return S.guse(Proc);
 }
 bool SessionQueryTarget::rmodContains(VarId Formal,
                                       analysis::EffectKind Kind) const {
   return S.rmodContains(Formal, Kind);
 }
-BitVector SessionQueryTarget::modNoAlias(StmtId St) const {
+EffectSet SessionQueryTarget::modNoAlias(StmtId St) const {
   ir::AliasInfo NoAliases(S.program());
   return S.mod(St, NoAliases);
 }
-BitVector SessionQueryTarget::useNoAlias(StmtId St) const {
+EffectSet SessionQueryTarget::useNoAlias(StmtId St) const {
   ir::AliasInfo NoAliases(S.program());
   return S.use(St, NoAliases);
 }
-BitVector SessionQueryTarget::dmodSite(ir::CallSiteId C) const {
+EffectSet SessionQueryTarget::dmodSite(ir::CallSiteId C) const {
   return S.dmod(C);
 }
 
 const Program &DemandSessionQueryTarget::program() const {
   return S.program();
 }
-const BitVector &DemandSessionQueryTarget::gmod(ProcId Proc) const {
+const EffectSet &DemandSessionQueryTarget::gmod(ProcId Proc) const {
   return S.gmod(Proc);
 }
-const BitVector &DemandSessionQueryTarget::guse(ProcId Proc) const {
+const EffectSet &DemandSessionQueryTarget::guse(ProcId Proc) const {
   return S.guse(Proc);
 }
 bool DemandSessionQueryTarget::rmodContains(VarId Formal,
                                             analysis::EffectKind Kind) const {
   return S.rmodContains(Formal, Kind);
 }
-BitVector DemandSessionQueryTarget::modNoAlias(StmtId St) const {
+EffectSet DemandSessionQueryTarget::modNoAlias(StmtId St) const {
   ir::AliasInfo NoAliases(S.program());
   return S.mod(St, NoAliases);
 }
-BitVector DemandSessionQueryTarget::useNoAlias(StmtId St) const {
+EffectSet DemandSessionQueryTarget::useNoAlias(StmtId St) const {
   ir::AliasInfo NoAliases(S.program());
   return S.use(St, NoAliases);
 }
-BitVector DemandSessionQueryTarget::dmodSite(ir::CallSiteId C) const {
+EffectSet DemandSessionQueryTarget::dmodSite(ir::CallSiteId C) const {
   return S.dmod(C);
 }
 
-std::string service::setToString(const Program &P, const BitVector &Set) {
+std::string service::setToString(const Program &P, const EffectSet &Set) {
   std::vector<std::string> Names;
   Set.forEachSetBit([&](std::size_t Idx) {
     Names.push_back(
@@ -436,7 +436,7 @@ QueryResult service::evalQueryCommand(const QueryTarget &Target,
     const Program &P = Target.program();
     ProcId Proc = findProc(P, A[0], LineNo);
     bool IsMod = Cmd.Kind == ScriptCommand::Op::GMod;
-    const BitVector &Set = IsMod ? Target.gmod(Proc) : Target.guse(Proc);
+    const EffectSet &Set = IsMod ? Target.gmod(Proc) : Target.guse(Proc);
     OS << (IsMod ? "GMOD" : "GUSE") << "(" << A[0] << ") = {"
        << setToString(Target.program(), Set) << "}";
     return QueryResult{OS.str(), true};
@@ -460,7 +460,7 @@ QueryResult service::evalQueryCommand(const QueryTarget &Target,
     ProcId Proc = findProc(P, A[0], LineNo);
     StmtId St = stmtAt(P, Proc, parseIndex(A[1]), LineNo);
     bool IsMod = Cmd.Kind == ScriptCommand::Op::Mod;
-    BitVector Set = IsMod ? Target.modNoAlias(St) : Target.useNoAlias(St);
+    EffectSet Set = IsMod ? Target.modNoAlias(St) : Target.useNoAlias(St);
     OS << (IsMod ? "MOD" : "USE") << "(" << A[0] << "#" << A[1] << ") = {"
        << setToString(Target.program(), Set) << "}";
     return QueryResult{OS.str(), true};

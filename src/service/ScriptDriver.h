@@ -62,7 +62,7 @@
 #include "analysis/EffectKind.h"
 #include "incremental/Edit.h"
 #include "ir/Program.h"
-#include "support/BitVector.h"
+#include "support/EffectSet.h"
 
 #include <optional>
 #include <string>
@@ -190,15 +190,15 @@ class QueryTarget {
 public:
   virtual ~QueryTarget() = default;
   virtual const ir::Program &program() const = 0;
-  virtual const BitVector &gmod(ir::ProcId Proc) const = 0;
-  virtual const BitVector &guse(ir::ProcId Proc) const = 0;
+  virtual const EffectSet &gmod(ir::ProcId Proc) const = 0;
+  virtual const EffectSet &guse(ir::ProcId Proc) const = 0;
   virtual bool rmodContains(ir::VarId Formal,
                             analysis::EffectKind Kind) const = 0;
   /// MOD(s) / USE(s) under the empty alias relation (the protocol's view).
-  virtual BitVector modNoAlias(ir::StmtId S) const = 0;
-  virtual BitVector useNoAlias(ir::StmtId S) const = 0;
+  virtual EffectSet modNoAlias(ir::StmtId S) const = 0;
+  virtual EffectSet useNoAlias(ir::StmtId S) const = 0;
   /// DMOD projected at one call site (the `query proc#k` operand form).
-  virtual BitVector dmodSite(ir::CallSiteId C) const = 0;
+  virtual EffectSet dmodSite(ir::CallSiteId C) const = 0;
 };
 
 /// Adapts a live AnalysisSession to QueryTarget for the CLI path.
@@ -206,13 +206,13 @@ class SessionQueryTarget : public QueryTarget {
 public:
   explicit SessionQueryTarget(incremental::AnalysisSession &S) : S(S) {}
   const ir::Program &program() const override;
-  const BitVector &gmod(ir::ProcId Proc) const override;
-  const BitVector &guse(ir::ProcId Proc) const override;
+  const EffectSet &gmod(ir::ProcId Proc) const override;
+  const EffectSet &guse(ir::ProcId Proc) const override;
   bool rmodContains(ir::VarId Formal,
                     analysis::EffectKind Kind) const override;
-  BitVector modNoAlias(ir::StmtId S) const override;
-  BitVector useNoAlias(ir::StmtId S) const override;
-  BitVector dmodSite(ir::CallSiteId C) const override;
+  EffectSet modNoAlias(ir::StmtId S) const override;
+  EffectSet useNoAlias(ir::StmtId S) const override;
+  EffectSet dmodSite(ir::CallSiteId C) const override;
 
 private:
   incremental::AnalysisSession &S;
@@ -225,13 +225,13 @@ class DemandSessionQueryTarget : public QueryTarget {
 public:
   explicit DemandSessionQueryTarget(demand::DemandSession &S) : S(S) {}
   const ir::Program &program() const override;
-  const BitVector &gmod(ir::ProcId Proc) const override;
-  const BitVector &guse(ir::ProcId Proc) const override;
+  const EffectSet &gmod(ir::ProcId Proc) const override;
+  const EffectSet &guse(ir::ProcId Proc) const override;
   bool rmodContains(ir::VarId Formal,
                     analysis::EffectKind Kind) const override;
-  BitVector modNoAlias(ir::StmtId S) const override;
-  BitVector useNoAlias(ir::StmtId S) const override;
-  BitVector dmodSite(ir::CallSiteId C) const override;
+  EffectSet modNoAlias(ir::StmtId S) const override;
+  EffectSet useNoAlias(ir::StmtId S) const override;
+  EffectSet dmodSite(ir::CallSiteId C) const override;
 
 private:
   demand::DemandSession &S;
@@ -250,7 +250,7 @@ QueryResult evalQueryCommand(const QueryTarget &Target,
 
 /// Renders a variable set as sorted "a, p.b, ..." text (the rendering every
 /// driver shares).
-std::string setToString(const ir::Program &P, const BitVector &Set);
+std::string setToString(const ir::Program &P, const EffectSet &Set);
 
 } // namespace service
 } // namespace ipse

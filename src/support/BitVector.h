@@ -18,6 +18,8 @@
 #ifndef IPSE_SUPPORT_BITVECTOR_H
 #define IPSE_SUPPORT_BITVECTOR_H
 
+#include "support/OpCount.h"
+
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -164,17 +166,12 @@ public:
   /// \name Bit-vector operation accounting
   /// The paper measures algorithms in bit-vector steps; every word-level
   /// operation performed by the binary operators above is counted, letting
-  /// benchmarks report machine-independent work.  The accounting is
-  /// thread-safe: each thread accumulates into its own counter (registered
-  /// on first use, folded into a retired total at thread exit) and
-  /// opCount() aggregates live threads plus the retired total, so the
-  /// service's worker pool never tears or loses counts.  Counter writes are
-  /// relaxed single-writer stores; a resetOpCount() that races with
-  /// in-flight word operations can miss those operations but never
-  /// corrupts the counter (benchmarks reset between quiescent phases).
+  /// benchmarks report machine-independent work.  Forwarders to the shared
+  /// registry in support/OpCount.h, which EffectSet also feeds — one total
+  /// covers both set types.
   /// @{
-  static void resetOpCount();
-  static std::uint64_t opCount();
+  static void resetOpCount() { ops::reset(); }
+  static std::uint64_t opCount() { return ops::total(); }
   /// @}
 
 private:
@@ -186,29 +183,10 @@ private:
   void clearUnusedBits();
 
   /// Adds \p N word operations to this thread's counter.
-  static void countOps(std::uint64_t N);
+  static void countOps(std::uint64_t N) { ops::add(N); }
 
   std::size_t NumBits = 0;
   std::vector<Word> Words;
-};
-
-/// Samples BitVector::opCount() over a region: the count at construction is
-/// the baseline, delta() is the word operations performed since.  Under
-/// threads the sample is *exact* when both endpoints are quiescent points —
-/// no counted operation in flight — which a parallel::ThreadPool barrier
-/// guarantees: its completion handshake orders every worker's counted
-/// operations before the caller continues, so a scope opened before and
-/// read after a level-scheduled solve sees precisely that solve's words.
-/// Unlike resetOpCount(), scopes nest and never disturb other measurers.
-class OpCountScope {
-public:
-  OpCountScope() : Start(BitVector::opCount()) {}
-
-  /// Word operations counted since construction.
-  std::uint64_t delta() const { return BitVector::opCount() - Start; }
-
-private:
-  std::uint64_t Start;
 };
 
 } // namespace ipse

@@ -1,0 +1,99 @@
+//===- support/OpCount.cpp - Shared word-operation accounting -------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// Each thread that performs a counted operation owns one registry node; the
+// owner updates it with relaxed single-writer stores (no RMW, no cache-line
+// contention between workers), and readers sum the live nodes plus the
+// retired total under the registry mutex.  A node's count is folded into
+// Retired when its thread exits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OpCount.h"
+
+#include <atomic>
+#include <mutex>
+
+using namespace ipse;
+
+namespace {
+
+struct OpCounterNode {
+  std::atomic<std::uint64_t> Ops{0};
+  OpCounterNode *Prev = nullptr;
+  OpCounterNode *Next = nullptr;
+};
+
+struct OpCounterRegistry {
+  std::mutex M;
+  OpCounterNode *Head = nullptr;
+  std::uint64_t Retired = 0;
+
+  static OpCounterRegistry &instance() {
+    static OpCounterRegistry R;
+    return R;
+  }
+
+  void link(OpCounterNode &N) {
+    std::lock_guard<std::mutex> Lock(M);
+    N.Next = Head;
+    if (Head)
+      Head->Prev = &N;
+    Head = &N;
+  }
+
+  void unlink(OpCounterNode &N) {
+    std::lock_guard<std::mutex> Lock(M);
+    Retired += N.Ops.load(std::memory_order_relaxed);
+    if (N.Prev)
+      N.Prev->Next = N.Next;
+    else
+      Head = N.Next;
+    if (N.Next)
+      N.Next->Prev = N.Prev;
+  }
+
+  std::uint64_t total() {
+    std::lock_guard<std::mutex> Lock(M);
+    std::uint64_t Sum = Retired;
+    for (OpCounterNode *N = Head; N; N = N->Next)
+      Sum += N->Ops.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> Lock(M);
+    Retired = 0;
+    for (OpCounterNode *N = Head; N; N = N->Next)
+      N->Ops.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// RAII thread-local handle: registers on first use, retires at thread exit.
+struct OpCounterHandle {
+  OpCounterNode Node;
+  OpCounterHandle() { OpCounterRegistry::instance().link(Node); }
+  ~OpCounterHandle() { OpCounterRegistry::instance().unlink(Node); }
+};
+
+OpCounterNode &threadNode() {
+  thread_local OpCounterHandle Handle;
+  return Handle.Node;
+}
+
+} // namespace
+
+void ops::add(std::uint64_t N) {
+  OpCounterNode &Node = threadNode();
+  // Single-writer: only the owning thread stores, so load+store is enough.
+  Node.Ops.store(Node.Ops.load(std::memory_order_relaxed) + N,
+                 std::memory_order_relaxed);
+}
+
+std::uint64_t ops::total() { return OpCounterRegistry::instance().total(); }
+
+void ops::reset() { OpCounterRegistry::instance().reset(); }

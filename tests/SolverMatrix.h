@@ -62,7 +62,7 @@ struct FrontHalf {
   graph::BindingGraph BG;
   analysis::LocalEffects Local;
   analysis::RModResult RMod;
-  std::vector<BitVector> Plus;
+  std::vector<EffectSet> Plus;
 
   FrontHalf(const ir::Program &P, analysis::EffectKind Kind)
       : Masks(P), CG(P), BG(P), Local(P, Masks, Kind),
@@ -151,6 +151,35 @@ inline const std::vector<SolverEngine> &allSolverEngines() {
                      return viaFacade(Opts, P, K);
                    }});
     }
+    // The representation axis: the same engines with the effect-set
+    // storage pinned dense or sparse.  The oracle diff then proves the
+    // byte-identity promise of AnalysisOptions::Repr, not just Auto.
+    struct ReprEngine {
+      const char *Name;
+      ipse::AnalysisOptions::Engine Backend;
+      unsigned Threads;
+      EffectSet::Representation Repr;
+    };
+    for (ReprEngine RE : std::initializer_list<ReprEngine>{
+             {"analyzer-dense", ipse::AnalysisOptions::Engine::Sequential, 1,
+              EffectSet::Representation::Dense},
+             {"analyzer-sparse", ipse::AnalysisOptions::Engine::Sequential, 1,
+              EffectSet::Representation::Sparse},
+             {"parallel-k4-sparse", ipse::AnalysisOptions::Engine::Parallel, 4,
+              EffectSet::Representation::Sparse}})
+      E.push_back({RE.Name, false, [viaFacade, RE](const Program &P,
+                                                   EffectKind K) {
+                     ipse::AnalysisOptions Opts;
+                     Opts.Backend = RE.Backend;
+                     Opts.Threads = RE.Threads;
+                     Opts.Repr = RE.Repr;
+                     analysis::GModResult R = viaFacade(Opts, P, K);
+                     // Restore the process default for engines that do
+                     // not pass through the facade.
+                     EffectSet::setDefaultRepresentation(
+                         EffectSet::Representation::Auto);
+                     return R;
+                   }});
     return E;
   }();
   return Engines;

@@ -29,8 +29,8 @@ using namespace ipse::ir;
 namespace {
 
 /// Set-of-vars matcher helper.
-BitVector makeSet(std::size_t Universe, std::initializer_list<VarId> Vars) {
-  BitVector BV(Universe);
+EffectSet makeSet(std::size_t Universe, std::initializer_list<VarId> Vars) {
+  EffectSet BV(Universe);
   for (VarId V : Vars)
     BV.set(V.index());
   return BV;
@@ -209,7 +209,7 @@ TEST(IModPlus, ProjectsRModThroughActuals) {
   LocalEffects L(E.P, M, EffectKind::Mod);
   graph::BindingGraph BG(E.P);
   RModResult R = solveRMod(E.P, BG, L);
-  std::vector<BitVector> Plus = computeIModPlus(E.P, L, R);
+  std::vector<EffectSet> Plus = computeIModPlus(E.P, L, R);
 
   // IMOD+(p) = IMOD(p) ∪ {b}  (b passed to q's modified formal c).
   EXPECT_EQ(Plus[E.PProc.index()],
@@ -227,7 +227,7 @@ TEST(GMod, RunningExample) {
   graph::BindingGraph BG(E.P);
   graph::CallGraph CG(E.P);
   RModResult R = solveRMod(E.P, BG, L);
-  std::vector<BitVector> Plus = computeIModPlus(E.P, L, R);
+  std::vector<EffectSet> Plus = computeIModPlus(E.P, L, R);
   GModResult GM = solveGMod(E.P, CG, M, Plus);
 
   EXPECT_EQ(GM.of(E.QProc), makeSet(E.P.numVars(), {E.C}));
@@ -317,7 +317,7 @@ TEST(DMod, ProjectionAtCallSite) {
   Example E;
   SideEffectAnalyzer An(E.P);
   // DMOD of "call p(g,h)": be(GMOD(p)) = {h} ∪ {h←b} = {h}.
-  BitVector D = An.dmod(E.CallP);
+  EffectSet D = An.dmod(E.CallP);
   EXPECT_EQ(D, makeSet(E.P.numVars(), {E.H}));
   // DMOD of the call statement equals it (no LMOD there).
   EXPECT_EQ(An.dmod(E.MainCallStmt), D);
@@ -348,7 +348,7 @@ TEST(Mod, AliasFactoring) {
   AliasInfo Aliases(E.P);
   // Suppose g and h may be aliased on entry to main (artificial).
   Aliases.addPair(E.Main, E.G, E.H);
-  BitVector Mod = An.mod(E.MainCallStmt, Aliases);
+  EffectSet Mod = An.mod(E.MainCallStmt, Aliases);
   // DMOD = {h}; the alias pair pulls in g.
   EXPECT_EQ(Mod, makeSet(E.P.numVars(), {E.G, E.H}));
 }
@@ -368,7 +368,7 @@ TEST(Mod, OneApplicationOnly) {
   AliasInfo Aliases(P);
   Aliases.addPair(P.main(), A, Bv);
   Aliases.addPair(P.main(), Bv, C);
-  BitVector Mod = An.mod(S, Aliases);
+  EffectSet Mod = An.mod(S, Aliases);
   EXPECT_TRUE(Mod.test(A.index()));
   EXPECT_TRUE(Mod.test(Bv.index()));
   EXPECT_FALSE(Mod.test(C.index()));
@@ -402,7 +402,7 @@ TEST(Analyzer, SetToString) {
   Example E;
   SideEffectAnalyzer An(E.P);
   EXPECT_EQ(An.setToString(An.gmod(E.PProc)), "h, p.b, p.x");
-  BitVector Empty(E.P.numVars());
+  EffectSet Empty(E.P.numVars());
   EXPECT_EQ(An.setToString(Empty), "");
 }
 

@@ -81,7 +81,9 @@ struct BenchDir {
               R"({"kind":"phase","engine":"sequential","shape":"s","phase":"gmod","wall_ns":1000000,"bv_ops":5000})"
               "\n");
     writeFile(Root / "seed" / "parallel.jsonl",
-              R"({"shape":"s","threads":4,"wall_ms":8.5})"
+              R"({"shape":"s","mode":"k4","threads":4,"wall_ms":8.5})"
+              "\n"
+              R"({"shape":"s","mode":"summary","speedup_k4":1.02})"
               "\n");
     // Files outside the known schemas are skipped, not fatal.
     writeFile(Root / "seed" / "mystery.jsonl", R"({"x":1})"
@@ -130,7 +132,8 @@ TEST(BenchDiff, SeedsABaselineAndRerunsClean) {
   EXPECT_EQ(Obj->getDouble("incremental/small/call-churn/delta_us_per_edit"),
             20.0);
   EXPECT_EQ(Obj->getDouble("service/tiny/w2/qps"), 50000.0);
-  EXPECT_EQ(Obj->getDouble("parallel/s/t4/wall_ms"), 8.5);
+  EXPECT_EQ(Obj->getDouble("parallel/s/k4/wall_ms"), 8.5);
+  EXPECT_EQ(Obj->getDouble("parallel/s/summary/speedup_k4"), 1.02);
   EXPECT_EQ(Obj->getDouble("observe/sequential/s/gmod/wall_ns"), 1000000.0);
   EXPECT_EQ(Obj->getDouble("observe/sequential/s/gmod/bv_ops"), 5000.0);
   // The overhead row carries no gateable identity and must not fold.
@@ -205,6 +208,32 @@ TEST(BenchDiff, FailsOnSyntheticRegression) {
   // A big enough --threshold-scale absorbs the wall-clock regressions;
   // even the tight bv_ops gate opens at 10x (4% < 2% * 10).
   EXPECT_EQ(run(Cmd + " --threshold-scale 10", Out), 0) << Out;
+}
+
+TEST(BenchDiff, HardGateFailsEvenWarnOnly) {
+  // speedup_k4 below the absolute floor trips the hard gate — with no
+  // baseline at all, and --warn-only / --threshold-scale must not open it.
+  BenchDir Dir("ipse_bench_diff_hard");
+  std::string Out;
+  fs::path Fresh = Dir.Root / "fresh";
+  fs::create_directories(Fresh);
+  writeFile(Fresh / "parallel.jsonl",
+            R"({"shape":"s","mode":"summary","speedup_k4":0.5})"
+            "\n");
+  std::string Cmd = tool() + " --in " + Fresh.string();
+  EXPECT_EQ(run(Cmd, Out), 1) << Out;
+  EXPECT_NE(Out.find("HARD GATE: parallel/s/summary/speedup_k4"),
+            std::string::npos)
+      << Out;
+  EXPECT_EQ(run(Cmd + " --warn-only", Out), 1) << Out;
+  EXPECT_EQ(run(Cmd + " --warn-only --threshold-scale 100", Out), 1) << Out;
+
+  // At the seed's healthy value the gate stays quiet.
+  writeFile(Fresh / "parallel.jsonl",
+            R"({"shape":"s","mode":"summary","speedup_k4":1.02})"
+            "\n");
+  EXPECT_EQ(run(Cmd, Out), 0) << Out;
+  EXPECT_EQ(Out.find("HARD GATE"), std::string::npos) << Out;
 }
 
 TEST(BenchDiff, LaterInputsOverrideAndNewKeysDontFail) {

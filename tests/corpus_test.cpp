@@ -146,7 +146,7 @@ TEST(Corpus, Tower) {
   ProcId L1 = procNamed(P, "level1");
   ProcId L3 = procNamed(P, "level3");
   // level3 stores into level1's formal (two lexical levels up).
-  const BitVector &G3 = An.gmod(L3);
+  const EffectSet &G3 = An.gmod(L3);
   EXPECT_TRUE(G3.test(P.proc(L1).Formals[0].index()));
   EXPECT_EQ(An.setToString(An.gmod(P.main())), "g");
   // a1 is in RMOD(level1) through the nested store.

@@ -308,8 +308,8 @@ end.
 // The soundness sweep.
 //===----------------------------------------------------------------------===//
 
-/// Renders a BitVector of variables as a set of qualified names.
-std::set<std::string> namesOf(const Program &P, const BitVector &BV) {
+/// Renders a EffectSet of variables as a set of qualified names.
+std::set<std::string> namesOf(const Program &P, const EffectSet &BV) {
   std::set<std::string> Out;
   BV.forEachSetBit([&](std::size_t I) {
     Out.insert(qualifiedName(P, VarId(static_cast<std::uint32_t>(I))));

@@ -111,7 +111,7 @@ Program makeProgram(const Shape &S, std::uint64_t Seed) {
 
 /// Old ⊆ New where New's universe may have grown (additive universe edits
 /// append variable ids, so old bit positions keep their meaning).
-void expectGrewFrom(const BitVector &Old, const BitVector &New,
+void expectGrewFrom(const EffectSet &Old, const EffectSet &New,
                     const std::string &Context) {
   for (std::size_t I = 0; I != Old.size(); ++I)
     if (Old.test(I)) {
@@ -207,7 +207,7 @@ TEST(LatticeProperty, AdditiveEditsGrowGModMonotonically) {
       Cfg.WeightRemoveProc = 0;
       synth::EditGen Gen(Cfg);
 
-      std::vector<BitVector> Prev;
+      std::vector<EffectSet> Prev;
       for (std::uint32_t I = 0; I != Inc.program().numProcs(); ++I)
         Prev.push_back(Inc.gmod(ProcId(I)));
 
@@ -223,7 +223,7 @@ TEST(LatticeProperty, AdditiveEditsGrowGModMonotonically) {
         // Procedures present before the edit only ever gain bits — and
         // the two engines agree on the new plane exactly.
         for (std::uint32_t I = 0; I != Prev.size(); ++I) {
-          const BitVector &Now = Inc.gmod(ProcId(I));
+          const EffectSet &Now = Inc.gmod(ProcId(I));
           expectGrewFrom(Prev[I], Now, Ctx);
           EXPECT_EQ(Dem.gmod(ProcId(I)), Now) << Ctx;
         }

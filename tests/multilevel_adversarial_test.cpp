@@ -39,7 +39,7 @@ void expectAllAgree(const Program &P) {
   graph::BindingGraph BG(P);
   LocalEffects Local(P, Masks, EffectKind::Mod);
   RModResult RMod = solveRMod(P, BG, Local);
-  std::vector<BitVector> Plus = computeIModPlus(P, Local, RMod);
+  std::vector<EffectSet> Plus = computeIModPlus(P, Local, RMod);
 
   GModResult Rep = solveMultiLevelRepeated(P, CG, Masks, Plus);
   GModResult Com = solveMultiLevelCombined(P, CG, Masks, Plus);
@@ -235,7 +235,7 @@ TEST(MultiLevelAdversarial, DeepTowerNoStackOverflow) {
   graph::CallGraph CG(P);
   graph::BindingGraph BG(P);
   LocalEffects Local(P, Masks, EffectKind::Mod);
-  std::vector<BitVector> Plus =
+  std::vector<EffectSet> Plus =
       computeIModPlus(P, Local, solveRMod(P, BG, Local));
   GModResult Com = solveMultiLevelCombined(P, CG, Masks, Plus);
   // Every tower member (and main) sees the global modification.

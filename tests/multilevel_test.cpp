@@ -31,7 +31,7 @@ struct Pipeline {
   graph::BindingGraph BG;
   LocalEffects Local;
   RModResult RMod;
-  std::vector<BitVector> IModPlus;
+  std::vector<EffectSet> IModPlus;
 
   explicit Pipeline(const Program &P)
       : Masks(P), CG(P), BG(P), Local(P, Masks, EffectKind::Mod),

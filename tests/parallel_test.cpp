@@ -180,9 +180,11 @@ void expectParallelMatches(const Program &P, EffectKind Kind,
     parallel::ParallelAnalyzerOptions Opts;
     Opts.Kind = Kind;
     Opts.Threads = K;
-    // These programs are tiny; keep the lanes real so the differential
-    // actually exercises the parallel kernels.
+    // These programs are tiny; keep the lanes real and fan out every
+    // level so the differential actually exercises the parallel kernels
+    // even on hosts where the adaptive policy would inline them.
     Opts.SmallProgramThreshold = 0;
+    Opts.Schedule.AdaptiveFanout = false;
     parallel::ParallelAnalyzer Par(P, Opts);
 
     EXPECT_EQ(Par.rmodResult().ModifiedFormals,
@@ -339,6 +341,9 @@ TEST(ParallelDifferential, WideStar) {
   parallel::ParallelAnalyzerOptions Opts;
   Opts.Threads = 4;
   Opts.SmallProgramThreshold = 0;
+  // Force the level schedule into existence: under the adaptive policy a
+  // one-core host would take the direct sweep and report no levels.
+  Opts.Schedule.AdaptiveFanout = false;
   parallel::ParallelAnalyzer An(P, Opts);
   EXPECT_EQ(An.scheduleStats().Levels, 2u);
   EXPECT_EQ(An.scheduleStats().WidestLevel, 300u);
@@ -382,6 +387,80 @@ TEST(ParallelAnalyzer, SmallProgramFloorClampsOwnedPool) {
   EXPECT_EQ(O.effectiveThreads(1), 8u);
   O.Threads = 0;
   EXPECT_EQ(O.effectiveThreads(1), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The adaptive fan-out policy: per-level inline-vs-pool decisions are
+// answer-invisible, and the decision logic itself is deterministic.
+//===----------------------------------------------------------------------===//
+
+TEST(AdaptiveSchedule, ShouldFanOutDecision) {
+  parallel::ScheduleOptions S;
+  S.AdaptiveFanout = true;
+  S.MinFanoutTasks = 2;
+  S.MinFanoutWords = 2048;
+
+  S.HardwareLanes = 1; // one real lane: never worth a handoff
+  EXPECT_FALSE(S.shouldFanOut(1000, 1000));
+
+  S.HardwareLanes = 8;
+  EXPECT_FALSE(S.shouldFanOut(1, 1 << 20)); // one task: nothing to spread
+  EXPECT_FALSE(S.shouldFanOut(100, 1));     // 100 words: below the bar
+  EXPECT_TRUE(S.shouldFanOut(100, 32));     // 3200 words: clears it
+  EXPECT_TRUE(S.shouldFanOut(2048, 1));     // many tiny tasks still add up
+
+  S.HardwareLanes = 0; // unknown host: fan out on faith
+  EXPECT_TRUE(S.shouldFanOut(100, 32));
+
+  S.AdaptiveFanout = false; // forced: every level fans out
+  S.HardwareLanes = 1;
+  EXPECT_TRUE(S.shouldFanOut(1, 1));
+}
+
+TEST(AdaptiveSchedule, ForcedAndAdaptiveRunsAgreeBitForBit) {
+  // A wide two-level program large enough that per-level decisions can
+  // differ between policies; both runs must produce the same planes, and
+  // the stats must account every level as exactly one of fanned-out or
+  // inlined.
+  Program P = synth::makeLayeredProgram(6, 20, 3, 3, 5, 11);
+
+  parallel::ParallelAnalyzerOptions Forced;
+  Forced.Threads = 4;
+  Forced.SmallProgramThreshold = 0;
+  Forced.Schedule.AdaptiveFanout = false;
+  parallel::ParallelAnalyzer ForcedAn(P, Forced);
+  const auto &FS = ForcedAn.scheduleStats();
+  EXPECT_EQ(FS.InlineLevels, 0u);
+  EXPECT_EQ(FS.FanoutLevels, FS.Levels);
+
+  parallel::ParallelAnalyzerOptions Lanes1;
+  Lanes1.Threads = 4;
+  Lanes1.SmallProgramThreshold = 0;
+  Lanes1.Schedule.AdaptiveFanout = true;
+  Lanes1.Schedule.HardwareLanes = 1; // adaptive floor: everything inlines
+  parallel::ParallelAnalyzer InlineAn(P, Lanes1);
+  const auto &IS = InlineAn.scheduleStats();
+  EXPECT_EQ(IS.FanoutLevels, 0u);
+  EXPECT_EQ(IS.InlineLevels, IS.Levels);
+
+  for (std::uint32_t I = 0; I != P.numProcs(); ++I)
+    EXPECT_EQ(ForcedAn.gmod(ProcId(I)), InlineAn.gmod(ProcId(I)))
+        << "policy-dependent answer at proc " << P.name(ProcId(I));
+}
+
+TEST(ThreadPool, ChunkedClaimingCoversAllIndices) {
+  // Explicit chunk sizes, including ones that do not divide the batch:
+  // every index must run exactly once whatever the chunk geometry.
+  parallel::ThreadPool Pool(4);
+  for (std::size_t Chunk : {std::size_t(1), std::size_t(3), std::size_t(7),
+                            std::size_t(64), std::size_t(1000)}) {
+    const std::size_t N = 193;
+    std::vector<std::atomic<unsigned>> Hits(N);
+    Pool.parallelFor(
+        N, [&](std::size_t I) { Hits[I].fetch_add(1); }, Chunk);
+    for (std::size_t I = 0; I != N; ++I)
+      EXPECT_EQ(Hits[I].load(), 1u) << "chunk " << Chunk << " index " << I;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -178,7 +178,7 @@ TEST_P(RandomPrograms, BetaSolversAgreeOnRawPrograms) {
   RModResult Iter = baselines::solveRModIterative(P, BG, Local);
   EXPECT_EQ(Fig1.ModifiedFormals, Iter.ModifiedFormals);
 
-  std::vector<BitVector> Plus = computeIModPlus(P, Local, Fig1);
+  std::vector<EffectSet> Plus = computeIModPlus(P, Local, Fig1);
   GModResult Rep = solveMultiLevelRepeated(P, CG, Masks, Plus);
   GModResult Com = solveMultiLevelCombined(P, CG, Masks, Plus);
   for (std::uint32_t I = 0; I != P.numProcs(); ++I)
@@ -221,15 +221,15 @@ TEST_P(RandomPrograms, SccMembersShareGlobalGMod) {
   SideEffectAnalyzer An(P);
   graph::SccDecomposition Sccs =
       graph::computeSccs(An.callGraph().graph());
-  const BitVector &Global = An.masks().global();
+  const EffectSet &Global = An.masks().global();
 
   for (const std::vector<graph::NodeId> &Members : Sccs.Members) {
     if (Members.size() < 2)
       continue;
-    BitVector First = An.gmod(ProcId(Members[0]));
+    EffectSet First = An.gmod(ProcId(Members[0]));
     First.andWith(Global);
     for (std::size_t I = 1; I != Members.size(); ++I) {
-      BitVector Other = An.gmod(ProcId(Members[I]));
+      EffectSet Other = An.gmod(ProcId(Members[I]));
       Other.andWith(Global);
       EXPECT_EQ(First, Other);
     }
@@ -259,7 +259,7 @@ TEST_P(RandomPrograms, DModContainsLMod) {
   Program P = makeProgram();
   SideEffectAnalyzer An(P);
   for (std::uint32_t I = 0; I != P.numStmts(); ++I) {
-    BitVector D = An.dmod(StmtId(I));
+    EffectSet D = An.dmod(StmtId(I));
     for (VarId V : P.stmt(StmtId(I)).LMod)
       EXPECT_TRUE(D.test(V.index()));
   }
@@ -273,9 +273,9 @@ TEST_P(RandomPrograms, DModContainsCalleeLocalsOnlyViaActuals) {
   SideEffectAnalyzer An(P);
   for (std::uint32_t I = 0; I != P.numCallSites(); ++I) {
     CallSiteId Site(I);
-    BitVector D = An.dmod(Site);
+    EffectSet D = An.dmod(Site);
     const CallSite &C = P.callSite(Site);
-    BitVector CalleeLocalPart = D;
+    EffectSet CalleeLocalPart = D;
     CalleeLocalPart.andWith(An.masks().local(C.Callee));
     for (const Actual &A : C.Actuals)
       if (A.isVariable() && CalleeLocalPart.size() > A.Var.index() &&

@@ -48,6 +48,7 @@
 #include "persist/Store.h"
 #include "service/ScriptDriver.h"
 #include "service/Server.h"
+#include "support/SimdKernels.h"
 #include "synth/SourceGen.h"
 #include "tenant/Protocol.h"
 
@@ -75,7 +76,8 @@ namespace {
       stderr,
       "usage: ipse-cli <command> [options] [file.mp]\n"
       "  report [--rmod] [--no-use] [--engine=E] [--parallel[=K]]\n"
-      "         [--profile] [--trace-out=FILE] [--trace-format=F] <file>\n"
+      "         [--repr=R] [--profile] [--trace-out=FILE]\n"
+      "         [--trace-format=F] <file>\n"
       "                                      MOD/USE summary report\n"
       "                                      (--engine: sequential, parallel,\n"
       "                                      session or demand;\n"
@@ -83,6 +85,10 @@ namespace {
       "                                      the parallel engine on K lanes,\n"
       "                                      default 4; the report is byte-\n"
       "                                      identical on every engine.\n"
+      "                                      --repr: effect-set storage —\n"
+      "                                      auto (sparse until dense pays,\n"
+      "                                      the default), dense, or sparse;\n"
+      "                                      results are byte-identical.\n"
       "                                      --profile appends per-phase\n"
       "                                      wall time and bit-vector op\n"
       "                                      counts; --trace-out streams\n"
@@ -165,7 +171,9 @@ namespace {
       "                                      report from restored planes)\n"
       "  inspect-snapshot <file.ipsesnap>    print header, section sizes\n"
       "                                      and CRC status; exit 0 only\n"
-      "                                      if every checksum verifies\n");
+      "                                      if every checksum verifies\n"
+      "  version                             print build info and the\n"
+      "                                      dispatched SIMD kernel ISA\n");
   std::exit(2);
 }
 
@@ -242,6 +250,22 @@ struct CommonFlags {
     }
     if (A == "--profile") {
       Opts.Profile = true;
+      return true;
+    }
+    const std::string ReprPrefix = "--repr=";
+    if (A.compare(0, ReprPrefix.size(), ReprPrefix) == 0) {
+      std::string Name = A.substr(ReprPrefix.size());
+      if (Name == "auto")
+        Opts.Repr = ipse::EffectSet::Representation::Auto;
+      else if (Name == "dense")
+        Opts.Repr = ipse::EffectSet::Representation::Dense;
+      else if (Name == "sparse")
+        Opts.Repr = ipse::EffectSet::Representation::Sparse;
+      else {
+        std::fprintf(stderr, "error: unknown representation '%s'\n",
+                     Name.c_str());
+        std::exit(2);
+      }
       return true;
     }
     const std::string TracePrefix = "--trace-out=";
@@ -385,7 +409,7 @@ int cmdCheck(const std::vector<std::string> &Args) {
   graph::BindingGraph BG(P);
   analysis::LocalEffects Local(P, Masks, analysis::EffectKind::Mod);
   analysis::RModResult RMod = analysis::solveRMod(P, BG, Local);
-  std::vector<BitVector> Plus = analysis::computeIModPlus(P, Local, RMod);
+  std::vector<EffectSet> Plus = analysis::computeIModPlus(P, Local, RMod);
 
   analysis::GModResult Fast =
       P.maxProcLevel() <= 1
@@ -891,10 +915,10 @@ class LoadedKindView {
 public:
   LoadedKindView(incremental::AnalysisSession &S, analysis::EffectKind Kind)
       : S(S), Kind(Kind) {}
-  const BitVector &gmod(ProcId Proc) const { return S.gmod(Proc, Kind); }
+  const EffectSet &gmod(ProcId Proc) const { return S.gmod(Proc, Kind); }
   bool rmodContains(VarId F) const { return S.rmodContains(F, Kind); }
-  BitVector dmod(CallSiteId C) const { return S.dmod(C, Kind); }
-  std::string setToString(const BitVector &Set) const {
+  EffectSet dmod(CallSiteId C) const { return S.dmod(C, Kind); }
+  std::string setToString(const EffectSet &Set) const {
     return S.setToString(Set);
   }
 
@@ -984,6 +1008,20 @@ int main(int argc, char **argv) {
     usage();
   std::string Cmd = argv[1];
   std::vector<std::string> Args(argv + 2, argv + argc);
+  if (Cmd == "version" || Cmd == "--version") {
+    // The dispatched ISA is part of the version story: two hosts running
+    // the same binary can execute different dense kernels.
+    std::printf("ipse-cli (Cooper-Kennedy PLDI'88 side-effect analysis)\n"
+                "simd kernels: %s%s\n",
+                ipse::simd::dispatchedIsa(),
+#ifdef IPSE_SIMD_OFF
+                " (built with IPSE_SIMD=OFF)"
+#else
+                ""
+#endif
+    );
+    return 0;
+  }
   if (Cmd == "report")
     return cmdReport(Args);
   if (Cmd == "dot")
