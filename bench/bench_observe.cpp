@@ -31,6 +31,19 @@
 //   {"kind":"phase","engine":"parallel-k2","shape":"fortran-1000",
 //    "phase":"gmod","count":1,"wall_ns":180335,"bv_ops":52100}
 //
+//  Recorder rows — the flight recorder's own cost: the same engine back
+//  to back with flight recording disabled and enabled (no TraceScope in
+//  either cell, so the ring write is the *only* difference), keeping
+//  each cell's minimum:
+//
+//   {"kind":"recorder","engine":"sequential","shape":"fortran-1000",
+//    "procs":1001,"off_ms":0.61,"on_ms":0.62,
+//    "recorder_overhead_pct":1.2,"reps":25}
+//
+//  ipse-bench-diff hard-gates recorder_overhead_pct <= 5 on the
+//  sequential/fortran-1000 cell: the recorder ships enabled by default
+//  in `serve`, so its overhead is a promise, not a tunable.
+//
 // Engines: the sequential batch analyzer, the parallel engine at K=2, and
 // incremental-session construction (its full-rebuild path) — all driven
 // through the ipse::Analyzer facade, like every consumer.
@@ -41,6 +54,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Ipse.h"
+#include "observe/FlightRecorder.h"
 #include "synth/ProgramGen.h"
 
 #include <chrono>
@@ -114,6 +128,26 @@ void runShape(const char *Name, const ir::Program &P) {
                 "\"overhead_pct\":%.1f,\"reps\":%u}\n",
                 Cell.Name, Name, (unsigned)P.numProcs(), OffMs, OnMs,
                 (OnMs - OffMs) / OffMs * 100.0, Reps);
+
+    // Recorder cells: same dormant-scope engine, flight recording off vs
+    // on.  Spans sit at phase granularity, so the delta is a handful of
+    // ring writes per run.
+    double RecOffMs = 0, RecOnMs = 0;
+    for (unsigned R = 0; R != Reps; ++R) {
+      observe::flight::setEnabled(false);
+      double Ms = timeOnceMs([&] { (void)AnOff.analyze(P); });
+      if (R == 0 || Ms < RecOffMs)
+        RecOffMs = Ms;
+      observe::flight::setEnabled(true);
+      Ms = timeOnceMs([&] { (void)AnOff.analyze(P); });
+      if (R == 0 || Ms < RecOnMs)
+        RecOnMs = Ms;
+    }
+    std::printf("{\"kind\":\"recorder\",\"engine\":\"%s\",\"shape\":\"%s\","
+                "\"procs\":%u,\"off_ms\":%.3f,\"on_ms\":%.3f,"
+                "\"recorder_overhead_pct\":%.1f,\"reps\":%u}\n",
+                Cell.Name, Name, (unsigned)P.numProcs(), RecOffMs, RecOnMs,
+                (RecOnMs - RecOffMs) / RecOffMs * 100.0, Reps);
 
     // One profiled run for the phase breakdown.
     ipse::Analysis A = AnOn.analyze(P);

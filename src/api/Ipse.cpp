@@ -8,6 +8,7 @@
 #include "api/Ipse.h"
 
 #include "frontend/Frontend.h"
+#include "observe/FlightRecorder.h"
 #include "observe/Metrics.h"
 #include "observe/Prometheus.h"
 #include "parallel/ParallelReport.h"
@@ -448,6 +449,9 @@ int Analyzer::runSessionScript(const std::string &Script, std::FILE *Out,
         std::string Text = Prom ? observe::prometheusText(Reg) : Reg.toJson();
         std::fprintf(Out, "%s%s", Text.c_str(),
                      (!Text.empty() && Text.back() == '\n') ? "" : "\n");
+      } else if (Cmd->Kind == Op::Debug) {
+        std::string Trace = observe::flight::renderChromeTrace();
+        std::fputs(Trace.c_str(), Out);
       } else if (service::isTenantCommand(Cmd->Kind)) {
         throw service::ScriptError{
             LineNo, "open/close/attach need a multi-tenant server "

@@ -135,6 +135,11 @@ struct AnalysisOptions {
   /// Collect a per-run observe::CostReport (Analysis::costs() /
   /// ReportRun::Costs).
   bool Profile = false;
+  /// Slow-query threshold in milliseconds (`ipse-cli --slow-ms`; 0 =
+  /// off).  Queries and flushes exceeding it emit a structured record to
+  /// Sink, a flight-recorder event, and the "slow_queries_total" counter
+  /// (forwarded to serve()/openTenants() as SlowQueryUs).
+  unsigned SlowMs = 0;
   /// @}
 
   /// The engine Auto resolves to.
@@ -183,6 +188,7 @@ struct AnalysisOptions {
     O.DataDir = DataDir;
     O.CompactWalRecords = CompactWalRecords;
     O.CompactWalBytes = CompactWalBytes;
+    O.SlowQueryUs = std::uint64_t(SlowMs) * 1000;
     return O;
   }
   tenant::TenantOptions tenantView() const {
@@ -204,6 +210,7 @@ struct AnalysisOptions {
     O.CompactWalRecords = CompactWalRecords;
     O.CompactWalBytes = CompactWalBytes;
     O.Sink = Sink;
+    O.SlowQueryUs = std::uint64_t(SlowMs) * 1000;
     return O;
   }
   /// @}

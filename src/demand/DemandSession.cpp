@@ -582,7 +582,13 @@ void DemandSession::solveRegion(KindState &K,
     ProcSlot[Proc] = static_cast<std::uint32_t>(Region.size());
     Region.push_back(Proc);
     for (std::uint32_t Dep : FwdDep[Proc]) {
-      if (!K.Solved[Dep] && ProcStamp[Dep] != Epoch) {
+      if (K.Solved[Dep]) {
+        // The memo frontier cut this edge: the callee's plane is final
+        // and folds in as a constant instead of growing the region.
+        ++Stats.FrontierCuts;
+        continue;
+      }
+      if (ProcStamp[Dep] != Epoch) {
         ProcStamp[Dep] = Epoch;
         Stack.push_back(Dep);
       }

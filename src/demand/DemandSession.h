@@ -97,6 +97,9 @@ struct DemandStats {
   std::uint64_t RegionProcs = 0;
   /// Queried procedures already covered by memoized planes.
   std::uint64_t MemoHits = 0;
+  /// Region-DFS edges not descended because the callee was already
+  /// Solved — the memo frontier actually cutting the region short.
+  std::uint64_t FrontierCuts = 0;
   /// Memoized procedures un-solved by edit invalidation.
   std::uint64_t Invalidations = 0;
   /// Effect deltas absorbed by the monotone-growth prune (proc kept

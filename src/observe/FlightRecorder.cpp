@@ -1,0 +1,249 @@
+//===- observe/FlightRecorder.cpp - Always-on event rings ---------------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/FlightRecorder.h"
+
+#ifndef IPSE_OBSERVE_OFF
+
+#include "observe/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include <unistd.h>
+
+using namespace ipse;
+using namespace ipse::observe;
+using namespace ipse::observe::flight;
+
+namespace {
+
+// 4096 slots * 32 bytes = 128 KiB per thread that ever records; the
+// service runs a handful of threads, so resident cost stays boundable.
+constexpr std::size_t CapacityShift = 12;
+constexpr std::size_t Capacity = std::size_t(1) << CapacityShift;
+constexpr std::size_t Mask = Capacity - 1;
+
+/// One slot.  Fields are individually atomic so a concurrent drain's
+/// relaxed loads race with nothing (TSan-clean by construction); torn
+/// *slots* (fields from two different events) are excluded by the
+/// Head-window check in drain(), not by per-slot sequencing.
+struct Slot {
+  std::atomic<std::uint64_t> TimeNs{0};
+  std::atomic<const char *> Name{nullptr};
+  std::atomic<std::uint64_t> Value{0};
+  std::atomic<std::uint32_t> Meta{0}; ///< Tid << 8 | Kind.
+};
+
+/// One thread's ring.  Head counts completed writes; the slot for write
+/// i is Slots[i & Mask], stored before Head's release-store of i+1.
+struct Ring {
+  std::atomic<std::uint64_t> Head{0};
+  std::uint32_t Tid = 0;
+  Slot Slots[Capacity];
+};
+
+std::mutex &registryMutex() {
+  static std::mutex M;
+  return M;
+}
+
+/// Every ring ever created, including those of exited threads (rings are
+/// deliberately leaked so a drain can still attribute their events).
+std::vector<Ring *> &registry() {
+  static std::vector<Ring *> *R = new std::vector<Ring *>();
+  return *R;
+}
+
+thread_local Ring *MyRing = nullptr;
+
+Ring &ringForThisThread() {
+  if (!MyRing) {
+    Ring *R = new Ring; // leaked: see registry()
+    R->Tid = currentTid();
+    {
+      std::lock_guard<std::mutex> Lock(registryMutex());
+      registry().push_back(R);
+    }
+    MyRing = R;
+  }
+  return *MyRing;
+}
+
+std::atomic<bool> GEnabled{true};
+
+void appendJsonName(std::string &Out, const char *Name) {
+  // Names are static strings from our own code; filter defensively the
+  // same way the trace sinks do rather than trust every call site.
+  for (const char *P = Name; *P; ++P)
+    if (*P != '"' && *P != '\\' && static_cast<unsigned char>(*P) >= 0x20)
+      Out += *P;
+}
+
+} // namespace
+
+void flight::record(EventKind Kind, const char *Name, std::uint64_t Value) {
+  if (!GEnabled.load(std::memory_order_relaxed))
+    return;
+  Ring &R = ringForThisThread();
+  std::uint64_t H = R.Head.load(std::memory_order_relaxed);
+  Slot &S = R.Slots[H & Mask];
+  S.TimeNs.store(nowNanos(), std::memory_order_relaxed);
+  S.Name.store(Name, std::memory_order_relaxed);
+  S.Value.store(Value, std::memory_order_relaxed);
+  S.Meta.store((R.Tid << 8) | std::uint32_t(Kind),
+               std::memory_order_relaxed);
+  R.Head.store(H + 1, std::memory_order_release);
+}
+
+void flight::setEnabled(bool On) {
+  GEnabled.store(On, std::memory_order_relaxed);
+}
+
+bool flight::enabled() { return GEnabled.load(std::memory_order_relaxed); }
+
+std::size_t flight::ringCapacity() { return Capacity; }
+
+std::vector<Event> flight::drain() {
+  std::vector<Ring *> Rings;
+  {
+    std::lock_guard<std::mutex> Lock(registryMutex());
+    Rings = registry();
+  }
+  std::vector<Event> Out;
+  for (Ring *R : Rings) {
+    // Copy the window [H1 - Capacity, H1), then re-read Head and keep
+    // only indices the writer cannot have touched since: index i is
+    // valid iff i + Capacity > H2 strictly — the slot the writer may be
+    // mid-writing (physical slot H2 & Mask, logical index H2 - Capacity)
+    // is excluded along with everything older.
+    std::uint64_t H1 = R->Head.load(std::memory_order_acquire);
+    std::uint64_t Lo = H1 > Capacity ? H1 - Capacity : 0;
+    struct Copied {
+      std::uint64_t Index;
+      Event E;
+    };
+    std::vector<Copied> Tmp;
+    Tmp.reserve(std::size_t(H1 - Lo));
+    for (std::uint64_t I = Lo; I != H1; ++I) {
+      const Slot &S = R->Slots[I & Mask];
+      Copied C;
+      C.Index = I;
+      C.E.TimeNs = S.TimeNs.load(std::memory_order_relaxed);
+      C.E.Name = S.Name.load(std::memory_order_relaxed);
+      C.E.Value = S.Value.load(std::memory_order_relaxed);
+      std::uint32_t Meta = S.Meta.load(std::memory_order_relaxed);
+      C.E.Tid = Meta >> 8;
+      C.E.Kind = EventKind(Meta & 0xff);
+      Tmp.push_back(C);
+    }
+    std::uint64_t H2 = R->Head.load(std::memory_order_acquire);
+    for (const Copied &C : Tmp)
+      if (C.E.Name && C.Index + Capacity > H2)
+        Out.push_back(C.E);
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const Event &A, const Event &B) {
+                     return A.TimeNs < B.TimeNs;
+                   });
+  return Out;
+}
+
+std::string flight::renderChromeTrace(bool MultiLine) {
+  std::vector<Event> Events = drain();
+  long Pid = static_cast<long>(::getpid());
+
+  // Pair SpanEnd events (which carry their own duration) with the most
+  // recent same-name SpanBegin on the same thread, so matched begins are
+  // subsumed by the complete "X" slice and only still-open spans render
+  // as "B" events.
+  std::vector<char> BeginOpen(Events.size(), 0);
+  struct OpenRef {
+    std::uint32_t Tid;
+    const char *Name;
+    std::size_t Index;
+  };
+  std::vector<OpenRef> Stack;
+  for (std::size_t I = 0; I != Events.size(); ++I) {
+    const Event &E = Events[I];
+    if (E.Kind == EventKind::SpanBegin) {
+      BeginOpen[I] = 1;
+      Stack.push_back({E.Tid, E.Name, I});
+    } else if (E.Kind == EventKind::SpanEnd) {
+      for (std::size_t J = Stack.size(); J-- > 0;) {
+        if (Stack[J].Tid == E.Tid && Stack[J].Name == E.Name) {
+          BeginOpen[Stack[J].Index] = 0;
+          Stack.erase(Stack.begin() + std::ptrdiff_t(J));
+          break;
+        }
+      }
+    }
+  }
+
+  std::string Out = MultiLine ? "[\n" : "[";
+  char Buf[160];
+  bool First = true;
+  for (std::size_t I = 0; I != Events.size(); ++I) {
+    const Event &E = Events[I];
+    // A matched begin is subsumed by its end's complete slice.
+    if (E.Kind == EventKind::SpanBegin && !BeginOpen[I])
+      continue;
+    double Ts = double(E.TimeNs) / 1000.0;
+    if (!First)
+      Out += MultiLine ? ",\n" : ",";
+    First = false;
+    Out += "{\"name\":\"";
+    appendJsonName(Out, E.Name);
+    Out += "\",\"cat\":\"flight\",";
+    switch (E.Kind) {
+    case EventKind::SpanEnd: {
+      double Dur = double(E.Value) / 1000.0;
+      double Start = Ts - Dur;
+      if (Start < 0)
+        Start = 0;
+      std::snprintf(Buf, sizeof(Buf),
+                    "\"ph\":\"X\",\"pid\":%ld,\"tid\":%u,\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"args\":{}}",
+                    Pid, E.Tid, Start, Dur);
+      Out += Buf;
+      break;
+    }
+    case EventKind::SpanBegin:
+      std::snprintf(Buf, sizeof(Buf),
+                    "\"ph\":\"B\",\"pid\":%ld,\"tid\":%u,\"ts\":%.3f,"
+                    "\"args\":{}}",
+                    Pid, E.Tid, Ts);
+      Out += Buf;
+      break;
+    case EventKind::Counter:
+    case EventKind::QueueDepth:
+      std::snprintf(Buf, sizeof(Buf),
+                    "\"ph\":\"C\",\"pid\":%ld,\"tid\":%u,\"ts\":%.3f,"
+                    "\"args\":{\"value\":%llu}}",
+                    Pid, E.Tid, Ts, (unsigned long long)E.Value);
+      Out += Buf;
+      break;
+    case EventKind::WalAppend:
+    case EventKind::WalFsync:
+    case EventKind::SnapshotPublish:
+    case EventKind::Eviction:
+    case EventKind::SlowQuery:
+      std::snprintf(Buf, sizeof(Buf),
+                    "\"ph\":\"i\",\"s\":\"t\",\"pid\":%ld,\"tid\":%u,"
+                    "\"ts\":%.3f,\"args\":{\"value\":%llu}}",
+                    Pid, E.Tid, Ts, (unsigned long long)E.Value);
+      Out += Buf;
+      break;
+    }
+  }
+  Out += MultiLine ? "\n]\n" : "]";
+  return Out;
+}
+
+#endif // IPSE_OBSERVE_OFF

@@ -1,0 +1,126 @@
+//===- observe/FlightRecorder.h - Always-on event rings ---------*- C++ -*-===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flight recorder: an always-on, lock-free, per-thread ring of
+/// fixed-size binary event records, cheap enough to leave enabled in
+/// `serve` by default.  Where TraceScope/TraceSink are opt-in and
+/// post-hoc (a sink must be installed up front), the recorder keeps the
+/// last few thousand events per thread unconditionally, so a stall, a
+/// pathological query, or a crash can be explained *after the fact*:
+///
+///  - record() writes one 32-byte slot into the calling thread's ring:
+///    a timestamp, a static-string name, one 64-bit value, and the
+///    event kind.  The ring is single-writer (its owning thread),
+///    oldest-overwritten, bounded memory.
+///
+///  - drain() snapshots every thread's ring (from any thread, while
+///    writers keep writing) into one time-sorted event list; slots the
+///    writer may have overwritten or be mid-write on are discarded, so
+///    a drained event is always internally consistent.
+///
+///  - renderChromeTrace() renders a drain as a complete Chrome Trace
+///    Event JSON array — the `debug` protocol verb, `ipse-cli
+///    debug-dump`, and the SIGQUIT crash-dump handler all emit this.
+///
+/// TSan-cleanliness is load-bearing (the rings run under the TSan CI
+/// job): every slot field is individually atomic with relaxed ordering,
+/// and the per-ring Head is release-stored after the slot write so a
+/// drain that observes Head >= i+1 observes slot i's fields.
+///
+/// Compile-out: -DIPSE_OBSERVE=OFF turns record() into an empty inline
+/// and drain()/renderChromeTrace() into empty results, like the rest of
+/// the observe layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPSE_OBSERVE_FLIGHTRECORDER_H
+#define IPSE_OBSERVE_FLIGHTRECORDER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipse {
+namespace observe {
+namespace flight {
+
+/// What one ring slot records.  Span begin/end come from TraceSpan /
+/// ManualSpan (always, even with no TraceScope installed); the service
+/// and tenant layers record the operational kinds at batch boundaries.
+enum class EventKind : std::uint8_t {
+  SpanBegin = 0,   ///< Value unused.
+  SpanEnd,         ///< Value = wall nanoseconds of the span.
+  Counter,         ///< Value = counter increment.
+  QueueDepth,      ///< Value = current depth.
+  WalAppend,       ///< Value = records appended.
+  WalFsync,        ///< Value = fsync wall microseconds.
+  SnapshotPublish, ///< Value = published generation.
+  Eviction,        ///< Value = evicted tenant's generation.
+  SlowQuery,       ///< Value = wall microseconds of the slow operation.
+};
+
+/// A drained copy of one slot, safe to hold after drain() returns.
+struct Event {
+  std::uint64_t TimeNs = 0;   ///< nowNanos() at record time.
+  const char *Name = "";      ///< Static string (never freed).
+  std::uint64_t Value = 0;    ///< Kind-dependent payload.
+  std::uint32_t Tid = 0;      ///< currentTid() of the recording thread.
+  EventKind Kind = EventKind::Counter;
+};
+
+#ifndef IPSE_OBSERVE_OFF
+
+/// Records one event into the calling thread's ring.  \p Name must be a
+/// static string: the ring stores the pointer.  Lock-free after the
+/// thread's first call (which registers its ring under a mutex).
+void record(EventKind Kind, const char *Name, std::uint64_t Value = 0);
+
+/// Globally enables/disables recording (drain paths stay live either
+/// way).  Used by bench_observe to measure the recorder's own overhead
+/// within one build; `serve` leaves it on.
+void setEnabled(bool On);
+bool enabled();
+
+/// Copies every thread's ring into one list sorted by time.  Slots that
+/// may have been overwritten mid-copy are discarded, never torn.  Rings
+/// of exited threads are retained (events keep their Tid), so a dump
+/// explains work done by threads that are already gone.
+std::vector<Event> drain();
+
+/// Renders drain() as one complete Chrome Trace Event JSON array
+/// (Perfetto-loadable): matched begin/end pairs become complete "X"
+/// slices, still-open spans become "B" events (exactly what a crash
+/// dump wants to show), counters and queue depths become "C" series,
+/// and the operational kinds become instants.  \p MultiLine selects
+/// one-event-per-line (files) or a single physical line (the `debug`
+/// verb's newline-framed wire).
+std::string renderChromeTrace(bool MultiLine = true);
+
+/// Slots per per-thread ring (a power of two).  Exposed for the wrap
+/// tests.
+std::size_t ringCapacity();
+
+#else // IPSE_OBSERVE_OFF
+
+inline void record(EventKind, const char *, std::uint64_t = 0) {}
+inline void setEnabled(bool) {}
+inline bool enabled() { return false; }
+inline std::vector<Event> drain() { return {}; }
+inline std::string renderChromeTrace(bool MultiLine = true) {
+  return MultiLine ? "[\n]\n" : "[]";
+}
+inline std::size_t ringCapacity() { return 0; }
+
+#endif // IPSE_OBSERVE_OFF
+
+} // namespace flight
+} // namespace observe
+} // namespace ipse
+
+#endif // IPSE_OBSERVE_FLIGHTRECORDER_H

@@ -7,14 +7,23 @@
 
 #include "observe/Metrics.h"
 
+#include "observe/Trace.h"
 #include "support/SimdKernels.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
 
 using namespace ipse;
 using namespace ipse::observe;
+
+namespace {
+/// Release line baked into build_info.  There is no generated version
+/// header; this string is the single source of truth for what a scraped
+/// dump reports.
+constexpr const char *VersionString = "0.10";
+} // namespace
 
 MetricsRegistry &MetricsRegistry::global() {
   // Leaked on purpose: references handed to long-lived engines must stay
@@ -25,6 +34,13 @@ MetricsRegistry &MetricsRegistry::global() {
     // metric (constant 1, the label carries the value), so every
     // `metrics` dump records the ISA its numbers were measured on.
     Reg->gauge(std::string("simd.kernel{isa=") + simd::dispatchedIsa() + "}")
+        .set(1);
+    // Identify the binary behind any scraped dump: release line, the
+    // dispatched SIMD ISA again (so build_info alone suffices), and
+    // whether the observe layer is compiled in.
+    Reg->gauge(std::string("build.info{version=") + VersionString +
+               ",isa=" + simd::dispatchedIsa() +
+               ",observe=" + (observe::enabled() ? "on" : "off") + "}")
         .set(1);
     return Reg;
   }();
@@ -58,6 +74,40 @@ LatencyHistogram &MetricsRegistry::histogram(std::string_view Name) {
   return *It->second;
 }
 
+std::string MetricsRegistry::labeledName(std::string_view Base,
+                                         std::string_view Key,
+                                         std::string_view Value) {
+  std::string Name;
+  Name.reserve(Base.size() + Key.size() + Value.size() + 3);
+  Name.append(Base);
+  Name += '{';
+  Name.append(Key);
+  Name += '=';
+  for (char C : Value) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '.' || C == '_' || C == '-';
+    Name += Ok ? C : '_';
+  }
+  Name += '}';
+  return Name;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Base, std::string_view Key,
+                                  std::string_view Value) {
+  return counter(labeledName(Base, Key, Value));
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Base, std::string_view Key,
+                              std::string_view Value) {
+  return gauge(labeledName(Base, Key, Value));
+}
+
+LatencyHistogram &MetricsRegistry::histogram(std::string_view Base,
+                                             std::string_view Key,
+                                             std::string_view Value) {
+  return histogram(labeledName(Base, Key, Value));
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> Lock(M);
   MetricsSnapshot S;
@@ -70,6 +120,12 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   S.Histograms.reserve(Histograms.size());
   for (const auto &[Name, H] : Histograms)
     S.Histograms.emplace_back(Name, H.get());
+  // The maps iterate in key order already; sort anyway so the documented
+  // cross-shard determinism cannot rot if the container ever changes.
+  auto ByName = [](const auto &A, const auto &B) { return A.first < B.first; };
+  std::sort(S.Counters.begin(), S.Counters.end(), ByName);
+  std::sort(S.Gauges.begin(), S.Gauges.end(), ByName);
+  std::sort(S.Histograms.begin(), S.Histograms.end(), ByName);
   return S;
 }
 

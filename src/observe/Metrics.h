@@ -83,14 +83,31 @@ public:
   MetricsRegistry &operator=(const MetricsRegistry &) = delete;
 
   /// Metric names must be JSON-safe identifiers (letters, digits,
-  /// '.', '_', '-'); they are rendered unescaped.  A single
-  /// `{key=value}` suffix (same alphabet inside) is also allowed —
-  /// per-entity series like "tenant.edits{tenant=acme}" — and is
-  /// recognized by the Prometheus exporter, which renders it as a real
-  /// label block.
+  /// '.', '_', '-'); they are rendered unescaped.  A `{key=value}`
+  /// suffix (same alphabet inside; several pairs comma-separated) is
+  /// also allowed — per-entity series like "tenant.edits{tenant=acme}"
+  /// — and is recognized by the Prometheus exporter, which renders it
+  /// as a real label block.
   Counter &counter(std::string_view Name);
   Gauge &gauge(std::string_view Name);
   LatencyHistogram &histogram(std::string_view Name);
+
+  /// Labeled-series forms: get-or-create the series `Base{Key=Value}`.
+  /// \p Value is sanitized to the registry's name alphabet (anything
+  /// else becomes '_'), so wire-supplied label values (tenant names)
+  /// cannot corrupt the JSON or Prometheus output.  Hot paths should
+  /// cache the returned reference, same as the unlabeled forms.
+  Counter &counter(std::string_view Base, std::string_view Key,
+                   std::string_view Value);
+  Gauge &gauge(std::string_view Base, std::string_view Key,
+               std::string_view Value);
+  LatencyHistogram &histogram(std::string_view Base, std::string_view Key,
+                              std::string_view Value);
+
+  /// Builds the registry name for one labeled series (the key the
+  /// labeled overloads register under), with the same sanitization.
+  static std::string labeledName(std::string_view Base, std::string_view Key,
+                                 std::string_view Value);
 
   /// One JSON object:
   ///   {"counters":{name:value,...},
@@ -100,7 +117,10 @@ public:
   /// is read once with relaxed loads.
   std::string toJson() const;
 
-  /// Copies the current name/value sets (alphabetical, map order).
+  /// Copies the current name/value sets.  Guaranteed sorted by name
+  /// (ascending, bytewise): the `metrics` verb and metrics-dump diffs
+  /// rely on deterministic ordering across shards and runs, so the
+  /// exporters must never depend on incidental container order.
   MetricsSnapshot snapshot() const;
 
 private:

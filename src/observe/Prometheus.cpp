@@ -11,6 +11,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <utility>
 
 using namespace ipse;
 using namespace ipse::observe;
@@ -28,9 +29,9 @@ std::string observe::prometheusName(std::string_view Name) {
 
 namespace {
 
-/// A registry name split at its optional `{key=value}` label suffix:
+/// A registry name split at its optional `{key=value,...}` label suffix:
 /// Name is the sanitized exported metric name, Labels the rendered
-/// `{key="value"}` block ("" when the registry name carried none).
+/// `{key="value",...}` block ("" when the registry name carried none).
 struct SplitName {
   std::string Name;
   std::string Labels;
@@ -44,29 +45,44 @@ SplitName splitLabels(std::string_view Raw) {
     return S;
   }
   std::string_view Inner = Raw.substr(Brace + 1, Raw.size() - Brace - 2);
-  std::size_t Eq = Inner.find('=');
   S.Name = prometheusName(Raw.substr(0, Brace));
-  if (Eq == std::string_view::npos) {
-    // No key=value inside the braces: treat the whole thing as part of
-    // the name rather than emit malformed exposition text.
-    S.Name = prometheusName(Raw);
-    return S;
+  // One or more comma-separated key=value pairs.  Any pair without an
+  // '=' poisons the suffix: treat the whole raw string as a name rather
+  // than emit malformed exposition text.
+  std::string Labels = "{";
+  bool First = true;
+  while (true) {
+    std::size_t Comma = Inner.find(',');
+    std::string_view Pair =
+        Comma == std::string_view::npos ? Inner : Inner.substr(0, Comma);
+    std::size_t Eq = Pair.find('=');
+    if (Eq == std::string_view::npos) {
+      S.Name = prometheusName(Raw);
+      return S;
+    }
+    // The key must be a legal label name; the value is a quoted string,
+    // so escape the two characters the format cares about.
+    if (!First)
+      Labels += ',';
+    First = false;
+    for (char C : Pair.substr(0, Eq)) {
+      bool Legal = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                   (C >= '0' && C <= '9') || C == '_';
+      Labels += Legal ? C : '_';
+    }
+    Labels += "=\"";
+    for (char C : Pair.substr(Eq + 1)) {
+      if (C == '"' || C == '\\')
+        Labels += '\\';
+      Labels += C;
+    }
+    Labels += '"';
+    if (Comma == std::string_view::npos)
+      break;
+    Inner = Inner.substr(Comma + 1);
   }
-  // The key must be a legal label name; the value is a quoted string, so
-  // escape the two characters the format cares about.
-  std::string Key;
-  for (char C : Inner.substr(0, Eq)) {
-    bool Legal = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
-                 (C >= '0' && C <= '9') || C == '_';
-    Key += Legal ? C : '_';
-  }
-  std::string Value;
-  for (char C : Inner.substr(Eq + 1)) {
-    if (C == '"' || C == '\\')
-      Value += '\\';
-    Value += C;
-  }
-  S.Labels = "{" + Key + "=\"" + Value + "\"}";
+  Labels += '}';
+  S.Labels = std::move(Labels);
   return S;
 }
 

@@ -27,12 +27,14 @@
 /// overflow bucket is `+Inf`, and `_sum` / `_count` come from the
 /// histogram's own accumulators.
 ///
-/// Labels: a registry name may carry one `{key=value}` suffix (the
-/// multi-tenant service registers e.g. "tenant.edits{tenant=acme}"); the
-/// exporter splits it off, sanitizes the base name and key, and renders a
-/// proper label block:
+/// Labels: a registry name may carry a `{key=value,...}` suffix with one
+/// or more comma-separated pairs (the multi-tenant service registers
+/// e.g. "tenant.edits{tenant=acme}", build info uses several pairs); the
+/// exporter splits it off, sanitizes the base name and keys, and renders
+/// a proper label block:
 ///
 ///   ipse_tenant_edits{tenant="acme"} 12
+///   ipse_build_info{version="0.10",isa="avx2",observe="on"} 1
 ///
 /// Series sharing a base name therefore aggregate across label values in
 /// Prometheus exactly as intended.  The JSON export keeps the full

@@ -8,6 +8,7 @@
 #include "observe/Trace.h"
 
 #include "observe/CostReport.h"
+#include "observe/FlightRecorder.h"
 #include "support/OpCount.h"
 
 #include <atomic>
@@ -77,6 +78,39 @@ void JsonLinesSink::onSpan(const SpanRecord &R) {
       std::fputc('"', Out);
     }
   }
+  std::fputs("}\n", Out);
+  std::fflush(Out);
+}
+
+void JsonLinesSink::onSlowQuery(const SlowQueryRecord &R) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::fprintf(Out, "{\"slow_query\":\"%s\",\"wall_us\":%llu,\"tid\":%u",
+               R.Op, (unsigned long long)R.WallUs, R.Tid);
+  auto putFiltered = [this](const std::string &S) {
+    for (char C : S)
+      if (C != '"' && C != '\\' && static_cast<unsigned char>(C) >= 0x20)
+        std::fputc(C, Out);
+  };
+  if (!R.TraceId.empty()) {
+    std::fputs(",\"trace\":\"", Out);
+    putFiltered(R.TraceId);
+    std::fputc('"', Out);
+  }
+  if (!R.Tenant.empty()) {
+    std::fputs(",\"tenant\":\"", Out);
+    putFiltered(R.Tenant);
+    std::fputc('"', Out);
+  }
+  std::fprintf(Out, ",\"gen\":%llu", (unsigned long long)R.Generation);
+  if (R.HasDemandStats)
+    std::fprintf(Out,
+                 ",\"region_procs\":%llu,\"memo_hits\":%llu,"
+                 "\"frontier_cuts\":%llu",
+                 (unsigned long long)R.RegionProcs,
+                 (unsigned long long)R.MemoHits,
+                 (unsigned long long)R.FrontierCuts);
+  if (R.Repr && R.Repr[0])
+    std::fprintf(Out, ",\"repr\":\"%s\"", R.Repr);
   std::fputs("}\n", Out);
   std::fflush(Out);
 }
@@ -195,9 +229,19 @@ void detail::install(TraceContext *Ctx) { ActiveCtx = Ctx; }
 
 TraceSpan::TraceSpan(const char *Name) : Name(Name) {
   Active = openSpan(StartNs, StartOps, Depth);
+  if (flight::enabled()) {
+    if (!Active)
+      StartNs = nowNanos(); // openSpan() skipped the clock read.
+    flight::record(flight::EventKind::SpanBegin, Name);
+    Flight = true;
+  }
 }
 
 void TraceSpan::closeNow() {
+  if (Flight) {
+    Flight = false;
+    flight::record(flight::EventKind::SpanEnd, Name, nowNanos() - StartNs);
+  }
   if (!Active)
     return;
   Active = false;
@@ -206,9 +250,19 @@ void TraceSpan::closeNow() {
 
 ManualSpan::ManualSpan(const char *Name) : Name(Name) {
   Active = openSpan(StartNs, StartOps, Depth);
+  if (flight::enabled()) {
+    if (!Active)
+      StartNs = nowNanos();
+    flight::record(flight::EventKind::SpanBegin, Name);
+    Flight = true;
+  }
 }
 
 void ManualSpan::close() {
+  if (Flight) {
+    Flight = false;
+    flight::record(flight::EventKind::SpanEnd, Name, nowNanos() - StartNs);
+  }
   if (!Active)
     return;
   Active = false;
@@ -216,6 +270,8 @@ void ManualSpan::close() {
 }
 
 void observe::addCounter(const char *Name, std::uint64_t Value) {
+  if (flight::enabled())
+    flight::record(flight::EventKind::Counter, Name, Value);
   detail::TraceContext *Ctx = ActiveCtx;
   if (Ctx && Ctx->Report)
     Ctx->Report->addCounter(Name, Value);

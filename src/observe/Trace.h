@@ -89,6 +89,23 @@ struct SpanRecord {
   const ScopeTags *Tags = nullptr;
 };
 
+/// One query or flush that exceeded the configured `--slow-ms`
+/// threshold, with the demand attribution the slow-query log carries.
+/// Delivered to TraceSink::onSlowQuery by the service/tenant layers.
+struct SlowQueryRecord {
+  const char *Op = "";            ///< "service.query", "tenant.flush", ...
+  std::uint64_t WallUs = 0;       ///< Wall time of the slow operation.
+  std::uint32_t Tid = 0;          ///< Thread that ran it.
+  std::string TraceId;            ///< Request trace id ("" = none).
+  std::string Tenant;             ///< Owning tenant ("" = single-program).
+  std::uint64_t Generation = 0;   ///< Snapshot generation involved.
+  bool HasDemandStats = false;    ///< The three fields below are live.
+  std::uint64_t RegionProcs = 0;  ///< Demand region size solved.
+  std::uint64_t MemoHits = 0;     ///< Frontier memo hits.
+  std::uint64_t FrontierCuts = 0; ///< DFS edges cut at solved frontier.
+  const char *Repr = "";          ///< Effect-set representation in use.
+};
+
 /// Receives closed spans.  Implementations must be safe to call from the
 /// thread that owns the installed TraceScope (one sink may be installed
 /// on several threads at once — JsonLinesSink locks internally).
@@ -96,6 +113,9 @@ class TraceSink {
 public:
   virtual ~TraceSink() = default;
   virtual void onSpan(const SpanRecord &R) = 0;
+  /// A query/flush crossed the slow threshold.  Default: ignored, so
+  /// sinks that only understand spans keep working.
+  virtual void onSlowQuery(const SlowQueryRecord &R) { (void)R; }
 };
 
 /// Streams spans as newline-delimited flat JSON objects:
@@ -117,6 +137,9 @@ public:
                                              std::string &ErrorOut);
 
   void onSpan(const SpanRecord &R) override;
+  /// One flat JSON line per slow query, carrying the demand attribution:
+  ///   {"slow_query":"service.query","wall_us":..,"tid":..,...}
+  void onSlowQuery(const SlowQueryRecord &R) override;
 
 private:
   std::mutex M;
@@ -218,7 +241,10 @@ private:
 };
 
 /// RAII phase timer.  \p Name must be a static string (it is stored by
-/// pointer).  Cheap when no TraceScope is active on this thread.
+/// pointer).  Cheap when no TraceScope is active on this thread.  Every
+/// span also records begin/end events into the flight recorder (when
+/// that is enabled), with or without an installed TraceScope — that is
+/// what makes the recorder's rings useful with zero configuration.
 class TraceSpan {
 public:
   explicit TraceSpan(const char *Name);
@@ -236,6 +262,7 @@ private:
   std::uint64_t StartOps = 0;
   unsigned Depth = 0;
   bool Active = false;
+  bool Flight = false; ///< A flight-recorder begin event was written.
 };
 
 /// A span with explicit open/close, for regions that cross a constructor's
@@ -257,6 +284,7 @@ private:
   std::uint64_t StartOps = 0;
   unsigned Depth = 0;
   bool Active = false;
+  bool Flight = false; ///< A flight-recorder begin event was written.
 };
 
 /// Adds \p Value to the named per-run counter of the innermost scope's

@@ -8,6 +8,7 @@
 #include "service/AnalysisService.h"
 
 #include "incremental/AnalysisSession.h"
+#include "observe/FlightRecorder.h"
 #include "observe/Metrics.h"
 #include "observe/Prometheus.h"
 #include "observe/Trace.h"
@@ -36,7 +37,21 @@ std::string dedupKey(const ScriptCommand &Cmd) {
   return Key;
 }
 
+const char *reprName() {
+  switch (EffectSet::defaultRepresentation()) {
+  case EffectSet::Representation::Dense:
+    return "dense";
+  case EffectSet::Representation::Sparse:
+    return "sparse";
+  case EffectSet::Representation::Auto:
+    break;
+  }
+  return "auto";
+}
+
 } // namespace
+
+const char *service::defaultReprName() { return reprName(); }
 
 AnalysisService::AnalysisService(ir::Program Initial, ServiceOptions Options)
     : Opts(Options), WriteQueue(Opts.QueueCapacity),
@@ -141,7 +156,8 @@ bool AnalysisService::submit(Pending P, bool Blocking) {
   // of the queues means it still answers when the service is saturated —
   // exactly when you want to see the counters.
   if (P.Cmd.Kind == ScriptCommand::Op::Stats ||
-      P.Cmd.Kind == ScriptCommand::Op::Metrics) {
+      P.Cmd.Kind == ScriptCommand::Op::Metrics ||
+      P.Cmd.Kind == ScriptCommand::Op::Debug) {
     Response R;
     R.Id = P.Id;
     R.Generation = generation();
@@ -149,6 +165,12 @@ bool AnalysisService::submit(Pending P, bool Blocking) {
     R.ResultIsJson = true;
     if (P.Cmd.Kind == ScriptCommand::Op::Stats) {
       R.Result = statsJson();
+    } else if (P.Cmd.Kind == ScriptCommand::Op::Debug) {
+      // Flight-recorder dump: drain every thread's ring into one Chrome
+      // Trace Event array.  Served inline for the same reason as stats —
+      // it must still answer when the service is wedged.  Single-line:
+      // the response is newline-framed.
+      R.Result = observe::flight::renderChromeTrace(/*MultiLine=*/false);
     } else {
       refreshGauges();
       if (!P.Cmd.Args.empty() && P.Cmd.Args[0] == "--format=prom") {
@@ -251,6 +273,8 @@ void AnalysisService::writerLoop() {
     Batch.clear();
     Batch.push_back(std::move(*First));
     WriteQueue.tryPopBatch(Batch, Opts.MaxBatch - 1);
+    observe::flight::record(observe::flight::EventKind::QueueDepth,
+                            "service.write_queue", WriteQueue.size());
 
     // Apply the whole batch before flushing: the session defers solve
     // work until queried, so N edits cost one re-propagation.
@@ -272,12 +296,21 @@ void AnalysisService::writerLoop() {
     // never published them, so nothing observable is lost either way.
     if (AnyApplied && DataStore) {
       std::string Err;
+      const std::uint64_t W0 = observe::nowNanos();
       if (!DataStore->appendEdits(Applied, Err)) {
         std::fprintf(stderr,
                      "ipse: WAL append failed, persistence disabled: %s\n",
                      Err.c_str());
         observe::MetricsRegistry::global().counter("persist.wal_errors").add();
         DataStore.reset();
+      } else {
+        observe::flight::record(observe::flight::EventKind::WalAppend,
+                                "persist.wal_append", Applied.size());
+        // appendEdits is one group-commit write+fsync; its wall time is
+        // the fsync story for this batch.
+        observe::flight::record(observe::flight::EventKind::WalFsync,
+                                "persist.wal_fsync",
+                                (observe::nowNanos() - W0) / 1000);
       }
     }
 
@@ -298,10 +331,27 @@ void AnalysisService::writerLoop() {
         Snap = AnalysisSnapshot::capture(*Session, Session->generation());
       }
       publish(Snap);
+      observe::flight::record(observe::flight::EventKind::SnapshotPublish,
+                              "service.publish", Snap->generation());
+      const std::uint64_t FlushUs = (observe::nowNanos() - T0) / 1000;
       observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
-      Reg.histogram("service.flush_us")
-          .record((observe::nowNanos() - T0) / 1000);
+      Reg.histogram("service.flush_us").record(FlushUs);
       Reg.histogram("service.flush_batch").record(Batch.size());
+      if (Opts.SlowQueryUs && FlushUs > Opts.SlowQueryUs) {
+        Reg.counter("slow_queries_total").add();
+        observe::flight::record(observe::flight::EventKind::SlowQuery,
+                                "service.flush", FlushUs);
+        if (Opts.Sink) {
+          observe::SlowQueryRecord SQ;
+          SQ.Op = "service.flush";
+          SQ.WallUs = FlushUs;
+          SQ.Tid = observe::currentTid();
+          SQ.TraceId = Batch.front().TraceId;
+          SQ.Generation = Snap->generation();
+          SQ.Repr = defaultReprName();
+          Opts.Sink->onSlowQuery(SQ);
+        }
+      }
       refreshGauges();
     }
 
@@ -310,6 +360,19 @@ void AnalysisService::writerLoop() {
       if (!DataStore->compact(*Session, Err))
         std::fprintf(stderr, "ipse: compaction failed (will retry): %s\n",
                      Err.c_str());
+    }
+
+    // Durability lag, visible to scrapers: how far the WAL has run ahead
+    // of the last durable snapshot.  Updated here because DataStore is
+    // confined to this thread.
+    if (DataStore) {
+      observe::MetricsRegistry &PReg = observe::MetricsRegistry::global();
+      PReg.gauge("persist.wal_lag_records")
+          .set(static_cast<std::int64_t>(DataStore->walRecords()));
+      PReg.gauge("persist.wal_lag_bytes")
+          .set(static_cast<std::int64_t>(DataStore->walBytes()));
+      PReg.gauge("persist.snapshot_generation")
+          .set(static_cast<std::int64_t>(DataStore->snapshotGeneration()));
     }
 
     observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
@@ -356,6 +419,8 @@ void AnalysisService::workerLoop() {
     ReadQueue.tryPopBatch(Batch, Opts.MaxBatch - 1);
     CntReadBatches.fetch_add(1, std::memory_order_relaxed);
     CntBatchedReads.fetch_add(Batch.size(), std::memory_order_relaxed);
+    observe::flight::record(observe::flight::EventKind::QueueDepth,
+                            "service.read_queue", ReadQueue.size());
 
     // Pin once: every request in the burst is answered from the same
     // generation, and identical requests share one evaluation.
@@ -375,6 +440,7 @@ void AnalysisService::workerLoop() {
       auto [It, Inserted] = Memo.try_emplace(Key, Evals.size());
       if (Inserted) {
         Eval E;
+        const std::uint64_t T0 = observe::nowNanos();
         {
           // Tag the evaluation's span tree with the triggering request
           // (dedup followers reuse the result, so the work is theirs
@@ -392,6 +458,26 @@ void AnalysisService::workerLoop() {
             E.Error = Err.Message;
           }
         }
+        const std::uint64_t EvalUs = (observe::nowNanos() - T0) / 1000;
+        if (Opts.SlowQueryUs && EvalUs > Opts.SlowQueryUs) {
+          Reg.counter("slow_queries_total").add();
+          observe::flight::record(observe::flight::EventKind::SlowQuery,
+                                  "service.query", EvalUs);
+          if (Opts.Sink) {
+            observe::SlowQueryRecord SQ;
+            SQ.Op = "service.query";
+            SQ.WallUs = EvalUs;
+            SQ.Tid = observe::currentTid();
+            SQ.TraceId = P.TraceId;
+            SQ.Generation = Snap->generation();
+            SQ.HasDemandStats = E.QR.HasStats;
+            SQ.RegionProcs = E.QR.RegionProcs;
+            SQ.MemoHits = E.QR.MemoHits;
+            SQ.FrontierCuts = E.QR.FrontierCuts;
+            SQ.Repr = defaultReprName();
+            Opts.Sink->onSlowQuery(SQ);
+          }
+        }
         Evals.push_back(std::move(E));
       } else {
         CntDedupSaved.fetch_add(1, std::memory_order_relaxed);
@@ -404,6 +490,10 @@ void AnalysisService::workerLoop() {
       if (E.Ok) {
         R.Result = E.QR.Text;
         R.CheckOk = E.QR.CheckOk;
+        R.HasStats = E.QR.HasStats;
+        R.RegionProcs = E.QR.RegionProcs;
+        R.MemoHits = E.QR.MemoHits;
+        R.FrontierCuts = E.QR.FrontierCuts;
         CntQueries.fetch_add(1, std::memory_order_relaxed);
       } else {
         R.Ok = false;

@@ -95,6 +95,11 @@ struct ServiceOptions {
   /// request-tagged TraceScopes streaming here (must be thread-safe; not
   /// owned; must outlive the service).
   observe::TraceSink *Sink = nullptr;
+  /// Slow-op threshold in microseconds (0 = off).  Query evaluations and
+  /// writer flushes whose wall time exceeds it emit a structured
+  /// SlowQueryRecord to \c Sink, a flight-recorder event, and bump the
+  /// "slow_queries_total" counter.  The CLI's `--slow-ms` lands here.
+  std::uint64_t SlowQueryUs = 0;
   /// When non-empty, durable mode: the directory must exist.  If it holds
   /// a store, the service recovers from it (latest snapshot + WAL tail;
   /// the initial program and TrackUse are taken from the store, not from
@@ -126,7 +131,18 @@ struct Response {
   std::string TraceId;
   std::string Result;
   std::string Error;
+  /// Per-query demand attribution (demand-engine targets only): how much
+  /// region solving this specific query triggered.  Rendered as a nested
+  /// "stats" object on the wire when HasStats is true.
+  bool HasStats = false;
+  std::uint64_t RegionProcs = 0;
+  std::uint64_t MemoHits = 0;
+  std::uint64_t FrontierCuts = 0;
 };
+
+/// The process-wide EffectSet representation policy as the short string
+/// slow-query records carry ("auto" / "dense" / "sparse").
+const char *defaultReprName();
 
 /// Monotonic counters, readable at any time (relaxed loads).
 struct ServiceCounters {

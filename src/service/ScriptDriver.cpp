@@ -64,6 +64,7 @@ constexpr OpSpec Specs[] = {
     {"check", ScriptCommand::Op::Check, 0},
     {"stats", ScriptCommand::Op::Stats, 0},
     {"metrics", ScriptCommand::Op::Metrics, -1},
+    {"debug", ScriptCommand::Op::Debug, 0},
     {"open", ScriptCommand::Op::Open, -1},
     {"close", ScriptCommand::Op::Close, 1},
     {"attach", ScriptCommand::Op::Attach, 1},
@@ -375,6 +376,15 @@ EffectSet DemandSessionQueryTarget::useNoAlias(StmtId St) const {
 EffectSet DemandSessionQueryTarget::dmodSite(ir::CallSiteId C) const {
   return S.dmod(C);
 }
+bool DemandSessionQueryTarget::demandCounters(
+    std::uint64_t &RegionProcs, std::uint64_t &MemoHits,
+    std::uint64_t &FrontierCuts) const {
+  const demand::DemandStats &St = S.stats();
+  RegionProcs = St.RegionProcs;
+  MemoHits = St.MemoHits;
+  FrontierCuts = St.FrontierCuts;
+  return true;
+}
 
 std::string service::setToString(const Program &P, const EffectSet &Set) {
   std::vector<std::string> Names;
@@ -469,6 +479,10 @@ QueryResult service::evalQueryCommand(const QueryTarget &Target,
     // Demand-style batch query: each operand is a procedure (GMOD) or a
     // proc#k call site (DMOD of proc's k-th call site).  One output line,
     // operands joined by "; ", so protocol clients get one response.
+    // Demand-driven targets additionally report this query's attribution
+    // as the delta of the session's cumulative counters.
+    std::uint64_t RP0 = 0, MH0 = 0, FC0 = 0;
+    bool HasStats = Target.demandCounters(RP0, MH0, FC0);
     const Program &P = Target.program();
     for (std::size_t I = 0; I != A.size(); ++I) {
       if (I != 0)
@@ -490,7 +504,17 @@ QueryResult service::evalQueryCommand(const QueryTarget &Target,
       OS << "DMOD(" << Name << "#" << K << ") = {"
          << setToString(P, Target.dmodSite(Sites[K])) << "}";
     }
-    return QueryResult{OS.str(), true};
+    QueryResult R;
+    R.Text = OS.str();
+    if (HasStats) {
+      std::uint64_t RP1 = 0, MH1 = 0, FC1 = 0;
+      Target.demandCounters(RP1, MH1, FC1);
+      R.HasStats = true;
+      R.RegionProcs = RP1 - RP0;
+      R.MemoHits = MH1 - MH0;
+      R.FrontierCuts = FC1 - FC0;
+    }
+    return R;
   }
   case ScriptCommand::Op::Check:
     return evalCheck(Target);

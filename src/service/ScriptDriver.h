@@ -38,6 +38,11 @@
 ///   metrics [--format=json|prom]          process-wide metrics registry
 ///                                         (JSON object, or Prometheus
 ///                                         text exposition format)
+///   debug                                 flight-recorder dump: every
+///                                         thread's in-memory event ring
+///                                         as one Chrome Trace Event
+///                                         JSON array ("[\n]\n" under
+///                                         IPSE_OBSERVE=OFF)
 ///   open <tenant> [k=v ...]               multi-tenant verbs (serve
 ///   close <tenant>                        --tenants only): create a
 ///   attach <tenant>                       tenant (gen-spec keys as for
@@ -116,6 +121,7 @@ struct ScriptCommand {
     Check,
     Stats,
     Metrics,
+    Debug,
     Open,
     Close,
     Attach
@@ -199,6 +205,18 @@ public:
   virtual EffectSet useNoAlias(ir::StmtId S) const = 0;
   /// DMOD projected at one call site (the `query proc#k` operand form).
   virtual EffectSet dmodSite(ir::CallSiteId C) const = 0;
+  /// Cumulative demand counters, if this target is demand-driven.  The
+  /// query evaluator snapshots them around a `query` command and reports
+  /// the delta (per-query attribution on the wire and in --stats).
+  /// Returns false (and leaves the outputs alone) for non-demand targets.
+  virtual bool demandCounters(std::uint64_t &RegionProcs,
+                              std::uint64_t &MemoHits,
+                              std::uint64_t &FrontierCuts) const {
+    (void)RegionProcs;
+    (void)MemoHits;
+    (void)FrontierCuts;
+    return false;
+  }
 };
 
 /// Adapts a live AnalysisSession to QueryTarget for the CLI path.
@@ -232,6 +250,8 @@ public:
   EffectSet modNoAlias(ir::StmtId S) const override;
   EffectSet useNoAlias(ir::StmtId S) const override;
   EffectSet dmodSite(ir::CallSiteId C) const override;
+  bool demandCounters(std::uint64_t &RegionProcs, std::uint64_t &MemoHits,
+                      std::uint64_t &FrontierCuts) const override;
 
 private:
   demand::DemandSession &S;
@@ -241,6 +261,13 @@ private:
 struct QueryResult {
   std::string Text;    ///< Exactly the line `ipse-cli session` prints.
   bool CheckOk = true; ///< False only for a failed `check`.
+  /// Per-query demand attribution (deltas of the target's demand
+  /// counters across this one evaluation).  HasStats is true only for
+  /// `query` commands answered by a demand-driven target.
+  bool HasStats = false;
+  std::uint64_t RegionProcs = 0;  ///< Procedures solved for this query.
+  std::uint64_t MemoHits = 0;     ///< Queried procs already memoized.
+  std::uint64_t FrontierCuts = 0; ///< Region edges cut at the memo frontier.
 };
 
 /// Evaluates a query command (isQueryCommand) against \p Target.  `check`

@@ -40,6 +40,14 @@ std::string service::renderResponse(const Response &R) {
     else
       W.field("result", R.Result);
   }
+  if (R.HasStats) {
+    // Per-query demand attribution (demand-engine targets only).
+    JsonWriter SW;
+    SW.field("region_procs", R.RegionProcs);
+    SW.field("memo_hits", R.MemoHits);
+    SW.field("frontier_cuts", R.FrontierCuts);
+    W.fieldRaw("stats", SW.finish());
+  }
   if (!R.Error.empty())
     W.field("error", R.Error);
   return W.finish();
@@ -434,5 +442,52 @@ int service::runMetricsDump(std::uint16_t Port, bool Prom, std::FILE *Out) {
   }
   std::fprintf(Out, "%s%s", Payload->c_str(),
                (!Payload->empty() && Payload->back() == '\n') ? "" : "\n");
+  return 0;
+}
+
+int service::runDebugDump(std::uint16_t Port, std::FILE *Out) {
+  int Fd = connectLoopback(Port);
+  if (Fd < 0)
+    return 1;
+
+  JsonWriter W;
+  W.field("id", std::uint64_t(1));
+  W.field("cmd", "debug");
+  std::string Req = W.finish() + "\n";
+  if (::write(Fd, Req.data(), Req.size()) != static_cast<ssize_t>(Req.size())) {
+    std::fprintf(stderr, "error: connection lost\n");
+    ::close(Fd);
+    return 1;
+  }
+
+  std::string Carry;
+  char Buf[4096];
+  std::size_t Nl;
+  while ((Nl = Carry.find('\n')) == std::string::npos) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N <= 0) {
+      std::fprintf(stderr, "error: connection closed\n");
+      ::close(Fd);
+      return 1;
+    }
+    Carry.append(Buf, static_cast<std::size_t>(N));
+  }
+  ::close(Fd);
+
+  std::string RespLine = Carry.substr(0, Nl);
+  std::string Err;
+  std::optional<JsonObject> Resp = parseJsonObject(RespLine, Err);
+  if (!Resp || Resp->getBool("ok") != true) {
+    std::fprintf(stderr, "error: bad debug response: %s\n", RespLine.c_str());
+    return 1;
+  }
+  // The flight dump arrives as a raw JSON array lexeme; print it as-is
+  // (already a complete, Perfetto-loadable Chrome Trace document).
+  std::optional<std::string> Payload = Resp->getRaw("result");
+  if (!Payload) {
+    std::fprintf(stderr, "error: debug response without result\n");
+    return 1;
+  }
+  std::fprintf(Out, "%s\n", Payload->c_str());
   return 0;
 }

@@ -20,10 +20,13 @@
 ///   {"id":8,"ok":false,"gen":3,"error":"unknown procedure 'nope'"}
 ///   {"id":9,"ok":false,"retry":true,"error":"overloaded"}        (backpressure)
 ///
-/// Extra response fields: `"check":false` on a failed `check`, and the
-/// `stats` / `metrics` commands return their object under `"result"`
-/// unquoted (`metrics --format=prom` returns Prometheus text as a plain
-/// string).
+/// Extra response fields: `"check":false` on a failed `check`; the
+/// `stats` / `metrics` / `debug` commands return their object (or the
+/// flight-recorder's Chrome-trace array) under `"result"` unquoted
+/// (`metrics --format=prom` returns Prometheus text as a plain string);
+/// and `query` answered by a demand engine carries a nested
+/// `"stats":{"region_procs":N,"memo_hits":N,"frontier_cuts":N}` object
+/// attributing that query's region solve.
 ///
 /// Tracing: a request may carry `"trace":"<id>"`; the server assigns
 /// "s<N>" when absent.  The id is echoed back as `"trace"` and tags every
@@ -135,6 +138,11 @@ int runClient(std::uint16_t Port, std::FILE *In, std::FILE *Out);
 /// JSON object otherwise — to \p Out.  Returns 0 on success, 1 on
 /// connection or protocol failure.
 int runMetricsDump(std::uint16_t Port, bool Prom, std::FILE *Out);
+
+/// Connects to 127.0.0.1:\p Port, issues one `debug` request, and prints
+/// the flight-recorder dump (a complete Chrome Trace Event JSON array) to
+/// \p Out.  Returns 0 on success, 1 on connection or protocol failure.
+int runDebugDump(std::uint16_t Port, std::FILE *Out);
 
 } // namespace service
 } // namespace ipse

@@ -95,7 +95,14 @@ void tenant::handleTenantRequestLine(
   if (Target.empty())
     Target = Conn.Attached;
   bool IsLifecycle = service::isTenantCommand(Cmd->Kind);
-  if (Target.empty() && !IsLifecycle) {
+  // Control-plane verbs (stats / metrics / debug) answer from the tenant
+  // service itself — global registry, flight rings — and need no tenant:
+  // `metrics-dump` and `debug-dump` rely on this against a tenants-only
+  // server.  A hybrid server keeps routing them to the single service.
+  bool IsControlPlane = Cmd->Kind == ScriptCommand::Op::Stats ||
+                        Cmd->Kind == ScriptCommand::Op::Metrics ||
+                        Cmd->Kind == ScriptCommand::Op::Debug;
+  if (Target.empty() && !IsLifecycle && !(IsControlPlane && !Single)) {
     if (Single) {
       service::handleRequestLine(*Single, Trimmed, Emit);
       return;

@@ -9,6 +9,7 @@
 
 #include "demand/DemandSession.h"
 #include "incremental/AnalysisSession.h"
+#include "observe/FlightRecorder.h"
 #include "observe/Metrics.h"
 #include "observe/Prometheus.h"
 #include "observe/Trace.h"
@@ -43,6 +44,35 @@ persist::SnapshotData demandSnapshotData(demand::DemandSession &S) {
   D.Planes = S.exportPlanes();
   D.Generation = S.generation();
   return D;
+}
+
+/// Slow-op plumbing shared by the tenant query and flush paths: the
+/// "slow_queries_total" counter, a flight-recorder instant, and (when a
+/// sink is configured) a structured record carrying the tenant name and
+/// any demand attribution.
+void noteSlowOp(const TenantOptions &Opts, const std::string &Tenant,
+                const char *Op, std::uint64_t WallUs,
+                const std::string &TraceId, std::uint64_t Gen,
+                const service::QueryResult *QR = nullptr) {
+  observe::MetricsRegistry::global().counter("slow_queries_total").add();
+  observe::flight::record(observe::flight::EventKind::SlowQuery, Op, WallUs);
+  if (!Opts.Sink)
+    return;
+  observe::SlowQueryRecord SQ;
+  SQ.Op = Op;
+  SQ.WallUs = WallUs;
+  SQ.Tid = observe::currentTid();
+  SQ.TraceId = TraceId;
+  SQ.Tenant = Tenant;
+  SQ.Generation = Gen;
+  SQ.Repr = service::defaultReprName();
+  if (QR && QR->HasStats) {
+    SQ.HasDemandStats = true;
+    SQ.RegionProcs = QR->RegionProcs;
+    SQ.MemoHits = QR->MemoHits;
+    SQ.FrontierCuts = QR->FrontierCuts;
+  }
+  Opts.Sink->onSlowQuery(SQ);
 }
 
 } // namespace
@@ -113,8 +143,12 @@ TenantService::registerTenant(const std::string &Name, std::string &Err) {
   T->Name = Name;
   T->ShardIdx = shardOf(Name);
   observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
-  T->CtrEdits = &Reg.counter("tenant.edits{tenant=" + Name + "}");
-  T->CtrQueries = &Reg.counter("tenant.queries{tenant=" + Name + "}");
+  T->CtrEdits = &Reg.counter("tenant.edits", "tenant", Name);
+  T->CtrQueries = &Reg.counter("tenant.queries", "tenant", Name);
+  T->CtrEvicted = &Reg.counter("tenant.evicted", "tenant", Name);
+  T->CtrRejected = &Reg.counter("tenant.rejected", "tenant", Name);
+  T->GResident = &Reg.gauge("tenant.resident", "tenant", Name);
+  T->GEditBacklog = &Reg.gauge("tenant.edit_backlog", "tenant", Name);
   std::lock_guard<std::mutex> Lock(RegistryMutex);
   auto [It, Inserted] = Registry.try_emplace(Name, T);
   (void)It;
@@ -227,6 +261,7 @@ bool TenantService::tryInlineQuery(const std::shared_ptr<Tenant> &T, Job &J) {
   R.Id = J.Id;
   R.TraceId = J.TraceId;
   R.Generation = Snap->generation();
+  const std::uint64_t T0 = observe::nowNanos();
   {
     std::optional<observe::TraceScope> Scope;
     if (Opts.Sink)
@@ -245,6 +280,10 @@ bool TenantService::tryInlineQuery(const std::shared_ptr<Tenant> &T, Job &J) {
       CntErrors.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  const std::uint64_t EvalUs = (observe::nowNanos() - T0) / 1000;
+  if (Opts.SlowQueryUs && EvalUs > Opts.SlowQueryUs)
+    noteSlowOp(Opts, T->Name, "tenant.query", EvalUs, J.TraceId,
+               Snap->generation());
   touch(*T);
   observe::MetricsRegistry::global()
       .histogram("tenant.read_lat_us")
@@ -274,15 +313,18 @@ bool TenantService::submit(std::string TenantName, Job J, bool Blocking) {
     return true;
   };
 
-  // `stats` / `metrics` answer inline from atomics — they must still work
-  // when every shard is saturated.
-  if (K == Op::Stats || K == Op::Metrics) {
+  // `stats` / `metrics` / `debug` answer inline from atomics and the
+  // flight rings — they must still work when every shard is saturated.
+  if (K == Op::Stats || K == Op::Metrics || K == Op::Debug) {
     Response R;
     R.Id = J.Id;
     R.TraceId = J.TraceId;
     R.ResultIsJson = true;
     if (K == Op::Stats) {
       R.Result = statsJson();
+    } else if (K == Op::Debug) {
+      // One physical line: the wire is newline-framed.
+      R.Result = observe::flight::renderChromeTrace(/*MultiLine=*/false);
     } else {
       refreshGauges();
       if (!J.Cmd.Args.empty() && J.Cmd.Args[0] == "--format=prom") {
@@ -349,6 +391,7 @@ bool TenantService::submit(std::string TenantName, Job J, bool Blocking) {
         T->QueuedEdits.load(std::memory_order_relaxed) >=
             Opts.MaxQueuedEdits) {
       CntRejected.fetch_add(1, std::memory_order_relaxed);
+      T->CtrRejected->add();
       if (Blocking) {
         // Blocking callers still see the quota — as an explicit retry
         // response rather than a silent wait (the quota exists to push
@@ -375,6 +418,7 @@ bool TenantService::submit(std::string TenantName, Job J, bool Blocking) {
       T->QueuedEdits.fetch_sub(1, std::memory_order_relaxed);
       T->QueuedJobs.fetch_sub(1, std::memory_order_relaxed);
       CntRejected.fetch_add(1, std::memory_order_relaxed);
+      T->CtrRejected->add();
     }
     return Accepted;
   }
@@ -394,6 +438,7 @@ bool TenantService::submit(std::string TenantName, Job J, bool Blocking) {
     if (!Accepted) {
       T->QueuedJobs.fetch_sub(1, std::memory_order_relaxed);
       CntRejected.fetch_add(1, std::memory_order_relaxed);
+      T->CtrRejected->add();
     }
     return Accepted;
   }
@@ -558,6 +603,7 @@ void TenantService::runOpen(Job &J) {
            " procedures exceeds the cap (" + std::to_string(Opts.MaxProcs) +
            ")";
     CntRejected.fetch_add(1, std::memory_order_relaxed);
+    T.CtrRejected->add();
   }
   if (Fail.empty()) {
     T.TrackUse = Opts.TrackUse;
@@ -688,6 +734,10 @@ void TenantService::runClose(Job &J) {
   }
   CntCloses.fetch_add(1, std::memory_order_relaxed);
   observe::MetricsRegistry::global().counter("tenant.closes").add();
+  // The labeled series survive the close (registry entries are forever);
+  // pin the gauges to zero so scrapes do not report a ghost resident.
+  T.GResident->set(0);
+  T.GEditBacklog->set(0);
   refreshGauges();
   R.Result = "closed '" + T.Name + "'";
   J.Done(std::move(R));
@@ -711,43 +761,63 @@ void TenantService::runQuery(Job &J) {
     // snapshot so repeat queries take the inline lock-free path.
     const std::uint64_t Gen = T.DemandS->generation();
     R.Generation = Gen;
-    std::optional<observe::TraceScope> Scope;
-    if (Opts.Sink)
-      Scope.emplace(nullptr, Opts.Sink,
-                    observe::ScopeTags{J.TraceId, Gen, T.Name});
-    observe::TraceSpan Span("tenant.query");
-    try {
-      service::DemandSessionQueryTarget QT(*T.DemandS);
-      service::QueryResult QR = service::evalQueryCommand(QT, J.Cmd);
-      R.Result = std::move(QR.Text);
-      R.CheckOk = QR.CheckOk;
-      T.CtrQueries->add();
-      CntQueries.fetch_add(1, std::memory_order_relaxed);
-    } catch (const ScriptError &E) {
-      R.Ok = false;
-      R.Error = E.Message;
+    const std::uint64_t T0 = observe::nowNanos();
+    service::QueryResult QR;
+    {
+      std::optional<observe::TraceScope> Scope;
+      if (Opts.Sink)
+        Scope.emplace(nullptr, Opts.Sink,
+                      observe::ScopeTags{J.TraceId, Gen, T.Name});
+      observe::TraceSpan Span("tenant.query");
+      try {
+        service::DemandSessionQueryTarget QT(*T.DemandS);
+        QR = service::evalQueryCommand(QT, J.Cmd);
+        R.Result = std::move(QR.Text);
+        R.CheckOk = QR.CheckOk;
+        if (QR.HasStats) {
+          R.HasStats = true;
+          R.RegionProcs = QR.RegionProcs;
+          R.MemoHits = QR.MemoHits;
+          R.FrontierCuts = QR.FrontierCuts;
+        }
+        T.CtrQueries->add();
+        CntQueries.fetch_add(1, std::memory_order_relaxed);
+      } catch (const ScriptError &E) {
+        R.Ok = false;
+        R.Error = E.Message;
+      }
     }
+    const std::uint64_t EvalUs = (observe::nowNanos() - T0) / 1000;
+    if (Opts.SlowQueryUs && EvalUs > Opts.SlowQueryUs)
+      noteSlowOp(Opts, T.Name, "tenant.query", EvalUs, J.TraceId, Gen, &QR);
     publish(T, Gen);
     touch(T);
   } else {
     std::shared_ptr<const service::AnalysisSnapshot> Snap =
         T.Snap.load(std::memory_order_acquire);
     R.Generation = Snap->generation();
-    std::optional<observe::TraceScope> Scope;
-    if (Opts.Sink)
-      Scope.emplace(nullptr, Opts.Sink,
-                    observe::ScopeTags{J.TraceId, Snap->generation(), T.Name});
-    observe::TraceSpan Span("tenant.query");
-    try {
-      service::QueryResult QR = service::evalQueryCommand(*Snap, J.Cmd);
-      R.Result = std::move(QR.Text);
-      R.CheckOk = QR.CheckOk;
-      T.CtrQueries->add();
-      CntQueries.fetch_add(1, std::memory_order_relaxed);
-    } catch (const ScriptError &E) {
-      R.Ok = false;
-      R.Error = E.Message;
+    const std::uint64_t T0 = observe::nowNanos();
+    {
+      std::optional<observe::TraceScope> Scope;
+      if (Opts.Sink)
+        Scope.emplace(nullptr, Opts.Sink,
+                      observe::ScopeTags{J.TraceId, Snap->generation(), T.Name});
+      observe::TraceSpan Span("tenant.query");
+      try {
+        service::QueryResult QR = service::evalQueryCommand(*Snap, J.Cmd);
+        R.Result = std::move(QR.Text);
+        R.CheckOk = QR.CheckOk;
+        T.CtrQueries->add();
+        CntQueries.fetch_add(1, std::memory_order_relaxed);
+      } catch (const ScriptError &E) {
+        R.Ok = false;
+        R.Error = E.Message;
+      }
     }
+    const std::uint64_t EvalUs = (observe::nowNanos() - T0) / 1000;
+    if (Opts.SlowQueryUs && EvalUs > Opts.SlowQueryUs)
+      noteSlowOp(Opts, T.Name, "tenant.query", EvalUs, J.TraceId,
+                 Snap->generation());
     touch(T);
   }
   if (!R.Ok)
@@ -803,6 +873,7 @@ void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
       Failures[I] = "tenant quota: max procedures (" +
                     std::to_string(Opts.MaxProcs) + ") reached";
       CntRejected.fetch_add(1, std::memory_order_relaxed);
+      T.CtrRejected->add();
       continue;
     }
     try {
@@ -823,6 +894,7 @@ void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
   // tenant's WAL (one fsync) before the snapshot containing them can
   // publish.
   if (AnyApplied && T.Store) {
+    const std::uint64_t W0 = observe::nowNanos();
     std::string WErr;
     if (!T.Store->appendEdits(Applied, WErr)) {
       std::fprintf(
@@ -833,6 +905,12 @@ void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
       // The tenant keeps serving from memory but is pinned resident:
       // evictIfIdle() refuses tenants without a store.
       T.Store.reset();
+    } else {
+      observe::flight::record(observe::flight::EventKind::WalAppend,
+                              "persist.wal_append", Applied.size());
+      observe::flight::record(observe::flight::EventKind::WalFsync,
+                              "persist.wal_fsync",
+                              (observe::nowNanos() - W0) / 1000);
     }
   }
 
@@ -851,8 +929,12 @@ void TenantService::runEditGroup(std::vector<Job> &Batch, std::size_t Begin,
       // query re-solves whatever the group dirtied.)
       publish(T, Gen);
     }
-    Reg.histogram("tenant.flush_us").record((observe::nowNanos() - T0) / 1000);
+    const std::uint64_t FlushUs = (observe::nowNanos() - T0) / 1000;
+    Reg.histogram("tenant.flush_us").record(FlushUs);
     Reg.histogram("tenant.flush_batch").record(N);
+    if (Opts.SlowQueryUs && FlushUs > Opts.SlowQueryUs)
+      noteSlowOp(Opts, T.Name, "tenant.flush", FlushUs, Batch[Begin].TraceId,
+                 Gen);
   }
 
   if (T.Store && T.Store->shouldCompact()) {
@@ -967,6 +1049,8 @@ void TenantService::evictIfIdle(Tenant &T) {
                  T.Name.c_str(), Err.c_str());
     return;
   }
+  const std::uint64_t Gen =
+      T.DemandS ? T.DemandS->generation() : T.Session->generation();
   T.Session.reset();
   T.DemandS.reset();
   T.Store.reset();
@@ -975,7 +1059,10 @@ void TenantService::evictIfIdle(Tenant &T) {
   T.Snap.store(nullptr, std::memory_order_release);
   Resident.fetch_sub(1, std::memory_order_relaxed);
   CntEvictions.fetch_add(1, std::memory_order_relaxed);
+  observe::flight::record(observe::flight::EventKind::Eviction, "tenant.evict",
+                          Gen);
   observe::MetricsRegistry::global().counter("tenant.evictions").add();
+  T.CtrEvicted->add();
   refreshGauges();
 }
 
@@ -1072,6 +1159,15 @@ void TenantService::refreshGauges() const {
   observe::MetricsRegistry &Reg = observe::MetricsRegistry::global();
   Reg.gauge("tenant.count").set(static_cast<std::int64_t>(tenantCount()));
   Reg.gauge("tenant.resident").set(static_cast<std::int64_t>(residentCount()));
+  // Per-tenant labeled gauges: residency (0/1) and edit backlog.  The
+  // cached series outlive the tenant (the registry never shrinks), so a
+  // closed tenant's last refresh leaves them at the values runClose set.
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  for (const auto &[Name, T] : Registry) {
+    T->GResident->set(T->Snap.load(std::memory_order_acquire) ? 1 : 0);
+    T->GEditBacklog->set(static_cast<std::int64_t>(
+        T->QueuedEdits.load(std::memory_order_relaxed)));
+  }
 }
 
 std::string TenantService::statsJson() const {

@@ -85,6 +85,7 @@ class AnalysisSession;
 }
 namespace observe {
 class Counter;
+class Gauge;
 class TraceSink;
 }
 namespace persist {
@@ -128,6 +129,12 @@ struct TenantOptions {
   /// When set, tenant flushes / queries / fault-ins run under
   /// tenant-tagged TraceScopes streaming here (thread-safe; not owned).
   observe::TraceSink *Sink = nullptr;
+  /// Slow-op threshold in microseconds (0 = off).  Query evaluations and
+  /// edit-group flushes exceeding it emit a structured SlowQueryRecord
+  /// (with tenant name and, for demand tenants, per-query region
+  /// attribution) to \c Sink, a flight-recorder event, and the
+  /// "slow_queries_total" counter.
+  std::uint64_t SlowQueryUs = 0;
 };
 
 /// Monotonic service-wide counters (relaxed loads; per-tenant series live
@@ -222,9 +229,14 @@ private:
     /// An Evict job is in flight to the owning shard (dedup).
     std::atomic<bool> EvictQueued{false};
     /// Registry-stable per-tenant series, cached so the query fast path
-    /// pays one relaxed add instead of a name lookup.
+    /// pays one relaxed add instead of a name lookup.  All are labeled
+    /// "<base>{tenant=<name>}" via MetricsRegistry's labeled facility.
     observe::Counter *CtrEdits = nullptr;
     observe::Counter *CtrQueries = nullptr;
+    observe::Counter *CtrEvicted = nullptr;
+    observe::Counter *CtrRejected = nullptr;
+    observe::Gauge *GResident = nullptr;
+    observe::Gauge *GEditBacklog = nullptr;
   };
 
   struct Job {

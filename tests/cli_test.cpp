@@ -592,4 +592,141 @@ TEST(Cli, ServeTenantsSurviveKillNine) {
   run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Err2 + " " + Done, Out);
 }
 
+TEST(Cli, ServeSigquitWritesFlightDump) {
+  // The flight-recorder crash-dump path, end to end through the binary:
+  // serve with --data-dir, answer one query (so the rings hold real
+  // events), SIGQUIT the server, and require a Perfetto-loadable
+  // flight-<pid>.json in the data directory.
+  std::string Dir = testing::TempDir() + "/ipse_cli_flight";
+  std::string Out1 = testing::TempDir() + "/ipse_sigquit_out1.txt";
+  std::string Done = testing::TempDir() + "/ipse_sigquit_done";
+  std::string Out;
+  run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Done, Out);
+
+  std::string Requests = R"({"id":1,"cmd":"gmod main"}\n)";
+  std::string Cmd =
+      "( printf '" + Requests + "'; while [ ! -e " + Done +
+      " ]; do sleep 0.1; done ) | " + cli() +
+      " serve --gen procs=8,globals=4,seed=5 --data-dir " + Dir +
+      " >" + Out1 + " 2>/dev/null & SRV=$!; "
+      "for I in $(seq 1 100); do"
+      "  grep -q '\"id\":1' " + Out1 + " 2>/dev/null && break;"
+      "  sleep 0.1; "
+      "done; "
+      "kill -QUIT $SRV; "
+      "for I in $(seq 1 100); do"
+      "  ls " + Dir + "/flight-*.json >/dev/null 2>&1 && break;"
+      "  sleep 0.1; "
+      "done; "
+      "touch " + Done + "; wait $SRV 2>/dev/null; "
+      "cat " + Dir + "/flight-*.json";
+  ASSERT_EQ(run(Cmd, Out), 0) << Out << "\nserver out:\n" << slurp(Out1);
+  ASSERT_FALSE(Out.empty());
+  std::string Error;
+  ASSERT_TRUE(ipse::validateJsonDocument(Out, Error)) << Error << "\n" << Out;
+  if (ipse::observe::enabled()) {
+    // The dump holds the pre-crash history: the query span the server
+    // just answered, attributed to the flight category.
+    EXPECT_NE(Out.find("\"cat\":\"flight\""), std::string::npos) << Out;
+    EXPECT_NE(Out.find("service.query"), std::string::npos) << Out;
+  }
+  run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Done, Out);
+}
+
+TEST(Cli, ServeTenantsExportLabeledPromSeries) {
+  // Per-tenant labeled metrics end to end: a tenants server answers a
+  // query for each of two tenants, then `metrics --format=prom` must
+  // show distinct {tenant="..."} series for both.  The feeder polls the
+  // output file so the metrics request only goes in after both query
+  // responses are out (the scrape would otherwise race the queries).
+  std::string Dir = testing::TempDir() + "/ipse_cli_promlabels";
+  std::string Out1 = testing::TempDir() + "/ipse_promlabels_out1.txt";
+  std::string Done = testing::TempDir() + "/ipse_promlabels_done";
+  std::string Out;
+  run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Done, Out);
+
+  std::string Requests =
+      R"({"id":1,"cmd":"open acme procs=8 globals=4 seed=5"}\n)"
+      R"({"id":2,"cmd":"open beta procs=6 globals=3 seed=9"}\n)"
+      R"({"id":3,"cmd":"gmod main","tenant":"acme"}\n)"
+      R"({"id":4,"cmd":"gmod main","tenant":"beta"}\n)";
+  std::string MetricsReq = R"({"id":9,"cmd":"metrics --format=prom"}\n)";
+  std::string Cmd =
+      "( printf '" + Requests + "'; "
+      "  for I in $(seq 1 100); do"
+      "    grep -q '\"id\":3' " + Out1 + " 2>/dev/null &&"
+      "    grep -q '\"id\":4' " + Out1 + " 2>/dev/null && break;"
+      "    sleep 0.1; "
+      "  done; "
+      "  printf '" + MetricsReq + "'; "
+      "  while [ ! -e " + Done + " ]; do sleep 0.1; done ) | " + cli() +
+      " serve --tenants=2 --data-dir " + Dir +
+      " >" + Out1 + " 2>/dev/null & SRV=$!; "
+      "for I in $(seq 1 100); do"
+      "  grep -q '\"id\":9' " + Out1 + " 2>/dev/null && break;"
+      "  sleep 0.1; "
+      "done; "
+      "touch " + Done + "; wait $SRV 2>/dev/null; exit 0";
+  ASSERT_EQ(run(Cmd, Out), 0) << Out;
+  std::string Resp = slurp(Out1);
+  ASSERT_NE(Resp.find("\"id\":9"), std::string::npos) << Resp;
+  EXPECT_EQ(Resp.find("\"ok\":false"), std::string::npos) << Resp;
+  // The prom text rides inside a JSON string field, so its quotes arrive
+  // escaped: ipse_tenant_queries{tenant=\"acme\"} ...
+  EXPECT_NE(Resp.find("ipse_tenant_queries{tenant=\\\"acme\\\"} "),
+            std::string::npos)
+      << Resp;
+  EXPECT_NE(Resp.find("ipse_tenant_queries{tenant=\\\"beta\\\"} "),
+            std::string::npos)
+      << Resp;
+  EXPECT_NE(Resp.find("ipse_tenant_resident{tenant=\\\"acme\\\"} 1"),
+            std::string::npos)
+      << Resp;
+  EXPECT_NE(Resp.find("ipse_tenant_resident{tenant=\\\"beta\\\"} 1"),
+            std::string::npos)
+      << Resp;
+  run("rm -rf " + Dir + " && rm -f " + Out1 + " " + Done, Out);
+}
+
+TEST(Cli, DebugDumpOverTcpIsAChromeTraceDocument) {
+  // The live introspection path: serve over TCP, answer a query, then
+  // `debug-dump --port` must print the recorder's Chrome Trace array.
+  std::string Dir = testing::TempDir();
+  std::string ErrFile = Dir + "/ipse_debugdump_err.txt";
+  std::string Done = Dir + "/ipse_debugdump_done";
+  std::string Script = Dir + "/ipse_debugdump_script.txt";
+  {
+    std::ofstream S(Script);
+    S << "gmod main\n";
+  }
+  std::remove(Done.c_str());
+  std::remove(ErrFile.c_str());
+
+  std::string Cmd =
+      "( while [ ! -e " + Done + " ]; do sleep 0.1; done ) | " + cli() +
+      " serve --gen procs=8,globals=4,seed=5 --port 0 --workers 2 2>" +
+      ErrFile + " & SRV=$!; "
+      "for I in $(seq 1 100); do"
+      "  grep -q 'serving on' " + ErrFile + " 2>/dev/null && break;"
+      "  sleep 0.1; "
+      "done; "
+      "PORT=$(sed -n 's/.*127\\.0\\.0\\.1:\\([0-9]*\\).*/\\1/p' " + ErrFile +
+      "); " +
+      cli() + " client --port $PORT " + Script + " >/dev/null && " +
+      cli() + " debug-dump --port $PORT; RC=$?; "
+      "touch " + Done + "; wait $SRV; exit $RC";
+  std::string Out;
+  ASSERT_EQ(run(Cmd, Out), 0) << Out << "\nserver stderr:\n"
+                              << slurp(ErrFile);
+  std::string Error;
+  ASSERT_TRUE(ipse::validateJsonDocument(Out, Error)) << Error << "\n" << Out;
+  if (ipse::observe::enabled()) {
+    EXPECT_NE(Out.find("\"cat\":\"flight\""), std::string::npos) << Out;
+    EXPECT_NE(Out.find("service.query"), std::string::npos) << Out;
+  }
+  std::remove(Script.c_str());
+  std::remove(ErrFile.c_str());
+  std::remove(Done.c_str());
+}
+
 } // namespace

@@ -1,0 +1,200 @@
+//===- tests/flight_recorder_test.cpp - Always-on event-ring tests ------------===//
+//
+// Part of the ipse project: a reproduction of Cooper & Kennedy,
+// "Interprocedural Side-Effect Analysis in Linear Time", PLDI 1988.
+//
+//===----------------------------------------------------------------------===//
+//
+// The flight recorder end to end: ring wrap (only the last Capacity
+// events survive), the cross-thread drain/merge (every thread's ring is
+// visible, time-sorted, tid-attributed — TSan runs this file), the
+// enable/disable switch, and renderChromeTrace()'s output contract: a
+// single well-formed JSON document in both the multi-line (file) and
+// single-line (wire) forms, with matched spans as complete "X" slices.
+// Under -DIPSE_OBSERVE=OFF everything degrades to empty results; the
+// same assertions run against the stub surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/FlightRecorder.h"
+#include "observe/Trace.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipse;
+using namespace ipse::observe;
+
+namespace {
+
+/// Drained events carrying exactly \p Name (pointer identity is not
+/// guaranteed across translation units; compare contents).
+std::vector<flight::Event> eventsNamed(const char *Name) {
+  std::vector<flight::Event> Out;
+  for (const flight::Event &E : flight::drain())
+    if (E.Name && std::strcmp(E.Name, Name) == 0)
+      Out.push_back(E);
+  return Out;
+}
+
+#ifndef IPSE_OBSERVE_OFF
+
+TEST(FlightRecorder, RecordedEventsDrainWithPayload) {
+  flight::record(flight::EventKind::QueueDepth, "frt.basic", 17);
+  flight::record(flight::EventKind::WalFsync, "frt.basic", 250);
+  std::vector<flight::Event> Got = eventsNamed("frt.basic");
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0].Kind, flight::EventKind::QueueDepth);
+  EXPECT_EQ(Got[0].Value, 17u);
+  EXPECT_EQ(Got[1].Kind, flight::EventKind::WalFsync);
+  EXPECT_EQ(Got[1].Value, 250u);
+  EXPECT_EQ(Got[0].Tid, Got[1].Tid);
+  EXPECT_LE(Got[0].TimeNs, Got[1].TimeNs);
+}
+
+TEST(FlightRecorder, RingWrapKeepsOnlyTheNewestEvents) {
+  const std::size_t Cap = flight::ringCapacity();
+  ASSERT_GT(Cap, 0u);
+  // Overfill this thread's ring by half a capacity; the drain must see
+  // at most Cap events and they must be the *newest* ones.
+  const std::size_t Total = Cap + Cap / 2;
+  for (std::size_t I = 0; I != Total; ++I)
+    flight::record(flight::EventKind::Counter, "frt.wrap", I);
+  std::vector<flight::Event> Got = eventsNamed("frt.wrap");
+  ASSERT_LE(Got.size(), Cap);
+  // Everything old enough to have been overwritten is gone.
+  for (const flight::Event &E : Got)
+    EXPECT_GE(E.Value, Total - Cap) << "stale slot survived the wrap";
+  // The very last event always survives (nothing wrote after it).
+  ASSERT_FALSE(Got.empty());
+  EXPECT_EQ(Got.back().Value, Total - 1);
+}
+
+TEST(FlightRecorder, DrainMergesAllThreadsTimeSorted) {
+  constexpr unsigned Threads = 3, PerThread = 64;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([T] {
+      for (unsigned I = 0; I != PerThread; ++I)
+        flight::record(flight::EventKind::Counter, "frt.merge",
+                       std::uint64_t(T) * 1000 + I);
+    });
+  for (std::thread &Th : Pool)
+    Th.join();
+
+  std::vector<flight::Event> Got = eventsNamed("frt.merge");
+  ASSERT_EQ(Got.size(), std::size_t(Threads) * PerThread);
+  // Time-sorted across rings, and every thread's events attributed to a
+  // distinct tid (none of them this thread's).
+  std::map<std::uint32_t, unsigned> PerTid;
+  std::uint64_t PrevNs = 0;
+  for (const flight::Event &E : Got) {
+    EXPECT_GE(E.TimeNs, PrevNs);
+    PrevNs = E.TimeNs;
+    ++PerTid[E.Tid];
+  }
+  ASSERT_EQ(PerTid.size(), std::size_t(Threads));
+  for (const auto &[Tid, N] : PerTid)
+    EXPECT_EQ(N, PerThread) << "tid " << Tid;
+}
+
+TEST(FlightRecorder, DisableDropsEventsEnableResumes) {
+  ASSERT_TRUE(flight::enabled());
+  flight::setEnabled(false);
+  flight::record(flight::EventKind::Counter, "frt.gate", 1);
+  EXPECT_TRUE(eventsNamed("frt.gate").empty());
+  flight::setEnabled(true);
+  flight::record(flight::EventKind::Counter, "frt.gate", 2);
+  std::vector<flight::Event> Got = eventsNamed("frt.gate");
+  ASSERT_EQ(Got.size(), 1u);
+  EXPECT_EQ(Got[0].Value, 2u);
+}
+
+TEST(FlightRecorder, SpansFeedTheRecorderWithoutASink) {
+  // TraceSpan records into the flight ring even with no TraceScope
+  // installed — that is the recorder's whole point.
+  {
+    TraceSpan Outer("frt.span_outer");
+    TraceSpan Inner("frt.span_inner");
+  }
+  std::vector<flight::Event> Outer = eventsNamed("frt.span_outer");
+  std::vector<flight::Event> Inner = eventsNamed("frt.span_inner");
+  ASSERT_EQ(Outer.size(), 2u); // begin + end
+  ASSERT_EQ(Inner.size(), 2u);
+  EXPECT_EQ(Outer[0].Kind, flight::EventKind::SpanBegin);
+  EXPECT_EQ(Outer[1].Kind, flight::EventKind::SpanEnd);
+  // SpanEnd carries its own duration; the inner span nests inside the
+  // outer one's wall time.
+  EXPECT_LE(Inner[1].Value, Outer[1].Value);
+}
+
+TEST(FlightRecorder, ChromeTraceIsOneValidJsonDocument) {
+  {
+    TraceSpan Span("frt.chrome_span");
+    flight::record(flight::EventKind::QueueDepth, "frt.chrome_depth", 5);
+    flight::record(flight::EventKind::SnapshotPublish, "frt.chrome_pub", 9);
+  }
+  std::string MultiLine = flight::renderChromeTrace();
+  std::string Err;
+  EXPECT_TRUE(validateJsonDocument(MultiLine, Err)) << Err;
+  // The matched span renders as one complete "X" slice, the queue depth
+  // as a "C" counter, the publish as an instant.
+  EXPECT_NE(MultiLine.find("\"name\":\"frt.chrome_span\",\"cat\":\"flight\","
+                           "\"ph\":\"X\""),
+            std::string::npos)
+      << MultiLine;
+  EXPECT_NE(MultiLine.find("\"name\":\"frt.chrome_depth\",\"cat\":\"flight\","
+                           "\"ph\":\"C\""),
+            std::string::npos);
+  EXPECT_NE(MultiLine.find("\"name\":\"frt.chrome_pub\",\"cat\":\"flight\","
+                           "\"ph\":\"i\""),
+            std::string::npos);
+
+  // The wire form is the same document on one physical line.
+  std::string OneLine = flight::renderChromeTrace(/*MultiLine=*/false);
+  EXPECT_TRUE(validateJsonDocument(OneLine, Err)) << Err;
+  EXPECT_EQ(OneLine.find('\n'), std::string::npos);
+}
+
+TEST(FlightRecorder, StillOpenSpansRenderAsBeginEvents) {
+  ManualSpan Open("frt.open_span");
+  std::string Trace = flight::renderChromeTrace();
+  EXPECT_NE(Trace.find("\"name\":\"frt.open_span\",\"cat\":\"flight\","
+                       "\"ph\":\"B\""),
+            std::string::npos)
+      << Trace;
+  Open.close();
+  // Once closed it pairs up: the complete slice replaces the bare begin.
+  std::string After = flight::renderChromeTrace();
+  EXPECT_NE(After.find("\"name\":\"frt.open_span\",\"cat\":\"flight\","
+                       "\"ph\":\"X\""),
+            std::string::npos)
+      << After;
+}
+
+#else // IPSE_OBSERVE_OFF
+
+TEST(FlightRecorderOff, EverythingCompilesOutToEmpty) {
+  flight::record(flight::EventKind::Counter, "frt.off", 1);
+  EXPECT_FALSE(flight::enabled());
+  EXPECT_TRUE(flight::drain().empty());
+  EXPECT_TRUE(eventsNamed("frt.off").empty());
+  EXPECT_EQ(flight::ringCapacity(), 0u);
+  std::string Err;
+  EXPECT_TRUE(validateJsonDocument(flight::renderChromeTrace(), Err)) << Err;
+  EXPECT_TRUE(
+      validateJsonDocument(flight::renderChromeTrace(/*MultiLine=*/false),
+                           Err))
+      << Err;
+}
+
+#endif // IPSE_OBSERVE_OFF
+
+} // namespace

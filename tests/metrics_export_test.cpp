@@ -19,9 +19,11 @@
 #include "observe/Metrics.h"
 #include "observe/Prometheus.h"
 #include "support/LatencyHistogram.h"
+#include "tenant/TenantService.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <map>
@@ -317,6 +319,131 @@ TEST(Prometheus, EmptyHistogramStillExportsInfSumCount) {
   EXPECT_TRUE(SawInf) << Text;
   EXPECT_TRUE(SawSum) << Text;
   EXPECT_TRUE(SawCount) << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Labeled series: the registry facility and the exporter's label blocks.
+//===----------------------------------------------------------------------===//
+
+TEST(Metrics, LabeledNameBuildsAndSanitizes) {
+  using observe::MetricsRegistry;
+  EXPECT_EQ(MetricsRegistry::labeledName("tenant.edits", "tenant", "acme"),
+            "tenant.edits{tenant=acme}");
+  // Values outside the registry's name alphabet are defanged, so a
+  // hostile tenant name cannot corrupt the JSON or Prometheus output.
+  EXPECT_EQ(MetricsRegistry::labeledName("t.c", "k", "a\"b{c}d e"),
+            "t.c{k=a_b_c_d_e}");
+}
+
+TEST(Metrics, LabeledOverloadsAreGetOrCreate) {
+  observe::MetricsRegistry Reg;
+  observe::Counter &A = Reg.counter("tenant.edits", "tenant", "acme");
+  A.add(3);
+  // Same (base, key, value) -> same series; the string form aliases it.
+  EXPECT_EQ(&Reg.counter("tenant.edits", "tenant", "acme"), &A);
+  EXPECT_EQ(&Reg.counter("tenant.edits{tenant=acme}"), &A);
+  EXPECT_EQ(Reg.counter("tenant.edits", "tenant", "acme").value(), 3u);
+  // A different label value is a different series.
+  EXPECT_NE(&Reg.counter("tenant.edits", "tenant", "beta"), &A);
+}
+
+TEST(Metrics, SnapshotIsSortedByName) {
+  observe::MetricsRegistry Reg;
+  Reg.counter("zz.last").add();
+  Reg.counter("aa.first").add();
+  Reg.counter("mm.mid", "tenant", "x").add();
+  Reg.gauge("z.g").set(1);
+  Reg.gauge("a.g").set(2);
+  observe::MetricsSnapshot Snap = Reg.snapshot();
+  auto SortedBy = [](const auto &V) {
+    return std::is_sorted(V.begin(), V.end(),
+                          [](const auto &A, const auto &B) {
+                            return A.first < B.first;
+                          });
+  };
+  EXPECT_TRUE(SortedBy(Snap.Counters));
+  EXPECT_TRUE(SortedBy(Snap.Gauges));
+  EXPECT_TRUE(SortedBy(Snap.Histograms));
+}
+
+TEST(Prometheus, LabeledSeriesRenderAsLabelBlocks) {
+  observe::MetricsRegistry Reg;
+  Reg.counter("tenant.edits", "tenant", "acme").add(3);
+  Reg.counter("tenant.edits", "tenant", "beta").add(5);
+  Reg.gauge("tenant.resident", "tenant", "acme").set(1);
+
+  std::string Text = observe::prometheusText(Reg);
+  std::vector<PromSample> Samples = parsePromText(Text);
+  std::map<std::string, double> ByKey;
+  for (const PromSample &S : Samples)
+    ByKey[S.Name + "{" + S.Labels + "}"] = S.Value;
+  EXPECT_EQ(ByKey.at("ipse_tenant_edits{tenant=\"acme\"}"), 3.0);
+  EXPECT_EQ(ByKey.at("ipse_tenant_edits{tenant=\"beta\"}"), 5.0);
+  EXPECT_EQ(ByKey.at("ipse_tenant_resident{tenant=\"acme\"}"), 1.0);
+  // One TYPE line per metric *name*, not per series.
+  std::size_t First = Text.find("# TYPE ipse_tenant_edits counter\n");
+  ASSERT_NE(First, std::string::npos) << Text;
+  EXPECT_EQ(Text.find("# TYPE ipse_tenant_edits counter\n", First + 1),
+            std::string::npos)
+      << Text;
+}
+
+TEST(Prometheus, MultiLabelSuffixSplitsIntoPairs) {
+  observe::MetricsRegistry Reg;
+  // The build_info idiom: value 1, the data rides in the labels.
+  Reg.gauge("build.info{version=0.10,isa=avx2,observe=on}").set(1);
+  std::string Text = observe::prometheusText(Reg);
+  EXPECT_NE(
+      Text.find(
+          "ipse_build_info{version=\"0.10\",isa=\"avx2\",observe=\"on\"} 1"),
+      std::string::npos)
+      << Text;
+  parsePromText(Text); // Line-level validity.
+}
+
+TEST(Prometheus, TenantServiceExportsPerTenantSeries) {
+  // Two live tenants must show up as distinct labeled series on the
+  // *global* registry (what `metrics --format=prom` serves).  Counters
+  // are cumulative across tests sharing the registry, so assert floors
+  // and label presence, not exact totals.
+  tenant::TenantOptions Opts;
+  Opts.Shards = 2;
+  tenant::TenantService Svc(Opts);
+  ASSERT_TRUE(Svc.call("", "open acme procs=5 globals=3 seed=1").Ok);
+  ASSERT_TRUE(Svc.call("", "open beta procs=4 globals=2 seed=2").Ok);
+  ASSERT_TRUE(Svc.call("acme", "add-global g_extra").Ok);
+  ASSERT_TRUE(Svc.call("acme", "gmod main").Ok);
+  ASSERT_TRUE(Svc.call("beta", "gmod main").Ok);
+  service::Response R = Svc.call("", "metrics --format=prom");
+  ASSERT_TRUE(R.Ok);
+
+  std::vector<PromSample> Samples = parsePromText(R.Result);
+  double AcmeEdits = -1, AcmeQ = -1, BetaQ = -1, AcmeRes = -1, BetaRes = -1,
+         AcmeBacklog = -1;
+  for (const PromSample &S : Samples) {
+    if (S.Name == "ipse_tenant_edits" && S.Labels == "tenant=\"acme\"")
+      AcmeEdits = S.Value;
+    if (S.Name == "ipse_tenant_queries" && S.Labels == "tenant=\"acme\"")
+      AcmeQ = S.Value;
+    if (S.Name == "ipse_tenant_queries" && S.Labels == "tenant=\"beta\"")
+      BetaQ = S.Value;
+    if (S.Name == "ipse_tenant_resident" && S.Labels == "tenant=\"acme\"")
+      AcmeRes = S.Value;
+    if (S.Name == "ipse_tenant_resident" && S.Labels == "tenant=\"beta\"")
+      BetaRes = S.Value;
+    if (S.Name == "ipse_tenant_edit_backlog" && S.Labels == "tenant=\"acme\"")
+      AcmeBacklog = S.Value;
+  }
+  EXPECT_GE(AcmeEdits, 1.0) << R.Result;
+  EXPECT_GE(AcmeQ, 1.0) << R.Result;
+  EXPECT_GE(BetaQ, 1.0) << R.Result;
+  EXPECT_EQ(AcmeRes, 1.0) << R.Result;
+  EXPECT_EQ(BetaRes, 1.0) << R.Result;
+  // The backlog gauge is decremented *after* the edit's response is
+  // delivered, so a scrape right behind a synchronous call may still see
+  // the in-flight edit; assert the labeled series exists, not its value.
+  EXPECT_GE(AcmeBacklog, 0.0) << R.Result;
+  Svc.stop();
 }
 
 TEST(Prometheus, FullRegistryPassesTheLineChecker) {

@@ -109,13 +109,18 @@ std::string identParallel(const JsonObject &Row) {
 }
 
 std::string identObserve(const JsonObject &Row) {
-  if (field(Row, "kind") != "phase")
+  std::string Kind = field(Row, "kind");
+  std::string Engine = field(Row, "engine"), Shape = field(Row, "shape");
+  if (Engine.empty() || Shape.empty())
     return "";
-  std::string Engine = field(Row, "engine"), Shape = field(Row, "shape"),
-              Phase = field(Row, "phase");
-  if (Engine.empty() || Shape.empty() || Phase.empty())
+  // Recorder rows (flight recorder on vs off) carry no phase; they key
+  // on a fixed "recorder" leaf so the hard gate can address them.
+  if (Kind == "recorder")
+    return Engine + "/" + Shape + "/recorder";
+  if (Kind != "phase")
     return "";
-  return Engine + "/" + Shape + "/" + Phase;
+  std::string Phase = field(Row, "phase");
+  return Phase.empty() ? "" : Engine + "/" + Shape + "/" + Phase;
 }
 
 std::string identDemand(const JsonObject &Row) {
@@ -148,8 +153,13 @@ const RowSpec Specs[] = {
       // The headline ratio of the adaptive scheduler: K=4 vs sequential.
       // Gated both relatively (below) and absolutely (HardGates).
       {"speedup_k4", true, 0.25, 0.1}}},
+    // recorder_overhead_pct is percentage points near zero, so baseline-
+    // relative drift is meaningless noise; the 3-point absolute floor
+    // plus the hard gate below do the real gating.
     {"observe", identObserve,
-     {{"wall_ns", false, 0.75, 250000.0}, {"bv_ops", false, 0.02, 64.0}}},
+     {{"wall_ns", false, 0.75, 250000.0},
+      {"bv_ops", false, 0.02, 64.0},
+      {"recorder_overhead_pct", false, 0.75, 3.0}}},
     {"service", identService, {{"qps", true, 0.50, 4000.0}}},
     // cold_query_us is the demand engine's promise (O(region) first
     // answers); region_procs is a deterministic closure size, so it gates
@@ -179,6 +189,7 @@ struct HardGate {
   const char *KeySuffix; ///< Matches keys ending in "/<KeySuffix>".
   const char *KeyPrefix; ///< ... that start with this prefix.
   double Min;            ///< The fold fails if value < Min.
+  double Max;            ///< ... or value > Max.
   const char *Why;
 };
 
@@ -192,8 +203,16 @@ struct HardGate {
 // fan-out, schedule construction on the delegating path) measured
 // 0.73-0.75 before the adaptive policy and lands well below the floor.
 const HardGate HardGates[] = {
-    {"speedup_k4", "parallel/", 0.85,
+    {"speedup_k4", "parallel/", 0.85, 1e300,
      "the adaptive schedule must keep K=4 from losing to sequential"},
+    // Only the sequential/fortran-1000 cell gates: it is the largest,
+    // least jittery run, and the ring-write cost per span is the same
+    // everywhere.  5% is generous — the recorder measures well under 1%
+    // on that cell; a breach means a real regression (a hot record()
+    // path, a lock, a cache-hostile ring layout), not noise.
+    {"recorder_overhead_pct", "observe/sequential/fortran-1000/", -1e300, 5.0,
+     "the always-on flight recorder must stay within 5% of recording "
+     "disabled"},
 };
 
 struct Options {
@@ -405,6 +424,11 @@ int main(int argc, char **argv) {
         std::fprintf(stderr,
                      "HARD GATE: %s = %.6g < %.6g (%s)\n",
                      Key.c_str(), Cur, G.Min, G.Why);
+        Exit = 1;
+      } else if (Cur > G.Max) {
+        std::fprintf(stderr,
+                     "HARD GATE: %s = %.6g > %.6g (%s)\n",
+                     Key.c_str(), Cur, G.Max, G.Why);
         Exit = 1;
       }
     }

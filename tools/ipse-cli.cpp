@@ -25,6 +25,9 @@
 //   ipse-cli metrics-dump --port N [--format=F]     fetch a serving instance's
 //                                                   metrics (Prometheus text
 //                                                   or JSON)
+//   ipse-cli debug-dump --port N                    fetch a serving instance's
+//                                                   flight-recorder rings as
+//                                                   Chrome Trace Event JSON
 //   ipse-cli save ... <out.ipsesnap>                solve and write a binary
 //                                                   snapshot (planes + program)
 //   ipse-cli load <file.ipsesnap>                   warm-restore a snapshot
@@ -44,6 +47,7 @@
 #include "frontend/Frontend.h"
 #include "graph/Dot.h"
 #include "graph/Reachability.h"
+#include "observe/FlightRecorder.h"
 #include "persist/Snapshot.h"
 #include "persist/Store.h"
 #include "service/ScriptDriver.h"
@@ -118,12 +122,15 @@ namespace {
       "                                      solving only the region the\n"
       "                                      queries reach (--engine=demand\n"
       "                                      is the default here; --stats\n"
-      "                                      appends region/memo counters)\n"
+      "                                      appends this run's region\n"
+      "                                      attribution — region procs,\n"
+      "                                      memo hits, frontier cuts —\n"
+      "                                      plus the cumulative counters)\n"
       "  serve (--program <file> | --gen k=v[,k=v...] | --data-dir DIR)\n"
       "        [--port N] [--workers N] [--queue N] [--batch N]\n"
       "        [--stats-ms N] [--no-use] [--parallel[=K]]\n"
       "        [--compact-records N] [--compact-bytes N]\n"
-      "        [--trace-out=FILE] [--trace-format=F]\n"
+      "        [--trace-out=FILE] [--trace-format=F] [--slow-ms N]\n"
       "        [--tenants[=SHARDS]] [--resident-cap N]\n"
       "        [--tenant-max-procs N] [--tenant-max-edits N]\n"
       "                                      concurrent analysis service;\n"
@@ -152,7 +159,16 @@ namespace {
       "                                      tenant quotas.  --program /\n"
       "                                      --gen stay optional: requests\n"
       "                                      naming no tenant go to the\n"
-      "                                      single-program service\n"
+      "                                      single-program service.\n"
+      "                                      --slow-ms logs queries and\n"
+      "                                      flushes slower than N ms to\n"
+      "                                      the --trace-out sink with\n"
+      "                                      demand attribution.  With\n"
+      "                                      --data-dir, SIGQUIT (or a\n"
+      "                                      fatal signal) writes the\n"
+      "                                      flight recorder to\n"
+      "                                      flight-<pid>.json there\n"
+      "                                      before dying\n"
       "  client --port N [script]            send a session script to a\n"
       "                                      serving instance (stdin when\n"
       "                                      no script is given)\n"
@@ -160,6 +176,10 @@ namespace {
       "                                      fetch a serving instance's\n"
       "                                      metrics (Prometheus text by\n"
       "                                      default)\n"
+      "  debug-dump --port N                 fetch a serving instance's\n"
+      "                                      flight-recorder rings as\n"
+      "                                      Chrome Trace Event JSON\n"
+      "                                      (load it in Perfetto)\n"
       "  save (--program <file> | --gen k=v[,k=v...]) [--no-use]\n"
       "       <out.ipsesnap>                 solve, then write a versioned\n"
       "                                      checksummed binary snapshot\n"
@@ -582,6 +602,14 @@ int cmdQuery(const std::vector<std::string> &Args) {
       service::QueryResult R = service::evalQueryCommand(Target, Cmd);
       std::printf("%s\n", R.Text.c_str());
       if (PrintStats) {
+        if (R.HasStats)
+          // This run's attribution (the same three counters the serving
+          // protocol returns in the query response's "stats" object).
+          std::printf("query: region-procs %llu  memo-hits %llu  "
+                      "frontier-cuts %llu\n",
+                      (unsigned long long)R.RegionProcs,
+                      (unsigned long long)R.MemoHits,
+                      (unsigned long long)R.FrontierCuts);
         const demand::DemandStats &St = D->stats();
         std::printf("region-solves %llu  region-procs %llu  memo-hits %llu"
                     "  covered %zu/%zu\n",
@@ -647,6 +675,37 @@ void installShutdownHandler() {
   ::sigaction(SIGINT, &SA, nullptr);
 }
 
+/// Where the SIGQUIT / fatal-signal handler writes the flight recorder
+/// (serve --data-dir only).  A fixed buffer, filled before the handler
+/// installs: the handler must not touch C++ globals with destructors.
+char CrashDumpDir[4096];
+
+extern "C" void crashDumpHandler(int Sig) {
+  // Best effort by design: rendering the trace allocates, which is not
+  // async-signal-safe, but this fires on an operator SIGQUIT or a fatal
+  // signal, where the alternative is dying with nothing.  The atomic
+  // write (temp file + rename) guarantees a partial dump never replaces
+  // a complete one from an earlier run.
+  std::string Path = std::string(CrashDumpDir) + "/flight-" +
+                     std::to_string(::getpid()) + ".json";
+  std::string Trace = observe::flight::renderChromeTrace();
+  std::string Err;
+  persist::writeFileAtomic(Path, Trace.data(), Trace.size(), Err);
+  ::_exit(128 + Sig);
+}
+
+void installCrashDumpHandler(const std::string &DataDir) {
+  std::snprintf(CrashDumpDir, sizeof(CrashDumpDir), "%s", DataDir.c_str());
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = crashDumpHandler;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  ::sigaction(SIGQUIT, &SA, nullptr);
+  ::sigaction(SIGSEGV, &SA, nullptr);
+  ::sigaction(SIGABRT, &SA, nullptr);
+}
+
 int cmdServe(const std::vector<std::string> &Args) {
   std::string ProgramPath, GenSpec;
   bool HavePort = false;
@@ -683,6 +742,8 @@ int cmdServe(const std::vector<std::string> &Args) {
       Opts.ServiceMaxBatch = intArg();
     else if (Args[I] == "--stats-ms")
       Opts.ServiceStatsIntervalMs = intArg();
+    else if (Args[I] == "--slow-ms")
+      Opts.SlowMs = intArg();
     else if (Args[I] == "--no-use")
       Opts.TrackUse = false;
     else if (Args[I] == "--tenants")
@@ -744,6 +805,8 @@ int cmdServe(const std::vector<std::string> &Args) {
     return 1;
   }
   installShutdownHandler();
+  if (!Opts.DataDir.empty())
+    installCrashDumpHandler(Opts.DataDir);
   if (HaveStore && SvcPtr)
     std::fprintf(stderr, "recovered '%s' at generation %llu\n",
                  Opts.DataDir.c_str(),
@@ -863,6 +926,24 @@ int cmdMetricsDump(const std::vector<std::string> &Args) {
   if (!HavePort)
     usage();
   return service::runMetricsDump(Port, Prom, stdout);
+}
+
+int cmdDebugDump(const std::vector<std::string> &Args) {
+  bool HavePort = false;
+  std::uint16_t Port = 0;
+  for (std::size_t I = 0; I != Args.size(); ++I) {
+    if (Args[I] == "--port") {
+      if (I + 1 >= Args.size())
+        usage();
+      HavePort = true;
+      Port = static_cast<std::uint16_t>(std::atoi(Args[++I].c_str()));
+    } else {
+      usage();
+    }
+  }
+  if (!HavePort)
+    usage();
+  return service::runDebugDump(Port, stdout);
 }
 
 //===----------------------------------------------------------------------===//
@@ -1012,12 +1093,18 @@ int main(int argc, char **argv) {
     // The dispatched ISA is part of the version story: two hosts running
     // the same binary can execute different dense kernels.
     std::printf("ipse-cli (Cooper-Kennedy PLDI'88 side-effect analysis)\n"
-                "simd kernels: %s%s\n",
+                "simd kernels: %s%s\n"
+                "observability: %s\n",
                 ipse::simd::dispatchedIsa(),
 #ifdef IPSE_SIMD_OFF
-                " (built with IPSE_SIMD=OFF)"
+                " (built with IPSE_SIMD=OFF)",
 #else
-                ""
+                "",
+#endif
+#ifdef IPSE_OBSERVE_OFF
+                "off (built with IPSE_OBSERVE=OFF)"
+#else
+                "on (tracing + flight recorder)"
 #endif
     );
     return 0;
@@ -1044,6 +1131,8 @@ int main(int argc, char **argv) {
     return cmdClient(Args);
   if (Cmd == "metrics-dump")
     return cmdMetricsDump(Args);
+  if (Cmd == "debug-dump")
+    return cmdDebugDump(Args);
   if (Cmd == "save")
     return cmdSave(Args);
   if (Cmd == "load")
